@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure: it runs the experiment
+driver under ``pytest-benchmark`` (one round — these are scientific
+regenerators, not micro-benchmarks; the kernel benches in
+``test_bench_sparse_vs_dense.py`` use proper multi-round timing), prints
+the paper-style rows/series to the terminal, and writes them under
+``benchmarks/results/`` so the artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a labelled result block to the live terminal and archive it."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment driver exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

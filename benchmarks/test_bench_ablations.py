@@ -1,0 +1,196 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify what each ingredient of CMC
+buys, using the same GHZ protocol:
+
+* **order correction** (Eqs. 5-7): joining overlapping patches *without*
+  the fractional-power correction double-counts shared-qubit errors;
+* **patch separation k** (Algorithm 1): calibration circuit count vs
+  mitigation accuracy as the simultaneity constraint loosens/tightens;
+* **calibration fraction**: how the calibration/target budget split moves
+  the error (too few calibration shots -> bad matrices; too few target
+  shots -> sampling noise);
+* **patch size** (§IV-B extension): edge patches vs 3-qubit path patches
+  under 3-qubit correlated noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import one_norm_distance
+from repro.backends import ShotBudget, SimulatedBackend
+from repro.circuits import ghz_bfs
+from repro.core import CMCMitigator
+from repro.core.joining import JoinedCalibration
+from repro.core.patches import build_patch_rounds, path_patches
+from repro.experiments.report import format_table
+from repro.noise import (
+    MeasurementErrorChannel,
+    NoiseModel,
+    ReadoutError,
+    correlated_pair_channel,
+)
+from repro.noise.correlated import correlated_triplet_channel
+from repro.topology import grid, linear
+
+from .conftest import run_once
+
+
+def chain_backend(n=6, seed=0, pair_strength=0.08):
+    cmap = linear(n)
+    ch = MeasurementErrorChannel(n)
+    for q in range(n):
+        ch.add_readout(q, ReadoutError(0.02, 0.05))
+    for e in cmap.edges:
+        ch.add_local(e, correlated_pair_channel(pair_strength))
+    return SimulatedBackend(cmap, NoiseModel.measurement_only(ch), rng=seed)
+
+
+def ghz_ideal(n):
+    v = np.zeros(1 << n)
+    v[0] = v[-1] = 0.5
+    return v
+
+
+def run_cmc(backend, shots, seed_unused=None, fraction=0.5, joined_kwargs=None, **cmc_kwargs):
+    cmap = backend.coupling_map
+    qc = ghz_bfs(cmap)
+    mit = CMCMitigator(cmap, **cmc_kwargs)
+    budget = ShotBudget(shots)
+    mit.prepare(backend, budget, calibration_fraction=fraction)
+    out = mit.execute(qc, backend, budget)
+    return one_norm_distance(out, ghz_ideal(cmap.num_qubits))
+
+
+# ----------------------------------------------------------------------
+# Ablation 1: the Eq. 5-7 order correction
+# ----------------------------------------------------------------------
+def order_correction_ablation():
+    """Mitigate a GHZ with corrected vs naive joins of exact calibrations."""
+    backend = chain_backend(n=5, seed=11)
+    cmap = backend.coupling_map
+    truth = backend.noise_model.measurement_channel
+    from repro.core import CalibrationMatrix
+
+    patches = [CalibrationMatrix.exact_from_channel(truth, e) for e in cmap.edges]
+    qc = ghz_bfs(cmap)
+    observed = backend.exact_distribution(qc)
+    from repro.counts import SparseDistribution
+
+    dist = SparseDistribution.from_dense(observed)
+    out = {}
+    for label, corrected in (("corrected", True), ("naive", False)):
+        joined = JoinedCalibration(patches, order_correction=corrected)
+        mitigated = joined.mitigate_sparse(dist).clip_normalized()
+        out[label] = one_norm_distance(
+            {int(i): float(v) for i, v in zip(mitigated.indices, mitigated.values)},
+            ghz_ideal(5),
+        )
+    return out
+
+
+def test_bench_ablation_order_correction(benchmark, emit):
+    result = run_once(benchmark, order_correction_ablation)
+    emit(
+        "ablation_order_correction",
+        format_table({"GHZ-5 error": result}, ["corrected", "naive"], row_header=""),
+    )
+    assert result["corrected"] < result["naive"]
+    assert result["corrected"] < 0.1  # near-exact inversion
+
+
+# ----------------------------------------------------------------------
+# Ablation 2: Algorithm-1 separation k
+# ----------------------------------------------------------------------
+def separation_ablation():
+    rows = {}
+    cmap = grid(12)
+    for k in (0, 1, 2):
+        sched = build_patch_rounds(cmap, k=k)
+        backend = SimulatedBackend(
+            cmap,
+            NoiseModel.measurement_only(
+                MeasurementErrorChannel.from_readout_errors(
+                    [ReadoutError(0.02, 0.05)] * 12
+                )
+            ),
+            rng=22 + k,
+        )
+        err = run_cmc(backend, 16000, k=k)
+        rows[f"k={k}"] = {
+            "rounds": sched.num_rounds,
+            "circuits": sched.num_circuits,
+            "GHZ-12 error": err,
+        }
+    return rows
+
+
+def test_bench_ablation_separation(benchmark, emit):
+    rows = run_once(benchmark, separation_ablation)
+    emit(
+        "ablation_separation",
+        format_table(rows, ["rounds", "circuits", "GHZ-12 error"], row_header="k"),
+    )
+    # fewer rounds (smaller k) -> fewer circuits -> more shots per circuit
+    assert rows["k=0"]["circuits"] <= rows["k=1"]["circuits"] <= rows["k=2"]["circuits"]
+    # all settings should still mitigate decently
+    for cells in rows.values():
+        assert cells["GHZ-12 error"] < 1.0
+
+
+# ----------------------------------------------------------------------
+# Ablation 3: calibration/target budget split
+# ----------------------------------------------------------------------
+def fraction_ablation():
+    rows = {}
+    for fraction in (0.1, 0.3, 0.5, 0.7, 0.9):
+        backend = chain_backend(n=5, seed=33)
+        err = run_cmc(backend, 16000, fraction=fraction)
+        rows[f"{fraction:.0%} calibration"] = {"GHZ-5 error": err}
+    return rows
+
+
+def test_bench_ablation_calibration_fraction(benchmark, emit):
+    rows = run_once(benchmark, fraction_ablation)
+    emit(
+        "ablation_calibration_fraction",
+        format_table(rows, ["GHZ-5 error"], row_header="budget split"),
+    )
+    errs = [cells["GHZ-5 error"] for cells in rows.values()]
+    # the middle splits should not be worse than the extremes combined —
+    # i.e. the curve is not monotone in either direction (a real trade-off)
+    assert min(errs[1:4]) <= min(errs[0], errs[4]) + 0.05
+
+
+# ----------------------------------------------------------------------
+# Ablation 4: patch size (edges vs 3-qubit paths)
+# ----------------------------------------------------------------------
+def patch_size_ablation():
+    cmap = linear(5)
+    ch = MeasurementErrorChannel(5)
+    for q in range(5):
+        ch.add_readout(q, ReadoutError(0.02, 0.05))
+    ch.add_local((0, 1, 2), correlated_triplet_channel(0.08))
+    ch.add_local((2, 3, 4), correlated_triplet_channel(0.08))
+    rows = {}
+    for label, patches in (
+        ("edges (base CMC)", None),
+        ("3-qubit paths", path_patches(cmap, 2)),
+    ):
+        backend = SimulatedBackend(cmap, NoiseModel.measurement_only(ch), rng=44)
+        err = run_cmc(backend, 32000, edges=patches)
+        sched = build_patch_rounds(cmap, k=1, edges=patches or cmap.edges)
+        rows[label] = {"circuits": sched.num_circuits, "GHZ-5 error": err}
+    return rows
+
+
+def test_bench_ablation_patch_size(benchmark, emit):
+    rows = run_once(benchmark, patch_size_ablation)
+    emit(
+        "ablation_patch_size",
+        format_table(rows, ["circuits", "GHZ-5 error"], row_header="patch set"),
+    )
+    assert (
+        rows["3-qubit paths"]["GHZ-5 error"]
+        < rows["edges (base CMC)"]["GHZ-5 error"]
+    )

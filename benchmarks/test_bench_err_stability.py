@@ -1,0 +1,68 @@
+"""§VII-A — ERR characterisations are stable on the order of weeks.
+
+Recovers an independent error coupling map from each of four drifted
+weekly snapshots of a Nairobi-like device and reports the pairwise edge-set
+overlap.  Expected: high Jaccard overlap between weeks, every week
+recovering the persistent injected correlation pairs — so an ERR profile
+can be reused across calibration cycles (the reuse argument of §VII-A).
+"""
+
+import pytest
+
+from repro.experiments import err_stability_experiment
+from repro.experiments.report import format_table
+
+from .conftest import run_once
+
+_CACHE = {}
+
+
+def full_experiment():
+    if "res" not in _CACHE:
+        _CACHE["res"] = err_stability_experiment(
+            "nairobi", weeks=4, shots_per_week=64000, seed=71
+        )
+    return _CACHE["res"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return full_experiment()
+
+
+def test_bench_err_stability(benchmark, emit):
+    res = run_once(benchmark, full_experiment)
+    rows = {
+        f"week {w}": {
+            "error map edges": str(res.weekly_maps[w].edges),
+            "recall of injected": res.weekly_recall()[w],
+        }
+        for w in range(res.weeks)
+    }
+    rows["summary"] = {
+        "error map edges": f"stable core: {res.stable_core()}",
+        "recall of injected": res.mean_jaccard(),
+    }
+    emit(
+        "err_stability",
+        format_table(rows, ["error map edges", "recall of injected"], row_header="week"),
+    )
+    assert res.mean_jaccard() > 0.5
+
+
+class TestErrStability:
+    def test_every_week_recovers_injected_pairs(self, result):
+        for recall in result.weekly_recall():
+            assert recall >= 2 / 3  # at least 2 of 3 injected pairs
+
+    def test_stable_core_contains_injected(self, result):
+        core = set(result.stable_core())
+        injected = set(result.injected_edges)
+        assert len(core & injected) >= 2
+
+    def test_overlap_high(self, result):
+        assert result.mean_jaccard() > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            err_stability_experiment("nairobi", weeks=1)

@@ -1,0 +1,87 @@
+"""Fig. 1 — pairwise measurement-error correlation maps on IBM devices.
+
+For each device profile, all-pairs single- and two-qubit calibrations are
+measured on three drifted weekly snapshots; the edge weight is the
+Frobenius norm ``‖C_i ⊗ C_j − C_ij‖_F`` averaged over weeks.  Expected
+shape: Quito/Lima/Belem concentrate their correlation weight ON the
+coupling map; Manila/Nairobi/Oslo place substantial weight OFF it — the
+structure that decides CMC vs CMC-ERR per device (§VI-C).
+"""
+
+import pytest
+
+from repro.experiments import device_correlation_map
+from repro.experiments.report import format_table
+
+from .conftest import run_once
+
+DEVICES = ["quito", "lima", "belem", "manila", "nairobi", "oslo"]
+
+_CACHE = {}
+
+
+def all_maps():
+    if not _CACHE:
+        for i, device in enumerate(DEVICES):
+            _CACHE[device] = device_correlation_map(
+                device, weeks=3, shots_per_circuit=4000, seed=100 + i
+            )
+    return _CACHE
+
+
+@pytest.fixture(scope="module")
+def maps():
+    return all_maps()
+
+
+def test_bench_fig01_correlation_maps(benchmark, emit):
+    results = run_once(benchmark, all_maps)
+    rows = {}
+    for device, res in results.items():
+        top = ", ".join(f"{e}:{w:.3f}" for e, w in res.heaviest(3))
+        rows[device] = {
+            "alignment": res.alignment(),
+            "weeks": res.weeks,
+            "heaviest pairs": top,
+        }
+    emit(
+        "fig01_correlation",
+        format_table(rows, ["alignment", "weeks", "heaviest pairs"], row_header="device"),
+    )
+    # Aligned devices should show higher coupling-map alignment than the
+    # off-map devices.
+    aligned = min(results[d].alignment() for d in ("quito", "lima", "belem"))
+    off = max(results[d].alignment() for d in ("manila", "nairobi", "oslo"))
+    assert aligned > off
+
+
+class TestFig01Shape:
+    def test_injected_pairs_are_heaviest(self, maps):
+        """The characterisation recovers the pairs the profile injected."""
+        for device, res in maps.items():
+            injected = set(res.injected_edges)
+            if not injected:
+                continue
+            top = {e for e, _w in res.heaviest(len(injected) + 1)}
+            assert len(top & injected) >= max(1, len(injected) - 1), device
+
+    def test_weights_persist_across_weeks(self, maps):
+        """Correlation structure persists between calibration cycles: the
+        averaged weight of injected pairs stands far above the background
+        median."""
+        import numpy as np
+
+        for device, res in maps.items():
+            if not res.injected_edges:
+                continue
+            background = float(np.median(list(res.weights.values())))
+            for e in res.injected_edges:
+                assert res.weights[e] > 2 * background, (device, e)
+
+    def test_off_map_weight_dominates_on_nairobi(self, maps):
+        res = maps["nairobi"]
+        assert res.off_map_weight() > 0
+        assert res.alignment() < 0.5
+
+    def test_on_map_weight_dominates_on_quito(self, maps):
+        assert maps["quito"].alignment() > 0.5

@@ -1,0 +1,75 @@
+"""Fig. 3 — error probability vs sequential-X depth (state dependence).
+
+4000 shots per depth, depths 0..45 on a Quito-like single qubit.  Expected
+shape: the |1>-expected (odd-depth) error floor sits well above the
+|0>-expected (even-depth) floor at every depth band, and the gap dwarfs the
+slow gate-error drift — the signature of state-dependent measurement error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import x_chain_experiment
+from repro.experiments.report import format_series
+from repro.experiments.xchain import quito_like_backend
+
+from .conftest import run_once
+
+_CACHE = {}
+
+
+def full_experiment():
+    if "res" not in _CACHE:
+        _CACHE["res"] = x_chain_experiment(
+            quito_like_backend(rng=303), max_depth=45, shots=4000
+        )
+    return _CACHE["res"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return full_experiment()
+
+
+def test_bench_fig03_xchain(benchmark, emit):
+    res = run_once(benchmark, full_experiment)
+    even = dict(res.even_series())
+    odd = dict(res.odd_series())
+    depths = res.depths
+    emit(
+        "fig03_xchain",
+        format_series(
+            "depth",
+            depths,
+            {
+                "expected |0> error": [even.get(d) for d in depths],
+                "expected |1> error": [odd.get(d) for d in depths],
+            },
+        ),
+    )
+    assert res.parity_gap() > 0.04
+
+
+class TestFig03Shape:
+    def test_odd_floor_above_even_floor(self, result):
+        even = [e for _d, e in result.even_series()]
+        odd = [e for _d, e in result.odd_series()]
+        assert np.mean(odd) > np.mean(even) + 0.04
+
+    def test_even_errors_stay_low(self, result):
+        """|0>-expected error stays near the p01 floor (no exponential
+        blow-up with depth — measurement, not gate, errors dominate)."""
+        even = [e for _d, e in result.even_series()]
+        assert max(even) < 0.08
+
+    def test_odd_errors_in_fig3_band(self, result):
+        """|1>-expected errors sit in Fig. 3's ~7.5-17.5% band."""
+        odd = [e for _d, e in result.odd_series()]
+        assert 0.05 < np.mean(odd) < 0.2
+
+    def test_mild_upward_drift_with_depth(self, result):
+        """Gate noise adds a slow upward drift within each parity class."""
+        even = result.even_series()
+        first = np.mean([e for d, e in even if d <= 10])
+        last = np.mean([e for d, e in even if d >= 36])
+        assert last >= first - 0.01  # non-decreasing within noise

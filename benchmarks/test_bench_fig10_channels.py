@@ -1,0 +1,105 @@
+"""Fig. 10 — Hinton diagrams of the simulated measurement-error channels.
+
+Regenerates the data behind both Fig. 10 panels: the correlated family
+(single-qubit, all-pairs, triplet, flip-all) and the state-dependent family
+over four qubits, rendering each as an ASCII Hinton diagram and checking
+the structural facts the caption states (e.g. "the four-qubit channel only
+has a single non-diagonal entry").
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import hinton_data, render_hinton_ascii
+from repro.noise import (
+    MeasurementErrorChannel,
+    ReadoutError,
+    correlated_pair_channel,
+    correlated_triplet_channel,
+    flip_all_channel,
+    state_dependent_channel,
+)
+
+from .conftest import run_once
+
+
+def build_channel_matrices():
+    """The eight Fig. 10 panels as dense 16x16 matrices."""
+    n = 4
+    panels = {}
+    # Correlated family (left panel, clockwise from top left).
+    single = MeasurementErrorChannel.from_readout_errors(
+        [ReadoutError.symmetric(0.05)] * n
+    )
+    panels["correlated/single-qubit"] = single.to_matrix()
+    pairs = MeasurementErrorChannel(n)
+    for a in range(n):
+        for b in range(a + 1, n):
+            pairs.add_local((a, b), correlated_pair_channel(0.03))
+    panels["correlated/two-qubit-all-pairs"] = pairs.to_matrix()
+    triplets = MeasurementErrorChannel(n)
+    for t in ((0, 1, 2), (1, 2, 3)):
+        triplets.add_local(t, correlated_triplet_channel(0.05))
+    panels["correlated/three-qubit-triplets"] = triplets.to_matrix()
+    panels["correlated/four-qubit-flip-all"] = flip_all_channel(n, 0.08)
+    # State-dependent family (right panel).
+    sd1 = MeasurementErrorChannel.from_readout_errors(
+        [ReadoutError(0.0, 0.1)] * n
+    )
+    panels["state-dependent/single-qubit"] = sd1.to_matrix()
+    panels["state-dependent/four-qubit"] = state_dependent_channel(n, 0.2)
+    return panels
+
+
+def test_bench_fig10_hinton(benchmark, emit):
+    panels = run_once(benchmark, build_channel_matrices)
+    blocks = []
+    for name, matrix in panels.items():
+        blocks.append(f"--- {name} ---")
+        blocks.append(render_hinton_ascii(matrix))
+    emit("fig10_hinton", "\n".join(blocks))
+    # Caption fact: the 4-qubit state-dependent channel has exactly one
+    # off-diagonal entry.
+    sd4 = panels["state-dependent/four-qubit"]
+    off = sd4 - np.diag(np.diag(sd4))
+    assert np.count_nonzero(off) == 1
+
+
+class TestFig10Structure:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return build_channel_matrices()
+
+    def test_all_panels_stochastic(self, panels):
+        from repro.utils.linalg import is_column_stochastic
+
+        for name, m in panels.items():
+            assert is_column_stochastic(m, atol=1e-8), name
+
+    def test_flip_all_antidiagonal(self, panels):
+        m = panels["correlated/four-qubit-flip-all"]
+        for s in range(16):
+            assert m[s ^ 0b1111, s] == pytest.approx(0.08)
+
+    def test_state_dependent_zero_state_error_free(self, panels):
+        for name in ("state-dependent/single-qubit", "state-dependent/four-qubit"):
+            m = panels[name]
+            assert m[0, 0] == pytest.approx(1.0)
+
+    def test_pairwise_channel_distance_two_flips(self, panels):
+        """All-pairs channel moves first-order mass only to Hamming
+        distance-2 states; distance-4 terms exist but are second order
+        (two pair flips, ~p^2)."""
+        m = panels["correlated/two-qubit-all-pairs"]
+        col = m[:, 0]
+        for s in np.flatnonzero(col > 5e-3):  # above the p^2 = 9e-4 floor
+            assert bin(int(s)).count("1") in (0, 2)
+        # second-order mass exists but is tiny
+        assert 0 < col[0b1111] < 0.01
+
+    def test_hinton_data_entries(self, panels):
+        data = hinton_data(panels["state-dependent/four-qubit"])
+        assert data["num_qubits"] == 4
+        assert ("1111", "0000", pytest.approx(0.2)) in [
+            (i, o, pytest.approx(p)) for i, o, p in data["entries"]
+        ]

@@ -1,0 +1,102 @@
+"""Fig. 13 — GHZ error rate vs qubit count on grid architectures.
+
+Paper protocol: grid coupling maps (Google Sycamore family), n = 4..16,
+16000 shots per method, one-norm distance to the ideal GHZ distribution.
+Expected shape: Full/Linear best while feasible (then N/A); AIM/SIM
+indistinguishable from Bare; CMC and CMC-ERR the best non-exponential
+methods; JIGSAW in between.
+"""
+
+import pytest
+
+from repro.experiments import format_series, ghz_architecture_sweep
+
+from .conftest import run_once
+
+QUBITS = [4, 6, 8, 10, 12, 14, 16]
+SHOTS = 16000
+TRIALS = 2
+
+_CACHE = {}
+
+
+def full_sweep():
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = ghz_architecture_sweep(
+            "grid",
+            QUBITS,
+            shots=SHOTS,
+            trials=TRIALS,
+            seed=1301,
+            gate_noise=False,  # isolates measurement error; see EXPERIMENTS.md
+            full_max_qubits=10,
+        )
+    return _CACHE["sweep"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return full_sweep()
+
+
+def test_bench_fig13_grid(benchmark, emit):
+    """Times the full Fig. 13 protocol, prints the series, checks shape."""
+    result = run_once(benchmark, full_sweep)
+    emit(
+        "fig13_grid",
+        format_series(
+            "n", result.qubit_counts, {m: result.medians(m) for m in result.methods()}
+        ),
+    )
+    # Headline shapes (the fine-grained ones live in TestFig13Shape):
+    for b, c in zip(result.medians("Bare"), result.medians("CMC")):
+        assert c < b
+    idx_16 = result.qubit_counts.index(16)
+    assert result.medians("Full")[idx_16] is None
+
+
+class TestFig13Shape:
+    def test_averaging_methods_track_bare(self, sweep):
+        """AIM and SIM are 'nearly indistinguishable from the bare error
+        rate' (§VI-B)."""
+        for method in ("AIM", "SIM"):
+            for b, m in zip(sweep.medians("Bare"), sweep.medians(method)):
+                assert abs(m - b) < 0.15
+
+    def test_cmc_beats_jigsaw_on_grid(self, sweep):
+        """'JIGSAW outperforms the averaging methods, but is in turn
+        outperformed by CMC.'"""
+        wins = sum(
+            1
+            for j, c in zip(sweep.medians("JIGSAW"), sweep.medians("CMC"))
+            if c < j
+        )
+        assert wins >= len(QUBITS) - 1
+
+    def test_jigsaw_beats_averaging(self, sweep):
+        wins = sum(
+            1
+            for j, s in zip(sweep.medians("JIGSAW"), sweep.medians("SIM"))
+            if j < s
+        )
+        assert wins >= len(QUBITS) - 2
+
+    def test_exponential_methods_na_at_scale(self, sweep):
+        idx_16 = sweep.qubit_counts.index(16)
+        assert sweep.medians("Full")[idx_16] is None
+        assert sweep.medians("Linear")[idx_16] is None
+
+    def test_full_best_while_feasible(self, sweep):
+        """Full/Linear 'provide the greatest reduction in one-norm
+        distance' at small n (§VI-B)."""
+        idx_4 = sweep.qubit_counts.index(4)
+        full = sweep.medians("Full")[idx_4]
+        linear = sweep.medians("Linear")[idx_4]
+        bare = sweep.medians("Bare")[idx_4]
+        assert full is not None and full < bare * 0.5
+        assert linear is not None and linear < bare * 0.7
+
+    def test_cmc_reduction_meaningful(self, sweep):
+        """CMC achieves a sizeable (paper: ~35% average) error reduction."""
+        reductions = [r for r in sweep.reduction_vs_bare("CMC") if r is not None]
+        assert sum(reductions) / len(reductions) > 0.3

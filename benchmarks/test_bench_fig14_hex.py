@@ -1,0 +1,75 @@
+"""Fig. 14 — GHZ error rate vs qubit count on hexagonal (heavy-hex)
+architectures.
+
+Fig. 14 omits Full and Linear entirely (N/A at the swept sizes on real
+queues); the non-exponential ordering should match the grid: CMC/CMC-ERR
+best, JIGSAW next, AIM/SIM at Bare.
+"""
+
+import pytest
+
+from repro.experiments import format_series, ghz_architecture_sweep
+
+from .conftest import run_once
+
+QUBITS = [6, 8, 10, 12, 14, 16]
+METHODS = ["Bare", "AIM", "SIM", "JIGSAW", "CMC", "CMC-ERR"]
+
+_CACHE = {}
+
+
+def full_sweep():
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = ghz_architecture_sweep(
+            "hexagonal",
+            QUBITS,
+            shots=16000,
+            trials=2,
+            methods=METHODS,
+            seed=1401,
+            gate_noise=False,
+        )
+    return _CACHE["sweep"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return full_sweep()
+
+
+def test_bench_fig14_hex(benchmark, emit):
+    result = run_once(benchmark, full_sweep)
+    emit(
+        "fig14_hex",
+        format_series(
+            "n", result.qubit_counts, {m: result.medians(m) for m in result.methods()}
+        ),
+    )
+    assert "Full" not in result.methods()
+    wins = sum(
+        1
+        for j, c in zip(result.medians("JIGSAW"), result.medians("CMC"))
+        if c < j
+    )
+    assert wins >= len(QUBITS) - 1
+
+
+class TestFig14Shape:
+    def test_cmc_best_non_exponential(self, sweep):
+        """CMC or CMC-ERR has the lowest median at (almost) every size."""
+        others = ["Bare", "AIM", "SIM", "JIGSAW"]
+        wins = 0
+        for i in range(len(QUBITS)):
+            best_cmc = min(sweep.medians("CMC")[i], sweep.medians("CMC-ERR")[i])
+            if all(best_cmc < sweep.medians(o)[i] for o in others):
+                wins += 1
+        assert wins >= len(QUBITS) - 1
+
+    def test_error_grows_with_size(self, sweep):
+        bare = sweep.medians("Bare")
+        assert bare[-1] > bare[0]
+
+    def test_averaging_methods_track_bare(self, sweep):
+        for method in ("AIM", "SIM"):
+            for b, m in zip(sweep.medians("Bare"), sweep.medians(method)):
+                assert abs(m - b) < 0.15

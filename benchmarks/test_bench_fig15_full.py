@@ -1,0 +1,72 @@
+"""Fig. 15 — GHZ error rate on fully-connected (IonQ-style) architectures.
+
+The quadratic edge count starves bare CMC of per-patch shots ("the CMC
+method begins to suffer from a reduced number of shots per coupling map
+patch"); JIGSAW becomes competitive with CMC at the top of the sweep, and
+CMC-ERR — whose error map is capped at n edges — outperforms both (§VI-B).
+"""
+
+import pytest
+
+from repro.experiments import format_series, ghz_architecture_sweep
+
+from .conftest import run_once
+
+QUBITS = [6, 8, 10, 12, 14, 16]
+METHODS = ["Bare", "AIM", "SIM", "JIGSAW", "CMC", "CMC-ERR"]
+
+_CACHE = {}
+
+
+def full_sweep():
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = ghz_architecture_sweep(
+            "fully_connected",
+            QUBITS,
+            shots=16000,
+            trials=2,
+            methods=METHODS,
+            seed=1501,
+            gate_noise=False,
+        )
+    return _CACHE["sweep"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return full_sweep()
+
+
+def test_bench_fig15_fully_connected(benchmark, emit):
+    result = run_once(benchmark, full_sweep)
+    emit(
+        "fig15_fully_connected",
+        format_series(
+            "n", result.qubit_counts, {m: result.medians(m) for m in result.methods()}
+        ),
+    )
+    idx = result.qubit_counts.index(16)
+    assert result.medians("CMC-ERR")[idx] < result.medians("CMC")[idx]
+    assert result.medians("CMC-ERR")[idx] < result.medians("Bare")[idx]
+
+
+class TestFig15Shape:
+    def test_cmc_degrades_at_scale(self, sweep):
+        """CMC's advantage over Bare shrinks as edges grow quadratically."""
+        reductions = sweep.reduction_vs_bare("CMC")
+        assert reductions[0] is not None and reductions[-1] is not None
+        assert reductions[-1] < reductions[0]
+
+    def test_jigsaw_competitive_with_cmc_at_16(self, sweep):
+        """'For this dense coupling map JIGSAW slightly outperforms CMC.'"""
+        idx = sweep.qubit_counts.index(16)
+        jig = sweep.medians("JIGSAW")[idx]
+        cmc = sweep.medians("CMC")[idx]
+        assert jig < cmc * 1.2  # JIGSAW at least competitive
+
+    def test_cmc_err_beats_cmc_in_upper_half(self, sweep):
+        upper = list(range(len(QUBITS) // 2, len(QUBITS)))
+        wins = sum(
+            1 for i in upper if sweep.medians("CMC-ERR")[i] < sweep.medians("CMC")[i]
+        )
+        assert wins >= len(upper) - 1

@@ -1,0 +1,70 @@
+"""§VI-B octagonal-topology numbers (reported in text, not a figure).
+
+"At 16 qubits, JIGSAW achieves a 23% reduction over the baseline error
+rate, while CMC reduces the error rate by 37%.  For the same octagonal
+device, AIM and SIM are within 1% of the initial error rate."
+"""
+
+import pytest
+
+from repro.experiments import format_series, ghz_architecture_sweep
+
+from .conftest import run_once
+
+QUBITS = [8, 12, 16]
+METHODS = ["Bare", "AIM", "SIM", "JIGSAW", "CMC", "CMC-ERR"]
+
+_CACHE = {}
+
+
+def full_sweep():
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = ghz_architecture_sweep(
+            "octagonal",
+            QUBITS,
+            shots=16000,
+            trials=3,
+            methods=METHODS,
+            seed=1601,
+            gate_noise=False,
+        )
+    return _CACHE["sweep"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return full_sweep()
+
+
+def test_bench_octagonal(benchmark, emit):
+    result = run_once(benchmark, full_sweep)
+    emit(
+        "octagonal",
+        format_series(
+            "n", result.qubit_counts, {m: result.medians(m) for m in result.methods()}
+        ),
+    )
+    idx = result.qubit_counts.index(16)
+    cmc_red = result.reduction_vs_bare("CMC")[idx]
+    assert cmc_red is not None and cmc_red > 0.2
+
+
+class TestOctagonalShape:
+    def test_cmc_reduction_exceeds_jigsaw(self, sweep):
+        """Paper at 16q: CMC -37% vs JIGSAW -23%."""
+        idx = sweep.qubit_counts.index(16)
+        cmc = sweep.reduction_vs_bare("CMC")[idx]
+        jig = sweep.reduction_vs_bare("JIGSAW")[idx]
+        assert cmc > jig
+
+    def test_averaging_within_percent_of_bare(self, sweep):
+        """'AIM and SIM are within 1% of the initial error rate' — we allow
+        a few points of slack for our smaller trial count."""
+        idx = sweep.qubit_counts.index(16)
+        for method in ("AIM", "SIM"):
+            red = sweep.reduction_vs_bare(method)[idx]
+            assert abs(red) < 0.08
+
+    def test_jigsaw_reduction_positive(self, sweep):
+        idx = sweep.qubit_counts.index(16)
+        assert sweep.reduction_vs_bare("JIGSAW")[idx] > 0.05

@@ -1,0 +1,71 @@
+"""§V-A — shots required for a consistent result, per method.
+
+Sweeps the per-method total budget at a fixed GHZ-6 grid benchmark.
+Expected: cheap-calibration methods (Linear, CMC) reach their error floor
+with small budgets; Full needs budget to amortise its 2^n calibration
+circuits (worse than CMC when starved, best when rich); Bare's error is
+budget-independent beyond sampling noise.
+"""
+
+import pytest
+
+from repro.experiments import format_series, shots_scaling_experiment
+
+from .conftest import run_once
+
+BUDGETS = [1000, 4000, 16000, 64000]
+METHODS = ["Bare", "Full", "Linear", "JIGSAW", "CMC"]
+
+_CACHE = {}
+
+
+def full_experiment():
+    if "res" not in _CACHE:
+        _CACHE["res"] = shots_scaling_experiment(
+            6, BUDGETS, methods=METHODS, trials=2, seed=81
+        )
+    return _CACHE["res"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return full_experiment()
+
+
+def test_bench_shots_scaling(benchmark, emit):
+    res = run_once(benchmark, full_experiment)
+    emit(
+        "shots_scaling",
+        format_series(
+            "budget", res.budgets, {m: res.medians(m) for m in res.methods()}
+        ),
+    )
+    # Full improves substantially with budget.
+    full = res.medians("Full")
+    assert full[-1] < full[0]
+
+
+class TestShotsScaling:
+    def test_cmc_converges_early(self, result):
+        """CMC at 16000 shots is already within ~25% of its 64000-shot
+        error — cheap calibration saturates fast."""
+        cmc = result.medians("CMC")
+        assert cmc[2] <= cmc[3] * 1.6 + 0.05
+
+    def test_full_starved_vs_rich(self, result):
+        full = result.medians("Full")
+        assert full[0] > 2 * full[-1]  # starved Full is far worse
+
+    def test_cmc_beats_full_when_starved(self, result):
+        idx = result.budgets.index(1000)
+        assert result.medians("CMC")[idx] < result.medians("Full")[idx]
+
+    def test_bare_flat(self, result):
+        bare = result.medians("Bare")
+        assert abs(bare[0] - bare[-1]) < 0.15
+
+    def test_budget_to_reach(self, result):
+        bare_floor = min(b for b in result.medians("Bare") if b is not None)
+        budget = result.budget_to_reach("CMC", bare_floor * 0.7)
+        assert budget is not None  # CMC reaches 30% below bare somewhere
+        assert result.budget_to_reach("Bare", 0.0) is None

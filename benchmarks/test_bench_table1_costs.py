@@ -1,0 +1,101 @@
+"""Table I — characterisation cost (circuit executions) per method.
+
+Regenerates the cost table from the closed forms, plus the §IV-A Tokyo
+worked example where the *measured* Algorithm-1 output replaces the
+symbolic ``(4/k)e`` term: individual qubits 40, per-edge ~140, coupling-map
+patching in the tens, all pairs 760, full calibration 2^20.
+"""
+
+import pytest
+
+from repro.core.costs import (
+    METHOD_COSTS,
+    characterization_cost,
+    measured_cmc_cost,
+    tokyo_worked_example,
+)
+from repro.experiments.report import format_table
+from repro.topology import ibm_tokyo, random_coupling_map
+
+from .conftest import run_once
+
+
+def build_table():
+    n, r = 16, 1
+    e = 2 * n
+    rows = {}
+    for key, cost in METHOD_COSTS.items():
+        rows[cost.method] = {
+            "formula": cost.formula,
+            "circuits @ n=16": characterization_cost(key, n=n, r=r, e=e, k=3.0),
+            "output": cost.output,
+        }
+    return rows
+
+
+def test_bench_table1_costs(benchmark, emit):
+    rows = run_once(benchmark, build_table)
+    emit(
+        "table1_costs",
+        format_table(
+            rows, ["formula", "circuits @ n=16", "output"], row_header="method",
+            precision=0,
+        ),
+    )
+    # Scaling sanity: tomography > full > everything polynomial.
+    assert rows["Process Tomography"]["circuits @ n=16"] > rows[
+        "Complete Calibration"
+    ]["circuits @ n=16"]
+    assert rows["CMC"]["circuits @ n=16"] < rows["Complete Calibration"][
+        "circuits @ n=16"
+    ]
+
+
+def test_bench_table1_tokyo_example(benchmark, emit):
+    counts = run_once(benchmark, lambda: tokyo_worked_example(ibm_tokyo()))
+    emit(
+        "table1_tokyo",
+        format_table({"ibm_tokyo": counts}, list(counts.keys()), row_header="device", precision=0),
+    )
+    assert counts["individual_qubits"] == 40
+    # paper: 140 circuits for per-edge (35 edges); our Tokyo has 43 edges.
+    assert 120 <= counts["per_edge"] <= 200
+    assert counts["coupling_map_patching"] < counts["per_edge"]
+    assert counts["all_pairs"] == 760
+    assert counts["full_calibration"] == 2**20
+
+
+class TestCostFormulas:
+    def test_exponential_methods(self):
+        assert characterization_cost("process_tomography", 4) == 256
+        assert characterization_cost("complete_calibration", 4) == 16
+
+    def test_polynomial_methods(self):
+        assert characterization_cost("tensored_calibration", 8) == 16
+        assert characterization_cost("aim", 8, r=10) == 40
+        assert characterization_cost("jigsaw", 8, aim_k=4) == 20
+
+    def test_cmc_cost_uses_edges_and_speedup(self):
+        assert characterization_cost("cmc", 8, e=12, k=3.0) == pytest.approx(16)
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            characterization_cost("astrology", 4)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            characterization_cost("aim", 0)
+
+    def test_measured_cmc_matches_schedule(self):
+        cmap = random_coupling_map(30, avg_degree=3, seed=5)
+        from repro.core import build_patch_rounds
+
+        assert measured_cmc_cost(cmap) == build_patch_rounds(cmap).num_circuits
+
+    def test_paper_reduction_factor_on_random_maps(self):
+        """§IV-A: on >100-qubit random maps with avg degree 4, patching
+        cuts circuits by 3-10x vs per-edge."""
+        cmap = random_coupling_map(120, avg_degree=4.0, seed=1)
+        per_edge = 4 * cmap.num_edges
+        patched = measured_cmc_cost(cmap, k=1)
+        assert 2.0 <= per_edge / patched <= 20.0

@@ -1,0 +1,66 @@
+"""Table III — edge count as a function of qubit count per architecture.
+
+Regenerates the closed-form table, cross-checks the formulas against the
+actual generators, and verifies the §VII-B scaling argument: every family
+except fully-connected grows its edge count linearly, so bare CMC is
+scalable everywhere but IonQ-style all-to-all devices.
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.topology import edge_count_formula
+from repro.topology.edge_counts import is_linear_scaling, measured_edge_count
+
+from .conftest import run_once
+
+SIZES = [8, 16, 24, 32, 64]
+FAMILIES = ["linear", "grid", "local_grid", "heavy_hex", "octagonal", "fully_connected"]
+
+
+def build_table():
+    rows = {}
+    for family in FAMILIES:
+        cells = {}
+        for n in SIZES:
+            try:
+                cells[f"n={n}"] = edge_count_formula(family, n)
+            except ValueError:
+                cells[f"n={n}"] = measured_edge_count(family, n)
+        cells["scaling"] = "linear" if is_linear_scaling(family) else "quadratic"
+        rows[family] = cells
+    return rows
+
+
+def test_bench_table3_edge_counts(benchmark, emit):
+    rows = run_once(benchmark, build_table)
+    emit(
+        "table3_edges",
+        format_table(
+            rows, [f"n={n}" for n in SIZES] + ["scaling"], row_header="architecture",
+            precision=0,
+        ),
+    )
+    assert rows["fully_connected"]["n=64"] == 64 * 63 // 2
+    assert rows["linear"]["n=64"] == 63
+
+
+class TestTable3:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_formula_matches_generator_where_tiling(self, family):
+        for n in (16, 64):
+            try:
+                formula = edge_count_formula(family, n)
+            except ValueError:
+                continue
+            assert formula == measured_edge_count(family, n)
+
+    @pytest.mark.parametrize("family", [f for f in FAMILIES if f != "fully_connected"])
+    def test_linear_families_bounded_by_constant_times_n(self, family):
+        for n in (32, 64, 128):
+            assert measured_edge_count(family, n) <= 4 * n
+
+    def test_fully_connected_quadratic(self):
+        e32 = measured_edge_count("fully_connected", 32)
+        e64 = measured_edge_count("fully_connected", 64)
+        assert e64 / e32 > 3.5  # ~4x for doubling n

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Use the library on a custom device: your own topology and noise model.
+
+Shows the full do-it-yourself path a downstream user would take:
+
+1. define a coupling map by hand;
+2. compose a measurement-error channel factor by factor (state-dependent
+   readout + an injected correlated pair);
+3. inspect Algorithm 1's patch schedule and its circuit-count savings;
+4. calibrate, mitigate, and verify against the exact channel inverse.
+
+Run:  python examples/custom_topology_mitigation.py
+"""
+
+import numpy as np
+
+from repro import (
+    CMCMitigator,
+    Circuit,
+    CouplingMap,
+    MeasurementErrorChannel,
+    NoiseModel,
+    ReadoutError,
+    ShotBudget,
+    SimulatedBackend,
+    one_norm_distance,
+)
+from repro.analysis import render_hinton_ascii
+from repro.core import build_patch_rounds
+from repro.noise import correlated_pair_channel
+
+
+def main() -> None:
+    # 1. A hand-rolled 6-qubit "H" topology.
+    cmap = CouplingMap(
+        6, [(0, 1), (1, 2), (1, 4), (3, 4), (4, 5)], name="custom-H"
+    )
+    print(f"topology: {cmap.name}, edges {cmap.edges}")
+
+    # 2. Noise: biased readout everywhere + one strongly correlated pair.
+    channel = MeasurementErrorChannel(6)
+    for q in range(6):
+        channel.add_readout(q, ReadoutError(p01=0.02, p10=0.06))
+    channel.add_local((1, 4), correlated_pair_channel(0.10))
+    backend = SimulatedBackend(
+        cmap, NoiseModel.measurement_only(channel, name="custom"), rng=11
+    )
+    print("\nexact channel on the correlated pair (1, 4):")
+    print(render_hinton_ascii(channel.to_matrix([1, 4])))
+
+    # 3. Algorithm 1's schedule: which edges share calibration circuits.
+    schedule = build_patch_rounds(cmap, k=1)
+    print(f"\npatch rounds (k=1): {schedule.rounds}")
+    print(
+        f"{schedule.num_circuits} calibration circuits vs "
+        f"{4 * cmap.num_edges} per-edge  "
+        f"(speed-up x{schedule.speedup:.1f})"
+    )
+
+    # 4. Calibrate + mitigate a W-like benchmark circuit.
+    circuit = Circuit(6, name="x-pattern").x(1).x(4).measure_all()
+    correct = 0b010010  # qubits 1 and 4 set
+    shots = 24000
+
+    mitigator = CMCMitigator(cmap, k=1)
+    budget = ShotBudget(shots)
+    mitigator.prepare(backend, budget)
+    mitigated = mitigator.execute(circuit, backend, budget)
+
+    bare = backend.run(circuit, shots)
+    p_bare = bare.to_probabilities().get(correct, 0.0)
+    p_cmc = mitigated.to_probabilities().get(correct, 0.0)
+    print(f"\nP(correct outcome) bare: {p_bare:.3f}   CMC: {p_cmc:.3f}")
+
+    # 5. Compare against the unreachable ideal: exact channel inversion.
+    exact = channel.to_matrix()
+    observed = backend.exact_distribution(circuit)
+    perfect = np.linalg.solve(exact, observed)
+    perfect = np.clip(perfect, 0, None)
+    perfect /= perfect.sum()
+    print(f"P(correct) with exact channel inverse: {perfect[correct]:.3f}")
+    print(
+        f"CMC recovered "
+        f"{(p_cmc - p_bare) / max(perfect[correct] - p_bare, 1e-9):.0%} "
+        "of the exactly-recoverable error"
+    )
+
+
+if __name__ == "__main__":
+    main()

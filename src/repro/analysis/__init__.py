@@ -1,0 +1,34 @@
+"""Analysis utilities: figures of merit, correlation maps, Hinton data, stats.
+
+The paper's two figures of merit (§V): **success probability** (frequency of
+the classically-verified correct outcome) and the **one-norm distance**
+between the observed and ideal output distributions.  This package also
+houses the Fig. 1 correlation-weight computation, Fig. 10 Hinton-diagram
+data/rendering, and the asymmetric quantile error bars of Table II.
+"""
+
+from repro.analysis.metrics import (
+    error_rate,
+    one_norm_distance,
+    success_probability,
+    total_variation_distance,
+)
+from repro.analysis.correlation import (
+    characterize_pairwise_correlations,
+    correlation_edge_weights,
+)
+from repro.analysis.hinton import hinton_data, render_hinton_ascii
+from repro.analysis.stats import QuantileSummary, summarize_quantiles
+
+__all__ = [
+    "success_probability",
+    "error_rate",
+    "one_norm_distance",
+    "total_variation_distance",
+    "characterize_pairwise_correlations",
+    "correlation_edge_weights",
+    "hinton_data",
+    "render_hinton_ascii",
+    "QuantileSummary",
+    "summarize_quantiles",
+]

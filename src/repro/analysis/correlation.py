@@ -1,0 +1,105 @@
+"""Pairwise correlation characterisation (paper Fig. 1).
+
+Fig. 1 measures, for every qubit pair on a device, the Frobenius norm
+between the joint two-qubit calibration ``C_ij`` and the tensor of
+single-qubit calibrations ``C_i ⊗ C_j``; thick edges mark correlated
+measurement errors.  This module runs that characterisation against a
+backend: single-qubit calibrations from two circuits (I, X-all), pairwise
+calibrations from scheduled patch rounds, weights from
+:func:`repro.core.err.edge_correlation_weights`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.budget import ShotBudget
+from repro.circuits.circuit import Circuit
+from repro.core.calibration import CalibrationMatrix
+from repro.core.circuits import patch_calibration_plan
+from repro.core.err import edge_correlation_weights
+from repro.core.patches import build_patch_rounds
+from repro.topology.coupling_map import CouplingMap, Edge
+
+__all__ = ["characterize_pairwise_correlations", "correlation_edge_weights"]
+
+
+def _single_qubit_calibrations(
+    backend: SimulatedBackend,
+    shots_per_circuit: int,
+    budget: Optional[ShotBudget] = None,
+) -> Dict[int, CalibrationMatrix]:
+    """All single-qubit calibrations from the two-circuit trick (§III-B)."""
+    n = backend.num_qubits
+    zeros = Circuit(n, name="cal-all-0").measure_all()
+    ones = Circuit(n, name="cal-all-1")
+    for q in range(n):
+        ones.x(q)
+    ones.measure_all()
+    c0 = backend.run(zeros, shots_per_circuit, budget=budget, tag="calibration")
+    c1 = backend.run(ones, shots_per_circuit, budget=budget, tag="calibration")
+    return {
+        q: CalibrationMatrix.from_counts(
+            (q,), {0: c0.marginalize([q]), 1: c1.marginalize([q])}
+        )
+        for q in range(n)
+    }
+
+
+def characterize_pairwise_correlations(
+    backend: SimulatedBackend,
+    pairs: Optional[Sequence[Edge]] = None,
+    shots_per_circuit: int = 2000,
+    separation: int = 1,
+    budget: Optional[ShotBudget] = None,
+) -> Tuple[Dict[int, CalibrationMatrix], Dict[Edge, CalibrationMatrix]]:
+    """Calibrate singles and pairs on a backend.
+
+    ``pairs`` defaults to *all* qubit pairs (the Fig. 1 protocol measures
+    every pair, not just coupling edges — that is how off-map correlations
+    become visible).  Pair calibrations are scheduled with Algorithm 1 so
+    distant pairs share circuits.
+    """
+    n = backend.num_qubits
+    if pairs is None:
+        pairs = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    singles = _single_qubit_calibrations(backend, shots_per_circuit, budget=budget)
+    schedule = build_patch_rounds(backend.coupling_map, k=separation, edges=pairs)
+    plan = patch_calibration_plan(schedule)
+    results = backend.run_batch(
+        plan.circuits, shots_per_circuit, budget=budget, tag="calibration"
+    )
+    pair_cals = plan.fold_counts(results)
+    return singles, pair_cals
+
+
+def correlation_edge_weights(
+    backend: SimulatedBackend,
+    pairs: Optional[Sequence[Edge]] = None,
+    shots_per_circuit: int = 2000,
+    weeks: int = 1,
+    week_backends: Optional[Sequence[SimulatedBackend]] = None,
+) -> Dict[Edge, float]:
+    """The Fig. 1 map: ``w_ij = ‖C_i ⊗ C_j − C_ij‖_F`` per pair, averaged
+    over calibration cycles.
+
+    ``week_backends`` optionally supplies one drifted backend per week
+    (built with :func:`repro.noise.drift.drift_noise_model`); otherwise the
+    same backend is re-characterised ``weeks`` times (averaging over shot
+    noise only).
+    """
+    if weeks < 1:
+        raise ValueError("weeks must be >= 1")
+    backends = list(week_backends) if week_backends is not None else [backend] * weeks
+    acc: Dict[Edge, List[float]] = {}
+    for be in backends:
+        singles, pair_cals = characterize_pairwise_correlations(
+            be, pairs=pairs, shots_per_circuit=shots_per_circuit
+        )
+        weights = edge_correlation_weights(singles, pair_cals)
+        for edge, w in weights.items():
+            acc.setdefault(edge, []).append(w)
+    return {edge: float(np.mean(ws)) for edge, ws in sorted(acc.items())}

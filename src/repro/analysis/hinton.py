@@ -1,0 +1,70 @@
+"""Hinton-diagram data and ASCII rendering (paper Fig. 10).
+
+Fig. 10 visualises measurement-error channels as Hinton diagrams: a square
+per (input state, output state) whose area scales with the transition
+probability.  We produce the underlying data (labels + matrix) and a
+terminal rendering where glyph "weight" encodes magnitude — enough to
+eyeball channel structure without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.utils.bitstrings import int_to_bitstring
+
+__all__ = ["hinton_data", "render_hinton_ascii"]
+
+#: Glyph ramp: blank -> faint -> medium -> strong -> full.
+_GLYPHS = " .:*#@"
+
+
+def hinton_data(matrix: np.ndarray) -> Dict[str, object]:
+    """Structured Hinton data for a channel matrix.
+
+    Returns labels (bitstrings, row/column index order), the matrix, and the
+    list of non-zero ``(input_label, output_label, probability)`` triples —
+    the machine-readable form of a Fig. 10 panel.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {m.shape}")
+    n_bits = int(round(np.log2(m.shape[0])))
+    if 1 << n_bits != m.shape[0]:
+        raise ValueError("matrix dimension is not a power of two")
+    labels = [int_to_bitstring(i, n_bits) for i in range(m.shape[0])]
+    entries: List[Tuple[str, str, float]] = []
+    rows, cols = np.nonzero(m)
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        entries.append((labels[c], labels[r], float(m[r, c])))
+    return {
+        "num_qubits": n_bits,
+        "labels": labels,
+        "matrix": m.copy(),
+        "entries": sorted(entries),
+    }
+
+
+def render_hinton_ascii(matrix: np.ndarray, max_dim: int = 64) -> str:
+    """ASCII Hinton diagram: rows = observed, columns = prepared.
+
+    Glyph weight encodes probability (space = 0, '@' = 1).
+    """
+    data = hinton_data(matrix)
+    m: np.ndarray = data["matrix"]  # type: ignore[assignment]
+    labels: List[str] = data["labels"]  # type: ignore[assignment]
+    if m.shape[0] > max_dim:
+        raise ValueError(f"matrix too large to render ({m.shape[0]} > {max_dim})")
+    width = len(labels[0])
+    header = " " * (width + 1) + " ".join(lab[-1] for lab in labels)
+    lines = [header]
+    for r, row_label in enumerate(labels):
+        cells = []
+        for c in range(len(labels)):
+            v = min(max(m[r, c], 0.0), 1.0)
+            glyph = _GLYPHS[min(int(v * (len(_GLYPHS) - 1) + 0.999), len(_GLYPHS) - 1)]
+            cells.append(glyph)
+        lines.append(f"{row_label} " + " ".join(cells))
+    return "\n".join(lines)

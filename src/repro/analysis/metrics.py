@@ -1,0 +1,74 @@
+"""Figures of merit (paper §V).
+
+* :func:`success_probability` — "the frequency with which the measurement
+  output aligns with a classically verified error-free result";
+* :func:`one_norm_distance` — "the difference between a classically
+  verified distribution of measurement outcomes and an observed measurement
+  distribution" (the y-axis of Figs. 13-15 and the Table II entries).
+
+Distributions are compared over the union of their supports; inputs may be
+:class:`~repro.counts.Counts`, dict distributions, or dense vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+import numpy as np
+
+from repro.counts import Counts
+
+__all__ = [
+    "success_probability",
+    "error_rate",
+    "one_norm_distance",
+    "total_variation_distance",
+]
+
+DistributionLike = Union[Counts, Mapping[int, float], np.ndarray]
+
+
+def _as_prob_dict(dist: DistributionLike) -> Dict[int, float]:
+    if isinstance(dist, Counts):
+        return dist.to_probabilities()
+    if isinstance(dist, np.ndarray):
+        v = np.asarray(dist, dtype=float)
+        total = v.sum()
+        if total <= 0:
+            raise ValueError("distribution has no mass")
+        return {int(i): float(v[i] / total) for i in np.flatnonzero(v)}
+    total = float(sum(dist.values()))
+    if total <= 0:
+        raise ValueError("distribution has no mass")
+    return {int(k): float(v) / total for k, v in dist.items() if v}
+
+
+def success_probability(observed: DistributionLike, correct_outcome: int) -> float:
+    """Probability mass the observed distribution places on the correct
+    outcome (§V figure of merit for the Fig. 12 basis-state benchmarks)."""
+    probs = _as_prob_dict(observed)
+    return probs.get(int(correct_outcome), 0.0)
+
+
+def error_rate(observed: DistributionLike, correct_outcome: int) -> float:
+    """``1 - success_probability``."""
+    return 1.0 - success_probability(observed, correct_outcome)
+
+
+def one_norm_distance(observed: DistributionLike, ideal: DistributionLike) -> float:
+    """L1 distance ``sum_x |p(x) - q(x)|`` over the union support.
+
+    This is the paper's "Error Rate (1 Norm Distance)" axis; it ranges in
+    [0, 2] and equals twice the total-variation distance.
+    """
+    p = _as_prob_dict(observed)
+    q = _as_prob_dict(ideal)
+    support = set(p) | set(q)
+    return float(sum(abs(p.get(x, 0.0) - q.get(x, 0.0)) for x in support))
+
+
+def total_variation_distance(
+    observed: DistributionLike, ideal: DistributionLike
+) -> float:
+    """``one_norm_distance / 2`` — the conventional TV distance in [0, 1]."""
+    return 0.5 * one_norm_distance(observed, ideal)

@@ -1,0 +1,67 @@
+"""Asymmetric quantile summaries (paper Table II).
+
+Table II reports each method's error rate as ``median +upper/-lower`` where
+the whiskers are distances from the median to upper/lower quantiles across
+repeated trials (e.g. ``0.20 +0.10 −0.04``).  :func:`summarize_quantiles`
+computes that summary; its formatting matches the table's notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["QuantileSummary", "summarize_quantiles"]
+
+
+@dataclass(frozen=True)
+class QuantileSummary:
+    """``median +plus/-minus`` summary of a sample."""
+
+    median: float
+    plus: float
+    minus: float
+    num_samples: int
+
+    @property
+    def upper(self) -> float:
+        return self.median + self.plus
+
+    @property
+    def lower(self) -> float:
+        return self.median - self.minus
+
+    def format(self, precision: int = 2) -> str:
+        """Render as the Table II notation, e.g. ``0.20 +0.10/-0.04``."""
+        return (
+            f"{self.median:.{precision}f} "
+            f"+{self.plus:.{precision}f}/-{self.minus:.{precision}f}"
+        )
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def summarize_quantiles(
+    samples: Sequence[float],
+    lower_q: float = 0.25,
+    upper_q: float = 0.75,
+) -> QuantileSummary:
+    """Median with asymmetric quantile whiskers.
+
+    Defaults to the interquartile range; Table II's best/worst-case spreads
+    correspond to wider quantiles (pass e.g. ``0.05 / 0.95``).
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no samples")
+    if not (0.0 <= lower_q <= 0.5 <= upper_q <= 1.0):
+        raise ValueError("need lower_q <= 0.5 <= upper_q")
+    med = float(np.median(arr))
+    lo = float(np.quantile(arr, lower_q))
+    hi = float(np.quantile(arr, upper_q))
+    return QuantileSummary(
+        median=med, plus=hi - med, minus=med - lo, num_samples=arr.size
+    )

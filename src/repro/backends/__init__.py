@@ -1,0 +1,26 @@
+"""Simulated device backends.
+
+A :class:`~repro.backends.backend.SimulatedBackend` plays the role of an
+IBMQ device in the paper's experiments: it owns a coupling map and a noise
+model, executes circuits for a given number of shots, and returns
+:class:`~repro.counts.Counts`.  The :class:`~repro.backends.budget.ShotBudget`
+ledger enforces the paper's evaluation rule that "each method is afforded an
+equal number of measurements of the quantum system".
+"""
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.budget import BudgetExceeded, ShotBudget
+from repro.backends.profiles import (
+    architecture_backend,
+    device_profile_backend,
+    DEVICE_PROFILES,
+)
+
+__all__ = [
+    "SimulatedBackend",
+    "ShotBudget",
+    "BudgetExceeded",
+    "architecture_backend",
+    "device_profile_backend",
+    "DEVICE_PROFILES",
+]

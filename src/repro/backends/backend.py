@@ -1,0 +1,158 @@
+"""The simulated device executor.
+
+:class:`SimulatedBackend` is the drop-in stand-in for an IBMQ device in
+every experiment (see DESIGN.md substitutions): it owns a coupling map and a
+:class:`~repro.noise.models.NoiseModel`, validates submitted circuits
+against the coupling map, simulates them (statevector, with Pauli-trajectory
+gate noise when the model has any), applies the measurement-error channel to
+the output distribution, and multinomially samples shots — exactly the
+paper's §V-A pipeline.
+
+Output-distribution caching: experiments repeatedly execute the *same*
+circuit object (mitigation methods re-run the target circuit under different
+budgets), so the noisy pre-sampling distribution is cached per circuit
+identity.  Sampling itself is never cached — shot noise must stay
+independent across executions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.budget import ShotBudget
+from repro.circuits.circuit import Circuit
+from repro.circuits.transpile import validate_against_coupling_map
+from repro.counts import Counts
+from repro.noise.models import NoiseModel
+from repro.simulator.statevector import StatevectorSimulator
+from repro.simulator.trajectories import TrajectorySimulator
+from repro.simulator.sampling import sample_counts
+from repro.topology.coupling_map import CouplingMap
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_shots
+
+__all__ = ["SimulatedBackend"]
+
+
+class SimulatedBackend:
+    """Noisy simulated quantum device.
+
+    Parameters
+    ----------
+    coupling_map:
+        Device topology; two-qubit gates must lie on its edges.
+    noise_model:
+        Gate + measurement noise (default: ideal).
+    rng:
+        Seed or generator for all stochastic behaviour of this backend.
+    validate_coupling:
+        When True (default), executing a circuit with an off-map two-qubit
+        gate raises — mirroring a real device rejecting an unrouted circuit.
+    max_trajectories:
+        Cap on gate-noise trajectories per distinct circuit evaluation.
+    """
+
+    def __init__(
+        self,
+        coupling_map: CouplingMap,
+        noise_model: Optional[NoiseModel] = None,
+        rng: RandomState = None,
+        validate_coupling: bool = True,
+        max_trajectories: int = 128,
+    ) -> None:
+        self.coupling_map = coupling_map
+        self.noise_model = noise_model or NoiseModel.ideal(coupling_map.num_qubits)
+        if self.noise_model.num_qubits != coupling_map.num_qubits:
+            raise ValueError(
+                f"noise model is over {self.noise_model.num_qubits} qubits, "
+                f"device has {coupling_map.num_qubits}"
+            )
+        self._rng = ensure_rng(rng)
+        self.validate_coupling = validate_coupling
+        self._trajectory_sim = TrajectorySimulator(
+            self.noise_model.error_1q,
+            self.noise_model.error_2q,
+            max_trajectories=max_trajectories,
+        )
+        self._dist_cache: Dict[tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self.coupling_map.num_qubits
+
+    @property
+    def name(self) -> str:
+        return f"sim({self.coupling_map.name}/{self.noise_model.name})"
+
+    # ------------------------------------------------------------------
+    def _noisy_distribution(self, circuit: Circuit) -> np.ndarray:
+        """Pre-sampling outcome distribution over the measured qubits."""
+        key = circuit.fingerprint()
+        cached = self._dist_cache.get(key)
+        if cached is not None:
+            return cached
+        if self.validate_coupling:
+            validate_against_coupling_map(circuit, self.coupling_map)
+        if circuit.num_qubits > self.num_qubits:
+            raise ValueError("circuit larger than device")
+        measured = circuit.measured_qubits
+        if self.noise_model.has_gate_noise:
+            ideal = self._trajectory_sim.output_distribution(
+                circuit, shots=1 << 14, rng=self._rng
+            )
+        else:
+            sim = StatevectorSimulator(circuit.num_qubits)
+            sim.run(circuit)
+            ideal = sim.probabilities(measured)
+        noisy = self.noise_model.measurement_channel.apply_marginal(ideal, measured)
+        self._dist_cache[key] = noisy
+        return noisy
+
+    def run(
+        self,
+        circuit: Circuit,
+        shots: int,
+        budget: Optional[ShotBudget] = None,
+        tag: str = "untagged",
+    ) -> Counts:
+        """Execute ``circuit`` for ``shots`` shots.
+
+        When a budget is supplied the shots are charged against it first
+        (raising :class:`~repro.backends.budget.BudgetExceeded` on overdraw
+        before any work is done).
+        """
+        check_shots(shots)
+        if budget is not None:
+            budget.charge(shots, tag=tag)
+        dist = self._noisy_distribution(circuit)
+        return sample_counts(
+            dist,
+            shots,
+            circuit.measured_qubits,
+            rng=self._rng,
+            num_qubits=circuit.num_qubits,
+        )
+
+    def run_batch(
+        self,
+        circuits: Sequence[Circuit],
+        shots: int,
+        budget: Optional[ShotBudget] = None,
+        tag: str = "untagged",
+    ) -> List[Counts]:
+        """Execute several circuits at the same per-circuit shot count."""
+        return [self.run(c, shots, budget=budget, tag=tag) for c in circuits]
+
+    def exact_distribution(self, circuit: Circuit) -> np.ndarray:
+        """The noisy pre-sampling distribution (testing / infinite shots)."""
+        return self._noisy_distribution(circuit).copy()
+
+    def clear_cache(self) -> None:
+        """Drop cached pre-sampling distributions (e.g. after mutating noise)."""
+        self._dist_cache.clear()
+
+    def __repr__(self) -> str:
+        return f"SimulatedBackend({self.name}, qubits={self.num_qubits})"

@@ -1,0 +1,108 @@
+"""Shot-budget accounting.
+
+The paper's central fairness rule (§V, §VI): every mitigation method gets
+the same total number of quantum-device shots, covering *both* its
+calibration circuits and its target-circuit executions — e.g. "Each method
+is permitted 16000 shots with which to reconstruct a GHZn state" (Fig. 13)
+and "Each method is allocated 32000 shots to perform both calibration and
+any required circuit executions" (Table II).
+
+:class:`ShotBudget` is a strict ledger: backends charge every executed shot
+against it and raise :class:`BudgetExceeded` on overdraw, making it
+impossible for a mitigation method to silently cheat in benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["ShotBudget", "BudgetExceeded"]
+
+
+class BudgetExceeded(RuntimeError):
+    """A method attempted to execute more shots than its allocation."""
+
+
+class ShotBudget:
+    """Ledger of device shots, optionally capped.
+
+    Parameters
+    ----------
+    total:
+        Maximum number of shots; ``None`` means unlimited (used by
+        characterisation utilities where cost is reported, not enforced).
+    """
+
+    def __init__(self, total: Optional[int] = None) -> None:
+        if total is not None and total < 0:
+            raise ValueError("budget must be non-negative")
+        self._total = total
+        self._spent = 0
+        self._circuits = 0
+        self._by_tag: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> Optional[int]:
+        return self._total
+
+    @property
+    def spent(self) -> int:
+        """Shots consumed so far."""
+        return self._spent
+
+    @property
+    def circuits_executed(self) -> int:
+        """Distinct circuit executions charged (cost unit of Table I)."""
+        return self._circuits
+
+    @property
+    def remaining(self) -> Optional[int]:
+        if self._total is None:
+            return None
+        return self._total - self._spent
+
+    def by_tag(self) -> Dict[str, int]:
+        """Shots per accounting tag ('calibration', 'target', ...)."""
+        return dict(self._by_tag)
+
+    # ------------------------------------------------------------------
+    def can_afford(self, shots: int) -> bool:
+        """True iff charging ``shots`` would stay within the allocation."""
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        return self._total is None or self._spent + shots <= self._total
+
+    def charge(self, shots: int, tag: str = "untagged") -> None:
+        """Record an execution of ``shots`` shots; raises on overdraw."""
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        if not self.can_afford(shots):
+            raise BudgetExceeded(
+                f"budget of {self._total} shots exceeded: {self._spent} spent, "
+                f"{shots} requested (tag={tag!r})"
+            )
+        self._spent += shots
+        if shots:
+            self._circuits += 1
+        self._by_tag[tag] = self._by_tag.get(tag, 0) + shots
+
+    def split_evenly(self, num_circuits: int, fraction: float = 1.0) -> int:
+        """Shots per circuit when spreading ``fraction`` of the *remaining*
+        budget evenly over ``num_circuits`` circuits (floor division).
+
+        Returns 0 when the budget cannot cover one shot per circuit — the
+        regime where exponential methods collapse (paper §VI-A).
+        """
+        if num_circuits < 1:
+            raise ValueError("num_circuits must be positive")
+        if not (0.0 < fraction <= 1.0):
+            raise ValueError("fraction must be in (0, 1]")
+        if self._total is None:
+            raise ValueError("cannot split an unlimited budget")
+        available = int((self._total - self._spent) * fraction)
+        return max(available // num_circuits, 0)
+
+    def __repr__(self) -> str:
+        cap = "unlimited" if self._total is None else str(self._total)
+        return f"ShotBudget(spent={self._spent}/{cap}, circuits={self._circuits})"

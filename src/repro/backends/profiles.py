@@ -1,0 +1,190 @@
+"""Preset backends: architecture families and IBM-like device profiles.
+
+Two families of presets:
+
+* :func:`architecture_backend` — the simulated devices of Figs. 13-15:
+  a topology family (grid / hexagonal / octagonal / fully-connected) at a
+  given qubit count with the §V-A noise recipe (0.1% 1q, 1% 2q gate error,
+  2-8% biased per-qubit readout, "biased but not correlated").
+
+* :func:`device_profile_backend` — the IBM device stand-ins of Table II and
+  Fig. 1.  Each profile fixes the published coupling map and a correlation
+  *structure* matching the paper's characterisation:
+
+  - Quito, Lima, Belem: correlated errors aligned with coupling-map edges
+    ("locally uniform error profiles") — the regime where bare CMC wins;
+  - Manila, Nairobi, Oslo: correlations local but *off* the coupling map
+    ("almost anti-aligned with the device's coupling map") — the regime
+    where CMC-ERR wins (41% error reduction on Nairobi).
+
+  Absolute rates are drawn per-seed around published calibration magnitudes
+  (readout 2-8%); only the structure is pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.backends.backend import SimulatedBackend
+from repro.noise.models import CorrelationPlacement, NoiseModel, random_device_noise
+from repro.topology import (
+    CouplingMap,
+    fully_connected,
+    grid,
+    heavy_hex,
+    named_device,
+    octagonal,
+)
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "architecture_backend",
+    "device_profile_backend",
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "ARCHITECTURES",
+]
+
+ARCHITECTURES: Dict[str, Callable[[int], CouplingMap]] = {
+    "grid": grid,
+    "hexagonal": heavy_hex,
+    "heavy_hex": heavy_hex,
+    "octagonal": octagonal,
+    "fully_connected": fully_connected,
+}
+
+
+def architecture_backend(
+    architecture: str,
+    num_qubits: int,
+    *,
+    error_1q: float = 0.001,
+    error_2q: float = 0.01,
+    readout_low: float = 0.02,
+    readout_high: float = 0.08,
+    correlation_placement: CorrelationPlacement = "none",
+    rng: RandomState = None,
+) -> SimulatedBackend:
+    """A Figs. 13-15 simulated device: topology family + §V-A noise recipe.
+
+    Defaults reproduce the paper's statevector-simulator setting exactly:
+    per-qubit biased readout with *no* injected correlations ("the noise in
+    these experiments is biased but not correlated").
+    """
+    try:
+        make_map = ARCHITECTURES[architecture]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {architecture!r}; known: {sorted(ARCHITECTURES)}"
+        ) from None
+    gen = ensure_rng(rng)
+    cmap = make_map(num_qubits)
+    model = random_device_noise(
+        cmap,
+        error_1q=error_1q,
+        error_2q=error_2q,
+        readout_low=readout_low,
+        readout_high=readout_high,
+        correlation_placement=correlation_placement,
+        rng=gen,
+        name=f"{architecture}-{num_qubits}q",
+    )
+    return SimulatedBackend(cmap, model, rng=gen)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Noise structure of an IBM-like device stand-in."""
+
+    device: str
+    correlation_placement: CorrelationPlacement
+    num_correlated: int
+    correlation_strength: Tuple[float, float]
+    readout_range: Tuple[float, float] = (0.02, 0.08)
+    error_1q: float = 0.0003  # ~ published H-gate error 0.03%
+    error_2q: float = 0.0098  # ~ published CX error 0.98% (Quito §V-A)
+    description: str = ""
+
+
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    "quito": DeviceProfile(
+        device="quito",
+        correlation_placement="coupling",
+        num_correlated=2,
+        correlation_strength=(0.02, 0.05),
+        readout_range=(0.03, 0.07),
+        description="locally uniform, coupling-aligned correlations (Fig. 1c)",
+    ),
+    "lima": DeviceProfile(
+        device="lima",
+        correlation_placement="coupling",
+        num_correlated=2,
+        correlation_strength=(0.02, 0.05),
+        description="locally uniform, coupling-aligned correlations (Fig. 1b)",
+    ),
+    "belem": DeviceProfile(
+        device="belem",
+        correlation_placement="coupling",
+        num_correlated=2,
+        correlation_strength=(0.02, 0.04),
+        description="locally uniform profile (Fig. 1f)",
+    ),
+    "manila": DeviceProfile(
+        device="manila",
+        correlation_placement="off_coupling",
+        num_correlated=2,
+        correlation_strength=(0.02, 0.05),
+        description="local but non-coupling-map-aligned correlations (Fig. 1d)",
+    ),
+    "nairobi": DeviceProfile(
+        device="nairobi",
+        correlation_placement="off_coupling",
+        num_correlated=3,
+        correlation_strength=(0.04, 0.08),
+        description="correlations almost anti-aligned with the coupling map (Fig. 1e, Fig. 9)",
+    ),
+    "oslo": DeviceProfile(
+        device="oslo",
+        correlation_placement="off_coupling",
+        num_correlated=2,
+        correlation_strength=(0.02, 0.05),
+        description="local off-map correlations (Fig. 1a)",
+    ),
+}
+
+
+def device_profile_backend(
+    device: str,
+    rng: RandomState = None,
+    *,
+    gate_noise: bool = True,
+) -> SimulatedBackend:
+    """Backend for an IBM device stand-in with its Table II noise structure.
+
+    ``gate_noise=False`` drops the depolarising gate errors, isolating the
+    measurement-error channel (useful for calibration-only experiments like
+    Fig. 1 where gate noise is irrelevant).
+    """
+    key = device.lower().removeprefix("ibm_").removeprefix("ibmq_")
+    try:
+        profile = DEVICE_PROFILES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown device profile {device!r}; known: {sorted(DEVICE_PROFILES)}"
+        ) from None
+    gen = ensure_rng(rng)
+    cmap = named_device(profile.device)
+    model = random_device_noise(
+        cmap,
+        error_1q=profile.error_1q if gate_noise else 0.0,
+        error_2q=profile.error_2q if gate_noise else 0.0,
+        readout_low=profile.readout_range[0],
+        readout_high=profile.readout_range[1],
+        correlation_placement=profile.correlation_placement,
+        num_correlated=profile.num_correlated,
+        correlation_strength=profile.correlation_strength,
+        rng=gen,
+        name=f"profile-{profile.device}",
+    )
+    return SimulatedBackend(cmap, model, rng=gen)

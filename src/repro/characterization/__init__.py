@@ -1,0 +1,37 @@
+"""Characterisation baselines from the paper's Table I landscape.
+
+Beyond the calibration-matrix methods (which live in :mod:`repro.core` and
+:mod:`repro.mitigation`), the paper's §III surveys two other families of
+device characterisation, both implemented here as runnable substrates:
+
+* :mod:`repro.characterization.rb` — randomised benchmarking (§III-C):
+  random identity-action gate sequences of increasing depth; the fitted
+  exponential decay separates average gate error from SPAM, but "cannot
+  distinguish correlated and state-dependent errors";
+* :mod:`repro.characterization.tomography` — quantum state tomography
+  (§III-A): measure a complete Pauli basis (3^n settings) and reconstruct
+  the density matrix by linear inversion — the accuracy gold standard with
+  the exponential cost Table I tabulates.
+"""
+
+from repro.characterization.rb import (
+    RBResult,
+    randomized_benchmarking,
+    random_identity_sequence,
+)
+from repro.characterization.tomography import (
+    StateTomographyResult,
+    state_fidelity,
+    state_tomography,
+    tomography_circuits,
+)
+
+__all__ = [
+    "RBResult",
+    "randomized_benchmarking",
+    "random_identity_sequence",
+    "StateTomographyResult",
+    "state_fidelity",
+    "state_tomography",
+    "tomography_circuits",
+]

@@ -1,0 +1,204 @@
+"""Quantum state tomography (paper §III-A).
+
+"By taking a histogram of the measurement results over a complete basis of
+2^n measurement operators, the resulting probability distribution can be
+used to estimate the quantum state."
+
+Implementation: Pauli-basis tomography.  For each of the ``3^n`` settings
+(X/Y/Z per qubit), the state-preparation circuit is extended with the basis
+rotation (H for X, S†H for Y) and measured; the expectation value of every
+Pauli string is estimated from the setting that covers its non-identity
+support, and the state is reconstructed by linear inversion
+
+    rho = (1 / 2^n) * sum_P <P> P
+
+followed by projection onto the physical (PSD, trace-one) cone by
+eigenvalue clipping.  Cost is the Table I exponential: ``3^n`` settings
+(``r 4^n``-equivalent once repetitions and operator estimates are counted),
+which is exactly why the paper abandons tomography beyond a handful of
+qubits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.budget import ShotBudget
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import gate_matrix
+from repro.counts import Counts
+from repro.simulator.statevector import StatevectorSimulator
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_num_qubits
+
+__all__ = [
+    "tomography_circuits",
+    "state_tomography",
+    "StateTomographyResult",
+    "state_fidelity",
+]
+
+_PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": gate_matrix("x"),
+    "Y": gate_matrix("y"),
+    "Z": gate_matrix("z"),
+}
+
+#: Practical tomography ceiling: 3^6 = 729 settings.
+MAX_TOMOGRAPHY_QUBITS = 6
+
+
+def _basis_rotation(qc: Circuit, qubit: int, basis: str) -> None:
+    """Rotate ``qubit`` so a Z measurement reads out ``basis``."""
+    if basis == "X":
+        qc.h(qubit)
+    elif basis == "Y":
+        qc._g1("sdg", qubit)
+        qc.h(qubit)
+    elif basis != "Z":
+        raise ValueError(f"unknown basis {basis!r}")
+
+
+def tomography_circuits(
+    preparation: Circuit,
+) -> Dict[Tuple[str, ...], Circuit]:
+    """All ``3^n`` Pauli-setting circuits for a preparation circuit.
+
+    Keys are per-qubit basis tuples like ``("X", "Z")`` (qubit 0 first).
+    """
+    n = preparation.num_qubits
+    if n > MAX_TOMOGRAPHY_QUBITS:
+        raise ValueError(
+            f"state tomography over {n} qubits needs 3^{n} settings; "
+            f"ceiling is {MAX_TOMOGRAPHY_QUBITS} (the Table I wall)"
+        )
+    settings: Dict[Tuple[str, ...], Circuit] = {}
+    for bases in itertools.product("XYZ", repeat=n):
+        qc = preparation.copy(name=f"{preparation.name}-tomo-{''.join(bases)}")
+        for q, basis in enumerate(bases):
+            _basis_rotation(qc, q, basis)
+        qc.measure_all()
+        settings[bases] = qc
+    return settings
+
+
+def _expectation_from_counts(counts: Counts, support: Sequence[int]) -> float:
+    """<P> for a Pauli string with non-identity support on ``support``:
+    average of (-1)^(parity of supported bits)."""
+    total = counts.shots
+    if total <= 0:
+        return 0.0
+    acc = 0.0
+    for outcome, weight in counts.items():
+        parity = 0
+        for q in support:
+            parity ^= (outcome >> q) & 1
+        acc += weight * (1.0 - 2.0 * parity)
+    return acc / total
+
+
+@dataclass
+class StateTomographyResult:
+    """Reconstructed density matrix and its raw ingredients."""
+
+    num_qubits: int
+    rho: np.ndarray
+    expectations: Dict[Tuple[str, ...], float]
+    settings_used: int
+    shots_per_setting: int
+
+    def purity(self) -> float:
+        """``Tr(rho^2)`` — 1 for pure states."""
+        return float(np.real(np.trace(self.rho @ self.rho)))
+
+    def probabilities(self) -> np.ndarray:
+        """Computational-basis outcome distribution of the reconstruction."""
+        return np.clip(np.real(np.diag(self.rho)), 0.0, None)
+
+
+def _pauli_string_matrix(labels: Sequence[str]) -> np.ndarray:
+    """Kron of Pauli matrices; ``labels[0]`` is qubit 0 (low bit)."""
+    out = np.eye(1, dtype=complex)
+    for label in reversed(list(labels)):
+        out = np.kron(out, _PAULI_MATRICES[label])
+    return out
+
+
+def _project_to_physical(rho: np.ndarray) -> np.ndarray:
+    """Clip negative eigenvalues and renormalise the trace to one."""
+    vals, vecs = np.linalg.eigh((rho + rho.conj().T) / 2)
+    vals = np.clip(vals, 0.0, None)
+    total = vals.sum()
+    if total <= 0:
+        dim = rho.shape[0]
+        return np.eye(dim) / dim
+    vals /= total
+    return (vecs * vals) @ vecs.conj().T
+
+
+def state_tomography(
+    backend: SimulatedBackend,
+    preparation: Circuit,
+    *,
+    shots_per_setting: int = 2048,
+    budget: Optional[ShotBudget] = None,
+) -> StateTomographyResult:
+    """Full Pauli-basis state tomography of ``preparation``'s output."""
+    n = check_num_qubits(preparation.num_qubits)
+    circuits = tomography_circuits(preparation)
+    # Expectation of every Pauli string, estimated from the all-non-identity
+    # setting that covers it (identity positions are marginalised by parity
+    # over the string's support only).
+    expectations: Dict[Tuple[str, ...], float] = {("I",) * n: 1.0}
+    counts_by_setting: Dict[Tuple[str, ...], Counts] = {}
+    for setting, qc in circuits.items():
+        counts_by_setting[setting] = backend.run(
+            qc, shots_per_setting, budget=budget, tag="tomography"
+        )
+    for labels in itertools.product("IXYZ", repeat=n):
+        if all(l == "I" for l in labels):
+            continue
+        # any setting agreeing with labels on the non-identity positions:
+        setting = tuple(l if l != "I" else "Z" for l in labels)
+        support = [q for q, l in enumerate(labels) if l != "I"]
+        expectations[labels] = _expectation_from_counts(
+            counts_by_setting[setting], support
+        )
+    dim = 1 << n
+    rho = np.zeros((dim, dim), dtype=complex)
+    for labels, value in expectations.items():
+        rho += value * _pauli_string_matrix(labels)
+    rho /= dim
+    rho = _project_to_physical(rho)
+    return StateTomographyResult(
+        num_qubits=n,
+        rho=rho,
+        expectations=expectations,
+        settings_used=len(circuits),
+        shots_per_setting=shots_per_setting,
+    )
+
+
+def state_fidelity(rho: np.ndarray, target_state: np.ndarray) -> float:
+    """Fidelity ``<psi| rho |psi>`` against a pure target statevector."""
+    psi = np.asarray(target_state, dtype=complex).reshape(-1)
+    norm = np.linalg.norm(psi)
+    if norm <= 0:
+        raise ValueError("target state has zero norm")
+    psi = psi / norm
+    if rho.shape != (psi.size, psi.size):
+        raise ValueError("dimension mismatch between rho and target")
+    return float(np.real(psi.conj() @ rho @ psi))
+
+
+def ideal_statevector(preparation: Circuit) -> np.ndarray:
+    """Convenience: the noiseless output statevector of a preparation."""
+    sim = StatevectorSimulator(preparation.num_qubits)
+    sim.run(preparation)
+    return sim.statevector

@@ -1,0 +1,33 @@
+"""Quantum circuit intermediate representation and circuit library.
+
+A deliberately small IR: enough to express the paper's benchmark circuits
+(GHZ via breadth-first CNOT fan-out, sequential-X chains, basis-state
+preparation for calibration, and the X-mask circuits of SIM/AIM) and to be
+simulated exactly by :mod:`repro.simulator`.
+"""
+
+from repro.circuits.gates import Gate, GATES, gate_matrix, standard_gate
+from repro.circuits.circuit import Circuit, Instruction
+from repro.circuits.library import (
+    basis_state_preparation,
+    calibration_circuit,
+    ghz_bfs,
+    mask_circuit,
+    x_chain,
+)
+from repro.circuits.transpile import validate_against_coupling_map
+
+__all__ = [
+    "Gate",
+    "GATES",
+    "gate_matrix",
+    "standard_gate",
+    "Circuit",
+    "Instruction",
+    "ghz_bfs",
+    "x_chain",
+    "basis_state_preparation",
+    "calibration_circuit",
+    "mask_circuit",
+    "validate_against_coupling_map",
+]

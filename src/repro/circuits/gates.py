@@ -1,0 +1,165 @@
+"""Gate definitions and unitary matrices.
+
+The gate set covers everything the paper's circuits need: the Pauli gates,
+Hadamard, phase gates, the parametrised rotations RX/RY/RZ and the general
+single-qubit unitary U3 (paper Eq. 1), plus the two-qubit CX/CZ/SWAP gates.
+
+Matrix conventions
+------------------
+Single-qubit matrices act on the computational basis ``(|0>, |1>)``.
+Two-qubit matrices are given in the basis ``|q1 q0>`` ordered
+``(|00>, |01>, |10>, |11>)`` where the *first* qubit argument of the
+instruction is the low bit — consistent with the little-endian outcome
+convention of :mod:`repro.utils.bitstrings`.  For CX the first argument is
+the control.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["Gate", "GATES", "gate_matrix", "standard_gate", "u3_matrix"]
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+_SINGLE_QUBIT_MATRICES: Dict[str, np.ndarray] = {
+    "i": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex),
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "t": np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex),
+    "tdg": np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex),
+}
+
+# Two-qubit matrices in basis |q1 q0| = (00, 01, 10, 11); first instruction
+# qubit is the low bit (and the control for cx).
+_TWO_QUBIT_MATRICES: Dict[str, np.ndarray] = {
+    # control = low bit: |c=1| columns (01, 11) flip the target bit.
+    "cx": np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+        ],
+        dtype=complex,
+    ),
+    "cz": np.diag([1, 1, 1, -1]).astype(complex),
+    "swap": np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=complex,
+    ),
+}
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """The general single-qubit rotation U3(theta, phi, lambda) — paper Eq. 1."""
+    ct, st = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [ct, -np.exp(1j * lam) * st],
+            [np.exp(1j * phi) * st, np.exp(1j * (phi + lam)) * ct],
+        ],
+        dtype=complex,
+    )
+
+
+def _rx(theta: float) -> np.ndarray:
+    return u3_matrix(theta, -math.pi / 2.0, math.pi / 2.0)
+
+
+def _ry(theta: float) -> np.ndarray:
+    return u3_matrix(theta, 0.0, 0.0)
+
+
+def _rz(lam: float) -> np.ndarray:
+    return np.array([[np.exp(-0.5j * lam), 0], [0, np.exp(0.5j * lam)]], dtype=complex)
+
+
+_PARAMETRIC = {"rx": (_rx, 1), "ry": (_ry, 1), "rz": (_rz, 1), "u3": (u3_matrix, 3)}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A named gate with bound parameters.
+
+    Attributes
+    ----------
+    name:
+        Lower-case gate mnemonic ("x", "h", "cx", "rx", "u3", ...).
+    params:
+        Bound rotation angles; empty for non-parametric gates.
+    """
+
+    name: str
+    params: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        name = self.name.lower()
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        if name in _PARAMETRIC:
+            _, arity = _PARAMETRIC[name]
+            if len(self.params) != arity:
+                raise ValueError(
+                    f"gate {name!r} takes {arity} parameter(s), got {len(self.params)}"
+                )
+        elif name in _SINGLE_QUBIT_MATRICES or name in _TWO_QUBIT_MATRICES:
+            if self.params:
+                raise ValueError(f"gate {name!r} takes no parameters")
+        else:
+            raise ValueError(f"unknown gate {name!r}")
+
+    @property
+    def num_qubits(self) -> int:
+        """Arity of the gate (1 or 2)."""
+        return 2 if self.name in _TWO_QUBIT_MATRICES else 1
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The unitary matrix of the gate (copies are returned)."""
+        return gate_matrix(self.name, self.params)
+
+    def __repr__(self) -> str:
+        if self.params:
+            params = ", ".join(f"{p:.6g}" for p in self.params)
+            return f"{self.name}({params})"
+        return self.name
+
+
+#: Names of all supported gates.
+GATES: Tuple[str, ...] = tuple(
+    sorted(set(_SINGLE_QUBIT_MATRICES) | set(_TWO_QUBIT_MATRICES) | set(_PARAMETRIC))
+)
+
+
+def gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
+    """Unitary matrix of the named gate with the given parameters."""
+    name = name.lower()
+    if name in _SINGLE_QUBIT_MATRICES:
+        return _SINGLE_QUBIT_MATRICES[name].copy()
+    if name in _TWO_QUBIT_MATRICES:
+        return _TWO_QUBIT_MATRICES[name].copy()
+    if name in _PARAMETRIC:
+        fn, arity = _PARAMETRIC[name]
+        if len(params) != arity:
+            raise ValueError(f"gate {name!r} takes {arity} parameter(s)")
+        return fn(*params)
+    raise ValueError(f"unknown gate {name!r}")
+
+
+def standard_gate(name: str, *params: float) -> Gate:
+    """Convenience constructor: ``standard_gate('rx', 0.5)``."""
+    return Gate(name, tuple(params))

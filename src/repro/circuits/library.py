@@ -1,0 +1,143 @@
+"""Benchmark and calibration circuit constructions from the paper.
+
+* :func:`ghz_bfs` — the GHZ benchmark of §V-B: a Hadamard on the root
+  followed by CNOTs along the breadth-first traversal of the coupling map.
+  "This construction ensures that there is no advantage gained by different
+  qubit allocations, routing methods or other compiler optimisations."
+* :func:`x_chain` — the sequential-X circuits of Fig. 3 used to expose
+  state-dependent measurement errors.
+* :func:`basis_state_preparation` / :func:`calibration_circuit` — prepare a
+  computational basis state (X on every 1-bit) and measure; the building
+  block of every calibration method in the paper.
+* :func:`mask_circuit` — the X-mask layers appended by SIM and AIM before
+  measurement (§III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.circuits.circuit import Circuit
+from repro.topology.coupling_map import CouplingMap
+from repro.utils.bitstrings import int_to_bits
+
+__all__ = [
+    "ghz_bfs",
+    "x_chain",
+    "basis_state_preparation",
+    "calibration_circuit",
+    "mask_circuit",
+]
+
+
+def ghz_bfs(coupling_map: CouplingMap, root: int = 0, num_qubits: Optional[int] = None) -> Circuit:
+    """GHZ state preparation by breadth-first CNOT fan-out (§V-B).
+
+    Parameters
+    ----------
+    coupling_map:
+        Device coupling map; the circuit uses only its edges, so the result
+        is executable without routing.
+    root:
+        Qubit receiving the initial Hadamard.
+    num_qubits:
+        Optionally entangle only the first ``num_qubits`` qubits reached by
+        the BFS (the sweeps of Figs. 13-15 grow GHZ_n on a fixed device).
+
+    Returns
+    -------
+    Circuit
+        ``H(root)`` followed by a CNOT for each BFS tree edge
+        ``(parent, child)``; measures the entangled qubits.
+    """
+    if not coupling_map.connected() and (
+        num_qubits is None or num_qubits > 1
+    ):
+        # A BFS from the root only reaches its component; for GHZ over the
+        # full device the map must be connected.
+        reachable = coupling_map.qubits_within([root], coupling_map.num_qubits)
+        want = coupling_map.num_qubits if num_qubits is None else num_qubits
+        if len(reachable) < want:
+            raise ValueError(
+                "coupling map is disconnected; GHZ fan-out cannot reach "
+                f"{want} qubits from root {root}"
+            )
+    n = coupling_map.num_qubits
+    qc = Circuit(n, name=f"ghz-{coupling_map.name}-root{root}")
+    qc.h(root)
+    entangled = [root]
+    limit = n if num_qubits is None else int(num_qubits)
+    if limit < 1 or limit > n:
+        raise ValueError(f"num_qubits must be in [1, {n}], got {limit}")
+    for parent, child in coupling_map.bfs_edges(root):
+        if len(entangled) >= limit:
+            break
+        qc.cx(parent, child)
+        entangled.append(child)
+    qc.measure(sorted(entangled))
+    return qc
+
+
+def x_chain(depth: int, num_qubits: int = 1, qubit: int = 0) -> Circuit:
+    """``depth`` sequential X gates on one qubit, then measure (Fig. 3).
+
+    Odd ``depth`` prepares |1>, even depth |0>; comparing the two error
+    rates as depth grows separates state-dependent measurement errors from
+    accumulating gate errors.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    qc = Circuit(num_qubits, name=f"x-chain-{depth}")
+    for _ in range(depth):
+        qc.x(qubit)
+    qc.measure([qubit])
+    return qc
+
+
+def basis_state_preparation(num_qubits: int, state: int) -> Circuit:
+    """Prepare computational basis state ``state`` (X on each set bit)."""
+    if not (0 <= state < (1 << num_qubits)):
+        raise ValueError(f"state {state} out of range for {num_qubits} qubits")
+    qc = Circuit(num_qubits, name=f"prep-{state:0{num_qubits}b}")
+    bits = int_to_bits(state, num_qubits)
+    for q in range(num_qubits):
+        if bits[q]:
+            qc.x(q)
+    return qc
+
+
+def calibration_circuit(
+    num_qubits: int,
+    prepared: int,
+    measured: Optional[Sequence[int]] = None,
+) -> Circuit:
+    """Basis-state preparation plus measurement — one calibration circuit.
+
+    ``prepared`` is the basis state over the *full* register; calibration
+    methods that prepare local patch states build ``prepared`` by depositing
+    patch bits (see :mod:`repro.core.circuits`).
+    """
+    qc = basis_state_preparation(num_qubits, prepared)
+    qc.name = f"cal-{prepared:0{num_qubits}b}"
+    if measured is None:
+        qc.measure_all()
+    else:
+        qc.measure(measured)
+    return qc
+
+
+def mask_circuit(num_qubits: int, mask: int) -> Circuit:
+    """An X on each set bit of ``mask`` (the SIM/AIM pre-measurement layer).
+
+    SIM appends the four masks ``0``, ``all-ones``, ``0101...`` and
+    ``1010...``; AIM draws masks from a sliding four-qubit window pool.
+    The executor un-flips outcomes by XOR-ing with the same mask.
+    """
+    if not (0 <= mask < (1 << num_qubits)):
+        raise ValueError(f"mask {mask} out of range for {num_qubits} qubits")
+    qc = Circuit(num_qubits, name=f"mask-{mask:0{num_qubits}b}")
+    bits = int_to_bits(mask, num_qubits)
+    for q in range(num_qubits):
+        if bits[q]:
+            qc.x(q)
+    return qc

@@ -1,0 +1,53 @@
+"""Coupling-map admissibility checks.
+
+The paper deliberately avoids compiler optimisation ("Transpiler
+optimisations have been disabled", §II-D) and constructs circuits directly on
+the device topology, so this module only *validates* that a circuit's
+two-qubit gates respect the coupling map — it never reroutes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.topology.coupling_map import CouplingMap
+
+__all__ = ["validate_against_coupling_map", "CouplingViolation"]
+
+
+class CouplingViolation(ValueError):
+    """A two-qubit gate acts on a pair outside the coupling map."""
+
+    def __init__(self, violations: List[Tuple[int, Tuple[int, int]]]) -> None:
+        self.violations = violations
+        pairs = ", ".join(f"#{i}: {pair}" for i, pair in violations[:5])
+        more = "" if len(violations) <= 5 else f" (+{len(violations) - 5} more)"
+        super().__init__(f"two-qubit gates off the coupling map: {pairs}{more}")
+
+
+def validate_against_coupling_map(
+    circuit: Circuit, coupling_map: CouplingMap, *, strict: bool = True
+) -> List[Tuple[int, Tuple[int, int]]]:
+    """Check every two-qubit gate lies on a coupling-map edge.
+
+    Returns the list of ``(instruction index, qubit pair)`` violations; with
+    ``strict=True`` (default) raises :class:`CouplingViolation` instead when
+    any exist.
+    """
+    if circuit.num_qubits > coupling_map.num_qubits:
+        raise ValueError(
+            f"circuit uses {circuit.num_qubits} qubits but the device has "
+            f"{coupling_map.num_qubits}"
+        )
+    edge_set = set(coupling_map.edges)
+    violations: List[Tuple[int, Tuple[int, int]]] = []
+    for idx, inst in enumerate(circuit.instructions):
+        if len(inst.qubits) == 2:
+            a, b = inst.qubits
+            pair = (min(a, b), max(a, b))
+            if pair not in edge_set:
+                violations.append((idx, pair))
+    if strict and violations:
+        raise CouplingViolation(violations)
+    return violations

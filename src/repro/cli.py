@@ -1,0 +1,272 @@
+"""Command-line interface: run the paper's experiments from a terminal.
+
+::
+
+    python -m repro list
+    python -m repro ghz --architecture grid --qubits 4 8 12 --shots 16000
+    python -m repro devices --devices quito nairobi --shots 32000
+    python -m repro correlations --device nairobi --weeks 3
+    python -m repro xchain --max-depth 45
+    python -m repro channels --kind correlated
+    python -m repro costs --qubits 16
+    python -m repro stability --device nairobi --weeks 4
+    python -m repro shots --qubits 6 --budgets 1000 4000 16000
+
+Every command prints the same rows/series the corresponding paper artifact
+reports (see EXPERIMENTS.md for the mapping) and is deterministic under
+``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    device_correlation_map,
+    device_ghz_table,
+    err_stability_experiment,
+    format_series,
+    format_table,
+    ghz_architecture_sweep,
+    shots_scaling_experiment,
+    simulated_channel_benchmark,
+    x_chain_experiment,
+)
+from repro.experiments.runner import METHOD_ORDER
+
+__all__ = ["main", "build_parser"]
+
+_COMMANDS = {
+    "list": "show available commands and the paper artifact each reproduces",
+    "ghz": "GHZ error-rate sweep over device sizes (Figs. 13-15, octagonal)",
+    "devices": "IBM-device GHZ benchmark table (Table II)",
+    "correlations": "pairwise correlation map of a device profile (Fig. 1)",
+    "xchain": "sequential-X state-dependence experiment (Fig. 3)",
+    "channels": "mitigation under focused error channels (Fig. 12)",
+    "costs": "characterisation cost table (Table I)",
+    "stability": "ERR error-map stability across drifted weeks (§VII-A)",
+    "shots": "error vs shot budget per method (§V-A)",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Mitigating Coupling Map "
+        "Constrained Correlated Measurement Errors on Quantum Devices'.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help=_COMMANDS["list"])
+
+    p = sub.add_parser("ghz", help=_COMMANDS["ghz"])
+    p.add_argument(
+        "--architecture",
+        default="grid",
+        choices=["grid", "hexagonal", "octagonal", "fully_connected"],
+    )
+    p.add_argument("--qubits", type=int, nargs="+", default=[4, 6, 8, 10])
+    p.add_argument("--shots", type=int, default=16000)
+    p.add_argument("--trials", type=int, default=2)
+    p.add_argument("--methods", nargs="+", default=None, choices=METHOD_ORDER)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--gate-noise", action="store_true")
+
+    p = sub.add_parser("devices", help=_COMMANDS["devices"])
+    p.add_argument(
+        "--devices", nargs="+", default=["manila", "lima", "quito", "nairobi"]
+    )
+    p.add_argument("--shots", type=int, default=32000)
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("correlations", help=_COMMANDS["correlations"])
+    p.add_argument("--device", default="nairobi")
+    p.add_argument("--weeks", type=int, default=3)
+    p.add_argument("--shots-per-circuit", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("xchain", help=_COMMANDS["xchain"])
+    p.add_argument("--max-depth", type=int, default=45)
+    p.add_argument("--shots", type=int, default=4000)
+
+    p = sub.add_parser("channels", help=_COMMANDS["channels"])
+    p.add_argument(
+        "--kind", default="correlated", choices=["correlated", "state_dependent"]
+    )
+    p.add_argument("--qubits", type=int, default=4)
+    p.add_argument("--shots-per-state", type=int, default=8500)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("costs", help=_COMMANDS["costs"])
+    p.add_argument("--qubits", type=int, default=16)
+    p.add_argument("--edges", type=int, default=None)
+
+    p = sub.add_parser("stability", help=_COMMANDS["stability"])
+    p.add_argument("--device", default="nairobi")
+    p.add_argument("--weeks", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("shots", help=_COMMANDS["shots"])
+    p.add_argument("--qubits", type=int, default=6)
+    p.add_argument(
+        "--budgets", type=int, nargs="+", default=[1000, 4000, 16000, 64000]
+    )
+    p.add_argument("--methods", nargs="+", default=None, choices=METHOD_ORDER)
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_list() -> str:
+    rows = {name: {"reproduces": desc} for name, desc in _COMMANDS.items()}
+    return format_table(rows, ["reproduces"], row_header="command")
+
+
+def _cmd_ghz(args: argparse.Namespace) -> str:
+    sweep = ghz_architecture_sweep(
+        args.architecture,
+        args.qubits,
+        shots=args.shots,
+        trials=args.trials,
+        methods=args.methods,
+        seed=args.seed,
+        gate_noise=args.gate_noise,
+    )
+    return format_series(
+        "n", sweep.qubit_counts, {m: sweep.medians(m) for m in sweep.methods()}
+    )
+
+
+def _cmd_devices(args: argparse.Namespace) -> str:
+    table = device_ghz_table(
+        args.devices, shots=args.shots, trials=args.trials, seed=args.seed,
+        full_max_qubits=5,
+    )
+    rows = {}
+    for method in [m for m in METHOD_ORDER if m in table.methods()]:
+        rows[method] = {d: table.summary(d, method) for d in table.devices}
+    return format_table(rows, table.devices, row_header="method", precision=2)
+
+
+def _cmd_correlations(args: argparse.Namespace) -> str:
+    res = device_correlation_map(
+        args.device,
+        weeks=args.weeks,
+        shots_per_circuit=args.shots_per_circuit,
+        seed=args.seed,
+    )
+    rows = {
+        str(edge): {
+            "weight": w,
+            "location": "on coupling map" if edge in res.coupling_map else "OFF map",
+        }
+        for edge, w in res.heaviest(8)
+    }
+    header = (
+        f"device {res.device}: alignment {res.alignment():.2f} "
+        f"(1.0 = all correlation on the coupling map)\n"
+    )
+    return header + format_table(rows, ["weight", "location"], row_header="pair")
+
+
+def _cmd_xchain(args: argparse.Namespace) -> str:
+    res = x_chain_experiment(max_depth=args.max_depth, shots=args.shots)
+    even = dict(res.even_series())
+    odd = dict(res.odd_series())
+    body = format_series(
+        "depth",
+        res.depths,
+        {
+            "expected |0> error": [even.get(d) for d in res.depths],
+            "expected |1> error": [odd.get(d) for d in res.depths],
+        },
+    )
+    return body + f"\n\nparity gap (state dependence): {res.parity_gap():+.3f}"
+
+
+def _cmd_channels(args: argparse.Namespace) -> str:
+    res = simulated_channel_benchmark(
+        args.kind,
+        num_qubits=args.qubits,
+        shots_per_state=args.shots_per_state,
+        seed=args.seed,
+    )
+    rows = {
+        m: {"mean success": res.mean(m), "spread (5-95%)": res.summary(m)}
+        for m in res.methods()
+    }
+    return format_table(rows, ["mean success", "spread (5-95%)"], row_header="method")
+
+
+def _cmd_costs(args: argparse.Namespace) -> str:
+    from repro.core.costs import METHOD_COSTS, characterization_cost
+
+    rows = {}
+    for key, cost in METHOD_COSTS.items():
+        rows[cost.method] = {
+            "formula": cost.formula,
+            f"circuits @ n={args.qubits}": characterization_cost(
+                key, n=args.qubits, e=args.edges, k=3.0
+            ),
+            "output": cost.output,
+        }
+    return format_table(
+        rows,
+        ["formula", f"circuits @ n={args.qubits}", "output"],
+        row_header="method",
+        precision=0,
+    )
+
+
+def _cmd_stability(args: argparse.Namespace) -> str:
+    res = err_stability_experiment(args.device, weeks=args.weeks, seed=args.seed)
+    rows = {
+        f"week {w}": {
+            "error map": str(res.weekly_maps[w].edges),
+            "recall": res.weekly_recall()[w],
+        }
+        for w in range(res.weeks)
+    }
+    body = format_table(rows, ["error map", "recall"], row_header="week")
+    return body + (
+        f"\n\nmean pairwise Jaccard overlap: {res.mean_jaccard():.2f}"
+        f"\nstable core: {res.stable_core()}"
+    )
+
+
+def _cmd_shots(args: argparse.Namespace) -> str:
+    res = shots_scaling_experiment(
+        args.qubits, args.budgets, methods=args.methods, seed=args.seed
+    )
+    return format_series(
+        "budget", res.budgets, {m: res.medians(m) for m in res.methods()}
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None or args.command == "list":
+        print(_cmd_list())
+        return 0
+    handlers = {
+        "ghz": _cmd_ghz,
+        "devices": _cmd_devices,
+        "correlations": _cmd_correlations,
+        "xchain": _cmd_xchain,
+        "channels": _cmd_channels,
+        "costs": _cmd_costs,
+        "stability": _cmd_stability,
+        "shots": _cmd_shots,
+    }
+    print(handlers[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

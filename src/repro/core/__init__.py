@@ -1,0 +1,49 @@
+"""The paper's contribution: Coupling Map Calibration (CMC) and ERR.
+
+Pipeline (paper Fig. 4):
+
+1. :mod:`repro.core.patches` — Algorithm 1 converts the device coupling map
+   into rounds of simultaneously-calibratable edge patches;
+2. :mod:`repro.core.circuits` — each round becomes four calibration
+   circuits (00/01/10/11 on every patch in the round at once);
+3. :mod:`repro.core.calibration` — executed counts are folded into
+   column-stochastic :class:`CalibrationMatrix` estimates per patch;
+4. :mod:`repro.core.joining` — overlapping patch calibrations are joined
+   into a global sparse calibration operator via the order-parameter
+   construction of Eqs. 5-7;
+5. :mod:`repro.core.sparse_apply` — the inverted operator chain is applied
+   to measured distributions as sparse local matrix-vector products;
+6. :mod:`repro.core.cmc` / :mod:`repro.core.err` — the end-to-end
+   mitigators (CMC over the coupling map, CMC-ERR over the profiled error
+   coupling map of Algorithm 2);
+7. :mod:`repro.core.costs` — Table I circuit-count accounting.
+"""
+
+from repro.core.calibration import CalibrationMatrix
+from repro.core.patches import PatchSchedule, build_patch_rounds, path_patches
+from repro.core.circuits import calibration_round_circuits, patch_calibration_plan
+from repro.core.joining import JoinedCalibration, OrderedPatch, assign_order_parameters
+from repro.core.sparse_apply import apply_local_matrix_sparse, apply_chain_sparse
+from repro.core.cmc import CMCMitigator
+from repro.core.err import CMCERRMitigator, build_error_coupling_map, edge_correlation_weights
+from repro.core.costs import characterization_cost, METHOD_COSTS
+
+__all__ = [
+    "CalibrationMatrix",
+    "PatchSchedule",
+    "build_patch_rounds",
+    "path_patches",
+    "calibration_round_circuits",
+    "patch_calibration_plan",
+    "JoinedCalibration",
+    "OrderedPatch",
+    "assign_order_parameters",
+    "apply_local_matrix_sparse",
+    "apply_chain_sparse",
+    "CMCMitigator",
+    "CMCERRMitigator",
+    "build_error_coupling_map",
+    "edge_correlation_weights",
+    "characterization_cost",
+    "METHOD_COSTS",
+]

@@ -1,0 +1,77 @@
+"""The common mitigation-method interface.
+
+Every method in the paper's comparison — Bare, Full, Linear, SIM, AIM,
+JIGSAW, CMC, CMC-ERR — is driven through the same two-phase protocol so the
+experiment harness can hold the shot-budget rule ("each method is afforded
+an equal number of measurements") uniformly:
+
+1. :meth:`Mitigator.prepare` — spend calibration shots on the backend
+   (no-op for Bare and for circuit-specific methods, which spend during
+   execution instead);
+2. :meth:`Mitigator.execute` — run the target circuit and return mitigated
+   counts, spending the remaining budget.
+
+Calibration-matrix methods (Full, Linear, CMC, CMC-ERR) may be prepared
+once and then execute many circuits — the reuse advantage of §VII-A.
+Circuit-specific methods (SIM, AIM, JIGSAW) do all their work inside
+:meth:`execute`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.budget import ShotBudget
+from repro.circuits.circuit import Circuit
+from repro.counts import Counts
+
+__all__ = ["Mitigator", "DEFAULT_CALIBRATION_FRACTION"]
+
+#: Default budget split: half the shots to calibration, half to the target
+#: circuit (see DESIGN.md "Shot budgets").
+DEFAULT_CALIBRATION_FRACTION = 0.5
+
+
+class Mitigator(abc.ABC):
+    """Abstract measurement-error mitigation method."""
+
+    #: Human-readable method name as used in the paper's tables.
+    name: str = "abstract"
+
+    #: Whether the method builds a reusable device calibration (True) or is
+    #: circuit-specific and must re-run per circuit (False) — §VII-A.
+    reusable: bool = False
+
+    def prepare(
+        self,
+        backend: SimulatedBackend,
+        budget: ShotBudget,
+        calibration_fraction: float = DEFAULT_CALIBRATION_FRACTION,
+    ) -> None:
+        """Spend calibration shots.  Default: nothing to prepare."""
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        circuit: Circuit,
+        backend: SimulatedBackend,
+        budget: ShotBudget,
+    ) -> Counts:
+        """Run ``circuit`` within ``budget`` and return mitigated counts."""
+
+    def run(
+        self,
+        circuit: Circuit,
+        backend: SimulatedBackend,
+        total_shots: int,
+        calibration_fraction: float = DEFAULT_CALIBRATION_FRACTION,
+    ) -> Counts:
+        """Convenience one-shot driver: prepare + execute under one budget."""
+        budget = ShotBudget(total_shots)
+        self.prepare(backend, budget, calibration_fraction=calibration_fraction)
+        return self.execute(circuit, backend, budget)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

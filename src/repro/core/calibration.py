@@ -1,0 +1,216 @@
+"""Calibration matrices (paper §III-B, §IV-B Eqs. 2-4).
+
+A calibration matrix ``C`` over a qubit tuple is column-stochastic with
+``C[observed, prepared]``: column ``p`` is the measured outcome distribution
+when basis state ``p`` was prepared.  The class wraps the matrix together
+with the qubit tuple it is bound to and implements the paper's three
+fundamental operations:
+
+* tensor product of disjoint calibrations (Eq. 2);
+* the *normalised partial trace* that extracts a marginal calibration from
+  a larger one (Eqs. 3-4), written ``|Tr_j(C_ij)|`` in the paper;
+* estimation from executed calibration-circuit counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.counts import Counts
+from repro.utils.bitstrings import extract_bits
+from repro.utils.linalg import (
+    column_normalize,
+    fractional_stochastic_power,
+    is_column_stochastic,
+    stable_inverse,
+)
+
+__all__ = ["CalibrationMatrix"]
+
+
+class CalibrationMatrix:
+    """A column-stochastic calibration matrix bound to an ordered qubit tuple.
+
+    ``qubits[0]`` is the low bit of both the row (observed) and column
+    (prepared) index spaces.
+    """
+
+    def __init__(self, qubits: Sequence[int], matrix: np.ndarray) -> None:
+        self.qubits: Tuple[int, ...] = tuple(int(q) for q in qubits)
+        if len(set(self.qubits)) != len(self.qubits) or not self.qubits:
+            raise ValueError(f"invalid qubit tuple {self.qubits}")
+        m = np.asarray(matrix, dtype=float)
+        dim = 1 << len(self.qubits)
+        if m.shape != (dim, dim):
+            raise ValueError(
+                f"matrix shape {m.shape} does not act on {len(self.qubits)} qubit(s)"
+            )
+        if not is_column_stochastic(m, atol=1e-6):
+            raise ValueError("calibration matrix must be column-stochastic")
+        self.matrix = m
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def dim(self) -> int:
+        return 1 << len(self.qubits)
+
+    def __repr__(self) -> str:
+        return f"CalibrationMatrix(qubits={list(self.qubits)})"
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, qubits: Sequence[int]) -> "CalibrationMatrix":
+        return cls(qubits, np.eye(1 << len(tuple(qubits))))
+
+    @classmethod
+    def from_counts(
+        cls,
+        qubits: Sequence[int],
+        counts_by_prepared: Mapping[int, Counts],
+    ) -> "CalibrationMatrix":
+        """Estimate a calibration from per-prepared-state counts.
+
+        ``counts_by_prepared[p]`` holds the measurement histogram observed
+        after preparing local basis state ``p`` on ``qubits``.  The counts
+        may be over a superset of ``qubits`` (simultaneous patch rounds
+        measure the whole register); spectators are marginalised away.
+        Missing or empty columns become uniform (zero information).
+        """
+        qs = tuple(int(q) for q in qubits)
+        dim = 1 << len(qs)
+        matrix = np.zeros((dim, dim))
+        for prepared in range(dim):
+            counts = counts_by_prepared.get(prepared)
+            if counts is None or counts.shots == 0:
+                matrix[:, prepared] = 1.0 / dim
+                continue
+            if tuple(counts.measured_qubits) != qs:
+                counts = counts.marginalize(qs)
+            for outcome, weight in counts.items():
+                matrix[outcome, prepared] += weight
+        return cls(qs, column_normalize(matrix))
+
+    @classmethod
+    def exact_from_channel(
+        cls, channel, qubits: Sequence[int]
+    ) -> "CalibrationMatrix":
+        """Ground-truth calibration from a noise channel (testing)."""
+        return cls(qubits, channel.to_matrix(tuple(qubits)))
+
+    # ------------------------------------------------------------------
+    # Paper Eq. 2: tensor product of disjoint calibrations
+    # ------------------------------------------------------------------
+    def tensor(self, other: "CalibrationMatrix") -> "CalibrationMatrix":
+        """``C_ij = C_i ⊗ C_j`` for disjoint qubit tuples (Eq. 2).
+
+        The result is bound to ``self.qubits + other.qubits`` with self's
+        qubits as the low bits (kron ordering: other ⊗ self).
+        """
+        if set(self.qubits) & set(other.qubits):
+            raise ValueError("cannot tensor calibrations with shared qubits")
+        return CalibrationMatrix(
+            self.qubits + other.qubits, np.kron(other.matrix, self.matrix)
+        )
+
+    # ------------------------------------------------------------------
+    # Paper Eqs. 3-4: normalised partial trace
+    # ------------------------------------------------------------------
+    def traced(self, keep: Sequence[int]) -> "CalibrationMatrix":
+        """Normalised partial trace onto the sub-tuple ``keep`` — the
+        paper's ``|Tr_j(C_ij)|`` (Eqs. 3-4).
+
+        Implemented as the *physical marginal*: sum over the observed
+        outcomes of the traced-out qubits and average over their prepared
+        states.  For a calibration that factorises as ``C_keep ⊗ C_rest``
+        this recovers ``C_keep`` exactly (Eq. 3, property-tested); for
+        correlated calibrations it equals what a direct single-qubit
+        calibration of the kept qubits would estimate (averaged over
+        neighbour preparations), which is the quantity both the CMC §IV-C
+        trace-out rule and the ERR weights consume.
+        """
+        keep_tuple = tuple(int(q) for q in keep)
+        positions = []
+        for q in keep_tuple:
+            try:
+                positions.append(self.qubits.index(q))
+            except ValueError:
+                raise ValueError(f"qubit {q} not in calibration {self.qubits}") from None
+        if len(keep_tuple) == self.num_qubits:
+            # pure reordering
+            return self._permuted(positions, keep_tuple)
+        dim_out = 1 << len(positions)
+        idx = np.arange(self.dim)
+        local = extract_bits(idx, positions)
+        num_traced = self.num_qubits - len(keep_tuple)
+        # Group rows and columns by their kept bits: out[a, b] =
+        # (1 / 2^t) * sum_{rows r: local(r)=a} sum_{cols c: local(c)=b} M[r, c].
+        out = np.zeros((dim_out, dim_out))
+        np.add.at(out, (local[:, None], local[None, :]), self.matrix)
+        out /= 1 << num_traced
+        return CalibrationMatrix(keep_tuple, column_normalize(out))
+
+    def _permuted(self, positions: Sequence[int], new_qubits: Tuple[int, ...]) -> "CalibrationMatrix":
+        """Reorder the qubit tuple (relabelling of the index space)."""
+        idx = np.arange(self.dim)
+        perm = extract_bits(idx, positions)  # new index of each old index? inverse below
+        # perm[i] = index in new ordering of old basis state i.
+        out = np.zeros_like(self.matrix)
+        out[np.ix_(perm, perm)] = self.matrix
+        return CalibrationMatrix(new_qubits, out)
+
+    # ------------------------------------------------------------------
+    # Algebra used by the joining construction
+    # ------------------------------------------------------------------
+    def power(self, exponent: float) -> np.ndarray:
+        """Fractional matrix power (raw, unprojected — see joining docs)."""
+        return fractional_stochastic_power(self.matrix, exponent)
+
+    def inverse(self) -> np.ndarray:
+        """Matrix inverse (pseudo-inverse fallback for singular estimates)."""
+        return stable_inverse(self.matrix)
+
+    def mitigate_dense(self, probabilities: np.ndarray) -> np.ndarray:
+        """Solve ``C x = p`` for a dense distribution over this qubit tuple.
+
+        Returns the raw quasi-probability solution; callers project onto the
+        simplex when reporting.
+        """
+        p = np.asarray(probabilities, dtype=float)
+        if p.size != self.dim:
+            raise ValueError(f"distribution length {p.size} != {self.dim}")
+        try:
+            return np.linalg.solve(self.matrix, p)
+        except np.linalg.LinAlgError:
+            return stable_inverse(self.matrix) @ p
+
+    def mitigate_least_squares(self, probabilities: np.ndarray) -> np.ndarray:
+        """Constrained mitigation: non-negative least squares on ``C x = p``.
+
+        Slower than the direct solve but never produces quasi-probability
+        artefacts — the option DESIGN.md calls out for reporting-grade
+        mitigation.  The result is renormalised onto the simplex.
+        """
+        import scipy.optimize
+
+        p = np.asarray(probabilities, dtype=float)
+        if p.size != self.dim:
+            raise ValueError(f"distribution length {p.size} != {self.dim}")
+        solution, _residual = scipy.optimize.nnls(self.matrix, p)
+        total = solution.sum()
+        if total <= 0:
+            return np.full(self.dim, 1.0 / self.dim)
+        return solution / total
+
+    def distance_from(self, other: "CalibrationMatrix") -> float:
+        """Frobenius distance (the Fig. 1 / Algorithm 2 edge weight)."""
+        if other.qubits != self.qubits:
+            raise ValueError("calibrations are bound to different qubits")
+        return float(np.linalg.norm(self.matrix - other.matrix))

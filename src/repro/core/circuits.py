@@ -1,0 +1,130 @@
+"""Calibration circuit generation for patch schedules.
+
+Each Algorithm-1 round becomes ``2^m`` circuits (m = the round's largest
+patch; 4 for the paper's edge patches): circuit ``s`` prepares local basis
+state ``s mod 2^|p|`` *simultaneously* on every patch ``p`` of the round
+(qubits outside any patch stay in |0>).  Executing the circuits and
+marginalising each patch's qubits out of the results yields one
+calibration matrix per patch — "we can then calibrate these two patches
+simultaneously without an increase in the number of shots" (§IV-A).
+
+:func:`patch_calibration_plan` bundles the circuits with the bookkeeping
+needed to fold executed counts back into per-patch
+:class:`~repro.core.calibration.CalibrationMatrix` objects; when several
+circuits of a round map onto the same local column of a smaller patch
+(an edge inside a 3-qubit-patch round sees each of its 4 states twice),
+their counts are merged, so no shot is wasted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import calibration_circuit
+from repro.core.calibration import CalibrationMatrix
+from repro.core.patches import Patch, PatchSchedule
+from repro.counts import Counts
+from repro.utils.bitstrings import deposit_bits
+
+import numpy as np
+
+__all__ = ["CalibrationPlan", "calibration_round_circuits", "patch_calibration_plan"]
+
+
+def calibration_round_circuits(
+    num_qubits: int, round_patches: Sequence[Sequence[int]]
+) -> List[Circuit]:
+    """The simultaneous calibration circuits of one round.
+
+    Circuit ``s`` (s = 0..2^m - 1, m = largest patch in the round) prepares
+    local state ``s mod 2^|p|`` on every patch ``p`` — bit ``k`` of the
+    local state goes to the k-th (ascending) qubit of the patch.  All
+    device qubits are measured so every patch can be marginalised out.
+    """
+    patches = [tuple(sorted(int(q) for q in p)) for p in round_patches]
+    if not patches:
+        raise ValueError("round has no patches")
+    max_size = max(len(p) for p in patches)
+    circuits = []
+    for local_state in range(1 << max_size):
+        prepared = 0
+        for patch in patches:
+            state = local_state % (1 << len(patch))
+            prepared |= int(deposit_bits(np.array([state]), patch)[0])
+        qc = calibration_circuit(num_qubits, prepared)
+        qc.name = f"cmc-round-{local_state:0{max_size}b}"
+        circuits.append(qc)
+    return circuits
+
+
+@dataclass
+class CalibrationPlan:
+    """Circuits for a whole patch schedule plus count-folding bookkeeping.
+
+    ``circuits[i]`` belongs to round ``round_of[i]`` and prepares local
+    state ``state_of[i]`` (modulo each patch's size) on that round's patches.
+    """
+
+    schedule: PatchSchedule
+    circuits: List[Circuit]
+    round_of: List[int]
+    state_of: List[int]
+
+    @property
+    def num_circuits(self) -> int:
+        return len(self.circuits)
+
+    def fold_counts(
+        self, results: Sequence[Counts]
+    ) -> Dict[Patch, CalibrationMatrix]:
+        """Fold executed counts into one calibration matrix per patch.
+
+        ``results[i]`` must be the counts of ``circuits[i]``.  For each
+        patch, the circuits of its round provide the columns of its
+        calibration matrix (merged when several circuits prepare the same
+        local state on a small patch); spectator qubits are marginalised
+        away by :meth:`CalibrationMatrix.from_counts`.
+        """
+        if len(results) != len(self.circuits):
+            raise ValueError(
+                f"expected {len(self.circuits)} results, got {len(results)}"
+            )
+        by_patch: Dict[Patch, Dict[int, Counts]] = {}
+        for i, counts in enumerate(results):
+            round_patches = self.schedule.rounds[self.round_of[i]]
+            state = self.state_of[i]
+            for patch in round_patches:
+                local = state % (1 << len(patch))
+                columns = by_patch.setdefault(patch, {})
+                marginal = (
+                    counts
+                    if tuple(counts.measured_qubits) == patch
+                    else counts.marginalize(patch)
+                )
+                if local in columns:
+                    columns[local] = columns[local].merged(marginal)
+                else:
+                    columns[local] = marginal
+        return {
+            patch: CalibrationMatrix.from_counts(patch, columns)
+            for patch, columns in by_patch.items()
+        }
+
+
+def patch_calibration_plan(schedule: PatchSchedule) -> CalibrationPlan:
+    """Build the full circuit list (``2^m`` per round) for a patch schedule."""
+    circuits: List[Circuit] = []
+    round_of: List[int] = []
+    state_of: List[int] = []
+    n = schedule.coupling_map.num_qubits
+    for r_idx, round_patches in enumerate(schedule.rounds):
+        for s, qc in enumerate(calibration_round_circuits(n, round_patches)):
+            qc.name = f"cmc-r{r_idx}-s{s}"
+            circuits.append(qc)
+            round_of.append(r_idx)
+            state_of.append(s)
+    return CalibrationPlan(
+        schedule=schedule, circuits=circuits, round_of=round_of, state_of=state_of
+    )

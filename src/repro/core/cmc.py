@@ -1,0 +1,258 @@
+"""CMC: the end-to-end Coupling Map Calibration mitigator (paper §IV).
+
+Pipeline per Fig. 4:
+
+coupling map → Algorithm-1 patch rounds → 4 circuits/round →
+per-edge :class:`~repro.core.calibration.CalibrationMatrix` →
+order-parameter join (Eqs. 5-7) → inverted sparse chain → mitigation.
+
+Measured-qubit subsets (§IV-C): patches fully inside the measured set join
+normally; a patch with one measured endpoint contributes its normalised
+partial trace onto that endpoint; patches with no measured endpoint are
+dropped.  Isolated measured qubits (no incident patch) get their averaged
+single-qubit marginal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.budget import ShotBudget
+from repro.circuits.circuit import Circuit
+from repro.core.base import DEFAULT_CALIBRATION_FRACTION, Mitigator
+from repro.core.calibration import CalibrationMatrix
+from repro.core.circuits import patch_calibration_plan
+from repro.core.joining import JoinedCalibration
+from repro.core.patches import PatchSchedule, build_patch_rounds
+from repro.counts import Counts, SparseDistribution
+from repro.topology.coupling_map import CouplingMap, Edge
+
+__all__ = ["CMCMitigator"]
+
+
+class CMCMitigator(Mitigator):
+    """Coupling Map Calibration (CMC).
+
+    Parameters
+    ----------
+    coupling_map:
+        Device topology.  Calibration patches are its edges unless
+        ``edges`` overrides them (CMC-ERR passes the error map's edges;
+        the §IV-B arbitrary-size extension passes larger qubit tuples,
+        e.g. :func:`repro.core.patches.path_patches`).
+    k:
+        Algorithm-1 separation (intervening qubits between patches sharing
+        a calibration round).
+    edges:
+        Optional explicit patch list — qubit pairs or larger tuples
+        (defaults to the coupling map's edges).
+    prune_tol:
+        Sparse-application culling tolerance (§IV-C "periodically culled of
+        very low weight entries").
+    max_support:
+        Optional hard cap on sparse support during mitigation.
+    """
+
+    name = "CMC"
+    reusable = True
+
+    def __init__(
+        self,
+        coupling_map: CouplingMap,
+        k: int = 1,
+        edges: Optional[Sequence[Sequence[int]]] = None,
+        prune_tol: float = 1e-12,
+        max_support: Optional[int] = None,
+    ) -> None:
+        self.coupling_map = coupling_map
+        self.k = int(k)
+        self._edges: Tuple[Tuple[int, ...], ...] = tuple(
+            coupling_map.edges if edges is None else
+            sorted({tuple(sorted(int(q) for q in p)) for p in edges})
+        )
+        for patch in self._edges:
+            if len(set(patch)) != len(patch) or not patch:
+                raise ValueError(f"invalid patch {patch!r}")
+        self.prune_tol = float(prune_tol)
+        self.max_support = max_support
+        self.schedule: Optional[PatchSchedule] = None
+        self.patch_calibrations: Optional[Dict[Tuple[int, ...], CalibrationMatrix]] = None
+        self._isolated_cals: Dict[int, CalibrationMatrix] = {}
+
+    # ------------------------------------------------------------------
+    # Calibration phase
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return self._edges
+
+    def calibration_circuit_count(self) -> int:
+        """Circuits the calibration will execute (4 per Algorithm-1 round)."""
+        schedule = self.schedule or build_patch_rounds(
+            self.coupling_map, k=self.k, edges=self._edges
+        )
+        count = schedule.num_circuits
+        if self._isolated_patchless_qubits():
+            count += 2  # one I / X round covering all patchless qubits
+        return count
+
+    def _isolated_patchless_qubits(self) -> List[int]:
+        covered = {q for e in self._edges for q in e}
+        return [q for q in range(self.coupling_map.num_qubits) if q not in covered]
+
+    def prepare(
+        self,
+        backend: SimulatedBackend,
+        budget: ShotBudget,
+        calibration_fraction: float = DEFAULT_CALIBRATION_FRACTION,
+    ) -> None:
+        """Execute the patch calibration circuits and fold the results."""
+        if backend.num_qubits != self.coupling_map.num_qubits:
+            raise ValueError("backend size does not match coupling map")
+        if not self._edges:
+            self._prepare_isolated_only(backend, budget, calibration_fraction)
+            return
+        self.schedule = build_patch_rounds(
+            self.coupling_map, k=self.k, edges=self._edges
+        )
+        plan = patch_calibration_plan(self.schedule)
+        patchless = self._isolated_patchless_qubits()
+        extra = 2 if patchless else 0
+        shots_per_circuit = budget.split_evenly(
+            plan.num_circuits + extra, fraction=calibration_fraction
+        )
+        results = backend.run_batch(
+            plan.circuits, shots_per_circuit, budget=budget, tag="calibration"
+        )
+        self.patch_calibrations = plan.fold_counts(results)
+        if patchless:
+            self._calibrate_isolated(backend, budget, patchless, shots_per_circuit)
+
+    def _prepare_isolated_only(
+        self, backend: SimulatedBackend, budget: ShotBudget, fraction: float
+    ) -> None:
+        """Degenerate map with no edges: per-qubit calibration only."""
+        self.schedule = None
+        self.patch_calibrations = {}
+        qubits = list(range(self.coupling_map.num_qubits))
+        shots = budget.split_evenly(2, fraction=fraction)
+        self._calibrate_isolated(backend, budget, qubits, shots)
+
+    def _calibrate_isolated(
+        self,
+        backend: SimulatedBackend,
+        budget: ShotBudget,
+        qubits: Sequence[int],
+        shots_per_circuit: int,
+    ) -> None:
+        """Two circuits (all-|0>, X on every patchless qubit) calibrate every
+        patchless qubit simultaneously."""
+        n = self.coupling_map.num_qubits
+        zeros = Circuit(n, name="cmc-isolated-0").measure_all()
+        ones = Circuit(n, name="cmc-isolated-1")
+        for q in qubits:
+            ones.x(q)
+        ones.measure_all()
+        c0 = backend.run(zeros, shots_per_circuit, budget=budget, tag="calibration")
+        c1 = backend.run(ones, shots_per_circuit, budget=budget, tag="calibration")
+        for q in qubits:
+            self._isolated_cals[q] = CalibrationMatrix.from_counts(
+                (q,), {0: c0.marginalize([q]), 1: c1.marginalize([q])}
+            )
+
+    def set_patch_calibrations(
+        self, calibrations: Mapping[Sequence[int], CalibrationMatrix]
+    ) -> None:
+        """Inject externally-obtained patch calibrations (testing / reuse)."""
+        self.patch_calibrations = {
+            tuple(sorted(patch)): cal for patch, cal in calibrations.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Mitigation phase
+    # ------------------------------------------------------------------
+    def _build_joined(self, measured: Sequence[int]) -> Tuple[Optional[JoinedCalibration], List[int]]:
+        """Joined calibration restricted to the measured qubits (§IV-C).
+
+        Returns the joined operator over measured-qubit patches (or ``None``
+        if no patch survives) and the list of measured qubits handled by
+        single-qubit marginals instead.
+        """
+        if self.patch_calibrations is None:
+            raise RuntimeError("CMC has not been calibrated; call prepare() first")
+        measured_set = set(measured)
+        patches: List[CalibrationMatrix] = []
+        covered: set = set()
+        # Boundary patches (partially measured) are traced onto their
+        # measured subset and joined like any other patch — the Eq. 5-7
+        # order parameters automatically divide out repeated marginals when
+        # several boundary patches land on the same qubit(s).
+        boundary: List[CalibrationMatrix] = []
+        for patch in self._edges:
+            cal = self.patch_calibrations.get(patch)
+            if cal is None:
+                continue
+            inside = tuple(sorted(measured_set.intersection(patch)))
+            if len(inside) == len(patch):
+                patches.append(cal)
+                covered.update(patch)
+            elif inside:
+                boundary.append(cal.traced(inside))
+        kept_boundary: List[CalibrationMatrix] = []
+        for cal in boundary:
+            if not set(cal.qubits) <= covered:
+                kept_boundary.append(cal)
+                covered.update(cal.qubits)
+        singles: List[int] = []
+        single_patches: List[CalibrationMatrix] = []
+        for q in sorted(measured_set):
+            if q in covered:
+                continue
+            if q in self._isolated_cals:
+                single_patches.append(self._isolated_cals[q])
+                singles.append(q)
+            # else: measured qubit with no calibration info at all — left
+            # unmitigated (identity).
+        all_patches = patches + kept_boundary + single_patches
+        if not all_patches:
+            return None, singles
+        return JoinedCalibration(all_patches), singles
+
+    def mitigate(self, counts: Counts) -> Counts:
+        """Apply the inverted joined calibration to measured counts."""
+        measured = counts.measured_qubits
+        joined, _ = self._build_joined(measured)
+        if joined is None:
+            return counts
+        positions_of = {q: i for i, q in enumerate(measured)}
+        dist = counts.to_sparse(normalized=True)
+        out = joined.mitigate_sparse(
+            dist,
+            positions_of=positions_of,
+            prune_tol=self.prune_tol,
+            max_support=self.max_support,
+        )
+        out = out.clip_normalized()
+        return Counts(
+            {int(i): float(v) * counts.shots for i, v in zip(out.indices, out.values)},
+            measured,
+            counts.num_qubits,
+        )
+
+    def execute(
+        self,
+        circuit: Circuit,
+        backend: SimulatedBackend,
+        budget: ShotBudget,
+    ) -> Counts:
+        """Run the target circuit on the remaining budget and mitigate."""
+        if self.patch_calibrations is None and not self._isolated_cals:
+            raise RuntimeError("CMC has not been calibrated; call prepare() first")
+        shots = budget.remaining
+        if shots is None:
+            raise ValueError("CMC.execute needs a capped budget")
+        raw = backend.run(circuit, shots, budget=budget, tag="target")
+        return self.mitigate(raw)

@@ -1,0 +1,142 @@
+"""Characterisation-cost accounting (paper Table I).
+
+Table I compares the number of quantum-circuit executions each
+characterisation method needs, in terms of ``n`` qubits, ``r`` repetitions,
+``e`` coupling-map edges and the patch-parallelism speed-up ``k``.  The
+closed forms below reproduce the table; :func:`measured_cmc_cost` computes
+the *actual* CMC circuit count for a concrete coupling map via Algorithm 1,
+which is what the Tokyo worked example in §IV-A reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.patches import build_patch_rounds
+from repro.topology.coupling_map import CouplingMap
+
+__all__ = ["MethodCost", "METHOD_COSTS", "characterization_cost", "measured_cmc_cost", "tokyo_worked_example"]
+
+
+@dataclass(frozen=True)
+class MethodCost:
+    """One row of Table I."""
+
+    method: str
+    formula: str
+    output: str
+    circuits: Callable[..., float]  # (n, r, e, k, aim_k) -> circuit count
+
+
+def _process_tomography(n: int, r: int, **_: object) -> float:
+    return r * 4**n
+
+
+def _complete_calibration(n: int, r: int, **_: object) -> float:
+    return r * 2**n
+
+
+def _tensored_calibration(n: int, r: int, **_: object) -> float:
+    return 2 * n * r
+
+
+def _randomized_benchmarking(n: int, r: int, **_: object) -> float:
+    # Poly(n): standard RB uses O(n) sequence lengths x r sequences.
+    return r * n
+
+
+def _twirling(n: int, r: int, **_: object) -> float:
+    return r * n**2
+
+
+def _aim(n: int, r: int, aim_k: int = 4, **_: object) -> float:
+    # r1 * n/2 characterisation circuits + r2 * k re-runs; Table I abbreviates
+    # to 4r with k "typically 4".
+    return 4 * r
+
+
+def _sim(n: int, r: int, **_: object) -> float:
+    return 4 * r  # four fixed mask circuits; Table I lists "2nr + kr" for SIM
+    # in its published layout, but §III-D fixes SIM at exactly four circuits;
+    # we follow the prose (the table's SIM/AIM rows are swapped in print).
+
+
+def _jigsaw(n: int, r: int, aim_k: int = 4, **_: object) -> float:
+    return n * aim_k / 2 + aim_k
+
+
+def _cmc(n: int, r: int, e: Optional[int] = None, k: float = 1.0, **_: object) -> float:
+    edges = e if e is not None else 2 * n  # typical NISQ edge density
+    return 4 / max(k, 1e-12) * edges * r
+
+
+METHOD_COSTS: Dict[str, MethodCost] = {
+    "process_tomography": MethodCost(
+        "Process Tomography", "r 4^n", "SPAM + gate errors", _process_tomography
+    ),
+    "complete_calibration": MethodCost(
+        "Complete Calibration", "r 2^n", "SPAM errors", _complete_calibration
+    ),
+    "tensored_calibration": MethodCost(
+        "Tensored Calibrations", "2nr", "non-correlated SPAM errors", _tensored_calibration
+    ),
+    "randomized_benchmarking": MethodCost(
+        "Randomised Benchmarking", "Poly(n)", "average SPAM and gate", _randomized_benchmarking
+    ),
+    "twirling": MethodCost(
+        "Pauli/Clifford Twirling", "Poly(n)", "SPAM-free errors", _twirling
+    ),
+    "aim": MethodCost("AIM", "4r", "average biased SPAM", _aim),
+    "sim": MethodCost("SIM", "4r (fixed masks)", "top-k least biased SPAM", _sim),
+    "jigsaw": MethodCost("JIGSAW", "nk/2 + k", "Bayesian error distribution", _jigsaw),
+    "cmc": MethodCost("CMC", "(4/k) e r", "local SPAM errors", _cmc),
+}
+
+
+def characterization_cost(
+    method: str,
+    n: int,
+    r: int = 1,
+    e: Optional[int] = None,
+    k: float = 1.0,
+    aim_k: int = 4,
+) -> float:
+    """Circuit count for ``method`` per its Table I closed form.
+
+    Parameters mirror the table: ``n`` qubits, ``r`` repetitions, ``e``
+    coupling-map edges (CMC), ``k`` patch-parallel speed-up (CMC) or the
+    AIM/JIGSAW constant ``aim_k``.
+    """
+    if n < 1 or r < 0:
+        raise ValueError("n must be >= 1 and r >= 0")
+    try:
+        cost = METHOD_COSTS[method]
+    except KeyError:
+        raise KeyError(
+            f"unknown method {method!r}; known: {sorted(METHOD_COSTS)}"
+        ) from None
+    return float(cost.circuits(n=n, r=r, e=e, k=k, aim_k=aim_k))
+
+
+def measured_cmc_cost(coupling_map: CouplingMap, k: int = 1) -> int:
+    """Actual CMC circuit count for a concrete map (Algorithm 1 output)."""
+    return build_patch_rounds(coupling_map, k=k).num_circuits
+
+
+def tokyo_worked_example(coupling_map: CouplingMap) -> Dict[str, int]:
+    """The §IV-A circuit-count comparison for a Tokyo-class device.
+
+    Returns the five counts the paper walks through: all qubits
+    individually, each edge individually, coupling-map patching, all qubit
+    pairs, and the full calibration.
+    """
+    n = coupling_map.num_qubits
+    e = coupling_map.num_edges
+    return {
+        "individual_qubits": 2 * n,
+        "per_edge": 4 * e,
+        "coupling_map_patching": measured_cmc_cost(coupling_map, k=1),
+        "all_pairs": 4 * (n * (n - 1) // 2),
+        "full_calibration": 2**n if n <= 20 else -1,
+    }

@@ -1,0 +1,48 @@
+"""Experiment drivers — one per paper table/figure.
+
+Each driver wires backends, circuits, the method suite and the shot-budget
+rule together and returns plain data structures (dicts / dataclasses) that
+the benchmark harness prints as the paper's rows and series.  See
+EXPERIMENTS.md for the per-experiment index and DESIGN.md for substitutions.
+"""
+
+from repro.experiments.runner import (
+    MethodResult,
+    MethodSuite,
+    default_method_suite,
+    run_suite_once,
+)
+from repro.experiments.ghz_sweep import GhzSweepResult, ghz_architecture_sweep
+from repro.experiments.channels_bench import (
+    ChannelBenchResult,
+    simulated_channel_benchmark,
+)
+from repro.experiments.xchain import XChainResult, x_chain_experiment
+from repro.experiments.device_table import DeviceTableResult, device_ghz_table
+from repro.experiments.correlation_map import CorrelationMapResult, device_correlation_map
+from repro.experiments.err_stability import ErrStabilityResult, err_stability_experiment
+from repro.experiments.shots_scaling import ShotsScalingResult, shots_scaling_experiment
+from repro.experiments.report import format_series, format_table
+
+__all__ = [
+    "MethodResult",
+    "MethodSuite",
+    "default_method_suite",
+    "run_suite_once",
+    "GhzSweepResult",
+    "ghz_architecture_sweep",
+    "ChannelBenchResult",
+    "simulated_channel_benchmark",
+    "XChainResult",
+    "x_chain_experiment",
+    "DeviceTableResult",
+    "device_ghz_table",
+    "CorrelationMapResult",
+    "device_correlation_map",
+    "ErrStabilityResult",
+    "err_stability_experiment",
+    "ShotsScalingResult",
+    "shots_scaling_experiment",
+    "format_series",
+    "format_table",
+]

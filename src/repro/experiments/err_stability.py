@@ -1,0 +1,117 @@
+"""ERR-map temporal stability (paper §I bullet 2 and §VII-A).
+
+The paper claims ERR characterisations "are stable for a given device on
+the order of weeks between significant recalibrations" — i.e. the error
+coupling map recovered from this week's calibration still describes next
+week's device, so the (profiling-heavy) ERR stage need not be re-run per
+session.
+
+Protocol here: draw a base device noise model, produce one drifted
+snapshot per week (magnitudes jitter, structure persists —
+:mod:`repro.noise.drift`), recover an error coupling map from each
+snapshot independently, and measure pairwise edge-set overlap (Jaccard
+index) plus each map's recall of the injected ground-truth pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.budget import ShotBudget
+from repro.backends.profiles import device_profile_backend
+from repro.core.err import CMCERRMitigator
+from repro.noise.drift import drift_noise_model
+from repro.topology.coupling_map import CouplingMap, Edge
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["ErrStabilityResult", "err_stability_experiment"]
+
+
+def _jaccard(a: set, b: set) -> float:
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass
+class ErrStabilityResult:
+    """Weekly error maps and their overlap statistics."""
+
+    device: str
+    weeks: int
+    weekly_maps: List[CouplingMap]
+    injected_edges: Tuple[Edge, ...]
+
+    def pairwise_jaccard(self) -> List[float]:
+        """Jaccard overlap of every pair of weekly error maps."""
+        out = []
+        for i in range(self.weeks):
+            for j in range(i + 1, self.weeks):
+                out.append(
+                    _jaccard(
+                        set(self.weekly_maps[i].edges),
+                        set(self.weekly_maps[j].edges),
+                    )
+                )
+        return out
+
+    def mean_jaccard(self) -> float:
+        """Average pairwise weekly-map overlap (1 = perfectly stable)."""
+        pairs = self.pairwise_jaccard()
+        return float(np.mean(pairs)) if pairs else 1.0
+
+    def weekly_recall(self) -> List[float]:
+        """Fraction of injected ground-truth pairs each week's map recovers."""
+        truth = set(self.injected_edges)
+        if not truth:
+            return [1.0] * self.weeks
+        return [
+            len(set(m.edges) & truth) / len(truth) for m in self.weekly_maps
+        ]
+
+    def stable_core(self) -> Tuple[Edge, ...]:
+        """Edges present in every weekly map (the persistent structure)."""
+        core = set(self.weekly_maps[0].edges)
+        for m in self.weekly_maps[1:]:
+            core &= set(m.edges)
+        return tuple(sorted(core))
+
+
+def err_stability_experiment(
+    device: str = "nairobi",
+    *,
+    weeks: int = 4,
+    shots_per_week: int = 64000,
+    drift_scale: float = 0.15,
+    locality: int = 3,
+    seed: RandomState = 0,
+) -> ErrStabilityResult:
+    """Recover an ERR error map per drifted week and measure stability."""
+    if weeks < 2:
+        raise ValueError("need at least two weeks to compare")
+    master = ensure_rng(seed)
+    base = device_profile_backend(device, rng=master, gate_noise=False)
+    weekly_maps: List[CouplingMap] = []
+    for week in range(weeks):
+        model = drift_noise_model(
+            base.noise_model, scale=drift_scale, week=week, rng=master
+        )
+        backend = SimulatedBackend(base.coupling_map, model, rng=master)
+        # Threshold at 2x the median pair weight: edges at the sampling
+        # noise floor are not device structure and churn between weeks.
+        mitigator = CMCERRMitigator(
+            base.coupling_map, locality=locality, noise_floor_factor=2.0
+        )
+        mitigator.profile(backend, ShotBudget(shots_per_week))
+        assert mitigator.error_map is not None
+        weekly_maps.append(mitigator.error_map)
+    return ErrStabilityResult(
+        device=device,
+        weeks=weeks,
+        weekly_maps=weekly_maps,
+        injected_edges=base.noise_model.correlated_edges,
+    )

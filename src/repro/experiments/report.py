@@ -1,0 +1,88 @@
+"""Plain-text reporting of experiment results.
+
+Benchmarks print the same rows/series the paper's tables and figures show;
+these helpers keep that formatting in one place so every bench target emits
+a uniform, diffable layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.analysis.stats import QuantileSummary
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, float, int, None, QuantileSummary]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if cell is None:
+        return "N/A"
+    if isinstance(cell, QuantileSummary):
+        return cell.format(precision)
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, Cell]],
+    columns: Sequence[str],
+    *,
+    row_header: str = "",
+    precision: int = 3,
+    bold_min_per_column: bool = False,
+) -> str:
+    """Render ``rows[row][column]`` as an aligned text table.
+
+    ``bold_min_per_column=True`` wraps the minimal numeric entry of each
+    column in ``*stars*`` — the paper bolds the best non-exponential method
+    per device; callers pre-filter rows to control what competes.
+    """
+    col_names = list(columns)
+    best: Dict[str, Optional[str]] = {c: None for c in col_names}
+    if bold_min_per_column:
+        for c in col_names:
+            best_val = None
+            for r, cells in rows.items():
+                v = cells.get(c)
+                num = v.median if isinstance(v, QuantileSummary) else v
+                if isinstance(num, (int, float)) and (best_val is None or num < best_val):
+                    best_val = num
+                    best[c] = r
+    rendered: List[List[str]] = []
+    header = [row_header] + col_names
+    rendered.append(header)
+    for r, cells in rows.items():
+        line = [r]
+        for c in col_names:
+            text = _render(cells.get(c), precision)
+            if bold_min_per_column and best.get(c) == r and text != "N/A":
+                text = f"*{text}*"
+            line.append(text)
+        rendered.append(line)
+    widths = [max(len(row[i]) for row in rendered) for i in range(len(header))]
+    lines = []
+    for idx, row in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Union[int, float]],
+    series: Mapping[str, Sequence[Optional[float]]],
+    *,
+    precision: int = 3,
+) -> str:
+    """Render one-line-per-x series data (the figure regenerators)."""
+    rows: Dict[str, Dict[str, Cell]] = {}
+    for i, x in enumerate(x_values):
+        rows[str(x)] = {
+            name: (values[i] if i < len(values) else None)
+            for name, values in series.items()
+        }
+    return format_table(rows, list(series.keys()), row_header=x_label, precision=precision)

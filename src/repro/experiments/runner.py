@@ -1,0 +1,172 @@
+"""The method-suite runner: equal budgets, fresh mitigators, N/A handling.
+
+Encodes the paper's evaluation protocol (§V):
+
+* every method receives the **same** total shot budget per trial;
+* calibration-matrix methods split it between calibration and the target
+  circuit; circuit-specific methods spend it all inside execution;
+* exponential methods that cannot run at the current size are reported as
+  ``N/A`` (Table II's Nairobi column) rather than crashing the sweep.
+
+Mitigator instances are built fresh per trial via factories so that no
+calibration state leaks between trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import one_norm_distance
+from repro.backends.backend import SimulatedBackend
+from repro.backends.budget import BudgetExceeded, ShotBudget
+from repro.circuits.circuit import Circuit
+from repro.core.base import Mitigator
+from repro.core.cmc import CMCMitigator
+from repro.core.err import CMCERRMitigator
+from repro.counts import Counts
+from repro.mitigation.aim import AIMMitigator
+from repro.mitigation.bare import BareMitigator
+from repro.mitigation.full import FullCalibrationMitigator, NotScalableError
+from repro.mitigation.jigsaw import JigsawMitigator
+from repro.mitigation.linear import LinearCalibrationMitigator
+from repro.mitigation.simavg import SIMMitigator
+from repro.topology.coupling_map import CouplingMap
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "MethodResult",
+    "MethodSuite",
+    "default_method_suite",
+    "run_suite_once",
+    "METHOD_ORDER",
+]
+
+MitigatorFactory = Callable[[], Mitigator]
+
+#: Canonical column order used by the paper's tables.
+METHOD_ORDER = ["Bare", "Full", "Linear", "AIM", "SIM", "JIGSAW", "CMC", "CMC-ERR"]
+
+
+@dataclass
+class MethodResult:
+    """Outcome of one method on one trial."""
+
+    method: str
+    counts: Optional[Counts]
+    error: Optional[float] = None  # one-norm distance when ideal was given
+    shots_spent: int = 0
+    circuits_executed: int = 0
+    not_applicable: bool = False
+    failure: str = ""
+
+    @property
+    def available(self) -> bool:
+        return self.counts is not None and not self.not_applicable
+
+
+@dataclass
+class MethodSuite:
+    """Named mitigator factories, run under a common budget."""
+
+    factories: Dict[str, MitigatorFactory]
+
+    def names(self) -> List[str]:
+        """Method names in the paper's canonical column order."""
+        ordered = [m for m in METHOD_ORDER if m in self.factories]
+        extras = [m for m in self.factories if m not in METHOD_ORDER]
+        return ordered + sorted(extras)
+
+
+def default_method_suite(
+    coupling_map: CouplingMap,
+    rng: RandomState = None,
+    *,
+    include: Optional[Sequence[str]] = None,
+    full_max_qubits: int = 12,
+    linear_max_qubits: Optional[int] = None,
+    err_locality: int = 3,
+    jigsaw_subsets: int = 4,
+    cmc_k: int = 1,
+) -> MethodSuite:
+    """The paper's full comparison suite for a device.
+
+    ``include`` filters methods by name (default: all eight).  JIGSAW's
+    random subset draws are seeded from ``rng`` per instantiation.
+    ``linear_max_qubits`` defaults to ``full_max_qubits`` so Linear goes
+    N/A alongside Full, as in Table II (the paper's Linear materialises a
+    dense matrix); pass a large value to let the sparse Linear run anywhere.
+    """
+    master = ensure_rng(rng)
+    linear_cap = full_max_qubits if linear_max_qubits is None else linear_max_qubits
+
+    def jigsaw_factory() -> Mitigator:
+        return JigsawMitigator(
+            num_subsets=jigsaw_subsets, rng=int(master.integers(0, 2**31))
+        )
+
+    factories: Dict[str, MitigatorFactory] = {
+        "Bare": BareMitigator,
+        "Full": lambda: FullCalibrationMitigator(max_qubits=full_max_qubits),
+        "Linear": lambda: LinearCalibrationMitigator(
+            two_circuit=True, max_qubits=linear_cap
+        ),
+        "AIM": AIMMitigator,
+        "SIM": SIMMitigator,
+        "JIGSAW": jigsaw_factory,
+        "CMC": lambda: CMCMitigator(coupling_map, k=cmc_k),
+        "CMC-ERR": lambda: CMCERRMitigator(
+            coupling_map, locality=err_locality, separation=cmc_k
+        ),
+    }
+    if include is not None:
+        wanted = set(include)
+        unknown = wanted - set(factories)
+        if unknown:
+            raise KeyError(f"unknown methods: {sorted(unknown)}")
+        factories = {k: v for k, v in factories.items() if k in wanted}
+    return MethodSuite(factories)
+
+
+def run_suite_once(
+    suite: MethodSuite,
+    circuit: Circuit,
+    backend: SimulatedBackend,
+    total_shots: int,
+    ideal: Optional[np.ndarray] = None,
+) -> Dict[str, MethodResult]:
+    """Run every method in the suite on one circuit with equal budgets.
+
+    Returns a result per method; exponential-method infeasibility and
+    budget exhaustion become ``not_applicable`` / ``failure`` entries so a
+    sweep never aborts half-way (the paper's N/A cells).
+    """
+    results: Dict[str, MethodResult] = {}
+    for name in suite.names():
+        factory = suite.factories[name]
+        budget = ShotBudget(total_shots)
+        try:
+            mitigator = factory()
+            mitigator.prepare(backend, budget)
+            counts = mitigator.execute(circuit, backend, budget)
+        except NotScalableError as exc:
+            results[name] = MethodResult(
+                method=name, counts=None, not_applicable=True, failure=str(exc)
+            )
+            continue
+        except (BudgetExceeded, ValueError) as exc:
+            results[name] = MethodResult(
+                method=name, counts=None, not_applicable=True, failure=str(exc)
+            )
+            continue
+        err = one_norm_distance(counts, ideal) if ideal is not None else None
+        results[name] = MethodResult(
+            method=name,
+            counts=counts,
+            error=err,
+            shots_spent=budget.spent,
+            circuits_executed=budget.circuits_executed,
+        )
+    return results

@@ -1,0 +1,110 @@
+"""Shot-budget scaling (paper §V-A).
+
+"We can also determine the scalability of each of these methods in terms
+of the total number of shots required to produce a consistent result."
+
+For a fixed device and circuit, sweep the per-method total shot budget and
+record the error at each point.  Two regimes emerge:
+
+* methods with cheap calibration (CMC, Linear, JIGSAW) converge quickly —
+  their error floor is model error, reached with modest budgets;
+* the Full method's error keeps falling with budget (its 2^n calibration
+  circuits each need enough shots) — at small budgets it is *worse* than
+  cheap methods, crossing below them only once the budget amortises the
+  exponential calibration (the Fig. 12/13 interplay in one plot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.profiles import architecture_backend
+from repro.circuits.library import ghz_bfs
+from repro.experiments.ghz_sweep import ghz_ideal_distribution
+from repro.experiments.runner import default_method_suite, run_suite_once
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+__all__ = ["ShotsScalingResult", "shots_scaling_experiment"]
+
+
+@dataclass
+class ShotsScalingResult:
+    """Error per method per budget point."""
+
+    num_qubits: int
+    budgets: List[int]
+    trials: int
+    #: errors[method][i] = per-trial errors at budgets[i]
+    errors: Dict[str, List[List[float]]] = field(default_factory=dict)
+
+    def medians(self, method: str) -> List[Optional[float]]:
+        """Median error per budget point (None where N/A)."""
+        out: List[Optional[float]] = []
+        for samples in self.errors.get(method, []):
+            out.append(float(np.median(samples)) if samples else None)
+        return out
+
+    def methods(self) -> List[str]:
+        """Methods with recorded series."""
+        return list(self.errors)
+
+    def budget_to_reach(self, method: str, error_target: float) -> Optional[int]:
+        """Smallest swept budget whose median error is <= target."""
+        for budget, median in zip(self.budgets, self.medians(method)):
+            if median is not None and median <= error_target:
+                return budget
+        return None
+
+
+def shots_scaling_experiment(
+    num_qubits: int = 6,
+    budgets: Sequence[int] = (1000, 4000, 16000, 64000),
+    *,
+    architecture: str = "grid",
+    methods: Optional[Sequence[str]] = None,
+    trials: int = 2,
+    seed: RandomState = 0,
+) -> ShotsScalingResult:
+    """Sweep the per-method shot budget on a fixed GHZ benchmark."""
+    result = ShotsScalingResult(
+        num_qubits=int(num_qubits),
+        budgets=[int(b) for b in budgets],
+        trials=int(trials),
+    )
+    master = ensure_rng(seed)
+    trial_rngs = spawn_rngs(master, trials)
+    backends = [
+        architecture_backend(
+            architecture,
+            num_qubits,
+            error_1q=0.0,
+            error_2q=0.0,
+            correlation_placement="coupling",
+            rng=rng,
+        )
+        for rng in trial_rngs
+    ]
+    ideal = ghz_ideal_distribution(num_qubits)
+    for budget in result.budgets:
+        per_method: Dict[str, List[float]] = {}
+        for backend, rng in zip(backends, trial_rngs):
+            suite = default_method_suite(
+                backend.coupling_map,
+                rng=rng,
+                include=methods,
+                full_max_qubits=num_qubits,
+                linear_max_qubits=num_qubits,
+            )
+            circuit = ghz_bfs(backend.coupling_map)
+            outcome = run_suite_once(suite, circuit, backend, budget, ideal=ideal)
+            for name, res in outcome.items():
+                bucket = per_method.setdefault(name, [])
+                if res.available and res.error is not None:
+                    bucket.append(res.error)
+        for name, samples in per_method.items():
+            result.errors.setdefault(name, []).append(samples)
+    return result

@@ -1,0 +1,36 @@
+"""Baseline measurement-error mitigation methods from the paper's comparison.
+
+* :class:`BareMitigator` — no mitigation (the "Bare" columns);
+* :class:`FullCalibrationMitigator` — complete 2^n calibration (§III-B);
+* :class:`LinearCalibrationMitigator` — tensored per-qubit calibration;
+* :class:`SIMMitigator` / :class:`AIMMitigator` — Static / Adaptive Invert
+  and Measure (Tannu & Qureshi, §III-D);
+* :class:`JigsawMitigator` — measurement subsetting with Bayesian
+  sub-tables (Das et al., §III-D), including the renormalisation pathology
+  the paper analyses.
+
+CMC and CMC-ERR live in :mod:`repro.core` and are re-exported here so the
+whole method suite is importable from one place.
+"""
+
+from repro.core.base import Mitigator
+from repro.core.cmc import CMCMitigator
+from repro.core.err import CMCERRMitigator
+from repro.mitigation.bare import BareMitigator
+from repro.mitigation.full import FullCalibrationMitigator
+from repro.mitigation.linear import LinearCalibrationMitigator
+from repro.mitigation.simavg import SIMMitigator
+from repro.mitigation.aim import AIMMitigator
+from repro.mitigation.jigsaw import JigsawMitigator
+
+__all__ = [
+    "Mitigator",
+    "BareMitigator",
+    "FullCalibrationMitigator",
+    "LinearCalibrationMitigator",
+    "SIMMitigator",
+    "AIMMitigator",
+    "JigsawMitigator",
+    "CMCMitigator",
+    "CMCERRMitigator",
+]

@@ -1,0 +1,133 @@
+"""AIM — Adaptive Invert and Measure (Tannu & Qureshi; paper §III-D).
+
+AIM extends SIM with an adaptive mask pool: stage one applies sliding
+four-qubit X-windows ``I^⊗2i ⊗ X^⊗4 ⊗ I^⊗(n-2i-4)`` (plus the SIM masks)
+before measurement, un-flips, and scores each mask; the top-``k`` masks are
+then re-run with the remaining budget and averaged.
+
+Scoring: the probability mass of the mask's modal (most frequent) corrected
+outcome — masks that sharpen the corrected distribution are assumed to be
+counteracting the dominant bias ("this selection mechanism assumes that
+some elements of those top k bit strings are improving the success
+probability").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.budget import ShotBudget
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import mask_circuit
+from repro.core.base import Mitigator
+from repro.counts import Counts
+from repro.mitigation.simavg import sim_masks
+from repro.utils.bitstrings import extract_bits
+
+__all__ = ["AIMMitigator", "aim_masks"]
+
+
+def aim_masks(num_qubits: int, window: int = 4, stride: int = 2) -> List[int]:
+    """The AIM characterisation pool: sliding X-windows plus the SIM masks.
+
+    ``I^⊗2i ⊗ X^⊗window ⊗ I^⊗rest`` for ``i = 0, stride, 2*stride, ...``
+    (window clamped to the register for small n), deduplicated.
+    """
+    masks = list(sim_masks(num_qubits))
+    w = min(window, num_qubits)
+    window_bits = (1 << w) - 1
+    for start in range(0, max(num_qubits - w, 0) + 1, stride):
+        masks.append(window_bits << start)
+    seen = []
+    for m in masks:
+        if m not in seen:
+            seen.append(m)
+    return seen
+
+
+class AIMMitigator(Mitigator):
+    """Adaptive Invert and Measure.
+
+    Parameters
+    ----------
+    top_k:
+        Number of best-scoring masks kept for stage two (paper: "typically
+        4").
+    stage1_fraction:
+        Share of the budget spent scoring the pool; the rest re-runs the
+        top-k masks.
+    """
+
+    name = "AIM"
+    reusable = False
+
+    def __init__(self, top_k: int = 4, stage1_fraction: float = 0.5) -> None:
+        if top_k < 1:
+            raise ValueError("top_k must be positive")
+        if not (0.0 < stage1_fraction < 1.0):
+            raise ValueError("stage1_fraction must be in (0, 1)")
+        self.top_k = int(top_k)
+        self.stage1_fraction = float(stage1_fraction)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _score(corrected: Counts) -> float:
+        """Mass of the modal corrected outcome (sharpness score)."""
+        if corrected.shots <= 0:
+            return 0.0
+        mode = corrected.most_frequent()
+        return corrected.get(mode) / corrected.shots
+
+    def _run_mask(
+        self,
+        circuit: Circuit,
+        backend: SimulatedBackend,
+        budget: ShotBudget,
+        mask: int,
+        shots: int,
+    ) -> Counts:
+        n = circuit.num_qubits
+        measured = circuit.measured_qubits
+        variant = circuit.compose(mask_circuit(n, mask)).with_measured(measured)
+        variant.name = f"{circuit.name}+aim-{mask:0{n}b}"
+        raw = backend.run(variant, shots, budget=budget, tag="target")
+        local_mask = int(extract_bits(np.array([mask]), measured)[0])
+        return raw.xor_relabel(local_mask)
+
+    def execute(
+        self,
+        circuit: Circuit,
+        backend: SimulatedBackend,
+        budget: ShotBudget,
+    ) -> Counts:
+        total = budget.remaining
+        if total is None:
+            raise ValueError("AIM.execute needs a capped budget")
+        n = circuit.num_qubits
+        pool = aim_masks(n)
+        stage1_total = int(total * self.stage1_fraction)
+        shots_each = max(stage1_total // len(pool), 1) if stage1_total else 0
+        scored: List[Tuple[float, int, Counts]] = []
+        for mask in pool:
+            if not budget.can_afford(shots_each):
+                break
+            corrected = self._run_mask(circuit, backend, budget, mask, shots_each)
+            scored.append((self._score(corrected), mask, corrected))
+        if not scored:
+            raise ValueError("AIM budget too small for stage one")
+        scored.sort(key=lambda t: (-t[0], t[1]))
+        top = scored[: self.top_k]
+        # Stage two: re-run the top-k masks with the remaining budget.
+        remaining = budget.remaining or 0
+        shots_each2 = remaining // max(len(top), 1)
+        finals: List[Counts] = []
+        for _score, mask, stage1_counts in top:
+            if shots_each2 > 0:
+                rerun = self._run_mask(circuit, backend, budget, mask, shots_each2)
+                finals.append(stage1_counts.merged(rerun))
+            else:
+                finals.append(stage1_counts)
+        return Counts.average(finals)

@@ -1,0 +1,34 @@
+"""No mitigation — the "Bare" reference column of every figure."""
+
+from __future__ import annotations
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.budget import ShotBudget
+from repro.circuits.circuit import Circuit
+from repro.core.base import Mitigator
+from repro.counts import Counts
+
+__all__ = ["BareMitigator"]
+
+
+class BareMitigator(Mitigator):
+    """Runs the target circuit with the full budget; returns raw counts.
+
+    Spending the *entire* budget on the target circuit (rather than holding
+    back a calibration share) is what makes the Bare column a fair baseline:
+    it has the lowest sampling noise of all methods.
+    """
+
+    name = "Bare"
+    reusable = True  # nothing to re-run per circuit
+
+    def execute(
+        self,
+        circuit: Circuit,
+        backend: SimulatedBackend,
+        budget: ShotBudget,
+    ) -> Counts:
+        shots = budget.remaining
+        if shots is None:
+            raise ValueError("Bare.execute needs a capped budget")
+        return backend.run(circuit, shots, budget=budget, tag="target")

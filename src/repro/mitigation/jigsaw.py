@@ -1,0 +1,157 @@
+"""JIGSAW — measurement subsetting with Bayesian sub-tables
+(Das, Tannu & Qureshi, MICRO '21; paper §III-D).
+
+Protocol:
+
+1. run the target circuit measuring *all* qubits → the **global table**;
+2. for each of ``num_subsets`` randomly drawn qubit pairs, run the circuit
+   measuring only that pair → a **sub-table** (small registers have far
+   lower readout error, so sub-tables are high-fidelity marginals);
+3. convolve each sub-table into the global table: partition global entries
+   by their value on the subset qubits, renormalise each partition, and
+   scale it by the sub-table's probability for that value.
+
+The renormalisation pathology (§III-D, Fig. 12's bifurcation) is reproduced
+faithfully, because the paper analyses it: if a partition of the global
+table has no matching sub-table mass — or a sub-table collapses to a single
+value — renormalisation promotes rare states, so JIGSAW "erroneously
+over-report[s] states that occur with low probability".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.budget import ShotBudget
+from repro.circuits.circuit import Circuit
+from repro.core.base import Mitigator
+from repro.counts import Counts
+from repro.utils.bitstrings import extract_bits
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["JigsawMitigator", "bayesian_update"]
+
+
+def bayesian_update(global_table: Counts, sub_table: Counts) -> Counts:
+    """Convolve one sub-table into the global distribution (JIGSAW's core).
+
+    For each value ``s`` the sub-table assigns mass ``q(s)``: the global
+    entries whose subset bits read ``s`` are renormalised among themselves
+    and rescaled to ``q(s)``.  Global entries whose subset value has no
+    sub-table mass are dropped (their partition gets zero weight) — this
+    *is* the instability the paper critiques, kept by design.
+    """
+    sub_qubits = sub_table.measured_qubits
+    positions = []
+    for q in sub_qubits:
+        try:
+            positions.append(global_table.measured_qubits.index(q))
+        except ValueError:
+            raise ValueError(
+                f"sub-table qubit {q} not among global measured qubits"
+            ) from None
+    sub_probs = sub_table.to_probabilities()
+    # Partition the global table by subset value.
+    partitions: Dict[int, List[Tuple[int, float]]] = {}
+    for outcome, weight in global_table.items():
+        s = int(extract_bits(np.array([outcome]), positions)[0])
+        partitions.setdefault(s, []).append((outcome, weight))
+    new_weights: Dict[int, float] = {}
+    total_shots = global_table.shots
+    for s, entries in partitions.items():
+        q_s = sub_probs.get(s, 0.0)
+        if q_s <= 0.0:
+            continue  # partition annihilated (the pathological drop)
+        part_total = sum(w for _, w in entries)
+        if part_total <= 0.0:
+            continue
+        for outcome, weight in entries:
+            new_weights[outcome] = new_weights.get(outcome, 0.0) + (
+                weight / part_total
+            ) * q_s * total_shots
+    if not new_weights:
+        # Every partition annihilated — degenerate; fall back to the
+        # global table untouched rather than returning emptiness.
+        return global_table
+    return Counts(new_weights, global_table.measured_qubits, global_table.num_qubits)
+
+
+class JigsawMitigator(Mitigator):
+    """JIGSAW measurement subsetting.
+
+    Parameters
+    ----------
+    num_subsets:
+        Number of random qubit-pair sub-tables (the paper's ``k``).
+    subset_size:
+        Qubits per subset (JIGSAW uses pairs).
+    global_fraction:
+        Share of the budget for the global table; the rest is split across
+        sub-table circuits.
+    rng:
+        Seed for the random subset draws — JIGSAW's variance across seeds is
+        itself a paper finding ("worse average performance due to its
+        reliance on the randomised calibration pairs").
+    """
+
+    name = "JIGSAW"
+    reusable = False
+
+    def __init__(
+        self,
+        num_subsets: int = 4,
+        subset_size: int = 2,
+        global_fraction: float = 0.5,
+        rng: RandomState = None,
+    ) -> None:
+        if num_subsets < 1:
+            raise ValueError("num_subsets must be positive")
+        if subset_size < 1:
+            raise ValueError("subset_size must be positive")
+        if not (0.0 < global_fraction < 1.0):
+            raise ValueError("global_fraction must be in (0, 1)")
+        self.num_subsets = int(num_subsets)
+        self.subset_size = int(subset_size)
+        self.global_fraction = float(global_fraction)
+        self._rng = ensure_rng(rng)
+
+    def _draw_subsets(self, measured: Sequence[int]) -> List[Tuple[int, ...]]:
+        measured = list(measured)
+        size = min(self.subset_size, len(measured))
+        subsets = []
+        for _ in range(self.num_subsets):
+            chosen = self._rng.choice(len(measured), size=size, replace=False)
+            subsets.append(tuple(sorted(measured[i] for i in chosen)))
+        return subsets
+
+    def execute(
+        self,
+        circuit: Circuit,
+        backend: SimulatedBackend,
+        budget: ShotBudget,
+    ) -> Counts:
+        total = budget.remaining
+        if total is None:
+            raise ValueError("JIGSAW.execute needs a capped budget")
+        measured = circuit.measured_qubits
+        if len(measured) <= self.subset_size:
+            # Nothing to subset; degrade gracefully to a bare run.
+            return backend.run(circuit, total, budget=budget, tag="target")
+        global_shots = int(total * self.global_fraction)
+        sub_shots = (total - global_shots) // self.num_subsets
+        global_table = backend.run(
+            circuit, global_shots, budget=budget, tag="target"
+        )
+        for subset in self._draw_subsets(measured):
+            sub_circuit = circuit.with_measured(subset)
+            sub_circuit.name = f"{circuit.name}+jigsaw-{subset}"
+            sub_table = backend.run(
+                sub_circuit, sub_shots, budget=budget, tag="target"
+            )
+            if sub_table.shots <= 0:
+                continue
+            global_table = bayesian_update(global_table, sub_table)
+        return global_table

@@ -1,0 +1,47 @@
+"""Noise channels and device noise models.
+
+The paper studies two classes of measurement error (§II-C/D):
+
+* **state-dependent** readout errors — per-qubit asymmetric confusion
+  matrices, with P(1→0) > P(0→1) on superconducting devices;
+* **correlated** readout errors — multi-qubit channels whose joint error
+  probability exceeds the product of the marginals, physically localised on
+  the device.
+
+:class:`~repro.noise.channels.MeasurementErrorChannel` composes local
+channels of both kinds into a full measurement error model, which backends
+apply to ideal output distributions (the paper's §V-A methodology);
+:mod:`repro.noise.models` bundles gate noise with a measurement channel, and
+:mod:`repro.noise.drift` perturbs models over time for the Fig. 1 / ERR
+stability experiments.
+"""
+
+from repro.noise.readout import (
+    ReadoutError,
+    confusion_matrix,
+    random_readout_errors,
+)
+from repro.noise.correlated import (
+    correlated_pair_channel,
+    flip_all_channel,
+    correlated_triplet_channel,
+    state_dependent_channel,
+)
+from repro.noise.channels import LocalChannel, MeasurementErrorChannel
+from repro.noise.models import NoiseModel, random_device_noise
+from repro.noise.drift import drift_noise_model
+
+__all__ = [
+    "ReadoutError",
+    "confusion_matrix",
+    "random_readout_errors",
+    "correlated_pair_channel",
+    "correlated_triplet_channel",
+    "flip_all_channel",
+    "state_dependent_channel",
+    "LocalChannel",
+    "MeasurementErrorChannel",
+    "NoiseModel",
+    "random_device_noise",
+    "drift_noise_model",
+]

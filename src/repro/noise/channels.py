@@ -1,0 +1,214 @@
+"""Composable measurement-error channels.
+
+A :class:`MeasurementErrorChannel` is an ordered sequence of
+:class:`LocalChannel` factors — local column-stochastic matrices bound to
+device qubit subsets — applied in sequence to an outcome distribution.  This
+is exactly the object the paper's §V-A simulation methodology needs
+("we then apply the constructed measurement error channel to this output
+vector") while never materialising a global ``2^n x 2^n`` matrix unless
+explicitly asked (:meth:`MeasurementErrorChannel.to_matrix`, used for ground
+truth in tests and Hinton diagrams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.noise.readout import ReadoutError
+from repro.simulator.probability import apply_local_stochastic, marginalize_probabilities
+from repro.utils.linalg import is_column_stochastic
+from repro.utils.validation import check_qubit_indices
+
+__all__ = ["LocalChannel", "MeasurementErrorChannel"]
+
+
+@dataclass(frozen=True)
+class LocalChannel:
+    """A local stochastic matrix bound to an ordered tuple of device qubits.
+
+    ``matrix`` is ``2^m x 2^m`` column-stochastic with ``qubits[0]`` as the
+    low bit of its index space.
+    """
+
+    qubits: Tuple[int, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        qs = tuple(int(q) for q in self.qubits)
+        object.__setattr__(self, "qubits", qs)
+        m = np.asarray(self.matrix, dtype=float)
+        object.__setattr__(self, "matrix", m)
+        if len(set(qs)) != len(qs) or not qs:
+            raise ValueError(f"invalid qubit tuple {qs}")
+        if m.shape != (1 << len(qs), 1 << len(qs)):
+            raise ValueError(
+                f"matrix shape {m.shape} does not act on {len(qs)} qubit(s)"
+            )
+        if not is_column_stochastic(m, atol=1e-6):
+            raise ValueError("local channel matrix must be column-stochastic")
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+
+class MeasurementErrorChannel:
+    """Ordered composition of local stochastic channels on a register.
+
+    Factors are applied first-to-last: the channel is
+    ``M = M_k · ... · M_2 · M_1`` acting on probability column vectors.
+
+    Parameters
+    ----------
+    num_qubits:
+        Size of the device register the channel acts on.
+    factors:
+        Local channels, applied in the given order.
+    """
+
+    def __init__(self, num_qubits: int, factors: Iterable[LocalChannel] = ()) -> None:
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be positive")
+        self.num_qubits = int(num_qubits)
+        self._factors: List[LocalChannel] = []
+        for f in factors:
+            self.add(f)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, factor: LocalChannel) -> "MeasurementErrorChannel":
+        """Append a factor (applied after all existing factors)."""
+        check_qubit_indices(factor.qubits, self.num_qubits)
+        self._factors.append(factor)
+        return self
+
+    def add_local(self, qubits: Sequence[int], matrix: np.ndarray) -> "MeasurementErrorChannel":
+        """Append a local stochastic matrix bound to ``qubits``."""
+        return self.add(LocalChannel(tuple(qubits), matrix))
+
+    def add_readout(self, qubit: int, error: ReadoutError) -> "MeasurementErrorChannel":
+        """Attach a per-qubit confusion matrix."""
+        return self.add(LocalChannel((qubit,), error.matrix))
+
+    @classmethod
+    def from_readout_errors(
+        cls, errors: Sequence[ReadoutError]
+    ) -> "MeasurementErrorChannel":
+        """Tensored per-qubit channel — the *linear* noise of Figs. 13-15."""
+        channel = cls(len(errors))
+        for q, err in enumerate(errors):
+            if not err.is_trivial():
+                channel.add_readout(q, err)
+        return channel
+
+    @classmethod
+    def ideal(cls, num_qubits: int) -> "MeasurementErrorChannel":
+        return cls(num_qubits)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def factors(self) -> Tuple[LocalChannel, ...]:
+        return tuple(self._factors)
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self._factors
+
+    def touched_qubits(self) -> Tuple[int, ...]:
+        """Sorted set of qubits any factor acts on."""
+        out = set()
+        for f in self._factors:
+            out.update(f.qubits)
+        return tuple(sorted(out))
+
+    def is_tensored(self) -> bool:
+        """True iff every factor is single-qubit (no correlations)."""
+        return all(f.num_qubits == 1 for f in self._factors)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, probabilities: np.ndarray) -> np.ndarray:
+        """Apply the channel to a dense distribution over the full register."""
+        v = np.asarray(probabilities, dtype=float)
+        if v.size != 1 << self.num_qubits:
+            raise ValueError(
+                f"distribution of length {v.size} does not match "
+                f"{self.num_qubits}-qubit register"
+            )
+        for f in self._factors:
+            v = apply_local_stochastic(v, f.matrix, f.qubits, self.num_qubits)
+        return v
+
+    def apply_marginal(
+        self, probabilities: np.ndarray, measured_qubits: Sequence[int]
+    ) -> np.ndarray:
+        """Apply the channel when only ``measured_qubits`` are read out.
+
+        The input distribution is indexed over ``measured_qubits``
+        (little-endian).  Only factors whose qubits are **all** measured
+        participate: readout errors — including correlated readout
+        crosstalk — are caused by the measurement pulses themselves, so a
+        qubit that is not read out contributes no error.  This is the
+        physical mechanism that makes small measurement registers cleaner
+        and gives JIGSAW's measurement subsetting its advantage (§III-D).
+        """
+        measured = check_qubit_indices(measured_qubits, self.num_qubits)
+        v = np.asarray(probabilities, dtype=float)
+        if v.size != 1 << len(measured):
+            raise ValueError(
+                f"distribution of length {v.size} does not match "
+                f"{len(measured)} measured qubits"
+            )
+        if len(measured) == self.num_qubits and measured == tuple(range(self.num_qubits)):
+            return self.apply(v)
+        measured_set = set(measured)
+        position_of = {q: k for k, q in enumerate(measured)}
+        out = v
+        for f in self._factors:
+            if not set(f.qubits) <= measured_set:
+                continue
+            positions = tuple(position_of[q] for q in f.qubits)
+            out = apply_local_stochastic(out, f.matrix, positions, len(measured))
+        return out
+
+    # ------------------------------------------------------------------
+    # Dense views (testing / Hinton diagrams / ground truth)
+    # ------------------------------------------------------------------
+    def to_matrix(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Materialise the channel as a dense stochastic matrix.
+
+        With ``qubits`` given, returns the marginal channel on that subset
+        under a **full-register readout**: spectators are pinned to |0>,
+        every factor applies (all qubits are measured, so all crosstalk
+        fires), and the result is marginalised onto the subset.  This is
+        the ground truth that CMC's per-edge calibration circuits — which
+        measure the whole device — estimate.
+        """
+        qs = tuple(range(self.num_qubits)) if qubits is None else tuple(qubits)
+        dim = 1 << len(qs)
+        if len(qs) > 14 or self.num_qubits > 14:
+            raise ValueError("refusing to materialise a matrix over >14 qubits")
+        out = np.empty((dim, dim))
+        full_dim = 1 << self.num_qubits
+        for prepared in range(dim):
+            full = np.zeros(full_dim)
+            idx = 0
+            for k, q in enumerate(qs):
+                idx |= ((prepared >> k) & 1) << q
+            full[idx] = 1.0
+            full = self.apply(full)
+            out[:, prepared] = marginalize_probabilities(full, qs, self.num_qubits)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"MeasurementErrorChannel(num_qubits={self.num_qubits}, "
+            f"factors={len(self._factors)})"
+        )

@@ -1,0 +1,97 @@
+"""Correlated measurement-error channels (paper Fig. 10).
+
+Fig. 10 builds its simulated benchmarks from four channel shapes over a
+four-qubit register — single-qubit (uncorrelated), two-qubit (all pairs),
+three-qubit (triplets), and the flip-all channel — plus the corresponding
+state-dependent variants.  The constructors here build the *local*
+column-stochastic matrices; embedding them onto device qubits is the job of
+:class:`~repro.noise.channels.MeasurementErrorChannel`.
+
+A channel is *correlated* in the paper's sense (Fig. 2) when
+``P_err(A ⊗ B) > P_err(A) · P_err(B)`` — these constructors make the joint
+flip probability explicit rather than deriving it from marginals, so any
+``joint > p_a * p_b`` is genuinely correlated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "correlated_pair_channel",
+    "correlated_triplet_channel",
+    "flip_all_channel",
+    "state_dependent_channel",
+]
+
+
+def correlated_pair_channel(joint_flip: float) -> np.ndarray:
+    """Two-qubit channel that flips *both* bits together with ``joint_flip``.
+
+    The 4x4 column-stochastic matrix is ``(1-p) I + p (X⊗X permutation)``.
+    Because the marginal flip probability of each qubit is also ``p``, the
+    joint exceeds the product (``p > p²`` for p < 1), i.e. the error is
+    correlated per Fig. 2.
+    """
+    p = check_probability(joint_flip, "joint_flip")
+    m = (1.0 - p) * np.eye(4)
+    # X⊗X permutation: 00<->11, 01<->10.
+    perm = np.zeros((4, 4))
+    perm[0b11, 0b00] = perm[0b00, 0b11] = 1.0
+    perm[0b10, 0b01] = perm[0b01, 0b10] = 1.0
+    return m + p * perm
+
+
+def correlated_triplet_channel(joint_flip: float) -> np.ndarray:
+    """Three-qubit channel flipping all three bits together."""
+    p = check_probability(joint_flip, "joint_flip")
+    dim = 8
+    m = (1.0 - p) * np.eye(dim)
+    perm = np.zeros((dim, dim))
+    for s in range(dim):
+        perm[s ^ 0b111, s] = 1.0
+    return m + p * perm
+
+
+def flip_all_channel(num_qubits: int, joint_flip: float) -> np.ndarray:
+    """The Fig. 10 "four qubit" channel generalised: flip every bit.
+
+    ``(1-p) I + p P`` where ``P`` maps each state to its bitwise complement.
+    """
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be positive")
+    p = check_probability(joint_flip, "joint_flip")
+    dim = 1 << num_qubits
+    m = (1.0 - p) * np.eye(dim)
+    perm = np.zeros((dim, dim))
+    all_ones = dim - 1
+    for s in range(dim):
+        perm[s ^ all_ones, s] = 1.0
+    return m + p * perm
+
+
+def state_dependent_channel(num_qubits: int, p_decay: float, source: int | None = None) -> np.ndarray:
+    """A multi-qubit *state-dependent* channel (right panel of Fig. 10).
+
+    Only the all-ones state decays: with probability ``p_decay`` the state
+    ``|1...1>`` is read out as ``source`` (default: ``|0...0>``), every other
+    state is read faithfully.  For ``num_qubits = 4`` this reproduces the
+    paper's "only one four-qubit state-dependent measurement error" Hinton
+    diagram — a single off-diagonal entry.
+    """
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be positive")
+    p = check_probability(p_decay, "p_decay")
+    dim = 1 << num_qubits
+    target = dim - 1
+    dst = 0 if source is None else int(source)
+    if not (0 <= dst < dim):
+        raise ValueError(f"source state {dst} out of range")
+    if dst == target:
+        raise ValueError("decay destination cannot equal the all-ones state")
+    m = np.eye(dim)
+    m[target, target] = 1.0 - p
+    m[dst, target] = p
+    return m

@@ -1,0 +1,185 @@
+"""Full device noise models: gate noise + measurement-error channel.
+
+The evaluation's simulated devices (§V-A) combine:
+
+* one-qubit depolarising gate error (0.1%),
+* two-qubit depolarising gate error (1%),
+* per-qubit readout error in 2-8%, state-dependent (both |0>→|1> and
+  |1>→|0> drawn independently),
+* optionally, injected correlated measurement channels — coupling-map
+  aligned (the regime where bare CMC shines) or off-map (the Nairobi-like
+  regime where CMC-ERR is needed),
+
+with T1 = T2 = infinity (no idle decay).  :func:`random_device_noise` draws
+such a model for a given coupling map; its correlation placement knob is
+what the Table II device profiles are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.noise.channels import LocalChannel, MeasurementErrorChannel
+from repro.noise.correlated import correlated_pair_channel
+from repro.noise.readout import ReadoutError, random_readout_errors
+from repro.topology.coupling_map import CouplingMap, Edge
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["NoiseModel", "random_device_noise", "CorrelationPlacement"]
+
+CorrelationPlacement = Literal["coupling", "off_coupling", "random", "none"]
+
+
+@dataclass
+class NoiseModel:
+    """Gate + measurement noise for a simulated device.
+
+    Attributes
+    ----------
+    num_qubits:
+        Register size.
+    error_1q / error_2q:
+        Depolarising probabilities per one-/two-qubit gate.
+    measurement_channel:
+        The readout error channel applied to output distributions.
+    correlated_edges:
+        The qubit pairs carrying injected correlated measurement errors
+        (book-keeping for experiments; the channels themselves live inside
+        ``measurement_channel``).
+    """
+
+    num_qubits: int
+    error_1q: float = 0.0
+    error_2q: float = 0.0
+    measurement_channel: MeasurementErrorChannel = None  # type: ignore[assignment]
+    correlated_edges: Tuple[Edge, ...] = ()
+    readout_errors: Tuple[ReadoutError, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 1:
+            raise ValueError("num_qubits must be positive")
+        check_probability(self.error_1q, "error_1q")
+        check_probability(self.error_2q, "error_2q")
+        if self.measurement_channel is None:
+            self.measurement_channel = MeasurementErrorChannel.ideal(self.num_qubits)
+        if self.measurement_channel.num_qubits != self.num_qubits:
+            raise ValueError("measurement channel register size mismatch")
+        self.correlated_edges = tuple(
+            (min(a, b), max(a, b)) for a, b in self.correlated_edges
+        )
+
+    @property
+    def has_gate_noise(self) -> bool:
+        return self.error_1q > 0 or self.error_2q > 0
+
+    @property
+    def has_measurement_noise(self) -> bool:
+        return not self.measurement_channel.is_trivial
+
+    @classmethod
+    def ideal(cls, num_qubits: int) -> "NoiseModel":
+        return cls(num_qubits=num_qubits, name="ideal")
+
+    @classmethod
+    def measurement_only(
+        cls, channel: MeasurementErrorChannel, name: str = ""
+    ) -> "NoiseModel":
+        return cls(
+            num_qubits=channel.num_qubits,
+            measurement_channel=channel,
+            name=name or "measurement-only",
+        )
+
+
+def _off_coupling_pairs(
+    coupling_map: CouplingMap, max_distance: int = 2
+) -> List[Edge]:
+    """Qubit pairs that are local (distance <= max_distance) but NOT edges.
+
+    These host the Nairobi-style correlations that are "local but
+    non-coupling map aligned" (§IV-D / Table II discussion).  On very small
+    or complete graphs there may be none; callers fall back to edges.
+    """
+    dm = coupling_map.distance_matrix()
+    edge_set = set(coupling_map.edges)
+    out = []
+    n = coupling_map.num_qubits
+    for a in range(n):
+        for b in range(a + 1, n):
+            if (a, b) not in edge_set and 2 <= dm[a, b] <= max_distance:
+                out.append((a, b))
+    return out
+
+
+def random_device_noise(
+    coupling_map: CouplingMap,
+    *,
+    error_1q: float = 0.001,
+    error_2q: float = 0.01,
+    readout_low: float = 0.02,
+    readout_high: float = 0.08,
+    correlation_placement: CorrelationPlacement = "none",
+    num_correlated: Optional[int] = None,
+    correlation_strength: Tuple[float, float] = (0.02, 0.06),
+    rng: RandomState = None,
+    name: str = "",
+) -> NoiseModel:
+    """Draw a full device noise model for ``coupling_map``.
+
+    Parameters
+    ----------
+    correlation_placement:
+        Where injected correlated pair-channels live:
+
+        * ``"none"`` — purely tensored readout noise (the statevector
+          regime of Figs. 13-15: "biased but not correlated");
+        * ``"coupling"`` — on randomly chosen coupling-map edges
+          (Quito/Lima-like; bare CMC can see these);
+        * ``"off_coupling"`` — on local *non*-edges (Nairobi-like; only
+          ERR profiling finds these);
+        * ``"random"`` — mixture of both.
+    num_correlated:
+        How many correlated pairs to inject (default: about one per three
+        qubits, at least one).
+    correlation_strength:
+        Joint-flip probability range for each injected pair channel.
+    """
+    gen = ensure_rng(rng)
+    n = coupling_map.num_qubits
+    readout = random_readout_errors(
+        n, low=readout_low, high=readout_high, biased=True, rng=gen
+    )
+    channel = MeasurementErrorChannel.from_readout_errors(readout)
+    correlated: List[Edge] = []
+    if correlation_placement != "none":
+        count = num_correlated if num_correlated is not None else max(1, n // 3)
+        on_edges = list(coupling_map.edges)
+        off_edges = _off_coupling_pairs(coupling_map)
+        if correlation_placement == "coupling":
+            pool = on_edges
+        elif correlation_placement == "off_coupling":
+            pool = off_edges or on_edges  # tiny devices may have no off-pairs
+        else:  # random
+            pool = on_edges + off_edges
+        count = min(count, len(pool))
+        chosen = gen.choice(len(pool), size=count, replace=False) if count else []
+        lo, hi = correlation_strength
+        for i in np.atleast_1d(chosen):
+            a, b = pool[int(i)]
+            strength = float(gen.uniform(lo, hi))
+            channel.add_local((a, b), correlated_pair_channel(strength))
+            correlated.append((a, b))
+    return NoiseModel(
+        num_qubits=n,
+        error_1q=error_1q,
+        error_2q=error_2q,
+        measurement_channel=channel,
+        correlated_edges=tuple(sorted(correlated)),
+        readout_errors=tuple(readout),
+        name=name or f"random-noise-{coupling_map.name}",
+    )

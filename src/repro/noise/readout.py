@@ -1,0 +1,107 @@
+"""Per-qubit (state-dependent) readout errors.
+
+A readout error on one qubit is a column-stochastic 2x2 confusion matrix
+
+.. math::
+
+    C = \\begin{pmatrix} 1 - p_{01} & p_{10} \\\\ p_{01} & 1 - p_{10} \\end{pmatrix}
+
+where ``p01 = P(read 1 | prepared 0)`` and ``p10 = P(read 0 | prepared 1)``.
+On superconducting devices the |1> state decays during the long measurement
+window, so ``p10 > p01`` — the *state-dependent* bias of paper Fig. 3.  The
+evaluation draws both rates uniformly from 2-8% (§V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["ReadoutError", "confusion_matrix", "random_readout_errors"]
+
+
+def confusion_matrix(p01: float, p10: float) -> np.ndarray:
+    """Column-stochastic confusion matrix ``C[observed, prepared]``."""
+    p01 = check_probability(p01, "p01")
+    p10 = check_probability(p10, "p10")
+    return np.array([[1.0 - p01, p10], [p01, 1.0 - p10]])
+
+
+@dataclass(frozen=True)
+class ReadoutError:
+    """Asymmetric single-qubit readout error.
+
+    Attributes
+    ----------
+    p01:
+        Probability of reading 1 when the qubit is in |0> (excitation).
+    p10:
+        Probability of reading 0 when the qubit is in |1> (decay — the
+        dominant term on superconducting hardware).
+    """
+
+    p01: float
+    p10: float
+
+    def __post_init__(self) -> None:
+        check_probability(self.p01, "p01")
+        check_probability(self.p10, "p10")
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return confusion_matrix(self.p01, self.p10)
+
+    @property
+    def bias(self) -> float:
+        """State dependence: ``p10 - p01`` (positive = |1> decays faster)."""
+        return self.p10 - self.p01
+
+    @property
+    def average_rate(self) -> float:
+        return 0.5 * (self.p01 + self.p10)
+
+    def is_trivial(self) -> bool:
+        """True iff both error rates are exactly zero."""
+        return self.p01 == 0.0 and self.p10 == 0.0
+
+    @classmethod
+    def ideal(cls) -> "ReadoutError":
+        return cls(0.0, 0.0)
+
+    @classmethod
+    def symmetric(cls, p: float) -> "ReadoutError":
+        return cls(p, p)
+
+
+def random_readout_errors(
+    num_qubits: int,
+    low: float = 0.02,
+    high: float = 0.08,
+    biased: bool = True,
+    rng: RandomState = None,
+) -> List[ReadoutError]:
+    """Draw per-qubit readout errors uniformly from ``[low, high]`` (§V-A).
+
+    With ``biased=True`` (the superconducting regime) ``p10`` is forced to
+    be the larger of the two draws so that every qubit exhibits the decay
+    bias of Fig. 3; with ``biased=False`` the two rates are independent.
+    """
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be positive")
+    if not (0.0 <= low <= high <= 1.0):
+        raise ValueError(f"invalid rate range [{low}, {high}]")
+    gen = ensure_rng(rng)
+    errors = []
+    for _ in range(num_qubits):
+        a, b = gen.uniform(low, high, size=2)
+        if biased:
+            p01, p10 = min(a, b), max(a, b)
+        else:
+            p01, p10 = a, b
+        errors.append(ReadoutError(float(p01), float(p10)))
+    return errors

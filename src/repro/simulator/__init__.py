@@ -1,0 +1,33 @@
+"""Quantum simulation substrate.
+
+Replaces the Qiskit Aer statevector simulator the paper uses (§V-A):
+
+* :mod:`repro.simulator.statevector` — exact dense statevector evolution;
+* :mod:`repro.simulator.probability` — probability-vector kernels: apply a
+  local stochastic channel to a dense outcome distribution (this is how the
+  paper's measurement-error channels act: ideal distribution ∘ channel);
+* :mod:`repro.simulator.trajectories` — Monte-Carlo Pauli-trajectory noisy
+  simulation for gate (depolarising) errors;
+* :mod:`repro.simulator.sampling` — multinomial sampling of distributions
+  into :class:`~repro.counts.Counts`.
+"""
+
+from repro.simulator.statevector import StatevectorSimulator, simulate_statevector
+from repro.simulator.probability import (
+    apply_local_stochastic,
+    apply_confusion_per_qubit,
+    marginalize_probabilities,
+)
+from repro.simulator.trajectories import TrajectorySimulator
+from repro.simulator.sampling import sample_counts, sample_outcomes
+
+__all__ = [
+    "StatevectorSimulator",
+    "simulate_statevector",
+    "apply_local_stochastic",
+    "apply_confusion_per_qubit",
+    "marginalize_probabilities",
+    "TrajectorySimulator",
+    "sample_counts",
+    "sample_outcomes",
+]

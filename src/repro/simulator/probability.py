@@ -1,0 +1,93 @@
+"""Probability-vector kernels.
+
+The paper's simulation methodology (§V-A) evolves an *ideal* outcome
+distribution and then applies a measurement-error channel — a stochastic
+matrix — to it.  These kernels do that application for channels that act on
+a local subset of qubits, without ever materialising the ``2^n x 2^n``
+global matrix: the dense vector is reshaped so the target qubits form one
+axis and the local matrix is applied with a single matmul (O(4^m * 2^n / 2^m)
+work for an m-qubit channel on n qubits).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "apply_local_stochastic",
+    "apply_confusion_per_qubit",
+    "marginalize_probabilities",
+]
+
+
+def _as_tensor(vector: np.ndarray, num_bits: int) -> np.ndarray:
+    v = np.asarray(vector, dtype=float)
+    if v.size != 1 << num_bits:
+        raise ValueError(f"vector length {v.size} != 2**{num_bits}")
+    return v.reshape((2,) * num_bits)
+
+
+def apply_local_stochastic(
+    vector: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_bits: int
+) -> np.ndarray:
+    """Apply a local ``2^m x 2^m`` stochastic matrix on ``qubits``.
+
+    The matrix low bit corresponds to ``qubits[0]``; the vector is indexed
+    little-endian (bit k = qubit k).  Returns a new dense vector.
+    """
+    m = len(qubits)
+    mat = np.asarray(matrix, dtype=float)
+    if mat.shape != (1 << m, 1 << m):
+        raise ValueError(f"matrix shape {mat.shape} does not act on {m} qubit(s)")
+    if len(set(qubits)) != m:
+        raise ValueError("duplicate qubits")
+    for q in qubits:
+        if not (0 <= q < num_bits):
+            raise ValueError(f"qubit {q} out of range for {num_bits} bits")
+    tensor = _as_tensor(vector, num_bits)
+    # axis of qubit q is (num_bits - 1 - q); matrix low bit = qubits[0] means
+    # the matrix tensor's *last* input axis pairs with qubits[0].
+    mat_tensor = mat.reshape((2,) * (2 * m))
+    axes = [num_bits - 1 - q for q in reversed(qubits)]
+    out = np.tensordot(mat_tensor, tensor, axes=(list(range(m, 2 * m)), axes))
+    out = np.moveaxis(out, list(range(m)), axes)
+    return out.reshape(-1)
+
+
+def apply_confusion_per_qubit(
+    vector: np.ndarray, confusions: Sequence[np.ndarray], num_bits: int
+) -> np.ndarray:
+    """Apply an independent 2x2 confusion matrix to every qubit.
+
+    ``confusions[q]`` is the column-stochastic confusion matrix of qubit
+    ``q``.  This is the linear (tensored) noise model of the simulated
+    architecture benchmarks (Figs. 13-15), applied in O(n 2^n).
+    """
+    if len(confusions) != num_bits:
+        raise ValueError(
+            f"need one confusion matrix per qubit ({num_bits}), got {len(confusions)}"
+        )
+    out = np.asarray(vector, dtype=float)
+    for q, conf in enumerate(confusions):
+        out = apply_local_stochastic(out, conf, (q,), num_bits)
+    return out
+
+
+def marginalize_probabilities(
+    vector: np.ndarray, keep_positions: Sequence[int], num_bits: int
+) -> np.ndarray:
+    """Marginalise a dense distribution onto bit positions ``keep_positions``.
+
+    ``keep_positions[k]`` becomes bit ``k`` of the result index.
+    """
+    tensor = _as_tensor(vector, num_bits)
+    keep_axes = [num_bits - 1 - p for p in keep_positions]
+    other = tuple(a for a in range(num_bits) if a not in keep_axes)
+    marg = tensor.sum(axis=other) if other else tensor
+    remaining = sorted(keep_axes)
+    current_positions = [num_bits - 1 - a for a in remaining]
+    desired = list(reversed(list(keep_positions)))
+    perm = [current_positions.index(p) for p in desired]
+    return np.transpose(marg, perm).reshape(-1)

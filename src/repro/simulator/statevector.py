@@ -1,0 +1,144 @@
+"""Dense statevector simulation.
+
+The engine stores the amplitude vector as an ``ndarray`` of shape ``(2,)*n``
+(qubit ``q`` on axis ``n-1-q`` so that flattening gives the little-endian
+outcome index) and applies gates by :func:`numpy.tensordot` contraction plus
+axis reordering — the standard vectorised approach, O(2^n) work per gate
+with no Python-level loops over amplitudes.
+
+Practical ceiling is ~20-24 qubits (the paper's sweeps stop at 16).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.utils.validation import check_num_qubits
+
+__all__ = ["StatevectorSimulator", "simulate_statevector"]
+
+
+class StatevectorSimulator:
+    """Exact statevector engine.
+
+    Use :meth:`run` for one-shot circuit evaluation, or drive an instance
+    imperatively (``reset`` / ``apply_gate``) for trajectory sampling where
+    extra Pauli errors are interleaved between circuit gates.
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        self.num_qubits = check_num_qubits(num_qubits, dense=True)
+        self._state: Optional[np.ndarray] = None
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to |0...0>."""
+        state = np.zeros((2,) * self.num_qubits, dtype=complex)
+        state[(0,) * self.num_qubits] = 1.0
+        self._state = state
+
+    @property
+    def statevector(self) -> np.ndarray:
+        """Flat amplitude vector, index = little-endian outcome integer."""
+        return self._state.reshape(-1).copy()
+
+    def set_statevector(self, amplitudes: np.ndarray) -> None:
+        """Load an arbitrary normalised state (testing hook)."""
+        amps = np.asarray(amplitudes, dtype=complex).reshape(-1)
+        if amps.size != 1 << self.num_qubits:
+            raise ValueError(
+                f"expected {1 << self.num_qubits} amplitudes, got {amps.size}"
+            )
+        norm = np.linalg.norm(amps)
+        if not np.isclose(norm, 1.0, atol=1e-8):
+            raise ValueError(f"state is not normalised (norm={norm})")
+        self._state = amps.reshape((2,) * self.num_qubits)
+
+    # ------------------------------------------------------------------
+    def _axes(self, qubits: Sequence[int]) -> list:
+        # qubit q lives on axis (n-1-q): axis 0 is the highest bit so that
+        # reshape(-1) yields little-endian outcome indexing.
+        n = self.num_qubits
+        return [n - 1 - q for q in qubits]
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a ``2^m x 2^m`` unitary on ``qubits`` (gate-argument order).
+
+        The matrix is interpreted with ``qubits[0]`` as its low bit,
+        matching :mod:`repro.circuits.gates`.
+        """
+        m = len(qubits)
+        mat = np.asarray(matrix, dtype=complex)
+        if mat.shape != (1 << m, 1 << m):
+            raise ValueError(
+                f"matrix shape {mat.shape} does not act on {m} qubit(s)"
+            )
+        if len(set(qubits)) != m:
+            raise ValueError("duplicate qubits")
+        for q in qubits:
+            if not (0 <= q < self.num_qubits):
+                raise ValueError(f"qubit {q} out of range")
+        # Tensor the matrix as shape (2,)*2m: output axes then input axes.
+        # Matrix low bit = qubits[0]; in the (2,)*m tensor reshape, the
+        # *first* axis is the *highest* bit, so reverse the qubit order.
+        tensor = mat.reshape((2,) * (2 * m))
+        axes = self._axes(list(reversed(qubits)))
+        state = np.tensordot(tensor, self._state, axes=(list(range(m, 2 * m)), axes))
+        # tensordot moved the contracted axes to the front (in `axes` order);
+        # move them back home.
+        state = np.moveaxis(state, list(range(m)), axes)
+        self._state = state
+
+    def apply_gate(self, gate: Gate, qubits: Sequence[int]) -> None:
+        """Apply a named gate (see :mod:`repro.circuits.gates`)."""
+        self.apply_matrix(gate.matrix, qubits)
+
+    def run(self, circuit: Circuit) -> np.ndarray:
+        """Evaluate ``circuit`` from |0...0>; returns the flat statevector."""
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError(
+                f"circuit has {circuit.num_qubits} qubits, simulator has "
+                f"{self.num_qubits}"
+            )
+        self.reset()
+        for inst in circuit.instructions:
+            self.apply_matrix(inst.gate.matrix, inst.qubits)
+        return self.statevector
+
+    # ------------------------------------------------------------------
+    def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Outcome probabilities, optionally marginalised onto ``qubits``.
+
+        The returned vector is indexed little-endian over ``qubits`` (bit k
+        of the index = ``qubits[k]``).
+        """
+        probs = np.abs(self._state) ** 2
+        if qubits is None:
+            return probs.reshape(-1)
+        qs = list(qubits)
+        keep_axes = self._axes(qs)
+        other_axes = tuple(a for a in range(self.num_qubits) if a not in keep_axes)
+        marg = probs.sum(axis=other_axes) if other_axes else probs
+        # marg axes are keep_axes in *descending qubit* order after the sum
+        # removed the others; rearrange so qubits[0] is the low bit.
+        # Current axis order: sorted(keep_axes) ascending = qubits descending
+        # by index; we need axis order reversed(qs by position).
+        remaining = sorted(keep_axes)
+        current_qubits = [self.num_qubits - 1 - a for a in remaining]  # desc qubit id
+        # Desired: axis 0 <-> highest bit <-> qubits[-1]... build permutation.
+        desired_axis_qubits = list(reversed(qs))
+        perm = [current_qubits.index(q) for q in desired_axis_qubits]
+        marg = np.transpose(marg, perm)
+        return marg.reshape(-1)
+
+
+def simulate_statevector(circuit: Circuit) -> np.ndarray:
+    """Ideal outcome distribution of ``circuit`` over its measured qubits."""
+    sim = StatevectorSimulator(circuit.num_qubits)
+    sim.run(circuit)
+    return sim.probabilities(circuit.measured_qubits)

@@ -1,0 +1,59 @@
+"""Device topologies: coupling maps, architecture generators, edge counts.
+
+The coupling map — the graph of qubit pairs that admit a two-qubit gate — is
+the central data structure of the paper: CMC calibrates exactly the edges of
+this graph, and Algorithm 1 schedules calibration patches using graph
+distances on it.
+"""
+
+from repro.topology.coupling_map import CouplingMap
+from repro.topology.generators import (
+    fully_connected,
+    grid,
+    heavy_hex,
+    hexagonal,
+    linear,
+    octagonal,
+    random_coupling_map,
+    ring,
+)
+from repro.topology.ibm_devices import (
+    ibm_belem,
+    ibm_lima,
+    ibm_manila,
+    ibm_nairobi,
+    ibm_oslo,
+    ibm_quito,
+    ibm_tokyo,
+    ibm_washington,
+    named_device,
+    NAMED_DEVICES,
+)
+from repro.topology.edge_counts import (
+    edge_count_formula,
+    ARCHITECTURE_FORMULAS,
+)
+
+__all__ = [
+    "CouplingMap",
+    "linear",
+    "ring",
+    "grid",
+    "hexagonal",
+    "heavy_hex",
+    "octagonal",
+    "fully_connected",
+    "random_coupling_map",
+    "ibm_quito",
+    "ibm_lima",
+    "ibm_belem",
+    "ibm_manila",
+    "ibm_nairobi",
+    "ibm_oslo",
+    "ibm_tokyo",
+    "ibm_washington",
+    "named_device",
+    "NAMED_DEVICES",
+    "edge_count_formula",
+    "ARCHITECTURE_FORMULAS",
+]

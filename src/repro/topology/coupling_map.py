@@ -1,0 +1,218 @@
+"""The :class:`CouplingMap` graph wrapper.
+
+A coupling map is an undirected graph over qubit indices ``0..n-1``.  We wrap
+:mod:`networkx` rather than exposing it so that (a) edges are always stored
+in canonical ``(min, max)`` order, (b) the qubit set is always exactly
+``range(n)`` including isolated qubits, and (c) the distance queries used by
+Algorithm 1 (patch separation) and Algorithm 2 (locality parameter ``k``) are
+available as first-class, cached operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["CouplingMap", "Edge"]
+
+Edge = Tuple[int, int]
+
+
+def _canonical(edge: Iterable[int]) -> Edge:
+    a, b = edge
+    a, b = int(a), int(b)
+    if a == b:
+        raise ValueError(f"self-loop edge ({a}, {b}) is not a valid coupling")
+    return (a, b) if a < b else (b, a)
+
+
+class CouplingMap:
+    """Undirected coupling graph over qubits ``0..num_qubits-1``.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total number of qubits on the device (isolated qubits allowed).
+    edges:
+        Iterable of qubit pairs admitting a two-qubit gate.  Stored
+        canonically as ``(min, max)`` and deduplicated.
+    name:
+        Optional human-readable name ("ibm_quito", "grid-4x4", ...).
+    """
+
+    def __init__(self, num_qubits: int, edges: Iterable[Iterable[int]], name: str = "") -> None:
+        if num_qubits < 1:
+            raise ValueError("a coupling map needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        canon = sorted({_canonical(e) for e in edges})
+        for a, b in canon:
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise ValueError(f"edge ({a}, {b}) out of range for {num_qubits} qubits")
+        self._edges: Tuple[Edge, ...] = tuple(canon)
+        self.name = name or f"coupling-{num_qubits}q-{len(canon)}e"
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(range(self._num_qubits))
+        self._graph.add_edges_from(self._edges)
+        self._distances: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits (graph nodes), including isolated ones."""
+        return self._num_qubits
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """Canonically ordered, deduplicated edge tuple."""
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (treat as read-only)."""
+        return self._graph
+
+    def degree(self, qubit: int) -> int:
+        """Number of coupling edges incident on ``qubit``."""
+        return self._graph.degree[qubit]
+
+    def neighbors(self, qubit: int) -> Tuple[int, ...]:
+        """Sorted qubits sharing an edge with ``qubit``."""
+        return tuple(sorted(self._graph.neighbors(qubit)))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """True iff ``(a, b)`` is a coupling edge (order-insensitive)."""
+        return _canonical((a, b)) in set(self._edges) if a != b else False
+
+    def isolated_qubits(self) -> Tuple[int, ...]:
+        """Qubits with no incident coupling edge."""
+        return tuple(q for q in range(self._num_qubits) if self._graph.degree[q] == 0)
+
+    def __contains__(self, edge: Iterable[int]) -> bool:
+        try:
+            return _canonical(edge) in set(self._edges)
+        except (ValueError, TypeError):
+            return False
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return self.num_edges
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CouplingMap):
+            return NotImplemented
+        return self._num_qubits == other._num_qubits and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._num_qubits, self._edges))
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingMap(name={self.name!r}, num_qubits={self._num_qubits}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # Distances (Algorithm 1 separation and Algorithm 2 locality)
+    # ------------------------------------------------------------------
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path distances; unreachable pairs are ``inf``.
+
+        Cached; the matrix is (n, n) float.
+        """
+        if self._distances is None:
+            n = self._num_qubits
+            dist = np.full((n, n), np.inf)
+            np.fill_diagonal(dist, 0.0)
+            for src, lengths in nx.all_pairs_shortest_path_length(self._graph):
+                for dst, d in lengths.items():
+                    dist[src, dst] = d
+            self._distances = dist
+        return self._distances
+
+    def distance(self, a: int, b: int) -> float:
+        """Shortest-path distance between two qubits (``inf`` if disconnected)."""
+        return float(self.distance_matrix()[a, b])
+
+    def edge_distance(self, e: Edge, f: Edge) -> float:
+        """Minimum endpoint-to-endpoint distance between two edges.
+
+        Two patches may share an Algorithm-1 calibration round iff their edge
+        distance is at least ``k + 1`` (``k`` intervening qubits).
+        """
+        dm = self.distance_matrix()
+        idx = np.ix_(list(e), list(f))
+        return float(dm[idx].min())
+
+    def qubits_within(self, sources: Sequence[int], radius: int) -> set:
+        """Set of qubits at distance <= ``radius`` of any source (BFS ball)."""
+        dm = self.distance_matrix()
+        if not sources:
+            return set()
+        d = dm[list(sources), :].min(axis=0)
+        return set(np.flatnonzero(d <= radius).tolist())
+
+    def pairs_within(self, k: int) -> List[Edge]:
+        """All qubit pairs at distance ``< k`` (the candidate set of ERR).
+
+        With ``k = 1`` this is empty; ``k = 2`` returns exactly the coupling
+        edges; larger ``k`` adds progressively less-local pairs.
+        """
+        dm = self.distance_matrix()
+        n = self._num_qubits
+        out: List[Edge] = []
+        for a in range(n):
+            for b in range(a + 1, n):
+                if dm[a, b] < k:
+                    out.append((a, b))
+        return out
+
+    # ------------------------------------------------------------------
+    # Traversals and derived maps
+    # ------------------------------------------------------------------
+    def bfs_edges(self, root: int = 0) -> List[Edge]:
+        """Breadth-first spanning-tree edges from ``root`` in visit order.
+
+        This is exactly the CNOT schedule of the paper's GHZ construction
+        (§V-B): a Hadamard on the root followed by a CNOT along each BFS tree
+        edge fans the entanglement out across the device with no routing.
+        Edges are returned as ``(parent, child)`` (not canonicalised) because
+        CNOT direction matters.
+        """
+        if not (0 <= root < self._num_qubits):
+            raise ValueError(f"root {root} out of range")
+        return [(int(u), int(v)) for u, v in nx.bfs_edges(self._graph, root)]
+
+    def connected(self) -> bool:
+        """True iff the coupling graph is a single connected component."""
+        return nx.is_connected(self._graph)
+
+    def subgraph_edges(self, qubits: Sequence[int]) -> List[Edge]:
+        """Edges with both endpoints inside ``qubits``."""
+        qs = set(qubits)
+        return [e for e in self._edges if e[0] in qs and e[1] in qs]
+
+    def with_edges(self, extra_edges: Iterable[Iterable[int]], name: str = "") -> "CouplingMap":
+        """A new map with additional edges (used to build ERR candidate maps)."""
+        return CouplingMap(
+            self._num_qubits,
+            list(self._edges) + [tuple(e) for e in extra_edges],
+            name=name or self.name + "+",
+        )
+
+    @classmethod
+    def from_graph(cls, graph: nx.Graph, name: str = "") -> "CouplingMap":
+        """Build from a networkx graph whose nodes are 0..n-1."""
+        nodes = sorted(graph.nodes())
+        if nodes != list(range(len(nodes))):
+            raise ValueError("graph nodes must be exactly 0..n-1")
+        return cls(len(nodes), list(graph.edges()), name=name)

@@ -1,0 +1,123 @@
+"""Closed-form edge counts per architecture family (paper Table III).
+
+Table III tabulates how the number of coupling-map edges grows with the
+number of qubits ``n`` for each architecture family.  CMC's calibration cost
+is linear in the edge count (Table I), so these formulas determine for which
+architectures CMC scales — every family except fully-connected grows
+linearly, which is the paper's §VII-B argument.
+
+The closed forms below are exact for the corresponding generators in
+:mod:`repro.topology.generators` when ``n`` tiles the family's unit cell
+(tests cross-check them against generator output).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from repro.topology import generators
+
+__all__ = ["edge_count_formula", "ARCHITECTURE_FORMULAS", "measured_edge_count"]
+
+
+def _linear_edges(n: int) -> int:
+    # Honeywell H1 chain: n - 1.
+    return n - 1
+
+
+def _grid_edges(n: int) -> int:
+    # Full r x c lattice: horizontal r(c-1) + vertical c(r-1) = 2n - r - c.
+    r, c = generators.grid_dimensions(n)
+    if r * c != n:
+        raise ValueError(f"{n} does not tile a full grid")
+    return 2 * n - r - c
+
+
+def _local_grid_edges(n: int) -> int:
+    # Grid plus one diagonal per plaquette: 2n - r - c + (r-1)(c-1).
+    r, c = generators.grid_dimensions(n)
+    if r * c != n:
+        raise ValueError(f"{n} does not tile a full grid")
+    return 2 * n - r - c + (r - 1) * (c - 1)
+
+
+def _octagonal_edges(n: int) -> int:
+    # Chain of full octagons: 8 ring edges per octagon + 2 links between
+    # consecutive octagons = n + 2(n/8 - 1) = 5n/4 - 2 for n = 8m, m >= 1.
+    if n % 8:
+        raise ValueError(f"{n} does not tile full octagons")
+    m = n // 8
+    return 8 * m + 2 * (m - 1)
+
+
+def _fully_connected_edges(n: int) -> int:
+    # IonQ Forte: n(n-1)/2 — the only super-linear family.
+    return n * (n - 1) // 2
+
+
+def _heavy_hex_edges(n: int) -> int:
+    # Heavy-hex interpolates between chain (small n) and ~1.2n (large n);
+    # report the generator's actual count (no simple closed form for
+    # arbitrary n — Table III gives (n-1) + cr with lattice-specific c, r).
+    return generators.heavy_hex(n).num_edges
+
+
+ARCHITECTURE_FORMULAS: Dict[str, Callable[[int], int]] = {
+    "linear": _linear_edges,
+    "grid": _grid_edges,
+    "local_grid": _local_grid_edges,
+    "heavy_hex": _heavy_hex_edges,
+    "hexagonal": _heavy_hex_edges,
+    "octagonal": _octagonal_edges,
+    "fully_connected": _fully_connected_edges,
+}
+
+_GENERATORS: Dict[str, Callable[[int], object]] = {
+    "linear": generators.linear,
+    "grid": generators.grid,
+    "local_grid": generators.local_grid,
+    "heavy_hex": generators.heavy_hex,
+    "hexagonal": generators.hexagonal,
+    "octagonal": generators.octagonal,
+    "fully_connected": generators.fully_connected,
+}
+
+
+def edge_count_formula(architecture: str, num_qubits: int) -> int:
+    """Closed-form edge count for ``architecture`` at ``num_qubits`` qubits.
+
+    Raises ``ValueError`` when ``num_qubits`` does not tile the family's unit
+    cell (e.g. a 7-qubit "full grid") — use :func:`measured_edge_count` for
+    arbitrary sizes.
+    """
+    try:
+        formula = ARCHITECTURE_FORMULAS[architecture]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {architecture!r}; known: "
+            f"{sorted(ARCHITECTURE_FORMULAS)}"
+        ) from None
+    return formula(num_qubits)
+
+
+def measured_edge_count(architecture: str, num_qubits: int) -> int:
+    """Edge count measured from the actual generator (any ``num_qubits``)."""
+    try:
+        gen = _GENERATORS[architecture]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {architecture!r}; known: {sorted(_GENERATORS)}"
+        ) from None
+    return gen(num_qubits).num_edges
+
+
+def is_linear_scaling(architecture: str) -> bool:
+    """True iff the family's edge count grows linearly in ``n`` (§VII-B).
+
+    All families except fully-connected scale linearly, which is why bare
+    CMC is scalable everywhere but IonQ-style all-to-all devices.
+    """
+    if architecture not in ARCHITECTURE_FORMULAS:
+        raise KeyError(f"unknown architecture {architecture!r}")
+    return architecture != "fully_connected"

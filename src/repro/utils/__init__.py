@@ -1,0 +1,46 @@
+"""Shared low-level utilities: bit manipulation, stochastic linear algebra, RNG.
+
+These modules are the vocabulary used by every other subpackage.  They contain
+no quantum- or mitigation-specific logic; keeping them separate makes the
+performance-critical kernels easy to profile and test in isolation.
+"""
+
+from repro.utils.bitstrings import (
+    bit_at,
+    bits_to_int,
+    bitstring_to_int,
+    extract_bits,
+    deposit_bits,
+    int_to_bits,
+    int_to_bitstring,
+    iter_basis_labels,
+    parity,
+)
+from repro.utils.linalg import (
+    column_normalize,
+    fractional_stochastic_power,
+    is_column_stochastic,
+    nearest_stochastic,
+    stable_inverse,
+)
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+__all__ = [
+    "bit_at",
+    "bits_to_int",
+    "bitstring_to_int",
+    "extract_bits",
+    "deposit_bits",
+    "int_to_bits",
+    "int_to_bitstring",
+    "iter_basis_labels",
+    "parity",
+    "column_normalize",
+    "fractional_stochastic_power",
+    "is_column_stochastic",
+    "nearest_stochastic",
+    "stable_inverse",
+    "RandomState",
+    "ensure_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,159 @@
+"""Bitstring codecs and vectorised bit-field kernels.
+
+Conventions used throughout the library
+---------------------------------------
+
+* A measurement outcome over ``n`` qubits is an integer in ``[0, 2**n)``.
+* Qubit ``q`` corresponds to bit position ``q`` (little-endian integers):
+  outcome ``b`` has qubit ``q`` in state ``(b >> q) & 1``.
+* The *string* rendering follows the standard quantum-computing convention of
+  writing qubit ``n-1`` first ("big-endian strings"), i.e. for three qubits
+  the outcome ``0b110`` renders as ``"110"`` meaning qubit 2 = 1, qubit 1 = 1,
+  qubit 0 = 0.
+
+All array-accepting functions are vectorised over NumPy integer arrays; the
+sparse calibration kernels lean on :func:`extract_bits` and
+:func:`deposit_bits` to decompose global outcome indices into a local patch
+index and a remainder index without Python-level loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "int_to_bitstring",
+    "bitstring_to_int",
+    "int_to_bits",
+    "bits_to_int",
+    "bit_at",
+    "parity",
+    "extract_bits",
+    "deposit_bits",
+    "remainder_bits",
+    "iter_basis_labels",
+    "hamming_weight",
+]
+
+
+def int_to_bitstring(value: int, num_bits: int) -> str:
+    """Render ``value`` as an ``num_bits``-character bitstring (qubit n-1 first).
+
+    >>> int_to_bitstring(6, 3)
+    '110'
+    """
+    if value < 0 or value >= (1 << num_bits):
+        raise ValueError(f"value {value} does not fit in {num_bits} bits")
+    return format(value, f"0{num_bits}b")
+
+
+def bitstring_to_int(bitstring: str) -> int:
+    """Parse a bitstring (qubit n-1 first) into an outcome integer.
+
+    >>> bitstring_to_int('110')
+    6
+    """
+    if not bitstring or any(c not in "01" for c in bitstring):
+        raise ValueError(f"invalid bitstring {bitstring!r}")
+    return int(bitstring, 2)
+
+
+def int_to_bits(value: int, num_bits: int) -> np.ndarray:
+    """Little-endian bit array of ``value``: element ``q`` is qubit ``q``."""
+    return (np.asarray(value) >> np.arange(num_bits)) & 1
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits` (element ``q`` is qubit ``q``)."""
+    out = 0
+    for q, b in enumerate(bits):
+        if b not in (0, 1):
+            raise ValueError(f"bit {q} has non-binary value {b!r}")
+        out |= int(b) << q
+    return out
+
+
+def bit_at(values: np.ndarray | int, position: int) -> np.ndarray | int:
+    """Bit of ``values`` at qubit ``position`` (vectorised)."""
+    return (np.asarray(values) >> position) & 1
+
+
+def parity(values: np.ndarray | int, num_bits: int) -> np.ndarray | int:
+    """Parity (XOR of all bits) of each outcome in ``values``."""
+    v = np.asarray(values).copy()
+    result = np.zeros_like(v)
+    for q in range(num_bits):
+        result ^= (v >> q) & 1
+    return result if result.ndim else int(result)
+
+
+def hamming_weight(values: np.ndarray | int, num_bits: int) -> np.ndarray | int:
+    """Number of set bits in each outcome."""
+    v = np.asarray(values)
+    result = np.zeros_like(v)
+    for q in range(num_bits):
+        result = result + ((v >> q) & 1)
+    return result if result.ndim else int(result)
+
+
+def extract_bits(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
+    """Gather the bits of ``values`` at ``positions`` into a compact local index.
+
+    ``positions[k]`` becomes bit ``k`` of the result.  This is the
+    "pext" (parallel bit extract) operation, vectorised over outcome arrays;
+    it converts a global outcome index into the local index of a calibration
+    patch acting on ``positions``.
+
+    >>> extract_bits(np.array([0b1101]), [0, 2, 3])
+    array([7])
+    """
+    v = np.asarray(values)
+    out = np.zeros_like(v)
+    for k, pos in enumerate(positions):
+        out |= ((v >> pos) & 1) << k
+    return out
+
+
+def deposit_bits(local: np.ndarray, positions: Sequence[int]) -> np.ndarray:
+    """Scatter local-index bits back to global positions (inverse of extract).
+
+    Bit ``k`` of ``local`` is placed at bit ``positions[k]`` of the result;
+    all other bits are zero.
+
+    >>> deposit_bits(np.array([7]), [0, 2, 3])
+    array([13])
+    """
+    lv = np.asarray(local)
+    out = np.zeros_like(lv)
+    for k, pos in enumerate(positions):
+        out |= ((lv >> k) & 1) << pos
+    return out
+
+
+def remainder_bits(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
+    """Clear the bits at ``positions``, keeping everything else in place.
+
+    Together with :func:`extract_bits` this decomposes a global index into
+    (local patch index, remainder index); :func:`deposit_bits` recombines.
+    """
+    v = np.asarray(values)
+    mask = 0
+    for pos in positions:
+        mask |= 1 << pos
+    return v & ~mask
+
+
+def iter_basis_labels(num_bits: int) -> Iterator[str]:
+    """Iterate all ``2**num_bits`` bitstring labels in integer order."""
+    for value in range(1 << num_bits):
+        yield int_to_bitstring(value, num_bits)
+
+
+def subset_mask(positions: Iterable[int]) -> int:
+    """Integer mask with bits set at ``positions``."""
+    mask = 0
+    for pos in positions:
+        mask |= 1 << pos
+    return mask

@@ -1,0 +1,142 @@
+"""Stochastic-matrix linear algebra used by calibration joining.
+
+Calibration matrices are *column-stochastic*: ``C[observed, prepared]`` with
+each column summing to one.  The CMC joining construction (paper Eqs. 5-7)
+requires fractional powers ``C**(a/v)`` and inverses of such matrices.  Both
+operations can leave the stochastic cone (small negative entries, complex
+round-off), so every operation here comes with a guarded variant that
+projects back onto real column-stochastic matrices.
+
+The fractional power of a stochastic matrix is well defined whenever the
+matrix is "embeddable" (eigenvalues off the negative real axis); for readout
+confusion matrices — which are diagonally dominant perturbations of the
+identity in every realistic regime — this always holds, but we guard against
+pathological test inputs anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+__all__ = [
+    "column_normalize",
+    "is_column_stochastic",
+    "nearest_stochastic",
+    "fractional_stochastic_power",
+    "stable_inverse",
+    "clip_renormalize",
+]
+
+#: Tolerance used for stochasticity checks throughout the library.
+STOCHASTIC_ATOL = 1e-8
+
+
+def column_normalize(matrix: np.ndarray) -> np.ndarray:
+    """Rescale each column of ``matrix`` to sum to one.
+
+    Columns that sum to zero are replaced by the uniform distribution —
+    this is the behaviour wanted when a calibration circuit received zero
+    shots (no information → maximum-entropy column).
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {m.shape}")
+    sums = m.sum(axis=0)
+    out = np.empty_like(m)
+    dead = np.abs(sums) < 1e-300
+    if np.any(dead):
+        out[:, dead] = 1.0 / m.shape[0]
+    live = ~dead
+    out[:, live] = m[:, live] / sums[live]
+    return out
+
+
+def is_column_stochastic(matrix: np.ndarray, atol: float = STOCHASTIC_ATOL) -> bool:
+    """True iff ``matrix`` is real, non-negative, with unit column sums."""
+    m = np.asarray(matrix)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        return False
+    if np.iscomplexobj(m) and np.abs(m.imag).max(initial=0.0) > atol:
+        return False
+    m = m.real if np.iscomplexobj(m) else m
+    if m.min(initial=0.0) < -atol:
+        return False
+    return bool(np.allclose(m.sum(axis=0), 1.0, atol=max(atol, 1e-6)))
+
+
+def nearest_stochastic(matrix: np.ndarray) -> np.ndarray:
+    """Project a matrix onto column-stochastic form (clip negatives, renorm).
+
+    This is the standard projection used after inverting or taking fractional
+    powers of confusion matrices; for matrices already in the cone it is the
+    identity up to round-off.
+    """
+    m = np.asarray(matrix)
+    if np.iscomplexobj(m):
+        m = m.real
+    m = np.clip(m, 0.0, None)
+    return column_normalize(m)
+
+
+def clip_renormalize(vector: np.ndarray) -> np.ndarray:
+    """Project a quasi-probability vector onto the simplex by clip + renorm."""
+    v = np.asarray(vector, dtype=float)
+    v = np.clip(v, 0.0, None)
+    total = v.sum()
+    if total <= 0.0:
+        return np.full_like(v, 1.0 / v.size)
+    return v / total
+
+
+def fractional_stochastic_power(matrix: np.ndarray, exponent: float) -> np.ndarray:
+    """Compute ``matrix ** exponent`` for a column-stochastic matrix.
+
+    Uses the Schur-decomposition fractional power from SciPy.  The result is
+    returned *unprojected* (its columns sum to one analytically, but tiny
+    negative entries may appear): the CMC joining construction multiplies
+    inverses of these powers against each other and relies on them
+    telescoping exactly — ``C**0.5 @ C**0.5 == C`` — so projection is left to
+    the end of the mitigation pipeline (:func:`clip_renormalize` /
+    :func:`nearest_stochastic`).
+
+    Parameters
+    ----------
+    matrix:
+        Square column-stochastic matrix.
+    exponent:
+        Any real power; CMC uses rationals ``a / v`` with
+        ``0 <= a <= v - 1``.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {m.shape}")
+    if exponent == 0.0:
+        return np.eye(m.shape[0])
+    if exponent == 1.0:
+        return m.copy()
+    power = scipy.linalg.fractional_matrix_power(m, exponent)
+    if np.iscomplexobj(power):
+        # Round-off from complex-conjugate eigenvalue pairs; a genuine
+        # imaginary component would indicate a non-embeddable matrix.
+        if np.abs(power.imag).max(initial=0.0) > 1e-6:
+            raise np.linalg.LinAlgError(
+                "fractional power of calibration matrix has a significant "
+                "imaginary part; matrix is too far from the identity"
+            )
+        power = power.real
+    return power
+
+
+def stable_inverse(matrix: np.ndarray, rcond: float = 1e-10) -> np.ndarray:
+    """Invert a calibration matrix, falling back to pseudo-inverse.
+
+    Confusion matrices are diagonally dominant and hence invertible in
+    practice, but heavily under-sampled calibrations (e.g. the Full method at
+    a constrained shot budget, paper Fig. 12) can produce singular estimates.
+    """
+    m = np.asarray(matrix, dtype=float)
+    try:
+        return np.linalg.inv(m)
+    except np.linalg.LinAlgError:
+        return np.linalg.pinv(m, rcond=rcond)

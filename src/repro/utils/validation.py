@@ -1,0 +1,74 @@
+"""Argument-validation helpers shared across the public API.
+
+All public entry points validate their inputs eagerly with these helpers so
+that user errors surface as clear ``ValueError``/``TypeError`` messages at the
+API boundary rather than as shape errors deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_num_qubits",
+    "check_qubit_indices",
+    "check_probability",
+    "check_probability_vector",
+    "check_shots",
+]
+
+#: Practical dense-simulation ceiling; vectors above this would not fit in
+#: memory for the dense code paths (2**24 doubles = 128 MiB per vector).
+MAX_DENSE_QUBITS = 24
+
+
+def check_num_qubits(num_qubits: int, *, dense: bool = False) -> int:
+    """Validate a qubit count; with ``dense=True`` enforce the memory ceiling."""
+    if not isinstance(num_qubits, (int, np.integer)) or num_qubits < 1:
+        raise ValueError(f"num_qubits must be a positive integer, got {num_qubits!r}")
+    if dense and num_qubits > MAX_DENSE_QUBITS:
+        raise ValueError(
+            f"num_qubits={num_qubits} exceeds the dense-simulation ceiling of "
+            f"{MAX_DENSE_QUBITS}; use the sparse code paths"
+        )
+    return int(num_qubits)
+
+
+def check_qubit_indices(qubits: Sequence[int], num_qubits: int) -> tuple:
+    """Validate a sequence of distinct qubit indices within range."""
+    qs = tuple(int(q) for q in qubits)
+    if len(set(qs)) != len(qs):
+        raise ValueError(f"qubit indices must be distinct, got {qubits!r}")
+    for q in qs:
+        if q < 0 or q >= num_qubits:
+            raise ValueError(f"qubit index {q} out of range for {num_qubits} qubits")
+    return qs
+
+
+def check_probability(p: float, name: str = "probability") -> float:
+    """Validate a scalar probability in [0, 1]."""
+    p = float(p)
+    if not (0.0 <= p <= 1.0) or not np.isfinite(p):
+        raise ValueError(f"{name} must lie in [0, 1], got {p!r}")
+    return p
+
+
+def check_probability_vector(vector: np.ndarray, atol: float = 1e-6) -> np.ndarray:
+    """Validate a dense probability vector (non-negative, sums to one)."""
+    v = np.asarray(vector, dtype=float)
+    if v.ndim != 1:
+        raise ValueError(f"expected a 1-D probability vector, got shape {v.shape}")
+    if v.min(initial=0.0) < -atol:
+        raise ValueError("probability vector has negative entries")
+    if not np.isclose(v.sum(), 1.0, atol=atol):
+        raise ValueError(f"probability vector sums to {v.sum()!r}, expected 1")
+    return v
+
+
+def check_shots(shots: int) -> int:
+    """Validate a shot count."""
+    if not isinstance(shots, (int, np.integer)) or shots < 0:
+        raise ValueError(f"shots must be a non-negative integer, got {shots!r}")
+    return int(shots)

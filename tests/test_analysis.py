@@ -1,0 +1,189 @@
+"""Tests for the analysis package: metrics, stats, hinton, correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    QuantileSummary,
+    correlation_edge_weights,
+    error_rate,
+    hinton_data,
+    one_norm_distance,
+    render_hinton_ascii,
+    success_probability,
+    summarize_quantiles,
+    total_variation_distance,
+)
+from repro.backends import SimulatedBackend
+from repro.counts import Counts
+from repro.noise import (
+    MeasurementErrorChannel,
+    NoiseModel,
+    ReadoutError,
+    correlated_pair_channel,
+)
+from repro.topology import linear
+
+
+class TestSuccessProbability:
+    def test_from_counts(self):
+        c = Counts({0: 75, 1: 25}, [0])
+        assert success_probability(c, 0) == 0.75
+        assert error_rate(c, 0) == 0.25
+
+    def test_from_dict(self):
+        assert success_probability({2: 0.4, 1: 0.6}, 2) == pytest.approx(0.4)
+
+    def test_from_array(self):
+        assert success_probability(np.array([0.1, 0.9]), 1) == pytest.approx(0.9)
+
+    def test_missing_outcome_zero(self):
+        assert success_probability({0: 1.0}, 5) == 0.0
+
+    def test_unnormalised_dict_normalised(self):
+        assert success_probability({0: 3, 1: 1}, 0) == pytest.approx(0.75)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            success_probability({}, 0)
+
+
+class TestOneNorm:
+    def test_identical_zero(self):
+        c = Counts({0: 1, 3: 1}, [0, 1])
+        assert one_norm_distance(c, c) == 0.0
+
+    def test_disjoint_is_two(self):
+        assert one_norm_distance({0: 1.0}, {1: 1.0}) == pytest.approx(2.0)
+
+    def test_mixed_input_types(self):
+        c = Counts({0: 50, 1: 50}, [0])
+        ideal = np.array([0.5, 0.5])
+        assert one_norm_distance(c, ideal) == pytest.approx(0.0)
+
+    def test_tv_is_half(self):
+        a, b = {0: 0.8, 1: 0.2}, {0: 0.2, 1: 0.8}
+        assert total_variation_distance(a, b) == pytest.approx(
+            one_norm_distance(a, b) / 2
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=8),
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=8),
+    )
+    @settings(max_examples=30)
+    def test_metric_properties(self, xs, ys):
+        n = min(len(xs), len(ys))
+        p = {i: v for i, v in enumerate(xs[:n])}
+        q = {i: v for i, v in enumerate(ys[:n])}
+        d = one_norm_distance(p, q)
+        assert 0.0 <= d <= 2.0 + 1e-9
+        assert d == pytest.approx(one_norm_distance(q, p))  # symmetry
+
+
+class TestQuantiles:
+    def test_basic_summary(self):
+        s = summarize_quantiles([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.median == 3.0
+        assert s.plus == 1.0 and s.minus == 1.0
+        assert s.num_samples == 5
+
+    def test_upper_lower(self):
+        s = QuantileSummary(median=0.2, plus=0.1, minus=0.04, num_samples=9)
+        assert s.upper == pytest.approx(0.3)
+        assert s.lower == pytest.approx(0.16)
+
+    def test_format_table2_style(self):
+        s = QuantileSummary(median=0.2, plus=0.1, minus=0.04, num_samples=9)
+        assert s.format(2) == "0.20 +0.10/-0.04"
+        assert str(s) == "0.20 +0.10/-0.04"
+
+    def test_single_sample(self):
+        s = summarize_quantiles([0.4])
+        assert s.median == 0.4 and s.plus == 0.0 and s.minus == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_quantiles([])
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            summarize_quantiles([1.0], lower_q=0.9, upper_q=0.1)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=2, max_size=50))
+    @settings(max_examples=30)
+    def test_whiskers_nonnegative(self, samples):
+        s = summarize_quantiles(samples, 0.1, 0.9)
+        assert s.plus >= -1e-12 and s.minus >= -1e-12
+        assert s.lower <= s.median <= s.upper + 1e-12
+
+
+class TestHinton:
+    def test_data_fields(self):
+        m = np.array([[0.9, 0.2], [0.1, 0.8]])
+        data = hinton_data(m)
+        assert data["num_qubits"] == 1
+        assert data["labels"] == ["0", "1"]
+        assert ("0", "1", 0.1) in data["entries"]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            hinton_data(np.ones((2, 3)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            hinton_data(np.eye(3))
+
+    def test_ascii_shape(self):
+        text = render_hinton_ascii(np.eye(4))
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 rows
+        assert lines[1].startswith("00")
+
+    def test_ascii_glyph_scale(self):
+        text = render_hinton_ascii(np.array([[1.0, 0.5], [0.0, 0.5]]))
+        assert "@" in text  # full-weight glyph for 1.0
+
+    def test_ascii_size_guard(self):
+        with pytest.raises(ValueError):
+            render_hinton_ascii(np.eye(128), max_dim=64)
+
+
+class TestCorrelationWeights:
+    def make_backend(self, seed=0):
+        ch = MeasurementErrorChannel(3)
+        for q in range(3):
+            ch.add_readout(q, ReadoutError(0.02, 0.04))
+        ch.add_local((0, 2), correlated_pair_channel(0.12))
+        return SimulatedBackend(
+            linear(3), NoiseModel.measurement_only(ch), rng=seed
+        )
+
+    def test_weights_cover_all_pairs(self):
+        backend = self.make_backend()
+        weights = correlation_edge_weights(backend, shots_per_circuit=3000)
+        assert set(weights) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_correlated_pair_heaviest(self):
+        backend = self.make_backend(seed=1)
+        weights = correlation_edge_weights(backend, shots_per_circuit=4000)
+        assert max(weights, key=weights.get) == (0, 2)
+
+    def test_weeks_average(self):
+        backend = self.make_backend(seed=2)
+        weights = correlation_edge_weights(
+            backend, shots_per_circuit=2000, weeks=2
+        )
+        assert all(w >= 0 for w in weights.values())
+
+    def test_weeks_validation(self):
+        with pytest.raises(ValueError):
+            correlation_edge_weights(self.make_backend(), weeks=0)
+
+    def test_explicit_pairs(self):
+        backend = self.make_backend(seed=3)
+        weights = correlation_edge_weights(
+            backend, pairs=[(0, 2)], shots_per_circuit=2000
+        )
+        assert set(weights) == {(0, 2)}

@@ -1,0 +1,206 @@
+"""Tests for the Table I characterisation baselines: RB and tomography."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import ShotBudget, SimulatedBackend
+from repro.characterization import (
+    randomized_benchmarking,
+    random_identity_sequence,
+    state_fidelity,
+    state_tomography,
+    tomography_circuits,
+)
+from repro.characterization.rb import u3_params_from_unitary
+from repro.characterization.tomography import ideal_statevector
+from repro.circuits import Circuit
+from repro.circuits.gates import gate_matrix, u3_matrix
+from repro.noise import MeasurementErrorChannel, NoiseModel, ReadoutError
+from repro.simulator import StatevectorSimulator
+from repro.topology import linear
+
+
+class TestU3Extraction:
+    @pytest.mark.parametrize("name", ["i", "x", "y", "z", "h", "s", "sdg", "t"])
+    def test_named_gates_roundtrip(self, name):
+        u = gate_matrix(name)
+        theta, phi, lam = u3_params_from_unitary(u)
+        rebuilt = u3_matrix(theta, phi, lam)
+        # equal up to global phase: |tr(U† V)| = 2
+        overlap = abs(np.trace(u.conj().T @ rebuilt))
+        assert overlap == pytest.approx(2.0, abs=1e-9)
+
+    @given(
+        st.floats(min_value=0, max_value=math.pi),
+        st.floats(min_value=-math.pi, max_value=math.pi),
+        st.floats(min_value=-math.pi, max_value=math.pi),
+    )
+    @settings(max_examples=40)
+    def test_random_u3_roundtrip(self, theta, phi, lam):
+        u = u3_matrix(theta, phi, lam)
+        rebuilt = u3_matrix(*u3_params_from_unitary(u))
+        assert abs(np.trace(u.conj().T @ rebuilt)) == pytest.approx(2.0, abs=1e-8)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            u3_params_from_unitary(np.eye(4))
+
+
+class TestRandomIdentitySequence:
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_sequence_acts_as_identity(self, depth, seed):
+        qc = random_identity_sequence(2, depth, rng=seed)
+        sim = StatevectorSimulator(2)
+        sim.run(qc)
+        probs = sim.probabilities()
+        assert probs[0] == pytest.approx(1.0, abs=1e-8)
+
+    def test_gate_count(self):
+        qc = random_identity_sequence(3, 10, rng=0)
+        # 10 random gates + 1 inverting u3 per qubit
+        assert len(qc) == 33
+
+    def test_negative_depth(self):
+        with pytest.raises(ValueError):
+            random_identity_sequence(1, -1)
+
+
+class TestRandomizedBenchmarking:
+    def test_ideal_device_no_decay(self):
+        backend = SimulatedBackend(linear(2), rng=0)
+        res = randomized_benchmarking(
+            backend, depths=(1, 4, 16), sequences_per_depth=3,
+            shots_per_sequence=256, rng=1,
+        )
+        assert all(s > 0.99 for s in res.survival)
+        assert res.average_gate_error < 0.01
+
+    def test_gate_noise_produces_decay(self):
+        model = NoiseModel(num_qubits=1, error_1q=0.02)
+        backend = SimulatedBackend(linear(1), model, rng=2, max_trajectories=64)
+        res = randomized_benchmarking(
+            backend,
+            depths=(1, 4, 8, 16, 32),
+            sequences_per_depth=6,
+            shots_per_sequence=512,
+            rng=3,
+        )
+        # survival decays with depth
+        assert res.survival[0] > res.survival[-1] + 0.05
+        # fitted error in the right ballpark: r ~ 2e/3 = 0.013 for e=0.02
+        assert 0.003 < res.average_gate_error < 0.05
+
+    def test_spam_lands_in_offsets_not_decay(self):
+        """Pure readout error: depth-independent survival, p ~ 1, SPAM > 0
+        — RB 'cannot distinguish' SPAM structure (§III-C)."""
+        ch = MeasurementErrorChannel.from_readout_errors([ReadoutError(0.05, 0.1)])
+        backend = SimulatedBackend(
+            linear(1), NoiseModel.measurement_only(ch), rng=4
+        )
+        res = randomized_benchmarking(
+            backend,
+            depths=(1, 8, 32),
+            sequences_per_depth=4,
+            shots_per_sequence=1024,
+            rng=5,
+        )
+        spread = max(res.survival) - min(res.survival)
+        assert spread < 0.05  # flat in depth
+        assert res.spam_error > 0.02
+
+    def test_budget_charged(self):
+        backend = SimulatedBackend(linear(1), rng=6)
+        budget = ShotBudget(10000)
+        randomized_benchmarking(
+            backend, depths=(1, 2), sequences_per_depth=2,
+            shots_per_sequence=100, budget=budget, rng=7,
+        )
+        assert budget.spent == 400
+        assert budget.by_tag() == {"rb": 400}
+
+
+class TestTomographyCircuits:
+    def test_setting_count(self):
+        prep = Circuit(2).h(0)
+        assert len(tomography_circuits(prep)) == 9
+
+    def test_basis_rotations_appended(self):
+        prep = Circuit(1)
+        circs = tomography_circuits(prep)
+        assert circs[("Z",)].count_gates() == 0
+        assert circs[("X",)].count_gates("h") == 1
+        assert circs[("Y",)].count_gates("sdg") == 1
+
+    def test_ceiling(self):
+        with pytest.raises(ValueError):
+            tomography_circuits(Circuit(7))
+
+
+class TestStateTomography:
+    def test_reconstructs_bell_state(self):
+        backend = SimulatedBackend(linear(2), rng=8)
+        prep = Circuit(2, name="bell").h(0).cx(0, 1)
+        res = state_tomography(backend, prep, shots_per_setting=4096)
+        target = ideal_statevector(prep)
+        assert state_fidelity(res.rho, target) > 0.97
+        assert res.settings_used == 9
+        assert res.purity() > 0.9
+
+    def test_reconstructs_plus_state(self):
+        backend = SimulatedBackend(linear(1), rng=9)
+        prep = Circuit(1).h(0)
+        res = state_tomography(backend, prep, shots_per_setting=4096)
+        # <X> ~ 1 for |+>
+        assert res.expectations[("X",)] > 0.95
+        assert res.expectations[("Z",)] == pytest.approx(0.0, abs=0.1)
+
+    def test_rho_physical(self):
+        backend = SimulatedBackend(linear(2), rng=10)
+        prep = Circuit(2).h(0).cx(0, 1)
+        res = state_tomography(backend, prep, shots_per_setting=512)
+        vals = np.linalg.eigvalsh(res.rho)
+        assert vals.min() >= -1e-10
+        assert np.trace(res.rho).real == pytest.approx(1.0, abs=1e-9)
+
+    def test_readout_noise_lowers_fidelity(self):
+        prep = Circuit(2, name="bell").h(0).cx(0, 1)
+        target = ideal_statevector(prep)
+        clean = SimulatedBackend(linear(2), rng=11)
+        noisy_model = NoiseModel.measurement_only(
+            MeasurementErrorChannel.from_readout_errors(
+                [ReadoutError(0.05, 0.1)] * 2
+            )
+        )
+        noisy = SimulatedBackend(linear(2), noisy_model, rng=11)
+        f_clean = state_fidelity(
+            state_tomography(clean, prep, shots_per_setting=4096).rho, target
+        )
+        f_noisy = state_fidelity(
+            state_tomography(noisy, prep, shots_per_setting=4096).rho, target
+        )
+        assert f_noisy < f_clean - 0.02
+
+    def test_probabilities_view(self):
+        backend = SimulatedBackend(linear(1), rng=12)
+        prep = Circuit(1).x(0)
+        res = state_tomography(backend, prep, shots_per_setting=2048)
+        probs = res.probabilities()
+        assert probs[1] > 0.95
+
+    def test_fidelity_validation(self):
+        with pytest.raises(ValueError):
+            state_fidelity(np.eye(2) / 2, np.zeros(2))
+        with pytest.raises(ValueError):
+            state_fidelity(np.eye(2) / 2, np.ones(4))
+
+    def test_budget_charged(self):
+        backend = SimulatedBackend(linear(1), rng=13)
+        budget = ShotBudget(10000)
+        state_tomography(
+            backend, Circuit(1).h(0), shots_per_setting=1000, budget=budget
+        )
+        assert budget.spent == 3000

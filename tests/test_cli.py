@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "ghz" in out and "Table II" in out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        assert "Fig. 1" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_method_choice(self):
+        with pytest.raises(SystemExit):
+            main(["ghz", "--methods", "Oracle"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["ghz"])
+        assert args.architecture == "grid"
+        assert args.shots == 16000
+
+
+class TestCommands:
+    def test_ghz_small(self, capsys):
+        rc = main(
+            [
+                "ghz",
+                "--qubits", "3", "4",
+                "--shots", "4000",
+                "--trials", "1",
+                "--methods", "Bare", "CMC",
+                "--seed", "0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Bare" in out and "CMC" in out
+        assert out.strip().splitlines()[-1].startswith("4")
+
+    def test_costs(self, capsys):
+        assert main(["costs", "--qubits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "CMC" in out and "Process Tomography" in out
+
+    def test_xchain_small(self, capsys):
+        assert main(["xchain", "--max-depth", "5", "--shots", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "parity gap" in out
+
+    def test_correlations_small(self, capsys):
+        assert main(
+            [
+                "correlations",
+                "--device", "quito",
+                "--weeks", "1",
+                "--shots-per-circuit", "1000",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "alignment" in out
+
+    def test_channels_small(self, capsys):
+        assert main(
+            [
+                "channels",
+                "--kind", "state_dependent",
+                "--qubits", "3",
+                "--shots-per-state", "1000",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mean success" in out
+
+    def test_shots_small(self, capsys):
+        assert main(
+            [
+                "shots",
+                "--qubits", "4",
+                "--budgets", "1000", "4000",
+                "--methods", "Bare", "CMC",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "budget" in out

@@ -1,0 +1,183 @@
+"""Tests for CalibrationMatrix (Eqs. 2-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CalibrationMatrix
+from repro.counts import Counts
+from repro.noise import MeasurementErrorChannel, ReadoutError, correlated_pair_channel
+from repro.utils.linalg import column_normalize, is_column_stochastic
+
+
+def random_calibration(rng, qubits, strength=0.1):
+    dim = 1 << len(qubits)
+    m = np.eye(dim) + rng.random((dim, dim)) * strength
+    return CalibrationMatrix(qubits, column_normalize(m))
+
+
+class TestConstruction:
+    def test_valid(self):
+        cal = CalibrationMatrix((0, 1), np.eye(4))
+        assert cal.num_qubits == 2 and cal.dim == 4
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError):
+            CalibrationMatrix((0,), np.array([[0.5, 0.5], [0.6, 0.5]]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CalibrationMatrix((0, 1), np.eye(2))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            CalibrationMatrix((0, 0), np.eye(4))
+
+    def test_identity(self):
+        np.testing.assert_array_equal(
+            CalibrationMatrix.identity((3, 5)).matrix, np.eye(4)
+        )
+
+
+class TestFromCounts:
+    def test_perfect_counts(self):
+        counts = {
+            0: Counts({0: 100}, [0, 1]),
+            1: Counts({1: 100}, [0, 1]),
+            2: Counts({2: 100}, [0, 1]),
+            3: Counts({3: 100}, [0, 1]),
+        }
+        cal = CalibrationMatrix.from_counts((0, 1), counts)
+        np.testing.assert_array_equal(cal.matrix, np.eye(4))
+
+    def test_noisy_counts(self):
+        counts = {
+            0: Counts({0: 90, 1: 10}, [0]),
+            1: Counts({0: 20, 1: 80}, [0]),
+        }
+        cal = CalibrationMatrix.from_counts((0,), counts)
+        np.testing.assert_allclose(cal.matrix, [[0.9, 0.2], [0.1, 0.8]])
+
+    def test_missing_column_uniform(self):
+        counts = {0: Counts({0: 10}, [0])}
+        cal = CalibrationMatrix.from_counts((0,), counts)
+        np.testing.assert_allclose(cal.matrix[:, 1], [0.5, 0.5])
+
+    def test_marginalises_spectators(self):
+        # counts measured over (0, 1, 2); calibration over (0, 2)
+        counts = {
+            s: Counts({(s & 1) | (((s >> 1) & 1) << 2): 50}, [0, 1, 2])
+            for s in range(4)
+        }
+        cal = CalibrationMatrix.from_counts((0, 2), counts)
+        np.testing.assert_array_equal(cal.matrix, np.eye(4))
+
+    def test_from_channel_ground_truth(self):
+        ch = MeasurementErrorChannel(2)
+        ch.add_local((0, 1), correlated_pair_channel(0.25))
+        cal = CalibrationMatrix.exact_from_channel(ch, (0, 1))
+        np.testing.assert_allclose(cal.matrix, correlated_pair_channel(0.25))
+
+
+class TestTensor:
+    def test_eq2_disjoint_tensor(self):
+        rng = np.random.default_rng(0)
+        ci = random_calibration(rng, (0,))
+        cj = random_calibration(rng, (1,))
+        cij = ci.tensor(cj)
+        assert cij.qubits == (0, 1)
+        np.testing.assert_allclose(cij.matrix, np.kron(cj.matrix, ci.matrix))
+
+    def test_rejects_overlap(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            random_calibration(rng, (0, 1)).tensor(random_calibration(rng, (1,)))
+
+    def test_tensor_stochastic(self):
+        rng = np.random.default_rng(2)
+        out = random_calibration(rng, (0,)).tensor(random_calibration(rng, (2, 3)))
+        assert is_column_stochastic(out.matrix, atol=1e-9)
+
+
+class TestTraced:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_eq3_trace_recovers_tensor_factor(self, seed):
+        """|Tr_j(C_i ⊗ C_j)| == C_i exactly (paper Eq. 3)."""
+        rng = np.random.default_rng(seed)
+        ci = random_calibration(rng, (0,))
+        cj = random_calibration(rng, (1,))
+        cij = ci.tensor(cj)
+        np.testing.assert_allclose(cij.traced((0,)).matrix, ci.matrix, atol=1e-10)
+        np.testing.assert_allclose(cij.traced((1,)).matrix, cj.matrix, atol=1e-10)
+
+    def test_trace_of_correlated_is_marginal(self):
+        cij = CalibrationMatrix((0, 1), correlated_pair_channel(0.2))
+        # Joint-flip channel: marginal of each qubit flips with p=0.2.
+        expected = np.array([[0.8, 0.2], [0.2, 0.8]])
+        np.testing.assert_allclose(cij.traced((0,)).matrix, expected, atol=1e-10)
+
+    def test_trace_three_to_two(self):
+        rng = np.random.default_rng(3)
+        c0 = random_calibration(rng, (0,))
+        c12 = random_calibration(rng, (1, 2))
+        c012 = c0.tensor(c12)
+        np.testing.assert_allclose(
+            c012.traced((1, 2)).matrix, c12.matrix, atol=1e-10
+        )
+
+    def test_trace_reorders_full_tuple(self):
+        rng = np.random.default_rng(4)
+        ci = random_calibration(rng, (0,))
+        cj = random_calibration(rng, (1,))
+        cij = ci.tensor(cj)
+        swapped = cij.traced((1, 0))
+        np.testing.assert_allclose(
+            swapped.matrix, np.kron(ci.matrix, cj.matrix), atol=1e-12
+        )
+        assert swapped.qubits == (1, 0)
+
+    def test_trace_unknown_qubit(self):
+        with pytest.raises(ValueError):
+            CalibrationMatrix.identity((0, 1)).traced((5,))
+
+    def test_trace_result_stochastic(self):
+        rng = np.random.default_rng(5)
+        c = random_calibration(rng, (0, 1, 2), strength=0.3)
+        assert is_column_stochastic(c.traced((1,)).matrix, atol=1e-9)
+
+
+class TestMitigation:
+    def test_mitigate_dense_inverts(self):
+        rng = np.random.default_rng(6)
+        cal = random_calibration(rng, (0, 1), strength=0.2)
+        truth = np.array([0.4, 0.1, 0.2, 0.3])
+        observed = cal.matrix @ truth
+        recovered = cal.mitigate_dense(observed)
+        np.testing.assert_allclose(recovered, truth, atol=1e-10)
+
+    def test_mitigate_wrong_length(self):
+        with pytest.raises(ValueError):
+            CalibrationMatrix.identity((0,)).mitigate_dense(np.ones(4) / 4)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(7)
+        cal = random_calibration(rng, (0,))
+        np.testing.assert_allclose(cal.inverse() @ cal.matrix, np.eye(2), atol=1e-10)
+
+    def test_distance_from(self):
+        a = CalibrationMatrix.identity((0,))
+        b = CalibrationMatrix((0,), np.array([[0.9, 0.1], [0.1, 0.9]]))
+        assert a.distance_from(b) == pytest.approx(0.2)
+
+    def test_distance_requires_same_qubits(self):
+        with pytest.raises(ValueError):
+            CalibrationMatrix.identity((0,)).distance_from(
+                CalibrationMatrix.identity((1,))
+            )
+
+    def test_power_halves(self):
+        rng = np.random.default_rng(8)
+        cal = random_calibration(rng, (0,))
+        half = cal.power(0.5)
+        np.testing.assert_allclose(half @ half, cal.matrix, atol=1e-8)

@@ -1,0 +1,171 @@
+"""Tests for ERR (Algorithm 2) and the CMC-ERR mitigator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import one_norm_distance
+from repro.backends import ShotBudget, SimulatedBackend
+from repro.circuits import ghz_bfs
+from repro.core import (
+    CalibrationMatrix,
+    CMCERRMitigator,
+    CMCMitigator,
+    build_error_coupling_map,
+    edge_correlation_weights,
+)
+from repro.noise import (
+    MeasurementErrorChannel,
+    NoiseModel,
+    ReadoutError,
+    correlated_pair_channel,
+)
+from repro.topology import ibm_nairobi, linear
+from repro.utils.linalg import column_normalize
+
+
+def off_map_backend(seed=0, corr=0.1):
+    """Nairobi-style: correlations on local NON-edges of the coupling map."""
+    cmap = ibm_nairobi()
+    ch = MeasurementErrorChannel(7)
+    for q in range(7):
+        ch.add_readout(q, ReadoutError(0.02, 0.05))
+    # Nairobi edges: (0,1),(1,2),(1,3),(3,5),(4,5),(5,6).  Off-map local
+    # pairs: (0,2) dist 2, (2,3) dist 2, (4,6) dist 2.
+    for pair in [(0, 2), (2, 3), (4, 6)]:
+        assert pair not in cmap
+        ch.add_local(pair, correlated_pair_channel(corr))
+    model = NoiseModel.measurement_only(ch, name="off-map")
+    return SimulatedBackend(cmap, model, rng=seed), [(0, 2), (2, 3), (4, 6)]
+
+
+class TestEdgeWeights:
+    def test_uncorrelated_pair_weight_near_zero(self):
+        rng = np.random.default_rng(0)
+        c0 = CalibrationMatrix((0,), column_normalize(np.eye(2) + rng.random((2, 2)) * 0.1))
+        c1 = CalibrationMatrix((1,), column_normalize(np.eye(2) + rng.random((2, 2)) * 0.1))
+        pair = c0.tensor(c1)
+        w = edge_correlation_weights({0: c0, 1: c1}, {(0, 1): pair})
+        assert w[(0, 1)] < 1e-10
+
+    def test_correlated_pair_weight_positive(self):
+        corr = CalibrationMatrix((0, 1), correlated_pair_channel(0.2))
+        singles = {0: corr.traced((0,)), 1: corr.traced((1,))}
+        w = edge_correlation_weights(singles, {(0, 1): corr})
+        assert w[(0, 1)] > 0.1
+
+    def test_weight_monotone_in_strength(self):
+        def weight(p):
+            corr = CalibrationMatrix((0, 1), correlated_pair_channel(p))
+            singles = {0: corr.traced((0,)), 1: corr.traced((1,))}
+            return edge_correlation_weights(singles, {(0, 1): corr})[(0, 1)]
+
+        assert weight(0.05) < weight(0.1) < weight(0.2)
+
+    def test_missing_singles_fall_back_to_trace(self):
+        corr = CalibrationMatrix((0, 1), correlated_pair_channel(0.2))
+        w = edge_correlation_weights({}, {(0, 1): corr})
+        assert w[(0, 1)] > 0.1
+
+
+class TestBuildErrorMap:
+    def test_heaviest_edges_chosen(self):
+        weights = {(0, 1): 0.5, (2, 3): 0.4, (1, 2): 0.01}
+        emap = build_error_coupling_map(4, weights, max_edges=2)
+        assert set(emap.edges) == {(0, 1), (2, 3)}
+
+    def test_cycle_edges_skipped(self):
+        # (0,1) and (1,2) pull in all of 0,1,2; (0,2) closes a cycle -> skip.
+        weights = {(0, 1): 0.5, (1, 2): 0.4, (0, 2): 0.3, (2, 3): 0.2}
+        emap = build_error_coupling_map(4, weights)
+        assert (0, 2) not in emap
+        assert (2, 3) in emap
+
+    def test_at_most_n_edges(self):
+        weights = {(a, b): 1.0 / (a + b + 1) for a in range(6) for b in range(a + 1, 6)}
+        emap = build_error_coupling_map(6, weights)
+        assert emap.num_edges <= 6
+
+    def test_disconnected_allowed(self):
+        weights = {(0, 1): 0.9, (2, 3): 0.8}
+        emap = build_error_coupling_map(4, weights)
+        assert not emap.connected()
+        assert emap.num_edges == 2
+
+    def test_max_edges_zero(self):
+        emap = build_error_coupling_map(4, {(0, 1): 1.0}, max_edges=0)
+        assert emap.num_edges == 0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            build_error_coupling_map(4, {}, max_edges=-1)
+
+    def test_deterministic_tiebreak(self):
+        weights = {(0, 1): 0.5, (2, 3): 0.5}
+        a = build_error_coupling_map(4, weights)
+        b = build_error_coupling_map(4, weights)
+        assert a.edges == b.edges
+
+
+class TestCMCERREndToEnd:
+    def test_profile_finds_off_map_correlations(self):
+        backend, true_pairs = off_map_backend(seed=1)
+        mit = CMCERRMitigator(backend.coupling_map, locality=3)
+        budget = ShotBudget(64000)
+        mit.profile(backend, budget)
+        assert mit.error_map is not None
+        found = set(mit.error_map.edges)
+        # The three injected off-map pairs should dominate the error map.
+        assert len(found & set(true_pairs)) >= 2
+
+    def test_err_beats_cmc_on_off_map_noise(self):
+        """The Table II Nairobi story: CMC-ERR reduces error where bare CMC
+        cannot (correlations invisible to the coupling map)."""
+        backend, _ = off_map_backend(seed=2, corr=0.12)
+        cmap = backend.coupling_map
+        qc = ghz_bfs(cmap)
+        ideal = np.zeros(2**7)
+        ideal[0] = ideal[-1] = 0.5
+
+        budget_err = ShotBudget(64000)
+        err = CMCERRMitigator(cmap, locality=3)
+        err.prepare(backend, budget_err)
+        out_err = err.execute(qc, backend, budget_err)
+
+        budget_cmc = ShotBudget(64000)
+        cmc = CMCMitigator(cmap)
+        cmc.prepare(backend, budget_cmc)
+        out_cmc = cmc.execute(qc, backend, budget_cmc)
+
+        bare = backend.run(qc, 32000)
+        e_bare = one_norm_distance(bare, ideal)
+        e_cmc = one_norm_distance(out_cmc, ideal)
+        e_err = one_norm_distance(out_err, ideal)
+        assert e_err < e_bare  # ERR helps
+        assert e_err < e_cmc  # and beats coupling-map-aligned CMC
+
+    def test_execute_before_prepare_raises(self):
+        backend, _ = off_map_backend(seed=3)
+        mit = CMCERRMitigator(backend.coupling_map)
+        with pytest.raises(RuntimeError):
+            mit.execute(ghz_bfs(backend.coupling_map), backend, ShotBudget(10))
+
+    def test_locality_validation(self):
+        with pytest.raises(ValueError):
+            CMCERRMitigator(linear(4), locality=1)
+
+    def test_err_map_bounded_by_qubit_count(self):
+        backend, _ = off_map_backend(seed=4)
+        mit = CMCERRMitigator(backend.coupling_map, locality=4)
+        mit.profile(backend, ShotBudget(64000))
+        assert mit.error_map.num_edges <= backend.num_qubits
+
+    def test_reuses_profiling_calibrations(self):
+        """prepare() must not spend extra circuits beyond profiling."""
+        backend, _ = off_map_backend(seed=5)
+        mit = CMCERRMitigator(backend.coupling_map, locality=3)
+        budget = ShotBudget(64000)
+        mit.prepare(backend, budget)
+        circuits_after_prepare = budget.circuits_executed
+        # inner CMC has calibrations without running anything further
+        assert mit._inner.patch_calibrations is not None
+        assert budget.circuits_executed == circuits_after_prepare

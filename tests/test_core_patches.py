@@ -1,0 +1,122 @@
+"""Tests for Algorithm 1 patch-round construction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_patch_rounds
+from repro.core.patches import PatchSchedule
+from repro.topology import (
+    fully_connected,
+    grid,
+    heavy_hex,
+    ibm_tokyo,
+    linear,
+    random_coupling_map,
+)
+
+
+class TestBasics:
+    def test_single_edge(self):
+        sched = build_patch_rounds(linear(2), k=1)
+        assert sched.num_rounds == 1
+        assert sched.num_circuits == 4
+
+    def test_chain_k1(self):
+        # 0-1, 1-2, 2-3, 3-4 on a 5-chain: (0,1) and (3,4) have min endpoint
+        # distance 2 >= k+1=2 -> same round; others need separate rounds.
+        sched = build_patch_rounds(linear(5), k=1)
+        sched.validate()
+        assert sched.covered_edges() == linear(5).edges
+        assert sched.num_rounds <= 4
+
+    def test_k0_is_matching_decomposition(self):
+        # k=0: patches in a round must be disjoint (distance >= 1).
+        sched = build_patch_rounds(linear(6), k=0)
+        sched.validate()
+        for round_edges in sched.rounds:
+            qubits = [q for e in round_edges for q in e]
+            assert len(qubits) == len(set(qubits))
+
+    def test_coverage_invariant(self):
+        sched = build_patch_rounds(grid(16), k=1)
+        sched.validate()
+        assert set(sched.covered_edges()) == set(grid(16).edges)
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            build_patch_rounds(linear(4), k=-1)
+
+    def test_explicit_edge_subset(self):
+        cmap = linear(6)
+        sched = build_patch_rounds(cmap, k=1, edges=[(0, 1), (4, 5)])
+        sched.validate()
+        assert sched.covered_edges() == ((0, 1), (4, 5))
+        assert sched.num_rounds == 1  # far apart -> same round
+
+    def test_explicit_edges_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_patch_rounds(linear(4), edges=[(0, 9)])
+
+    def test_non_coupling_edges_schedulable(self):
+        """ERR schedules non-edges; distance uses the device graph."""
+        cmap = linear(5)
+        sched = build_patch_rounds(cmap, k=1, edges=[(0, 2), (2, 4)])
+        sched.validate()
+        assert sched.num_rounds == 2  # share qubit 2 -> separate rounds
+
+
+class TestEfficiency:
+    def test_fewer_circuits_than_per_edge(self):
+        """The whole point: patching beats 4-per-edge calibration."""
+        cmap = grid(25)
+        sched = build_patch_rounds(cmap, k=1)
+        assert sched.num_circuits < 4 * cmap.num_edges
+        assert sched.speedup > 1.5
+
+    def test_tokyo_circuit_count_regime(self):
+        """Paper §IV-A: Tokyo needs ~54 patched circuits vs 140 per-edge."""
+        cmap = ibm_tokyo()
+        per_edge = 4 * cmap.num_edges
+        sched = build_patch_rounds(cmap, k=1)
+        sched.validate()
+        assert per_edge > 100  # per-edge is ~140
+        assert sched.num_circuits < per_edge / 2  # patching at least halves it
+
+    def test_random_map_speedup_3_to_10(self):
+        """Paper §IV-A: >100 qubits, avg degree 4 -> 3-10x reduction."""
+        cmap = random_coupling_map(120, avg_degree=4.0, seed=0)
+        sched = build_patch_rounds(cmap, k=1)
+        sched.validate()
+        assert 2.0 <= sched.speedup <= 20.0
+
+    def test_fully_connected_no_parallelism(self):
+        """All-to-all: every pair of edges is adjacent, no sharing at k>=0
+        beyond disjointness; speedup stays small (the Fig. 15 pathology)."""
+        cmap = fully_connected(8)
+        sched = build_patch_rounds(cmap, k=1)
+        sched.validate()
+        # At k=1 every two edges are within distance 1 -> one edge per round.
+        assert sched.num_rounds == cmap.num_edges
+
+    def test_larger_k_needs_more_rounds(self):
+        cmap = grid(25)
+        r1 = build_patch_rounds(cmap, k=1).num_rounds
+        r2 = build_patch_rounds(cmap, k=2).num_rounds
+        assert r2 >= r1
+
+
+@given(
+    st.integers(min_value=2, max_value=24),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=30, deadline=None)
+def test_schedule_invariants_random_maps(n, k, seed):
+    """Property: every schedule covers all edges with valid separation."""
+    cmap = random_coupling_map(n, avg_degree=3.0, seed=seed)
+    sched = build_patch_rounds(cmap, k=k)
+    sched.validate()  # raises on violation
+    assert set(sched.covered_edges()) == set(cmap.edges)
+    # each edge appears exactly once across rounds
+    total = sum(len(r) for r in sched.rounds)
+    assert total == cmap.num_edges

@@ -1,0 +1,132 @@
+"""Tests for the sparse local-operator application kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import apply_chain_sparse, apply_local_matrix_sparse
+from repro.counts import SparseDistribution
+from repro.noise import correlated_pair_channel
+
+
+def dense_embed(matrix, positions, num_bits):
+    """Reference dense embedding via kron + permutation-free indexing."""
+    dim = 1 << num_bits
+    full = np.zeros((dim, dim))
+    m = len(positions)
+    for col in range(dim):
+        lc = 0
+        for k, p in enumerate(positions):
+            lc |= ((col >> p) & 1) << k
+        rest = col
+        for p in positions:
+            rest &= ~(1 << p)
+        for lo in range(1 << m):
+            row = rest
+            for k, p in enumerate(positions):
+                row |= ((lo >> k) & 1) << p
+            full[row, col] = matrix[lo, lc]
+    return full
+
+
+class TestApplyLocal:
+    def test_flip_single_bit(self):
+        d = SparseDistribution(np.array([0b00]), np.array([1.0]), 2)
+        flip = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = apply_local_matrix_sparse(d, flip, (1,))
+        np.testing.assert_array_equal(out.indices, [0b10])
+        np.testing.assert_allclose(out.values, [1.0])
+
+    def test_matches_dense_reference(self):
+        rng = np.random.default_rng(0)
+        v = rng.random(32)
+        v /= v.sum()
+        d = SparseDistribution.from_dense(v)
+        mat = correlated_pair_channel(0.2)
+        out = apply_local_matrix_sparse(d, mat, (1, 3))
+        ref = dense_embed(mat, (1, 3), 5) @ v
+        np.testing.assert_allclose(out.to_dense(), ref, atol=1e-12)
+
+    def test_non_stochastic_matrix_ok(self):
+        """Inverse calibration matrices (negative entries) must work."""
+        d = SparseDistribution(np.array([0, 1]), np.array([0.9, 0.1]), 1)
+        c = np.array([[0.9, 0.1], [0.1, 0.9]])
+        inv = np.linalg.inv(c)
+        out = apply_local_matrix_sparse(d, inv, (0,))
+        np.testing.assert_allclose(out.to_dense(), inv @ d.to_dense(), atol=1e-12)
+
+    def test_empty_distribution(self):
+        d = SparseDistribution(np.array([], dtype=np.int64), np.array([]), 3)
+        out = apply_local_matrix_sparse(d, np.eye(2), (0,))
+        assert out.nnz == 0
+
+    def test_prune_tol(self):
+        d = SparseDistribution(np.array([0]), np.array([1.0]), 1)
+        mat = np.array([[1.0 - 1e-15, 0.0], [1e-15, 1.0]])
+        out = apply_local_matrix_sparse(d, mat, (0,), prune_tol=1e-12)
+        assert out.nnz == 1
+
+    def test_duplicate_positions(self):
+        d = SparseDistribution(np.array([0]), np.array([1.0]), 2)
+        with pytest.raises(ValueError):
+            apply_local_matrix_sparse(d, np.eye(4), (0, 0))
+
+    def test_position_out_of_range(self):
+        d = SparseDistribution(np.array([0]), np.array([1.0]), 2)
+        with pytest.raises(ValueError):
+            apply_local_matrix_sparse(d, np.eye(2), (5,))
+
+    def test_shape_mismatch(self):
+        d = SparseDistribution(np.array([0]), np.array([1.0]), 2)
+        with pytest.raises(ValueError):
+            apply_local_matrix_sparse(d, np.eye(4), (0,))
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_sparse_equals_dense_property(self, seed):
+        rng = np.random.default_rng(seed)
+        num_bits = int(rng.integers(2, 7))
+        support = rng.choice(1 << num_bits, size=min(5, 1 << num_bits), replace=False)
+        vals = rng.random(support.size)
+        d = SparseDistribution(support, vals, num_bits)
+        m = int(rng.integers(1, 3))
+        positions = tuple(
+            int(p) for p in rng.choice(num_bits, size=m, replace=False)
+        )
+        mat = rng.standard_normal((1 << m, 1 << m))
+        out = apply_local_matrix_sparse(d, mat, positions)
+        ref = dense_embed(mat, positions, num_bits) @ d.to_dense()
+        np.testing.assert_allclose(out.to_dense(), ref, atol=1e-10)
+
+
+class TestApplyChain:
+    def test_chain_order(self):
+        """Factors apply first-to-last."""
+        d = SparseDistribution(np.array([0b0]), np.array([1.0]), 1)
+        set_one = np.array([[0.0, 0.0], [1.0, 1.0]])  # everything -> |1>
+        flip = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = apply_chain_sparse(d, [(set_one, (0,)), (flip, (0,))])
+        np.testing.assert_array_equal(out.indices, [0])
+
+    def test_chain_matches_matrix_product(self):
+        rng = np.random.default_rng(1)
+        v = rng.random(8)
+        v /= v.sum()
+        d = SparseDistribution.from_dense(v)
+        m1 = rng.random((4, 4))
+        m2 = rng.random((2, 2))
+        out = apply_chain_sparse(d, [(m1, (0, 2)), (m2, (1,))])
+        ref = dense_embed(m2, (1,), 3) @ (dense_embed(m1, (0, 2), 3) @ v)
+        np.testing.assert_allclose(out.to_dense(), ref, atol=1e-12)
+
+    def test_max_support_cap(self):
+        d = SparseDistribution(np.array([0]), np.array([1.0]), 4)
+        spread = np.full((2, 2), 0.5)
+        chain = [(spread, (i,)) for i in range(4)]
+        out = apply_chain_sparse(d, chain, max_support=3)
+        assert out.nnz <= 3
+
+    def test_empty_chain_identity(self):
+        d = SparseDistribution(np.array([2]), np.array([1.0]), 2)
+        out = apply_chain_sparse(d, [])
+        np.testing.assert_array_equal(out.indices, d.indices)

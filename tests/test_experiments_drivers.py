@@ -1,0 +1,172 @@
+"""Smoke + shape tests for the per-figure experiment drivers (small sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    device_correlation_map,
+    device_ghz_table,
+    ghz_architecture_sweep,
+    simulated_channel_benchmark,
+    x_chain_experiment,
+)
+from repro.experiments.channels_bench import make_benchmark_channel
+from repro.experiments.ghz_sweep import ghz_ideal_distribution
+from repro.experiments.xchain import quito_like_backend
+from repro.utils.linalg import is_column_stochastic
+
+
+class TestGhzSweepDriver:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return ghz_architecture_sweep(
+            "grid",
+            [4, 6],
+            shots=8000,
+            trials=2,
+            methods=["Bare", "CMC"],
+            seed=0,
+            gate_noise=False,
+        )
+
+    def test_structure(self, sweep):
+        assert sweep.qubit_counts == [4, 6]
+        assert set(sweep.methods()) == {"Bare", "CMC"}
+        assert len(sweep.errors["CMC"]) == 2
+        assert len(sweep.errors["CMC"][0]) == 2  # trials
+
+    def test_medians_and_summary(self, sweep):
+        meds = sweep.medians("CMC")
+        assert len(meds) == 2 and all(m is not None for m in meds)
+        summaries = sweep.summary("CMC")
+        assert all(s.num_samples == 2 for s in summaries)
+
+    def test_reduction_vs_bare(self, sweep):
+        reds = sweep.reduction_vs_bare("CMC")
+        assert all(r is not None and r > 0 for r in reds)
+
+    def test_ideal_distribution(self):
+        ideal = ghz_ideal_distribution(3)
+        assert ideal[0] == ideal[7] == 0.5
+        assert ideal.sum() == 1.0
+
+
+class TestChannelBenchDriver:
+    def test_channel_constructors(self):
+        corr = make_benchmark_channel("correlated", 4, 0.1)
+        assert not corr.is_tensored()
+        sd = make_benchmark_channel("state_dependent", 4, 0.1)
+        assert sd.is_tensored()
+        assert is_column_stochastic(sd.to_matrix(), atol=1e-9)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_benchmark_channel("gremlins", 4)
+
+    def test_small_run(self):
+        res = simulated_channel_benchmark(
+            "state_dependent",
+            num_qubits=3,
+            shots_per_state=2000,
+            methods=["Bare", "SIM", "Linear"],
+            seed=1,
+        )
+        assert res.num_qubits == 3
+        assert len(res.successes["SIM"]) == 8  # one per basis state
+        assert len(res.bare_successes) == 8
+        # |000> is error-free under pure decay
+        assert res.bare_successes[0] > 0.99
+
+    def test_mean_and_summary(self):
+        res = simulated_channel_benchmark(
+            "correlated",
+            num_qubits=3,
+            shots_per_state=2000,
+            methods=["Bare"],
+            seed=2,
+        )
+        assert 0.0 <= res.mean("Bare") <= 1.0
+        assert res.summary("Bare").num_samples == 8
+
+
+class TestXChainDriver:
+    def test_small_run(self):
+        res = x_chain_experiment(
+            quito_like_backend(rng=0), max_depth=9, shots=2000
+        )
+        assert res.depths == list(range(10))
+        assert len(res.error_rates) == 10
+        assert res.parity_gap() > 0.03
+
+    def test_series_split(self):
+        res = x_chain_experiment(
+            quito_like_backend(rng=1), max_depth=5, shots=1000
+        )
+        assert [d for d, _ in res.even_series()] == [0, 2, 4]
+        assert [d for d, _ in res.odd_series()] == [1, 3, 5]
+
+    def test_parity_gap_needs_both(self):
+        res = x_chain_experiment(
+            quito_like_backend(rng=2), max_depth=0, shots=100
+        )
+        with pytest.raises(ValueError):
+            res.parity_gap()
+
+
+class TestDeviceTableDriver:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return device_ghz_table(
+            ["quito", "nairobi"],
+            shots=16000,
+            trials=2,
+            methods=["Bare", "Full", "CMC"],
+            seed=3,
+            full_max_qubits=5,
+            gate_noise=False,
+        )
+
+    def test_devices_and_methods(self, table):
+        assert table.devices == ["quito", "nairobi"]
+        assert set(table.methods()) == {"Bare", "Full", "CMC"}
+
+    def test_na_on_seven_qubits(self, table):
+        assert table.summary("nairobi", "Full") is None
+        assert table.summary("quito", "Full") is not None
+
+    def test_best_non_exponential_excludes_full(self, table):
+        best = table.best_non_exponential("quito")
+        assert best == "CMC"
+
+    def test_summary_shape(self, table):
+        s = table.summary("quito", "Bare")
+        assert s.num_samples == 2
+
+
+class TestCorrelationMapDriver:
+    def test_small_run(self):
+        res = device_correlation_map(
+            "quito", weeks=2, shots_per_circuit=1500, seed=4
+        )
+        assert res.device == "quito"
+        assert res.weeks == 2
+        assert len(res.weights) == 10  # all pairs of 5 qubits
+        assert 0.0 <= res.alignment() <= 1.0
+
+    def test_heaviest_ordering(self):
+        res = device_correlation_map(
+            "quito", weeks=1, shots_per_circuit=1500, seed=5
+        )
+        top = res.heaviest(3)
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_weeks_validation(self):
+        with pytest.raises(ValueError):
+            device_correlation_map("quito", weeks=0)
+
+    def test_on_off_weight_partition(self):
+        res = device_correlation_map(
+            "nairobi", weeks=1, shots_per_circuit=1500, seed=6
+        )
+        total = sum(res.weights.values())
+        assert res.on_map_weight() + res.off_map_weight() == pytest.approx(total)

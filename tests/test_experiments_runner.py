@@ -1,0 +1,132 @@
+"""Tests for the experiment runner, suites and reporters."""
+
+import numpy as np
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.circuits import ghz_bfs
+from repro.experiments import (
+    default_method_suite,
+    format_series,
+    format_table,
+    run_suite_once,
+)
+from repro.experiments.ghz_sweep import ghz_ideal_distribution
+from repro.experiments.runner import METHOD_ORDER
+from repro.analysis.stats import QuantileSummary
+from repro.noise import MeasurementErrorChannel, NoiseModel, ReadoutError
+from repro.topology import linear
+
+
+def small_backend(seed=0):
+    ch = MeasurementErrorChannel.from_readout_errors(
+        [ReadoutError(0.02, 0.05)] * 3
+    )
+    return SimulatedBackend(linear(3), NoiseModel.measurement_only(ch), rng=seed)
+
+
+class TestSuiteConstruction:
+    def test_all_eight_methods(self):
+        suite = default_method_suite(linear(3), rng=0)
+        assert suite.names() == METHOD_ORDER
+
+    def test_include_filter(self):
+        suite = default_method_suite(linear(3), rng=0, include=["Bare", "CMC"])
+        assert suite.names() == ["Bare", "CMC"]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            default_method_suite(linear(3), include=["Bare", "Oracle"])
+
+    def test_factories_fresh_instances(self):
+        suite = default_method_suite(linear(3), rng=0)
+        a = suite.factories["CMC"]()
+        b = suite.factories["CMC"]()
+        assert a is not b
+
+    def test_jigsaw_seeded_from_suite_rng(self):
+        s1 = default_method_suite(linear(3), rng=5)
+        s2 = default_method_suite(linear(3), rng=5)
+        j1 = s1.factories["JIGSAW"]()
+        j2 = s2.factories["JIGSAW"]()
+        assert j1._draw_subsets(range(6)) == j2._draw_subsets(range(6))
+
+
+class TestRunSuiteOnce:
+    def test_all_methods_report(self):
+        backend = small_backend()
+        suite = default_method_suite(
+            backend.coupling_map, rng=1, include=["Bare", "Linear", "CMC"]
+        )
+        circuit = ghz_bfs(backend.coupling_map)
+        ideal = ghz_ideal_distribution(3)
+        results = run_suite_once(suite, circuit, backend, 8000, ideal=ideal)
+        assert set(results) == {"Bare", "Linear", "CMC"}
+        for res in results.values():
+            assert res.available
+            assert res.error is not None
+            assert res.shots_spent <= 8000
+
+    def test_equal_budgets_enforced(self):
+        backend = small_backend(seed=2)
+        suite = default_method_suite(
+            backend.coupling_map, rng=2, include=["Bare", "CMC", "SIM"]
+        )
+        circuit = ghz_bfs(backend.coupling_map)
+        results = run_suite_once(suite, circuit, backend, 4000)
+        for res in results.values():
+            assert res.shots_spent <= 4000
+
+    def test_not_scalable_becomes_na(self):
+        backend = small_backend(seed=3)
+        suite = default_method_suite(
+            backend.coupling_map, rng=3, include=["Full"], full_max_qubits=2
+        )
+        results = run_suite_once(
+            suite, ghz_bfs(backend.coupling_map), backend, 4000
+        )
+        assert results["Full"].not_applicable
+        assert not results["Full"].available
+        assert "2^2" in results["Full"].failure or "ceiling" in results["Full"].failure
+
+    def test_without_ideal_no_error(self):
+        backend = small_backend(seed=4)
+        suite = default_method_suite(backend.coupling_map, rng=4, include=["Bare"])
+        results = run_suite_once(suite, ghz_bfs(backend.coupling_map), backend, 1000)
+        assert results["Bare"].error is None
+
+
+class TestReporters:
+    def test_format_table_alignment(self):
+        rows = {"CMC": {"err": 0.1}, "Bare": {"err": 0.5}}
+        text = format_table(rows, ["err"], row_header="method")
+        lines = text.splitlines()
+        assert lines[0].startswith("method")
+        assert "0.100" in text and "0.500" in text
+
+    def test_format_table_na(self):
+        rows = {"Full": {"n=16": None}}
+        text = format_table(rows, ["n=16"])
+        assert "N/A" in text
+
+    def test_format_table_bold_min(self):
+        rows = {"A": {"x": 0.3}, "B": {"x": 0.1}}
+        text = format_table(rows, ["x"], bold_min_per_column=True)
+        assert "*0.100*" in text
+        assert "*0.300*" not in text
+
+    def test_format_table_quantile_cells(self):
+        rows = {"A": {"x": QuantileSummary(0.2, 0.1, 0.04, 3)}}
+        text = format_table(rows, ["x"], precision=2)
+        assert "0.20 +0.10/-0.04" in text
+
+    def test_format_series(self):
+        text = format_series("n", [4, 8], {"CMC": [0.1, 0.2], "Bare": [0.4, None]})
+        assert "N/A" in text
+        lines = text.splitlines()
+        assert lines[0].split()[0] == "n"
+        assert lines[2].startswith("4")
+
+    def test_format_series_ragged(self):
+        text = format_series("n", [4, 8, 12], {"CMC": [0.1]})
+        assert text.count("N/A") == 2

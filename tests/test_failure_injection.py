@@ -1,0 +1,196 @@
+"""Failure-injection tests: starved budgets, degenerate calibrations,
+pathological counts — the library must degrade loudly or gracefully,
+never silently wrong."""
+
+import numpy as np
+import pytest
+
+from repro.backends import BudgetExceeded, ShotBudget, SimulatedBackend
+from repro.circuits import Circuit, ghz_bfs
+from repro.core import CalibrationMatrix, CMCMitigator, CMCERRMitigator
+from repro.counts import Counts, SparseDistribution
+from repro.mitigation import (
+    FullCalibrationMitigator,
+    JigsawMitigator,
+    LinearCalibrationMitigator,
+    SIMMitigator,
+)
+from repro.noise import MeasurementErrorChannel, NoiseModel, ReadoutError
+from repro.topology import CouplingMap, linear
+from repro.utils.linalg import column_normalize
+
+
+def backend_with_noise(n=3, seed=0):
+    ch = MeasurementErrorChannel.from_readout_errors(
+        [ReadoutError(0.02, 0.05)] * n
+    )
+    return SimulatedBackend(linear(n), NoiseModel.measurement_only(ch), rng=seed)
+
+
+class TestStarvedBudgets:
+    def test_zero_budget_cmc_gets_uniform_calibrations(self):
+        """With 0 shots per calibration circuit, calibration columns become
+        uniform (zero information) and mitigation degenerates gracefully."""
+        backend = backend_with_noise()
+        mit = CMCMitigator(linear(3))
+        budget = ShotBudget(10)  # 10 shots over 8+ circuits -> 0 each
+        mit.prepare(backend, budget)
+        for cal in mit.patch_calibrations.values():
+            # uniform columns
+            np.testing.assert_allclose(cal.matrix, np.full((4, 4), 0.25))
+
+    def test_one_shot_calibrations_still_mitigate(self):
+        backend = backend_with_noise(seed=1)
+        mit = CMCMitigator(linear(3))
+        budget = ShotBudget(64)
+        mit.prepare(backend, budget)
+        out = mit.execute(ghz_bfs(linear(3)), backend, budget)
+        assert out.shots > 0
+        assert all(v >= 0 for v in out.values())
+
+    def test_budget_exceeded_raised_before_work(self):
+        backend = backend_with_noise(seed=2)
+        budget = ShotBudget(100)
+        budget.charge(100)
+        with pytest.raises(BudgetExceeded):
+            backend.run(ghz_bfs(linear(3)), 1, budget=budget)
+
+    def test_sim_zero_budget(self):
+        backend = backend_with_noise(seed=3)
+        out = SIMMitigator().execute(ghz_bfs(linear(3)), backend, ShotBudget(0))
+        assert out.shots == 0
+
+    def test_jigsaw_tiny_budget(self):
+        backend = backend_with_noise(n=4, seed=4)
+        out = JigsawMitigator(rng=0).execute(
+            ghz_bfs(linear(4)), backend, ShotBudget(10)
+        )
+        # global table of 5 shots survives; sub-tables may be empty
+        assert out.shots >= 0
+
+
+class TestDegenerateCalibrations:
+    def test_singular_calibration_pinv_fallback(self):
+        # A rank-1 stochastic matrix (both columns equal) is singular.
+        m = np.array([[0.7, 0.7], [0.3, 0.3]])
+        cal = CalibrationMatrix((0,), m)
+        out = cal.mitigate_dense(np.array([0.7, 0.3]))
+        assert np.all(np.isfinite(out))
+
+    def test_uniform_calibration_mitigation_finite(self):
+        cal = CalibrationMatrix((0, 1), np.full((4, 4), 0.25))
+        out = cal.mitigate_dense(np.array([0.4, 0.3, 0.2, 0.1]))
+        assert np.all(np.isfinite(out))
+
+    def test_identity_calibration_is_noop(self):
+        mit = CMCMitigator(linear(3))
+        mit.set_patch_calibrations(
+            {e: CalibrationMatrix.identity(e) for e in linear(3).edges}
+        )
+        counts = Counts({0: 50, 7: 50}, [0, 1, 2])
+        out = mit.mitigate(counts)
+        np.testing.assert_allclose(
+            out.to_dense(), counts.to_dense(), atol=1e-9
+        )
+
+    def test_full_mitigator_with_degenerate_columns(self):
+        """Missing calibration columns (uniform) must not crash inversion."""
+        counts = {0: Counts({0: 10}, [0, 1])}  # only one column observed
+        cal = CalibrationMatrix.from_counts((0, 1), counts)
+        out = cal.mitigate_dense(np.array([0.25, 0.25, 0.25, 0.25]))
+        assert np.all(np.isfinite(out))
+
+
+class TestPathologicalCounts:
+    def test_mitigate_single_outcome_counts(self):
+        backend = backend_with_noise(seed=5)
+        mit = CMCMitigator(linear(3))
+        budget = ShotBudget(20000)
+        mit.prepare(backend, budget)
+        counts = Counts({5: 1000}, [0, 1, 2])
+        out = mit.mitigate(counts)
+        assert out.shots == pytest.approx(1000)
+
+    def test_mitigate_empty_counts_raises_cleanly(self):
+        backend = backend_with_noise(seed=6)
+        mit = CMCMitigator(linear(3))
+        budget = ShotBudget(20000)
+        mit.prepare(backend, budget)
+        with pytest.raises(ValueError):
+            mit.mitigate(Counts({}, [0, 1, 2]))
+
+    def test_sparse_distribution_all_negative_rejected(self):
+        d = SparseDistribution(np.array([0, 1]), np.array([-0.2, -0.8]), 1)
+        with pytest.raises(ValueError):
+            d.clip_normalized()
+
+
+class TestStructuralEdgeCases:
+    def test_cmc_on_two_qubit_device(self):
+        cmap = linear(2)
+        backend = SimulatedBackend(
+            cmap,
+            NoiseModel.measurement_only(
+                MeasurementErrorChannel.from_readout_errors(
+                    [ReadoutError(0.03, 0.06)] * 2
+                )
+            ),
+            rng=7,
+        )
+        mit = CMCMitigator(cmap)
+        budget = ShotBudget(8000)
+        mit.prepare(backend, budget)
+        out = mit.execute(ghz_bfs(cmap), backend, budget)
+        assert out.shots > 0
+
+    def test_err_on_device_without_off_map_pairs(self):
+        """A 2-qubit device has no candidate pairs beyond its edge."""
+        cmap = linear(2)
+        backend = SimulatedBackend(
+            cmap,
+            NoiseModel.measurement_only(
+                MeasurementErrorChannel.from_readout_errors(
+                    [ReadoutError(0.03, 0.06)] * 2
+                )
+            ),
+            rng=8,
+        )
+        mit = CMCERRMitigator(cmap, locality=2)
+        budget = ShotBudget(8000)
+        mit.prepare(backend, budget)
+        out = mit.execute(ghz_bfs(cmap), backend, budget)
+        assert out.shots > 0
+
+    def test_disconnected_device_cmc(self):
+        cmap = CouplingMap(4, [(0, 1), (2, 3)], name="two-islands")
+        backend = SimulatedBackend(
+            cmap,
+            NoiseModel.measurement_only(
+                MeasurementErrorChannel.from_readout_errors(
+                    [ReadoutError(0.03, 0.06)] * 4
+                )
+            ),
+            rng=9,
+        )
+        mit = CMCMitigator(cmap)
+        budget = ShotBudget(16000)
+        mit.prepare(backend, budget)
+        qc = Circuit(4).x(0).x(3).measure_all()
+        out = mit.execute(qc, backend, budget)
+        assert out.to_probabilities().get(0b1001, 0) > 0.8
+
+    def test_linear_mitigator_unknown_qubits_passthrough(self):
+        mit = LinearCalibrationMitigator()
+        mit.set_factors({0: CalibrationMatrix((0,), np.array([[0.9, 0.1], [0.1, 0.9]]))})
+        counts = Counts({0b10: 100}, [0, 5])  # qubit 5 has no factor
+        out = mit.mitigate(counts)
+        assert out.shots == pytest.approx(100)
+
+    def test_max_support_cap_still_normalised(self):
+        backend = backend_with_noise(n=3, seed=10)
+        mit = CMCMitigator(linear(3), max_support=2)
+        budget = ShotBudget(20000)
+        mit.prepare(backend, budget)
+        out = mit.execute(ghz_bfs(linear(3)), backend, budget)
+        assert len(out) <= 2
+        assert out.shots == pytest.approx(budget.by_tag()["target"], rel=1e-6)

@@ -1,0 +1,169 @@
+"""Tests for MeasurementErrorChannel composition and application."""
+
+import numpy as np
+import pytest
+
+from repro.noise import (
+    LocalChannel,
+    MeasurementErrorChannel,
+    ReadoutError,
+    correlated_pair_channel,
+)
+from repro.utils.linalg import is_column_stochastic
+
+
+def flip(p):
+    return np.array([[1 - p, p], [p, 1 - p]])
+
+
+class TestLocalChannel:
+    def test_valid(self):
+        lc = LocalChannel((0, 2), correlated_pair_channel(0.1))
+        assert lc.num_qubits == 2
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError):
+            LocalChannel((0,), np.array([[1.0, 1.0], [1.0, 1.0]]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LocalChannel((0, 1), np.eye(2))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            LocalChannel((1, 1), np.eye(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LocalChannel((), np.eye(1))
+
+
+class TestChannelComposition:
+    def test_ideal_is_trivial(self):
+        ch = MeasurementErrorChannel.ideal(3)
+        assert ch.is_trivial
+        v = np.array([0.25, 0.25, 0.25, 0.25, 0, 0, 0, 0.25])
+        np.testing.assert_array_equal(ch.apply(v), v)
+
+    def test_from_readout_errors_skips_trivial(self):
+        errs = [ReadoutError(0.1, 0.1), ReadoutError.ideal(), ReadoutError(0.0, 0.2)]
+        ch = MeasurementErrorChannel.from_readout_errors(errs)
+        assert len(ch.factors) == 2
+        assert ch.touched_qubits() == (0, 2)
+
+    def test_tensored_detection(self):
+        ch = MeasurementErrorChannel(3)
+        ch.add_readout(0, ReadoutError(0.1, 0.1))
+        assert ch.is_tensored()
+        ch.add_local((0, 1), correlated_pair_channel(0.1))
+        assert not ch.is_tensored()
+
+    def test_add_out_of_range(self):
+        ch = MeasurementErrorChannel(2)
+        with pytest.raises(ValueError):
+            ch.add_readout(5, ReadoutError(0.1, 0.1))
+
+
+class TestChannelApply:
+    def test_single_qubit_application(self):
+        ch = MeasurementErrorChannel(2)
+        ch.add_local((0,), flip(0.1))
+        v = np.array([1.0, 0, 0, 0])
+        np.testing.assert_allclose(ch.apply(v), [0.9, 0.1, 0, 0])
+
+    def test_order_matters(self):
+        # Non-commuting factors on the same qubit: decay-then-flip vs
+        # flip-then-decay differ.
+        decay = np.array([[1.0, 0.5], [0.0, 0.5]])
+        flip_all = np.array([[0.0, 1.0], [1.0, 0.0]])
+        a = MeasurementErrorChannel(1, [LocalChannel((0,), decay), LocalChannel((0,), flip_all)])
+        b = MeasurementErrorChannel(1, [LocalChannel((0,), flip_all), LocalChannel((0,), decay)])
+        v = np.array([0.0, 1.0])
+        assert not np.allclose(a.apply(v), b.apply(v))
+
+    def test_preserves_normalisation(self):
+        rng = np.random.default_rng(0)
+        ch = MeasurementErrorChannel(3)
+        ch.add_readout(0, ReadoutError(0.1, 0.2))
+        ch.add_local((1, 2), correlated_pair_channel(0.15))
+        v = rng.random(8)
+        v /= v.sum()
+        assert np.isclose(ch.apply(v).sum(), 1.0)
+
+    def test_wrong_length(self):
+        ch = MeasurementErrorChannel(2)
+        with pytest.raises(ValueError):
+            ch.apply(np.ones(8) / 8)
+
+
+class TestApplyMarginal:
+    def test_full_register_passthrough(self):
+        ch = MeasurementErrorChannel(2)
+        ch.add_local((0,), flip(0.25))
+        v = np.array([1.0, 0, 0, 0])
+        np.testing.assert_allclose(
+            ch.apply_marginal(v, [0, 1]), ch.apply(v)
+        )
+
+    def test_subset_avoids_crosstalk_from_unread_neighbour(self):
+        """A correlated factor coupling a measured qubit to an UNREAD qubit
+        does not fire: readout crosstalk needs simultaneous measurement
+        pulses — the physics behind JIGSAW's subsetting advantage."""
+        ch = MeasurementErrorChannel(2)
+        ch.add_local((0, 1), correlated_pair_channel(0.2))
+        v = np.array([1.0, 0.0])  # qubit 0 in |0>, qubit 1 not read out
+        out = ch.apply_marginal(v, [0])
+        np.testing.assert_allclose(out, [1.0, 0.0])
+
+    def test_full_register_readout_sees_crosstalk(self):
+        """The same factor DOES fire when both qubits are read out —
+        to_matrix([0]) models a full-device calibration circuit."""
+        ch = MeasurementErrorChannel(2)
+        ch.add_local((0, 1), correlated_pair_channel(0.2))
+        sub = ch.to_matrix([0])
+        np.testing.assert_allclose(sub, [[0.8, 0.2], [0.2, 0.8]], atol=1e-12)
+
+    def test_subset_index_embedding(self):
+        ch = MeasurementErrorChannel(3)
+        ch.add_local((2,), flip(1.0))  # always flips qubit 2
+        v = np.array([1.0, 0.0])  # measured qubit 2 in |0>
+        out = ch.apply_marginal(v, [2])
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_wrong_subset_length(self):
+        ch = MeasurementErrorChannel(3)
+        with pytest.raises(ValueError):
+            ch.apply_marginal(np.ones(4) / 4, [0])
+
+
+class TestToMatrix:
+    def test_full_matrix_tensored(self):
+        ch = MeasurementErrorChannel(2)
+        ch.add_local((0,), flip(0.1))
+        ch.add_local((1,), flip(0.2))
+        expected = np.kron(flip(0.2), flip(0.1))
+        np.testing.assert_allclose(ch.to_matrix(), expected, atol=1e-12)
+
+    def test_marginal_matrix_of_pair(self):
+        ch = MeasurementErrorChannel(3)
+        ch.add_local((0, 1), correlated_pair_channel(0.3))
+        sub = ch.to_matrix([0, 1])
+        np.testing.assert_allclose(sub, correlated_pair_channel(0.3), atol=1e-12)
+
+    def test_marginal_single_qubit_of_correlated_pair(self):
+        ch = MeasurementErrorChannel(2)
+        ch.add_local((0, 1), correlated_pair_channel(0.2))
+        sub = ch.to_matrix([0])
+        # prepared 0 (neighbour idle |0>): flips with 0.2
+        np.testing.assert_allclose(sub, flip(0.2), atol=1e-12)
+
+    def test_matrix_is_stochastic(self):
+        ch = MeasurementErrorChannel(3)
+        ch.add_readout(0, ReadoutError(0.05, 0.1))
+        ch.add_local((1, 2), correlated_pair_channel(0.1))
+        assert is_column_stochastic(ch.to_matrix(), atol=1e-9)
+
+    def test_refuses_large(self):
+        ch = MeasurementErrorChannel(20)
+        with pytest.raises(ValueError):
+            ch.to_matrix()

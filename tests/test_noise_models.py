@@ -1,0 +1,138 @@
+"""Tests for NoiseModel, random device noise, and drift."""
+
+import numpy as np
+import pytest
+
+from repro.noise import (
+    MeasurementErrorChannel,
+    NoiseModel,
+    drift_noise_model,
+    random_device_noise,
+)
+from repro.noise.drift import jitter_channel_matrix
+from repro.noise.models import _off_coupling_pairs
+from repro.topology import grid, ibm_nairobi, ibm_quito, linear
+from repro.utils.linalg import is_column_stochastic
+
+
+class TestNoiseModel:
+    def test_ideal(self):
+        m = NoiseModel.ideal(3)
+        assert not m.has_gate_noise
+        assert not m.has_measurement_noise
+
+    def test_measurement_only(self):
+        ch = MeasurementErrorChannel(2)
+        ch.add_local((0,), np.array([[0.9, 0.1], [0.1, 0.9]]))
+        m = NoiseModel.measurement_only(ch)
+        assert m.has_measurement_noise and not m.has_gate_noise
+
+    def test_channel_size_mismatch(self):
+        with pytest.raises(ValueError):
+            NoiseModel(num_qubits=3, measurement_channel=MeasurementErrorChannel(2))
+
+    def test_edges_canonicalised(self):
+        m = NoiseModel(num_qubits=3, correlated_edges=((2, 0),))
+        assert m.correlated_edges == ((0, 2),)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            NoiseModel(num_qubits=2, error_1q=2.0)
+
+
+class TestOffCouplingPairs:
+    def test_chain_off_pairs(self):
+        pairs = _off_coupling_pairs(linear(4), max_distance=2)
+        assert (0, 2) in pairs and (1, 3) in pairs
+        assert (0, 1) not in pairs
+
+    def test_nairobi_has_off_pairs(self):
+        assert len(_off_coupling_pairs(ibm_nairobi())) > 0
+
+
+class TestRandomDeviceNoise:
+    def test_none_placement_is_tensored(self):
+        m = random_device_noise(grid(9), rng=0)
+        assert m.measurement_channel.is_tensored()
+        assert m.correlated_edges == ()
+
+    def test_coupling_placement_on_edges(self):
+        cmap = ibm_quito()
+        m = random_device_noise(cmap, correlation_placement="coupling", rng=1)
+        assert len(m.correlated_edges) >= 1
+        for e in m.correlated_edges:
+            assert e in cmap
+
+    def test_off_coupling_placement_off_edges(self):
+        cmap = ibm_nairobi()
+        m = random_device_noise(
+            cmap, correlation_placement="off_coupling", num_correlated=3, rng=2
+        )
+        assert len(m.correlated_edges) >= 1
+        for e in m.correlated_edges:
+            assert e not in cmap
+
+    def test_num_correlated_respected(self):
+        m = random_device_noise(
+            grid(16), correlation_placement="coupling", num_correlated=4, rng=3
+        )
+        assert len(m.correlated_edges) == 4
+
+    def test_readout_in_range(self):
+        m = random_device_noise(linear(6), readout_low=0.02, readout_high=0.08, rng=4)
+        for e in m.readout_errors:
+            assert 0.02 <= e.p01 <= 0.08
+            assert 0.02 <= e.p10 <= 0.08
+            assert e.p10 >= e.p01  # biased
+
+    def test_deterministic(self):
+        a = random_device_noise(grid(9), correlation_placement="random", rng=5)
+        b = random_device_noise(grid(9), correlation_placement="random", rng=5)
+        assert a.correlated_edges == b.correlated_edges
+        assert a.readout_errors == b.readout_errors
+
+
+class TestDrift:
+    def test_structure_preserved(self):
+        base = random_device_noise(
+            ibm_quito(), correlation_placement="coupling", num_correlated=2, rng=10
+        )
+        drifted = drift_noise_model(base, week=1, rng=11)
+        assert drifted.correlated_edges == base.correlated_edges
+        assert len(drifted.measurement_channel.factors) == len(
+            base.measurement_channel.factors
+        )
+        # same qubit subsets per factor
+        for fa, fb in zip(
+            base.measurement_channel.factors, drifted.measurement_channel.factors
+        ):
+            assert fa.qubits == fb.qubits
+
+    def test_magnitudes_change(self):
+        base = random_device_noise(linear(4), rng=12)
+        drifted = drift_noise_model(base, scale=0.3, week=2, rng=13)
+        assert drifted.readout_errors != base.readout_errors
+
+    def test_weeks_differ(self):
+        base = random_device_noise(linear(4), rng=14)
+        w1 = drift_noise_model(base, week=1, rng=15)
+        w2 = drift_noise_model(base, week=2, rng=15)
+        assert w1.readout_errors != w2.readout_errors
+
+    def test_channels_stay_stochastic(self):
+        base = random_device_noise(
+            ibm_nairobi(), correlation_placement="off_coupling", rng=16
+        )
+        drifted = drift_noise_model(base, scale=0.5, rng=17)
+        for f in drifted.measurement_channel.factors:
+            assert is_column_stochastic(f.matrix, atol=1e-8)
+
+    def test_jitter_preserves_shape(self):
+        rng = np.random.default_rng(0)
+        m = np.array([[0.9, 0.0, 0.1, 0.0],
+                      [0.0, 1.0, 0.0, 0.0],
+                      [0.1, 0.0, 0.9, 0.0],
+                      [0.0, 0.0, 0.0, 1.0]])
+        j = jitter_channel_matrix(m, 0.2, rng)
+        assert is_column_stochastic(j)
+        np.testing.assert_array_equal(j != 0, m != 0)

@@ -1,0 +1,150 @@
+"""Tests for readout errors and correlated channels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noise import (
+    ReadoutError,
+    confusion_matrix,
+    correlated_pair_channel,
+    correlated_triplet_channel,
+    flip_all_channel,
+    random_readout_errors,
+    state_dependent_channel,
+)
+from repro.utils.linalg import is_column_stochastic
+
+
+class TestConfusionMatrix:
+    def test_shape_and_columns(self):
+        c = confusion_matrix(0.1, 0.3)
+        assert is_column_stochastic(c)
+        assert c[1, 0] == 0.1  # P(read 1 | prep 0)
+        assert c[0, 1] == 0.3  # P(read 0 | prep 1)
+
+    def test_ideal(self):
+        np.testing.assert_array_equal(confusion_matrix(0, 0), np.eye(2))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(1.5, 0.0)
+
+
+class TestReadoutError:
+    def test_bias_positive_for_decay(self):
+        err = ReadoutError(p01=0.02, p10=0.07)
+        assert err.bias == pytest.approx(0.05)
+        assert err.average_rate == pytest.approx(0.045)
+
+    def test_matrix_matches_confusion(self):
+        err = ReadoutError(0.1, 0.2)
+        np.testing.assert_array_equal(err.matrix, confusion_matrix(0.1, 0.2))
+
+    def test_ideal_and_symmetric(self):
+        assert ReadoutError.ideal().is_trivial()
+        s = ReadoutError.symmetric(0.05)
+        assert s.p01 == s.p10 == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutError(-0.1, 0.0)
+
+
+class TestRandomReadoutErrors:
+    def test_count_and_range(self):
+        errs = random_readout_errors(10, low=0.02, high=0.08, rng=0)
+        assert len(errs) == 10
+        for e in errs:
+            assert 0.02 <= e.p01 <= 0.08
+            assert 0.02 <= e.p10 <= 0.08
+
+    def test_biased_means_p10_dominates(self):
+        errs = random_readout_errors(50, biased=True, rng=1)
+        assert all(e.p10 >= e.p01 for e in errs)
+
+    def test_unbiased_sometimes_inverted(self):
+        errs = random_readout_errors(100, biased=False, rng=2)
+        assert any(e.p10 < e.p01 for e in errs)
+
+    def test_deterministic_seed(self):
+        a = random_readout_errors(5, rng=7)
+        b = random_readout_errors(5, rng=7)
+        assert a == b
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            random_readout_errors(3, low=0.5, high=0.1)
+
+    def test_zero_qubits(self):
+        with pytest.raises(ValueError):
+            random_readout_errors(0)
+
+
+class TestCorrelatedChannels:
+    def test_pair_channel_stochastic(self):
+        assert is_column_stochastic(correlated_pair_channel(0.1))
+
+    def test_pair_channel_is_correlated(self):
+        """Joint flip probability strictly exceeds product of marginals."""
+        p = 0.1
+        c = correlated_pair_channel(p)
+        # prepared 00: P(read 11) = p; marginals P(q0 flips) = P(q1 flips) = p
+        joint = c[0b11, 0b00]
+        marg0 = c[0b01, 0b00] + c[0b11, 0b00]
+        marg1 = c[0b10, 0b00] + c[0b11, 0b00]
+        assert joint > marg0 * marg1
+
+    def test_pair_zero_is_identity(self):
+        np.testing.assert_array_equal(correlated_pair_channel(0.0), np.eye(4))
+
+    def test_triplet_channel(self):
+        c = correlated_triplet_channel(0.2)
+        assert is_column_stochastic(c)
+        assert c[0b111, 0b000] == pytest.approx(0.2)
+        assert c[0b000, 0b111] == pytest.approx(0.2)
+
+    def test_flip_all_channel(self):
+        c = flip_all_channel(4, 0.3)
+        assert is_column_stochastic(c)
+        for s in range(16):
+            assert c[s ^ 0b1111, s] == pytest.approx(0.3)
+            assert c[s, s] == pytest.approx(0.7)
+
+    def test_flip_all_single_qubit(self):
+        c = flip_all_channel(1, 0.1)
+        np.testing.assert_allclose(c, [[0.9, 0.1], [0.1, 0.9]])
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            correlated_pair_channel(1.1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20)
+    def test_flip_all_always_stochastic(self, p):
+        assert is_column_stochastic(flip_all_channel(3, p))
+
+
+class TestStateDependentChannel:
+    def test_single_off_diagonal_entry(self):
+        c = state_dependent_channel(4, 0.25)
+        off_diag = c - np.diag(np.diag(c))
+        assert np.count_nonzero(off_diag) == 1
+        assert c[0, 15] == pytest.approx(0.25)
+        assert c[15, 15] == pytest.approx(0.75)
+
+    def test_other_states_untouched(self):
+        c = state_dependent_channel(3, 0.5)
+        for s in range(7):
+            assert c[s, s] == 1.0
+
+    def test_custom_source(self):
+        c = state_dependent_channel(2, 0.1, source=1)
+        assert c[1, 3] == pytest.approx(0.1)
+
+    def test_source_cannot_be_target(self):
+        with pytest.raises(ValueError):
+            state_dependent_channel(2, 0.1, source=3)
+
+    def test_stochastic(self):
+        assert is_column_stochastic(state_dependent_channel(4, 0.3))

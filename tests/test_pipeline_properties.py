@@ -1,0 +1,170 @@
+"""Pipeline-level property tests (hypothesis): random devices, random
+edge-local noise, random measurement subsets — CMC's core guarantees must
+hold for all of them."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import one_norm_distance
+from repro.backends import ShotBudget, SimulatedBackend
+from repro.circuits import Circuit, ghz_bfs
+from repro.core import CalibrationMatrix, CMCMitigator, JoinedCalibration
+from repro.counts import Counts, SparseDistribution
+from repro.noise import (
+    MeasurementErrorChannel,
+    NoiseModel,
+    ReadoutError,
+    correlated_pair_channel,
+)
+from repro.topology import random_coupling_map
+from repro.utils.rng import ensure_rng
+
+
+def random_edge_local_channel(cmap, rng, max_pair=0.12, max_readout=0.08):
+    """Noise whose correlations live exactly on coupling edges."""
+    ch = MeasurementErrorChannel(cmap.num_qubits)
+    for q in range(cmap.num_qubits):
+        p01 = rng.uniform(0.0, max_readout / 2)
+        p10 = rng.uniform(p01, max_readout)
+        ch.add_readout(q, ReadoutError(float(p01), float(p10)))
+    for e in cmap.edges:
+        if rng.random() < 0.5:
+            ch.add_local(e, correlated_pair_channel(float(rng.uniform(0.01, max_pair))))
+    return ch
+
+
+@given(st.integers(min_value=0, max_value=60))
+@settings(max_examples=12, deadline=None)
+def test_cmc_with_exact_calibrations_inverts_edge_local_noise(seed):
+    """For ANY random device whose noise is edge-local, CMC with exact
+    patch calibrations recovers the ideal distribution almost exactly.
+
+    This is the paper's central correctness claim in property form.
+    """
+    rng = ensure_rng(seed)
+    n = int(rng.integers(3, 7))
+    cmap = random_coupling_map(n, avg_degree=2.0, seed=int(rng.integers(1 << 30)))
+    channel = random_edge_local_channel(cmap, rng)
+    backend = SimulatedBackend(cmap, NoiseModel.measurement_only(channel), rng=rng)
+    mit = CMCMitigator(cmap)
+    mit.set_patch_calibrations(
+        {e: CalibrationMatrix.exact_from_channel(channel, e) for e in cmap.edges}
+    )
+    qc = ghz_bfs(cmap)
+    noisy = backend.exact_distribution(qc)
+    counts = Counts(
+        {i: float(p) * 1e6 for i, p in enumerate(noisy) if p > 0},
+        qc.measured_qubits,
+    )
+    out = mit.mitigate(counts)
+    ideal = np.zeros(1 << n)
+    ideal[0] = ideal[-1] = 0.5
+    assert one_norm_distance(out, ideal) < 0.12
+
+
+@given(st.integers(min_value=0, max_value=60))
+@settings(max_examples=10, deadline=None)
+def test_cmc_mitigation_never_destroys_counts(seed):
+    """Whatever the subset measured, mitigation returns a valid histogram
+    with the same measured qubits and (approximately) the same weight."""
+    rng = ensure_rng(seed + 1000)
+    n = int(rng.integers(3, 7))
+    cmap = random_coupling_map(n, avg_degree=2.0, seed=int(rng.integers(1 << 30)))
+    channel = random_edge_local_channel(cmap, rng)
+    backend = SimulatedBackend(cmap, NoiseModel.measurement_only(channel), rng=rng)
+    mit = CMCMitigator(cmap)
+    budget = ShotBudget(20000)
+    mit.prepare(backend, budget)
+    size = int(rng.integers(1, n + 1))
+    measured = sorted(rng.choice(n, size=size, replace=False).tolist())
+    qc = Circuit(n)
+    for q in measured:
+        if rng.random() < 0.5:
+            qc.x(q)
+    qc.measure(measured)
+    raw = backend.run(qc, 2000)
+    out = mit.mitigate(raw)
+    assert out.measured_qubits == tuple(measured)
+    assert out.shots == pytest.approx(raw.shots, rel=1e-6)
+    assert all(v >= 0 for v in out.values())
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=15, deadline=None)
+def test_joined_forward_inverse_roundtrip(seed):
+    """mitigation_matrix @ to_matrix == I for random overlapping patches."""
+    rng = ensure_rng(seed + 2000)
+    n = int(rng.integers(3, 6))
+    cmap = random_coupling_map(n, avg_degree=2.0, seed=int(rng.integers(1 << 30)))
+    channel = random_edge_local_channel(cmap, rng)
+    patches = [
+        CalibrationMatrix.exact_from_channel(channel, e) for e in cmap.edges
+    ]
+    if not patches:
+        return
+    joined = JoinedCalibration(patches)
+    forward = joined.to_matrix(n)
+    inverse = joined.mitigation_matrix(n)
+    np.testing.assert_allclose(inverse @ forward, np.eye(1 << n), atol=1e-6)
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=15, deadline=None)
+def test_joined_matrix_is_stochastic(seed):
+    """The joined forward channel stays (near-)column-stochastic: column
+    sums are exactly 1; tiny negatives may appear from the fractional-power
+    corrections but stay bounded."""
+    rng = ensure_rng(seed + 3000)
+    n = int(rng.integers(3, 6))
+    cmap = random_coupling_map(n, avg_degree=2.0, seed=int(rng.integers(1 << 30)))
+    channel = random_edge_local_channel(cmap, rng, max_pair=0.08)
+    patches = [
+        CalibrationMatrix.exact_from_channel(channel, e) for e in cmap.edges
+    ]
+    if not patches:
+        return
+    forward = JoinedCalibration(patches).to_matrix(n)
+    np.testing.assert_allclose(forward.sum(axis=0), np.ones(1 << n), atol=1e-7)
+    assert forward.min() > -0.05
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=15, deadline=None)
+def test_sparse_mitigation_matches_dense_on_random_devices(seed):
+    rng = ensure_rng(seed + 4000)
+    n = int(rng.integers(3, 6))
+    cmap = random_coupling_map(n, avg_degree=2.0, seed=int(rng.integers(1 << 30)))
+    channel = random_edge_local_channel(cmap, rng)
+    patches = [
+        CalibrationMatrix.exact_from_channel(channel, e) for e in cmap.edges
+    ]
+    if not patches:
+        return
+    joined = JoinedCalibration(patches)
+    v = rng.random(1 << n)
+    v /= v.sum()
+    dense = joined.mitigation_matrix(n) @ v
+    sparse = joined.mitigate_sparse(SparseDistribution.from_dense(v), prune_tol=0.0)
+    np.testing.assert_allclose(sparse.to_dense(), dense, atol=1e-8)
+
+
+@given(st.integers(min_value=0, max_value=50))
+@settings(max_examples=10, deadline=None)
+def test_budget_conservation_across_suite(seed):
+    """No mitigation method can spend more than its allocation (the
+    fairness invariant every benchmark relies on)."""
+    from repro.experiments import default_method_suite, run_suite_once
+
+    rng = ensure_rng(seed + 5000)
+    n = int(rng.integers(3, 6))
+    cmap = random_coupling_map(n, avg_degree=2.0, seed=int(rng.integers(1 << 30)))
+    channel = random_edge_local_channel(cmap, rng)
+    backend = SimulatedBackend(cmap, NoiseModel.measurement_only(channel), rng=rng)
+    total = int(rng.integers(2000, 20000))
+    suite = default_method_suite(
+        cmap, rng=rng, include=["Bare", "SIM", "JIGSAW", "CMC"]
+    )
+    results = run_suite_once(suite, ghz_bfs(cmap), backend, total)
+    for name, res in results.items():
+        assert res.shots_spent <= total, name

@@ -1,0 +1,160 @@
+"""Tests for probability-vector kernels and sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator import (
+    apply_confusion_per_qubit,
+    apply_local_stochastic,
+    marginalize_probabilities,
+    sample_counts,
+    sample_outcomes,
+)
+
+
+def confusion(p01, p10):
+    """Column-stochastic 2x2: C[obs, prep]; p01 = P(read 1 | prep 0)."""
+    return np.array([[1 - p01, p10], [p01, 1 - p10]])
+
+
+class TestApplyLocalStochastic:
+    def test_single_qubit_flip(self):
+        v = np.array([1.0, 0.0, 0.0, 0.0])  # |00>
+        flip = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = apply_local_stochastic(v, flip, (0,), 2)
+        np.testing.assert_allclose(out, [0, 1, 0, 0])
+
+    def test_flip_high_qubit(self):
+        v = np.array([1.0, 0.0, 0.0, 0.0])
+        flip = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = apply_local_stochastic(v, flip, (1,), 2)
+        np.testing.assert_allclose(out, [0, 0, 1, 0])
+
+    def test_two_qubit_qubit_order(self):
+        # 4x4 matrix that maps |q_b q_a = 01> -> |10| when applied to (a, b).
+        m = np.zeros((4, 4))
+        m[0b10, 0b01] = 1.0
+        m[0b01, 0b10] = 1.0
+        m[0b00, 0b00] = 1.0
+        m[0b11, 0b11] = 1.0
+        v = np.zeros(8)
+        v[0b001] = 1.0  # qubit0=1 in 3-qubit register
+        out = apply_local_stochastic(v, m, (0, 2), 3)
+        # local index: bit0=qubit0=1, bit1=qubit2=0 -> 01 -> maps to 10:
+        # qubit0=0, qubit2=1 -> global 0b100
+        np.testing.assert_allclose(out[0b100], 1.0)
+
+    def test_preserves_total_probability(self):
+        rng = np.random.default_rng(0)
+        v = rng.random(16)
+        v /= v.sum()
+        c = confusion(0.1, 0.3)
+        out = apply_local_stochastic(v, c, (2,), 4)
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_identity_is_noop(self):
+        rng = np.random.default_rng(1)
+        v = rng.random(8)
+        out = apply_local_stochastic(v, np.eye(2), (1,), 3)
+        np.testing.assert_allclose(out, v)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_local_stochastic(np.ones(4) / 4, np.eye(4), (0,), 2)
+
+    def test_wrong_vector_length(self):
+        with pytest.raises(ValueError):
+            apply_local_stochastic(np.ones(3), np.eye(2), (0,), 2)
+
+    def test_qubit_out_of_range(self):
+        with pytest.raises(ValueError):
+            apply_local_stochastic(np.ones(4) / 4, np.eye(2), (5,), 2)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_dense_kron(self, seed):
+        """Local application == embedding via kron into the full space."""
+        rng = np.random.default_rng(seed)
+        v = rng.random(8)
+        v /= v.sum()
+        c = confusion(rng.uniform(0, 0.3), rng.uniform(0, 0.3))
+        # apply on qubit 1 of 3: full matrix = I (q2) kron C (q1) kron I (q0)
+        full = np.kron(np.eye(2), np.kron(c, np.eye(2)))
+        np.testing.assert_allclose(
+            apply_local_stochastic(v, c, (1,), 3), full @ v, atol=1e-12
+        )
+
+
+class TestConfusionPerQubit:
+    def test_matches_sequential_kron(self):
+        rng = np.random.default_rng(2)
+        v = rng.random(8)
+        v /= v.sum()
+        cs = [confusion(0.1, 0.2), confusion(0.05, 0.3), confusion(0.0, 0.0)]
+        full = np.kron(cs[2], np.kron(cs[1], cs[0]))
+        np.testing.assert_allclose(
+            apply_confusion_per_qubit(v, cs, 3), full @ v, atol=1e-12
+        )
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_confusion_per_qubit(np.ones(4) / 4, [np.eye(2)], 2)
+
+
+class TestMarginalize:
+    def test_keep_low_bit(self):
+        v = np.array([0.1, 0.2, 0.3, 0.4])  # |q1 q0>
+        np.testing.assert_allclose(
+            marginalize_probabilities(v, [0], 2), [0.4, 0.6]
+        )
+
+    def test_keep_high_bit(self):
+        v = np.array([0.1, 0.2, 0.3, 0.4])
+        np.testing.assert_allclose(
+            marginalize_probabilities(v, [1], 2), [0.3, 0.7]
+        )
+
+    def test_reorder(self):
+        v = np.zeros(4)
+        v[0b01] = 1.0  # q0=1, q1=0
+        out = marginalize_probabilities(v, [1, 0], 2)
+        # bit0 = q1 = 0, bit1 = q0 = 1 -> index 2
+        np.testing.assert_allclose(out, [0, 0, 1, 0])
+
+    def test_keep_all_identity(self):
+        rng = np.random.default_rng(3)
+        v = rng.random(8)
+        np.testing.assert_allclose(marginalize_probabilities(v, [0, 1, 2], 3), v)
+
+
+class TestSampling:
+    def test_deterministic_distribution(self):
+        out = sample_outcomes(np.array([0.0, 1.0]), 100, rng=0)
+        assert np.all(out == 1)
+
+    def test_shot_count(self):
+        c = sample_counts(np.array([0.5, 0.5]), 1000, [0], rng=1)
+        assert c.shots == 1000
+
+    def test_zero_shots(self):
+        assert sample_outcomes(np.array([1.0]), 0).size == 0
+        assert sample_counts(np.array([0.5, 0.5]), 0, [0], rng=0).shots == 0
+
+    def test_seeded_reproducible(self):
+        a = sample_counts(np.array([0.3, 0.7]), 500, [0], rng=42)
+        b = sample_counts(np.array([0.3, 0.7]), 500, [0], rng=42)
+        assert dict(a) == dict(b)
+
+    def test_statistical_mean(self):
+        c = sample_counts(np.array([0.25, 0.75]), 40000, [0], rng=7)
+        assert abs(c.get(1) / c.shots - 0.75) < 0.01
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sample_counts(np.ones(4) / 4, 10, [0], rng=0)
+
+    def test_quasi_probability_clipped(self):
+        # small negative entries are tolerated (clip + renorm)
+        c = sample_counts(np.array([-0.01, 1.01]), 100, [0], rng=0)
+        assert c.get(1) == 100

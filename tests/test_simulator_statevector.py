@@ -1,0 +1,140 @@
+"""Tests for the dense statevector engine."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, ghz_bfs
+from repro.simulator import StatevectorSimulator, simulate_statevector
+from repro.topology import grid, linear
+
+
+class TestBasics:
+    def test_initial_state(self):
+        sim = StatevectorSimulator(2)
+        sv = sim.statevector
+        assert sv[0] == 1.0 and np.allclose(sv[1:], 0)
+
+    def test_x_flips(self):
+        sim = StatevectorSimulator(2)
+        sim.apply_matrix(np.array([[0, 1], [1, 0]], dtype=complex), (1,))
+        sv = sim.statevector
+        assert sv[0b10] == 1.0
+
+    def test_h_superposition(self):
+        sim = StatevectorSimulator(1)
+        sim.run(Circuit(1).h(0))
+        np.testing.assert_allclose(np.abs(sim.statevector) ** 2, [0.5, 0.5])
+
+    def test_bell_state(self):
+        qc = Circuit(2).h(0).cx(0, 1)
+        sim = StatevectorSimulator(2)
+        sim.run(qc)
+        probs = sim.probabilities()
+        np.testing.assert_allclose(probs, [0.5, 0, 0, 0.5], atol=1e-12)
+
+    def test_cx_direction(self):
+        # control=1 (set by X), target=0: |10> -> |11>
+        qc = Circuit(2).x(1).cx(1, 0)
+        probs = StatevectorSimulator(2).run(qc)
+        sim = StatevectorSimulator(2)
+        sim.run(qc)
+        assert np.argmax(sim.probabilities()) == 0b11
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator(2).run(Circuit(3))
+
+    def test_set_statevector_validates_norm(self):
+        sim = StatevectorSimulator(1)
+        with pytest.raises(ValueError):
+            sim.set_statevector(np.array([1.0, 1.0]))
+
+    def test_set_statevector_roundtrip(self):
+        sim = StatevectorSimulator(2)
+        state = np.array([0.5, 0.5, 0.5, 0.5], dtype=complex)
+        sim.set_statevector(state)
+        np.testing.assert_allclose(sim.statevector, state)
+
+    def test_bad_matrix_shape(self):
+        sim = StatevectorSimulator(2)
+        with pytest.raises(ValueError):
+            sim.apply_matrix(np.eye(4), (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        sim = StatevectorSimulator(2)
+        with pytest.raises(ValueError):
+            sim.apply_matrix(np.eye(4), (0, 0))
+
+
+class TestMarginals:
+    def test_marginal_of_bell(self):
+        qc = Circuit(2).h(0).cx(0, 1)
+        sim = StatevectorSimulator(2)
+        sim.run(qc)
+        np.testing.assert_allclose(sim.probabilities([0]), [0.5, 0.5])
+        np.testing.assert_allclose(sim.probabilities([1]), [0.5, 0.5])
+
+    def test_marginal_ordering(self):
+        # |q1 q0> = |01>: qubit 0 is 1, qubit 1 is 0.
+        qc = Circuit(2).x(0)
+        sim = StatevectorSimulator(2)
+        sim.run(qc)
+        np.testing.assert_allclose(sim.probabilities([0]), [0, 1])
+        np.testing.assert_allclose(sim.probabilities([1]), [1, 0])
+        # joint with swapped order: index bit0 = qubit 1
+        np.testing.assert_allclose(sim.probabilities([1, 0]), [0, 0, 1, 0])
+
+    def test_three_qubit_subset(self):
+        qc = Circuit(3).x(2)
+        sim = StatevectorSimulator(3)
+        sim.run(qc)
+        np.testing.assert_allclose(sim.probabilities([2, 0]), [0, 1, 0, 0])
+
+
+class TestGhz:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_ghz_distribution(self, n):
+        probs = simulate_statevector(ghz_bfs(linear(n)))
+        expected = np.zeros(2**n)
+        expected[0] = expected[-1] = 0.5
+        np.testing.assert_allclose(probs, expected, atol=1e-12)
+
+    def test_ghz_on_grid(self):
+        probs = simulate_statevector(ghz_bfs(grid(9)))
+        assert np.isclose(probs[0], 0.5) and np.isclose(probs[-1], 0.5)
+
+    def test_partial_ghz_measured_subset(self):
+        qc = ghz_bfs(linear(6), num_qubits=3)
+        probs = simulate_statevector(qc)
+        assert probs.size == 8
+        np.testing.assert_allclose(sorted(probs)[-2:], [0.5, 0.5])
+
+
+class TestUnitarity:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_random_circuit_preserves_norm(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 5))
+        qc = Circuit(n)
+        for _ in range(10):
+            kind = rng.integers(0, 3)
+            if kind == 0:
+                qc.h(int(rng.integers(n)))
+            elif kind == 1:
+                qc.rx(float(rng.uniform(0, math.tau)), int(rng.integers(n)))
+            elif n > 1:
+                a, b = rng.choice(n, size=2, replace=False)
+                qc.cx(int(a), int(b))
+        sim = StatevectorSimulator(n)
+        sim.run(qc)
+        assert np.isclose(np.linalg.norm(sim.statevector), 1.0, atol=1e-10)
+
+    def test_gate_then_inverse_is_identity(self):
+        qc = Circuit(2).rx(0.4, 0).cx(0, 1).cx(0, 1).rx(-0.4, 0)
+        sim = StatevectorSimulator(2)
+        sim.run(qc)
+        assert np.isclose(np.abs(sim.statevector[0]) ** 2, 1.0)

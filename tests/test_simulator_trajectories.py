@@ -1,0 +1,97 @@
+"""Tests for the Pauli-trajectory gate-noise simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz_bfs
+from repro.simulator import TrajectorySimulator, simulate_statevector
+from repro.topology import linear
+
+
+class TestConstruction:
+    def test_validates_probabilities(self):
+        with pytest.raises(ValueError):
+            TrajectorySimulator(error_1q=1.5)
+        with pytest.raises(ValueError):
+            TrajectorySimulator(error_2q=-0.1)
+
+    def test_validates_trajectory_cap(self):
+        with pytest.raises(ValueError):
+            TrajectorySimulator(max_trajectories=0)
+
+
+class TestErrorFreeProbability:
+    def test_no_noise_is_one(self):
+        sim = TrajectorySimulator()
+        assert sim.error_free_probability(ghz_bfs(linear(4))) == 1.0
+
+    def test_product_over_gates(self):
+        sim = TrajectorySimulator(error_1q=0.1, error_2q=0.2)
+        qc = Circuit(2).h(0).cx(0, 1)  # one 1q + one 2q gate
+        assert sim.error_free_probability(qc) == pytest.approx(0.9 * 0.8)
+
+    def test_empty_circuit(self):
+        sim = TrajectorySimulator(error_1q=0.5)
+        assert sim.error_free_probability(Circuit(1)) == 1.0
+
+
+class TestOutputDistribution:
+    def test_noiseless_matches_ideal(self):
+        sim = TrajectorySimulator()
+        qc = ghz_bfs(linear(3))
+        dist = sim.output_distribution(qc, shots=1000, rng=0)
+        np.testing.assert_allclose(dist, simulate_statevector(qc), atol=1e-12)
+
+    def test_zero_shots_is_ideal(self):
+        sim = TrajectorySimulator(error_1q=0.5)
+        qc = ghz_bfs(linear(2))
+        dist = sim.output_distribution(qc, shots=0, rng=0)
+        np.testing.assert_allclose(dist, simulate_statevector(qc), atol=1e-12)
+
+    def test_distribution_normalised(self):
+        sim = TrajectorySimulator(error_1q=0.02, error_2q=0.05)
+        dist = sim.output_distribution(ghz_bfs(linear(4)), shots=4000, rng=1)
+        assert np.isclose(dist.sum(), 1.0)
+        assert dist.min() >= 0
+
+    def test_noise_leaks_probability(self):
+        sim = TrajectorySimulator(error_1q=0.01, error_2q=0.05)
+        qc = ghz_bfs(linear(4))
+        dist = sim.output_distribution(qc, shots=8000, rng=2)
+        assert dist[0] + dist[-1] < 0.999
+        # but the GHZ peaks still dominate at these rates
+        assert dist[0] + dist[-1] > 0.7
+
+    def test_error_weight_scales_with_rate(self):
+        qc = ghz_bfs(linear(4))
+        lo = TrajectorySimulator(error_2q=0.01).output_distribution(qc, 16000, rng=3)
+        hi = TrajectorySimulator(error_2q=0.10).output_distribution(qc, 16000, rng=3)
+        assert (hi[0] + hi[-1]) < (lo[0] + lo[-1])
+
+    def test_deterministic_given_seed(self):
+        sim = TrajectorySimulator(error_1q=0.02, max_trajectories=16)
+        qc = ghz_bfs(linear(3))
+        a = sim.output_distribution(qc, 2000, rng=7)
+        b = sim.output_distribution(qc, 2000, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_measured_subset(self):
+        sim = TrajectorySimulator(error_1q=0.01)
+        qc = ghz_bfs(linear(4), num_qubits=2)
+        dist = sim.output_distribution(qc, 2000, rng=4)
+        assert dist.size == 4
+
+    def test_single_qubit_x_error_flips(self):
+        """With error rate 1 on a single-gate circuit, every shot carries
+        exactly one Pauli; X/Y errors flip the |1> into |0>."""
+        sim = TrajectorySimulator(error_1q=1.0, max_trajectories=64)
+        qc = Circuit(1).x(0).measure_all()
+        dist = sim.output_distribution(qc, 4000, rng=5)
+        # 2/3 of Paulis (X, Y) flip the state, 1/3 (Z) leaves it.
+        assert 0.45 < dist[0] < 0.85
+
+    def test_trajectory_cap_respected(self):
+        sim = TrajectorySimulator(error_1q=0.5, max_trajectories=4)
+        qc = Circuit(2).h(0).h(1).measure_all()
+        dist = sim.output_distribution(qc, 10000, rng=6)
+        assert np.isclose(dist.sum(), 1.0)

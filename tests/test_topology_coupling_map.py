@@ -1,0 +1,146 @@
+"""Tests for the CouplingMap graph wrapper."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import CouplingMap, grid, linear, random_coupling_map
+
+
+@pytest.fixture
+def square():
+    """Plaquette of Fig. 8: 0-1, 1-2, 2-3, 0-3."""
+    return CouplingMap(4, [(0, 1), (1, 2), (2, 3), (0, 3)], name="square")
+
+
+class TestConstruction:
+    def test_edges_canonicalised(self):
+        cmap = CouplingMap(3, [(2, 1), (1, 0)])
+        assert cmap.edges == ((0, 1), (1, 2))
+
+    def test_duplicate_edges_removed(self):
+        cmap = CouplingMap(3, [(0, 1), (1, 0), (0, 1)])
+        assert cmap.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(3, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(3, [(0, 3)])
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(0, [])
+
+    def test_isolated_qubits_allowed(self):
+        cmap = CouplingMap(4, [(0, 1)])
+        assert cmap.isolated_qubits() == (2, 3)
+
+    def test_equality_and_hash(self):
+        a = CouplingMap(3, [(0, 1)])
+        b = CouplingMap(3, [(1, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_from_graph(self):
+        g = nx.path_graph(4)
+        cmap = CouplingMap.from_graph(g)
+        assert cmap.num_edges == 3
+
+    def test_from_graph_bad_labels(self):
+        g = nx.Graph([(1, 5)])
+        with pytest.raises(ValueError):
+            CouplingMap.from_graph(g)
+
+
+class TestAccessors:
+    def test_degree_and_neighbors(self, square):
+        assert square.degree(1) == 2
+        assert square.neighbors(0) == (1, 3)
+
+    def test_contains(self, square):
+        assert (1, 0) in square
+        assert (0, 2) not in square
+        assert "junk" not in square
+
+    def test_len_iter(self, square):
+        assert len(square) == 4
+        assert list(square) == [(0, 1), (0, 3), (1, 2), (2, 3)]
+
+    def test_has_edge_self_pair(self, square):
+        assert not square.has_edge(1, 1)
+
+
+class TestDistances:
+    def test_distance_matrix_chain(self):
+        cmap = linear(4)
+        dm = cmap.distance_matrix()
+        assert dm[0, 3] == 3
+        assert dm[1, 1] == 0
+
+    def test_disconnected_infinite(self):
+        cmap = CouplingMap(4, [(0, 1), (2, 3)])
+        assert np.isinf(cmap.distance(0, 3))
+        assert not cmap.connected()
+
+    def test_edge_distance_adjacent(self):
+        cmap = linear(5)
+        # edges (0,1) and (1,2) share qubit 1 -> distance 0
+        assert cmap.edge_distance((0, 1), (1, 2)) == 0
+        # edges (0,1) and (2,3): endpoints 1 and 2 adjacent -> distance 1
+        assert cmap.edge_distance((0, 1), (2, 3)) == 1
+        # edges (0,1) and (3,4): one intervening qubit -> distance 2
+        assert cmap.edge_distance((0, 1), (3, 4)) == 2
+
+    def test_qubits_within(self):
+        cmap = linear(6)
+        assert cmap.qubits_within([0], 2) == {0, 1, 2}
+        assert cmap.qubits_within([], 2) == set()
+
+    def test_pairs_within(self):
+        cmap = linear(4)
+        assert cmap.pairs_within(1) == []
+        assert set(cmap.pairs_within(2)) == set(cmap.edges)
+        # k=3 adds distance-2 pairs
+        assert (0, 2) in cmap.pairs_within(3)
+
+
+class TestBfs:
+    def test_bfs_edges_chain(self):
+        cmap = linear(4)
+        assert cmap.bfs_edges(0) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_bfs_reaches_all(self, square):
+        edges = square.bfs_edges(0)
+        reached = {0} | {v for _, v in edges}
+        assert reached == {0, 1, 2, 3}
+
+    def test_bfs_bad_root(self, square):
+        with pytest.raises(ValueError):
+            square.bfs_edges(9)
+
+
+class TestSubgraphsAndExtension:
+    def test_subgraph_edges(self, square):
+        assert square.subgraph_edges([0, 1, 2]) == [(0, 1), (1, 2)]
+
+    def test_with_edges(self, square):
+        bigger = square.with_edges([(0, 2)])
+        assert (0, 2) in bigger
+        assert bigger.num_edges == 5
+
+
+@given(
+    st.integers(min_value=2, max_value=30),
+    st.floats(min_value=1.0, max_value=5.0),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_map_connected_property(n, deg, seed):
+    cmap = random_coupling_map(n, avg_degree=deg, seed=seed)
+    assert cmap.num_qubits == n
+    assert cmap.connected()
+    assert cmap.num_edges >= n - 1

@@ -1,0 +1,190 @@
+"""Tests for architecture generators and Table III edge counts."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    ARCHITECTURE_FORMULAS,
+    edge_count_formula,
+    fully_connected,
+    grid,
+    heavy_hex,
+    hexagonal,
+    linear,
+    octagonal,
+    ring,
+)
+from repro.topology.edge_counts import is_linear_scaling, measured_edge_count
+from repro.topology.generators import grid_dimensions, local_grid, random_coupling_map
+
+
+class TestLinear:
+    def test_edge_count(self):
+        assert linear(10).num_edges == 9
+
+    def test_single_qubit(self):
+        assert linear(1).num_edges == 0
+
+    def test_connected(self):
+        assert linear(7).connected()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            linear(0)
+
+
+class TestRing:
+    def test_small_falls_back(self):
+        assert ring(2).num_edges == 1
+
+    def test_cycle(self):
+        assert ring(6).num_edges == 6
+        assert ring(6).connected()
+
+
+class TestGrid:
+    def test_dimensions_square(self):
+        assert grid_dimensions(16) == (4, 4)
+
+    def test_dimensions_rect(self):
+        r, c = grid_dimensions(12)
+        assert r * c >= 12 and r <= c
+
+    def test_full_grid_edges(self):
+        # 4x4: 2*16 - 4 - 4 = 24
+        assert grid(16).num_edges == 24
+
+    def test_partial_grid_connected(self):
+        for n in range(2, 20):
+            assert grid(n).connected(), n
+
+    def test_max_degree_four(self):
+        cmap = grid(16)
+        assert max(cmap.degree(q) for q in range(16)) <= 4
+
+
+class TestLocalGrid:
+    def test_tokyo_sized(self):
+        cmap = local_grid(20)
+        # 4x5 lattice: 2*20-4-5=31 lattice edges + 3*4=12 diagonals = 43
+        assert cmap.num_edges == 43
+        assert cmap.connected()
+
+    def test_degree_between_3_and_4_average(self):
+        cmap = local_grid(20)
+        avg = 2 * cmap.num_edges / 20
+        assert 3.0 <= avg <= 5.0  # paper: "3-4 times the number of qubits" loosely
+
+
+class TestHeavyHex:
+    @pytest.mark.parametrize("n", list(range(1, 30)) + [64, 127])
+    def test_connected_all_sizes(self, n):
+        cmap = heavy_hex(n)
+        assert cmap.num_qubits == n
+        assert cmap.connected()
+
+    def test_linear_scaling(self):
+        # Edge count stays within a small constant factor of n.
+        for n in (16, 32, 64, 128):
+            e = heavy_hex(n).num_edges
+            assert n - 1 <= e <= 2 * n
+
+    def test_hexagonal_alias(self):
+        assert hexagonal(12).edges == heavy_hex(12).edges
+
+    def test_max_degree_three(self):
+        # Heavy-hex lattices have maximum degree 3.
+        cmap = heavy_hex(40)
+        assert max(cmap.degree(q) for q in range(40)) <= 3
+
+
+class TestOctagonal:
+    @pytest.mark.parametrize("n", [4, 8, 12, 16, 24, 32])
+    def test_connected(self, n):
+        assert octagonal(n).connected()
+
+    def test_full_octagon_count(self):
+        # two full octagons: 16 ring + 2 links = 18
+        assert octagonal(16).num_edges == 18
+
+    def test_scaling_about_3n_over_2_bound(self):
+        for n in (16, 32, 64):
+            e = octagonal(n).num_edges
+            assert n <= e <= 3 * n // 2
+
+
+class TestFullyConnected:
+    def test_count(self):
+        assert fully_connected(6).num_edges == 15
+
+    def test_quadratic(self):
+        assert fully_connected(16).num_edges == 120
+
+    def test_single(self):
+        assert fully_connected(1).num_edges == 0
+
+
+class TestEdgeCountFormulas:
+    def test_linear_formula(self):
+        assert edge_count_formula("linear", 10) == 9
+
+    def test_grid_formula_matches_generator(self):
+        for n in (4, 9, 16, 25):
+            assert edge_count_formula("grid", n) == grid(n).num_edges
+
+    def test_local_grid_formula_matches_generator(self):
+        assert edge_count_formula("local_grid", 20) == local_grid(20).num_edges
+
+    def test_octagonal_formula_matches_generator(self):
+        for n in (8, 16, 24):
+            assert edge_count_formula("octagonal", n) == octagonal(n).num_edges
+
+    def test_fully_connected_formula(self):
+        assert edge_count_formula("fully_connected", 16) == 120
+
+    def test_grid_rejects_non_tiling(self):
+        with pytest.raises(ValueError):
+            edge_count_formula("grid", 7)
+
+    def test_octagonal_rejects_non_tiling(self):
+        with pytest.raises(ValueError):
+            edge_count_formula("octagonal", 9)
+
+    def test_unknown_architecture(self):
+        with pytest.raises(KeyError):
+            edge_count_formula("dodecahedral", 20)
+
+    def test_measured_edge_count_any_size(self):
+        assert measured_edge_count("grid", 7) == grid(7).num_edges
+
+    def test_all_formulas_registered(self):
+        assert set(ARCHITECTURE_FORMULAS) >= {
+            "linear",
+            "grid",
+            "heavy_hex",
+            "octagonal",
+            "fully_connected",
+        }
+
+    def test_scaling_classification(self):
+        assert is_linear_scaling("grid")
+        assert is_linear_scaling("heavy_hex")
+        assert not is_linear_scaling("fully_connected")
+        with pytest.raises(KeyError):
+            is_linear_scaling("nope")
+
+
+@given(st.integers(min_value=2, max_value=40))
+@settings(max_examples=20, deadline=None)
+def test_every_generator_covers_all_qubits(n):
+    for gen in (linear, grid, heavy_hex, octagonal, fully_connected):
+        cmap = gen(n)
+        assert cmap.num_qubits == n
+        covered = set()
+        for a, b in cmap.edges:
+            covered.add(a)
+            covered.add(b)
+        if n > 1:
+            assert covered == set(range(n))

@@ -1,0 +1,73 @@
+"""Tests for the IBM device layouts of Fig. 1 / Fig. 5."""
+
+import pytest
+
+from repro.topology import (
+    NAMED_DEVICES,
+    ibm_lima,
+    ibm_manila,
+    ibm_nairobi,
+    ibm_oslo,
+    ibm_quito,
+    ibm_tokyo,
+    ibm_washington,
+    named_device,
+)
+
+
+class TestFiveQubitDevices:
+    def test_quito_t_shape(self):
+        cmap = ibm_quito()
+        assert cmap.num_qubits == 5
+        assert cmap.edges == ((0, 1), (1, 2), (1, 3), (3, 4))
+        assert cmap.degree(1) == 3  # hub of the T
+
+    def test_lima_same_graph_as_quito(self):
+        assert ibm_lima().edges == ibm_quito().edges
+
+    def test_manila_is_chain(self):
+        cmap = ibm_manila()
+        assert cmap.edges == ((0, 1), (1, 2), (2, 3), (3, 4))
+        assert max(cmap.degree(q) for q in range(5)) == 2
+
+
+class TestSevenQubitDevices:
+    def test_nairobi_h_shape(self):
+        cmap = ibm_nairobi()
+        assert cmap.num_qubits == 7
+        assert cmap.num_edges == 6
+        assert cmap.connected()
+        # H-shape hubs: qubits 1 and 5 have degree 3
+        assert cmap.degree(1) == 3
+        assert cmap.degree(5) == 3
+
+    def test_oslo_same_graph(self):
+        assert ibm_oslo().edges == ibm_nairobi().edges
+
+
+class TestLargerDevices:
+    def test_tokyo(self):
+        cmap = ibm_tokyo()
+        assert cmap.num_qubits == 20
+        assert cmap.connected()
+        # paper: edge count 3-4x qubits / 35 two-qubit cals -> tens of edges
+        assert 30 <= cmap.num_edges <= 50
+
+    def test_washington(self):
+        cmap = ibm_washington()
+        assert cmap.num_qubits == 127
+        assert cmap.connected()
+
+
+class TestNamedLookup:
+    @pytest.mark.parametrize("name", sorted(NAMED_DEVICES))
+    def test_all_names_resolve(self, name):
+        assert named_device(name).num_qubits >= 5
+
+    def test_prefix_stripping(self):
+        assert named_device("ibmq_quito").name == "ibm_quito"
+        assert named_device("IBM_Nairobi").num_qubits == 7
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            named_device("ibm_atlantis")

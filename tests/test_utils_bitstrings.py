@@ -1,0 +1,139 @@
+"""Unit and property tests for repro.utils.bitstrings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitstrings import (
+    bit_at,
+    bits_to_int,
+    bitstring_to_int,
+    deposit_bits,
+    extract_bits,
+    hamming_weight,
+    int_to_bits,
+    int_to_bitstring,
+    iter_basis_labels,
+    parity,
+    remainder_bits,
+    subset_mask,
+)
+
+
+class TestBitstringCodecs:
+    def test_roundtrip_simple(self):
+        assert int_to_bitstring(6, 3) == "110"
+        assert bitstring_to_int("110") == 6
+
+    def test_leading_zeros(self):
+        assert int_to_bitstring(1, 4) == "0001"
+
+    def test_zero(self):
+        assert int_to_bitstring(0, 5) == "00000"
+
+    def test_all_ones(self):
+        assert int_to_bitstring(31, 5) == "11111"
+
+    def test_value_too_large_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bitstring(8, 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bitstring(-1, 3)
+
+    def test_invalid_bitstring_raises(self):
+        with pytest.raises(ValueError):
+            bitstring_to_int("10a")
+
+    def test_empty_bitstring_raises(self):
+        with pytest.raises(ValueError):
+            bitstring_to_int("")
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    def test_roundtrip_property(self, n, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        assert bitstring_to_int(int_to_bitstring(value, n)) == value
+
+
+class TestBitArrays:
+    def test_int_to_bits_little_endian(self):
+        np.testing.assert_array_equal(int_to_bits(6, 3), [0, 1, 1])
+
+    def test_bits_to_int_inverse(self):
+        assert bits_to_int([0, 1, 1]) == 6
+
+    def test_bits_to_int_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_bits_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 12).tolist()) == value
+
+    def test_bit_at_vectorised(self):
+        vals = np.array([0b101, 0b010, 0b111])
+        np.testing.assert_array_equal(bit_at(vals, 0), [1, 0, 1])
+        np.testing.assert_array_equal(bit_at(vals, 2), [1, 0, 1])
+
+    def test_parity(self):
+        assert parity(0b111, 3) == 1
+        assert parity(0b110, 3) == 0
+
+    def test_parity_vectorised(self):
+        np.testing.assert_array_equal(parity(np.array([0b11, 0b01]), 2), [0, 1])
+
+    def test_hamming_weight(self):
+        assert hamming_weight(0b1011, 4) == 3
+        np.testing.assert_array_equal(
+            hamming_weight(np.array([0, 0b1111]), 4), [0, 4]
+        )
+
+
+class TestExtractDeposit:
+    def test_extract_example(self):
+        np.testing.assert_array_equal(
+            extract_bits(np.array([0b1101]), [0, 2, 3]), [0b111]
+        )
+
+    def test_deposit_example(self):
+        np.testing.assert_array_equal(
+            deposit_bits(np.array([0b111]), [0, 2, 3]), [0b1101]
+        )
+
+    def test_remainder_clears_positions(self):
+        np.testing.assert_array_equal(
+            remainder_bits(np.array([0b1111]), [0, 2]), [0b1010]
+        )
+
+    def test_subset_mask(self):
+        assert subset_mask([0, 3]) == 0b1001
+
+    @given(
+        st.integers(min_value=0, max_value=2**14 - 1),
+        st.lists(st.integers(min_value=0, max_value=13), min_size=1, max_size=6, unique=True),
+    )
+    def test_decompose_recompose_property(self, value, positions):
+        """extract + remainder + deposit reassembles the original index."""
+        v = np.array([value])
+        local = extract_bits(v, positions)
+        rest = remainder_bits(v, positions)
+        np.testing.assert_array_equal(deposit_bits(local, positions) | rest, v)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=13), min_size=1, max_size=6, unique=True),
+        st.integers(min_value=0),
+    )
+    def test_extract_inverts_deposit(self, positions, raw):
+        local_val = raw % (1 << len(positions))
+        v = deposit_bits(np.array([local_val]), positions)
+        np.testing.assert_array_equal(extract_bits(v, positions), [local_val])
+
+
+class TestIterBasisLabels:
+    def test_order_and_count(self):
+        labels = list(iter_basis_labels(2))
+        assert labels == ["00", "01", "10", "11"]
+
+    def test_single_bit(self):
+        assert list(iter_basis_labels(1)) == ["0", "1"]

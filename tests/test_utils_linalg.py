@@ -1,0 +1,140 @@
+"""Unit and property tests for stochastic-matrix helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.linalg import (
+    clip_renormalize,
+    column_normalize,
+    fractional_stochastic_power,
+    is_column_stochastic,
+    nearest_stochastic,
+    stable_inverse,
+)
+
+
+def random_confusion(rng, dim, strength=0.1):
+    """A realistic confusion matrix: identity + small stochastic noise."""
+    noise = rng.random((dim, dim)) * strength
+    m = np.eye(dim) + noise
+    return column_normalize(m)
+
+
+class TestColumnNormalize:
+    def test_columns_sum_to_one(self):
+        m = np.array([[1.0, 3.0], [1.0, 1.0]])
+        out = column_normalize(m)
+        np.testing.assert_allclose(out.sum(axis=0), [1.0, 1.0])
+
+    def test_zero_column_becomes_uniform(self):
+        m = np.array([[0.0, 1.0], [0.0, 1.0]])
+        out = column_normalize(m)
+        np.testing.assert_allclose(out[:, 0], [0.5, 0.5])
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            column_normalize(np.zeros(3))
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=100))
+    def test_idempotent(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        m = column_normalize(rng.random((dim, dim)) + 0.01)
+        np.testing.assert_allclose(column_normalize(m), m)
+
+
+class TestIsColumnStochastic:
+    def test_identity_is_stochastic(self):
+        assert is_column_stochastic(np.eye(4))
+
+    def test_negative_entry_rejected(self):
+        m = np.array([[1.2, 0.0], [-0.2, 1.0]])
+        assert not is_column_stochastic(m)
+
+    def test_bad_column_sum_rejected(self):
+        assert not is_column_stochastic(np.eye(2) * 0.9)
+
+    def test_non_square_rejected(self):
+        assert not is_column_stochastic(np.ones((2, 3)) / 2)
+
+
+class TestNearestStochastic:
+    def test_clips_negatives(self):
+        m = np.array([[1.1, 0.0], [-0.1, 1.0]])
+        out = nearest_stochastic(m)
+        assert is_column_stochastic(out)
+        assert out.min() >= 0
+
+    def test_noop_on_stochastic(self):
+        m = np.array([[0.9, 0.2], [0.1, 0.8]])
+        np.testing.assert_allclose(nearest_stochastic(m), m)
+
+    def test_drops_imaginary(self):
+        m = np.eye(2).astype(complex) + 1e-12j
+        out = nearest_stochastic(m)
+        assert not np.iscomplexobj(out)
+
+
+class TestClipRenormalize:
+    def test_clips_and_sums_to_one(self):
+        v = clip_renormalize(np.array([0.5, -0.1, 0.7]))
+        assert v.min() >= 0
+        assert np.isclose(v.sum(), 1.0)
+
+    def test_all_negative_becomes_uniform(self):
+        v = clip_renormalize(np.array([-1.0, -2.0]))
+        np.testing.assert_allclose(v, [0.5, 0.5])
+
+
+class TestFractionalPower:
+    def test_zero_exponent_is_identity(self):
+        rng = np.random.default_rng(0)
+        m = random_confusion(rng, 4)
+        np.testing.assert_allclose(fractional_stochastic_power(m, 0.0), np.eye(4))
+
+    def test_unit_exponent_is_self(self):
+        rng = np.random.default_rng(1)
+        m = random_confusion(rng, 4)
+        np.testing.assert_allclose(fractional_stochastic_power(m, 1.0), m, atol=1e-10)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_halves_multiply_back(self, seed):
+        """C^(1/2) @ C^(1/2) == C for realistic confusion matrices."""
+        rng = np.random.default_rng(seed)
+        m = random_confusion(rng, 4, strength=0.15)
+        half = fractional_stochastic_power(m, 0.5)
+        np.testing.assert_allclose(half @ half, m, atol=1e-6)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_thirds_multiply_back(self, seed):
+        rng = np.random.default_rng(seed)
+        m = random_confusion(rng, 2, strength=0.12)
+        third = fractional_stochastic_power(m, 1.0 / 3.0)
+        np.testing.assert_allclose(third @ third @ third, m, atol=1e-6)
+
+    def test_columns_sum_to_one(self):
+        # Analytically the power of a stochastic matrix keeps unit column
+        # sums (1 is an eigenvalue of the transpose with the all-ones
+        # vector); entries may dip slightly negative and are NOT projected.
+        rng = np.random.default_rng(7)
+        m = random_confusion(rng, 4)
+        out = fractional_stochastic_power(m, 0.25)
+        np.testing.assert_allclose(out.sum(axis=0), np.ones(4), atol=1e-8)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            fractional_stochastic_power(np.ones((2, 3)), 0.5)
+
+
+class TestStableInverse:
+    def test_inverts_well_conditioned(self):
+        rng = np.random.default_rng(3)
+        m = random_confusion(rng, 4)
+        np.testing.assert_allclose(stable_inverse(m) @ m, np.eye(4), atol=1e-8)
+
+    def test_singular_falls_back_to_pinv(self):
+        m = np.array([[1.0, 1.0], [0.0, 0.0]])  # singular
+        out = stable_inverse(m)
+        assert np.all(np.isfinite(out))

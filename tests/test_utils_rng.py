@@ -1,0 +1,54 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_differ(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_from_int_seed(self):
+        first = [g.random(3) for g in spawn_rngs(7, 3)]
+        second = [g.random(3) for g in spawn_rngs(7, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_from_generator_parent(self):
+        parent = np.random.default_rng(1)
+        children = spawn_rngs(parent, 4)
+        assert len(children) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestDeriveRng:
+    def test_same_tokens_same_stream(self):
+        a = derive_rng(5, "drift", 3).random(4)
+        b = derive_rng(5, "drift", 3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_tokens_differ(self):
+        a = derive_rng(5, "drift", 3).random(8)
+        b = derive_rng(5, "drift", 4).random(8)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,124 @@
+"""Tests for utils.validation and the Mitigator base protocol."""
+
+import numpy as np
+import pytest
+
+from repro.backends import ShotBudget, SimulatedBackend
+from repro.circuits import Circuit, ghz_bfs
+from repro.core.base import DEFAULT_CALIBRATION_FRACTION, Mitigator
+from repro.counts import Counts
+from repro.topology import linear
+from repro.utils.validation import (
+    MAX_DENSE_QUBITS,
+    check_num_qubits,
+    check_probability,
+    check_probability_vector,
+    check_qubit_indices,
+    check_shots,
+)
+
+
+class TestValidation:
+    def test_num_qubits_ok(self):
+        assert check_num_qubits(5) == 5
+
+    def test_num_qubits_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_num_qubits(0)
+
+    def test_num_qubits_rejects_float(self):
+        with pytest.raises(ValueError):
+            check_num_qubits(2.5)
+
+    def test_dense_ceiling(self):
+        with pytest.raises(ValueError):
+            check_num_qubits(MAX_DENSE_QUBITS + 1, dense=True)
+        assert check_num_qubits(MAX_DENSE_QUBITS, dense=True) == MAX_DENSE_QUBITS
+
+    def test_qubit_indices_ok(self):
+        assert check_qubit_indices([2, 0], 3) == (2, 0)
+
+    def test_qubit_indices_duplicates(self):
+        with pytest.raises(ValueError):
+            check_qubit_indices([1, 1], 3)
+
+    def test_qubit_indices_range(self):
+        with pytest.raises(ValueError):
+            check_qubit_indices([3], 3)
+        with pytest.raises(ValueError):
+            check_qubit_indices([-1], 3)
+
+    def test_probability_bounds(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(-0.01)
+        with pytest.raises(ValueError):
+            check_probability(1.01)
+        with pytest.raises(ValueError):
+            check_probability(float("nan"))
+
+    def test_probability_vector(self):
+        v = check_probability_vector(np.array([0.5, 0.5]))
+        assert v.sum() == 1.0
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([-0.1, 1.1]))
+        with pytest.raises(ValueError):
+            check_probability_vector(np.ones((2, 2)))
+
+    def test_shots(self):
+        assert check_shots(0) == 0
+        with pytest.raises(ValueError):
+            check_shots(-1)
+        with pytest.raises(ValueError):
+            check_shots(1.5)
+
+
+class _RecordingMitigator(Mitigator):
+    """Minimal concrete Mitigator recording the call protocol."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.prepared_with = None
+        self.executed = False
+
+    def prepare(self, backend, budget, calibration_fraction=DEFAULT_CALIBRATION_FRACTION):
+        self.prepared_with = calibration_fraction
+        budget.charge(100, tag="calibration")
+
+    def execute(self, circuit, backend, budget):
+        self.executed = True
+        return backend.run(circuit, budget.remaining, budget=budget, tag="target")
+
+
+class TestMitigatorBase:
+    def test_run_drives_prepare_then_execute(self):
+        backend = SimulatedBackend(linear(2), rng=0)
+        mit = _RecordingMitigator()
+        out = mit.run(ghz_bfs(linear(2)), backend, total_shots=1000)
+        assert mit.prepared_with == DEFAULT_CALIBRATION_FRACTION
+        assert mit.executed
+        assert out.shots == 900  # 1000 - 100 calibration
+
+    def test_run_forwards_fraction(self):
+        backend = SimulatedBackend(linear(2), rng=1)
+        mit = _RecordingMitigator()
+        mit.run(ghz_bfs(linear(2)), backend, 1000, calibration_fraction=0.25)
+        assert mit.prepared_with == 0.25
+
+    def test_repr(self):
+        assert "recording" in repr(_RecordingMitigator())
+
+    def test_default_prepare_noop(self):
+        class Trivial(Mitigator):
+            name = "trivial"
+
+            def execute(self, circuit, backend, budget):
+                return Counts({0: 1}, [0])
+
+        backend = SimulatedBackend(linear(2), rng=2)
+        budget = ShotBudget(10)
+        Trivial().prepare(backend, budget)
+        assert budget.spent == 0
