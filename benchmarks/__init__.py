@@ -1,0 +1,8 @@
+"""Benchmark package marker.
+
+The bench modules import shared plumbing with ``from .conftest import
+run_once``; making ``benchmarks`` a real package gives pytest the parent
+package context it needs to resolve that relative import at collection
+time (pytest's default *prepend* import mode names the modules
+``benchmarks.test_bench_*`` because of this file).
+"""

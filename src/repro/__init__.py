@@ -3,7 +3,7 @@
 Reproduction of "Mitigating Coupling Map Constrained Correlated Measurement
 Errors on Quantum Devices" (Robertson & Song, SC 2023, arXiv:2212.10642).
 
-Quick start::
+Quick start — mitigate one circuit::
 
     from repro import (
         CMCMitigator, ghz_bfs, architecture_backend, one_norm_distance,
@@ -14,6 +14,19 @@ Quick start::
     mitigated = CMCMitigator(backend.coupling_map).run(
         circuit, backend, total_shots=16000
     )
+
+Quick start — sweep the whole method suite over a grid (the recommended
+entry point for experiments; parallel, cached, bit-reproducible)::
+
+    from repro import BackendSpec, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        backends=(BackendSpec(kind="device", name="quito"),
+                  BackendSpec(kind="device", name="nairobi")),
+        shots=(32000,), trials=3, seed=0, full_max_qubits=5,
+    )
+    result = run_sweep(spec, workers=4)
+    print(result.summary_rows())       # Table-II-style cells
 
 Subpackages
 -----------
@@ -26,6 +39,7 @@ Subpackages
 ``repro.mitigation``    baselines: Bare, Full, Linear, SIM, AIM, JIGSAW
 ``repro.analysis``      metrics, correlation maps, Hinton data, stats
 ``repro.experiments``   drivers for every paper table and figure
+``repro.pipeline``      declarative sweeps: process-pool engine + calibration cache
 """
 
 from repro.analysis import one_norm_distance, success_probability
@@ -54,6 +68,15 @@ from repro.mitigation import (
     SIMMitigator,
 )
 from repro.noise import MeasurementErrorChannel, NoiseModel, ReadoutError
+from repro.pipeline import (
+    BackendSpec,
+    CalibrationCache,
+    CircuitSpec,
+    ParallelSweepRunner,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
 from repro.topology import CouplingMap
 
 __version__ = "1.0.0"
@@ -86,4 +109,11 @@ __all__ = [
     "NoiseModel",
     "ReadoutError",
     "CouplingMap",
+    "BackendSpec",
+    "CalibrationCache",
+    "CircuitSpec",
+    "ParallelSweepRunner",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
 ]

@@ -24,7 +24,27 @@ from repro.core.err import edge_correlation_weights
 from repro.core.patches import build_patch_rounds
 from repro.topology.coupling_map import CouplingMap, Edge
 
-__all__ = ["characterize_pairwise_correlations", "correlation_edge_weights"]
+__all__ = [
+    "characterize_pairwise_correlations",
+    "correlation_edge_weights",
+    "merge_edge_weights",
+]
+
+
+def merge_edge_weights(
+    weight_maps: Sequence[Mapping[Edge, float]]
+) -> Dict[Edge, float]:
+    """Average per-edge weights over calibration cycles (Fig. 1's mean).
+
+    The single definition of the averaging rule — used both by the
+    multi-week path below and by the parallel per-week driver in
+    :mod:`repro.experiments.correlation_map`.
+    """
+    acc: Dict[Edge, List[float]] = {}
+    for weights in weight_maps:
+        for edge, w in weights.items():
+            acc.setdefault(edge, []).append(w)
+    return {edge: float(np.mean(ws)) for edge, ws in sorted(acc.items())}
 
 
 def _single_qubit_calibrations(
@@ -94,12 +114,10 @@ def correlation_edge_weights(
     if weeks < 1:
         raise ValueError("weeks must be >= 1")
     backends = list(week_backends) if week_backends is not None else [backend] * weeks
-    acc: Dict[Edge, List[float]] = {}
+    weekly = []
     for be in backends:
         singles, pair_cals = characterize_pairwise_correlations(
             be, pairs=pairs, shots_per_circuit=shots_per_circuit
         )
-        weights = edge_correlation_weights(singles, pair_cals)
-        for edge, w in weights.items():
-            acc.setdefault(edge, []).append(w)
-    return {edge: float(np.mean(ws)) for edge, ws in sorted(acc.items())}
+        weekly.append(edge_correlation_weights(singles, pair_cals))
+    return merge_edge_weights(weekly)

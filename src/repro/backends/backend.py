@@ -13,6 +13,16 @@ circuit object (mitigation methods re-run the target circuit under different
 budgets), so the noisy pre-sampling distribution is cached per circuit
 identity.  Sampling itself is never cached — shot noise must stay
 independent across executions.
+
+Determinism: the gate-noise trajectory average for a circuit is drawn from
+a stream derived from the backend's construction seed and the circuit's
+content fingerprint, never from the running sampling stream.  The noisy
+pre-sampling distribution is therefore a pure function of (backend seed,
+circuit) — independent of the order in which circuits are first executed —
+which is what lets the sweep engine (:mod:`repro.pipeline`) reorder and
+cache work without perturbing results.  Only shot sampling consumes the
+running stream, which :meth:`SimulatedBackend.reseed` can repoint at a
+derived stream between execution phases.
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ from repro.simulator.statevector import StatevectorSimulator
 from repro.simulator.trajectories import TrajectorySimulator
 from repro.simulator.sampling import sample_counts
 from repro.topology.coupling_map import CouplingMap
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState, ensure_rng, stable_rng
 from repro.utils.validation import check_shots
 
 __all__ = ["SimulatedBackend"]
@@ -76,6 +86,14 @@ class SimulatedBackend:
             self.noise_model.error_2q,
             max_trajectories=max_trajectories,
         )
+        # Root of the per-circuit trajectory-noise streams; drawn once so the
+        # trajectory average for any circuit depends only on the construction
+        # seed + circuit content, not on execution order (see module docs).
+        self._traj_root = (
+            int(self._rng.integers(0, 2**63 - 1))
+            if self.noise_model.has_gate_noise
+            else 0
+        )
         self._dist_cache: Dict[tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
@@ -100,8 +118,9 @@ class SimulatedBackend:
             raise ValueError("circuit larger than device")
         measured = circuit.measured_qubits
         if self.noise_model.has_gate_noise:
+            traj_rng = stable_rng(self._traj_root, key)
             ideal = self._trajectory_sim.output_distribution(
-                circuit, shots=1 << 14, rng=self._rng
+                circuit, shots=1 << 14, rng=traj_rng
             )
         else:
             sim = StatevectorSimulator(circuit.num_qubits)
@@ -149,6 +168,17 @@ class SimulatedBackend:
     def exact_distribution(self, circuit: Circuit) -> np.ndarray:
         """The noisy pre-sampling distribution (testing / infinite shots)."""
         return self._noisy_distribution(circuit).copy()
+
+    def reseed(self, rng: RandomState) -> None:
+        """Repoint the shot-sampling stream at ``rng``.
+
+        The sweep engine reseeds between execution phases (calibration vs
+        target) so each phase samples from a stream derived from its logical
+        identity rather than from whatever happened to run before it — the
+        basis of bit-identical serial/parallel sweeps.  Cached pre-sampling
+        distributions are kept: they do not depend on the sampling stream.
+        """
+        self._rng = ensure_rng(rng)
 
     def clear_cache(self) -> None:
         """Drop cached pre-sampling distributions (e.g. after mutating noise)."""

@@ -87,6 +87,30 @@ class ShotBudget:
             self._circuits += 1
         self._by_tag[tag] = self._by_tag.get(tag, 0) + shots
 
+    def replay(self, shots: int, circuits: int, tag: str = "calibration") -> None:
+        """Charge a previously-recorded spend without executing anything.
+
+        Used by the calibration cache: a cache hit reuses measured
+        calibration state, but the equal-budget protocol (§V) still requires
+        the method to *pay* for its calibration, otherwise cached runs would
+        leave more shots for the target circuit and change the method's
+        error.  Replaying the original ledger entry keeps ``spent``,
+        ``circuits_executed`` and the remaining target budget identical to a
+        cold calibration.
+        """
+        if circuits < 0:
+            raise ValueError("circuits must be non-negative")
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        if not self.can_afford(shots):
+            raise BudgetExceeded(
+                f"budget of {self._total} shots exceeded: {self._spent} spent, "
+                f"{shots} replayed (tag={tag!r})"
+            )
+        self._spent += shots
+        self._circuits += circuits
+        self._by_tag[tag] = self._by_tag.get(tag, 0) + shots
+
     def split_evenly(self, num_circuits: int, fraction: float = 1.0) -> int:
         """Shots per circuit when spreading ``fraction`` of the *remaining*
         budget evenly over ``num_circuits`` circuits (floor division).

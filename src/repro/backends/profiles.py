@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.backends.backend import SimulatedBackend
+from repro.noise.drift import drift_noise_model
 from repro.noise.models import CorrelationPlacement, NoiseModel, random_device_noise
 from repro.topology import (
     CouplingMap,
@@ -36,11 +37,12 @@ from repro.topology import (
     named_device,
     octagonal,
 )
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState, ensure_rng, stable_rng
 
 __all__ = [
     "architecture_backend",
     "device_profile_backend",
+    "drifted_week_backend",
     "DEVICE_PROFILES",
     "DeviceProfile",
     "ARCHITECTURES",
@@ -188,3 +190,34 @@ def device_profile_backend(
         name=f"profile-{profile.device}",
     )
     return SimulatedBackend(cmap, model, rng=gen)
+
+
+def drifted_week_backend(
+    device: str,
+    week: int,
+    seed: int,
+    *,
+    namespace: str,
+    drift_scale: float = 0.15,
+) -> SimulatedBackend:
+    """One drifted weekly snapshot of a device, independently seeded.
+
+    The §VII-A / Fig. 1 discipline shared by the week-structured
+    experiments: the *base* noise model derives from ``(namespace, seed)``
+    alone (every week sees the same device), the drift and the execution
+    sampling derive from ``(namespace, seed, week)`` — so weeks can be
+    characterised in any order, in any process, with identical results.
+    ``namespace`` keeps different experiments' streams apart.
+    """
+    base = device_profile_backend(
+        device, rng=stable_rng(f"{namespace}-base", seed), gate_noise=False
+    )
+    model = drift_noise_model(
+        base.noise_model,
+        scale=drift_scale,
+        week=week,
+        rng=stable_rng(f"{namespace}-drift", seed, week),
+    )
+    return SimulatedBackend(
+        base.coupling_map, model, rng=stable_rng(f"{namespace}-run", seed, week)
+    )

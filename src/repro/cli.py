@@ -11,17 +11,21 @@
     python -m repro costs --qubits 16
     python -m repro stability --device nairobi --weeks 4
     python -m repro shots --qubits 6 --budgets 1000 4000 16000
+    python -m repro sweep --devices quito lima nairobi --trials 3 --workers 4
+    python -m repro sweep --spec grid.json --workers 4 --json out.json
 
 Every command prints the same rows/series the corresponding paper artifact
 reports (see EXPERIMENTS.md for the mapping) and is deterministic under
-``--seed``.
+``--seed``.  ``sweep`` runs an arbitrary grid — from a JSON
+:class:`~repro.pipeline.spec.SweepSpec` or inline flags — on the parallel
+engine, with per-task progress on stderr and optional JSON results.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.experiments import (
     device_correlation_map,
@@ -35,6 +39,7 @@ from repro.experiments import (
     x_chain_experiment,
 )
 from repro.experiments.runner import METHOD_ORDER
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -48,6 +53,7 @@ _COMMANDS = {
     "costs": "characterisation cost table (Table I)",
     "stability": "ERR error-map stability across drifted weeks (§VII-A)",
     "shots": "error vs shot budget per method (§V-A)",
+    "sweep": "run any declarative sweep grid on the parallel engine",
 }
 
 
@@ -117,6 +123,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--methods", nargs="+", default=None, choices=METHOD_ORDER)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("sweep", help=_COMMANDS["sweep"])
+    p.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="JSON SweepSpec file; overrides the inline grid flags below",
+    )
+    grid = p.add_mutually_exclusive_group()
+    grid.add_argument(
+        "--devices", nargs="+", default=None,
+        help="IBM-like device profiles to sweep (inline grid)",
+    )
+    grid.add_argument(
+        "--architecture", default=None,
+        choices=["grid", "hexagonal", "octagonal", "fully_connected"],
+        help="architecture family to sweep over --qubits (inline grid)",
+    )
+    p.add_argument(
+        "--qubits", type=int, nargs="+", default=None,
+        help="architecture sizes (with --architecture; default: 6)",
+    )
+    p.add_argument("--shots", type=int, nargs="+", default=[16000])
+    p.add_argument("--trials", type=int, default=2)
+    p.add_argument("--methods", nargs="+", default=None, choices=METHOD_ORDER)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--full-max-qubits", type=int, default=10)
+    p.add_argument(
+        "--gate-noise", action=argparse.BooleanOptionalAction, default=True,
+        help="include depolarising gate errors (on by default, matching "
+        "the devices command; --no-gate-noise for measurement-only runs)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width (default: serial; results are identical)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable calibration reuse (identical results, more device time)",
+    )
+    p.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="also write the full per-record results as JSON",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-task progress"
+    )
 
     return parser
 
@@ -247,6 +298,116 @@ def _cmd_shots(args: argparse.Namespace) -> str:
     )
 
 
+#: The inline-grid flags a --spec file would silently override if both were
+#: given; defaults are read back from the parser so they cannot drift.
+_SWEEP_GRID_FLAGS = {
+    "devices": "--devices",
+    "architecture": "--architecture",
+    "qubits": "--qubits",
+    "shots": "--shots",
+    "trials": "--trials",
+    "methods": "--methods",
+    "seed": "--seed",
+    "full_max_qubits": "--full-max-qubits",
+    "gate_noise": "--gate-noise/--no-gate-noise",
+}
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    """Build a SweepSpec from ``--spec`` or the inline grid flags."""
+    if args.spec is not None:
+        baseline = build_parser().parse_args(["sweep"])
+        conflicting = [
+            flag
+            for attr, flag in _SWEEP_GRID_FLAGS.items()
+            if getattr(args, attr) != getattr(baseline, attr)
+        ]
+        if conflicting:
+            raise ValueError(
+                f"--spec defines the whole grid; it cannot be combined with "
+                f"{conflicting} (only --workers/--no-cache/--json/--quiet "
+                f"compose with a spec file)"
+            )
+        spec = SweepSpec.from_json_file(args.spec)
+    else:
+        if args.devices is not None:
+            if args.qubits is not None:
+                raise ValueError(
+                    "--qubits only applies with --architecture; device "
+                    "profiles fix their own size"
+                )
+            backends = tuple(
+                BackendSpec(kind="device", name=d, gate_noise=args.gate_noise)
+                for d in args.devices
+            )
+        else:
+            architecture = args.architecture or "grid"
+            backends = tuple(
+                BackendSpec(
+                    kind="architecture",
+                    name=architecture,
+                    qubits=n,
+                    gate_noise=args.gate_noise,
+                )
+                for n in (args.qubits or [6])
+            )
+        spec = SweepSpec(
+            backends=backends,
+            circuits=(CircuitSpec(),),
+            shots=tuple(args.shots),
+            methods=None if args.methods is None else tuple(args.methods),
+            trials=args.trials,
+            seed=args.seed,
+            full_max_qubits=args.full_max_qubits,
+        )
+    if args.no_cache:
+        spec = spec.with_options(reuse_calibration=False)
+    return spec
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    try:
+        spec = _sweep_spec_from_args(args)
+    except ValueError as exc:
+        # flag mistakes get an argparse-style error, not a traceback
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    progress = None
+    if not args.quiet:
+        def progress(done: int, total: int, outcome) -> None:
+            label = spec.backends[outcome.backend_index].label
+            trials = ",".join(str(t) for t in outcome.trials)
+            print(
+                f"[{done}/{total}] {label} trial {trials} "
+                f"done in {outcome.duration:.1f}s"
+                + (
+                    f" ({outcome.cache_hits} calibration cache hits)"
+                    if outcome.cache_hits
+                    else ""
+                ),
+                file=sys.stderr,
+                flush=True,
+            )
+    result = run_sweep(spec, workers=args.workers, progress=progress)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+    rows = result.summary_rows()
+    body = format_table(
+        rows, result.column_labels(), row_header="method", precision=2
+    )
+    footer = (
+        f"\n\n{result.spec.num_tasks} tasks ({result.workers} worker(s)) "
+        f"in {result.wall_time:.1f}s; calibration cache: "
+        f"{result.cache_hits} hits / {result.cache_misses} misses, "
+        f"{result.saved_circuits} circuit executions "
+        f"({result.saved_shots} shots) saved"
+    )
+    if args.json_out:
+        footer += f"\nresults written to {args.json_out}"
+    return body + footer
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -263,6 +424,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "costs": _cmd_costs,
         "stability": _cmd_stability,
         "shots": _cmd_shots,
+        "sweep": _cmd_sweep,
     }
     print(handlers[args.command](args))
     return 0

@@ -52,6 +52,25 @@ class Mitigator(abc.ABC):
     ) -> None:
         """Spend calibration shots.  Default: nothing to prepare."""
 
+    def calibration_state(self) -> Optional[dict]:
+        """Snapshot of the reusable calibration produced by :meth:`prepare`.
+
+        Reusable methods (``reusable = True``) return a dict that
+        :meth:`load_calibration_state` can restore into a *fresh* instance
+        so it mitigates identically to the prepared one — the hook the
+        pipeline's :class:`~repro.pipeline.cache.CalibrationCache` uses to
+        share calibration across sweep trials.  Circuit-specific methods
+        have nothing to snapshot and return ``None`` (the default).
+        """
+        return None
+
+    def load_calibration_state(self, state: dict) -> None:
+        """Restore a :meth:`calibration_state` snapshot in place of
+        :meth:`prepare`.  Raises for methods with no reusable state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no reusable calibration state"
+        )
+
     @abc.abstractmethod
     def execute(
         self,

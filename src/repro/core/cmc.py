@@ -171,6 +171,18 @@ class CMCMitigator(Mitigator):
             tuple(sorted(patch)): cal for patch, cal in calibrations.items()
         }
 
+    def calibration_state(self) -> Optional[dict]:
+        if self.patch_calibrations is None and not self._isolated_cals:
+            raise RuntimeError("CMC has not been calibrated; call prepare() first")
+        return {
+            "patch_calibrations": dict(self.patch_calibrations or {}),
+            "isolated": dict(self._isolated_cals),
+        }
+
+    def load_calibration_state(self, state: dict) -> None:
+        self.patch_calibrations = dict(state["patch_calibrations"])
+        self._isolated_cals = dict(state["isolated"])
+
     # ------------------------------------------------------------------
     # Mitigation phase
     # ------------------------------------------------------------------

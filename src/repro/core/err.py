@@ -249,6 +249,27 @@ class CMCERRMitigator(Mitigator):
             {e: pair_cals[e] for e in self.error_map.edges if e in pair_cals}
         )
 
+    def calibration_state(self) -> Optional[dict]:
+        if self._inner is None or self.error_map is None:
+            raise RuntimeError("CMC-ERR has not been calibrated; call prepare() first")
+        return {
+            "error_map": self.error_map,
+            "weights": dict(self.weights or {}),
+            "inner": self._inner.calibration_state(),
+        }
+
+    def load_calibration_state(self, state: dict) -> None:
+        self.error_map = state["error_map"]
+        self.weights = dict(state["weights"])
+        self._inner = CMCMitigator(
+            self.coupling_map,
+            k=self.separation,
+            edges=self.error_map.edges,
+            prune_tol=self.prune_tol,
+            max_support=self.max_support,
+        )
+        self._inner.load_calibration_state(state["inner"])
+
     # ------------------------------------------------------------------
     def mitigate(self, counts: Counts) -> Counts:
         """Apply the error-map CMC calibration to measured counts."""

@@ -4,12 +4,17 @@ Each driver wires backends, circuits, the method suite and the shot-budget
 rule together and returns plain data structures (dicts / dataclasses) that
 the benchmark harness prints as the paper's rows and series.  See
 EXPERIMENTS.md for the per-experiment index and DESIGN.md for substitutions.
+
+The grid-shaped drivers are thin adapters over the :mod:`repro.pipeline`
+sweep engine and accept a ``workers`` argument: pass an integer to fan the
+grid out over a process pool — results stay bit-identical to serial runs.
 """
 
 from repro.experiments.runner import (
     MethodResult,
     MethodSuite,
     default_method_suite,
+    run_suite_cached,
     run_suite_once,
 )
 from repro.experiments.ghz_sweep import GhzSweepResult, ghz_architecture_sweep
@@ -28,6 +33,7 @@ __all__ = [
     "MethodResult",
     "MethodSuite",
     "default_method_suite",
+    "run_suite_cached",
     "run_suite_once",
     "GhzSweepResult",
     "ghz_architecture_sweep",

@@ -14,12 +14,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.correlation import correlation_edge_weights
-from repro.backends.backend import SimulatedBackend
-from repro.backends.profiles import device_profile_backend
-from repro.noise.drift import drift_noise_model
+from repro.analysis.correlation import correlation_edge_weights, merge_edge_weights
+from repro.backends.profiles import device_profile_backend, drifted_week_backend
+from repro.pipeline import map_tasks
 from repro.topology.coupling_map import CouplingMap, Edge
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState, seed_to_int, stable_rng
 
 __all__ = ["CorrelationMapResult", "device_correlation_map"]
 
@@ -74,6 +73,21 @@ class CorrelationMapResult:
         return 1.0 if total <= 0 else on / total
 
 
+def _characterize_week(args: Tuple[str, int, int, float, int]) -> Dict[Edge, float]:
+    """Measure one drifted week's pairwise weights (pool-picklable).
+
+    Streams derive from (seed, week) only, so weeks can be characterised
+    in any order, in any process, with identical weights.
+    """
+    device, week, shots_per_circuit, drift_scale, seed = args
+    backend = drifted_week_backend(
+        device, week, seed, namespace="corr-map", drift_scale=drift_scale
+    )
+    return correlation_edge_weights(
+        backend, shots_per_circuit=shots_per_circuit, weeks=1
+    )
+
+
 def device_correlation_map(
     device: str,
     *,
@@ -81,32 +95,31 @@ def device_correlation_map(
     shots_per_circuit: int = 4000,
     drift_scale: float = 0.15,
     seed: RandomState = 0,
+    workers: Optional[int] = None,
 ) -> CorrelationMapResult:
     """Run the Fig. 1 protocol for one device profile.
 
     A base noise model is drawn once, then ``weeks`` drifted snapshots are
     characterised and their weights averaged — correlation structure
     persists across snapshots (the paper: "some appear to persist between
-    calibration cycles") while magnitudes jitter.
+    calibration cycles") while magnitudes jitter.  ``workers``
+    characterises the weeks over a process pool, identically to serial.
     """
     if weeks < 1:
         raise ValueError("weeks must be >= 1")
-    master = ensure_rng(seed)
-    base = device_profile_backend(device, rng=master, gate_noise=False)
-    week_backends = [
-        SimulatedBackend(
-            base.coupling_map,
-            drift_noise_model(base.noise_model, scale=drift_scale, week=w, rng=master),
-            rng=master,
-        )
-        for w in range(weeks)
-    ]
-    weights = correlation_edge_weights(
-        base,
-        shots_per_circuit=shots_per_circuit,
-        weeks=weeks,
-        week_backends=week_backends,
+    root = seed_to_int(seed)
+    base = device_profile_backend(
+        device, rng=stable_rng("corr-map-base", root), gate_noise=False
     )
+    weekly_weights = map_tasks(
+        _characterize_week,
+        [
+            (device, week, shots_per_circuit, drift_scale, root)
+            for week in range(weeks)
+        ],
+        workers=workers,
+    )
+    weights = merge_edge_weights(weekly_weights)
     return CorrelationMapResult(
         device=device,
         coupling_map=base.coupling_map,

@@ -16,11 +16,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.stats import QuantileSummary, summarize_quantiles
-from repro.backends.profiles import device_profile_backend
-from repro.circuits.library import ghz_bfs
-from repro.experiments.ghz_sweep import ghz_ideal_distribution
-from repro.experiments.runner import default_method_suite, run_suite_once
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.utils.rng import RandomState, seed_to_int
 
 __all__ = ["DeviceTableResult", "device_ghz_table", "TABLE2_DEVICES"]
 
@@ -73,6 +70,7 @@ def device_ghz_table(
     seed: RandomState = 0,
     full_max_qubits: int = 5,
     gate_noise: bool = True,
+    workers: Optional[int] = None,
 ) -> DeviceTableResult:
     """Run the Table II protocol.
 
@@ -81,30 +79,28 @@ def device_ghz_table(
     (the paper: "at the seven qubit mark these methods begin to encounter
     scaling issues, with the Full calibration approach exceeding 100
     calibration circuits").
+
+    The (device x trial) grid runs on the :mod:`repro.pipeline` engine;
+    ``workers`` fans it over a process pool with bit-identical results.
     """
     result = DeviceTableResult(
         devices=[d.lower() for d in devices], shots=int(shots), trials=int(trials)
     )
-    master = ensure_rng(seed)
-    for device in result.devices:
-        per_method: Dict[str, List[float]] = {}
-        for trial_rng in spawn_rngs(master, trials):
-            backend = device_profile_backend(
-                device, rng=trial_rng, gate_noise=gate_noise
-            )
-            n = backend.num_qubits
-            suite = default_method_suite(
-                backend.coupling_map,
-                rng=trial_rng,
-                include=methods,
-                full_max_qubits=full_max_qubits,
-            )
-            circuit = ghz_bfs(backend.coupling_map)
-            ideal = ghz_ideal_distribution(n)
-            outcome = run_suite_once(suite, circuit, backend, shots, ideal=ideal)
-            for name, res in outcome.items():
-                bucket = per_method.setdefault(name, [])
-                if res.available and res.error is not None:
-                    bucket.append(res.error)
-        result.errors[device] = per_method
+    spec = SweepSpec(
+        backends=tuple(
+            BackendSpec(kind="device", name=d, gate_noise=gate_noise)
+            for d in result.devices
+        ),
+        circuits=(CircuitSpec(),),
+        shots=(result.shots,),
+        methods=None if methods is None else tuple(methods),
+        trials=result.trials,
+        seed=seed_to_int(seed),
+        full_max_qubits=full_max_qubits,
+    )
+    sweep = run_sweep(spec, workers=workers)
+    for i, device in enumerate(result.devices):
+        result.errors[device] = {
+            name: sweep.error_samples(i, name) for name in sweep.methods()
+        }
     return result

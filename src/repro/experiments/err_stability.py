@@ -11,22 +11,25 @@ snapshot per week (magnitudes jitter, structure persists —
 :mod:`repro.noise.drift`), recover an error coupling map from each
 snapshot independently, and measure pairwise edge-set overlap (Jaccard
 index) plus each map's recall of the injected ground-truth pairs.
+
+Weeks are independent work units: each derives its own streams from the
+root seed, so :func:`repro.pipeline.map_tasks` can profile them in
+parallel without changing any recovered map.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.backends.backend import SimulatedBackend
 from repro.backends.budget import ShotBudget
-from repro.backends.profiles import device_profile_backend
+from repro.backends.profiles import device_profile_backend, drifted_week_backend
 from repro.core.err import CMCERRMitigator
-from repro.noise.drift import drift_noise_model
+from repro.pipeline import map_tasks
 from repro.topology.coupling_map import CouplingMap, Edge
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState, seed_to_int, stable_rng
 
 __all__ = ["ErrStabilityResult", "err_stability_experiment"]
 
@@ -81,6 +84,27 @@ class ErrStabilityResult:
         return tuple(sorted(core))
 
 
+def _profile_week(args: Tuple[str, int, int, float, int, int]) -> CouplingMap:
+    """Recover one drifted week's error map (module-level: pool-picklable).
+
+    The base device, the week's drift and the profiling shots all come from
+    streams derived of (seed, week) — no state crosses week boundaries, so
+    weeks profile identically whether run serially or on a pool.
+    """
+    device, week, shots_per_week, drift_scale, locality, seed = args
+    backend = drifted_week_backend(
+        device, week, seed, namespace="err-stability", drift_scale=drift_scale
+    )
+    # Threshold at 2x the median pair weight: edges at the sampling
+    # noise floor are not device structure and churn between weeks.
+    mitigator = CMCERRMitigator(
+        backend.coupling_map, locality=locality, noise_floor_factor=2.0
+    )
+    mitigator.profile(backend, ShotBudget(shots_per_week))
+    assert mitigator.error_map is not None
+    return mitigator.error_map
+
+
 def err_stability_experiment(
     device: str = "nairobi",
     *,
@@ -89,26 +113,27 @@ def err_stability_experiment(
     drift_scale: float = 0.15,
     locality: int = 3,
     seed: RandomState = 0,
+    workers: Optional[int] = None,
 ) -> ErrStabilityResult:
-    """Recover an ERR error map per drifted week and measure stability."""
+    """Recover an ERR error map per drifted week and measure stability.
+
+    ``workers`` profiles the weeks over a process pool (results identical
+    to the serial run — each week is seeded independently).
+    """
     if weeks < 2:
         raise ValueError("need at least two weeks to compare")
-    master = ensure_rng(seed)
-    base = device_profile_backend(device, rng=master, gate_noise=False)
-    weekly_maps: List[CouplingMap] = []
-    for week in range(weeks):
-        model = drift_noise_model(
-            base.noise_model, scale=drift_scale, week=week, rng=master
-        )
-        backend = SimulatedBackend(base.coupling_map, model, rng=master)
-        # Threshold at 2x the median pair weight: edges at the sampling
-        # noise floor are not device structure and churn between weeks.
-        mitigator = CMCERRMitigator(
-            base.coupling_map, locality=locality, noise_floor_factor=2.0
-        )
-        mitigator.profile(backend, ShotBudget(shots_per_week))
-        assert mitigator.error_map is not None
-        weekly_maps.append(mitigator.error_map)
+    root = seed_to_int(seed)
+    base = device_profile_backend(
+        device, rng=stable_rng("err-stability-base", root), gate_noise=False
+    )
+    weekly_maps: List[CouplingMap] = map_tasks(
+        _profile_week,
+        [
+            (device, week, shots_per_week, drift_scale, locality, root)
+            for week in range(weeks)
+        ],
+        workers=workers,
+    )
     return ErrStabilityResult(
         device=device,
         weeks=weeks,

@@ -5,6 +5,10 @@ device of the architecture family with the §V-A noise recipe, prepare
 ``GHZ_n`` by BFS fan-out, give every method 16000 shots, and record the
 one-norm distance to the ideal bimodal GHZ distribution.  Repeated trials
 (fresh noise draw + fresh shot noise per trial) give the spread.
+
+The grid is executed by the :mod:`repro.pipeline` engine: pass ``workers``
+to fan the (size x trial) tasks over a process pool — results are
+bit-identical to the serial run.
 """
 
 from __future__ import annotations
@@ -15,10 +19,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.stats import QuantileSummary, summarize_quantiles
-from repro.backends.profiles import architecture_backend
-from repro.circuits.library import ghz_bfs
-from repro.experiments.runner import MethodSuite, default_method_suite, run_suite_once
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.utils.rng import RandomState, seed_to_int
 
 __all__ = ["GhzSweepResult", "ghz_architecture_sweep"]
 
@@ -77,6 +79,7 @@ def ghz_architecture_sweep(
     gate_noise: bool = True,
     full_max_qubits: int = 10,
     correlation_placement: str = "coupling",
+    workers: Optional[int] = None,
 ) -> GhzSweepResult:
     """Run the Fig. 13/14/15 protocol for one architecture family.
 
@@ -103,6 +106,9 @@ def ghz_architecture_sweep(
         here injects light coupling-aligned correlations so that the
         correlated-error mechanisms of JIGSAW and CMC are exercised — see
         DESIGN.md's substitution notes.
+    workers:
+        Process-pool width for the (size x trial) grid; ``None`` runs
+        serially with identical results.
     """
     result = GhzSweepResult(
         architecture=architecture,
@@ -110,33 +116,28 @@ def ghz_architecture_sweep(
         shots=int(shots),
         trials=int(trials),
     )
-    master = ensure_rng(seed)
-    for n in result.qubit_counts:
-        trial_rngs = spawn_rngs(master, trials)
-        per_method: Dict[str, List[float]] = {}
-        for trial_rng in trial_rngs:
-            backend = architecture_backend(
-                architecture,
-                n,
-                error_1q=0.001 if gate_noise else 0.0,
-                error_2q=0.01 if gate_noise else 0.0,
-                correlation_placement=correlation_placement,  # type: ignore[arg-type]
-                rng=trial_rng,
+    spec = SweepSpec(
+        backends=tuple(
+            BackendSpec(
+                kind="architecture",
+                name=architecture,
+                qubits=n,
+                gate_noise=gate_noise,
+                correlation_placement=correlation_placement,
             )
-            suite = default_method_suite(
-                backend.coupling_map,
-                rng=trial_rng,
-                include=methods,
-                full_max_qubits=full_max_qubits,
+            for n in result.qubit_counts
+        ),
+        circuits=(CircuitSpec(),),
+        shots=(result.shots,),
+        methods=None if methods is None else tuple(methods),
+        trials=result.trials,
+        seed=seed_to_int(seed),
+        full_max_qubits=full_max_qubits,
+    )
+    sweep = run_sweep(spec, workers=workers)
+    for i in range(len(result.qubit_counts)):
+        for name in sweep.methods():
+            result.errors.setdefault(name, []).append(
+                sweep.error_samples(i, name)
             )
-            circuit = ghz_bfs(backend.coupling_map)
-            ideal = ghz_ideal_distribution(n)
-            outcome = run_suite_once(suite, circuit, backend, shots, ideal=ideal)
-            for name, res in outcome.items():
-                if res.available and res.error is not None:
-                    per_method.setdefault(name, []).append(res.error)
-                else:
-                    per_method.setdefault(name, [])
-        for name, samples in per_method.items():
-            result.errors.setdefault(name, []).append(samples)
     return result

@@ -9,13 +9,16 @@ Encodes the paper's evaluation protocol (§V):
   ``N/A`` (Table II's Nairobi column) rather than crashing the sweep.
 
 Mitigator instances are built fresh per trial via factories so that no
-calibration state leaks between trials.
+calibration state leaks between trials — unless a trial *explicitly* opts
+into reuse through :func:`run_suite_cached`, which threads a
+:class:`~repro.pipeline.cache.CalibrationCache` and per-phase seed scopes
+through the protocol so reuse stays bit-identical to cold calibration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,13 +37,14 @@ from repro.mitigation.jigsaw import JigsawMitigator
 from repro.mitigation.linear import LinearCalibrationMitigator
 from repro.mitigation.simavg import SIMMitigator
 from repro.topology.coupling_map import CouplingMap
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState, ensure_rng, stable_rng
 
 __all__ = [
     "MethodResult",
     "MethodSuite",
     "default_method_suite",
     "run_suite_once",
+    "run_suite_cached",
     "METHOD_ORDER",
 ]
 
@@ -143,13 +147,97 @@ def run_suite_once(
     budget exhaustion become ``not_applicable`` / ``failure`` entries so a
     sweep never aborts half-way (the paper's N/A cells).
     """
+    return run_suite_cached(suite, circuit, backend, total_shots, ideal=ideal)
+
+
+def run_suite_cached(
+    suite: MethodSuite,
+    circuit: Circuit,
+    backend: SimulatedBackend,
+    total_shots: int,
+    ideal: Optional[np.ndarray] = None,
+    *,
+    cache=None,
+    calibration_scope: Optional[Tuple] = None,
+    execution_scope: Optional[Tuple] = None,
+) -> Dict[str, MethodResult]:
+    """:func:`run_suite_once` with calibration reuse and scoped seeding.
+
+    The three keyword extensions are what the sweep engine threads through:
+
+    ``calibration_scope``
+        Stable tokens naming the calibration event group this run belongs
+        to (typically ``(seed, point, trial)`` — everything *except* the
+        target circuit).  When given, the backend's sampling stream is
+        reseeded from ``scope + (method, budget)`` before each method's
+        calibration circuits run, making the measured calibration a pure
+        function of its identity rather than of execution history.
+    ``cache``
+        A :class:`~repro.pipeline.cache.CalibrationCache` (duck-typed:
+        ``lookup``/``store``).  Reusable methods whose key was measured
+        before skip their calibration circuits, restore the memoized state
+        and replay the recorded budget spend — bit-identical to measuring
+        again under the same scope, just without the device time.
+    ``execution_scope``
+        Stable tokens (typically including the circuit index) reseeding the
+        target-circuit sampling stream per method, so target shot noise is
+        independent of whether calibration was cached.
+
+    With all three omitted this is exactly the legacy protocol.
+    """
+    if cache is not None and (calibration_scope is None or execution_scope is None):
+        # Without a calibration scope the key degenerates to (method, shots),
+        # which collides across backends/trials and would silently restore a
+        # calibration measured on a different noise draw.  Without an
+        # execution scope a cache hit would leave the target circuit sampling
+        # from wherever the stream happens to sit — no longer bit-identical
+        # to a cold run.
+        raise ValueError(
+            "run_suite_cached needs calibration_scope and execution_scope "
+            "when a cache is used"
+        )
     results: Dict[str, MethodResult] = {}
     for name in suite.names():
         factory = suite.factories[name]
         budget = ShotBudget(total_shots)
         try:
             mitigator = factory()
-            mitigator.prepare(backend, budget)
+            key = (calibration_scope or ()) + (name, int(total_shots))
+            # Only state-bearing methods participate in caching; Bare is
+            # reusable but snapshots nothing, and probing for it would log
+            # a structural miss on every run.
+            cacheable = (
+                cache is not None
+                and mitigator.reusable
+                and type(mitigator).calibration_state
+                is not Mitigator.calibration_state
+            )
+            restored = False
+            if cacheable:
+                record = cache.lookup(key)
+                if record is not None:
+                    mitigator.load_calibration_state(record.state)
+                    budget.replay(record.shots_spent, record.circuits_executed)
+                    restored = True
+            if not restored:
+                if calibration_scope is not None:
+                    backend.reseed(stable_rng("calibration", key))
+                spent_before = budget.spent
+                circuits_before = budget.circuits_executed
+                mitigator.prepare(backend, budget)
+                if cacheable:
+                    state = mitigator.calibration_state()
+                    if state is not None:
+                        cache.store(
+                            key,
+                            state,
+                            budget.spent - spent_before,
+                            budget.circuits_executed - circuits_before,
+                        )
+            if execution_scope is not None:
+                backend.reseed(
+                    stable_rng("execution", execution_scope, name, int(total_shots))
+                )
             counts = mitigator.execute(circuit, backend, budget)
         except NotScalableError as exc:
             results[name] = MethodResult(

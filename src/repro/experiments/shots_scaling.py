@@ -21,12 +21,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.backends.backend import SimulatedBackend
-from repro.backends.profiles import architecture_backend
-from repro.circuits.library import ghz_bfs
-from repro.experiments.ghz_sweep import ghz_ideal_distribution
-from repro.experiments.runner import default_method_suite, run_suite_once
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.utils.rng import RandomState, seed_to_int
 
 __all__ = ["ShotsScalingResult", "shots_scaling_experiment"]
 
@@ -68,43 +64,41 @@ def shots_scaling_experiment(
     methods: Optional[Sequence[str]] = None,
     trials: int = 2,
     seed: RandomState = 0,
+    workers: Optional[int] = None,
 ) -> ShotsScalingResult:
-    """Sweep the per-method shot budget on a fixed GHZ benchmark."""
+    """Sweep the per-method shot budget on a fixed GHZ benchmark.
+
+    Each trial is one :mod:`repro.pipeline` task holding its device noise
+    draw fixed across every budget point (the §V-A protocol); ``workers``
+    fans trials over a process pool with bit-identical results.
+    """
     result = ShotsScalingResult(
         num_qubits=int(num_qubits),
         budgets=[int(b) for b in budgets],
         trials=int(trials),
     )
-    master = ensure_rng(seed)
-    trial_rngs = spawn_rngs(master, trials)
-    backends = [
-        architecture_backend(
-            architecture,
-            num_qubits,
-            error_1q=0.0,
-            error_2q=0.0,
-            correlation_placement="coupling",
-            rng=rng,
-        )
-        for rng in trial_rngs
-    ]
-    ideal = ghz_ideal_distribution(num_qubits)
+    spec = SweepSpec(
+        backends=(
+            BackendSpec(
+                kind="architecture",
+                name=architecture,
+                qubits=int(num_qubits),
+                gate_noise=False,
+                correlation_placement="coupling",
+            ),
+        ),
+        circuits=(CircuitSpec(),),
+        shots=tuple(result.budgets),
+        methods=None if methods is None else tuple(methods),
+        trials=result.trials,
+        seed=seed_to_int(seed),
+        full_max_qubits=int(num_qubits),
+        linear_max_qubits=int(num_qubits),
+    )
+    sweep = run_sweep(spec, workers=workers)
     for budget in result.budgets:
-        per_method: Dict[str, List[float]] = {}
-        for backend, rng in zip(backends, trial_rngs):
-            suite = default_method_suite(
-                backend.coupling_map,
-                rng=rng,
-                include=methods,
-                full_max_qubits=num_qubits,
-                linear_max_qubits=num_qubits,
+        for name in sweep.methods():
+            result.errors.setdefault(name, []).append(
+                sweep.error_samples(0, name, shots=budget)
             )
-            circuit = ghz_bfs(backend.coupling_map)
-            outcome = run_suite_once(suite, circuit, backend, budget, ideal=ideal)
-            for name, res in outcome.items():
-                bucket = per_method.setdefault(name, [])
-                if res.available and res.error is not None:
-                    bucket.append(res.error)
-        for name, samples in per_method.items():
-            result.errors.setdefault(name, []).append(samples)
     return result

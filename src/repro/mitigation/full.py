@@ -84,6 +84,14 @@ class FullCalibrationMitigator(Mitigator):
             )
         self.calibration = CalibrationMatrix.from_counts(qubits, counts_by_prepared)
 
+    def calibration_state(self) -> Optional[dict]:
+        if self.calibration is None:
+            raise RuntimeError("Full calibration not prepared")
+        return {"calibration": self.calibration}
+
+    def load_calibration_state(self, state: dict) -> None:
+        self.calibration = state["calibration"]
+
     def mitigate(self, counts: Counts) -> Counts:
         """Invert the full calibration matrix over the measured qubits."""
         if self.calibration is None:

@@ -116,6 +116,14 @@ class LinearCalibrationMitigator(Mitigator):
             )
         self.factors = factors
 
+    def calibration_state(self) -> Optional[dict]:
+        if self.factors is None:
+            raise RuntimeError("Linear calibration not prepared")
+        return {"factors": dict(self.factors)}
+
+    def load_calibration_state(self, state: dict) -> None:
+        self.set_factors(state["factors"])
+
     def set_factors(self, factors: Dict[int, CalibrationMatrix]) -> None:
         """Inject per-qubit calibrations (testing / reuse)."""
         for q, cal in factors.items():

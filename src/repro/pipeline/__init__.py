@@ -1,0 +1,54 @@
+"""Parallel sweep engine with calibration reuse.
+
+This subsystem turns the repo's per-figure experiment loops into one
+declarative, parallel, cache-aware pipeline:
+
+* :class:`~repro.pipeline.spec.SweepSpec` — a JSON-serialisable grid over
+  backends x circuits x shot budgets x methods x trials;
+* :class:`~repro.pipeline.runner.ParallelSweepRunner` /
+  :func:`~repro.pipeline.runner.run_sweep` — executes a spec over a
+  ``concurrent.futures`` process pool with per-task stable seed
+  derivation, so serial and parallel runs are bit-identical;
+* :class:`~repro.pipeline.cache.CalibrationCache` — memoizes
+  calibration-matrix state per (spec, point, trial, method, budget) so
+  repeated sweep cells reuse it instead of re-measuring, without changing
+  any method error (see the cache module docs for the argument).
+
+Quick start::
+
+    from repro.pipeline import BackendSpec, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        backends=(BackendSpec(kind="device", name="quito"),
+                  BackendSpec(kind="device", name="nairobi")),
+        shots=(32000,), trials=3, seed=0, full_max_qubits=5,
+    )
+    result = run_sweep(spec, workers=4)
+    print(result.summary_rows())
+
+The per-figure drivers in :mod:`repro.experiments` are thin adapters over
+this engine, and ``repro sweep`` exposes it on the command line.
+"""
+
+from repro.pipeline.cache import CalibrationCache, CalibrationRecord
+from repro.pipeline.runner import (
+    ParallelSweepRunner,
+    SweepRecord,
+    SweepResult,
+    map_tasks,
+    run_sweep,
+)
+from repro.pipeline.spec import BackendSpec, CircuitSpec, SweepSpec
+
+__all__ = [
+    "BackendSpec",
+    "CircuitSpec",
+    "SweepSpec",
+    "CalibrationCache",
+    "CalibrationRecord",
+    "ParallelSweepRunner",
+    "SweepRecord",
+    "SweepResult",
+    "map_tasks",
+    "run_sweep",
+]

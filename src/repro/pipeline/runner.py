@@ -1,0 +1,449 @@
+"""The parallel sweep engine.
+
+Executes a :class:`~repro.pipeline.spec.SweepSpec` as independent *tasks*
+(one per backend point x trial; one per backend point when the spec shares
+the noise draw across trials) over a ``concurrent.futures`` process pool —
+or serially in-process, which produces **bit-identical** results.  The
+identity holds because a task touches no shared mutable state and every
+stochastic stream it consumes derives from ``(spec seed, grid
+coordinates)`` via :func:`repro.utils.rng.stable_seed`:
+
+=====================  ==============================================
+stream                 derivation tokens
+=====================  ==============================================
+backend noise draw     ``("backend", digest, point[, trial])``
+suite rng (JIGSAW)     ``("suite", digest, point, trial, shots, ci)``
+calibration sampling   ``("calibration", scope + (method, shots))``
+target sampling        ``("execution", scope, method, shots)``
+=====================  ==============================================
+
+``digest`` is a stable hash of the spec's scientific fields, so two
+different specs can never share streams (or cache entries) by accident.
+
+Calibration reuse: each task owns a
+:class:`~repro.pipeline.cache.CalibrationCache`, hit by the sweep cells
+that share a calibration event (multiple circuits per trial; multiple
+trials when the backend draw is shared).  Because calibration events are
+pure functions of their key (see the cache module docs), reusing an entry
+— or re-measuring it cold — cannot change any number, only the wall-clock
+and the executed-circuit count.
+
+:func:`map_tasks` exposes the same serial/pool switch as a generic ordered
+map, used by the week-structured experiment drivers (ERR stability,
+correlation maps) whose work units are not method suites.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import QuantileSummary, summarize_quantiles
+from repro.pipeline.cache import CalibrationCache
+from repro.pipeline.spec import SweepSpec
+from repro.utils.rng import stable_rng, stable_seed
+
+__all__ = [
+    "SweepRecord",
+    "SweepResult",
+    "ParallelSweepRunner",
+    "run_sweep",
+    "map_tasks",
+]
+
+ProgressCallback = Callable[[int, int, "TaskOutcome"], None]
+
+
+# ----------------------------------------------------------------------
+# Result records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (backend point, trial, budget, circuit, method) outcome."""
+
+    backend_index: int
+    backend_label: str
+    trial: int
+    shots: int
+    circuit_index: int
+    circuit_label: str
+    method: str
+    error: Optional[float]
+    shots_spent: int
+    circuits_executed: int
+    not_applicable: bool
+    failure: str
+
+    @property
+    def available(self) -> bool:
+        return not self.not_applicable and self.error is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend_label,
+            "trial": self.trial,
+            "shots": self.shots,
+            "circuit": self.circuit_label,
+            "method": self.method,
+            "error": self.error,
+            "shots_spent": self.shots_spent,
+            "circuits_executed": self.circuits_executed,
+            "not_applicable": self.not_applicable,
+            "failure": self.failure,
+        }
+
+
+@dataclass
+class TaskOutcome:
+    """Everything one task ships back to the coordinator."""
+
+    backend_index: int
+    trials: Tuple[int, ...]
+    records: List[SweepRecord]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    saved_shots: int = 0
+    saved_circuits: int = 0
+    duration: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """Assembled sweep outcome: flat records plus aggregate accessors."""
+
+    spec: SweepSpec
+    records: List[SweepRecord]
+    wall_time: float = 0.0
+    workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    saved_shots: int = 0
+    saved_circuits: int = 0
+
+    # ------------------------------------------------------------------
+    def iter_records(
+        self,
+        backend_index: Optional[int] = None,
+        method: Optional[str] = None,
+        shots: Optional[int] = None,
+        circuit_index: Optional[int] = None,
+        trial: Optional[int] = None,
+    ) -> Iterator[SweepRecord]:
+        """Records matching every given filter, in canonical order."""
+        for rec in self.records:
+            if backend_index is not None and rec.backend_index != backend_index:
+                continue
+            if method is not None and rec.method != method:
+                continue
+            if shots is not None and rec.shots != shots:
+                continue
+            if circuit_index is not None and rec.circuit_index != circuit_index:
+                continue
+            if trial is not None and rec.trial != trial:
+                continue
+            yield rec
+
+    def methods(self) -> List[str]:
+        """Methods present, in first-seen (suite) order."""
+        out: List[str] = []
+        for rec in self.records:
+            if rec.method not in out:
+                out.append(rec.method)
+        return out
+
+    def error_samples(
+        self,
+        backend_index: int,
+        method: str,
+        shots: Optional[int] = None,
+        circuit_index: Optional[int] = None,
+    ) -> List[float]:
+        """Available per-trial (and per-circuit) errors for one cell."""
+        return [
+            rec.error
+            for rec in self.iter_records(
+                backend_index=backend_index,
+                method=method,
+                shots=shots,
+                circuit_index=circuit_index,
+            )
+            if rec.available
+        ]
+
+    def errors_by_method(self) -> Dict[str, List[Optional[float]]]:
+        """All errors per method in record order (``None`` where N/A)."""
+        out: Dict[str, List[Optional[float]]] = {}
+        for rec in self.records:
+            out.setdefault(rec.method, []).append(
+                rec.error if rec.available else None
+            )
+        return out
+
+    def _point_labels(self) -> List[str]:
+        """Per-point display labels, disambiguated when points repeat."""
+        labels = [b.label for b in self.spec.backends]
+        seen: Dict[str, int] = {}
+        for label in labels:
+            seen[label] = seen.get(label, 0) + 1
+        return [
+            f"{label}#{point}" if seen[label] > 1 else label
+            for point, label in enumerate(labels)
+        ]
+
+    def summary_rows(
+        self, lo: float = 0.1, hi: float = 0.9
+    ) -> Dict[str, Dict[str, Optional[QuantileSummary]]]:
+        """Table-II-style rows: method x backend-point cells.
+
+        Cells aggregate over trials and circuits; when the spec sweeps
+        several budgets the columns are ``label@shots``; duplicate backend
+        points are disambiguated as ``label#point``.
+        """
+        multi_budget = len(self.spec.shots) > 1
+        point_labels = self._point_labels()
+        rows: Dict[str, Dict[str, Optional[QuantileSummary]]] = {}
+        for method in self.methods():
+            cells: Dict[str, Optional[QuantileSummary]] = {}
+            for point, plabel in enumerate(point_labels):
+                for shots in self.spec.shots:
+                    label = f"{plabel}@{shots}" if multi_budget else plabel
+                    samples = self.error_samples(point, method, shots=shots)
+                    cells[label] = (
+                        summarize_quantiles(samples, lo, hi) if samples else None
+                    )
+            rows[method] = cells
+        return rows
+
+    def column_labels(self) -> List[str]:
+        multi_budget = len(self.spec.shots) > 1
+        return [
+            f"{label}@{s}" if multi_budget else label
+            for label in self._point_labels()
+            for s in self.spec.shots
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "records": [rec.to_dict() for rec in self.records],
+            "wall_time": self.wall_time,
+            "workers": self.workers,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "saved_shots": self.saved_shots,
+                "saved_circuits": self.saved_circuits,
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ----------------------------------------------------------------------
+# Task execution (runs inside worker processes)
+# ----------------------------------------------------------------------
+def _spec_digest(spec: SweepSpec) -> int:
+    """Stable hash of the scientific spec fields (stream/cache namespace)."""
+    data = spec.to_dict()
+    data.pop("reuse_calibration", None)  # caching policy is not identity
+    return stable_seed("spec", repr(sorted(data.items())))
+
+
+def _execute_task(
+    spec: SweepSpec, point: int, trials: Tuple[int, ...]
+) -> TaskOutcome:
+    """Run every (trial, budget, circuit, method) cell of one task.
+
+    ``trials`` is a single trial normally, or all of a point's trials when
+    the spec shares the backend draw across them (they then also share
+    calibration, so co-locating them maximises cache reuse).
+    """
+    # Imported lazily: repro.experiments imports this package for its
+    # drivers, so a module-level import here would be circular.
+    from repro.experiments.runner import default_method_suite, run_suite_cached
+
+    start = time.perf_counter()
+    digest = _spec_digest(spec)
+    bspec = spec.backends[point]
+
+    # One cache per task: the key structure makes cross-task hits impossible
+    # (keys embed the trial, and shared-backend trials are co-located in one
+    # task), so a longer-lived cache would only retain dead state.
+    cache = CalibrationCache() if spec.reuse_calibration else None
+
+    records: List[SweepRecord] = []
+    backend = None
+    for trial in trials:
+        noise_tokens: Tuple = ("backend", digest, point)
+        cal_scope: Tuple = ("cal", digest, point)
+        if not spec.share_backend_across_trials:
+            noise_tokens += (trial,)
+            cal_scope += (trial,)
+        if backend is None or not spec.share_backend_across_trials:
+            backend = bspec.build(stable_rng(*noise_tokens))
+        for shots in spec.shots:
+            for ci, cspec in enumerate(spec.circuits):
+                circuit = cspec.build(backend.coupling_map)
+                ideal = cspec.ideal_distribution(circuit)
+                suite = default_method_suite(
+                    backend.coupling_map,
+                    rng=stable_rng("suite", digest, point, trial, shots, ci),
+                    include=spec.methods,
+                    full_max_qubits=spec.full_max_qubits,
+                    linear_max_qubits=spec.linear_max_qubits,
+                    err_locality=spec.err_locality,
+                    jigsaw_subsets=spec.jigsaw_subsets,
+                    cmc_k=spec.cmc_k,
+                )
+                outcome = run_suite_cached(
+                    suite,
+                    circuit,
+                    backend,
+                    shots,
+                    ideal=ideal,
+                    cache=cache,
+                    calibration_scope=cal_scope,
+                    execution_scope=(digest, point, trial, shots, ci),
+                )
+                for name in suite.names():
+                    res = outcome[name]
+                    records.append(
+                        SweepRecord(
+                            backend_index=point,
+                            backend_label=bspec.label,
+                            trial=trial,
+                            shots=shots,
+                            circuit_index=ci,
+                            circuit_label=cspec.label,
+                            method=name,
+                            error=res.error,
+                            shots_spent=res.shots_spent,
+                            circuits_executed=res.circuits_executed,
+                            not_applicable=res.not_applicable,
+                            failure=res.failure,
+                        )
+                    )
+
+    result = TaskOutcome(
+        backend_index=point,
+        trials=tuple(trials),
+        records=records,
+        duration=time.perf_counter() - start,
+    )
+    if cache is not None:
+        s = cache.stats()
+        result.cache_hits = s.hits
+        result.cache_misses = s.misses
+        result.saved_shots = s.saved_shots
+        result.saved_circuits = s.saved_circuits
+    return result
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+class ParallelSweepRunner:
+    """Executes sweep specs, serially or over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        ``None``/``0``/``1`` runs in-process (deterministic reference
+        path); ``n > 1`` fans tasks out over ``n`` worker processes.
+        Results are bit-identical either way — the pool only changes
+        wall-clock time.
+    progress:
+        Optional ``callback(done, total, outcome)`` invoked as tasks
+        complete (in completion order, which under a pool is not the
+        canonical order; the assembled result always is).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.workers = workers
+        self.progress = progress
+
+    def effective_workers(self, spec: SweepSpec) -> int:
+        if self.workers is None or self.workers <= 1:
+            return 1
+        return max(1, min(int(self.workers), spec.num_tasks))
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        start = time.perf_counter()
+        coords = spec.task_coordinates()
+        workers = self.effective_workers(spec)
+        outcomes: Dict[Tuple[int, Tuple[int, ...]], TaskOutcome] = {}
+        if workers == 1:
+            for done, (point, trials) in enumerate(coords, start=1):
+                outcome = _execute_task(spec, point, trials)
+                outcomes[(point, trials)] = outcome
+                if self.progress is not None:
+                    self.progress(done, len(coords), outcome)
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_task, spec, point, trials): (point, trials)
+                    for point, trials in coords
+                }
+                from concurrent.futures import as_completed
+
+                for done, future in enumerate(as_completed(futures), start=1):
+                    outcome = future.result()
+                    outcomes[futures[future]] = outcome
+                    if self.progress is not None:
+                        self.progress(done, len(coords), outcome)
+
+        # Reassemble in canonical task order so the record list (and hence
+        # every downstream accessor) is identical for any worker count.
+        records: List[SweepRecord] = []
+        result = SweepResult(spec=spec, records=records, workers=workers)
+        for coord in coords:
+            outcome = outcomes[coord]
+            records.extend(outcome.records)
+            result.cache_hits += outcome.cache_hits
+            result.cache_misses += outcome.cache_misses
+            result.saved_shots += outcome.saved_shots
+            result.saved_circuits += outcome.saved_circuits
+        result.wall_time = time.perf_counter() - start
+        return result
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """One-call convenience: ``ParallelSweepRunner(workers).run(spec)``."""
+    return ParallelSweepRunner(workers=workers, progress=progress).run(spec)
+
+
+# ----------------------------------------------------------------------
+# Generic ordered parallel map (week-structured drivers)
+# ----------------------------------------------------------------------
+def map_tasks(
+    fn: Callable,
+    items: Sequence,
+    workers: Optional[int] = None,
+) -> List:
+    """Apply ``fn`` to each item, serially or over a process pool.
+
+    Results come back in input order regardless of completion order, so a
+    driver's output cannot depend on scheduling.  ``fn`` and the items must
+    be picklable when ``workers > 1`` (module-level functions + plain
+    data).  Items should carry their own derived seeds — ``fn`` must not
+    reach for shared randomness.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    n = max(1, min(int(workers), len(items)))
+    with ProcessPoolExecutor(max_workers=n) as pool:
+        return list(pool.map(fn, items))

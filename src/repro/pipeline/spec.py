@@ -1,0 +1,343 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names a grid — backends (architecture families at
+chosen sizes, or IBM-like device profiles) x target circuits x total shot
+budgets x mitigation methods x independent trials — without saying anything
+about *how* it runs.  The :mod:`repro.pipeline.runner` engine executes the
+same spec serially or over a process pool with bit-identical results,
+because every stochastic stream a trial consumes is derived from the spec
+seed and the trial's grid coordinates (via
+:func:`repro.utils.rng.stable_seed`), never from execution order.
+
+Specs serialise to/from JSON so a sweep can be version-controlled and
+replayed from the command line (``repro sweep --spec grid.json``)::
+
+    {
+      "backends": [{"kind": "device", "name": "quito"},
+                   {"kind": "architecture", "name": "grid", "qubits": 6}],
+      "circuits": [{"kind": "ghz", "root": 0}],
+      "shots": [16000],
+      "methods": ["Bare", "Linear", "CMC"],
+      "trials": 3,
+      "seed": 7
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.backends.backend import SimulatedBackend
+from repro.backends.profiles import (
+    ARCHITECTURES,
+    DEVICE_PROFILES,
+    architecture_backend,
+    device_profile_backend,
+)
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import ghz_bfs
+from repro.topology.coupling_map import CouplingMap
+
+__all__ = ["BackendSpec", "CircuitSpec", "SweepSpec"]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One backend point of a sweep grid.
+
+    ``kind="architecture"`` builds a simulated-architecture device
+    (:func:`~repro.backends.profiles.architecture_backend`; ``qubits``
+    required), ``kind="device"`` an IBM-like profile
+    (:func:`~repro.backends.profiles.device_profile_backend`).  The noise
+    *draw* is taken from the rng the engine passes to :meth:`build`, so one
+    spec point yields an independent device realisation per trial (or a
+    shared one, under ``SweepSpec.share_backend_across_trials``).
+
+    ``correlation_placement`` keeps :func:`architecture_backend`'s paper
+    default of ``"none"`` ("biased but not correlated", §V-A); pass
+    ``"coupling"``/``"off_coupling"`` to inject correlated readout channels
+    (the GHZ-sweep driver does, per its documented substitution).
+    """
+
+    kind: str
+    name: str
+    qubits: Optional[int] = None
+    gate_noise: bool = True
+    correlation_placement: str = "none"
+    error_1q: float = 0.001
+    error_2q: float = 0.01
+    readout_low: float = 0.02
+    readout_high: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("architecture", "device"):
+            raise ValueError(f"unknown backend kind {self.kind!r}")
+        if self.kind == "architecture":
+            if self.name not in ARCHITECTURES:
+                raise KeyError(
+                    f"unknown architecture {self.name!r}; known: "
+                    f"{sorted(ARCHITECTURES)}"
+                )
+            if self.qubits is None or self.qubits < 1:
+                raise ValueError("architecture backends need qubits >= 1")
+        else:
+            # Same normalisation device_profile_backend applies, so specs
+            # accept the published "ibm_"/"ibmq_"-prefixed spellings too.
+            key = self.name.lower().removeprefix("ibm_").removeprefix("ibmq_")
+            if key not in DEVICE_PROFILES:
+                raise KeyError(
+                    f"unknown device profile {self.name!r}; known: "
+                    f"{sorted(DEVICE_PROFILES)}"
+                )
+            object.__setattr__(self, "name", key)
+            # Device profiles fix their own noise recipe; accepting these
+            # fields here would silently ignore them (while still changing
+            # the spec digest, and so every derived stream).
+            defaults = {
+                f.name: f.default
+                for f in fields(type(self))
+                if f.name
+                in (
+                    "correlation_placement",
+                    "error_1q",
+                    "error_2q",
+                    "readout_low",
+                    "readout_high",
+                )
+            }
+            overridden = [
+                name for name, d in defaults.items() if getattr(self, name) != d
+            ]
+            if overridden:
+                raise ValueError(
+                    f"device profiles fix their noise recipe; "
+                    f"{overridden} cannot be overridden (use gate_noise, or "
+                    f"an architecture backend)"
+                )
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable point label (sweep table column header)."""
+        if self.kind == "architecture":
+            return f"{self.name}-{self.qubits}q"
+        return self.name.lower()
+
+    def build(self, rng: np.random.Generator) -> SimulatedBackend:
+        """Realise the backend, drawing its noise model from ``rng``."""
+        if self.kind == "architecture":
+            return architecture_backend(
+                self.name,
+                int(self.qubits),  # type: ignore[arg-type]
+                error_1q=self.error_1q if self.gate_noise else 0.0,
+                error_2q=self.error_2q if self.gate_noise else 0.0,
+                readout_low=self.readout_low,
+                readout_high=self.readout_high,
+                correlation_placement=self.correlation_placement,  # type: ignore[arg-type]
+                rng=rng,
+            )
+        return device_profile_backend(self.name, rng=rng, gate_noise=self.gate_noise)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BackendSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """One target-circuit point: a GHZ fan-out parameterised by root/size.
+
+    The GHZ benchmark is the paper's only target circuit (§V-B); varying
+    ``root`` produces distinct fan-out orders over the same device (distinct
+    circuits with the same ideal bimodal distribution), and ``num_qubits``
+    grows GHZ_n on a fixed device as in Figs. 13-15.
+    """
+
+    kind: str = "ghz"
+    root: int = 0
+    num_qubits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind != "ghz":
+            raise ValueError(
+                f"unknown circuit kind {self.kind!r} (only 'ghz' is defined)"
+            )
+
+    @property
+    def label(self) -> str:
+        size = "" if self.num_qubits is None else f"_{self.num_qubits}"
+        return f"{self.kind}{size}@root{self.root}"
+
+    def build(self, coupling_map: CouplingMap) -> Circuit:
+        return ghz_bfs(coupling_map, root=self.root, num_qubits=self.num_qubits)
+
+    def ideal_distribution(self, circuit: Circuit) -> np.ndarray:
+        """Ideal outcome distribution over the circuit's measured qubits."""
+        k = len(circuit.measured_qubits)
+        ideal = np.zeros(1 << k)
+        ideal[0] = ideal[-1] = 0.5
+        return ideal
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CircuitSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full sweep grid plus the suite options shared by every point.
+
+    Execution semantics (enforced by the runner, documented here because
+    they define what a spec *means*):
+
+    * one task = one (backend point, trial); tasks are independent and may
+      run in any order, in any process;
+    * per-trial streams (noise draw, calibration sampling, target sampling,
+      JIGSAW subset draws) derive from ``seed`` + grid coordinates, so
+      results are bit-identical for any worker count;
+    * ``share_backend_across_trials=True`` pins one noise draw per backend
+      point — trials then differ only in target shot noise, and calibration
+      becomes shareable across trials (the paper's §VII-A reuse scenario);
+    * ``reuse_calibration=True`` memoizes calibration per (point, trial,
+      method, budget) — see :mod:`repro.pipeline.cache` for why hits cannot
+      change results.
+    """
+
+    backends: Tuple[BackendSpec, ...]
+    circuits: Tuple[CircuitSpec, ...] = (CircuitSpec(),)
+    shots: Tuple[int, ...] = (16000,)
+    methods: Optional[Tuple[str, ...]] = None
+    trials: int = 1
+    seed: int = 0
+    full_max_qubits: int = 10
+    linear_max_qubits: Optional[int] = None
+    err_locality: int = 3
+    jigsaw_subsets: int = 4
+    cmc_k: int = 1
+    share_backend_across_trials: bool = False
+    reuse_calibration: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "backends", tuple(self.backends))
+        object.__setattr__(self, "circuits", tuple(self.circuits))
+        object.__setattr__(self, "shots", tuple(int(s) for s in self.shots))
+        if self.methods is not None:
+            object.__setattr__(self, "methods", tuple(self.methods))
+        if not self.backends:
+            raise ValueError("spec needs at least one backend")
+        if not self.circuits:
+            raise ValueError("spec needs at least one circuit")
+        if not self.shots or any(s < 1 for s in self.shots):
+            raise ValueError("shot budgets must be positive")
+        if len(set(self.shots)) != len(self.shots):
+            # records are keyed by budget value, so duplicate budgets would
+            # pool their samples indistinguishably
+            raise ValueError(f"duplicate shot budgets in {self.shots}")
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+        if not isinstance(self.seed, int):
+            raise TypeError("spec seed must be an int (stable derivation)")
+        if self.methods is not None:
+            from repro.experiments.runner import METHOD_ORDER
+
+            unknown = set(self.methods) - set(METHOD_ORDER)
+            if unknown:
+                raise KeyError(f"unknown methods: {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """Independent units of parallel work.
+
+        One task per (backend point, trial) — except under
+        ``share_backend_across_trials``, where all trials of a point share
+        one noise draw *and* one calibration, so they form a single task
+        (splitting them across workers would force each worker to re-measure
+        the shared calibration, paying device time for nothing).
+        """
+        if self.share_backend_across_trials:
+            return len(self.backends)
+        return len(self.backends) * self.trials
+
+    @property
+    def num_runs(self) -> int:
+        """Total method-suite invocations the sweep performs."""
+        return (
+            len(self.backends)
+            * self.trials
+            * len(self.circuits)
+            * len(self.shots)
+        )
+
+    def task_coordinates(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """All (backend_index, trials) task units, in canonical order."""
+        if self.share_backend_across_trials:
+            return [
+                (point, tuple(range(self.trials)))
+                for point in range(len(self.backends))
+            ]
+        return [
+            (point, (trial,))
+            for point in range(len(self.backends))
+            for trial in range(self.trials)
+        ]
+
+    def with_options(self, **changes) -> "SweepSpec":
+        """A copy with fields replaced (convenience over dataclasses.replace)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data = {
+            "backends": [b.to_dict() for b in self.backends],
+            "circuits": [c.to_dict() for c in self.circuits],
+            "shots": list(self.shots),
+            "methods": None if self.methods is None else list(self.methods),
+            "trials": self.trials,
+            "seed": self.seed,
+            "full_max_qubits": self.full_max_qubits,
+            "linear_max_qubits": self.linear_max_qubits,
+            "err_locality": self.err_locality,
+            "jigsaw_subsets": self.jigsaw_subsets,
+            "cmc_k": self.cmc_k,
+            "share_backend_across_trials": self.share_backend_across_trials,
+            "reuse_calibration": self.reuse_calibration,
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise KeyError(f"unknown spec fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs["backends"] = tuple(
+            BackendSpec.from_dict(b) for b in data.get("backends", ())
+        )
+        if "circuits" in data:
+            kwargs["circuits"] = tuple(
+                CircuitSpec.from_dict(c) for c in data["circuits"]
+            )
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_json_file(cls, path) -> "SweepSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

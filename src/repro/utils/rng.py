@@ -11,11 +11,20 @@ many are drawn.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Union
 
 import numpy as np
 
-__all__ = ["RandomState", "ensure_rng", "spawn_rngs", "derive_rng"]
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_rngs",
+    "derive_rng",
+    "stable_seed",
+    "stable_rng",
+    "seed_to_int",
+]
 
 RandomState = Union[int, np.random.Generator, None]
 
@@ -50,3 +59,33 @@ def derive_rng(seed: RandomState, *tokens: object) -> np.random.Generator:
     mix = hash(tuple(tokens)) & 0x7FFFFFFF
     ss = np.random.SeedSequence([base & 0x7FFFFFFF, mix])
     return np.random.default_rng(ss)
+
+
+def stable_seed(*tokens: object) -> int:
+    """A 63-bit seed that is a pure function of ``tokens``.
+
+    Unlike :func:`derive_rng`, which goes through Python's ``hash()`` (salted
+    per process for strings), this digest is identical across interpreter
+    processes — the property the parallel sweep engine relies on to make a
+    process-pool run bit-identical to a serial one.  Tokens must have stable
+    ``repr``s (ints, strs, bools, None, and nested tuples of those).
+    """
+    digest = hashlib.sha256(repr(tokens).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & 0x7FFFFFFFFFFFFFFF
+
+
+def stable_rng(*tokens: object) -> np.random.Generator:
+    """A Generator seeded from :func:`stable_seed` of ``tokens``."""
+    return np.random.default_rng(np.random.SeedSequence(stable_seed(*tokens)))
+
+
+def seed_to_int(seed: RandomState) -> int:
+    """Collapse a :data:`RandomState` to an integer root seed.
+
+    Integers pass through; a Generator (or ``None``) contributes one draw.
+    The sweep engine requires integer roots so that every derived stream is
+    reproducible from the spec alone.
+    """
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    return int(ensure_rng(seed).integers(0, 2**63 - 1))
