@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Benchmark entry point: run the ``test_bench_*`` suite, emit JSON.
+
+Runs the benchmark tests under pytest (the perf-pinning ones by default,
+``--all`` for the full paper-regeneration suite), collects every
+machine-readable ``*.bench.json`` blob the benchmarks write under
+``benchmarks/results/``, and folds them — wall-time per benchmark plus
+speedup vs the naive serial baseline — into one ``BENCH_trajectories.json``
+artefact.  CI runs this as a non-blocking job so the repo accumulates a perf
+trajectory over time; locally:
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --all --output /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+DEFAULT_OUTPUT = BENCH_DIR / "BENCH_trajectories.json"
+
+# Perf-pinning benchmarks: fast, assert speedup floors, write *.bench.json.
+PERF_BENCHES = [
+    "test_bench_batched_trajectories.py",
+]
+
+
+def run_pytest(selection: list[str]) -> tuple[int, float]:
+    """Run the selected benchmark files; returns (exit code, wall time)."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    # Under this entry point the wall-clock acceptance floors are enforced
+    # (the tier-1 suite relaxes them — see test_bench_batched_trajectories).
+    env["REPRO_BENCH_STRICT"] = "1"
+    cmd = [sys.executable, "-m", "pytest", "-q", *selection]
+    t0 = time.perf_counter()
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    return proc.returncode, time.perf_counter() - t0
+
+
+def collect_records() -> list[dict]:
+    records = []
+    for path in sorted(RESULTS_DIR.glob("*.bench.json")):
+        try:
+            records.append(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError) as exc:
+            records.append({"name": path.stem, "error": str(exc)})
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="run the full benchmarks/ suite instead of the perf pins",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON artefact (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--skip-run",
+        action="store_true",
+        help="only collect existing *.bench.json blobs (no pytest run)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.skip_run:
+        code, wall = 0, 0.0
+    else:
+        # Drop stale blobs so the artefact only contains records produced by
+        # this invocation (a previous --all run must not leak timings from a
+        # different machine/commit into a perf-pins artefact).
+        if RESULTS_DIR.is_dir():
+            for stale in RESULTS_DIR.glob("*.bench.json"):
+                stale.unlink()
+        selection = (
+            [str(BENCH_DIR)]
+            if args.all
+            else [str(BENCH_DIR / name) for name in PERF_BENCHES]
+        )
+        code, wall = run_pytest(selection)
+
+    artefact = {
+        "suite": "benchmarks" if args.all else "perf-pins",
+        "pytest_exit_code": code,
+        "suite_wall_time_s": wall,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": collect_records(),
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(artefact, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(artefact['benchmarks'])} benchmark record(s))")
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

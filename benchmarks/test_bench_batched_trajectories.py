@@ -1,0 +1,181 @@
+"""Batched trajectory engine benchmark: the ISSUE 2 acceptance workload.
+
+GHZ-12, 128 trajectories, 16000 shots, single core — the exact shape of one
+noisy circuit evaluation inside the Figs. 13-15 architecture sweeps — under:
+
+1. the **pre-batch serial trajectory loop** (one dense-engine circuit
+   evaluation per trajectory with per-gate validation, kept verbatim as
+   ``TrajectorySimulator.serial_output_distribution``);
+2. the **batched engine** (one gate application across the whole trajectory
+   batch, Pauli insertions as slicing, lazy forking at first events).
+
+Asserted invariants (the ISSUE's acceptance criteria):
+
+* the batched engine is >= 5x faster than the serial loop on this workload;
+* both engines agree on the physics: same GHZ-peak mass within Monte-Carlo
+  tolerance, both distributions normalised;
+* the batched result is deterministic per seed.
+
+A machine-readable timing blob is written to
+``benchmarks/results/batched_trajectories.bench.json`` for
+``benchmarks/run_bench.py`` to fold into ``BENCH_trajectories.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.circuits.library import ghz_bfs
+from repro.simulator import TrajectorySimulator
+from repro.topology import linear
+
+from .conftest import RESULTS_DIR, run_once
+
+NUM_QUBITS = 12
+MAX_TRAJECTORIES = 128
+SHOTS = 16000
+SEED = 7
+REQUIRED_SPEEDUP = 5.0
+# The acceptance floor is only *asserted* under run_bench.py (which sets
+# this env var and runs in the non-blocking CI job).  The tier-1 suite also
+# collects this file on shared runners whose wall clocks are noisy, so
+# there it enforces a loose catastrophic-regression floor instead of the
+# full 5x — perf does not gate merges (see .github/workflows/ci.yml).
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+RELAXED_SPEEDUP = 2.0
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_batched_trajectories(benchmark, emit):
+    qc = ghz_bfs(linear(NUM_QUBITS))
+    sim = TrajectorySimulator(
+        error_1q=0.001, error_2q=0.01, max_trajectories=MAX_TRAJECTORIES
+    )
+    # Warm both paths (prepared-operator/fingerprint caches, allocator).
+    sim.output_distribution(qc, SHOTS, rng=0)
+    sim.serial_output_distribution(qc, SHOTS, rng=0)
+
+    batched_dist = run_once(
+        benchmark, lambda: sim.output_distribution(qc, SHOTS, rng=SEED)
+    )
+    t_batched = _best_of(lambda: sim.output_distribution(qc, SHOTS, rng=SEED))
+    t_serial = _best_of(
+        lambda: sim.serial_output_distribution(qc, SHOTS, rng=SEED), repeats=1
+    )
+    serial_dist = sim.serial_output_distribution(qc, SHOTS, rng=SEED)
+    speedup = t_serial / t_batched
+
+    # --- acceptance: >= 5x over the pre-batch serial trajectory loop ------
+    floor = REQUIRED_SPEEDUP if STRICT else RELAXED_SPEEDUP
+    assert speedup >= floor, (
+        f"batched engine ({t_batched * 1e3:.1f}ms) must be >= "
+        f"{floor}x faster than the serial loop "
+        f"({t_serial * 1e3:.1f}ms); got {speedup:.1f}x"
+    )
+
+    # --- same physics, deterministic --------------------------------------
+    assert np.isclose(batched_dist.sum(), 1.0)
+    assert np.isclose(serial_dist.sum(), 1.0)
+    peak_batched = batched_dist[0] + batched_dist[-1]
+    peak_serial = serial_dist[0] + serial_dist[-1]
+    assert abs(peak_batched - peak_serial) < 0.05
+    np.testing.assert_array_equal(
+        batched_dist, sim.output_distribution(qc, SHOTS, rng=SEED)
+    )
+
+    record = {
+        "name": "batched_trajectories_ghz12",
+        "workload": {
+            "circuit": f"ghz_bfs(linear({NUM_QUBITS}))",
+            "max_trajectories": MAX_TRAJECTORIES,
+            "shots": SHOTS,
+            "seed": SEED,
+        },
+        "wall_time_s": t_batched,
+        "baseline": "serial trajectory loop (pre-batch engine)",
+        "baseline_wall_time_s": t_serial,
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "batched_trajectories.bench.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    emit(
+        "batched_trajectories",
+        (
+            f"GHZ-{NUM_QUBITS}, {MAX_TRAJECTORIES} trajectories, "
+            f"{SHOTS} shots (single core)\n"
+            f"serial trajectory loop : {t_serial * 1e3:8.1f} ms\n"
+            f"batched engine         : {t_batched * 1e3:8.1f} ms "
+            f"({speedup:.1f}x, acceptance floor {REQUIRED_SPEEDUP:.0f}x)\n"
+            f"GHZ-peak mass          : serial {peak_serial:.4f} / "
+            f"batched {peak_batched:.4f}"
+        ),
+    )
+
+
+def test_bench_batched_channel_application(emit):
+    """Secondary pin: run_batch's one-pass measurement-channel application
+    must not be slower than circuit-by-circuit run() on a calibration-style
+    batch (many same-register circuits, no gate noise)."""
+    from repro.backends import SimulatedBackend
+    from repro.circuits.circuit import Circuit
+    from repro.noise import MeasurementErrorChannel, NoiseModel, ReadoutError
+
+    n = 10
+    errs = tuple(ReadoutError(0.02 + 0.001 * q, 0.05) for q in range(n))
+    model = NoiseModel(
+        n,
+        measurement_channel=MeasurementErrorChannel.from_readout_errors(errs),
+        readout_errors=errs,
+    )
+    circuits = []
+    for k in range(24):
+        qc = Circuit(n, name=f"cal-{k}")
+        for q in range(n):
+            if (k >> (q % 5)) & 1:
+                qc.x(q)
+        circuits.append(qc.measure_all())
+
+    loop_backend = SimulatedBackend(linear(n), model, rng=5)
+    t0 = time.perf_counter()
+    loop_counts = [loop_backend.run(c, 1000) for c in circuits]
+    t_loop = time.perf_counter() - t0
+
+    batch_backend = SimulatedBackend(linear(n), model, rng=5)
+    t0 = time.perf_counter()
+    batch_counts = batch_backend.run_batch(circuits, 1000)
+    t_batch = time.perf_counter() - t0
+
+    # Identical draws either way (same distributions, same stream order).
+    for a, b in zip(loop_counts, batch_counts):
+        assert dict(a) == dict(b)
+    # The batched route must not regress the loop.  (The win is modest here —
+    # the channel is a small share of noiseless evaluation — but it must
+    # never be a loss.)  Only enforced under run_bench.py; shared-runner
+    # tier-1 wall clocks are too noisy to gate on a 1.5x ratio.
+    if STRICT:
+        assert t_batch <= t_loop * 1.5, (t_batch, t_loop)
+
+    emit(
+        "batched_channel_application",
+        (
+            f"24 calibration circuits on {n} qubits, 1000 shots each\n"
+            f"circuit-by-circuit run() : {t_loop * 1e3:8.1f} ms\n"
+            f"run_batch (one channel pass): {t_batch * 1e3:8.1f} ms"
+        ),
+    )

@@ -54,29 +54,35 @@ def bayesian_update(global_table: Counts, sub_table: Counts) -> Counts:
                 f"sub-table qubit {q} not among global measured qubits"
             ) from None
     sub_probs = sub_table.to_probabilities()
-    # Partition the global table by subset value.
-    partitions: Dict[int, List[Tuple[int, float]]] = {}
-    for outcome, weight in global_table.items():
-        s = int(extract_bits(np.array([outcome]), positions)[0])
-        partitions.setdefault(s, []).append((outcome, weight))
-    new_weights: Dict[int, float] = {}
+    # Partition the global table by subset value, vectorised: one
+    # extract_bits call over the whole outcome array classifies every entry,
+    # and np.add.at accumulates the per-partition mass in one pass.
+    num_entries = len(global_table)
+    outcomes = np.fromiter(global_table.keys(), dtype=np.int64, count=num_entries)
+    weights = np.fromiter(global_table.values(), dtype=float, count=num_entries)
+    subset_values = extract_bits(outcomes, positions)
+    uniq, inverse = np.unique(subset_values, return_inverse=True)
+    part_total = np.zeros(uniq.size)
+    np.add.at(part_total, inverse, weights)
+    q_of_part = np.array([sub_probs.get(int(s), 0.0) for s in uniq])
+    # A partition survives only with sub-table mass AND global mass — the
+    # annihilation of the others is the pathological drop, kept by design.
+    valid = (q_of_part > 0.0) & (part_total > 0.0)
     total_shots = global_table.shots
-    for s, entries in partitions.items():
-        q_s = sub_probs.get(s, 0.0)
-        if q_s <= 0.0:
-            continue  # partition annihilated (the pathological drop)
-        part_total = sum(w for _, w in entries)
-        if part_total <= 0.0:
-            continue
-        for outcome, weight in entries:
-            new_weights[outcome] = new_weights.get(outcome, 0.0) + (
-                weight / part_total
-            ) * q_s * total_shots
-    if not new_weights:
+    scale = np.where(
+        valid, q_of_part / np.where(part_total > 0.0, part_total, 1.0) * total_shots, 0.0
+    )
+    keep = valid[inverse]
+    if not keep.any():
         # Every partition annihilated — degenerate; fall back to the
         # global table untouched rather than returning emptiness.
         return global_table
-    return Counts(new_weights, global_table.measured_qubits, global_table.num_qubits)
+    new_weights = weights[keep] * scale[inverse[keep]]
+    return Counts(
+        zip(outcomes[keep].tolist(), new_weights.tolist()),
+        global_table.measured_qubits,
+        global_table.num_qubits,
+    )
 
 
 class JigsawMitigator(Mitigator):

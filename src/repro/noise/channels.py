@@ -135,11 +135,16 @@ class MeasurementErrorChannel:
     # Application
     # ------------------------------------------------------------------
     def apply(self, probabilities: np.ndarray) -> np.ndarray:
-        """Apply the channel to a dense distribution over the full register."""
+        """Apply the channel to a dense distribution over the full register.
+
+        Also accepts a ``(B, 2^n)`` stack of distributions and pushes every
+        row through the channel in the same per-factor contraction (see
+        :mod:`repro.simulator.probability`).
+        """
         v = np.asarray(probabilities, dtype=float)
-        if v.size != 1 << self.num_qubits:
+        if v.ndim not in (1, 2) or v.shape[-1] != 1 << self.num_qubits:
             raise ValueError(
-                f"distribution of length {v.size} does not match "
+                f"distribution of shape {v.shape} does not match "
                 f"{self.num_qubits}-qubit register"
             )
         for f in self._factors:
@@ -152,7 +157,8 @@ class MeasurementErrorChannel:
         """Apply the channel when only ``measured_qubits`` are read out.
 
         The input distribution is indexed over ``measured_qubits``
-        (little-endian).  Only factors whose qubits are **all** measured
+        (little-endian); a ``(B, 2^k)`` stack is processed row-wise in one
+        pass.  Only factors whose qubits are **all** measured
         participate: readout errors — including correlated readout
         crosstalk — are caused by the measurement pulses themselves, so a
         qubit that is not read out contributes no error.  This is the
@@ -161,9 +167,9 @@ class MeasurementErrorChannel:
         """
         measured = check_qubit_indices(measured_qubits, self.num_qubits)
         v = np.asarray(probabilities, dtype=float)
-        if v.size != 1 << len(measured):
+        if v.ndim not in (1, 2) or v.shape[-1] != 1 << len(measured):
             raise ValueError(
-                f"distribution of length {v.size} does not match "
+                f"distribution of shape {v.shape} does not match "
                 f"{len(measured)} measured qubits"
             )
         if len(measured) == self.num_qubits and measured == tuple(range(self.num_qubits)):

@@ -6,13 +6,27 @@ Replaces the Qiskit Aer statevector simulator the paper uses (§V-A):
 * :mod:`repro.simulator.probability` — probability-vector kernels: apply a
   local stochastic channel to a dense outcome distribution (this is how the
   paper's measurement-error channels act: ideal distribution ∘ channel);
+* :mod:`repro.simulator.batched` — the same evolution for a batch of
+  statevectors at once (one contraction per gate for the whole batch, Pauli
+  insertions as slicing) — the trajectory hot path;
 * :mod:`repro.simulator.trajectories` — Monte-Carlo Pauli-trajectory noisy
-  simulation for gate (depolarising) errors;
+  simulation for gate (depolarising) errors, executed on the batched engine;
 * :mod:`repro.simulator.sampling` — multinomial sampling of distributions
   into :class:`~repro.counts.Counts`.
 """
 
-from repro.simulator.statevector import StatevectorSimulator, simulate_statevector
+from repro.simulator.batched import (
+    BatchedStatevectorSimulator,
+    DEFAULT_MEMORY_BUDGET_BYTES,
+    max_batch_rows,
+)
+from repro.simulator.statevector import (
+    PreparedOperator,
+    StatevectorSimulator,
+    prepare_circuit,
+    prepare_operator,
+    simulate_statevector,
+)
 from repro.simulator.probability import (
     apply_local_stochastic,
     apply_confusion_per_qubit,
@@ -22,6 +36,12 @@ from repro.simulator.trajectories import TrajectorySimulator
 from repro.simulator.sampling import sample_counts, sample_outcomes
 
 __all__ = [
+    "BatchedStatevectorSimulator",
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "max_batch_rows",
+    "PreparedOperator",
+    "prepare_circuit",
+    "prepare_operator",
     "StatevectorSimulator",
     "simulate_statevector",
     "apply_local_stochastic",

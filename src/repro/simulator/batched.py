@@ -1,0 +1,287 @@
+"""Batched dense statevector simulation.
+
+:class:`BatchedStatevectorSimulator` evolves ``B`` statevectors at once as a
+single amplitude tensor of shape ``(B, 2, ..., 2)`` — batch axis first, then
+the same qubit-axis layout as :class:`~repro.simulator.statevector
+.StatevectorSimulator` (qubit ``q`` on axis ``1 + n - 1 - q``).  Each gate is
+applied **once** across the whole batch with one tensordot contraction, so a
+workload that evaluates the same circuit under ``B`` perturbations (the
+Pauli-trajectory noise average) costs one pass of ``O(B 2^n)`` BLAS work per
+gate instead of ``B`` separate Python-level circuit evaluations.
+
+Per-trajectory Pauli insertions never need a matrix contraction at all:
+
+* ``X`` on qubit ``q`` is a reversal of that qubit's axis;
+* ``Z`` is a sign flip of the ``|1>`` half of that axis;
+* ``Y = i·X·Z`` is both plus a global ``i`` phase.
+
+:meth:`BatchedStatevectorSimulator.apply_pauli` implements these as pure
+slicing/sign operations on an arbitrary subset of batch rows, which is what
+lets the trajectory engine collapse its per-trajectory loop (see
+:mod:`repro.simulator.trajectories`).
+
+Memory is the constraint that batching introduces: the batch tensor holds
+``B · 2^n`` complex amplitudes (16 bytes each), so :func:`max_batch_rows`
+caps ``B`` under a byte budget (default 256 MB) and callers chunk their
+trajectory sets accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.simulator.probability import marginalize_probabilities
+from repro.simulator.statevector import (
+    PreparedOperator,
+    prepare_circuit,
+    prepare_operator,
+)
+from repro.utils.validation import check_num_qubits
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "max_batch_rows",
+    "BatchedStatevectorSimulator",
+]
+
+DEFAULT_MEMORY_BUDGET_BYTES = 256 * 1024 * 1024
+
+_COMPLEX_ITEMSIZE = 16  # np.complex128
+
+
+def max_batch_rows(
+    num_qubits: int, budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES
+) -> int:
+    """Largest batch size whose amplitude tensor fits in ``budget_bytes``.
+
+    Always at least 1 — a single statevector that itself exceeds the budget
+    is the caller's problem (and the dense engine's ~20-24 qubit ceiling
+    bites first).
+    """
+    if budget_bytes <= 0:
+        raise ValueError("budget_bytes must be positive")
+    per_row = (1 << num_qubits) * _COMPLEX_ITEMSIZE
+    return max(1, budget_bytes // per_row)
+
+
+class BatchedStatevectorSimulator:
+    """``B`` simultaneous statevectors, one contraction per gate.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width shared by every batch row.
+    batch_size:
+        Number of independent statevectors ``B``.
+    """
+
+    def __init__(self, num_qubits: int, batch_size: int) -> None:
+        self.num_qubits = check_num_qubits(num_qubits, dense=True)
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = int(batch_size)
+        self._state: Optional[np.ndarray] = None
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return every batch row to |0...0>."""
+        state = np.zeros((self.batch_size,) + (2,) * self.num_qubits, dtype=complex)
+        state[(slice(None),) + (0,) * self.num_qubits] = 1.0
+        self._state = state
+
+    @property
+    def statevectors(self) -> np.ndarray:
+        """``(B, 2^n)`` amplitude matrix, columns little-endian outcome ints."""
+        return self._state.reshape(self.batch_size, -1).copy()
+
+    def _axis(self, qubit: int) -> int:
+        # Qubit q lives on axis 1 + (n-1-q): axis 0 is the batch, and within
+        # a row the first qubit axis is the highest bit (little-endian flat).
+        return 1 + self.num_qubits - 1 - qubit
+
+    # ------------------------------------------------------------------
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a ``2^m x 2^m`` unitary on ``qubits`` across the whole batch.
+
+        Matrix conventions match :meth:`StatevectorSimulator.apply_matrix`
+        (``qubits[0]`` is the matrix low bit).
+        """
+        self.apply_prepared(prepare_operator(matrix, qubits, self.num_qubits))
+
+    def _basis_slice(
+        self, qubits: Sequence[int], local: int, upto: Optional[int] = None
+    ) -> tuple:
+        """Indexer pinning ``qubits`` to the bits of local index ``local``.
+
+        ``qubits[j]`` takes bit ``j`` of ``local`` (matrix low-bit
+        convention); all other axes stay free.  ``upto`` restricts the batch
+        axis to the first ``upto`` rows (the lazy-forking active prefix).
+        """
+        idx = [slice(None)] * (self.num_qubits + 1)
+        if upto is not None:
+            idx[0] = slice(0, upto)
+        for j, q in enumerate(qubits):
+            idx[self._axis(q)] = (local >> j) & 1
+        return tuple(idx)
+
+    def load_rows(self, start: int, amplitudes: np.ndarray, count: int = 1) -> None:
+        """Broadcast one statevector into rows ``start:start+count``.
+
+        ``amplitudes`` is a flat ``(2^n,)`` vector — this is how the
+        trajectory engine *forks* trajectories off the shared clean prefix
+        state at their first error event.
+        """
+        amps = np.asarray(amplitudes, dtype=complex).reshape(-1)
+        if amps.size != 1 << self.num_qubits:
+            raise ValueError(
+                f"expected {1 << self.num_qubits} amplitudes, got {amps.size}"
+            )
+        if count < 1 or start < 0 or start + count > self.batch_size:
+            raise ValueError(
+                f"rows {start}:{start + count} out of range for batch of "
+                f"{self.batch_size}"
+            )
+        self._state[start : start + count] = amps.reshape((2,) * self.num_qubits)
+
+    def apply_prepared(self, op: PreparedOperator, upto: Optional[int] = None) -> None:
+        """Apply a pre-validated operator to the first ``upto`` rows (default all).
+
+        Dispatches on the operator's structure: diagonal and monomial
+        matrices (Z/S/T/CZ, X/Y/CX/SWAP, every Pauli) reduce to in-place
+        slice scaling and slice permutation — no contraction, no transpose
+        of the ``B·2^n`` tensor — and dense matrices (H, rotations) are
+        applied as explicit linear combinations of basis slices, which for a
+        batch tensor beats ``tensordot``'s transpose-copy-matmul pipeline.
+        """
+        state = self._state
+        dim = 1 << op.num_targets
+        if op.kind == "diagonal":
+            for k in range(dim):
+                d = op.diag[k]
+                if d != 1.0:
+                    state[self._basis_slice(op.qubits, k, upto)] *= d
+            return
+        if op.kind == "monomial":
+            self._apply_monomial(op, upto)
+            return
+        olds = [
+            np.ascontiguousarray(state[self._basis_slice(op.qubits, k, upto)])
+            for k in range(dim)
+        ]
+        for k in range(dim):
+            acc = None
+            for j in range(dim):
+                coeff = op.matrix[k, j]
+                if coeff == 0:
+                    continue
+                term = olds[j] * coeff
+                acc = term if acc is None else acc + term
+            state[self._basis_slice(op.qubits, k, upto)] = 0.0 if acc is None else acc
+
+    def _apply_monomial(self, op: PreparedOperator, upto: Optional[int]) -> None:
+        """Permute basis slices along the cycles of a monomial matrix."""
+        state = self._state
+        dim = 1 << op.num_targets
+        seen = [False] * dim
+        for start in range(dim):
+            if seen[start]:
+                continue
+            cycle = [start]
+            seen[start] = True
+            nxt = op.perm[start]
+            while nxt != start:
+                cycle.append(nxt)
+                seen[nxt] = True
+                nxt = op.perm[nxt]
+            if len(cycle) == 1:
+                phase = op.phases[start]
+                if phase != 1.0:
+                    state[self._basis_slice(op.qubits, start, upto)] *= phase
+                continue
+            # new[cycle[i]] = phases[cycle[i-1]] * old[cycle[i-1]]; walk the
+            # cycle backwards with one temporary slice.
+            temp = state[self._basis_slice(op.qubits, cycle[-1], upto)].copy()
+            for i in range(len(cycle) - 1, 0, -1):
+                src, dst = cycle[i - 1], cycle[i]
+                phase = op.phases[src]
+                moved = state[self._basis_slice(op.qubits, src, upto)]
+                state[self._basis_slice(op.qubits, dst, upto)] = (
+                    moved * phase if phase != 1.0 else moved
+                )
+            phase = op.phases[cycle[-1]]
+            state[self._basis_slice(op.qubits, cycle[0], upto)] = (
+                temp * phase if phase != 1.0 else temp
+            )
+
+    def apply_pauli(
+        self, pauli: str, qubit: int, rows: Optional[np.ndarray] = None
+    ) -> None:
+        """Apply a Pauli on ``qubit`` to ``rows`` (default: all) by slicing.
+
+        No matrix contraction happens: X reverses the qubit axis, Z negates
+        its ``|1>`` half, and Y composes both with a global ``i`` phase
+        (``Y = i·X·Z``), so the amplitudes agree with the matrix route to
+        machine precision.
+        """
+        name = pauli.lower()
+        if not (0 <= qubit < self.num_qubits):
+            raise ValueError(f"qubit {qubit} out of range")
+        ax = self._axis(qubit)
+        state = self._state
+        if name == "z":
+            idx = [slice(None)] * state.ndim
+            idx[ax] = 1
+            if rows is not None:
+                idx[0] = rows
+            state[tuple(idx)] *= -1.0
+        elif name == "x":
+            if rows is None:
+                self._state = np.ascontiguousarray(np.flip(state, axis=ax))
+            else:
+                state[rows] = np.flip(state[rows], axis=ax)
+        elif name == "y":
+            self.apply_pauli("z", qubit, rows)
+            self.apply_pauli("x", qubit, rows)
+            if rows is None:
+                self._state *= 1j
+            else:
+                self._state[rows] *= 1j
+        else:
+            raise ValueError(f"unknown Pauli {pauli!r}")
+
+    def run(self, circuit: Circuit) -> np.ndarray:
+        """Evaluate ``circuit`` from |0...0> on every row; returns amplitudes."""
+        ops = prepare_circuit(circuit, self.num_qubits)
+        self.reset()
+        for op in ops:
+            self.apply_prepared(op)
+        return self.statevectors
+
+    # ------------------------------------------------------------------
+    def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Per-row outcome probabilities, optionally marginalised onto ``qubits``.
+
+        Returns shape ``(B, 2^k)``; column index is little-endian over
+        ``qubits`` (bit k of the index = ``qubits[k]``), matching
+        :meth:`StatevectorSimulator.probabilities` row by row.
+        """
+        probs = (np.abs(self._state) ** 2).reshape(self.batch_size, -1)
+        if qubits is None:
+            return probs
+        return marginalize_probabilities(probs, list(qubits), self.num_qubits)
+
+    def mean_probabilities(
+        self, qubits: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Batch-averaged outcome distribution (the trajectory average)."""
+        return self.probabilities(qubits).mean(axis=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedStatevectorSimulator(num_qubits={self.num_qubits}, "
+            f"batch_size={self.batch_size})"
+        )

@@ -7,11 +7,19 @@ a local subset of qubits, without ever materialising the ``2^n x 2^n``
 global matrix: the dense vector is reshaped so the target qubits form one
 axis and the local matrix is applied with a single matmul (O(4^m * 2^n / 2^m)
 work for an m-qubit channel on n qubits).
+
+Batch axis
+----------
+Every kernel also accepts a **stack** of distributions of shape
+``(B, 2^n)`` and applies the channel to all ``B`` rows in the same single
+contraction — the backend uses this to push a whole batch of circuit
+distributions through the measurement channel at once.  A 1-D input returns
+1-D output; a 2-D input returns the same ``(B, 2^n)`` shape.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -22,11 +30,25 @@ __all__ = [
 ]
 
 
-def _as_tensor(vector: np.ndarray, num_bits: int) -> np.ndarray:
+def _as_tensor(vector: np.ndarray, num_bits: int) -> Tuple[np.ndarray, bool]:
+    """Reshape a distribution (or a ``(B, 2^n)`` stack) to qubit axes.
+
+    Returns the tensor plus whether the input carried a batch axis.
+    """
     v = np.asarray(vector, dtype=float)
-    if v.size != 1 << num_bits:
-        raise ValueError(f"vector length {v.size} != 2**{num_bits}")
-    return v.reshape((2,) * num_bits)
+    if v.ndim == 1:
+        if v.size != 1 << num_bits:
+            raise ValueError(f"vector length {v.size} != 2**{num_bits}")
+        return v.reshape((2,) * num_bits), False
+    if v.ndim == 2:
+        if v.shape[1] != 1 << num_bits:
+            raise ValueError(
+                f"batch row length {v.shape[1]} != 2**{num_bits}"
+            )
+        return v.reshape((v.shape[0],) + (2,) * num_bits), True
+    raise ValueError(
+        f"expected a distribution or a (B, 2^n) stack, got ndim={v.ndim}"
+    )
 
 
 def apply_local_stochastic(
@@ -35,7 +57,8 @@ def apply_local_stochastic(
     """Apply a local ``2^m x 2^m`` stochastic matrix on ``qubits``.
 
     The matrix low bit corresponds to ``qubits[0]``; the vector is indexed
-    little-endian (bit k = qubit k).  Returns a new dense vector.
+    little-endian (bit k = qubit k).  Returns a new dense vector, or a new
+    ``(B, 2^n)`` stack if the input was one (one contraction either way).
     """
     m = len(qubits)
     mat = np.asarray(matrix, dtype=float)
@@ -46,13 +69,17 @@ def apply_local_stochastic(
     for q in qubits:
         if not (0 <= q < num_bits):
             raise ValueError(f"qubit {q} out of range for {num_bits} bits")
-    tensor = _as_tensor(vector, num_bits)
-    # axis of qubit q is (num_bits - 1 - q); matrix low bit = qubits[0] means
-    # the matrix tensor's *last* input axis pairs with qubits[0].
+    tensor, batched = _as_tensor(vector, num_bits)
+    offset = 1 if batched else 0
+    # axis of qubit q is offset + (num_bits - 1 - q); matrix low bit =
+    # qubits[0] means the matrix tensor's *last* input axis pairs with
+    # qubits[0].
     mat_tensor = mat.reshape((2,) * (2 * m))
-    axes = [num_bits - 1 - q for q in reversed(qubits)]
+    axes = [offset + num_bits - 1 - q for q in reversed(qubits)]
     out = np.tensordot(mat_tensor, tensor, axes=(list(range(m, 2 * m)), axes))
     out = np.moveaxis(out, list(range(m)), axes)
+    if batched:
+        return out.reshape(tensor.shape[0], -1)
     return out.reshape(-1)
 
 
@@ -63,7 +90,9 @@ def apply_confusion_per_qubit(
 
     ``confusions[q]`` is the column-stochastic confusion matrix of qubit
     ``q``.  This is the linear (tensored) noise model of the simulated
-    architecture benchmarks (Figs. 13-15), applied in O(n 2^n).
+    architecture benchmarks (Figs. 13-15), applied in O(n 2^n) — or
+    O(B n 2^n) across a ``(B, 2^n)`` batch, with every per-qubit matmul
+    vectorised over the batch axis.
     """
     if len(confusions) != num_bits:
         raise ValueError(
@@ -80,14 +109,23 @@ def marginalize_probabilities(
 ) -> np.ndarray:
     """Marginalise a dense distribution onto bit positions ``keep_positions``.
 
-    ``keep_positions[k]`` becomes bit ``k`` of the result index.
+    ``keep_positions[k]`` becomes bit ``k`` of the result index.  A
+    ``(B, 2^n)`` stack marginalises every row at once to ``(B, 2^k)``.
     """
-    tensor = _as_tensor(vector, num_bits)
-    keep_axes = [num_bits - 1 - p for p in keep_positions]
-    other = tuple(a for a in range(num_bits) if a not in keep_axes)
+    tensor, batched = _as_tensor(vector, num_bits)
+    offset = 1 if batched else 0
+    keep_axes = [offset + num_bits - 1 - p for p in keep_positions]
+    other = tuple(
+        a for a in range(offset, offset + num_bits) if a not in keep_axes
+    )
     marg = tensor.sum(axis=other) if other else tensor
     remaining = sorted(keep_axes)
-    current_positions = [num_bits - 1 - a for a in remaining]
+    current_positions = [offset + num_bits - 1 - a for a in remaining]
     desired = list(reversed(list(keep_positions)))
-    perm = [current_positions.index(p) for p in desired]
-    return np.transpose(marg, perm).reshape(-1)
+    perm = list(range(offset)) + [
+        offset + current_positions.index(p) for p in desired
+    ]
+    out = np.transpose(marg, perm)
+    if batched:
+        return out.reshape(tensor.shape[0], -1)
+    return out.reshape(-1)

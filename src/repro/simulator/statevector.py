@@ -11,7 +11,8 @@ Practical ceiling is ~20-24 qubits (the paper's sweeps stop at 16).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +20,107 @@ from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate
 from repro.utils.validation import check_num_qubits
 
-__all__ = ["StatevectorSimulator", "simulate_statevector"]
+__all__ = [
+    "PreparedOperator",
+    "prepare_operator",
+    "prepare_circuit",
+    "StatevectorSimulator",
+    "simulate_statevector",
+]
+
+
+@dataclass(frozen=True)
+class PreparedOperator:
+    """A gate matrix validated, classified and reshaped for application, once.
+
+    ``apply_matrix`` re-validates its arguments and re-reshapes the matrix on
+    every call; for trajectory workloads the same circuit is applied hundreds
+    of times, so the per-gate checks are hoisted into this object.  ``tensor``
+    is the matrix as a ``(2,)*2m`` array (output axes then input axes) and
+    ``axes`` are the state axes it contracts against for an *unbatched*
+    ``(2,)*n`` state tensor (a batched engine offsets them by its batch axis).
+
+    ``kind`` records the matrix *structure* so engines can skip the general
+    contraction where cheaper arithmetic exists (this is what makes the
+    batched engine fast — a contraction over a ``B·2^n`` tensor pays for
+    transposes and temporaries that slice arithmetic avoids):
+
+    * ``"diagonal"`` — e.g. Z/S/T/RZ/CZ: multiply basis slices by ``diag``;
+    * ``"monomial"`` — one nonzero per row and column, e.g. X/Y/CX/SWAP:
+      a permutation of basis slices with per-slice ``phases``;
+    * ``"dense"`` — anything else (H, RX/RY, U3): general application.
+    """
+
+    tensor: np.ndarray
+    axes: Tuple[int, ...]
+    num_targets: int
+    qubits: Tuple[int, ...]
+    matrix: np.ndarray
+    kind: str
+    diag: Optional[np.ndarray] = None
+    perm: Optional[Tuple[int, ...]] = None
+    phases: Optional[np.ndarray] = None
+
+
+def prepare_operator(
+    matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> PreparedOperator:
+    """Validate ``matrix`` on ``qubits`` and pre-compute its application plan.
+
+    The matrix is interpreted with ``qubits[0]`` as its low bit, matching
+    :mod:`repro.circuits.gates`.
+    """
+    m = len(qubits)
+    mat = np.asarray(matrix, dtype=complex)
+    if mat.shape != (1 << m, 1 << m):
+        raise ValueError(f"matrix shape {mat.shape} does not act on {m} qubit(s)")
+    if len(set(qubits)) != m:
+        raise ValueError("duplicate qubits")
+    for q in qubits:
+        if not (0 <= q < num_qubits):
+            raise ValueError(f"qubit {q} out of range")
+    # Tensor the matrix as shape (2,)*2m: output axes then input axes.
+    # Matrix low bit = qubits[0]; in the (2,)*m tensor reshape, the *first*
+    # axis is the *highest* bit, so reverse the qubit order.
+    tensor = mat.reshape((2,) * (2 * m))
+    axes = tuple(num_qubits - 1 - q for q in reversed(qubits))
+
+    dim = 1 << m
+    kind, diag, perm, phases = "dense", None, None, None
+    nonzero = mat != 0
+    if not np.any(mat - np.diag(np.diagonal(mat))):
+        kind = "diagonal"
+        diag = np.diagonal(mat).copy()
+        diag.setflags(write=False)
+    elif (nonzero.sum(axis=0) == 1).all() and (nonzero.sum(axis=1) == 1).all():
+        kind = "monomial"
+        # Column k sends basis slice k to row perm[k] with weight phases[k].
+        perm = tuple(int(np.flatnonzero(nonzero[:, k])[0]) for k in range(dim))
+        phases = np.array([mat[perm[k], k] for k in range(dim)])
+        phases.setflags(write=False)
+    return PreparedOperator(
+        tensor=tensor,
+        axes=axes,
+        num_targets=m,
+        qubits=tuple(int(q) for q in qubits),
+        matrix=mat,
+        kind=kind,
+        diag=diag,
+        perm=perm,
+        phases=phases,
+    )
+
+
+def prepare_circuit(circuit: Circuit, num_qubits: int) -> Tuple[PreparedOperator, ...]:
+    """Prepare every instruction of ``circuit`` for repeated application."""
+    if circuit.num_qubits != num_qubits:
+        raise ValueError(
+            f"circuit has {circuit.num_qubits} qubits, simulator has {num_qubits}"
+        )
+    return tuple(
+        prepare_operator(inst.gate.matrix, inst.qubits, num_qubits)
+        for inst in circuit.instructions
+    )
 
 
 class StatevectorSimulator:
@@ -72,23 +173,12 @@ class StatevectorSimulator:
         The matrix is interpreted with ``qubits[0]`` as its low bit,
         matching :mod:`repro.circuits.gates`.
         """
-        m = len(qubits)
-        mat = np.asarray(matrix, dtype=complex)
-        if mat.shape != (1 << m, 1 << m):
-            raise ValueError(
-                f"matrix shape {mat.shape} does not act on {m} qubit(s)"
-            )
-        if len(set(qubits)) != m:
-            raise ValueError("duplicate qubits")
-        for q in qubits:
-            if not (0 <= q < self.num_qubits):
-                raise ValueError(f"qubit {q} out of range")
-        # Tensor the matrix as shape (2,)*2m: output axes then input axes.
-        # Matrix low bit = qubits[0]; in the (2,)*m tensor reshape, the
-        # *first* axis is the *highest* bit, so reverse the qubit order.
-        tensor = mat.reshape((2,) * (2 * m))
-        axes = self._axes(list(reversed(qubits)))
-        state = np.tensordot(tensor, self._state, axes=(list(range(m, 2 * m)), axes))
+        self.apply_prepared(prepare_operator(matrix, qubits, self.num_qubits))
+
+    def apply_prepared(self, op: PreparedOperator) -> None:
+        """Apply a pre-validated operator (the repeated-application fast path)."""
+        m, axes = op.num_targets, list(op.axes)
+        state = np.tensordot(op.tensor, self._state, axes=(list(range(m, 2 * m)), axes))
         # tensordot moved the contracted axes to the front (in `axes` order);
         # move them back home.
         state = np.moveaxis(state, list(range(m)), axes)
@@ -100,14 +190,9 @@ class StatevectorSimulator:
 
     def run(self, circuit: Circuit) -> np.ndarray:
         """Evaluate ``circuit`` from |0...0>; returns the flat statevector."""
-        if circuit.num_qubits != self.num_qubits:
-            raise ValueError(
-                f"circuit has {circuit.num_qubits} qubits, simulator has "
-                f"{self.num_qubits}"
-            )
         self.reset()
-        for inst in circuit.instructions:
-            self.apply_matrix(inst.gate.matrix, inst.qubits)
+        for op in prepare_circuit(circuit, self.num_qubits):
+            self.apply_prepared(op)
         return self.statevector
 
     # ------------------------------------------------------------------

@@ -17,18 +17,44 @@ distinct sampled trajectories is capped and reused with multiplicity — a
 controlled approximation whose resolution is the cap (default 256
 trajectories, i.e. error-distribution resolution of 1/256, well under the
 sampling noise of 16000-shot experiments).
+
+Execution model
+---------------
+All trajectories share the same base circuit and differ only in sparsely
+inserted Paulis, so the whole trajectory set is evolved as **one batch**: a
+:class:`~repro.simulator.batched.BatchedStatevectorSimulator` applies every
+circuit gate once across all trajectories, and the per-trajectory Pauli
+insertions land on individual batch rows as axis flips / sign masks (see
+that module's docs).  Event sampling is likewise vectorised — one uniform
+``(B, n_instructions)`` draw, with rejection resampling of the rows that
+drew no event — so no Python-level per-trajectory loop survives on the hot
+path.  The batch is chunked so the amplitude tensor stays under
+``memory_budget_bytes`` (default 256 MB).
+
+Determinism: every draw comes from the caller-supplied generator in a fixed
+order, so the trajectory average remains a pure function of ``(rng seed,
+circuit, shots)`` exactly as before.  The *values* differ from the pre-batch
+serial implementation (which interleaved uniform and Pauli draws per
+trajectory); :meth:`TrajectorySimulator.serial_output_distribution` keeps
+that historical stream as a reference, and the batched/serial engines are
+pinned equivalent *given the same events* in the test suite.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate, gate_matrix
-from repro.simulator.statevector import StatevectorSimulator
+from repro.simulator.batched import (
+    DEFAULT_MEMORY_BUDGET_BYTES,
+    BatchedStatevectorSimulator,
+    max_batch_rows,
+)
+from repro.simulator.statevector import StatevectorSimulator, prepare_circuit
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_probability
 
@@ -46,6 +72,40 @@ class _ErrorEvent:
     pauli: str
 
 
+@dataclass(frozen=True)
+class _EventBatch:
+    """All error events of a trajectory batch, structure-of-arrays.
+
+    Each element describes one inserted Pauli: trajectory ``row``, circuit
+    ``position`` it follows, target ``qubit``, and ``pauli`` index into
+    ``_PAULIS``.  Events are sorted by ``position`` so the batched runner can
+    slice them out per instruction without scanning.
+    """
+
+    row: np.ndarray
+    position: np.ndarray
+    qubit: np.ndarray
+    pauli: np.ndarray
+
+    def events_for_row(self, row: int) -> List[_ErrorEvent]:
+        """The events of one trajectory as the serial engine consumes them."""
+        mask = self.row == row
+        return [
+            _ErrorEvent(int(p), int(q), _PAULIS[int(k)])
+            for p, q, k in zip(self.position[mask], self.qubit[mask], self.pauli[mask])
+        ]
+
+
+@dataclass(frozen=True)
+class _CircuitTables:
+    """Per-circuit arrays the sampler needs, computed once per fingerprint."""
+
+    error_probs: np.ndarray  # per-instruction error probability
+    is_two_qubit: np.ndarray  # bool per instruction
+    qubit0: np.ndarray  # first qubit per instruction
+    qubit1: np.ndarray  # second qubit per instruction (-1 for 1q gates)
+
+
 class TrajectorySimulator:
     """Statevector simulation with stochastic Pauli gate errors.
 
@@ -59,6 +119,9 @@ class TrajectorySimulator:
     max_trajectories:
         Cap on distinct erroneous trajectories sampled per circuit
         evaluation; erroneous shot weight is spread over these.
+    memory_budget_bytes:
+        Ceiling on the batched amplitude tensor; the trajectory batch is
+        chunked so ``chunk · 2^n`` complex amplitudes stay under it.
     """
 
     def __init__(
@@ -66,30 +129,226 @@ class TrajectorySimulator:
         error_1q: float = 0.0,
         error_2q: float = 0.0,
         max_trajectories: int = 256,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
     ) -> None:
         self.error_1q = check_probability(error_1q, "error_1q")
         self.error_2q = check_probability(error_2q, "error_2q")
         if max_trajectories < 1:
             raise ValueError("max_trajectories must be positive")
+        if memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
         self.max_trajectories = int(max_trajectories)
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self._tables_cache: Dict[tuple, _CircuitTables] = {}
+        self._ops_cache: Dict[tuple, tuple] = {}
+
+    def _prepared_ops(self, circuit: Circuit) -> tuple:
+        """Validated/classified operators of ``circuit``, cached per fingerprint.
+
+        Both the ideal run and every trajectory batch replay the same
+        circuit, so the prepare_circuit work (argument validation plus
+        diagonal/monomial structure detection) is paid once per circuit.
+        """
+        key = circuit.fingerprint()
+        ops = self._ops_cache.get(key)
+        if ops is None:
+            ops = prepare_circuit(circuit, circuit.num_qubits)
+            self._ops_cache[key] = ops
+        return ops
 
     # ------------------------------------------------------------------
-    def _gate_error_probs(self, circuit: Circuit) -> np.ndarray:
-        """Per-instruction error probability vector."""
-        probs = np.empty(len(circuit.instructions))
+    def _circuit_tables(self, circuit: Circuit) -> _CircuitTables:
+        """Sampling tables for ``circuit``, cached per content fingerprint.
+
+        The error-probability vector used to be rebuilt with a Python loop
+        over instructions on every sampling call; backends evaluate the same
+        circuit for hundreds of trajectories, so it is memoised here (keyed
+        on the circuit fingerprint plus the error rates, in case a caller
+        mutates those between calls).
+        """
+        key = (circuit.fingerprint(), self.error_1q, self.error_2q)
+        tables = self._tables_cache.get(key)
+        if tables is not None:
+            return tables
+        n = len(circuit.instructions)
+        is2q = np.zeros(n, dtype=bool)
+        qubit0 = np.zeros(n, dtype=np.int64)
+        qubit1 = np.full(n, -1, dtype=np.int64)
         for i, inst in enumerate(circuit.instructions):
-            probs[i] = self.error_2q if len(inst.qubits) == 2 else self.error_1q
-        return probs
+            qubit0[i] = inst.qubits[0]
+            if len(inst.qubits) == 2:
+                is2q[i] = True
+                qubit1[i] = inst.qubits[1]
+        probs = np.where(is2q, self.error_2q, self.error_1q)
+        for arr in (probs, is2q, qubit0, qubit1):
+            arr.setflags(write=False)
+        tables = _CircuitTables(probs, is2q, qubit0, qubit1)
+        self._tables_cache[key] = tables
+        return tables
+
+    def _gate_error_probs(self, circuit: Circuit) -> np.ndarray:
+        """Per-instruction error probability vector (cached, read-only)."""
+        return self._circuit_tables(circuit).error_probs
 
     def error_free_probability(self, circuit: Circuit) -> float:
         """Probability that a shot of ``circuit`` suffers no gate error."""
         probs = self._gate_error_probs(circuit)
         return float(np.prod(1.0 - probs)) if probs.size else 1.0
 
+    # ------------------------------------------------------------------
+    # Vectorised event sampling
+    # ------------------------------------------------------------------
+    def _sample_event_batch(
+        self, circuit: Circuit, n_traj: int, rng: np.random.Generator
+    ) -> _EventBatch:
+        """Sample events for ``n_traj`` trajectories, each with >= 1 event.
+
+        One ``(n_traj, n_instructions)`` uniform draw decides the error
+        positions of every trajectory at once; rows that drew no event are
+        rejection-resampled (same conditioning as the serial engine).  Pauli
+        choices are then drawn in two vectorised calls: one for all
+        one-qubit hits (uniform over X/Y/Z) and one for all two-qubit hits
+        (uniform over the 15 non-identity two-qubit Paulis), in stable
+        (trajectory, position) order.
+        """
+        tables = self._circuit_tables(circuit)
+        probs = tables.error_probs
+        if probs.size == 0 or float(probs.max()) <= 0.0:
+            raise ValueError("cannot condition on >=1 event: all error rates are 0")
+        hits = rng.random((n_traj, probs.size)) < probs
+        pending = np.flatnonzero(~hits.any(axis=1))
+        while pending.size:
+            redraw = rng.random((pending.size, probs.size)) < probs
+            hits[pending] = redraw
+            pending = pending[~redraw.any(axis=1)]
+        rows, positions = np.nonzero(hits)
+        hit_is2q = tables.is_two_qubit[positions]
+
+        rows1, pos1 = rows[~hit_is2q], positions[~hit_is2q]
+        paulis1 = rng.integers(3, size=rows1.size)
+
+        rows2, pos2 = rows[hit_is2q], positions[hit_is2q]
+        # Uniform over the 15 non-identity two-qubit Paulis.
+        pair = rng.integers(1, 16, size=rows2.size)
+        a, b = pair % 4, pair // 4
+        amask, bmask = a > 0, b > 0
+
+        ev_row = np.concatenate([rows1, rows2[amask], rows2[bmask]])
+        ev_pos = np.concatenate([pos1, pos2[amask], pos2[bmask]])
+        ev_qubit = np.concatenate(
+            [
+                tables.qubit0[pos1],
+                tables.qubit0[pos2[amask]],
+                tables.qubit1[pos2[bmask]],
+            ]
+        )
+        ev_pauli = np.concatenate([paulis1, a[amask] - 1, b[bmask] - 1])
+
+        order = np.argsort(ev_pos, kind="stable")
+        return _EventBatch(
+            row=ev_row[order],
+            position=ev_pos[order],
+            qubit=ev_qubit[order],
+            pauli=ev_pauli[order],
+        )
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def _run_event_batch(
+        self, circuit: Circuit, batch: _EventBatch, n_traj: int
+    ) -> np.ndarray:
+        """Trajectory-averaged distribution of ``n_traj`` perturbed runs.
+
+        Evolves the whole trajectory set with one gate application per
+        instruction per chunk; each trajectory's Paulis are sliced onto its
+        batch row right after the instruction they follow.
+
+        Two structural savings on top of plain batching:
+
+        * **lazy forking** — every trajectory is identical to the shared
+          clean state until its *first* error event, so rows are sorted by
+          first-event position and only join the active batch prefix when
+          they diverge (a single clean statevector is evolved alongside and
+          copied in at the fork point).  Gates before a trajectory's first
+          event cost nothing for that row — roughly half of all per-row gate
+          work for uniformly placed events.
+        * **chunking** — the batch tensor is capped under
+          ``memory_budget_bytes``; trajectory averages are accumulated
+          across chunks.
+
+        Trajectories are exchangeable (only their average is returned), so
+        the fork-time sort does not change the modelled distribution.
+        """
+        ops = self._prepared_ops(circuit)
+        measured = circuit.measured_qubits
+        n_inst = len(ops)
+        # Fork time = first event position per trajectory; sort rows by it.
+        first_pos = np.full(n_traj, n_inst, dtype=np.int64)
+        np.minimum.at(first_pos, batch.row, batch.position)
+        order = np.argsort(first_pos, kind="stable")
+        rank_of_row = np.empty(n_traj, dtype=np.int64)
+        rank_of_row[order] = np.arange(n_traj)
+        ev_rank = rank_of_row[batch.row]
+        sorted_first = first_pos[order]
+        # Event spans per instruction position (events are position-sorted).
+        starts = np.searchsorted(batch.position, np.arange(n_inst), side="left")
+        stops = np.searchsorted(batch.position, np.arange(n_inst), side="right")
+        chunk = min(n_traj, max_batch_rows(circuit.num_qubits, self.memory_budget_bytes))
+        acc = np.zeros(1 << len(measured))
+        clean = StatevectorSimulator(circuit.num_qubits)
+        for lo in range(0, n_traj, chunk):
+            hi = min(lo + chunk, n_traj)
+            sim = BatchedStatevectorSimulator(circuit.num_qubits, hi - lo)
+            clean.reset()
+            active = 0
+            for i, op in enumerate(ops):
+                clean.apply_prepared(op)
+                if active:
+                    sim.apply_prepared(op, upto=active)
+                # Fork the rows whose first event follows instruction i.
+                forked = int(np.searchsorted(sorted_first, i, side="right"))
+                target = min(max(forked - lo, 0), hi - lo)
+                if target > active:
+                    sim.load_rows(active, clean.statevector, count=target - active)
+                    active = target
+                s, e = starts[i], stops[i]
+                if s == e:
+                    continue
+                in_chunk = (ev_rank[s:e] >= lo) & (ev_rank[s:e] < hi)
+                if not in_chunk.any():
+                    continue
+                rows = ev_rank[s:e][in_chunk] - lo
+                qubits = batch.qubit[s:e][in_chunk]
+                paulis = batch.pauli[s:e][in_chunk]
+                # Group same-(qubit, pauli) events into one sliced operation;
+                # Paulis at one position act on distinct qubits per row, so
+                # group order does not matter.
+                keys = qubits * 3 + paulis
+                for key in np.unique(keys):
+                    mask = keys == key
+                    sim.apply_pauli(
+                        _PAULIS[int(key) % 3], int(key) // 3, rows=rows[mask]
+                    )
+            if active < hi - lo:
+                # Unreachable when every trajectory has >= 1 event (the
+                # sampler guarantees it); keep leftover rows clean anyway.
+                sim.load_rows(active, clean.statevector, count=hi - lo - active)
+            acc += sim.probabilities(measured).sum(axis=0)
+        return acc / n_traj
+
+    # ------------------------------------------------------------------
+    # Serial reference engine (kept for equivalence tests and benchmarks)
+    # ------------------------------------------------------------------
     def _sample_events(
         self, circuit: Circuit, rng: np.random.Generator
     ) -> List[_ErrorEvent]:
-        """Sample error events for one trajectory, conditioned on >= 1 event."""
+        """Sample error events for one trajectory, conditioned on >= 1 event.
+
+        Serial reference path: this is the historical per-trajectory stream
+        (uniform matrix then Pauli draws, interleaved per trajectory), used
+        by :meth:`serial_output_distribution` and the equivalence tests.
+        """
         probs = self._gate_error_probs(circuit)
         while True:
             hits = np.flatnonzero(rng.random(probs.size) < probs)
@@ -118,6 +377,7 @@ class TrajectorySimulator:
         events: Sequence[_ErrorEvent],
         sim: StatevectorSimulator,
     ) -> np.ndarray:
+        """One perturbed run on the dense engine (serial reference path)."""
         by_position: dict = {}
         for ev in events:
             by_position.setdefault(ev.position, []).append(ev)
@@ -128,19 +388,19 @@ class TrajectorySimulator:
                 sim.apply_matrix(gate_matrix(ev.pauli), (ev.qubit,))
         return sim.probabilities(circuit.measured_qubits)
 
-    # ------------------------------------------------------------------
-    def output_distribution(
+    def serial_output_distribution(
         self,
         circuit: Circuit,
         shots: int,
         rng: RandomState = None,
     ) -> np.ndarray:
-        """Gate-noise-averaged output distribution over the measured qubits.
+        """Pre-batch reference implementation of :meth:`output_distribution`.
 
-        Returns the mixture: (binomially sampled error-free weight) x ideal
-        distribution + erroneous-trajectory average.  Measurement errors are
-        *not* applied here — that is the backend's job, matching the paper's
-        separation between gate noise and readout channels.
+        One dense-engine circuit evaluation per trajectory, with the
+        historical interleaved sampling stream.  Kept so the benchmark suite
+        can measure the batched speedup against the real former hot path and
+        so equivalence tests have an independent oracle; not used by any
+        production caller.
         """
         gen = ensure_rng(rng)
         sim = StatevectorSimulator(circuit.num_qubits)
@@ -158,5 +418,41 @@ class TrajectorySimulator:
             events = self._sample_events(circuit, gen)
             acc += self._run_with_events(circuit, events, sim)
         noisy = acc / n_traj
+        w_err = num_err_shots / shots
+        return (1.0 - w_err) * ideal + w_err * noisy
+
+    # ------------------------------------------------------------------
+    def output_distribution(
+        self,
+        circuit: Circuit,
+        shots: int,
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        """Gate-noise-averaged output distribution over the measured qubits.
+
+        Returns the mixture: (binomially sampled error-free weight) x ideal
+        distribution + erroneous-trajectory average.  Measurement errors are
+        *not* applied here — that is the backend's job, matching the paper's
+        separation between gate noise and readout channels.
+
+        The erroneous trajectories are evolved as one batched pass (see the
+        module docs); the result is a pure function of ``(rng seed, circuit,
+        shots)``.
+        """
+        gen = ensure_rng(rng)
+        sim = StatevectorSimulator(circuit.num_qubits)
+        sim.reset()
+        for op in self._prepared_ops(circuit):
+            sim.apply_prepared(op)
+        ideal = sim.probabilities(circuit.measured_qubits)
+        p_clean = self.error_free_probability(circuit)
+        if p_clean >= 1.0 or shots == 0:
+            return ideal
+        num_err_shots = int(gen.binomial(shots, 1.0 - p_clean)) if shots else 0
+        if num_err_shots == 0:
+            return ideal
+        n_traj = min(num_err_shots, self.max_trajectories)
+        batch = self._sample_event_batch(circuit, n_traj, gen)
+        noisy = self._run_event_batch(circuit, batch, n_traj)
         w_err = num_err_shots / shots
         return (1.0 - w_err) * ideal + w_err * noisy

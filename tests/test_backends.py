@@ -154,6 +154,107 @@ class TestSimulatedBackendNoisy:
         assert backend._dist_cache == {}
 
 
+class TestBatchedDeterminism:
+    """Pins for the batched trajectory engine's backend-facing guarantees.
+
+    The batched engine consumes the per-circuit noise stream in a different
+    order than the pre-batch serial loop, so the exact distribution values
+    changed once (documented in :mod:`repro.backends.backend`); this pin
+    freezes the *current* values so any future drift is a deliberate,
+    test-visible event.
+    """
+
+    # exact_distribution of ghz_bfs(linear(3)) under the model below, rng=1234.
+    PINNED = [
+        0.44247274106597895,
+        0.027930076469421382,
+        0.019496098388671865,
+        0.03510108407592773,
+        0.014669689620971675,
+        0.019927492843627926,
+        0.03836147092437743,
+        0.4020413466110228,
+    ]
+
+    def make_backend(self):
+        errs = (
+            ReadoutError(0.02, 0.05),
+            ReadoutError(0.03, 0.04),
+            ReadoutError(0.01, 0.06),
+        )
+        model = NoiseModel(
+            3,
+            error_1q=0.01,
+            error_2q=0.05,
+            measurement_channel=MeasurementErrorChannel.from_readout_errors(errs),
+            readout_errors=errs,
+            name="pin",
+        )
+        return SimulatedBackend(linear(3), model, rng=1234, max_trajectories=32)
+
+    def test_pinned_distribution(self):
+        dist = self.make_backend().exact_distribution(ghz_bfs(linear(3)))
+        np.testing.assert_allclose(dist, self.PINNED, rtol=0, atol=1e-15)
+
+    def test_pure_function_of_seed_and_circuit(self):
+        """Execution order must not perturb the trajectory average."""
+        qc = ghz_bfs(linear(3))
+        direct = self.make_backend().exact_distribution(qc)
+        other_first = self.make_backend()
+        other_first.exact_distribution(ghz_bfs(linear(3), num_qubits=2))
+        np.testing.assert_array_equal(direct, other_first.exact_distribution(qc))
+
+    def test_run_batch_matches_run(self):
+        """Same distributions and same sampling draws either way."""
+        qc = ghz_bfs(linear(3))
+        a = self.make_backend().run_batch([qc], 200)[0]
+        b = self.make_backend().run(qc, 200)
+        assert dict(a) == dict(b)
+
+    def test_run_batch_charges_budget_upfront(self):
+        backend = self.make_backend()
+        qc = ghz_bfs(linear(3))
+        budget = ShotBudget(100)
+        with pytest.raises(BudgetExceeded):
+            backend.run_batch([qc, qc, qc], 60, budget=budget)
+        # No partial charge may survive an overdrawn batch: the ledger must
+        # still afford work the budget actually covers.
+        assert budget.spent == 0
+        backend.run(qc, 100, budget=budget)
+        assert budget.spent == 100
+
+    def test_batch_groups_measured_subsets(self):
+        """Mixed measured signatures batch through the channel correctly."""
+        backend = self.make_backend()
+        full = ghz_bfs(linear(3))
+        subset = ghz_bfs(linear(3), num_qubits=2)
+        batch = backend.run_batch([full, subset, full], 100)
+        fresh = self.make_backend()
+        np.testing.assert_array_equal(
+            backend.exact_distribution(full), fresh.exact_distribution(full)
+        )
+        np.testing.assert_array_equal(
+            backend.exact_distribution(subset), fresh.exact_distribution(subset)
+        )
+        assert batch[0].measured_qubits == full.measured_qubits
+        assert batch[1].measured_qubits == subset.measured_qubits
+
+    def test_trajectory_memory_budget_forwarded(self):
+        model = NoiseModel(3, error_1q=0.01, error_2q=0.05)
+        tight = SimulatedBackend(
+            linear(3),
+            model,
+            rng=9,
+            max_trajectories=16,
+            trajectory_memory_bytes=4 * (1 << 3) * 16,
+        )
+        roomy = SimulatedBackend(linear(3), model, rng=9, max_trajectories=16)
+        qc = ghz_bfs(linear(3))
+        np.testing.assert_allclose(
+            tight.exact_distribution(qc), roomy.exact_distribution(qc), atol=1e-12
+        )
+
+
 class TestPresets:
     def test_architecture_backend_grid(self):
         backend = architecture_backend("grid", 9, rng=0)

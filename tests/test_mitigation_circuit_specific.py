@@ -194,6 +194,57 @@ class TestBayesianUpdate:
         out = bayesian_update(global_table, sub)
         assert dict(out) == dict(global_table)
 
+    def test_matches_dict_reference_on_random_tables(self):
+        """The vectorised partition step must reproduce the per-outcome dict
+        loop it replaced, pathological drops included."""
+        from repro.utils.bitstrings import extract_bits
+
+        def reference(global_table, sub_table):
+            positions = [
+                global_table.measured_qubits.index(q)
+                for q in sub_table.measured_qubits
+            ]
+            sub_probs = sub_table.to_probabilities()
+            partitions = {}
+            for outcome, weight in global_table.items():
+                s = int(extract_bits(np.array([outcome]), positions)[0])
+                partitions.setdefault(s, []).append((outcome, weight))
+            new_weights = {}
+            for s, entries in partitions.items():
+                q_s = sub_probs.get(s, 0.0)
+                part_total = sum(w for _, w in entries)
+                if q_s <= 0.0 or part_total <= 0.0:
+                    continue
+                for outcome, weight in entries:
+                    new_weights[outcome] = (
+                        weight / part_total * q_s * global_table.shots
+                    )
+            return new_weights or dict(global_table)
+
+        rng = np.random.default_rng(17)
+        for _ in range(20):
+            n = int(rng.integers(3, 7))
+            size = int(rng.integers(2, min(12, 1 << n)))
+            support = rng.choice(1 << n, size=size, replace=False)
+            global_table = Counts(
+                {int(o): float(rng.integers(1, 100)) for o in support},
+                list(range(n)),
+            )
+            k = int(rng.integers(1, 3))
+            sub_qubits = sorted(rng.choice(n, size=k, replace=False).tolist())
+            sub_support = rng.choice(
+                1 << k, size=int(rng.integers(1, (1 << k) + 1)), replace=False
+            )
+            sub = Counts(
+                {int(o): float(rng.integers(1, 50)) for o in sub_support},
+                sub_qubits,
+            )
+            got = dict(bayesian_update(global_table, sub))
+            expected = reference(global_table, sub)
+            assert set(got) == set(expected)
+            for outcome in got:
+                assert got[outcome] == pytest.approx(expected[outcome], rel=1e-12)
+
 
 class TestJIGSAW:
     def test_validation(self):

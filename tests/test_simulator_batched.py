@@ -1,0 +1,237 @@
+"""Tests for the batched statevector engine.
+
+The load-bearing property is *equivalence*: every batched row must match the
+dense serial engine to 1e-12 — over random circuits spanning the whole gate
+set (diagonal, monomial and dense operator kinds) and with random Pauli
+insertions applied to row subsets via the slicing fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz_bfs
+from repro.circuits.gates import Gate, gate_matrix
+from repro.simulator import (
+    BatchedStatevectorSimulator,
+    DEFAULT_MEMORY_BUDGET_BYTES,
+    StatevectorSimulator,
+    max_batch_rows,
+    prepare_operator,
+)
+from repro.topology import linear
+
+_1Q = ("i", "x", "y", "z", "h", "s", "t")
+_1Q_PARAM = ("rx", "ry", "rz")
+_2Q = ("cx", "cz", "swap")
+
+
+def random_circuit(rng: np.random.Generator, num_qubits: int, depth: int) -> Circuit:
+    qc = Circuit(num_qubits)
+    for _ in range(depth):
+        roll = rng.random()
+        if num_qubits >= 2 and roll < 0.35:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            qc.append(Gate(_2Q[rng.integers(len(_2Q))]), (int(a), int(b)))
+        elif roll < 0.6:
+            name = _1Q_PARAM[rng.integers(len(_1Q_PARAM))]
+            qc.append(
+                Gate(name, (float(rng.uniform(-np.pi, np.pi)),)),
+                (int(rng.integers(num_qubits)),),
+            )
+        elif roll < 0.7:
+            qc.append(
+                Gate("u3", tuple(rng.uniform(-np.pi, np.pi, size=3))),
+                (int(rng.integers(num_qubits)),),
+            )
+        else:
+            qc.append(
+                Gate(_1Q[rng.integers(len(_1Q))]), (int(rng.integers(num_qubits)),)
+            )
+    return qc
+
+
+class TestConstruction:
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            BatchedStatevectorSimulator(2, 0)
+
+    def test_reset_state(self):
+        sim = BatchedStatevectorSimulator(3, 4)
+        amps = sim.statevectors
+        assert amps.shape == (4, 8)
+        expected = np.zeros(8, dtype=complex)
+        expected[0] = 1.0
+        for row in amps:
+            np.testing.assert_array_equal(row, expected)
+
+    def test_repr(self):
+        assert "batch_size=2" in repr(BatchedStatevectorSimulator(1, 2))
+
+
+class TestMaxBatchRows:
+    def test_budget_partition(self):
+        # 2^10 amplitudes * 16 bytes = 16 KiB per row.
+        assert max_batch_rows(10, 16 * 1024 * 4) == 4
+
+    def test_at_least_one(self):
+        assert max_batch_rows(20, 1) == 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            max_batch_rows(4, 0)
+
+    def test_default_budget_ghz16(self):
+        # GHZ-16 rows are 1 MiB; the 256 MB default must fit 128 trajectories.
+        assert max_batch_rows(16, DEFAULT_MEMORY_BUDGET_BYTES) >= 128
+
+
+class TestRunEquivalence:
+    def test_random_circuits_match_dense_engine(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            n = int(rng.integers(1, 6))
+            qc = random_circuit(rng, n, int(rng.integers(1, 16)))
+            amps = BatchedStatevectorSimulator(n, 3).run(qc)
+            ref = StatevectorSimulator(n).run(qc)
+            for row in amps:
+                np.testing.assert_allclose(row, ref, atol=1e-12)
+
+    def test_ghz(self):
+        qc = ghz_bfs(linear(5))
+        amps = BatchedStatevectorSimulator(5, 2).run(qc)
+        ref = StatevectorSimulator(5).run(qc)
+        np.testing.assert_allclose(amps[0], ref, atol=1e-12)
+        np.testing.assert_allclose(amps[1], ref, atol=1e-12)
+
+    def test_active_prefix_rows_untouched(self):
+        """apply_prepared(upto=k) must leave rows >= k at their prior state."""
+        qc = Circuit(2).h(0)
+        sim = BatchedStatevectorSimulator(2, 3)
+        op = prepare_operator(gate_matrix("h"), (0,), 2)
+        sim.apply_prepared(op, upto=2)
+        amps = sim.statevectors
+        h = StatevectorSimulator(2)
+        h.apply_matrix(gate_matrix("h"), (0,))
+        np.testing.assert_allclose(amps[0], h.statevector, atol=1e-12)
+        np.testing.assert_allclose(amps[1], h.statevector, atol=1e-12)
+        untouched = np.zeros(4, dtype=complex)
+        untouched[0] = 1.0
+        np.testing.assert_array_equal(amps[2], untouched)
+
+
+class TestPauliSlicing:
+    @pytest.mark.parametrize("pauli", ["x", "y", "z"])
+    def test_matches_matrix_application_on_row_subset(self, pauli):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            n = int(rng.integers(1, 5))
+            qc = random_circuit(rng, n, 8)
+            qubit = int(rng.integers(n))
+            sim = BatchedStatevectorSimulator(n, 6)
+            sim.run(qc)
+            rows = np.array([0, 3, 4])
+            sim.apply_pauli(pauli, qubit, rows=rows)
+            clean = StatevectorSimulator(n)
+            clean.run(qc)
+            noisy = StatevectorSimulator(n)
+            noisy.run(qc)
+            noisy.apply_matrix(gate_matrix(pauli), (qubit,))
+            got = sim.statevectors
+            for r in range(6):
+                expected = noisy.statevector if r in rows else clean.statevector
+                np.testing.assert_allclose(got[r], expected, atol=1e-12)
+
+    @pytest.mark.parametrize("pauli", ["x", "y", "z"])
+    def test_all_rows_default(self, pauli):
+        qc = ghz_bfs(linear(3))
+        sim = BatchedStatevectorSimulator(3, 2)
+        sim.run(qc)
+        sim.apply_pauli(pauli, 1)
+        ref = StatevectorSimulator(3)
+        ref.run(qc)
+        ref.apply_matrix(gate_matrix(pauli), (1,))
+        for row in sim.statevectors:
+            np.testing.assert_allclose(row, ref.statevector, atol=1e-12)
+
+    def test_unknown_pauli(self):
+        with pytest.raises(ValueError):
+            BatchedStatevectorSimulator(1, 1).apply_pauli("w", 0)
+
+    def test_qubit_out_of_range(self):
+        with pytest.raises(ValueError):
+            BatchedStatevectorSimulator(2, 1).apply_pauli("x", 2)
+
+
+class TestProbabilities:
+    def test_marginals_match_dense_engine(self):
+        rng = np.random.default_rng(3)
+        qc = random_circuit(rng, 4, 10)
+        sim = BatchedStatevectorSimulator(4, 2)
+        sim.run(qc)
+        ref = StatevectorSimulator(4)
+        ref.run(qc)
+        for qubits in [None, (0,), (2, 0), (3, 1, 2), (0, 1, 2, 3)]:
+            got = sim.probabilities(qubits)
+            expected = ref.probabilities(qubits)
+            assert got.shape == (2, expected.size)
+            np.testing.assert_allclose(got[0], expected, atol=1e-12)
+            np.testing.assert_allclose(got[1], expected, atol=1e-12)
+
+    def test_mean_probabilities(self):
+        sim = BatchedStatevectorSimulator(2, 3)
+        sim.run(Circuit(2).h(0))
+        sim.apply_pauli("x", 1, rows=np.array([2]))
+        mean = sim.mean_probabilities()
+        per_row = sim.probabilities()
+        np.testing.assert_allclose(mean, per_row.mean(axis=0), atol=1e-15)
+        assert np.isclose(mean.sum(), 1.0)
+
+
+class TestLoadRows:
+    def test_broadcasts_clean_state(self):
+        ref = StatevectorSimulator(2)
+        ref.run(Circuit(2).h(0).cx(0, 1))
+        sim = BatchedStatevectorSimulator(2, 4)
+        sim.load_rows(1, ref.statevector, count=2)
+        amps = sim.statevectors
+        reset = np.zeros(4, dtype=complex)
+        reset[0] = 1.0
+        np.testing.assert_array_equal(amps[0], reset)
+        np.testing.assert_allclose(amps[1], ref.statevector, atol=1e-12)
+        np.testing.assert_allclose(amps[2], ref.statevector, atol=1e-12)
+        np.testing.assert_array_equal(amps[3], reset)
+
+    def test_validates_length(self):
+        with pytest.raises(ValueError):
+            BatchedStatevectorSimulator(2, 2).load_rows(0, np.ones(3))
+
+    def test_validates_range(self):
+        sim = BatchedStatevectorSimulator(1, 2)
+        with pytest.raises(ValueError):
+            sim.load_rows(1, np.array([1.0, 0.0]), count=2)
+
+
+class TestOperatorKinds:
+    """prepare_operator must classify structures the fast paths rely on."""
+
+    def test_diagonal(self):
+        for name in ("z", "s", "t", "cz"):
+            mat = gate_matrix(name)
+            qubits = (0,) if mat.shape == (2, 2) else (0, 1)
+            assert prepare_operator(mat, qubits, 2).kind == "diagonal"
+
+    def test_monomial(self):
+        for name in ("x", "y", "cx", "swap"):
+            mat = gate_matrix(name)
+            qubits = (0,) if mat.shape == (2, 2) else (0, 1)
+            assert prepare_operator(mat, qubits, 2).kind == "monomial"
+
+    def test_dense(self):
+        assert prepare_operator(gate_matrix("h"), (0,), 2).kind == "dense"
+
+    def test_identity_is_diagonal_noop(self):
+        sim = BatchedStatevectorSimulator(2, 2)
+        sim.run(Circuit(2).h(0))
+        before = sim.statevectors
+        sim.apply_matrix(np.eye(2), (1,))
+        np.testing.assert_array_equal(sim.statevectors, before)

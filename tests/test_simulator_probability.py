@@ -128,6 +128,59 @@ class TestMarginalize:
         np.testing.assert_allclose(marginalize_probabilities(v, [0, 1, 2], 3), v)
 
 
+class TestBatchAxis:
+    """Every kernel accepts a (B, 2^n) stack and matches the row-wise path."""
+
+    def _stack(self, rows, size, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.random((rows, size))
+        return v / v.sum(axis=1, keepdims=True)
+
+    def test_local_stochastic_rows_match(self):
+        v = self._stack(5, 16, 0)
+        c = confusion(0.1, 0.3)
+        out = apply_local_stochastic(v, c, (2,), 4)
+        assert out.shape == v.shape
+        for row_in, row_out in zip(v, out):
+            np.testing.assert_allclose(
+                row_out, apply_local_stochastic(row_in, c, (2,), 4), atol=1e-14
+            )
+
+    def test_confusion_per_qubit_rows_match(self):
+        v = self._stack(4, 8, 1)
+        cs = [confusion(0.1, 0.2), confusion(0.05, 0.3), confusion(0.02, 0.08)]
+        out = apply_confusion_per_qubit(v, cs, 3)
+        for row_in, row_out in zip(v, out):
+            np.testing.assert_allclose(
+                row_out, apply_confusion_per_qubit(row_in, cs, 3), atol=1e-14
+            )
+
+    def test_marginalize_rows_match(self):
+        v = self._stack(3, 16, 2)
+        out = marginalize_probabilities(v, [3, 1], 4)
+        assert out.shape == (3, 4)
+        for row_in, row_out in zip(v, out):
+            np.testing.assert_allclose(
+                row_out, marginalize_probabilities(row_in, [3, 1], 4), atol=1e-14
+            )
+
+    def test_single_row_stack_matches_flat(self):
+        v = self._stack(1, 8, 3)
+        c = confusion(0.2, 0.1)
+        np.testing.assert_array_equal(
+            apply_local_stochastic(v, c, (1,), 3)[0],
+            apply_local_stochastic(v[0], c, (1,), 3),
+        )
+
+    def test_bad_row_length(self):
+        with pytest.raises(ValueError):
+            apply_local_stochastic(np.ones((2, 3)), np.eye(2), (0,), 2)
+
+    def test_too_many_dims(self):
+        with pytest.raises(ValueError):
+            apply_local_stochastic(np.ones((2, 2, 2)), np.eye(2), (0,), 2)
+
+
 class TestSampling:
     def test_deterministic_distribution(self):
         out = sample_outcomes(np.array([0.0, 1.0]), 100, rng=0)

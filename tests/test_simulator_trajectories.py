@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.circuits import Circuit, ghz_bfs
-from repro.simulator import TrajectorySimulator, simulate_statevector
+from repro.simulator import (
+    StatevectorSimulator,
+    TrajectorySimulator,
+    simulate_statevector,
+)
 from repro.topology import linear
 
 
@@ -95,3 +99,108 @@ class TestOutputDistribution:
         qc = Circuit(2).h(0).h(1).measure_all()
         dist = sim.output_distribution(qc, 10000, rng=6)
         assert np.isclose(dist.sum(), 1.0)
+
+    def test_memory_budget_validated(self):
+        with pytest.raises(ValueError):
+            TrajectorySimulator(memory_budget_bytes=0)
+
+    def test_chunked_matches_unchunked(self):
+        """Forcing many small chunks must not change the average (1e-12)."""
+        qc = ghz_bfs(linear(5))
+        big = TrajectorySimulator(error_1q=0.02, error_2q=0.05, max_trajectories=32)
+        small = TrajectorySimulator(
+            error_1q=0.02,
+            error_2q=0.05,
+            max_trajectories=32,
+            memory_budget_bytes=3 * (1 << 5) * 16,  # 3 rows per chunk
+        )
+        a = big.output_distribution(qc, 8000, rng=12)
+        b = small.output_distribution(qc, 8000, rng=12)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestGateErrorProbsCache:
+    def test_cached_per_fingerprint(self):
+        sim = TrajectorySimulator(error_1q=0.1, error_2q=0.2)
+        qc = Circuit(2).h(0).cx(0, 1)
+        first = sim._gate_error_probs(qc)
+        second = sim._gate_error_probs(qc.copy())
+        assert first is second  # content-equal circuit hits the cache
+        np.testing.assert_array_equal(first, [0.1, 0.2])
+
+    def test_cache_is_read_only(self):
+        sim = TrajectorySimulator(error_1q=0.1)
+        probs = sim._gate_error_probs(Circuit(1).h(0))
+        with pytest.raises(ValueError):
+            probs[0] = 0.5
+
+    def test_rate_mutation_does_not_serve_stale_entry(self):
+        sim = TrajectorySimulator(error_1q=0.1)
+        qc = Circuit(1).h(0)
+        np.testing.assert_array_equal(sim._gate_error_probs(qc), [0.1])
+        sim.error_1q = 0.3
+        np.testing.assert_array_equal(sim._gate_error_probs(qc), [0.3])
+
+
+class TestBatchedSerialEquivalence:
+    """The acceptance pin: identical distributions for the same events."""
+
+    def _equivalence(self, circuit, n_traj, seed, **kwargs):
+        sim = TrajectorySimulator(**kwargs)
+        batch = sim._sample_event_batch(circuit, n_traj, np.random.default_rng(seed))
+        batched = sim._run_event_batch(circuit, batch, n_traj)
+        ref = StatevectorSimulator(circuit.num_qubits)
+        acc = np.zeros_like(batched)
+        for row in range(n_traj):
+            acc += sim._run_with_events(circuit, batch.events_for_row(row), ref)
+        np.testing.assert_allclose(batched, acc / n_traj, atol=1e-12)
+
+    def test_mixed_gate_circuit(self):
+        qc = Circuit(3).h(0).cx(0, 1).t(1).cx(1, 2).rx(0.4, 0).measure_all()
+        self._equivalence(qc, 24, seed=1, error_1q=0.1, error_2q=0.2)
+
+    def test_ghz(self):
+        self._equivalence(
+            ghz_bfs(linear(6)), 32, seed=2, error_1q=0.001, error_2q=0.01
+        )
+
+    def test_measured_subset(self):
+        qc = ghz_bfs(linear(5), num_qubits=3)
+        self._equivalence(qc, 16, seed=3, error_1q=0.05, error_2q=0.1)
+
+    def test_chunked(self):
+        self._equivalence(
+            ghz_bfs(linear(5)),
+            16,
+            seed=4,
+            error_1q=0.05,
+            error_2q=0.1,
+            memory_budget_bytes=2 * (1 << 5) * 16,  # 2 rows per chunk
+        )
+
+    def test_serial_reference_unchanged(self):
+        """serial_output_distribution keeps the historical stream semantics."""
+        sim = TrajectorySimulator(error_1q=0.02, error_2q=0.05, max_trajectories=16)
+        qc = ghz_bfs(linear(4))
+        a = sim.serial_output_distribution(qc, 4000, rng=9)
+        b = sim.serial_output_distribution(qc, 4000, rng=9)
+        np.testing.assert_array_equal(a, b)
+        assert np.isclose(a.sum(), 1.0)
+
+    def test_batched_and_serial_same_statistics(self):
+        """Different streams, same model: averages agree within Monte-Carlo
+        tolerance on an aggregate statistic (GHZ-peak mass)."""
+        sim = TrajectorySimulator(error_1q=0.01, error_2q=0.05, max_trajectories=256)
+        qc = ghz_bfs(linear(4))
+        batched = sim.output_distribution(qc, 16000, rng=21)
+        serial = sim.serial_output_distribution(qc, 16000, rng=21)
+        peak_b = batched[0] + batched[-1]
+        peak_s = serial[0] + serial[-1]
+        assert abs(peak_b - peak_s) < 0.05
+
+    def test_all_zero_rates_cannot_condition(self):
+        sim = TrajectorySimulator()
+        with pytest.raises(ValueError):
+            sim._sample_event_batch(
+                Circuit(1).h(0), 4, np.random.default_rng(0)
+            )
