@@ -5,9 +5,12 @@ Runs the benchmark tests under pytest (the perf-pinning ones by default,
 ``--all`` for the full paper-regeneration suite), collects every
 machine-readable ``*.bench.json`` blob the benchmarks write under
 ``benchmarks/results/``, and folds them — wall-time per benchmark plus
-speedup vs the naive serial baseline — into one ``BENCH_trajectories.json``
-artefact.  CI runs this as a non-blocking job so the repo accumulates a perf
-trajectory over time; locally:
+speedup vs the naive serial baseline — into ``BENCH_*.json`` artefacts.
+A record routes itself with its optional ``artifact`` field (e.g. the
+store benchmark emits into ``BENCH_store.json``); records without one
+land in the default ``BENCH_trajectories.json``.  CI runs this as a
+non-blocking job so the repo accumulates a perf trajectory over time;
+locally:
 
     PYTHONPATH=src python benchmarks/run_bench.py
     PYTHONPATH=src python benchmarks/run_bench.py --all --output /tmp/bench.json
@@ -32,6 +35,7 @@ DEFAULT_OUTPUT = BENCH_DIR / "BENCH_trajectories.json"
 # Perf-pinning benchmarks: fast, assert speedup floors, write *.bench.json.
 PERF_BENCHES = [
     "test_bench_batched_trajectories.py",
+    "test_bench_store.py",
 ]
 
 
@@ -97,17 +101,27 @@ def main(argv: list[str] | None = None) -> int:
         )
         code, wall = run_pytest(selection)
 
-    artefact = {
-        "suite": "benchmarks" if args.all else "perf-pins",
-        "pytest_exit_code": code,
-        "suite_wall_time_s": wall,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "benchmarks": collect_records(),
-    }
+    # Route records into per-subsystem BENCH_*.json artefacts: a record's
+    # "artifact" field names its file; everything else goes to --output.
+    default_name = args.output.name
+    grouped: dict[str, list[dict]] = {default_name: []}
+    for record in collect_records():
+        grouped.setdefault(record.get("artifact", default_name), []).append(
+            record
+        )
     args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(artefact, indent=2) + "\n")
-    print(f"wrote {args.output} ({len(artefact['benchmarks'])} benchmark record(s))")
+    for name, records in grouped.items():
+        artefact = {
+            "suite": "benchmarks" if args.all else "perf-pins",
+            "pytest_exit_code": code,
+            "suite_wall_time_s": wall,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "benchmarks": records,
+        }
+        path = args.output if name == default_name else args.output.parent / name
+        path.write_text(json.dumps(artefact, indent=2) + "\n")
+        print(f"wrote {path} ({len(records)} benchmark record(s))")
     return code
 
 

@@ -40,6 +40,7 @@ Subpackages
 ``repro.analysis``      metrics, correlation maps, Hinton data, stats
 ``repro.experiments``   drivers for every paper table and figure
 ``repro.pipeline``      declarative sweeps: process-pool engine + calibration cache
+``repro.store``         persistent artifact store: durable calibrations, resumable sweeps
 """
 
 from repro.analysis import one_norm_distance, success_probability
@@ -77,9 +78,14 @@ from repro.pipeline import (
     SweepSpec,
     run_sweep,
 )
+from repro.store import (
+    ArtifactStore,
+    PersistentCalibrationCache,
+    SweepJournal,
+)
 from repro.topology import CouplingMap
 
-__version__ = "1.0.0"
+from repro._version import __version__
 
 __all__ = [
     "__version__",
@@ -116,4 +122,7 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "run_sweep",
+    "ArtifactStore",
+    "PersistentCalibrationCache",
+    "SweepJournal",
 ]

@@ -1,0 +1,9 @@
+"""Single source of the package version.
+
+Lives in its own leaf module (rather than ``repro/__init__``) so that deep
+subsystems — notably :mod:`repro.store`, which stamps every persisted
+artifact with the version that wrote it — can import it without pulling in
+the whole package (or creating an import cycle during ``repro`` init).
+"""
+
+__version__ = "1.1.0"

@@ -13,20 +13,28 @@
     python -m repro shots --qubits 6 --budgets 1000 4000 16000
     python -m repro sweep --devices quito lima nairobi --trials 3 --workers 4
     python -m repro sweep --spec grid.json --workers 4 --json out.json
+    python -m repro sweep --spec grid.json --store ./artifacts --resume
+    python -m repro store ls ./artifacts
+    python -m repro --version
 
 Every command prints the same rows/series the corresponding paper artifact
 reports (see EXPERIMENTS.md for the mapping) and is deterministic under
 ``--seed``.  ``sweep`` runs an arbitrary grid — from a JSON
 :class:`~repro.pipeline.spec.SweepSpec` or inline flags — on the parallel
 engine, with per-task progress on stderr and optional JSON results.
+``--store DIR`` makes a sweep durable (journal + persistent calibrations;
+``--resume`` restarts a crashed run bit-identically), and ``store``
+inspects or garbage-collects such a directory.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
+from repro._version import __version__
 from repro.experiments import (
     device_correlation_map,
     device_ghz_table,
@@ -54,6 +62,7 @@ _COMMANDS = {
     "stability": "ERR error-map stability across drifted weeks (§VII-A)",
     "shots": "error vs shot budget per method (§V-A)",
     "sweep": "run any declarative sweep grid on the parallel engine",
+    "store": "inspect / garbage-collect a sweep artifact store",
 }
 
 
@@ -63,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce experiments from 'Mitigating Coupling Map "
         "Constrained Correlated Measurement Errors on Quantum Devices'.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -88,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shots", type=int, default=32000)
     p.add_argument("--trials", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist calibrations/journal under DIR and resume "
+        "interrupted table runs",
+    )
+    p.add_argument(
+        "--fresh", action="store_true",
+        help="with --store: ignore any existing journal and start over "
+        "(needed e.g. after a repro upgrade invalidates the journal)",
+    )
 
     p = sub.add_parser("correlations", help=_COMMANDS["correlations"])
     p.add_argument("--device", default="nairobi")
@@ -115,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="nairobi")
     p.add_argument("--weeks", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist per-week calibration snapshots under DIR so repeated "
+        "drift studies skip profiling",
+    )
 
     p = sub.add_parser("shots", help=_COMMANDS["shots"])
     p.add_argument("--qubits", type=int, default=6)
@@ -168,6 +195,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-task progress"
     )
+    p.add_argument(
+        "--store", dest="store", default=None, metavar="DIR",
+        help="persist calibrations + a crash-safe task journal under DIR "
+        "(warm reruns skip every calibration execution)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="with --store: skip tasks already journaled for this spec "
+        "(bit-identical to an uninterrupted run)",
+    )
+
+    p = sub.add_parser("store", help=_COMMANDS["store"])
+    p.add_argument(
+        "action", choices=["ls", "inspect", "gc"],
+        help="ls: list artifacts; inspect: show one artifact's key/metadata; "
+        "gc: drop crashed-writer temp files (and, with --older-than-days, "
+        "stale artifacts)",
+    )
+    p.add_argument("root", metavar="DIR", help="store root directory")
+    p.add_argument(
+        "digest", nargs="?", default=None,
+        help="artifact digest (or unique prefix) for `inspect`",
+    )
+    p.add_argument(
+        "--older-than-days", type=float, default=None, metavar="DAYS",
+        help="gc: also delete artifacts older than DAYS",
+    )
 
     return parser
 
@@ -193,10 +247,16 @@ def _cmd_ghz(args: argparse.Namespace) -> str:
 
 
 def _cmd_devices(args: argparse.Namespace) -> str:
-    table = device_ghz_table(
-        args.devices, shots=args.shots, trials=args.trials, seed=args.seed,
-        full_max_qubits=5,
-    )
+    try:
+        table = device_ghz_table(
+            args.devices, shots=args.shots, trials=args.trials, seed=args.seed,
+            full_max_qubits=5, store=args.store,
+            resume=args.store is not None and not args.fresh,
+        )
+    except ValueError as exc:
+        # journal refusals tell the user what to do (--fresh); no traceback
+        print(f"repro devices: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
     rows = {}
     for method in [m for m in METHOD_ORDER if m in table.methods()]:
         rows[method] = {d: table.summary(d, method) for d in table.devices}
@@ -274,7 +334,9 @@ def _cmd_costs(args: argparse.Namespace) -> str:
 
 
 def _cmd_stability(args: argparse.Namespace) -> str:
-    res = err_stability_experiment(args.device, weeks=args.weeks, seed=args.seed)
+    res = err_stability_experiment(
+        args.device, weeks=args.weeks, seed=args.seed, store=args.store
+    )
     rows = {
         f"week {w}": {
             "error map": str(res.weekly_maps[w].edges),
@@ -325,8 +387,8 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         if conflicting:
             raise ValueError(
                 f"--spec defines the whole grid; it cannot be combined with "
-                f"{conflicting} (only --workers/--no-cache/--json/--quiet "
-                f"compose with a spec file)"
+                f"{conflicting} (only --workers/--no-cache/--json/--quiet/"
+                f"--store/--resume compose with a spec file)"
             )
         spec = SweepSpec.from_json_file(args.spec)
     else:
@@ -367,6 +429,8 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
     try:
+        if args.resume and args.store is None:
+            raise ValueError("--resume needs --store DIR to resume from")
         spec = _sweep_spec_from_args(args)
     except ValueError as exc:
         # flag mistakes get an argparse-style error, not a traceback
@@ -388,7 +452,20 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 file=sys.stderr,
                 flush=True,
             )
-    result = run_sweep(spec, workers=args.workers, progress=progress)
+    try:
+        result = run_sweep(
+            spec,
+            workers=args.workers,
+            progress=progress,
+            store=args.store,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        # store/journal refusals (version or spec mismatch, journal held by
+        # another process, corruption) carry actionable advice — deliver it
+        # as a CLI error, not a traceback
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             fh.write(result.to_json())
@@ -408,6 +485,86 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     return body + footer
 
 
+def _cmd_store(args: argparse.Namespace) -> str:
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.root)
+    if args.action == "ls":
+        infos = list(store.entries())
+        journals = sorted(store.journals_dir.glob("*.jsonl"))
+        if not infos:
+            # journals are resumable state — never report them as "empty"
+            # (a user trusting ls might delete the directory)
+            return (
+                f"(no artifacts at {store.root}; "
+                f"{len(journals)} sweep journal(s))"
+            )
+        rows = {
+            info.digest[:16]: {
+                "kind": info.kind,
+                "size": f"{info.size_bytes / 1024:.1f}K",
+                "written": time.strftime(
+                    "%Y-%m-%d %H:%M", time.localtime(info.created)
+                ),
+                "version": info.version,
+            }
+            for info in infos
+        }
+        body = format_table(
+            rows, ["kind", "size", "written", "version"], row_header="digest"
+        )
+        footer = (
+            f"\n\n{len(infos)} artifact(s), {len(journals)} sweep journal(s)"
+        )
+        return body + footer
+    if args.action == "inspect":
+        if not args.digest:
+            raise SystemExit("repro store inspect: a digest is required")
+        matches = [
+            info for info in store.entries()
+            if info.digest.startswith(args.digest)
+        ]
+        if not matches:
+            raise SystemExit(f"no artifact matching {args.digest!r}")
+        if len(matches) > 1:
+            raise SystemExit(
+                f"digest prefix {args.digest!r} is ambiguous "
+                f"({len(matches)} matches)"
+            )
+        info = matches[0]
+        import json as _json
+
+        return _json.dumps(
+            {
+                "digest": info.digest,
+                "kind": info.kind,
+                "version": info.version,
+                "created": time.strftime(
+                    "%Y-%m-%d %H:%M:%S", time.localtime(info.created)
+                ),
+                "size_bytes": info.size_bytes,
+                "has_arrays": info.has_arrays,
+                "key": _jsonable(info.key),
+            },
+            indent=2,
+        )
+    # gc
+    report = store.gc(older_than_days=args.older_than_days)
+    return (
+        f"removed {report['removed']} object(s), "
+        f"freed {report['freed_bytes']} bytes"
+    )
+
+
+def _jsonable(obj):
+    """Plain-JSON view of a decoded artifact key (tuples become lists)."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -425,6 +582,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stability": _cmd_stability,
         "shots": _cmd_shots,
         "sweep": _cmd_sweep,
+        "store": _cmd_store,
     }
     print(handlers[args.command](args))
     return 0

@@ -71,6 +71,8 @@ def device_ghz_table(
     full_max_qubits: int = 5,
     gate_noise: bool = True,
     workers: Optional[int] = None,
+    store=None,
+    resume: bool = False,
 ) -> DeviceTableResult:
     """Run the Table II protocol.
 
@@ -82,6 +84,10 @@ def device_ghz_table(
 
     The (device x trial) grid runs on the :mod:`repro.pipeline` engine;
     ``workers`` fans it over a process pool with bit-identical results.
+    ``store`` (an :class:`~repro.store.artifacts.ArtifactStore` or its
+    directory) persists calibrations and journals tasks so an interrupted
+    table run resumes (``resume=True``) and a warm rerun re-measures
+    nothing — same numbers either way.
     """
     result = DeviceTableResult(
         devices=[d.lower() for d in devices], shots=int(shots), trials=int(trials)
@@ -98,7 +104,7 @@ def device_ghz_table(
         seed=seed_to_int(seed),
         full_max_qubits=full_max_qubits,
     )
-    sweep = run_sweep(spec, workers=workers)
+    sweep = run_sweep(spec, workers=workers, store=store, resume=resume)
     for i, device in enumerate(result.devices):
         result.errors[device] = {
             name: sweep.error_samples(i, name) for name in sweep.methods()

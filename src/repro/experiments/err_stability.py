@@ -33,6 +33,17 @@ from repro.utils.rng import RandomState, seed_to_int, stable_rng
 
 __all__ = ["ErrStabilityResult", "err_stability_experiment"]
 
+#: Threshold at 2x the median pair weight: edges at the sampling noise
+#: floor are not device structure and churn between weeks.  Part of the
+#: snapshot identity — see ``_SNAPSHOT_SCHEMA``.
+_NOISE_FLOOR_FACTOR = 2.0
+
+#: Version of the week-snapshot recipe (profiling algorithm + key fields).
+#: Bump whenever the profiling protocol changes, so stores populated by an
+#: older recipe miss cleanly instead of silently serving maps the current
+#: code would not measure.
+_SNAPSHOT_SCHEMA = 1
+
 
 def _jaccard(a: set, b: set) -> float:
     if not a and not b:
@@ -84,24 +95,68 @@ class ErrStabilityResult:
         return tuple(sorted(core))
 
 
-def _profile_week(args: Tuple[str, int, int, float, int, int]) -> CouplingMap:
+def _profile_week(
+    args: Tuple[str, int, int, float, int, int, Optional[str]]
+) -> CouplingMap:
     """Recover one drifted week's error map (module-level: pool-picklable).
 
     The base device, the week's drift and the profiling shots all come from
     streams derived of (seed, week) — no state crosses week boundaries, so
     weeks profile identically whether run serially or on a pool.
+
+    With a ``store_root``, the week's recovered snapshot (error map +
+    profiling weights) is persisted under a key naming every input, so a
+    later process re-running the same drift scenario — a different
+    ``weeks`` horizon, a crashed study, another analysis pass — reloads
+    the hardware-style calibration snapshot instead of re-profiling.
+    The snapshot is a pure function of its key, so a hit is bit-identical
+    to re-measuring.
     """
-    device, week, shots_per_week, drift_scale, locality, seed = args
+    device, week, shots_per_week, drift_scale, locality, seed, store_root = args
+    store = akey = None
+    if store_root is not None:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(store_root)
+        # the key names *every* input the snapshot depends on — a hit must
+        # be bit-identical to re-measuring, so any recipe change has to
+        # miss (schema bump) rather than serve stale maps
+        from repro._version import __version__
+
+        akey = {
+            "kind": "err-week-snapshot",
+            "namespace": "err-stability",
+            "schema": _SNAPSHOT_SCHEMA,
+            "version": __version__,
+            "device": device,
+            "week": week,
+            "shots_per_week": shots_per_week,
+            "drift_scale": drift_scale,
+            "locality": locality,
+            "noise_floor_factor": _NOISE_FLOOR_FACTOR,
+            "seed": seed,
+        }
+        payload = store.get(akey)
+        if payload is not None:
+            return payload["error_map"]
     backend = drifted_week_backend(
         device, week, seed, namespace="err-stability", drift_scale=drift_scale
     )
-    # Threshold at 2x the median pair weight: edges at the sampling
-    # noise floor are not device structure and churn between weeks.
     mitigator = CMCERRMitigator(
-        backend.coupling_map, locality=locality, noise_floor_factor=2.0
+        backend.coupling_map,
+        locality=locality,
+        noise_floor_factor=_NOISE_FLOOR_FACTOR,
     )
     mitigator.profile(backend, ShotBudget(shots_per_week))
     assert mitigator.error_map is not None
+    if store is not None:
+        store.put(
+            akey,
+            {
+                "error_map": mitigator.error_map,
+                "weights": dict(mitigator.weights or {}),
+            },
+        )
     return mitigator.error_map
 
 
@@ -114,22 +169,31 @@ def err_stability_experiment(
     locality: int = 3,
     seed: RandomState = 0,
     workers: Optional[int] = None,
+    store=None,
 ) -> ErrStabilityResult:
     """Recover an ERR error map per drifted week and measure stability.
 
     ``workers`` profiles the weeks over a process pool (results identical
-    to the serial run — each week is seeded independently).
+    to the serial run — each week is seeded independently).  ``store``
+    (an :class:`~repro.store.artifacts.ArtifactStore` or its directory)
+    persists each week's calibration snapshot so repeated or extended
+    drift studies skip the profiling circuits for weeks already on disk.
     """
     if weeks < 2:
         raise ValueError("need at least two weeks to compare")
     root = seed_to_int(seed)
+    store_root = None
+    if store is not None:
+        from repro.store import store_root as _store_root
+
+        store_root = _store_root(store)
     base = device_profile_backend(
         device, rng=stable_rng("err-stability-base", root), gate_noise=False
     )
     weekly_maps: List[CouplingMap] = map_tasks(
         _profile_week,
         [
-            (device, week, shots_per_week, drift_scale, locality, root)
+            (device, week, shots_per_week, drift_scale, locality, root, store_root)
             for week in range(weeks)
         ],
         workers=workers,

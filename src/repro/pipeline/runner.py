@@ -31,19 +31,37 @@ and the executed-circuit count.
 :func:`map_tasks` exposes the same serial/pool switch as a generic ordered
 map, used by the week-structured experiment drivers (ERR stability,
 correlation maps) whose work units are not method suites.
+
+Persistence (``store=`` / ``resume=``): pointing a sweep at a
+:class:`~repro.store.artifacts.ArtifactStore` directory journals every
+completed task (:class:`~repro.store.journal.SweepJournal`, fsynced per
+entry) and swaps the per-task calibration cache for the two-tier
+:class:`~repro.store.calcache.PersistentCalibrationCache`.  Because every
+task is a pure function of ``(spec, coordinates)``, replaying journaled
+tasks under ``resume=True`` — or restoring calibrations a previous process
+measured — is bit-identical to recomputing them; a crashed sweep loses at
+most the tasks that were in flight.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro._version import __version__
 from repro.analysis.stats import QuantileSummary, summarize_quantiles
 from repro.pipeline.cache import CalibrationCache
 from repro.pipeline.spec import SweepSpec
 from repro.utils.rng import stable_rng, stable_seed
+
+if TYPE_CHECKING:  # runtime import is lazy (repro.store imports this module)
+    from repro.store.artifacts import ArtifactStore
+
+#: What callers may pass as ``store=``: a directory path or a live store.
+StoreLike = Union[str, os.PathLike, "ArtifactStore", None]
 
 __all__ = [
     "SweepRecord",
@@ -83,9 +101,11 @@ class SweepRecord:
     def to_dict(self) -> dict:
         return {
             "backend": self.backend_label,
+            "backend_index": self.backend_index,
             "trial": self.trial,
             "shots": self.shots,
             "circuit": self.circuit_label,
+            "circuit_index": self.circuit_index,
             "method": self.method,
             "error": self.error,
             "shots_spent": self.shots_spent,
@@ -93,6 +113,38 @@ class SweepRecord:
             "not_applicable": self.not_applicable,
             "failure": self.failure,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepRecord":
+        """Exact inverse of :meth:`to_dict` (pinned round-trip test).
+
+        The store's sweep journal rides on this: a journaled record must
+        reconstruct bit-identically, or resumed sweeps would drift from
+        uninterrupted ones.
+        """
+        if "backend_index" not in data or "circuit_index" not in data:
+            # repro < 1.1.0 --json output: labels only.  Indices cannot be
+            # recovered unambiguously (duplicate backend points share a
+            # label), so fail with the format story instead of a KeyError.
+            raise ValueError(
+                "record lacks backend_index/circuit_index — this JSON was "
+                "written by repro < 1.1.0, before results were rehydratable; "
+                "re-run the sweep to regenerate it"
+            )
+        return cls(
+            backend_index=int(data["backend_index"]),
+            backend_label=str(data["backend"]),
+            trial=int(data["trial"]),
+            shots=int(data["shots"]),
+            circuit_index=int(data["circuit_index"]),
+            circuit_label=str(data["circuit"]),
+            method=str(data["method"]),
+            error=None if data["error"] is None else float(data["error"]),
+            shots_spent=int(data["shots_spent"]),
+            circuits_executed=int(data["circuits_executed"]),
+            not_applicable=bool(data["not_applicable"]),
+            failure=str(data["failure"]),
+        )
 
 
 @dataclass
@@ -121,6 +173,10 @@ class SweepResult:
     cache_misses: int = 0
     saved_shots: int = 0
     saved_circuits: int = 0
+    #: Library version that *produced* the records.  Survives JSON round
+    #: trips, so rehydrating an old result and re-serialising it does not
+    #: relabel which code generated the numbers.
+    version: str = __version__
 
     # ------------------------------------------------------------------
     def iter_records(
@@ -226,6 +282,7 @@ class SweepResult:
 
     def to_dict(self) -> dict:
         return {
+            "version": self.version,
             "spec": self.spec.to_dict(),
             "records": [rec.to_dict() for rec in self.records],
             "wall_time": self.wall_time,
@@ -238,10 +295,37 @@ class SweepResult:
             },
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        """Inverse of :meth:`to_dict`: rebuild a result from persisted JSON.
+
+        ``version`` (stamped by the writer for artifact traceability) and
+        ``cache`` are metadata, not identity — both are restored verbatim.
+        The scientific content (spec + records) round-trips exactly.
+        """
+        cache = data.get("cache", {})
+        return cls(
+            spec=SweepSpec.from_dict(data["spec"]),
+            records=[SweepRecord.from_dict(r) for r in data["records"]],
+            wall_time=float(data.get("wall_time", 0.0)),
+            workers=int(data.get("workers", 1)),
+            cache_hits=int(cache.get("hits", 0)),
+            cache_misses=int(cache.get("misses", 0)),
+            saved_shots=int(cache.get("saved_shots", 0)),
+            saved_circuits=int(cache.get("saved_circuits", 0)),
+            version=str(data.get("version", "unknown")),
+        )
+
     def to_json(self, indent: int = 2) -> str:
         import json
 
         return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        import json
+
+        return cls.from_dict(json.loads(text))
 
 
 # ----------------------------------------------------------------------
@@ -255,13 +339,19 @@ def _spec_digest(spec: SweepSpec) -> int:
 
 
 def _execute_task(
-    spec: SweepSpec, point: int, trials: Tuple[int, ...]
+    spec: SweepSpec, point: int, trials: Tuple[int, ...], store_root: Optional[str] = None
 ) -> TaskOutcome:
     """Run every (trial, budget, circuit, method) cell of one task.
 
     ``trials`` is a single trial normally, or all of a point's trials when
     the spec shares the backend draw across them (they then also share
     calibration, so co-locating them maximises cache reuse).
+
+    ``store_root`` (a path, so the task pickles into worker processes)
+    upgrades the task's calibration cache to the persistent two-tier one:
+    in-memory hits behave exactly as before, and calibrations measured by
+    any earlier process running the same logical sweep are restored from
+    disk instead of re-executed.
     """
     # Imported lazily: repro.experiments imports this package for its
     # drivers, so a module-level import here would be circular.
@@ -271,10 +361,19 @@ def _execute_task(
     digest = _spec_digest(spec)
     bspec = spec.backends[point]
 
-    # One cache per task: the key structure makes cross-task hits impossible
-    # (keys embed the trial, and shared-backend trials are co-located in one
-    # task), so a longer-lived cache would only retain dead state.
-    cache = CalibrationCache() if spec.reuse_calibration else None
+    # One in-memory cache per task: the key structure makes cross-task
+    # memory hits impossible (keys embed the trial, and shared-backend
+    # trials are co-located in one task), so a longer-lived cache would
+    # only retain dead state.  The store tier is what outlives the task.
+    cache: Optional[CalibrationCache] = None
+    if spec.reuse_calibration:
+        if store_root is not None:
+            from repro.store.artifacts import ArtifactStore
+            from repro.store.calcache import PersistentCalibrationCache
+
+            cache = PersistentCalibrationCache(ArtifactStore(store_root))
+        else:
+            cache = CalibrationCache()
 
     records: List[SweepRecord] = []
     backend = None
@@ -361,15 +460,41 @@ class ParallelSweepRunner:
         Optional ``callback(done, total, outcome)`` invoked as tasks
         complete (in completion order, which under a pool is not the
         canonical order; the assembled result always is).
+    store:
+        Optional :class:`~repro.store.artifacts.ArtifactStore` (or its
+        root directory).  Journals every completed task durably and gives
+        each task a persistent second calibration-cache tier — neither of
+        which changes any number, only what survives the process.
+    resume:
+        With ``store``: replay tasks already journaled for this spec
+        instead of re-running them.  The assembled result is bit-identical
+        to an uninterrupted run (the engine's per-task seed derivation is
+        execution-order-free).  Without a store this is an error.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
+        store: StoreLike = None,
+        resume: bool = False,
     ) -> None:
+        if resume and store is None:
+            raise ValueError("resume=True needs a store to resume from")
         self.workers = workers
         self.progress = progress
+        self.store = self._coerce_store(store)
+        self.resume = resume
+
+    @staticmethod
+    def _coerce_store(store: StoreLike):
+        if store is None:
+            return None
+        from repro.store.artifacts import ArtifactStore
+
+        if isinstance(store, ArtifactStore):
+            return store
+        return ArtifactStore(store)
 
     def effective_workers(self, spec: SweepSpec) -> int:
         if self.workers is None or self.workers <= 1:
@@ -381,25 +506,68 @@ class ParallelSweepRunner:
         coords = spec.task_coordinates()
         workers = self.effective_workers(spec)
         outcomes: Dict[Tuple[int, Tuple[int, ...]], TaskOutcome] = {}
-        if workers == 1:
-            for done, (point, trials) in enumerate(coords, start=1):
-                outcome = _execute_task(spec, point, trials)
-                outcomes[(point, trials)] = outcome
-                if self.progress is not None:
-                    self.progress(done, len(coords), outcome)
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_execute_task, spec, point, trials): (point, trials)
-                    for point, trials in coords
-                }
-                from concurrent.futures import as_completed
 
-                for done, future in enumerate(as_completed(futures), start=1):
-                    outcome = future.result()
-                    outcomes[futures[future]] = outcome
+        journal = None
+        store_root: Optional[str] = None
+        if self.store is not None:
+            from repro.store.journal import SweepJournal
+
+            store_root = str(self.store.root)
+            journal = SweepJournal.open(self.store, spec, resume=self.resume)
+
+        def _record(coord, outcome) -> int:
+            """Journal + deliver one completed task; returns done count."""
+            outcomes[coord] = outcome
+            if journal is not None:
+                journal.append_task(outcome)
+            return len(outcomes)
+
+        # Everything after the open sits under the finally that closes the
+        # journal (releasing its advisory lock) — including replay, whose
+        # corrupt-journal ValueError must not leak the lock.
+        try:
+            if journal is not None and self.resume:
+                replayed = journal.completed_outcomes()
+                # Only coordinates this spec actually defines count: a
+                # journal can hold more (e.g. written by a later version)
+                # without poisoning the result.
+                outcomes = {c: replayed[c] for c in coords if c in replayed}
+
+            pending = [c for c in coords if c not in outcomes]
+            done = len(outcomes)
+            total = len(coords)
+            if self.progress is not None:
+                # Replayed tasks surface through the same progress channel
+                # so `[k/n]` counts stay truthful on resumed runs.
+                replayed_done = 0
+                for coord in coords:
+                    if coord in outcomes:
+                        replayed_done += 1
+                        self.progress(replayed_done, total, outcomes[coord])
+            if workers == 1:
+                for point, trials in pending:
+                    outcome = _execute_task(spec, point, trials, store_root)
+                    done = _record((point, trials), outcome)
                     if self.progress is not None:
-                        self.progress(done, len(coords), outcome)
+                        self.progress(done, total, outcome)
+            elif pending:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(
+                            _execute_task, spec, point, trials, store_root
+                        ): (point, trials)
+                        for point, trials in pending
+                    }
+                    from concurrent.futures import as_completed
+
+                    for future in as_completed(futures):
+                        outcome = future.result()
+                        done = _record(futures[future], outcome)
+                        if self.progress is not None:
+                            self.progress(done, total, outcome)
+        finally:
+            if journal is not None:
+                journal.close()
 
         # Reassemble in canonical task order so the record list (and hence
         # every downstream accessor) is identical for any worker count.
@@ -420,9 +588,19 @@ def run_sweep(
     spec: SweepSpec,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    store: StoreLike = None,
+    resume: bool = False,
 ) -> SweepResult:
-    """One-call convenience: ``ParallelSweepRunner(workers).run(spec)``."""
-    return ParallelSweepRunner(workers=workers, progress=progress).run(spec)
+    """One-call convenience: ``ParallelSweepRunner(...).run(spec)``.
+
+    ``store`` (a directory or :class:`~repro.store.artifacts.ArtifactStore`)
+    makes the sweep durable: completed tasks are journaled and calibrations
+    persist across processes; ``resume=True`` picks up a crashed run
+    exactly where it stopped, bit-identical to an uninterrupted one.
+    """
+    return ParallelSweepRunner(
+        workers=workers, progress=progress, store=store, resume=resume
+    ).run(spec)
 
 
 # ----------------------------------------------------------------------

@@ -168,8 +168,12 @@ class BatchedStatevectorSimulator:
         if op.kind == "monomial":
             self._apply_monomial(op, upto)
             return
+        # Snapshots must be genuine copies: ascontiguousarray returns an
+        # aliasing *view* whenever the slice is already contiguous (e.g. a
+        # single active row with a leading-axis target qubit), and writing
+        # slice k=0 below would then corrupt the inputs of k=1.
         olds = [
-            np.ascontiguousarray(state[self._basis_slice(op.qubits, k, upto)])
+            state[self._basis_slice(op.qubits, k, upto)].copy()
             for k in range(dim)
         ]
         for k in range(dim):

@@ -1,0 +1,58 @@
+"""Persistent artifact store: durable calibrations, resumable sweeps.
+
+The repo's fourth subsystem.  The paper's operational claim (§V, §VII-A)
+is that calibration is the dominant *recurring* cost and stays valid for
+hours — worth persisting across processes, not just memoizing within one.
+This package makes everything the pipeline measures durable:
+
+* :class:`~repro.store.artifacts.ArtifactStore` — a content-addressed,
+  on-disk store (canonical-JSON key → SHA-256 address; atomic
+  write-then-rename; ``.npz`` array payloads) with bit-exact round-trip
+  codecs for calibration matrices, mitigator states, coupling maps and
+  sweep records (:mod:`repro.store.codecs`);
+* :class:`~repro.store.journal.SweepJournal` — an append-only JSONL log of
+  completed sweep tasks, so ``run_sweep(spec, store=..., resume=True)``
+  restarts a crashed grid exactly where it stopped, bit-identical to an
+  uninterrupted run;
+* :class:`~repro.store.calcache.PersistentCalibrationCache` — the
+  in-memory :class:`~repro.pipeline.cache.CalibrationCache` with the store
+  as a second tier, making a warm grid rerun skip **every** calibration
+  execution while provably reporting the same method errors.
+
+Quick start::
+
+    from repro import SweepSpec, BackendSpec, run_sweep
+
+    spec = SweepSpec(backends=(BackendSpec(kind="device", name="quito"),),
+                     trials=3, seed=0)
+    # cold: measures + persists; interrupted runs resume with --resume
+    run_sweep(spec, workers=4, store="sweep-store", resume=True)
+    # warm: zero calibration executions, identical numbers
+    run_sweep(spec, workers=4, store="sweep-store", resume=True)
+
+The CLI surface is ``repro sweep --store DIR [--resume]`` plus
+``repro store ls|inspect|gc DIR``.
+"""
+
+from repro.store.artifacts import (
+    ArtifactInfo,
+    ArtifactStore,
+    canonical_key_digest,
+    store_root,
+)
+from repro.store.calcache import PersistentCalibrationCache
+from repro.store.codecs import decode, deep_equal, encode
+from repro.store.journal import SweepJournal, journal_spec_digest
+
+__all__ = [
+    "ArtifactInfo",
+    "ArtifactStore",
+    "PersistentCalibrationCache",
+    "SweepJournal",
+    "canonical_key_digest",
+    "journal_spec_digest",
+    "store_root",
+    "encode",
+    "decode",
+    "deep_equal",
+]

@@ -1,0 +1,312 @@
+"""Content-addressed, on-disk artifact store.
+
+An :class:`ArtifactStore` is a directory of immutable artifacts addressed
+by the SHA-256 of a *canonical JSON key* — the same canonicalisation
+(sorted keys, minimal separators) for every writer, so two processes that
+describe the same logical object compute the same address and the second
+write is a no-op overwrite with identical bytes.
+
+Layout (all under the store root)::
+
+    objects/<hh>/<digest>.json   key + metadata + encoded structure
+    objects/<hh>/<digest>.npz    array payloads (only when there are any)
+    journals/<digest16>.jsonl    sweep journals (see repro.store.journal)
+
+Writes are crash-safe: payloads go to a temporary file in the destination
+directory and are published with ``os.replace`` (atomic on POSIX), arrays
+first and the ``.json`` record last — the JSON record is the commit marker,
+so a reader can never observe a record whose arrays are missing or
+half-written.  Concurrent writers of the same key race benignly: both
+produce identical content and ``os.replace`` is last-writer-wins.
+
+Values are encoded through :mod:`repro.store.codecs`, so calibration
+matrices, mitigator states, coupling maps and nested tuple-keyed dicts all
+round-trip bit-identically (`.npz` members are lossless binary).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Union
+
+import numpy as np
+
+from repro._version import __version__
+from repro.store.codecs import decode, encode
+
+__all__ = ["ArtifactStore", "ArtifactInfo", "canonical_key_digest", "store_root"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def store_root(store: Union["ArtifactStore", PathLike]) -> str:
+    """Directory root of ``store`` — a live :class:`ArtifactStore` or a
+    path — as a plain string (picklable into worker processes).
+
+    The one place that knows ``ArtifactStore.root`` is the attribute to
+    read: duck-typing on ``.root`` is a trap, because ``pathlib.Path``
+    also exposes ``.root`` (the filesystem anchor, e.g. ``"/"``).
+    """
+    if isinstance(store, ArtifactStore):
+        return str(store.root)
+    return os.fspath(store)
+
+
+def canonical_key_digest(key: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``key``.
+
+    ``key`` must be JSON-serialisable after codec encoding (no arrays —
+    keys are identities, not payloads).  Canonical form sorts object keys
+    — including non-string-keyed (kdict) entries, whose pairs the codec
+    keeps in insertion order for payload fidelity — and strips whitespace,
+    so logically equal keys hash equally no matter how the dict was built.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    encoded = encode(key, arrays)
+    if arrays:
+        raise TypeError("artifact keys must not contain arrays")
+    text = json.dumps(
+        _sorted_kdicts(encoded), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _sorted_kdicts(node: Any) -> Any:
+    """Order kdict item pairs canonically (by their JSON form).
+
+    ``json.dumps(sort_keys=True)`` sorts object keys but cannot reorder a
+    kdict's ``items`` *list* — insertion order would leak into the digest.
+    """
+    if isinstance(node, list):
+        return [_sorted_kdicts(v) for v in node]
+    if isinstance(node, dict):
+        out = {k: _sorted_kdicts(v) for k, v in node.items()}
+        if node.get("__repro__") == "kdict":
+            out["items"] = sorted(
+                out["items"], key=lambda kv: json.dumps(kv[0], sort_keys=True)
+            )
+        return out
+    return node
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One stored artifact's metadata (as listed by :meth:`ArtifactStore.entries`)."""
+
+    digest: str
+    kind: str
+    created: float
+    version: str
+    size_bytes: int
+    has_arrays: bool
+    key: dict
+
+
+class ArtifactStore:
+    """Content-addressed store rooted at a directory (created on demand)."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.objects_dir = self.root / "objects"
+        self.journals_dir = self.root / "journals"
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def _paths(self, digest: str) -> tuple:
+        bucket = self.objects_dir / digest[:2]
+        return bucket / f"{digest}.json", bucket / f"{digest}.npz"
+
+    # ------------------------------------------------------------------
+    # Write / read
+    # ------------------------------------------------------------------
+    def put(self, key: dict, payload: Any) -> str:
+        """Persist ``payload`` under ``key``; returns the content digest.
+
+        Overwriting an existing digest is allowed (and produces identical
+        bytes, since the payload is a pure function of the key for every
+        producer in this repo).
+        """
+        digest = canonical_key_digest(key)
+        json_path, npz_path = self._paths(digest)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+
+        arrays: Dict[str, np.ndarray] = {}
+        structure = encode(payload, arrays)
+        record = {
+            "key": encode(key, {}),
+            "kind": key.get("kind", "?") if isinstance(key, dict) else "?",
+            "version": __version__,
+            "created": time.time(),
+            "payload": structure,
+            "arrays": sorted(arrays),
+        }
+        if arrays:
+            self._atomic_write(
+                npz_path, lambda fh: np.savez(fh, **arrays)
+            )
+        self._atomic_write(
+            json_path,
+            lambda fh: fh.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
+                    "utf-8"
+                )
+            ),
+        )
+        return digest
+
+    def get(self, key: dict, default: Any = None) -> Any:
+        """Load the payload stored under ``key`` (``default`` if absent)."""
+        digest = canonical_key_digest(key)
+        record = self._read_record(digest)
+        if record is None:
+            return default
+        try:
+            return self._decode_record(record, digest)
+        except FileNotFoundError:
+            # a delete raced us between the record read and the array load
+            # (delete removes .json first, but we may have read it earlier);
+            # the artifact is simply gone — report a miss, not a crash
+            return default
+
+    def get_by_digest(self, digest: str) -> Any:
+        """Load a payload by its content digest (KeyError if absent)."""
+        record = self._read_record(digest)
+        if record is None:
+            raise KeyError(f"no artifact {digest!r} in {self.root}")
+        try:
+            return self._decode_record(record, digest)
+        except FileNotFoundError:
+            raise KeyError(f"no artifact {digest!r} in {self.root}") from None
+
+    def contains(self, key: dict) -> bool:
+        json_path, _ = self._paths(canonical_key_digest(key))
+        return json_path.is_file()
+
+    def __contains__(self, key: dict) -> bool:
+        return self.contains(key)
+
+    def _read_record(self, digest: str) -> Optional[dict]:
+        json_path, _ = self._paths(digest)
+        try:
+            return json.loads(json_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+
+    def _decode_record(self, record: dict, digest: str) -> Any:
+        arrays: Dict[str, np.ndarray] = {}
+        if record.get("arrays"):
+            _, npz_path = self._paths(digest)
+            with np.load(npz_path) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        return decode(record["payload"], arrays)
+
+    @staticmethod
+    def _atomic_write(path: pathlib.Path, writer) -> None:
+        """Write via a same-directory temp file + atomic rename."""
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                writer(fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance (the `repro store` CLI surface)
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[ArtifactInfo]:
+        """All stored artifacts, sorted by digest (stable listings)."""
+        if not self.objects_dir.is_dir():
+            return
+        for json_path in sorted(self.objects_dir.glob("*/*.json")):
+            digest = json_path.stem
+            record = self._read_record(digest)
+            if record is None:  # raced with a delete
+                continue
+            _, npz_path = self._paths(digest)
+            try:
+                size = json_path.stat().st_size
+            except FileNotFoundError:  # raced with a delete after the read
+                continue
+            has_arrays = bool(record.get("arrays"))
+            if has_arrays:
+                try:
+                    size += npz_path.stat().st_size
+                except FileNotFoundError:
+                    pass
+            yield ArtifactInfo(
+                digest=digest,
+                kind=str(record.get("kind", "?")),
+                created=float(record.get("created", 0.0)),
+                version=str(record.get("version", "?")),
+                size_bytes=size,
+                has_arrays=has_arrays,
+                key=decode(record.get("key", {}), {}),
+            )
+
+    def delete(self, digest: str) -> int:
+        """Remove one artifact; returns bytes freed (JSON record first,
+        so a concurrent reader sees either the full artifact or none)."""
+        json_path, npz_path = self._paths(digest)
+        freed = 0
+        for path in (json_path, npz_path):
+            try:
+                size = path.stat().st_size
+                path.unlink()
+                freed += size
+            except FileNotFoundError:
+                pass
+        return freed
+
+    #: A ``.tmp`` file younger than this may belong to a live writer (a
+    #: write takes milliseconds; an hour of margin makes gc safe to run
+    #: beside an active sweep — the "benign race" promise above must hold
+    #: for maintenance too, since gc cannot tell crashed from in-flight).
+    TMP_GRACE_SECONDS = 3600.0
+
+    def gc(self, older_than_days: Optional[float] = None) -> Dict[str, int]:
+        """Garbage-collect: drop abandoned temp files (crashed writers,
+        after a safety grace period) always, and — when ``older_than_days``
+        is given — every artifact whose record is older than that many days.
+
+        Returns ``{"removed": count, "freed_bytes": total}``.
+        """
+        removed = 0
+        freed = 0
+        if self.objects_dir.is_dir():
+            tmp_cutoff = time.time() - self.TMP_GRACE_SECONDS
+            for tmp in self.objects_dir.glob("*/.*.tmp"):
+                try:
+                    stat = tmp.stat()
+                    if stat.st_mtime >= tmp_cutoff:
+                        continue  # possibly a live writer's file
+                    tmp.unlink()
+                except FileNotFoundError:
+                    continue  # the writer published or cleaned up first
+                freed += stat.st_size
+                removed += 1
+            if older_than_days is not None:
+                cutoff = time.time() - float(older_than_days) * 86400.0
+                for info in list(self.entries()):
+                    if info.created < cutoff:
+                        freed += self.delete(info.digest)
+                        removed += 1
+        return {"removed": removed, "freed_bytes": freed}

@@ -1,0 +1,164 @@
+"""Round-trip codecs between library objects and (JSON, arrays) pairs.
+
+Everything the :class:`~repro.store.artifacts.ArtifactStore` persists goes
+through :func:`encode` / :func:`decode`: a tagged, self-describing encoding
+that splits a Python object graph into
+
+* a JSON-serialisable *structure* (plain dicts/lists/strings/numbers plus
+  ``{"__repro__": <kind>, ...}`` tag nodes), and
+* a flat ``{name: ndarray}`` *array table* holding every numeric payload
+  verbatim (persisted as one ``.npz`` member per array — lossless binary,
+  so round trips are bit-identical, not merely close).
+
+The codec covers exactly the shapes the pipeline needs to persist —
+mitigator ``calibration_state()`` dicts, :class:`CalibrationMatrix`,
+:class:`CouplingMap`, sweep records — which are built from:
+
+=====================  ===============================================
+value                  encoding
+=====================  ===============================================
+None/bool/int/float    JSON scalar (Python floats round-trip exactly:
+str                    ``json`` emits ``repr`` which ``float()`` inverts)
+tuple                  ``{"__repro__": "tuple", "items": [...]}``
+list                   JSON array
+dict (str keys)        JSON object (escaped when it contains the tag key)
+dict (any keys)        ``{"__repro__": "kdict", "items": [[k, v], ...]}``
+numpy scalar           canonicalised to the Python scalar
+numpy ndarray          ``{"__repro__": "ndarray", "ref": name}``
+CalibrationMatrix      qubit tuple + matrix array ref
+CouplingMap            num_qubits + edge list + name
+=====================  ===============================================
+
+Tuple-vs-list and int-vs-string-key distinctions are preserved because the
+calibration states key on qubit tuples and integer qubit indices —
+"mostly JSON" encodings that collapse those would load states that *look*
+right but miss every dictionary lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+
+from repro.core.calibration import CalibrationMatrix
+from repro.topology.coupling_map import CouplingMap
+
+__all__ = ["encode", "decode", "deep_equal"]
+
+#: The tag key; a plain dict that happens to contain it is escaped as kdict.
+TAG = "__repro__"
+
+
+def _new_ref(arrays: Dict[str, np.ndarray]) -> str:
+    return f"a{len(arrays)}"
+
+
+def encode(obj: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Encode ``obj`` into a JSON-able structure, filling ``arrays``."""
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return float(obj)
+    if isinstance(obj, tuple):
+        return {TAG: "tuple", "items": [encode(v, arrays) for v in obj]}
+    if isinstance(obj, list):
+        return [encode(v, arrays) for v in obj]
+    if isinstance(obj, np.ndarray):
+        ref = _new_ref(arrays)
+        arrays[ref] = obj
+        return {TAG: "ndarray", "ref": ref}
+    if isinstance(obj, CalibrationMatrix):
+        ref = _new_ref(arrays)
+        arrays[ref] = obj.matrix
+        return {TAG: "calibration_matrix", "qubits": list(obj.qubits), "ref": ref}
+    if isinstance(obj, CouplingMap):
+        return {
+            TAG: "coupling_map",
+            "num_qubits": obj.num_qubits,
+            "edges": [[a, b] for a, b in obj.edges],
+            "name": obj.name,
+        }
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and TAG not in obj:
+            return {k: encode(v, arrays) for k, v in obj.items()}
+        return {
+            TAG: "kdict",
+            "items": [
+                [encode(k, arrays), encode(v, arrays)] for k, v in obj.items()
+            ],
+        }
+    raise TypeError(
+        f"store codec cannot encode {type(obj).__name__!r}; teach "
+        f"repro.store.codecs about it before persisting it"
+    )
+
+
+def decode(obj: Any, arrays: Mapping[str, np.ndarray]) -> Any:
+    """Inverse of :func:`encode` given the same array table."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, list):
+        return [decode(v, arrays) for v in obj]
+    if isinstance(obj, dict):
+        kind = obj.get(TAG)
+        if kind is None:
+            return {k: decode(v, arrays) for k, v in obj.items()}
+        if kind == "tuple":
+            return tuple(decode(v, arrays) for v in obj["items"])
+        if kind == "ndarray":
+            return np.asarray(arrays[obj["ref"]])
+        if kind == "calibration_matrix":
+            return CalibrationMatrix(
+                tuple(obj["qubits"]), np.asarray(arrays[obj["ref"]])
+            )
+        if kind == "coupling_map":
+            return CouplingMap(
+                obj["num_qubits"],
+                [tuple(e) for e in obj["edges"]],
+                name=obj["name"],
+            )
+        if kind == "kdict":
+            return {
+                _hashable(decode(k, arrays)): decode(v, arrays)
+                for k, v in obj["items"]
+            }
+        raise ValueError(f"unknown store codec tag {kind!r}")
+    raise TypeError(f"malformed encoded node of type {type(obj).__name__!r}")
+
+
+def _hashable(key: Any) -> Any:
+    """Decoded kdict keys must be hashable (lists become tuples)."""
+    if isinstance(key, list):
+        return tuple(_hashable(v) for v in key)
+    return key
+
+
+def deep_equal(a: Any, b: Any) -> bool:
+    """Exact structural equality, with arrays compared bit-for-bit.
+
+    The round-trip oracle for the codec's property tests: types must match
+    (tuple != list, int key != str key) and every array must be
+    ``np.array_equal`` with identical dtype and shape.
+    """
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, np.ndarray):
+        return (
+            a.dtype == b.dtype and a.shape == b.shape and np.array_equal(a, b)
+        )
+    if isinstance(a, CalibrationMatrix):
+        return a.qubits == b.qubits and deep_equal(a.matrix, b.matrix)
+    if isinstance(a, CouplingMap):
+        return a == b and a.name == b.name
+    if isinstance(a, dict):
+        if set(a) != set(b):
+            return False
+        return all(deep_equal(v, b[k]) for k, v in a.items())
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            deep_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b

@@ -1,0 +1,365 @@
+"""Append-only, crash-safe sweep journals.
+
+A :class:`SweepJournal` records every completed sweep task (one
+:class:`~repro.pipeline.runner.TaskOutcome`) as one JSONL line, flushed and
+fsynced before the engine moves on.  Because the engine derives every
+stochastic stream from ``(spec seed, grid coordinates)`` — never from
+execution order — a journaled task's records are exactly what a fresh run
+of that task would produce, so ``run_sweep(spec, store=..., resume=True)``
+can splice journaled outcomes into the canonical task order and the
+assembled :class:`~repro.pipeline.runner.SweepResult` is **bit-identical**
+to an uninterrupted run (pinned in ``tests/test_store_resume.py``).
+
+One journal file per (store, spec identity): the file lives at
+``<store>/journals/<digest16>.jsonl`` where the digest hashes the spec's
+*scientific* fields — like the engine's stream namespace, the
+``reuse_calibration`` policy is excluded, because caching provably does not
+change results and a crashed cold run may be resumed warm (or vice versa).
+
+Line 1 is a header carrying the full spec, so a journal is self-describing
+(and ``resume`` can verify the caller's spec matches instead of silently
+splicing a different experiment's records).  Crash artefacts are confined
+to the final line: a torn write is detected by JSON parse failure and
+dropped, losing at most the one task that was in flight.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro._version import __version__
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a pipeline cycle
+    from repro.pipeline.runner import TaskOutcome
+    from repro.pipeline.spec import SweepSpec
+    from repro.store.artifacts import ArtifactStore
+
+__all__ = ["SweepJournal", "journal_spec_digest"]
+
+MAGIC = "repro-sweep-journal/1"
+
+TaskCoord = Tuple[int, Tuple[int, ...]]
+
+
+def _identity_fields(spec: "SweepSpec") -> dict:
+    data = spec.to_dict()
+    data.pop("reuse_calibration", None)  # caching policy is not identity
+    return data
+
+
+def journal_spec_digest(spec: "SweepSpec") -> str:
+    """Stable hex digest of a spec's scientific identity (16 chars)."""
+    text = json.dumps(
+        _identity_fields(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class SweepJournal:
+    """One sweep's task-completion log, bound to a spec and a path."""
+
+    def __init__(self, path: os.PathLike, spec: "SweepSpec") -> None:
+        self.path = pathlib.Path(path)
+        self.spec = spec
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, store: "ArtifactStore", spec: "SweepSpec", resume: bool = False
+    ) -> "SweepJournal":
+        """The journal for ``spec`` inside ``store``.
+
+        ``resume=False`` starts fresh (an existing journal for the same
+        spec is truncated — it described a previous, completed or abandoned
+        run).  ``resume=True`` keeps existing entries so
+        :meth:`completed_outcomes` can replay them; a header whose spec
+        does not match raises rather than mixing experiments.
+
+        An advisory lock (``<journal>.lock``, holder pid inside) guards the
+        file: two live processes journaling the same spec into one store
+        would interleave writes and the fresh-run truncation would destroy
+        the other's durable progress, so the second open raises instead.
+        Locks left by dead processes (hard kills) are reclaimed.
+        """
+        path = store.journals_dir / f"{journal_spec_digest(spec)}.jsonl"
+        journal = cls(path, spec)
+        journal._acquire_lock()
+        try:
+            if resume and path.is_file() and journal._read_header() is not None:
+                journal._verify_header()
+            else:
+                # No file, or a crash during header creation left it empty /
+                # torn before any task could be journaled — nothing to
+                # protect, start fresh rather than demanding a manual delete.
+                journal._write_header()
+        except BaseException:
+            journal._release_lock()
+            raise
+        return journal
+
+    # ------------------------------------------------------------------
+    # Advisory locking
+    # ------------------------------------------------------------------
+    @property
+    def _lock_path(self) -> pathlib.Path:
+        return self.path.with_suffix(".lock")
+
+    def _acquire_lock(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # The pid is written to a private temp file first and published with
+        # os.link (atomic, fails-if-exists), so a visible lock always
+        # carries its holder — no window where a racer reads an empty lock
+        # and "reclaims" a live one.
+        import tempfile
+
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, prefix=".lock.")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+                fh.flush()
+                os.fsync(fh.fileno())
+            while True:
+                try:
+                    os.link(tmp, self._lock_path)
+                    self._locked = True
+                    return
+                except FileExistsError:
+                    pass
+                holder = self._lock_holder()
+                if holder is None:
+                    # published locks always hold a pid; an unreadable one
+                    # means external interference — or it vanished between
+                    # the failed link and the read, so just try again
+                    if self._lock_path.exists():
+                        raise ValueError(
+                            f"lock {self._lock_path} is unreadable; remove "
+                            f"it manually if no sweep is running"
+                        )
+                    continue
+                if self._pid_alive(holder):
+                    raise ValueError(
+                        f"journal {self.path} is in use by process {holder}; "
+                        f"two sweeps must not share one spec's journal "
+                        f"concurrently"
+                    )
+                # Stale lock from a hard-killed run.  Claim it by rename —
+                # atomic, so of N racers exactly one wins and the losers
+                # loop back to contend for the fresh lock; nobody can
+                # unlink a lock another racer just published.
+                claimed = f"{self._lock_path}.stale.{os.getpid()}"
+                try:
+                    os.rename(self._lock_path, claimed)
+                except FileNotFoundError:
+                    continue  # another racer claimed it first
+                os.unlink(claimed)
+        finally:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+
+    def _lock_holder(self):
+        try:
+            text = self._lock_path.read_text().strip()
+            return int(text) if text else None
+        except (FileNotFoundError, ValueError):
+            return None
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        # Our own pid counts as alive: a second same-process writer (a
+        # thread, a nested call) would interleave/truncate the first one's
+        # journal exactly like a foreign process would.  Sequential
+        # re-entry is fine because every open is paired with close() —
+        # the runner does so in a finally.
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # alive, owned by someone else
+            return True
+        return True
+
+    def _release_lock(self) -> None:
+        if getattr(self, "_locked", False):
+            try:
+                os.unlink(self._lock_path)
+            except FileNotFoundError:
+                pass
+            self._locked = False
+
+    def _read_header(self):
+        """Line 1 parsed, or ``None`` when missing/torn (no full scan)."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                first = fh.readline()
+        except FileNotFoundError:
+            return None
+        if not first.strip():
+            return None
+        try:
+            return json.loads(first)
+        except json.JSONDecodeError:
+            return None
+
+    def _write_header(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "kind": "header",
+            "magic": MAGIC,
+            "version": __version__,
+            "digest": journal_spec_digest(self.spec),
+            "spec": self.spec.to_dict(),
+        }
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _verify_header(self) -> None:
+        header = self._read_header()  # only line 1 — no full-file parse
+        if header is None:
+            raise ValueError(f"journal {self.path} is empty (no header)")
+        if header.get("kind") != "header" or header.get("magic") != MAGIC:
+            raise ValueError(f"{self.path} is not a repro sweep journal")
+        if header.get("version") != __version__:
+            # The bit-identical promise only holds within one engine
+            # version: releases have changed numbers under identical seeds
+            # before (e.g. the trajectory-noise stream reorder), and a
+            # half-replayed, half-recomputed grid would match neither run.
+            raise ValueError(
+                f"journal {self.path} was written by repro "
+                f"{header.get('version')!r} but this is {__version__}; "
+                f"results are only bit-identical within one version — "
+                f"re-run without --resume to start fresh"
+            )
+        from repro.pipeline.spec import SweepSpec
+
+        recorded = SweepSpec.from_dict(header["spec"])
+        if _identity_fields(recorded) != _identity_fields(self.spec):
+            raise ValueError(
+                f"journal {self.path} was written by a different spec; "
+                f"refusing to splice its tasks into this sweep"
+            )
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append_task(self, outcome: "TaskOutcome") -> None:
+        """Durably record one completed task (flush + fsync per entry)."""
+        entry = {
+            "kind": "task",
+            "point": outcome.backend_index,
+            "trials": list(outcome.trials),
+            "records": [rec.to_dict() for rec in outcome.records],
+            "cache_hits": outcome.cache_hits,
+            "cache_misses": outcome.cache_misses,
+            "saved_shots": outcome.saved_shots,
+            "saved_circuits": outcome.saved_circuits,
+            "duration": outcome.duration,
+        }
+        if self._fh is None:
+            self._trim_torn_tail()
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def _trim_torn_tail(self) -> None:
+        """Repair a newline-less final line before appending.
+
+        A hard kill can die mid-append; replay (`_raw_lines`) keeps the
+        fragment if it parses as JSON and drops it otherwise.  Appending
+        straight after it would fuse the fragment and the new entry into
+        one corrupt mid-file line, so the file is repaired to match what
+        replay saw: a *complete* entry that merely lost its newline gets
+        the newline (it was replayed as done — truncating it would silently
+        un-journal a finished task), a genuinely torn fragment is truncated
+        away.
+        """
+        try:
+            with open(self.path, "rb+") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() == 0:
+                    return
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) == b"\n":
+                    return
+                fh.seek(0)
+                data = fh.read()
+                fragment = data[data.rfind(b"\n") + 1:]
+                try:
+                    json.loads(fragment.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    fh.truncate(len(data) - len(fragment))
+                else:
+                    fh.write(b"\n")
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._release_lock()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _raw_lines(self) -> List[dict]:
+        """Parsed journal lines; a torn final line (crash) is dropped."""
+        out: List[dict] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except FileNotFoundError:
+            return out
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn tail from a crash mid-append
+                raise ValueError(
+                    f"journal {self.path} is corrupt at line {i + 1}"
+                ) from None
+        return out
+
+    def completed_outcomes(self) -> Dict[TaskCoord, "TaskOutcome"]:
+        """Journaled tasks as live TaskOutcome objects, keyed by task
+        coordinate.  Duplicate entries for one coordinate (a crash between
+        append and process exit, then a re-run) collapse to the last —
+        the content is identical either way, by the seeding discipline."""
+        from repro.pipeline.runner import SweepRecord, TaskOutcome
+
+        out: Dict[TaskCoord, TaskOutcome] = {}
+        for entry in self._raw_lines():
+            if entry.get("kind") != "task":
+                continue
+            coord = (int(entry["point"]), tuple(int(t) for t in entry["trials"]))
+            out[coord] = TaskOutcome(
+                backend_index=coord[0],
+                trials=coord[1],
+                records=[SweepRecord.from_dict(r) for r in entry["records"]],
+                cache_hits=int(entry["cache_hits"]),
+                cache_misses=int(entry["cache_misses"]),
+                saved_shots=int(entry["saved_shots"]),
+                saved_circuits=int(entry["saved_circuits"]),
+                duration=float(entry["duration"]),
+            )
+        return out

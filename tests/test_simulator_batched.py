@@ -235,3 +235,22 @@ class TestOperatorKinds:
         before = sim.statevectors
         sim.apply_matrix(np.eye(2), (1,))
         np.testing.assert_array_equal(sim.statevectors, before)
+
+    def test_dense_gate_single_row_leading_qubit_no_aliasing(self):
+        # Regression: the dense path's basis-slice snapshots must be real
+        # copies.  With a single active row and the target on the leading
+        # qubit axis the slices are already contiguous, so a view-returning
+        # "copy" (ascontiguousarray) aliases the state and writing slice
+        # k=0 corrupts the inputs of k=1: |01> -H(q1)-> norm 0.866, not 1.
+        for batch, upto in ((1, None), (4, 1)):
+            sim = BatchedStatevectorSimulator(2, batch)
+            state = sim._state
+            state[...] = 0.0
+            state[:, 0, 1] = 1.0  # every row in |01>
+            op = prepare_operator(gate_matrix("h"), (1,), 2)
+            sim.apply_prepared(op, upto=upto)
+            rows = state.reshape(batch, 4)[: (upto or batch)]
+            expected = np.zeros(4, dtype=complex)
+            expected[1] = expected[3] = 1 / np.sqrt(2)
+            for row in rows:
+                np.testing.assert_allclose(row, expected, atol=1e-12)

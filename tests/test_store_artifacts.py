@@ -1,0 +1,256 @@
+"""Tests for repro.store codecs and the content-addressed ArtifactStore.
+
+The load-bearing guarantee: anything the pipeline persists — calibration
+matrices, mitigator ``calibration_state()`` dicts, coupling maps, nested
+tuple-keyed containers — survives save→load **bit-identically** (exact
+array bytes, exact container types, exact key types).  Hypothesis drives
+the codec over random instances of exactly those shapes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import ShotBudget, SimulatedBackend
+from repro.core import CalibrationMatrix, CMCERRMitigator, CMCMitigator
+from repro.mitigation import FullCalibrationMitigator, LinearCalibrationMitigator
+from repro.noise import MeasurementErrorChannel, NoiseModel, ReadoutError
+from repro.store import (
+    ArtifactStore,
+    canonical_key_digest,
+    decode,
+    deep_equal,
+    encode,
+)
+from repro.topology import CouplingMap, linear
+from repro.utils.linalg import column_normalize
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def _calibration_matrix(seed: int, num_qubits: int) -> CalibrationMatrix:
+    rng = np.random.default_rng(seed)
+    dim = 1 << num_qubits
+    raw = rng.uniform(0.0, 1.0, size=(dim, dim)) + np.eye(dim)
+    qubits = tuple(int(q) for q in rng.permutation(8)[:num_qubits])
+    return CalibrationMatrix(qubits, column_normalize(raw))
+
+
+cal_matrices = st.builds(
+    _calibration_matrix,
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=3),
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=True),
+    st.text(max_size=20),
+)
+
+#: Keys that occur in real payloads: strings, ints, and qubit tuples.
+dict_keys = st.one_of(
+    st.text(max_size=10),
+    st.integers(min_value=-100, max_value=100),
+    st.tuples(st.integers(0, 30), st.integers(0, 30)),
+)
+
+state_values = st.recursive(
+    st.one_of(scalars, cal_matrices),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(dict_keys, children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+# ----------------------------------------------------------------------
+# Codec round trips
+# ----------------------------------------------------------------------
+class TestCodecRoundTrip:
+    @given(state_values)
+    @settings(max_examples=80, deadline=None)
+    def test_random_states_survive_bit_identically(self, value):
+        arrays = {}
+        structure = encode(value, arrays)
+        # the structure must be genuine JSON (what lands in the .json file)
+        structure = json.loads(json.dumps(structure))
+        assert deep_equal(decode(structure, arrays), value)
+
+    @given(cal_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_calibration_matrices_exact(self, cal):
+        arrays = {}
+        clone = decode(json.loads(json.dumps(encode(cal, arrays))), arrays)
+        assert clone.qubits == cal.qubits
+        assert clone.matrix.dtype == cal.matrix.dtype
+        assert np.array_equal(clone.matrix, cal.matrix)  # bitwise, not close
+
+    def test_coupling_map_round_trip(self):
+        cmap = CouplingMap(5, [(0, 1), (1, 2), (3, 4)], name="probe")
+        arrays = {}
+        clone = decode(encode(cmap, arrays), arrays)
+        assert clone == cmap and clone.name == "probe"
+        assert arrays == {}  # structural — no array payloads
+
+    def test_tuple_list_and_key_types_preserved(self):
+        value = {
+            (0, 1): [1, 2],
+            "s": (1, 2),
+            3: {"nested": (0,)},
+        }
+        arrays = {}
+        clone = decode(json.loads(json.dumps(encode(value, arrays))), arrays)
+        assert deep_equal(clone, value)
+        assert isinstance(clone["s"], tuple) and isinstance(clone[(0, 1)], list)
+        assert 3 in clone and "3" not in clone
+
+    def test_tag_collision_dict_is_escaped(self):
+        value = {"__repro__": "not-a-tag", "x": 1}
+        arrays = {}
+        clone = decode(encode(value, arrays), arrays)
+        assert clone == value
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(TypeError):
+            encode(object(), {})
+
+
+def _measurement_backend(seed=0):
+    ch = MeasurementErrorChannel.from_readout_errors(
+        [ReadoutError(0.02, 0.05)] * 4
+    )
+    return SimulatedBackend(linear(4), NoiseModel.measurement_only(ch), rng=seed)
+
+
+class TestMitigatorStateRoundTrip:
+    """Every reusable method's calibration_state survives the store."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda cmap: FullCalibrationMitigator(max_qubits=4),
+            lambda cmap: LinearCalibrationMitigator(),
+            lambda cmap: CMCMitigator(cmap),
+            lambda cmap: CMCERRMitigator(cmap, locality=3),
+        ],
+        ids=["Full", "Linear", "CMC", "CMC-ERR"],
+    )
+    def test_state_survives_disk(self, make, tmp_path):
+        backend = _measurement_backend(seed=11)
+        cmap = backend.coupling_map
+        cold = make(cmap)
+        cold.prepare(backend, ShotBudget(16000))
+        state = cold.calibration_state()
+
+        store = ArtifactStore(tmp_path / "store")
+        store.put({"kind": "probe", "m": type(cold).__name__}, {"state": state})
+        loaded = store.get({"kind": "probe", "m": type(cold).__name__})["state"]
+        assert deep_equal(loaded, state)
+
+        restored = make(cmap)
+        restored.load_calibration_state(loaded)
+        from repro.circuits import ghz_bfs
+
+        counts = backend.run(ghz_bfs(cmap), 4000)
+        a = cold.mitigate(counts).to_dense(normalized=True)
+        b = restored.mitigate(counts).to_dense(normalized=True)
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# ArtifactStore behaviour
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_canonical_key_is_insertion_order_free(self):
+        assert canonical_key_digest({"a": 1, "b": 2}) == canonical_key_digest(
+            {"b": 2, "a": 1}
+        )
+        assert canonical_key_digest({"a": 1}) != canonical_key_digest({"a": 2})
+        # non-string-keyed (kdict-encoded) dicts too, at any nesting depth
+        assert canonical_key_digest(
+            {"kind": "x", "m": {1: "a", (0, 2): "b"}}
+        ) == canonical_key_digest({"kind": "x", "m": {(0, 2): "b", 1: "a"}})
+        assert canonical_key_digest({"m": {1: "a"}}) != canonical_key_digest(
+            {"m": {1: "b"}}
+        )
+
+    def test_put_get_contains(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = {"kind": "t", "k": (1, "x")}
+        assert store.get(key) is None and key not in store
+        digest = store.put(key, {"v": np.arange(5.0)})
+        assert key in store
+        assert np.array_equal(store.get(key)["v"], np.arange(5.0))
+        assert np.array_equal(store.get_by_digest(digest)["v"], np.arange(5.0))
+
+    def test_get_by_digest_missing_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            ArtifactStore(tmp_path).get_by_digest("0" * 64)
+
+    def test_keys_must_not_carry_arrays(self, tmp_path):
+        with pytest.raises(TypeError):
+            ArtifactStore(tmp_path).put({"kind": "t", "a": np.zeros(2)}, {})
+
+    def test_overwrite_same_key_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = {"kind": "t"}
+        assert store.put(key, {"v": 1}) == store.put(key, {"v": 1})
+        assert len(list(store.entries())) == 1
+
+    def test_entries_and_delete(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put({"kind": "a"}, {"v": np.zeros(3)})
+        store.put({"kind": "b"}, {"v": 2})
+        infos = list(store.entries())
+        assert sorted(i.kind for i in infos) == ["a", "b"]
+        with_arrays = next(i for i in infos if i.kind == "a")
+        assert with_arrays.has_arrays and with_arrays.size_bytes > 0
+        assert store.delete(with_arrays.digest) > 0
+        assert [i.kind for i in store.entries()] == ["b"]
+
+    def test_gc_sweeps_tmp_files_and_old_artifacts(self, tmp_path):
+        import os
+        import time
+
+        store = ArtifactStore(tmp_path)
+        store.put({"kind": "old"}, {"v": 1})
+        # a crashed writer's leftover (long dead) and a live writer's file
+        bucket = next(store.objects_dir.glob("*"))
+        dead = bucket / ".dead.json.x.tmp"
+        dead.write_bytes(b"partial")
+        stale = time.time() - store.TMP_GRACE_SECONDS - 60
+        os.utime(dead, (stale, stale))
+        live = bucket / ".live.json.y.tmp"
+        live.write_bytes(b"in flight")
+        report = store.gc()
+        assert report["removed"] == 1  # dead tmp only
+        assert live.exists() and not dead.exists()  # live writer untouched
+        assert list(store.entries())  # artifact survives a plain gc
+        report = store.gc(older_than_days=-1.0)  # everything is "old"
+        assert report["removed"] == 1
+        assert not list(store.entries())
+
+    def test_missing_arrays_file_reads_as_miss(self, tmp_path):
+        # gc/delete beside a reader: a record whose .npz vanished must be
+        # a miss, not a FileNotFoundError in the reader's sweep task
+        store = ArtifactStore(tmp_path)
+        key = {"kind": "t"}
+        digest = store.put(key, {"v": np.arange(3.0)})
+        _, npz_path = store._paths(digest)
+        npz_path.unlink()
+        assert store.get(key, default="miss") == "miss"
+        with pytest.raises(KeyError):
+            store.get_by_digest(digest)
+
+    def test_empty_store_listing(self, tmp_path):
+        store = ArtifactStore(tmp_path / "nowhere")
+        assert list(store.entries()) == []
+        assert store.gc() == {"removed": 0, "freed_bytes": 0}
