@@ -36,6 +36,7 @@ DEFAULT_OUTPUT = BENCH_DIR / "BENCH_trajectories.json"
 PERF_BENCHES = [
     "test_bench_batched_trajectories.py",
     "test_bench_store.py",
+    "test_bench_service.py",
 ]
 
 

@@ -41,6 +41,7 @@ Subpackages
 ``repro.experiments``   drivers for every paper table and figure
 ``repro.pipeline``      declarative sweeps: process-pool engine + calibration cache
 ``repro.store``         persistent artifact store: durable calibrations, resumable sweeps
+``repro.service``       asyncio sweep service: streaming results, warm-first scheduling
 """
 
 from repro.analysis import one_norm_distance, success_probability

@@ -15,6 +15,8 @@
     python -m repro sweep --spec grid.json --workers 4 --json out.json
     python -m repro sweep --spec grid.json --store ./artifacts --resume
     python -m repro store ls ./artifacts
+    python -m repro serve --store ./artifacts --port 7341
+    python -m repro submit --devices quito --trials 3 --follow
     python -m repro --version
 
 Every command prints the same rows/series the corresponding paper artifact
@@ -23,8 +25,12 @@ reports (see EXPERIMENTS.md for the mapping) and is deterministic under
 :class:`~repro.pipeline.spec.SweepSpec` or inline flags — on the parallel
 engine, with per-task progress on stderr and optional JSON results.
 ``--store DIR`` makes a sweep durable (journal + persistent calibrations;
-``--resume`` restarts a crashed run bit-identically), and ``store``
-inspects or garbage-collects such a directory.
+``--resume`` restarts a crashed run bit-identically; the planner orders
+tasks warm-first and reports the journaled/warm/cold split), and ``store``
+inspects or garbage-collects such a directory.  ``serve`` hosts a store as
+a long-running sweep service (see :mod:`repro.service`); ``submit`` sends
+a grid to it — with ``--follow``, journal rows stream back live while the
+sweep runs, and the final table is bit-identical to a local run.
 """
 
 from __future__ import annotations
@@ -51,6 +57,12 @@ from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
 
 __all__ = ["main", "build_parser"]
 
+#: Default `repro serve` / `repro submit` port.  Mirrors
+#: :data:`repro.service.server.DEFAULT_PORT` (which is authoritative);
+#: duplicated here so the CLI parser builds without importing asyncio
+#: machinery — the service package loads lazily in the handlers.
+DEFAULT_SERVICE_PORT = 7341
+
 _COMMANDS = {
     "list": "show available commands and the paper artifact each reproduces",
     "ghz": "GHZ error-rate sweep over device sizes (Figs. 13-15, octagonal)",
@@ -63,7 +75,45 @@ _COMMANDS = {
     "shots": "error vs shot budget per method (§V-A)",
     "sweep": "run any declarative sweep grid on the parallel engine",
     "store": "inspect / garbage-collect a sweep artifact store",
+    "serve": "host a store as a long-running, streaming sweep service",
+    "submit": "send a sweep grid to a running `repro serve` instance",
 }
+
+
+def _add_grid_args(p: argparse.ArgumentParser) -> None:
+    """The sweep-grid flags, shared verbatim by `sweep` and `submit`."""
+    p.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="JSON SweepSpec file; overrides the inline grid flags below",
+    )
+    grid = p.add_mutually_exclusive_group()
+    grid.add_argument(
+        "--devices", nargs="+", default=None,
+        help="IBM-like device profiles to sweep (inline grid)",
+    )
+    grid.add_argument(
+        "--architecture", default=None,
+        choices=["grid", "hexagonal", "octagonal", "fully_connected"],
+        help="architecture family to sweep over --qubits (inline grid)",
+    )
+    p.add_argument(
+        "--qubits", type=int, nargs="+", default=None,
+        help="architecture sizes (with --architecture; default: 6)",
+    )
+    p.add_argument("--shots", type=int, nargs="+", default=[16000])
+    p.add_argument("--trials", type=int, default=2)
+    p.add_argument("--methods", nargs="+", default=None, choices=METHOD_ORDER)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--full-max-qubits", type=int, default=10)
+    p.add_argument(
+        "--gate-noise", action=argparse.BooleanOptionalAction, default=True,
+        help="include depolarising gate errors (on by default, matching "
+        "the devices command; --no-gate-noise for measurement-only runs)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable calibration reuse (identical results, more device time)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,41 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("sweep", help=_COMMANDS["sweep"])
-    p.add_argument(
-        "--spec", default=None, metavar="PATH",
-        help="JSON SweepSpec file; overrides the inline grid flags below",
-    )
-    grid = p.add_mutually_exclusive_group()
-    grid.add_argument(
-        "--devices", nargs="+", default=None,
-        help="IBM-like device profiles to sweep (inline grid)",
-    )
-    grid.add_argument(
-        "--architecture", default=None,
-        choices=["grid", "hexagonal", "octagonal", "fully_connected"],
-        help="architecture family to sweep over --qubits (inline grid)",
-    )
-    p.add_argument(
-        "--qubits", type=int, nargs="+", default=None,
-        help="architecture sizes (with --architecture; default: 6)",
-    )
-    p.add_argument("--shots", type=int, nargs="+", default=[16000])
-    p.add_argument("--trials", type=int, default=2)
-    p.add_argument("--methods", nargs="+", default=None, choices=METHOD_ORDER)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--full-max-qubits", type=int, default=10)
-    p.add_argument(
-        "--gate-noise", action=argparse.BooleanOptionalAction, default=True,
-        help="include depolarising gate errors (on by default, matching "
-        "the devices command; --no-gate-noise for measurement-only runs)",
-    )
+    _add_grid_args(p)
     p.add_argument(
         "--workers", type=int, default=None,
         help="process-pool width (default: serial; results are identical)",
-    )
-    p.add_argument(
-        "--no-cache", action="store_true",
-        help="disable calibration reuse (identical results, more device time)",
     )
     p.add_argument(
         "--json", dest="json_out", default=None, metavar="PATH",
@@ -198,7 +217,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--store", dest="store", default=None, metavar="DIR",
         help="persist calibrations + a crash-safe task journal under DIR "
-        "(warm reruns skip every calibration execution)",
+        "(warm reruns skip every calibration execution; tasks with "
+        "persisted calibrations run first)",
     )
     p.add_argument(
         "--resume", action="store_true",
@@ -221,6 +241,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--older-than-days", type=float, default=None, metavar="DAYS",
         help="gc: also delete artifacts older than DAYS",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true",
+        help="gc: report what would be removed (and bytes reclaimed) "
+        "without deleting anything",
+    )
+
+    p = sub.add_parser("serve", help=_COMMANDS["serve"])
+    p.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="artifact store directory the service journals into",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help=f"TCP port (default {DEFAULT_SERVICE_PORT}; 0 = ephemeral)")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent task executions across all live sweeps",
+    )
+    p.add_argument(
+        "--processes", action="store_true",
+        help="execute tasks on a process pool (full CPU parallelism) "
+        "instead of in-process threads",
+    )
+
+    p = sub.add_parser("submit", help=_COMMANDS["submit"])
+    _add_grid_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help=f"server TCP port (default {DEFAULT_SERVICE_PORT})")
+    p.add_argument(
+        "--follow", action="store_true",
+        help="stream journal rows as tasks land, then print the summary "
+        "table (without it: print the sweep id and return immediately)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="replay tasks already journaled on the server for this spec",
+    )
+    p.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="with --follow: also write the full results as JSON",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-task progress"
     )
 
     return parser
@@ -375,10 +440,12 @@ _SWEEP_GRID_FLAGS = {
 }
 
 
-def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+def _sweep_spec_from_args(
+    args: argparse.Namespace, command: str = "sweep"
+) -> SweepSpec:
     """Build a SweepSpec from ``--spec`` or the inline grid flags."""
     if args.spec is not None:
-        baseline = build_parser().parse_args(["sweep"])
+        baseline = build_parser().parse_args([command])
         conflicting = [
             flag
             for attr, flag in _SWEEP_GRID_FLAGS.items()
@@ -387,10 +454,22 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         if conflicting:
             raise ValueError(
                 f"--spec defines the whole grid; it cannot be combined with "
-                f"{conflicting} (only --workers/--no-cache/--json/--quiet/"
-                f"--store/--resume compose with a spec file)"
+                f"{conflicting} (only the non-grid flags compose with a "
+                f"spec file)"
             )
-        spec = SweepSpec.from_json_file(args.spec)
+        try:
+            spec = SweepSpec.from_json_file(args.spec)
+        except FileNotFoundError:
+            raise ValueError(f"--spec {args.spec}: no such file") from None
+        except ValueError as exc:
+            # json.JSONDecodeError subclasses ValueError: malformed JSON
+            # (and spec-validation refusals) get the flag-error treatment,
+            # not a traceback
+            raise ValueError(f"--spec {args.spec} is not valid: {exc}") from None
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"--spec {args.spec} is not a valid SweepSpec: {exc}"
+            ) from None
     else:
         if args.devices is not None:
             if args.qubits is not None:
@@ -427,48 +506,29 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
     return spec
 
 
-def _cmd_sweep(args: argparse.Namespace) -> str:
-    try:
-        if args.resume and args.store is None:
-            raise ValueError("--resume needs --store DIR to resume from")
-        spec = _sweep_spec_from_args(args)
-    except ValueError as exc:
-        # flag mistakes get an argparse-style error, not a traceback
-        print(f"repro sweep: error: {exc}", file=sys.stderr)
-        raise SystemExit(2)
-    progress = None
-    if not args.quiet:
-        def progress(done: int, total: int, outcome) -> None:
-            label = spec.backends[outcome.backend_index].label
-            trials = ",".join(str(t) for t in outcome.trials)
-            print(
-                f"[{done}/{total}] {label} trial {trials} "
-                f"done in {outcome.duration:.1f}s"
-                + (
-                    f" ({outcome.cache_hits} calibration cache hits)"
-                    if outcome.cache_hits
-                    else ""
-                ),
-                file=sys.stderr,
-                flush=True,
-            )
-    try:
-        result = run_sweep(
-            spec,
-            workers=args.workers,
-            progress=progress,
-            store=args.store,
-            resume=args.resume,
+def _progress_printer(spec: SweepSpec):
+    """Per-task stderr line shared by `sweep` and `submit --follow`."""
+
+    def progress(done: int, total: int, outcome) -> None:
+        label = spec.backends[outcome.backend_index].label
+        trials = ",".join(str(t) for t in outcome.trials)
+        print(
+            f"[{done}/{total}] {label} trial {trials} "
+            f"done in {outcome.duration:.1f}s"
+            + (
+                f" ({outcome.cache_hits} calibration cache hits)"
+                if outcome.cache_hits
+                else ""
+            ),
+            file=sys.stderr,
+            flush=True,
         )
-    except ValueError as exc:
-        # store/journal refusals (version or spec mismatch, journal held by
-        # another process, corruption) carry actionable advice — deliver it
-        # as a CLI error, not a traceback
-        print(f"repro sweep: error: {exc}", file=sys.stderr)
-        raise SystemExit(2)
-    if args.json_out:
-        with open(args.json_out, "w", encoding="utf-8") as fh:
-            fh.write(result.to_json())
+
+    return progress
+
+
+def _result_table(result) -> str:
+    """The summary table + footer shared by `sweep` and `submit`."""
     rows = result.summary_rows()
     body = format_table(
         rows, result.column_labels(), row_header="method", precision=2
@@ -480,9 +540,162 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         f"{result.saved_circuits} circuit executions "
         f"({result.saved_shots} shots) saved"
     )
-    if args.json_out:
-        footer += f"\nresults written to {args.json_out}"
     return body + footer
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    try:
+        if args.resume and args.store is None:
+            raise ValueError("--resume needs --store DIR to resume from")
+        spec = _sweep_spec_from_args(args)
+    except ValueError as exc:
+        # flag mistakes get an argparse-style error, not a traceback
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    progress = None
+    on_plan = None
+    if not args.quiet:
+        progress = _progress_printer(spec)
+        if args.store is not None:
+            # the planner's pre-scan, not a bare task count: how much of
+            # this grid replays from the journal, restores warm
+            # calibrations, or actually runs cold
+            label = "resume" if args.resume else "plan"
+
+            def on_plan(plan) -> None:
+                print(f"{label}: {plan.summary()}", file=sys.stderr, flush=True)
+
+    try:
+        result = run_sweep(
+            spec,
+            workers=args.workers,
+            progress=progress,
+            store=args.store,
+            resume=args.resume,
+            on_plan=on_plan,
+        )
+    except ValueError as exc:
+        # store/journal refusals (version or spec mismatch, journal held by
+        # another process, corruption) carry actionable advice — deliver it
+        # as a CLI error, not a traceback
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+    out = _result_table(result)
+    if args.json_out:
+        out += f"\nresults written to {args.json_out}"
+    return out
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from repro.service.server import DEFAULT_PORT, SweepServer
+
+    server = SweepServer(
+        args.store,
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        workers=args.workers,
+        use_processes=args.processes,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"repro serve: store {args.store} listening on "
+            f"{server.host}:{server.port} "
+            f"({server.coordinator.workers} worker(s), "
+            f"{'processes' if args.processes else 'threads'}); Ctrl-C stops",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: stopped", file=sys.stderr)
+    except OSError as exc:  # port in use, bad interface, ...
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    return ""
+
+
+def _cmd_submit(args: argparse.Namespace) -> str:
+    from repro.service.client import ServiceError, SweepClient, submit_and_follow
+    from repro.service.server import DEFAULT_PORT
+
+    try:
+        spec = _sweep_spec_from_args(args, command="submit")
+    except ValueError as exc:
+        print(f"repro submit: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    port = DEFAULT_PORT if args.port is None else args.port
+    progress = None if args.quiet else _progress_printer(spec)
+    total = spec.num_tasks
+    done = 0
+
+    def on_row(row: dict) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            outcome = _row_outcome(row)
+            progress(done, total, outcome)
+
+    try:
+        if not args.follow:
+            import asyncio
+
+            async def _submit_only() -> str:
+                async with SweepClient(args.host, port) as client:
+                    return await client.submit(spec, resume=args.resume)
+
+            sweep_id = asyncio.run(_submit_only())
+            return (
+                f"submitted {sweep_id} ({total} tasks); follow with "
+                f"`repro submit ... --follow` or watch the server log"
+            )
+        result = submit_and_follow(
+            spec, host=args.host, port=port, resume=args.resume, on_row=on_row
+        )
+    except ConnectionError as exc:
+        print(
+            f"repro submit: error: cannot reach repro serve at "
+            f"{args.host}:{port} ({exc})",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    except OSError as exc:
+        print(
+            f"repro submit: error: cannot connect to {args.host}:{port} "
+            f"({exc}) — is `repro serve` running?",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    except ServiceError as exc:
+        # server-side refusals (invalid spec, journal in use, failed run)
+        print(f"repro submit: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+    out = _result_table(result)
+    if args.json_out:
+        out += f"\nresults written to {args.json_out}"
+    return out
+
+
+def _row_outcome(row: dict):
+    """A streamed journal row as the TaskOutcome the progress line prints."""
+    from repro.store.journal import outcome_from_entry
+
+    return outcome_from_entry(row)
 
 
 def _cmd_store(args: argparse.Namespace) -> str:
@@ -549,7 +762,15 @@ def _cmd_store(args: argparse.Namespace) -> str:
             indent=2,
         )
     # gc
-    report = store.gc(older_than_days=args.older_than_days)
+    report = store.gc(
+        older_than_days=args.older_than_days, dry_run=args.dry_run
+    )
+    if args.dry_run:
+        return (
+            f"would remove {report['removed']} object(s), "
+            f"reclaiming {report['freed_bytes']} bytes (dry run; "
+            f"nothing deleted)"
+        )
     return (
         f"removed {report['removed']} object(s), "
         f"freed {report['freed_bytes']} bytes"
@@ -583,8 +804,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "shots": _cmd_shots,
         "sweep": _cmd_sweep,
         "store": _cmd_store,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
-    print(handlers[args.command](args))
+    out = handlers[args.command](args)
+    if out:  # serve returns nothing — don't print a stray blank line
+        print(out)
     return 0
 
 

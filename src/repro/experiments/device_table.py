@@ -73,6 +73,7 @@ def device_ghz_table(
     workers: Optional[int] = None,
     store=None,
     resume: bool = False,
+    stream_to=None,
 ) -> DeviceTableResult:
     """Run the Table II protocol.
 
@@ -87,7 +88,10 @@ def device_ghz_table(
     ``store`` (an :class:`~repro.store.artifacts.ArtifactStore` or its
     directory) persists calibrations and journals tasks so an interrupted
     table run resumes (``resume=True``) and a warm rerun re-measures
-    nothing — same numbers either way.
+    nothing — same numbers either way.  ``stream_to`` (a per-record
+    callable) receives each :class:`~repro.pipeline.runner.SweepRecord`
+    as its (device, trial) task completes — live Table-II cells while the
+    rest of the grid is still running.
     """
     result = DeviceTableResult(
         devices=[d.lower() for d in devices], shots=int(shots), trials=int(trials)
@@ -104,7 +108,15 @@ def device_ghz_table(
         seed=seed_to_int(seed),
         full_max_qubits=full_max_qubits,
     )
-    sweep = run_sweep(spec, workers=workers, store=store, resume=resume)
+    from repro.experiments.ghz_sweep import record_streamer
+
+    sweep = run_sweep(
+        spec,
+        workers=workers,
+        store=store,
+        resume=resume,
+        progress=record_streamer(stream_to),
+    )
     for i, device in enumerate(result.devices):
         result.errors[device] = {
             name: sweep.error_samples(i, name) for name in sweep.methods()

@@ -14,15 +14,36 @@ bit-identical to the serial run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.stats import QuantileSummary, summarize_quantiles
-from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.pipeline import BackendSpec, CircuitSpec, SweepRecord, SweepSpec, run_sweep
 from repro.utils.rng import RandomState, seed_to_int
 
 __all__ = ["GhzSweepResult", "ghz_architecture_sweep"]
+
+#: Streaming sink: receives each SweepRecord as its task completes.
+RecordCallback = Callable[[SweepRecord], None]
+
+
+def record_streamer(stream_to: Optional[RecordCallback]):
+    """Adapt a per-record sink into the engine's progress callback.
+
+    Records arrive in task-completion order (under a pool, not the
+    canonical order — the *returned result* always is), which is the point:
+    a live dashboard or the service layer sees rows while the grid runs.
+    Shared by every driver that grows a ``stream_to=`` parameter.
+    """
+    if stream_to is None:
+        return None
+
+    def progress(done: int, total: int, outcome) -> None:
+        for record in outcome.records:
+            stream_to(record)
+
+    return progress
 
 
 def ghz_ideal_distribution(n: int) -> np.ndarray:
@@ -80,6 +101,7 @@ def ghz_architecture_sweep(
     full_max_qubits: int = 10,
     correlation_placement: str = "coupling",
     workers: Optional[int] = None,
+    stream_to: Optional[RecordCallback] = None,
 ) -> GhzSweepResult:
     """Run the Fig. 13/14/15 protocol for one architecture family.
 
@@ -109,6 +131,11 @@ def ghz_architecture_sweep(
     workers:
         Process-pool width for the (size x trial) grid; ``None`` runs
         serially with identical results.
+    stream_to:
+        Optional per-record sink invoked as each task completes
+        (completion order), so callers — dashboards, the sweep service —
+        see rows while the sweep is still running.  Streaming changes
+        nothing about the returned result.
     """
     result = GhzSweepResult(
         architecture=architecture,
@@ -134,7 +161,7 @@ def ghz_architecture_sweep(
         seed=seed_to_int(seed),
         full_max_qubits=full_max_qubits,
     )
-    sweep = run_sweep(spec, workers=workers)
+    sweep = run_sweep(spec, workers=workers, progress=record_streamer(stream_to))
     for i in range(len(result.qubit_counts)):
         for name in sweep.methods():
             result.errors.setdefault(name, []).append(

@@ -65,12 +65,15 @@ def shots_scaling_experiment(
     trials: int = 2,
     seed: RandomState = 0,
     workers: Optional[int] = None,
+    stream_to=None,
 ) -> ShotsScalingResult:
     """Sweep the per-method shot budget on a fixed GHZ benchmark.
 
     Each trial is one :mod:`repro.pipeline` task holding its device noise
     draw fixed across every budget point (the §V-A protocol); ``workers``
     fans trials over a process pool with bit-identical results.
+    ``stream_to`` receives each record as its trial completes (all of a
+    trial's budget points land together — a trial is one task).
     """
     result = ShotsScalingResult(
         num_qubits=int(num_qubits),
@@ -95,7 +98,9 @@ def shots_scaling_experiment(
         full_max_qubits=int(num_qubits),
         linear_max_qubits=int(num_qubits),
     )
-    sweep = run_sweep(spec, workers=workers)
+    from repro.experiments.ghz_sweep import record_streamer
+
+    sweep = run_sweep(spec, workers=workers, progress=record_streamer(stream_to))
     for budget in result.budgets:
         for name in sweep.methods():
             result.errors.setdefault(name, []).append(

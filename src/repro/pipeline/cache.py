@@ -75,6 +75,16 @@ class CalibrationCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def peek(self, key: CacheKey) -> Optional[CalibrationRecord]:
+        """Return the record for ``key`` without touching the stats.
+
+        The accounting-free sibling of :meth:`lookup`, for callers that
+        probe on behalf of *someone else's* ledger — the service
+        coordinator's per-task cache views consult a shared cache through
+        this, then count the hit against the task that actually benefited.
+        """
+        return self._entries.get(key)
+
     def lookup(self, key: CacheKey) -> Optional[CalibrationRecord]:
         """Return the record for ``key``, counting a hit when found.
 

@@ -41,6 +41,23 @@ task is a pure function of ``(spec, coordinates)``, replaying journaled
 tasks under ``resume=True`` — or restoring calibrations a previous process
 measured — is bit-identical to recomputing them; a crashed sweep loses at
 most the tasks that were in flight.
+
+Scheduling (store-aware, warm-first): with a store attached, the runner
+asks the :class:`~repro.service.planner.SweepPlanner` to pre-scan the
+journal and the calibration artifact tier, executes warm tasks (those
+with persisted calibrations) before cold ones, and narrows the process
+pool to the cold remainder.  Reordering cannot change a single number —
+every stream derives from grid coordinates, not execution order — so the
+assembled result stays bit-identical to a canonical-order run (pinned in
+``tests/test_service.py``); only the time-to-first-result and the pool
+shape move.
+
+Sessions: :meth:`ParallelSweepRunner.open_session` exposes the journal
+open / replay / planning / reassembly machinery as a
+:class:`SweepSession`, so the synchronous :meth:`ParallelSweepRunner.run`
+loop and the asyncio :class:`~repro.service.coordinator.SweepCoordinator`
+drive the *same* task dispatch (``session.task_args`` →
+:func:`execute_task` → ``session.record``) rather than forking the engine.
 """
 
 from __future__ import annotations
@@ -58,7 +75,9 @@ from repro.pipeline.spec import SweepSpec
 from repro.utils.rng import stable_rng, stable_seed
 
 if TYPE_CHECKING:  # runtime import is lazy (repro.store imports this module)
+    from repro.service.planner import TaskPlan
     from repro.store.artifacts import ArtifactStore
+    from repro.store.journal import SweepJournal
 
 #: What callers may pass as ``store=``: a directory path or a live store.
 StoreLike = Union[str, os.PathLike, "ArtifactStore", None]
@@ -66,12 +85,19 @@ StoreLike = Union[str, os.PathLike, "ArtifactStore", None]
 __all__ = [
     "SweepRecord",
     "SweepResult",
+    "SweepSession",
     "ParallelSweepRunner",
     "run_sweep",
     "map_tasks",
+    "execute_task",
+    "spec_digest",
 ]
 
 ProgressCallback = Callable[[int, int, "TaskOutcome"], None]
+PlanCallback = Callable[["TaskPlan"], None]
+
+#: One task's grid coordinate: (backend point, trials co-located in it).
+TaskCoord = Tuple[int, Tuple[int, ...]]
 
 
 # ----------------------------------------------------------------------
@@ -331,15 +357,39 @@ class SweepResult:
 # ----------------------------------------------------------------------
 # Task execution (runs inside worker processes)
 # ----------------------------------------------------------------------
-def _spec_digest(spec: SweepSpec) -> int:
-    """Stable hash of the scientific spec fields (stream/cache namespace)."""
+def spec_digest(spec: SweepSpec) -> int:
+    """Stable hash of the scientific spec fields (stream/cache namespace).
+
+    Public because the :mod:`repro.service.planner` derives calibration
+    artifact keys from it when pre-scanning store availability — the
+    planner must probe exactly the keys :func:`execute_task` will use.
+    """
     data = spec.to_dict()
     data.pop("reuse_calibration", None)  # caching policy is not identity
     return stable_seed("spec", repr(sorted(data.items())))
 
 
-def _execute_task(
-    spec: SweepSpec, point: int, trials: Tuple[int, ...], store_root: Optional[str] = None
+def task_calibration_scopes(
+    spec: SweepSpec, point: int, trials: Tuple[int, ...]
+) -> List[Tuple]:
+    """The calibration scope tuples one task's suite runs will key on.
+
+    Mirrors :func:`execute_task`'s derivation exactly (one scope per task
+    under shared backend draws, one per trial otherwise) so the planner's
+    warm probes and the engine's cache lookups can never drift apart.
+    """
+    digest = spec_digest(spec)
+    if spec.share_backend_across_trials:
+        return [("cal", digest, point)]
+    return [("cal", digest, point) + (trial,) for trial in trials]
+
+
+def execute_task(
+    spec: SweepSpec,
+    point: int,
+    trials: Tuple[int, ...],
+    store_root: Optional[str] = None,
+    cache: Optional[CalibrationCache] = None,
 ) -> TaskOutcome:
     """Run every (trial, budget, circuit, method) cell of one task.
 
@@ -352,21 +402,27 @@ def _execute_task(
     in-memory hits behave exactly as before, and calibrations measured by
     any earlier process running the same logical sweep are restored from
     disk instead of re-executed.
+
+    ``cache`` overrides cache construction entirely (in-process callers
+    only — caches do not pickle into pool workers).  The service
+    coordinator uses this to run tasks of several concurrent sweeps
+    against one shared :class:`~repro.store.calcache.PersistentCalibrationCache`;
+    hit/miss accounting must then be per-task (see
+    ``repro.service.coordinator._SharedCacheView``).
     """
     # Imported lazily: repro.experiments imports this package for its
     # drivers, so a module-level import here would be circular.
     from repro.experiments.runner import default_method_suite, run_suite_cached
 
     start = time.perf_counter()
-    digest = _spec_digest(spec)
+    digest = spec_digest(spec)
     bspec = spec.backends[point]
 
     # One in-memory cache per task: the key structure makes cross-task
     # memory hits impossible (keys embed the trial, and shared-backend
     # trials are co-located in one task), so a longer-lived cache would
     # only retain dead state.  The store tier is what outlives the task.
-    cache: Optional[CalibrationCache] = None
-    if spec.reuse_calibration:
+    if cache is None and spec.reuse_calibration:
         if store_root is not None:
             from repro.store.artifacts import ArtifactStore
             from repro.store.calcache import PersistentCalibrationCache
@@ -374,6 +430,8 @@ def _execute_task(
             cache = PersistentCalibrationCache(ArtifactStore(store_root))
         else:
             cache = CalibrationCache()
+    if not spec.reuse_calibration:
+        cache = None
 
     records: List[SweepRecord] = []
     backend = None
@@ -444,6 +502,96 @@ def _execute_task(
 
 
 # ----------------------------------------------------------------------
+# Sessions: opened sweep state shared by the sync and async drivers
+# ----------------------------------------------------------------------
+@dataclass
+class SweepSession:
+    """One sweep's opened execution state.
+
+    Produced by :meth:`ParallelSweepRunner.open_session`; holds everything
+    the task-dispatch loop needs — replayed outcomes, the pending
+    coordinates in execution order (warm-first under a store), the open
+    journal, and the reassembly logic.  Both the synchronous
+    :meth:`ParallelSweepRunner.run` loop and the asyncio
+    :class:`~repro.service.coordinator.SweepCoordinator` drive a session
+    the same way: for each pending coordinate, call
+    :func:`execute_task` with :meth:`task_args` and hand the outcome to
+    :meth:`record`; when every coordinate has an outcome,
+    :meth:`assemble` — always under a ``try/finally`` that
+    :meth:`close`\\ s the session (releasing the journal's advisory lock).
+    """
+
+    spec: SweepSpec
+    #: Every task coordinate, in canonical (reassembly) order.
+    coords: List[TaskCoord]
+    #: Pending coordinates in *execution* order — warm-first when planned.
+    pending: List[TaskCoord]
+    #: Completed outcomes (journal-replayed ones pre-populated).
+    outcomes: Dict[TaskCoord, TaskOutcome]
+    workers: int
+    plan: Optional["TaskPlan"] = None
+    journal: Optional["SweepJournal"] = None
+    store_root: Optional[str] = None
+    started: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.coords)
+
+    def task_args(self, coord: TaskCoord) -> Tuple:
+        """Positional arguments dispatching ``coord`` to :func:`execute_task`.
+
+        Picklable, so the same tuple feeds an in-process call, a
+        ``ProcessPoolExecutor.submit`` and an asyncio ``run_in_executor``.
+        """
+        point, trials = coord
+        return (self.spec, point, trials, self.store_root)
+
+    def record(self, coord: TaskCoord, outcome: TaskOutcome) -> int:
+        """Journal + retain one completed task; returns the done count."""
+        self.outcomes[coord] = outcome
+        if self.journal is not None:
+            self.journal.append_task(outcome)
+        return len(self.outcomes)
+
+    def replay_progress(self, progress: ProgressCallback) -> None:
+        """Deliver already-replayed outcomes through the progress channel
+        (canonical order), so ``[k/n]`` counts stay truthful on resume."""
+        done = 0
+        for coord in self.coords:
+            if coord in self.outcomes:
+                done += 1
+                progress(done, self.total, self.outcomes[coord])
+
+    def assemble(self) -> SweepResult:
+        """Reassemble the result in canonical task order.
+
+        Execution order (pool completion, warm-first scheduling, async
+        interleaving) can never leak into the record list — and hence into
+        any downstream accessor — because reassembly always walks
+        ``coords``.  Requires every coordinate to have an outcome.
+        """
+        records: List[SweepRecord] = []
+        result = SweepResult(
+            spec=self.spec, records=records, workers=self.workers
+        )
+        for coord in self.coords:
+            outcome = self.outcomes[coord]
+            records.extend(outcome.records)
+            result.cache_hits += outcome.cache_hits
+            result.cache_misses += outcome.cache_misses
+            result.saved_shots += outcome.saved_shots
+            result.saved_circuits += outcome.saved_circuits
+        result.wall_time = time.perf_counter() - self.started
+        return result
+
+    def close(self) -> None:
+        """Release the journal (file handle + advisory lock); idempotent."""
+        if self.journal is not None:
+            self.journal.close()
+
+
+# ----------------------------------------------------------------------
 # Coordinator
 # ----------------------------------------------------------------------
 class ParallelSweepRunner:
@@ -470,6 +618,11 @@ class ParallelSweepRunner:
         instead of re-running them.  The assembled result is bit-identical
         to an uninterrupted run (the engine's per-task seed derivation is
         execution-order-free).  Without a store this is an error.
+    on_plan:
+        Optional callback receiving the store-aware
+        :class:`~repro.service.planner.TaskPlan` once it is computed
+        (store runs only) — how the CLI reports the
+        journaled/warm/cold split without re-scanning the store.
     """
 
     def __init__(
@@ -478,6 +631,7 @@ class ParallelSweepRunner:
         progress: Optional[ProgressCallback] = None,
         store: StoreLike = None,
         resume: bool = False,
+        on_plan: Optional[PlanCallback] = None,
     ) -> None:
         if resume and store is None:
             raise ValueError("resume=True needs a store to resume from")
@@ -485,6 +639,7 @@ class ParallelSweepRunner:
         self.progress = progress
         self.store = self._coerce_store(store)
         self.resume = resume
+        self.on_plan = on_plan
 
     @staticmethod
     def _coerce_store(store: StoreLike):
@@ -496,92 +651,102 @@ class ParallelSweepRunner:
             return store
         return ArtifactStore(store)
 
-    def effective_workers(self, spec: SweepSpec) -> int:
+    def effective_workers(
+        self, spec: SweepSpec, plan: Optional["TaskPlan"] = None
+    ) -> int:
         if self.workers is None or self.workers <= 1:
             return 1
-        return max(1, min(int(self.workers), spec.num_tasks))
+        requested = max(1, min(int(self.workers), spec.num_tasks))
+        if plan is not None:
+            # Store-aware sizing: the pool covers the cold remainder in
+            # full, warm tasks at a discount (they skip calibration but
+            # still execute targets), journaled replay not at all — see
+            # TaskPlan.recommended_workers for the policy.
+            return plan.recommended_workers(requested)
+        return requested
 
-    def run(self, spec: SweepSpec) -> SweepResult:
-        start = time.perf_counter()
+    def open_session(self, spec: SweepSpec) -> SweepSession:
+        """Open (plan, journal, replay) a sweep without executing tasks.
+
+        With a store attached this pre-scans artifact availability via the
+        :class:`~repro.service.planner.SweepPlanner` (read-only, before
+        the journal's advisory lock is taken), orders pending work
+        warm-first and narrows the worker count to the cold remainder.
+        The caller owns the session: execute its ``pending`` coordinates
+        (any order, any executor), then ``assemble()``, and ``close()`` in
+        a ``finally``.
+        """
+        started = time.perf_counter()
         coords = spec.task_coordinates()
-        workers = self.effective_workers(spec)
-        outcomes: Dict[Tuple[int, Tuple[int, ...]], TaskOutcome] = {}
-
+        plan = None
         journal = None
         store_root: Optional[str] = None
         if self.store is not None:
+            from repro.service.planner import SweepPlanner
             from repro.store.journal import SweepJournal
 
             store_root = str(self.store.root)
+            plan = SweepPlanner(self.store).plan(spec, resume=self.resume)
             journal = SweepJournal.open(self.store, spec, resume=self.resume)
-
-        def _record(coord, outcome) -> int:
-            """Journal + deliver one completed task; returns done count."""
-            outcomes[coord] = outcome
-            if journal is not None:
-                journal.append_task(outcome)
-            return len(outcomes)
-
-        # Everything after the open sits under the finally that closes the
-        # journal (releasing its advisory lock) — including replay, whose
-        # corrupt-journal ValueError must not leak the lock.
+        session = SweepSession(
+            spec=spec,
+            coords=coords,
+            pending=[],
+            outcomes={},
+            workers=self.effective_workers(spec, plan),
+            plan=plan,
+            journal=journal,
+            store_root=store_root,
+            started=started,
+        )
+        # Replay sits under a close() guard: a corrupt-journal ValueError
+        # must not leak the advisory lock.
         try:
             if journal is not None and self.resume:
                 replayed = journal.completed_outcomes()
                 # Only coordinates this spec actually defines count: a
                 # journal can hold more (e.g. written by a later version)
                 # without poisoning the result.
-                outcomes = {c: replayed[c] for c in coords if c in replayed}
+                session.outcomes = {
+                    c: replayed[c] for c in coords if c in replayed
+                }
+            order = coords if plan is None else list(plan.execution_order)
+            session.pending = [c for c in order if c not in session.outcomes]
+            if plan is not None and self.on_plan is not None:
+                self.on_plan(plan)
+        except BaseException:
+            session.close()
+            raise
+        return session
 
-            pending = [c for c in coords if c not in outcomes]
-            done = len(outcomes)
-            total = len(coords)
+    def run(self, spec: SweepSpec) -> SweepResult:
+        session = self.open_session(spec)
+        try:
             if self.progress is not None:
-                # Replayed tasks surface through the same progress channel
-                # so `[k/n]` counts stay truthful on resumed runs.
-                replayed_done = 0
-                for coord in coords:
-                    if coord in outcomes:
-                        replayed_done += 1
-                        self.progress(replayed_done, total, outcomes[coord])
-            if workers == 1:
-                for point, trials in pending:
-                    outcome = _execute_task(spec, point, trials, store_root)
-                    done = _record((point, trials), outcome)
+                session.replay_progress(self.progress)
+            total = session.total
+            if session.workers == 1:
+                for coord in list(session.pending):
+                    outcome = execute_task(*session.task_args(coord))
+                    done = session.record(coord, outcome)
                     if self.progress is not None:
                         self.progress(done, total, outcome)
-            elif pending:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
+            elif session.pending:
+                with ProcessPoolExecutor(max_workers=session.workers) as pool:
                     futures = {
-                        pool.submit(
-                            _execute_task, spec, point, trials, store_root
-                        ): (point, trials)
-                        for point, trials in pending
+                        pool.submit(execute_task, *session.task_args(coord)): coord
+                        for coord in session.pending
                     }
                     from concurrent.futures import as_completed
 
                     for future in as_completed(futures):
                         outcome = future.result()
-                        done = _record(futures[future], outcome)
+                        done = session.record(futures[future], outcome)
                         if self.progress is not None:
                             self.progress(done, total, outcome)
         finally:
-            if journal is not None:
-                journal.close()
-
-        # Reassemble in canonical task order so the record list (and hence
-        # every downstream accessor) is identical for any worker count.
-        records: List[SweepRecord] = []
-        result = SweepResult(spec=spec, records=records, workers=workers)
-        for coord in coords:
-            outcome = outcomes[coord]
-            records.extend(outcome.records)
-            result.cache_hits += outcome.cache_hits
-            result.cache_misses += outcome.cache_misses
-            result.saved_shots += outcome.saved_shots
-            result.saved_circuits += outcome.saved_circuits
-        result.wall_time = time.perf_counter() - start
-        return result
+            session.close()
+        return session.assemble()
 
 
 def run_sweep(
@@ -590,6 +755,7 @@ def run_sweep(
     progress: Optional[ProgressCallback] = None,
     store: StoreLike = None,
     resume: bool = False,
+    on_plan: Optional[PlanCallback] = None,
 ) -> SweepResult:
     """One-call convenience: ``ParallelSweepRunner(...).run(spec)``.
 
@@ -597,9 +763,16 @@ def run_sweep(
     makes the sweep durable: completed tasks are journaled and calibrations
     persist across processes; ``resume=True`` picks up a crashed run
     exactly where it stopped, bit-identical to an uninterrupted one.
+    Store runs are scheduled warm-first (persisted calibrations execute
+    before cold tasks — same numbers, faster first results); ``on_plan``
+    observes the computed journaled/warm/cold split.
     """
     return ParallelSweepRunner(
-        workers=workers, progress=progress, store=store, resume=resume
+        workers=workers,
+        progress=progress,
+        store=store,
+        resume=resume,
+        on_plan=on_plan,
     ).run(spec)
 
 

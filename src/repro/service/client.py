@@ -1,0 +1,158 @@
+"""Client side of the sweep service protocol.
+
+:class:`SweepClient` speaks the line-delimited-JSON protocol documented in
+:mod:`repro.service.server` over one TCP connection.  It is a thin asyncio
+wrapper — connect, send an op, read the response (or, for ``watch``, the
+event stream).  :func:`submit_and_follow` is the synchronous one-call used
+by ``repro submit``: submit a spec, stream every journal row through a
+callback as tasks land, and return the fully assembled, bit-exact
+:class:`~repro.pipeline.runner.SweepResult`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Callable, Optional
+
+from repro.pipeline.runner import SweepResult
+from repro.pipeline.spec import SweepSpec
+
+__all__ = ["ServiceError", "SweepClient", "submit_and_follow"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``{"ok": false}`` — its message, verbatim."""
+
+
+class SweepClient:
+    """One connection to a :class:`~repro.service.server.SweepServer`.
+
+    Use as an async context manager::
+
+        async with SweepClient("127.0.0.1", 7341) as client:
+            sweep_id = await client.submit(spec)
+            async for row in client.watch(sweep_id):
+                ...
+            result = await client.results(sweep_id)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7341) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    # ------------------------------------------------------------------
+    async def connect(self) -> "SweepClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "SweepClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _send(self, request: dict) -> None:
+        assert self._writer is not None, "client is not connected"
+        self._writer.write(json.dumps(request).encode("utf-8") + b"\n")
+        await self._writer.drain()
+
+    async def _read(self) -> dict:
+        assert self._reader is not None, "client is not connected"
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError(
+                f"server at {self.host}:{self.port} closed the connection"
+            )
+        return json.loads(line)
+
+    async def request(self, **request) -> dict:
+        """One op → one response; raises :class:`ServiceError` on refusal."""
+        await self._send(request)
+        response = await self._read()
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response
+
+    # ------------------------------------------------------------------
+    # The five ops
+    # ------------------------------------------------------------------
+    async def submit(self, spec: SweepSpec, resume: bool = False) -> str:
+        """Submit a sweep; returns its id."""
+        response = await self.request(
+            op="submit", spec=spec.to_dict(), resume=bool(resume)
+        )
+        return response["sweep_id"]
+
+    async def status(self, sweep_id: str) -> dict:
+        return await self.request(op="status", sweep_id=sweep_id)
+
+    async def cancel(self, sweep_id: str) -> dict:
+        return await self.request(op="cancel", sweep_id=sweep_id)
+
+    async def results(self, sweep_id: str) -> SweepResult:
+        """Block until the sweep is terminal; its assembled result."""
+        response = await self.request(op="results", sweep_id=sweep_id)
+        return SweepResult.from_dict(response["result"])
+
+    async def watch(self, sweep_id: str) -> AsyncIterator[dict]:
+        """Stream the sweep's journal rows (each exactly once), ending
+        when the server sends the terminal ``end`` event.  Raises
+        :class:`ServiceError` if the sweep failed."""
+        await self.request(op="watch", sweep_id=sweep_id)  # subscription ack
+        while True:
+            event = await self._read()
+            if event.get("event") == "end":
+                if event.get("state") == "failed":
+                    raise ServiceError(
+                        event.get("error") or "sweep failed on the server"
+                    )
+                return
+            if event.get("event") == "task":
+                yield event
+            elif not event.get("ok", True):
+                raise ServiceError(event.get("error", "watch refused"))
+
+
+RowCallback = Callable[[dict], None]
+
+
+def submit_and_follow(
+    spec: SweepSpec,
+    host: str = "127.0.0.1",
+    port: int = 7341,
+    resume: bool = False,
+    on_row: Optional[RowCallback] = None,
+) -> SweepResult:
+    """Synchronous one-call for ``repro submit --follow``.
+
+    Submits ``spec``, invokes ``on_row`` with every streamed journal row
+    (completion order, replayed rows first), and returns the assembled
+    result — bit-identical to ``run_sweep(spec, store=...)`` against the
+    server's store, because it *is* that run, performed remotely.
+    """
+
+    async def _run() -> SweepResult:
+        async with SweepClient(host, port) as client:
+            sweep_id = await client.submit(spec, resume=resume)
+            async for row in client.watch(sweep_id):
+                if on_row is not None:
+                    on_row(row)
+            return await client.results(sweep_id)
+
+    return asyncio.run(_run())

@@ -1,0 +1,423 @@
+"""Asyncio sweep coordination: concurrent sweeps, streaming task events.
+
+:class:`SweepCoordinator` is the service's engine room.  It drives the
+pipeline's :class:`~repro.pipeline.runner.SweepSession` task dispatch off
+an asyncio event loop instead of the blocking loop in
+:meth:`~repro.pipeline.runner.ParallelSweepRunner.run` — the *same*
+``task_args → execute_task → record`` code path, so everything the batch
+engine guarantees (bit-identical results for any execution order, durable
+journaling, warm-first planning) holds verbatim for the service.
+
+What the event loop adds:
+
+* **concurrent sweeps** — each :meth:`submit` schedules an independent
+  job; tasks from all live jobs interleave on one shared executor.
+  Same-spec submissions are serialised per journal digest (two live
+  writers of one journal are forbidden by the store's advisory lock;
+  queueing beats failing);
+* **one shared calibration cache** — with the default thread executor,
+  every task of every sweep runs against a single
+  :class:`~repro.store.calcache.PersistentCalibrationCache` through
+  per-task :class:`_SharedCacheView`\\ s: entries (and the disk tier) are
+  shared across sweeps, while hit/miss accounting stays per task so each
+  :class:`~repro.pipeline.runner.TaskOutcome` reports exactly the work it
+  saved.  Under ``use_processes=True`` sharing happens through the store's
+  disk tier instead (caches do not pickle);
+* **streaming** — the moment a task outcome lands in the journal it is
+  published to every watcher as the journal-entry dict
+  (:func:`~repro.store.journal.task_entry`).  :meth:`watch` replays the
+  rows a subscriber missed and then streams new ones; delivery is
+  exactly-once per watcher by construction (a monotone cursor over an
+  append-only event list — pinned in ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import itertools
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import AsyncIterator, Dict, List, Optional
+
+from repro.pipeline.cache import CacheKey, CalibrationCache, CalibrationRecord
+from repro.pipeline.runner import (
+    ParallelSweepRunner,
+    StoreLike,
+    SweepResult,
+    execute_task,
+)
+from repro.pipeline.spec import SweepSpec
+from repro.store.artifacts import ArtifactStore
+from repro.store.calcache import PersistentCalibrationCache
+from repro.store.journal import journal_spec_digest, task_entry
+
+__all__ = ["SweepCoordinator", "SweepJob"]
+
+#: Job lifecycle. ``queued`` → ``running`` → one of the terminal three.
+ACTIVE_STATES = ("queued", "running")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def _close_abandoned_session(future) -> None:
+    """Done-callback releasing a session whose job was cancelled while
+    ``open_session`` was still running on the executor thread."""
+    if future.cancelled() or future.exception() is not None:
+        return  # open failed: open_session released the lock itself
+    future.result().close()
+
+
+class _SharedCacheView(CalibrationCache):
+    """A per-task cache whose entries are shared with a coordinator-wide
+    :class:`PersistentCalibrationCache`.
+
+    Keeps the engine's accounting invariant — each task outcome reports
+    its *own* hits/misses/saved work — while letting concurrent sweeps
+    reuse each other's calibrations the instant they are measured.  All
+    shared-cache access goes through :meth:`CalibrationCache.peek` /
+    ``store`` under one lock, so thread-executor tasks cannot interleave
+    a promotion mid-write.
+    """
+
+    def __init__(self, shared: PersistentCalibrationCache, lock: threading.Lock):
+        super().__init__()
+        self._shared = shared
+        self._lock = lock
+
+    def lookup(self, key: CacheKey) -> Optional[CalibrationRecord]:
+        record = super().lookup(key)  # own memory tier (counts the hit)
+        if record is not None:
+            return record
+        with self._lock:
+            record = self._shared.peek(key)  # stat-free: the hit is ours
+        if record is None:
+            return None
+        self._entries[key] = record
+        self._stats.hits += 1
+        self._stats.saved_shots += record.shots_spent
+        self._stats.saved_circuits += record.circuits_executed
+        return record
+
+    def store(
+        self, key: CacheKey, state: dict, shots_spent: int, circuits_executed: int
+    ) -> None:
+        super().store(key, state, shots_spent, circuits_executed)  # own miss
+        with self._lock:
+            # Write-through to the shared memory tier and (via the
+            # persistent cache) the artifact store.  The shared stats are
+            # never reported anywhere, so its own miss count is inert.
+            self._shared.store(key, state, shots_spent, circuits_executed)
+
+
+class SweepJob:
+    """One submitted sweep's live state: events, status, result."""
+
+    def __init__(self, sweep_id: str, spec: SweepSpec, resume: bool) -> None:
+        self.sweep_id = sweep_id
+        self.spec = spec
+        self.resume = resume
+        self.state = "queued"
+        self.total = spec.num_tasks
+        self.plan_counts: Optional[Dict[str, int]] = None
+        self.error = ""
+        self.result: Optional[SweepResult] = None
+        #: Journal-entry dicts in completion order (replayed rows first).
+        #: Append-only — watcher cursors rely on it.
+        self.events: List[dict] = []
+        self._cond = asyncio.Condition()
+        self._task: Optional[asyncio.Task] = None
+
+    @property
+    def done(self) -> int:
+        return len(self.events)
+
+    def status(self) -> dict:
+        """JSON-ready snapshot (what the wire protocol's ``status`` returns)."""
+        return {
+            "sweep_id": self.sweep_id,
+            "state": self.state,
+            "done": self.done,
+            "total": self.total,
+            "plan": self.plan_counts,
+            "error": self.error,
+        }
+
+
+class SweepCoordinator:
+    """Runs sweeps for many clients over one store, streaming outcomes.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`~repro.store.artifacts.ArtifactStore` (or its
+        root directory) every sweep journals into and calibrates from.
+    workers:
+        Concurrent task executions across *all* live sweeps.
+    use_processes:
+        ``False`` (default) executes tasks on a thread pool inside this
+        process — cheap start-up, one shared in-memory calibration tier.
+        ``True`` uses a process pool: full CPU parallelism for cold
+        grids, calibration sharing through the store's disk tier.
+    max_finished_jobs:
+        Terminal (done/failed/cancelled) jobs kept queryable, oldest
+        evicted first.  A long-running server would otherwise retain
+        every submission's full event list and result forever; live
+        watchers of an evicted job finish unharmed (they hold the job
+        object), but ``status``/``results`` for its id then report
+        unknown — re-submit the spec instead (warm, so nearly free).
+    """
+
+    def __init__(
+        self,
+        store: StoreLike,
+        workers: int = 1,
+        use_processes: bool = False,
+        max_finished_jobs: int = 64,
+    ) -> None:
+        self.store = (
+            store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        )
+        self.workers = max(1, int(workers))
+        self.use_processes = bool(use_processes)
+        self.max_finished_jobs = max(1, int(max_finished_jobs))
+        self._executor: Optional[Executor] = None
+        self._shared_cache = PersistentCalibrationCache(self.store)
+        self._cache_lock = threading.Lock()
+        self._jobs: Dict[str, SweepJob] = {}
+        self._digest_locks: Dict[str, asyncio.Lock] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Submission / lifecycle
+    # ------------------------------------------------------------------
+    async def submit(self, spec: SweepSpec, resume: bool = False) -> SweepJob:
+        """Schedule a sweep; returns its job immediately (state ``queued``)."""
+        digest = journal_spec_digest(spec)
+        sweep_id = f"{digest}-{next(self._ids)}"
+        job = SweepJob(sweep_id, spec, resume)
+        self._jobs[sweep_id] = job
+        job._task = asyncio.create_task(self._run_job(job, digest))
+        return job
+
+    def job(self, sweep_id: str) -> SweepJob:
+        try:
+            return self._jobs[sweep_id]
+        except KeyError:
+            raise KeyError(f"unknown sweep {sweep_id!r}") from None
+
+    def status(self, sweep_id: str) -> dict:
+        return self.job(sweep_id).status()
+
+    def jobs(self) -> List[SweepJob]:
+        """All jobs this coordinator has seen, submission order."""
+        return list(self._jobs.values())
+
+    async def cancel(self, sweep_id: str) -> dict:
+        """Stop a sweep.  Completed tasks stay journaled, so a later
+        ``submit(..., resume=True)`` of the same spec picks up exactly
+        where the cancellation landed."""
+        job = self.job(sweep_id)
+        if job.state in ACTIVE_STATES and job._task is not None:
+            job._task.cancel()
+            try:
+                await job._task
+            except asyncio.CancelledError:
+                pass
+            if job.state in ACTIVE_STATES:
+                # cancelled before the job coroutine ever ran: its own
+                # cancellation handler never fired, so settle the state
+                # here (watchers and result() waiters must not hang)
+                await self._set_state(job, "cancelled")
+        return job.status()
+
+    async def result(self, sweep_id: str) -> SweepResult:
+        """Wait for a sweep to finish; its assembled result, or raise with
+        the failure/cancellation story."""
+        job = self.job(sweep_id)
+        async with job._cond:
+            while job.state in ACTIVE_STATES:
+                await job._cond.wait()
+        if job.state == "done":
+            assert job.result is not None
+            return job.result
+        raise RuntimeError(
+            f"sweep {sweep_id} {job.state}"
+            + (f": {job.error}" if job.error else "")
+        )
+
+    async def watch(self, sweep_id: str) -> AsyncIterator[dict]:
+        """Stream a sweep's task events: replay missed rows, then live.
+
+        Every watcher — whenever it subscribes — receives every journal
+        row of the sweep exactly once, in the journal's (completion)
+        order: the event list is append-only and each watcher holds a
+        monotone cursor into it.  Ends when the job reaches a terminal
+        state and the cursor has drained.
+        """
+        job = self.job(sweep_id)
+        cursor = 0
+        while True:
+            async with job._cond:
+                while cursor >= len(job.events) and job.state in ACTIVE_STATES:
+                    await job._cond.wait()
+                batch = list(job.events[cursor:])
+                finished = job.state not in ACTIVE_STATES
+            for event in batch:
+                yield event
+            cursor += len(batch)
+            if finished and cursor >= len(job.events):
+                return
+
+    async def close(self) -> None:
+        """Cancel live jobs and release the executor."""
+        for job in list(self._jobs.values()):
+            if job.state in ACTIVE_STATES:
+                await self.cancel(job.sweep_id)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _get_executor(self) -> Executor:
+        if self._executor is None:
+            if self.use_processes:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-sweep",
+                )
+        return self._executor
+
+    def _task_callable(self, session, coord):
+        """The zero-arg callable executing one coordinate — the same
+        dispatch tuple the sync runner uses, plus the shared-cache view
+        when tasks run in-process."""
+        spec, point, trials, store_root = session.task_args(coord)
+        if self.use_processes or not spec.reuse_calibration:
+            return functools.partial(execute_task, spec, point, trials, store_root)
+        view = _SharedCacheView(self._shared_cache, self._cache_lock)
+        return functools.partial(
+            execute_task, spec, point, trials, store_root, cache=view
+        )
+
+    async def _publish(self, job: SweepJob, entry: dict, replayed: bool) -> None:
+        event = dict(entry)
+        event["replayed"] = replayed
+        async with job._cond:
+            job.events.append(event)
+            job._cond.notify_all()
+
+    async def _set_state(self, job: SweepJob, state: str) -> None:
+        async with job._cond:
+            job.state = state
+            job._cond.notify_all()
+        if state in TERMINAL_STATES:
+            self._prune_finished(keep=job.sweep_id)
+
+    def _prune_finished(self, keep: str) -> None:
+        """Evict the oldest terminal jobs beyond the retention cap (the
+        just-finished ``keep`` job always survives this round), then drop
+        digest locks that no longer guard any registered job."""
+        finished = [
+            j for j in self._jobs.values()
+            if j.state in TERMINAL_STATES and j.sweep_id != keep
+        ]
+        excess = len(finished) + 1 - self.max_finished_jobs
+        for job in finished[:max(0, excess)]:  # insertion order = oldest first
+            del self._jobs[job.sweep_id]
+        live_digests = {
+            job.sweep_id.rsplit("-", 1)[0] for job in self._jobs.values()
+        }
+        for digest in list(self._digest_locks):
+            lock = self._digest_locks[digest]
+            if digest not in live_digests and not lock.locked():
+                del self._digest_locks[digest]
+
+    async def _run_job(self, job: SweepJob, digest: str) -> None:
+        loop = asyncio.get_running_loop()
+        lock = self._digest_locks.setdefault(digest, asyncio.Lock())
+        try:
+            async with lock:  # one live writer per journal (queue, don't fail)
+                runner = ParallelSweepRunner(
+                    workers=1, store=self.store, resume=job.resume
+                )
+                # open_session does file I/O (plan probes, journal fsync):
+                # off the loop, like every other blocking step below.  The
+                # executor thread cannot be interrupted, so a cancellation
+                # landing mid-open must still close the session the thread
+                # goes on to produce — an abandoned one would hold the
+                # journal's advisory lock (our own pid!) and block this
+                # spec until the server restarts.
+                opening = loop.run_in_executor(
+                    None, runner.open_session, job.spec
+                )
+                try:
+                    session = await asyncio.shield(opening)
+                except asyncio.CancelledError:
+                    opening.add_done_callback(_close_abandoned_session)
+                    raise
+                try:
+                    # tasks actually run on the coordinator's shared
+                    # executor, not the runner's (unused) pool — report
+                    # that width in the assembled result
+                    session.workers = (
+                        max(1, min(self.workers, len(session.pending)))
+                        if session.pending
+                        else 1
+                    )
+                    job.plan_counts = (
+                        session.plan.counts if session.plan else None
+                    )
+                    await self._set_state(job, "running")
+                    # Journal-replayed outcomes reach watchers through the
+                    # same event channel as live ones (canonical order,
+                    # flagged replayed) — a watch on a resumed sweep still
+                    # sees every row exactly once.
+                    for coord in session.coords:
+                        if coord in session.outcomes:
+                            await self._publish(
+                                job,
+                                task_entry(session.outcomes[coord]),
+                                replayed=True,
+                            )
+                    pending = list(session.pending)
+
+                    async def run_one(coord):
+                        outcome = await loop.run_in_executor(
+                            self._get_executor(),
+                            self._task_callable(session, coord),
+                        )
+                        return coord, outcome
+
+                    tasks = [
+                        asyncio.create_task(run_one(coord)) for coord in pending
+                    ]
+                    try:
+                        for fut in asyncio.as_completed(tasks):
+                            coord, outcome = await fut
+                            # journal append (fsync) off the loop; appends
+                            # are serialised by this job task itself
+                            await loop.run_in_executor(
+                                None, session.record, coord, outcome
+                            )
+                            await self._publish(
+                                job, task_entry(outcome), replayed=False
+                            )
+                    except BaseException:
+                        for t in tasks:
+                            t.cancel()
+                        raise
+                finally:
+                    await loop.run_in_executor(None, session.close)
+                job.result = session.assemble()
+                await self._set_state(job, "done")
+        except asyncio.CancelledError:
+            # cancel() owns this path; completed tasks are journaled, so
+            # the sweep is resumable from exactly here
+            await self._set_state(job, "cancelled")
+        except Exception as exc:  # journal refusals, worker crashes, ...
+            job.error = str(exc)
+            await self._set_state(job, "failed")

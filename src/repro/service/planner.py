@@ -1,0 +1,192 @@
+"""Store-aware sweep planning: warm-first ordering, cold-sized pools.
+
+Before this module, the engine discovered store state *inside* tasks: a
+worker opened the calibration cache, probed the artifact tier per method
+and either restored or re-measured.  That is correct (the cache is pure
+memoization) but blind for scheduling — a pool of N processes spins up
+even when every task would hit the warm tier, and cold tasks can queue
+behind warm ones, delaying the first *new* measurement.
+
+:class:`SweepPlanner` moves the probe ahead of execution.  For a
+:class:`~repro.pipeline.spec.SweepSpec` it pre-scans, read-only:
+
+* the **sweep journal** — task coordinates already journaled by a previous
+  run of this spec (replayable verbatim under ``resume=True``);
+* the **calibration artifact tier** — for each remaining coordinate, the
+  exact artifact keys :func:`~repro.pipeline.runner.execute_task` would
+  look up (same scope derivation, same key layout — see
+  :func:`~repro.pipeline.runner.task_calibration_scopes`).
+
+and partitions coordinates into ``journaled`` / ``warm`` / ``cold``.  The
+resulting :class:`TaskPlan` orders execution **warm-first** (persisted
+calibrations restore in milliseconds, so their rows stream out first) and
+recommends a worker-pool width covering only the cold remainder.
+
+Planning is advisory, never semantic: the engine derives every stochastic
+stream from ``(spec seed, grid coordinates)``, so executing tasks in any
+order — or misclassifying a task entirely — cannot change one bit of the
+assembled :class:`~repro.pipeline.runner.SweepResult` (pinned in
+``tests/test_service.py``).  Warmth itself is a heuristic: a coordinate
+counts as warm when *any* of its probed calibration artifacts exists
+(methods that never persist state, like Bare, are invisible to the probe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from repro.pipeline.runner import (
+    StoreLike,
+    TaskCoord,
+    task_calibration_scopes,
+)
+from repro.pipeline.spec import SweepSpec
+from repro.store.artifacts import ArtifactStore
+from repro.store.calcache import PersistentCalibrationCache
+from repro.store.journal import SweepJournal, journal_spec_digest
+
+__all__ = ["TaskPlan", "SweepPlanner"]
+
+
+@dataclass(frozen=True)
+class TaskPlan:
+    """One spec's scheduling partition against one store.
+
+    ``journaled`` coordinates replay from the journal (no execution at
+    all), ``warm`` ones have at least one persisted calibration artifact,
+    ``cold`` ones have none.  All three are in canonical coordinate order;
+    :attr:`execution_order` is what actually runs, warm before cold.
+    """
+
+    digest: str
+    journaled: Tuple[TaskCoord, ...]
+    warm: Tuple[TaskCoord, ...]
+    cold: Tuple[TaskCoord, ...]
+
+    @property
+    def execution_order(self) -> Tuple[TaskCoord, ...]:
+        """Coordinates still to execute: every warm task, then every cold
+        one.  Journaled coordinates are excluded — they are replayed, not
+        executed (and on a fresh, non-resumed run the journal is truncated
+        so :attr:`journaled` is empty by construction)."""
+        return self.warm + self.cold
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """``{"journaled": j, "warm": w, "cold": c}`` — status-line fuel."""
+        return {
+            "journaled": len(self.journaled),
+            "warm": len(self.warm),
+            "cold": len(self.cold),
+        }
+
+    #: Warm tasks count toward pool sizing at this discount.  They skip
+    #: calibration but still execute their target circuits, so a large
+    #: warm backlog must not serialise (gate-noise targets cost seconds);
+    #: only when the warm tier is small does the pool collapse to the
+    #: cold remainder — or to in-process, where spawning workers would
+    #: cost more than the disk reads they would perform.
+    WARM_TASKS_PER_WORKER = 4
+
+    def recommended_workers(self, requested: int) -> int:
+        """Pool width for this plan, capped at the request: wide enough
+        for every cold task (the full-cost remainder) plus one worker per
+        :attr:`WARM_TASKS_PER_WORKER` warm tasks.  Journaled coordinates
+        execute nothing and count for nothing.  Never wider than the
+        request, never narrower than 1 — and an all-warm *small* plan
+        returns 1, keeping the run in-process."""
+        if requested is None or requested <= 1:
+            return 1
+        warm_share = -(-len(self.warm) // self.WARM_TASKS_PER_WORKER)
+        needed = max(len(self.cold), warm_share)
+        return max(1, min(int(requested), needed))
+
+    def summary(self) -> str:
+        """The progress line's split, e.g. ``40 journaled, 12 warm, 12 cold``."""
+        return (
+            f"{len(self.journaled)} journaled, "
+            f"{len(self.warm)} warm, {len(self.cold)} cold"
+        )
+
+
+class SweepPlanner:
+    """Pre-scans a store for a spec and emits a :class:`TaskPlan`.
+
+    Read-only: planning touches no lock and writes nothing, so it is safe
+    to run while a sweep on the same spec holds the journal (the runner
+    plans *before* acquiring the advisory lock for exactly that reason).
+    """
+
+    def __init__(self, store: Union[StoreLike, ArtifactStore]) -> None:
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def plan(self, spec: SweepSpec, resume: bool = False) -> TaskPlan:
+        """Partition ``spec``'s task coordinates against the store.
+
+        ``resume=False`` models a fresh run: the journal will be truncated
+        at open, so nothing counts as journaled — but calibrations from
+        the abandoned run still make coordinates warm.
+        """
+        coords = spec.task_coordinates()
+        journaled = (
+            frozenset(self._journaled_coords(spec)) if resume else frozenset()
+        )
+        journaled_order = []
+        warm = []
+        cold = []
+        for coord in coords:
+            if coord in journaled:
+                journaled_order.append(coord)
+            elif self.is_warm(spec, coord):
+                warm.append(coord)
+            else:
+                cold.append(coord)
+        return TaskPlan(
+            digest=journal_spec_digest(spec),
+            journaled=tuple(journaled_order),
+            warm=tuple(warm),
+            cold=tuple(cold),
+        )
+
+    # ------------------------------------------------------------------
+    def is_warm(self, spec: SweepSpec, coord: TaskCoord) -> bool:
+        """Does the store hold any calibration artifact this task would
+        look up?  Probes the identical keys
+        :func:`~repro.experiments.runner.run_suite_cached` derives —
+        scope + (method, shots) wrapped by the persistent cache's artifact
+        key — so the planner and the engine cannot disagree about what a
+        hit means."""
+        point, trials = coord
+        for scope in task_calibration_scopes(spec, point, trials):
+            for shots in spec.shots:
+                for method in self._probe_methods(spec):
+                    key = scope + (method, int(shots))
+                    artifact_key = PersistentCalibrationCache._artifact_key(key)
+                    if self.store.contains(artifact_key):
+                        return True
+        return False
+
+    @staticmethod
+    def _probe_methods(spec: SweepSpec) -> Tuple[str, ...]:
+        if spec.methods is not None:
+            return tuple(spec.methods)
+        from repro.experiments.runner import METHOD_ORDER
+
+        return tuple(METHOD_ORDER)
+
+    # ------------------------------------------------------------------
+    def _journaled_coords(self, spec: SweepSpec) -> Tuple[TaskCoord, ...]:
+        """Task coordinates completed in the spec's journal (lock-free,
+        tolerant read: a missing, foreign or corrupt journal plans as
+        empty — the runner's own ``open`` is where refusals belong)."""
+        path = self.store.journals_dir / f"{journal_spec_digest(spec)}.jsonl"
+        journal = SweepJournal(path, spec)
+        try:
+            journal._verify_header()
+            return tuple(journal.completed_outcomes().keys())
+        except (ValueError, OSError):
+            return ()

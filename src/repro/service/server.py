@@ -1,0 +1,188 @@
+"""The sweep service's wire protocol host (stdlib asyncio, TCP).
+
+Framing: **one JSON object per line**, UTF-8, ``\\n``-terminated, both
+directions.  A connection is a sequence of request→response exchanges;
+every response carries ``"ok"`` (or, mid-``watch``, ``"event"``).  No
+external dependencies — ``asyncio.start_server`` plus ``json``.
+
+Requests (the five ops the coordinator exposes)::
+
+    {"op": "submit", "spec": {...SweepSpec.to_dict()...}, "resume": false}
+        -> {"ok": true, "sweep_id": "...", "total": 4}
+    {"op": "status", "sweep_id": "..."}
+        -> {"ok": true, "state": "running", "done": 2, "total": 4,
+            "plan": {"journaled": 0, "warm": 2, "cold": 2}, ...}
+    {"op": "watch", "sweep_id": "..."}
+        -> {"ok": true}                       # subscription ack
+        -> {"event": "task", ...journal row..., "replayed": false}   # xN
+        -> {"event": "end", "state": "done", "error": ""}
+    {"op": "results", "sweep_id": "..."}      # blocks until terminal
+        -> {"ok": true, "result": {...SweepResult.to_dict()...}}
+    {"op": "cancel", "sweep_id": "..."}
+        -> {"ok": true, "state": "cancelled", ...}
+
+Errors never tear the connection: a malformed line, unknown op, unknown
+sweep id or refused spec answers ``{"ok": false, "error": "..."}`` and the
+server reads the next request.  ``watch`` streams exactly the journal rows
+(the coordinator's exactly-once event log), so a client that renders them
+sees the same rows a journal replay would produce — live.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.pipeline.runner import StoreLike
+from repro.pipeline.spec import SweepSpec
+from repro.service.coordinator import SweepCoordinator
+
+__all__ = ["SweepServer", "DEFAULT_PORT"]
+
+#: Default TCP port for ``repro serve`` / ``repro submit``.
+DEFAULT_PORT = 7341
+
+
+class SweepServer:
+    """Hosts a :class:`~repro.service.coordinator.SweepCoordinator` on TCP.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` holds the
+    bound value after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        store: StoreLike,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = 1,
+        use_processes: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.coordinator = SweepCoordinator(
+            store, workers=workers, use_processes=use_processes
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "SweepServer":
+        """Bind and start accepting connections (non-blocking)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """:meth:`start` (if needed) then serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.coordinator.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                if not line.strip():
+                    continue
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+                    await self._send(
+                        writer, {"ok": False, "error": f"malformed request: {exc}"}
+                    )
+                    continue
+                try:
+                    await self._dispatch(request, writer)
+                except (ConnectionResetError, BrokenPipeError):
+                    return
+                except Exception as exc:
+                    # a refused spec / unknown sweep / failed run answers
+                    # the request; the connection stays usable
+                    await self._send(writer, {"ok": False, "error": str(exc)})
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # loop/server shutdown mid-connection: close quietly below — a
+            # handler that ends "cancelled" makes asyncio's stream-protocol
+            # callback log a spurious error at teardown
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: dict, writer: asyncio.StreamWriter) -> None:
+        op = request.get("op")
+        coord = self.coordinator
+        if op == "submit":
+            if "spec" not in request:
+                raise ValueError("submit needs a 'spec' object")
+            try:
+                spec = SweepSpec.from_dict(request["spec"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"invalid spec: {exc}") from None
+            job = await coord.submit(spec, resume=bool(request.get("resume")))
+            await self._send(
+                writer,
+                {"ok": True, "sweep_id": job.sweep_id, "total": job.total},
+            )
+        elif op == "status":
+            await self._send(
+                writer, {"ok": True, **coord.status(self._sweep_id(request))}
+            )
+        elif op == "watch":
+            sweep_id = self._sweep_id(request)
+            coord.job(sweep_id)  # raise before acking the subscription
+            await self._send(writer, {"ok": True, "sweep_id": sweep_id})
+            async for event in coord.watch(sweep_id):
+                await self._send(writer, {"event": "task", **event})
+            status = coord.status(sweep_id)
+            await self._send(
+                writer,
+                {
+                    "event": "end",
+                    "state": status["state"],
+                    "error": status["error"],
+                },
+            )
+        elif op == "results":
+            result = await coord.result(self._sweep_id(request))
+            await self._send(writer, {"ok": True, "result": result.to_dict()})
+        elif op == "cancel":
+            status = await coord.cancel(self._sweep_id(request))
+            await self._send(writer, {"ok": True, **status})
+        else:
+            raise ValueError(f"unknown op {op!r}")
+
+    @staticmethod
+    def _sweep_id(request: dict) -> str:
+        sweep_id = request.get("sweep_id")
+        if not isinstance(sweep_id, str) or not sweep_id:
+            raise ValueError(f"{request.get('op')} needs a 'sweep_id'")
+        return sweep_id

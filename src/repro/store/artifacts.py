@@ -282,10 +282,19 @@ class ArtifactStore:
     #: for maintenance too, since gc cannot tell crashed from in-flight).
     TMP_GRACE_SECONDS = 3600.0
 
-    def gc(self, older_than_days: Optional[float] = None) -> Dict[str, int]:
+    def gc(
+        self,
+        older_than_days: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> Dict[str, int]:
         """Garbage-collect: drop abandoned temp files (crashed writers,
         after a safety grace period) always, and — when ``older_than_days``
         is given — every artifact whose record is older than that many days.
+
+        ``dry_run=True`` reports the same counts and byte totals without
+        touching the store, so the deletion policy can be audited first
+        (``repro store gc --dry-run``).  The report of a dry run and the
+        following real run agree unless the store changed in between.
 
         Returns ``{"removed": count, "freed_bytes": total}``.
         """
@@ -298,7 +307,8 @@ class ArtifactStore:
                     stat = tmp.stat()
                     if stat.st_mtime >= tmp_cutoff:
                         continue  # possibly a live writer's file
-                    tmp.unlink()
+                    if not dry_run:
+                        tmp.unlink()
                 except FileNotFoundError:
                     continue  # the writer published or cleaned up first
                 freed += stat.st_size
@@ -307,6 +317,9 @@ class ArtifactStore:
                 cutoff = time.time() - float(older_than_days) * 86400.0
                 for info in list(self.entries()):
                     if info.created < cutoff:
-                        freed += self.delete(info.digest)
+                        if dry_run:
+                            freed += info.size_bytes
+                        else:
+                            freed += self.delete(info.digest)
                         removed += 1
         return {"removed": removed, "freed_bytes": freed}

@@ -58,10 +58,13 @@ class PersistentCalibrationCache(CalibrationCache):
             "key": tuple(key),
         }
 
-    def lookup(self, key: CacheKey) -> Optional[CalibrationRecord]:
-        record = super().lookup(key)  # memory tier (counts the hit)
-        if record is not None:
-            return record
+    def _fetch_from_disk(self, key: CacheKey) -> Optional[CalibrationRecord]:
+        """Store-tier read, promoting into the memory tier on success.
+
+        No stats are touched here — promotion is not a miss (misses mean
+        "cold calibrations actually performed") and which caller gets the
+        hit credited is the caller's business (:meth:`lookup` vs
+        :meth:`peek`)."""
         payload = self._store.get(self._artifact_key(key))
         if payload is None:
             return None
@@ -70,10 +73,25 @@ class PersistentCalibrationCache(CalibrationCache):
             shots_spent=int(payload["shots_spent"]),
             circuits_executed=int(payload["circuits_executed"]),
         )
-        # Promote to the memory tier without logging a miss (misses mean
-        # "cold calibrations actually performed"), then count the hit with
-        # the same saved-work accounting as a memory hit.
         self._entries[key] = record
+        return record
+
+    def peek(self, key: CacheKey) -> Optional[CalibrationRecord]:
+        """Stat-free probe through both tiers (memory, then disk)."""
+        record = super().peek(key)
+        if record is not None:
+            return record
+        return self._fetch_from_disk(key)
+
+    def lookup(self, key: CacheKey) -> Optional[CalibrationRecord]:
+        record = super().lookup(key)  # memory tier (counts the hit)
+        if record is not None:
+            return record
+        record = self._fetch_from_disk(key)
+        if record is None:
+            return None
+        # Count the disk hit with the same saved-work accounting as a
+        # memory hit.
         self._stats.hits += 1
         self._stats.saved_shots += record.shots_spent
         self._stats.saved_circuits += record.circuits_executed

@@ -38,11 +38,56 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a pipeline cycle
     from repro.pipeline.spec import SweepSpec
     from repro.store.artifacts import ArtifactStore
 
-__all__ = ["SweepJournal", "journal_spec_digest"]
+__all__ = [
+    "SweepJournal",
+    "journal_spec_digest",
+    "task_entry",
+    "outcome_from_entry",
+]
 
 MAGIC = "repro-sweep-journal/1"
 
 TaskCoord = Tuple[int, Tuple[int, ...]]
+
+
+def task_entry(outcome: "TaskOutcome") -> dict:
+    """The journal-line dict for one completed task.
+
+    Factored out of :meth:`SweepJournal.append_task` because the service
+    coordinator publishes exactly this entry to live watchers the moment
+    the task is journaled — a watcher stream and a journal replay must be
+    the same rows, field for field.  :func:`outcome_from_entry` is the
+    inverse; keep them together.
+    """
+    return {
+        "kind": "task",
+        "point": outcome.backend_index,
+        "trials": list(outcome.trials),
+        "records": [rec.to_dict() for rec in outcome.records],
+        "cache_hits": outcome.cache_hits,
+        "cache_misses": outcome.cache_misses,
+        "saved_shots": outcome.saved_shots,
+        "saved_circuits": outcome.saved_circuits,
+        "duration": outcome.duration,
+    }
+
+
+def outcome_from_entry(entry: dict) -> "TaskOutcome":
+    """Exact inverse of :func:`task_entry` — the one place that parses a
+    task row back to a live object, shared by journal replay and by wire
+    consumers of streamed rows (``repro submit --follow``)."""
+    from repro.pipeline.runner import SweepRecord, TaskOutcome
+
+    return TaskOutcome(
+        backend_index=int(entry["point"]),
+        trials=tuple(int(t) for t in entry["trials"]),
+        records=[SweepRecord.from_dict(r) for r in entry["records"]],
+        cache_hits=int(entry["cache_hits"]),
+        cache_misses=int(entry["cache_misses"]),
+        saved_shots=int(entry["saved_shots"]),
+        saved_circuits=int(entry["saved_circuits"]),
+        duration=float(entry["duration"]),
+    )
 
 
 def _identity_fields(spec: "SweepSpec") -> dict:
@@ -254,17 +299,7 @@ class SweepJournal:
     # ------------------------------------------------------------------
     def append_task(self, outcome: "TaskOutcome") -> None:
         """Durably record one completed task (flush + fsync per entry)."""
-        entry = {
-            "kind": "task",
-            "point": outcome.backend_index,
-            "trials": list(outcome.trials),
-            "records": [rec.to_dict() for rec in outcome.records],
-            "cache_hits": outcome.cache_hits,
-            "cache_misses": outcome.cache_misses,
-            "saved_shots": outcome.saved_shots,
-            "saved_circuits": outcome.saved_circuits,
-            "duration": outcome.duration,
-        }
+        entry = task_entry(outcome)
         if self._fh is None:
             self._trim_torn_tail()
             self._fh = open(self.path, "a", encoding="utf-8")
@@ -345,21 +380,82 @@ class SweepJournal:
         coordinate.  Duplicate entries for one coordinate (a crash between
         append and process exit, then a re-run) collapse to the last —
         the content is identical either way, by the seeding discipline."""
-        from repro.pipeline.runner import SweepRecord, TaskOutcome
-
-        out: Dict[TaskCoord, TaskOutcome] = {}
+        out: Dict[TaskCoord, "TaskOutcome"] = {}
         for entry in self._raw_lines():
             if entry.get("kind") != "task":
                 continue
-            coord = (int(entry["point"]), tuple(int(t) for t in entry["trials"]))
-            out[coord] = TaskOutcome(
-                backend_index=coord[0],
-                trials=coord[1],
-                records=[SweepRecord.from_dict(r) for r in entry["records"]],
-                cache_hits=int(entry["cache_hits"]),
-                cache_misses=int(entry["cache_misses"]),
-                saved_shots=int(entry["saved_shots"]),
-                saved_circuits=int(entry["saved_circuits"]),
-                duration=float(entry["duration"]),
-            )
+            outcome = outcome_from_entry(entry)
+            out[(outcome.backend_index, outcome.trials)] = outcome
         return out
+
+    # ------------------------------------------------------------------
+    # Tailing
+    # ------------------------------------------------------------------
+    def follow(self, poll_interval: float = 0.05, stop=None):
+        """Yield task entries as they land: replay, then tail new appends.
+
+        A watcher gets every completed row already in the journal (in
+        journal order — the writer's completion order) and then blocks,
+        polling the file, until new rows are appended.  Only lines
+        terminated by a newline are ever parsed, so a torn in-flight
+        append is naturally withheld until the writer completes (or
+        repairs) it — a follower can never see a fragment, and never sees
+        a row twice: delivery is exactly-once by byte offset.
+
+        ``stop``: optional zero-argument callable; when it returns true
+        the iterator drains whatever complete rows exist and returns.
+        Without it, follow a live sweep from another thread/process and
+        break out of the ``for`` when done.  A journal file that does not
+        exist yet (sweep still queued) is polled for, not an error.
+        """
+        import time as _time
+
+        offset = 0
+        while True:
+            new_rows, offset = self._complete_rows_from(offset)
+            for entry in new_rows:
+                if entry.get("kind") == "task":
+                    yield entry
+            if stop is not None and stop():
+                # one final drain so rows appended while the caller was
+                # deciding to stop are not lost
+                new_rows, offset = self._complete_rows_from(offset)
+                for entry in new_rows:
+                    if entry.get("kind") == "task":
+                        yield entry
+                return
+            if not new_rows:
+                _time.sleep(poll_interval)
+
+    def _complete_rows_from(self, offset: int):
+        """Parsed newline-terminated rows after ``offset``; new offset.
+
+        The offset only ever advances past complete lines, so a torn tail
+        is re-read on the next poll.  A fresh-run truncation (header
+        rewrite) shrinks the file below the offset; the follower resets to
+        the start rather than silently misparsing mid-line bytes.
+        """
+        rows = []
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                if size < offset:
+                    offset = 0  # journal truncated/rewritten under us
+                fh.seek(offset)
+                data = fh.read()
+        except FileNotFoundError:
+            return rows, 0
+        consumed = data.rfind(b"\n") + 1
+        if consumed == 0:
+            return rows, offset
+        for line in data[:consumed].splitlines():
+            if not line.strip():
+                continue
+            try:
+                rows.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                # mid-file corruption is replay's problem to report; a
+                # follower just skips what it cannot parse
+                continue
+        return rows, offset + consumed

@@ -1,0 +1,183 @@
+"""CLI error paths and maintenance flags (ISSUE 4 satellites).
+
+Every mistake a user can make at the prompt must exit non-zero with an
+actionable one-line message — never a traceback:
+
+* ``--resume`` without ``--store`` (flag error);
+* a journal whose spec digest does not match the requested spec;
+* malformed ``--spec`` JSON (and structurally invalid spec files);
+* an unknown ``repro store`` subcommand.
+
+Plus the read-only maintenance surface: ``repro store gc --dry-run``
+reports what would be deleted without touching the store, and store-backed
+sweeps print the planner's journaled/warm/cold split on stderr.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.store import ArtifactStore
+from repro.store.journal import journal_spec_digest
+
+
+def cli_spec(seed=17):
+    return SweepSpec(
+        backends=(BackendSpec(kind="device", name="quito", gate_noise=False),),
+        circuits=(CircuitSpec(),),
+        shots=(500,),
+        methods=("Bare", "CMC"),
+        trials=1,
+        seed=seed,
+        full_max_qubits=5,
+    )
+
+
+SWEEP_ARGV = ["sweep", "--quiet", "--trials", "1", "--shots", "500",
+              "--methods", "Bare", "CMC", "--seed", "17"]
+
+
+class TestSweepFlagErrors:
+    def test_resume_without_store_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--devices", "quito", "--resume", "--quiet"])
+        assert exc.value.code == 2
+        assert "--resume needs --store" in capsys.readouterr().err
+
+    def test_malformed_spec_json_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"backends": [{"kind": "device", "name": "qu')  # torn
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--spec", str(bad), "--quiet"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro sweep: error:" in err and "bad.json" in err
+        assert "Traceback" not in err
+
+    def test_structurally_invalid_spec_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"backends": [], "frobnicate": 1}))
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--spec", str(bad), "--quiet"])
+        assert exc.value.code == 2
+        assert "bad.json" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--spec", str(tmp_path / "nope.json"), "--quiet"])
+        assert exc.value.code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_spec_digest_mismatch_refusal_is_clean_error(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        spec_a = cli_spec(seed=17)
+        run_sweep(spec_a, store=str(store))
+        # forge: put spec A's journal at spec B's digest path
+        spec_b = cli_spec(seed=99)
+        journals = ArtifactStore(store).journals_dir
+        forged = journals / f"{journal_spec_digest(spec_b)}.jsonl"
+        forged.write_text(
+            (journals / f"{journal_spec_digest(spec_a)}.jsonl").read_text()
+        )
+        spec_file = tmp_path / "b.json"
+        spec_file.write_text(spec_b.to_json())
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--spec", str(spec_file), "--quiet",
+                  "--store", str(store), "--resume"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro sweep: error:" in err and "different spec" in err
+        assert "Traceback" not in err
+
+
+class TestStoreSubcommandErrors:
+    def test_unknown_store_action_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["store", "frobnicate", str(tmp_path)])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_submit_without_server_is_clean_error(self, capsys):
+        # port 1: nothing listens there (and binding it needs root)
+        with pytest.raises(SystemExit) as exc:
+            main(["submit", "--devices", "quito", "--port", "1",
+                  "--follow", "--quiet"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro submit: error:" in err
+        assert "Traceback" not in err
+
+
+class TestGcDryRun:
+    def test_dry_run_reports_without_deleting(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        run_sweep(cli_spec(), store=str(store_dir))
+        store = ArtifactStore(store_dir)
+        before = list(store.entries())
+        assert before  # CMC persisted calibration artifacts
+
+        assert main(["store", "gc", str(store_dir),
+                     "--older-than-days", "0", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert f"would remove {len(before)} object(s)" in out
+        assert "nothing deleted" in out
+        expected_bytes = sum(i.size_bytes for i in before)
+        assert f"reclaiming {expected_bytes} bytes" in out
+        # the store is untouched
+        assert [i.digest for i in store.entries()] == [
+            i.digest for i in before
+        ]
+
+        # the real run removes exactly what the dry run promised
+        assert main(["store", "gc", str(store_dir),
+                     "--older-than-days", "0"]) == 0
+        out = capsys.readouterr().out
+        assert f"removed {len(before)} object(s)" in out
+        assert f"freed {expected_bytes} bytes" in out
+        assert list(store.entries()) == []
+
+    def test_dry_run_counts_stale_tmp_files(self, tmp_path):
+        import os
+        import time as _time
+
+        store = ArtifactStore(tmp_path / "store")
+        bucket = store.objects_dir / "ab"
+        bucket.mkdir(parents=True)
+        tmp = bucket / ".deadbeef.json.12345.tmp"
+        tmp.write_bytes(b"x" * 64)
+        old = _time.time() - 2 * store.TMP_GRACE_SECONDS
+        os.utime(tmp, (old, old))
+        report = store.gc(dry_run=True)
+        assert report == {"removed": 1, "freed_bytes": 64}
+        assert tmp.exists()
+        assert store.gc() == {"removed": 1, "freed_bytes": 64}
+        assert not tmp.exists()
+
+
+class TestPlanSplitLine:
+    def test_store_sweep_reports_warm_journaled_cold_split(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        argv = SWEEP_ARGV[:1] + ["--devices", "quito"] + SWEEP_ARGV[1:]
+        argv.remove("--quiet")  # progress (and the plan line) on stderr
+
+        assert main(argv + ["--store", store]) == 0
+        err = capsys.readouterr().err
+        assert "plan: 0 journaled, 0 warm, 1 cold" in err
+
+        # warm rerun (fresh journal, persisted calibrations)
+        assert main(argv + ["--store", store]) == 0
+        err = capsys.readouterr().err
+        assert "plan: 0 journaled, 1 warm, 0 cold" in err
+
+        # resumed rerun: the journal replays everything
+        assert main(argv + ["--store", store, "--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "resume: 1 journaled, 0 warm, 0 cold" in err
+
+    def test_quiet_and_storeless_runs_print_no_plan_line(self, capsys):
+        assert main(["sweep", "--devices", "quito", "--methods", "Bare",
+                     "--shots", "500", "--trials", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "plan:" not in err and "resume:" not in err
