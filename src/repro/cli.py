@@ -14,7 +14,9 @@
     python -m repro sweep --devices quito lima nairobi --trials 3 --workers 4
     python -m repro sweep --spec grid.json --workers 4 --json out.json
     python -m repro sweep --spec grid.json --store ./artifacts --resume
+    python -m repro sweep --spec grid.json --store mem://scratch
     python -m repro store ls ./artifacts
+    python -m repro store ls s3://sweeps/warm-tier
     python -m repro serve --store ./artifacts --port 7341
     python -m repro submit --devices quito --trials 3 --follow
     python -m repro --version
@@ -24,10 +26,13 @@ reports (see EXPERIMENTS.md for the mapping) and is deterministic under
 ``--seed``.  ``sweep`` runs an arbitrary grid — from a JSON
 :class:`~repro.pipeline.spec.SweepSpec` or inline flags — on the parallel
 engine, with per-task progress on stderr and optional JSON results.
-``--store DIR`` makes a sweep durable (journal + persistent calibrations;
-``--resume`` restarts a crashed run bit-identically; the planner orders
-tasks warm-first and reports the journaled/warm/cold split), and ``store``
-inspects or garbage-collects such a directory.  ``serve`` hosts a store as
+``--store LOCATOR`` makes a sweep durable (journal + persistent
+calibrations; ``--resume`` restarts a crashed run bit-identically; the
+planner orders tasks warm-first and reports the journaled/warm/cold
+split).  A store is named by a URL-style locator — a plain directory
+path (or ``dir:///path``), ``mem://name`` for an in-process store, or
+``s3://bucket/prefix`` for an object store with an injected client —
+and ``store ls|inspect|gc`` work identically on all of them.  ``serve`` hosts a store as
 a long-running sweep service (see :mod:`repro.service`); ``submit`` sends
 a grid to it — with ``--follow``, journal rows stream back live while the
 sweep runs, and the final table is bit-identical to a local run.
@@ -215,8 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-task progress"
     )
     p.add_argument(
-        "--store", dest="store", default=None, metavar="DIR",
-        help="persist calibrations + a crash-safe task journal under DIR "
+        "--store", dest="store", default=None, metavar="STORE",
+        help="persist calibrations + a crash-safe task journal in STORE — "
+        "a directory, dir:///path, mem://name or s3://bucket/prefix "
         "(warm reruns skip every calibration execution; tasks with "
         "persisted calibrations run first)",
     )
@@ -230,10 +236,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "action", choices=["ls", "inspect", "gc"],
         help="ls: list artifacts; inspect: show one artifact's key/metadata; "
-        "gc: drop crashed-writer temp files (and, with --older-than-days, "
+        "gc: drop crashed-writer debris (and, with --older-than-days, "
         "stale artifacts)",
     )
-    p.add_argument("root", metavar="DIR", help="store root directory")
+    p.add_argument(
+        "root", metavar="STORE",
+        help="store locator: a directory path, dir:///path, mem://name "
+        "or s3://bucket/prefix (any backend, same commands)",
+    )
     p.add_argument(
         "digest", nargs="?", default=None,
         help="artifact digest (or unique prefix) for `inspect`",
@@ -250,8 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve", help=_COMMANDS["serve"])
     p.add_argument(
-        "--store", required=True, metavar="DIR",
-        help="artifact store directory the service journals into",
+        "--store", required=True, metavar="STORE",
+        help="artifact store the service journals into (a directory or "
+        "any store locator; mem://name serves an ephemeral store)",
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=None,
@@ -399,9 +410,15 @@ def _cmd_costs(args: argparse.Namespace) -> str:
 
 
 def _cmd_stability(args: argparse.Namespace) -> str:
-    res = err_stability_experiment(
-        args.device, weeks=args.weeks, seed=args.seed, store=args.store
-    )
+    try:
+        res = err_stability_experiment(
+            args.device, weeks=args.weeks, seed=args.seed, store=args.store
+        )
+    except ValueError as exc:
+        # bad store locators (unknown scheme, client-less s3://) get the
+        # same clean exit-2 as every other store-aware command
+        print(f"repro stability: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
     rows = {
         f"week {w}": {
             "error map": str(res.weekly_maps[w].edges),
@@ -594,13 +611,19 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
     from repro.service.server import DEFAULT_PORT, SweepServer
 
-    server = SweepServer(
-        args.store,
-        host=args.host,
-        port=DEFAULT_PORT if args.port is None else args.port,
-        workers=args.workers,
-        use_processes=args.processes,
-    )
+    try:
+        server = SweepServer(
+            args.store,
+            host=args.host,
+            port=DEFAULT_PORT if args.port is None else args.port,
+            workers=args.workers,
+            use_processes=args.processes,
+        )
+    except ValueError as exc:
+        # bad locators, or --processes over a process-local store
+        # (mem://, injected-client s3://) — actionable, not a traceback
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
     async def _serve() -> None:
         await server.start()
@@ -701,15 +724,21 @@ def _row_outcome(row: dict):
 def _cmd_store(args: argparse.Namespace) -> str:
     from repro.store import ArtifactStore
 
-    store = ArtifactStore(args.root)
+    try:
+        store = ArtifactStore(args.root)
+    except ValueError as exc:
+        # bad locators (unknown scheme, invalid mem:// name, s3:// with
+        # no client) are user input errors, not tracebacks
+        print(f"repro store: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
     if args.action == "ls":
         infos = list(store.entries())
-        journals = sorted(store.journals_dir.glob("*.jsonl"))
+        journals = store.journal_keys()
         if not infos:
             # journals are resumable state — never report them as "empty"
             # (a user trusting ls might delete the directory)
             return (
-                f"(no artifacts at {store.root}; "
+                f"(no artifacts at {_store_name(store)}; "
                 f"{len(journals)} sweep journal(s))"
             )
         rows = {
@@ -775,6 +804,14 @@ def _cmd_store(args: argparse.Namespace) -> str:
         f"removed {report['removed']} object(s), "
         f"freed {report['freed_bytes']} bytes"
     )
+
+
+def _store_name(store) -> str:
+    """The store's display name: the plain path for local stores (what
+    the user typed, pre-locator), the locator for every other backend."""
+    from repro.store import store_locator
+
+    return store_locator(store)
 
 
 def _jsonable(obj):

@@ -104,7 +104,7 @@ def _profile_week(
     streams derived of (seed, week) — no state crosses week boundaries, so
     weeks profile identically whether run serially or on a pool.
 
-    With a ``store_root``, the week's recovered snapshot (error map +
+    With a ``store_ref``, the week's recovered snapshot (error map +
     profiling weights) is persisted under a key naming every input, so a
     later process re-running the same drift scenario — a different
     ``weeks`` horizon, a crashed study, another analysis pass — reloads
@@ -112,12 +112,19 @@ def _profile_week(
     The snapshot is a pure function of its key, so a hit is bit-identical
     to re-measuring.
     """
-    device, week, shots_per_week, drift_scale, locality, seed, store_root = args
+    device, week, shots_per_week, drift_scale, locality, seed, store_ref = args
     store = akey = None
-    if store_root is not None:
+    if store_ref is not None:
         from repro.store import ArtifactStore
 
-        store = ArtifactStore(store_root)
+        # store_ref is a locator string (picklable, pool runs) or the
+        # live ArtifactStore itself (process-local backends, which only
+        # dispatch in-process — see err_stability_experiment)
+        store = (
+            store_ref
+            if isinstance(store_ref, ArtifactStore)
+            else ArtifactStore(store_ref)
+        )
         # the key names *every* input the snapshot depends on — a hit must
         # be bit-identical to re-measuring, so any recipe change has to
         # miss (schema bump) rather than serve stale maps
@@ -182,18 +189,27 @@ def err_stability_experiment(
     if weeks < 2:
         raise ValueError("need at least two weeks to compare")
     root = seed_to_int(seed)
-    store_root = None
+    store_ref = None
     if store is not None:
-        from repro.store import store_root as _store_root
+        from repro.store import ArtifactStore, store_locator
 
-        store_root = _store_root(store)
+        live = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        if live.backend.cross_process:
+            store_ref = store_locator(live)  # picklable into pool workers
+        else:
+            # a pool worker reopening mem:// (or an injected-client
+            # s3://) would see a different, empty store: snapshots would
+            # be written into oblivion.  Keep the live store and profile
+            # in-process instead.
+            store_ref = live
+            workers = 1
     base = device_profile_backend(
         device, rng=stable_rng("err-stability-base", root), gate_noise=False
     )
     weekly_maps: List[CouplingMap] = map_tasks(
         _profile_week,
         [
-            (device, week, shots_per_week, drift_scale, locality, root, store_root)
+            (device, week, shots_per_week, drift_scale, locality, root, store_ref)
             for week in range(weeks)
         ],
         workers=workers,

@@ -79,7 +79,9 @@ if TYPE_CHECKING:  # runtime import is lazy (repro.store imports this module)
     from repro.store.artifacts import ArtifactStore
     from repro.store.journal import SweepJournal
 
-#: What callers may pass as ``store=``: a directory path or a live store.
+#: What callers may pass as ``store=``: a directory path, a URL-style
+#: store locator (``dir:///path``, ``mem://name``, ``s3://bucket/prefix``
+#: — see :mod:`repro.store.locator`) or a live store.
 StoreLike = Union[str, os.PathLike, "ArtifactStore", None]
 
 __all__ = [
@@ -397,7 +399,8 @@ def execute_task(
     the spec shares the backend draw across them (they then also share
     calibration, so co-locating them maximises cache reuse).
 
-    ``store_root`` (a path, so the task pickles into worker processes)
+    ``store_root`` (a path or store locator string, so the task pickles
+    into worker processes)
     upgrades the task's calibration cache to the persistent two-tier one:
     in-memory hits behave exactly as before, and calibrations measured by
     any earlier process running the same logical sweep are restored from
@@ -533,6 +536,10 @@ class SweepSession:
     journal: Optional["SweepJournal"] = None
     store_root: Optional[str] = None
     started: float = 0.0
+    #: The live store (not just its locator) — what in-process dispatch
+    #: hands to tasks when the backend cannot be reopened by locator in
+    #: another context (``mem://`` spaces, injected-client ``s3://``).
+    store: Optional["ArtifactStore"] = None
 
     @property
     def total(self) -> int:
@@ -546,6 +553,23 @@ class SweepSession:
         """
         point, trials = coord
         return (self.spec, point, trials, self.store_root)
+
+    def task_cache(self) -> Optional[CalibrationCache]:
+        """A fresh per-task two-tier cache over the session's *live*
+        backend, for in-process dispatch of process-local stores.
+
+        ``None`` on every path where :func:`execute_task` should build
+        its own cache from the pickled ``store_root`` (no store, caching
+        disabled, or a cross-process backend a worker can reopen).  A
+        fresh cache per task keeps hit/miss accounting per-task — the
+        same shape a worker-built cache has."""
+        if self.store is None or not self.spec.reuse_calibration:
+            return None
+        if self.store.backend.cross_process:
+            return None
+        from repro.store.calcache import PersistentCalibrationCache
+
+        return PersistentCalibrationCache(self.store)
 
     def record(self, coord: TaskCoord, outcome: TaskOutcome) -> int:
         """Journal + retain one completed task; returns the done count."""
@@ -610,7 +634,8 @@ class ParallelSweepRunner:
         canonical order; the assembled result always is).
     store:
         Optional :class:`~repro.store.artifacts.ArtifactStore` (or its
-        root directory).  Journals every completed task durably and gives
+        root directory / locator string — ``dir:///path``, ``mem://name``,
+        ``s3://bucket/prefix``).  Journals every completed task durably and gives
         each task a persistent second calibration-cache tier — neither of
         which changes any number, only what survives the process.
     resume:
@@ -656,6 +681,13 @@ class ParallelSweepRunner:
     ) -> int:
         if self.workers is None or self.workers <= 1:
             return 1
+        if self.store is not None and not self.store.backend.cross_process:
+            # A pool worker reopening this locator would see a *different*
+            # store (an empty mem:// space, a missing injected client):
+            # results would still be correct — every stream derives from
+            # (seed, coordinates) — but journaling/warm reuse would
+            # silently vanish.  Keep such sweeps in-process instead.
+            return 1
         requested = max(1, min(int(self.workers), spec.num_tasks))
         if plan is not None:
             # Store-aware sizing: the pool covers the cold remainder in
@@ -683,9 +715,10 @@ class ParallelSweepRunner:
         store_root: Optional[str] = None
         if self.store is not None:
             from repro.service.planner import SweepPlanner
+            from repro.store.artifacts import store_locator
             from repro.store.journal import SweepJournal
 
-            store_root = str(self.store.root)
+            store_root = store_locator(self.store)
             plan = SweepPlanner(self.store).plan(spec, resume=self.resume)
             journal = SweepJournal.open(self.store, spec, resume=self.resume)
         session = SweepSession(
@@ -698,6 +731,7 @@ class ParallelSweepRunner:
             journal=journal,
             store_root=store_root,
             started=started,
+            store=self.store,
         )
         # Replay sits under a close() guard: a corrupt-journal ValueError
         # must not leak the advisory lock.
@@ -727,7 +761,9 @@ class ParallelSweepRunner:
             total = session.total
             if session.workers == 1:
                 for coord in list(session.pending):
-                    outcome = execute_task(*session.task_args(coord))
+                    outcome = execute_task(
+                        *session.task_args(coord), cache=session.task_cache()
+                    )
                     done = session.record(coord, outcome)
                     if self.progress is not None:
                         self.progress(done, total, outcome)
@@ -759,7 +795,8 @@ def run_sweep(
 ) -> SweepResult:
     """One-call convenience: ``ParallelSweepRunner(...).run(spec)``.
 
-    ``store`` (a directory or :class:`~repro.store.artifacts.ArtifactStore`)
+    ``store`` (a directory, a ``dir://``/``mem://``/``s3://`` locator, or a
+    :class:`~repro.store.artifacts.ArtifactStore`)
     makes the sweep durable: completed tasks are journaled and calibrations
     persist across processes; ``resume=True`` picks up a crashed run
     exactly where it stopped, bit-identical to an uninterrupted one.

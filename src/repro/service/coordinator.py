@@ -179,6 +179,15 @@ class SweepCoordinator:
         )
         self.workers = max(1, int(workers))
         self.use_processes = bool(use_processes)
+        if self.use_processes and not self.store.backend.cross_process:
+            # A pool worker reopening mem:// (or an injected-client s3://)
+            # would see a different, empty store — warm reuse and the
+            # shared calibration tier would silently vanish.  Threads
+            # share the in-process backend; refuse the combination loudly.
+            raise ValueError(
+                f"store {self.store.locator} is process-local; "
+                f"use threads (use_processes=False) to serve it"
+            )
         self.max_finished_jobs = max(1, int(max_finished_jobs))
         self._executor: Optional[Executor] = None
         self._shared_cache = PersistentCalibrationCache(self.store)

@@ -182,9 +182,10 @@ class SweepPlanner:
     def _journaled_coords(self, spec: SweepSpec) -> Tuple[TaskCoord, ...]:
         """Task coordinates completed in the spec's journal (lock-free,
         tolerant read: a missing, foreign or corrupt journal plans as
-        empty — the runner's own ``open`` is where refusals belong)."""
-        path = self.store.journals_dir / f"{journal_spec_digest(spec)}.jsonl"
-        journal = SweepJournal(path, spec)
+        empty — the runner's own ``open`` is where refusals belong).
+        Binds through the store's backend, so planning works identically
+        over a directory, ``mem://`` space or object store."""
+        journal = SweepJournal.for_spec(self.store, spec)
         try:
             journal._verify_header()
             return tuple(journal.completed_outcomes().keys())

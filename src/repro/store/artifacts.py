@@ -1,61 +1,103 @@
-"""Content-addressed, on-disk artifact store.
+"""Content-addressed artifact store over a pluggable transport backend.
 
-An :class:`ArtifactStore` is a directory of immutable artifacts addressed
-by the SHA-256 of a *canonical JSON key* — the same canonicalisation
-(sorted keys, minimal separators) for every writer, so two processes that
+An :class:`ArtifactStore` holds immutable artifacts addressed by the
+SHA-256 of a *canonical JSON key* — the same canonicalisation (sorted
+keys, minimal separators) for every writer, so two processes that
 describe the same logical object compute the same address and the second
 write is a no-op overwrite with identical bytes.
 
-Layout (all under the store root)::
+The store no longer knows about directories: all I/O goes through a
+:class:`~repro.store.backends.StoreBackend`, selected by a URL-style
+locator (``dir:///path`` — or any plain path — ``mem://name``,
+``s3://bucket/prefix``; see :mod:`repro.store.locator`).  Two artifact
+layouts, chosen by the backend's capabilities:
+
+**File-shaped backends** (``dir``, ``mem``)::
 
     objects/<hh>/<digest>.json   key + metadata + encoded structure
     objects/<hh>/<digest>.npz    array payloads (only when there are any)
     journals/<digest16>.jsonl    sweep journals (see repro.store.journal)
 
-Writes are crash-safe: payloads go to a temporary file in the destination
-directory and are published with ``os.replace`` (atomic on POSIX), arrays
-first and the ``.json`` record last — the JSON record is the commit marker,
-so a reader can never observe a record whose arrays are missing or
-half-written.  Concurrent writers of the same key race benignly: both
-produce identical content and ``os.replace`` is last-writer-wins.
+Arrays publish first and the ``.json`` record last — the JSON record is
+the commit marker, so a reader can never observe a record whose arrays
+are missing or half-written.  On disk this is byte-for-byte the layout
+(and the tmp-file + ``os.replace`` crash safety) the store has always
+had: existing store directories keep working.
 
-Values are encoded through :mod:`repro.store.codecs`, so calibration
-matrices, mitigator states, coupling maps and nested tuple-keyed dicts all
-round-trip bit-identically (`.npz` members are lossless binary).
+**Packing backends** (``s3``-style single-key blobs)::
+
+    objects/<hh>/<digest>.pack   record + arrays in ONE object
+
+One object per artifact, committed by a *conditional put* (the pack is
+its own commit marker): because the payload is a pure function of the
+key for every producer in this repo, a lost race simply means identical
+content is already committed.  GC is a prefix listing.
+
+Concurrent writers of the same key race benignly either way.  Values are
+encoded through :mod:`repro.store.codecs`, so calibration matrices,
+mitigator states, coupling maps and nested tuple-keyed dicts all
+round-trip bit-identically (array payloads are lossless binary).
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import pathlib
-import tempfile
+import struct
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro._version import __version__
+from repro.store.backends import StoreBackend, open_backend
 from repro.store.codecs import decode, encode
+from repro.store.locator import parse_store_locator
 
-__all__ = ["ArtifactStore", "ArtifactInfo", "canonical_key_digest", "store_root"]
+__all__ = [
+    "ArtifactStore",
+    "ArtifactInfo",
+    "canonical_key_digest",
+    "store_root",
+    "store_locator",
+]
 
 PathLike = Union[str, os.PathLike]
 
+#: Packed-artifact magic + header: b"RPAK" | u32 record length | record
+#: JSON | npz bytes.  Version bumps get a new magic, not a silent skew.
+_PACK_MAGIC = b"RPAK"
 
-def store_root(store: Union["ArtifactStore", PathLike]) -> str:
-    """Directory root of ``store`` — a live :class:`ArtifactStore` or a
-    path — as a plain string (picklable into worker processes).
 
-    The one place that knows ``ArtifactStore.root`` is the attribute to
-    read: duck-typing on ``.root`` is a trap, because ``pathlib.Path``
-    also exposes ``.root`` (the filesystem anchor, e.g. ``"/"``).
+def store_locator(store: Union["ArtifactStore", StoreBackend, PathLike]) -> str:
+    """Locator string reopening ``store`` — a live :class:`ArtifactStore`,
+    a backend, a locator string or a path — picklable into workers.
+
+    The one place that knows which attribute to read: duck-typing on
+    ``.root`` is a trap, because ``pathlib.Path`` also exposes ``.root``
+    (the filesystem anchor, e.g. ``"/"``).  For local stores this stays
+    the plain directory path, so every pre-locator consumer (and log
+    line) sees what it always saw.
     """
     if isinstance(store, ArtifactStore):
-        return str(store.root)
+        store = store.backend
+    if isinstance(store, StoreBackend):
+        if store.scheme == "dir":
+            # the path component of the canonical locator — not a
+            # ``.root`` attribute read, which a wrapper (FaultyBackend)
+            # would not forward through its own namespace
+            return parse_store_locator(store.locator).path
+        return store.locator
     return os.fspath(store)
+
+
+#: Backward-compatible alias — PR-3 callers (and the experiment drivers)
+#: import ``store_root``; a locator is what a "root" generalises into.
+store_root = store_locator
 
 
 def canonical_key_digest(key: Any) -> str:
@@ -108,23 +150,98 @@ class ArtifactInfo:
     key: dict
 
 
-class ArtifactStore:
-    """Content-addressed store rooted at a directory (created on demand)."""
+def _pack(record_bytes: bytes, npz_bytes: bytes) -> bytes:
+    return (
+        _PACK_MAGIC
+        + struct.pack(">I", len(record_bytes))
+        + record_bytes
+        + npz_bytes
+    )
 
-    def __init__(self, root: PathLike) -> None:
-        self.root = pathlib.Path(root)
-        self.objects_dir = self.root / "objects"
-        self.journals_dir = self.root / "journals"
+
+def _unpack(blob: bytes) -> Tuple[bytes, bytes]:
+    if blob[:4] != _PACK_MAGIC or len(blob) < 8:
+        raise ValueError("not a packed repro artifact")
+    (rec_len,) = struct.unpack(">I", blob[4:8])
+    return blob[8:8 + rec_len], blob[8 + rec_len:]
+
+
+class ArtifactStore:
+    """Content-addressed store over a backend (resolved from a locator)."""
+
+    def __init__(self, root: Union[PathLike, StoreBackend], client=None) -> None:
+        self.backend = open_backend(root, client=client)
 
     def __repr__(self) -> str:
-        return f"ArtifactStore({str(self.root)!r})"
+        return f"ArtifactStore({self.locator!r})"
+
+    # ------------------------------------------------------------------
+    # Identity / local-compat surface
+    # ------------------------------------------------------------------
+    @property
+    def locator(self) -> str:
+        return self.backend.locator
+
+    @property
+    def root(self):
+        """The store's address: a :class:`pathlib.Path` for local stores
+        (the historical attribute — tests and log lines treat it as a
+        directory), the locator string for every other backend.  Derived
+        from the locator, so it survives wrappers like FaultyBackend."""
+        if self.backend.scheme == "dir":
+            return pathlib.Path(parse_store_locator(self.backend.locator).path)
+        return self.backend.locator
+
+    @property
+    def objects_dir(self) -> pathlib.Path:
+        """Local stores only: the on-disk ``objects/`` directory."""
+        return self._local_dir("objects")
+
+    @property
+    def journals_dir(self) -> pathlib.Path:
+        """Local stores only: the on-disk ``journals/`` directory."""
+        return self._local_dir("journals")
+
+    def _local_dir(self, name: str) -> pathlib.Path:
+        if self.backend.scheme != "dir":
+            raise TypeError(
+                f"{name}_dir is a filesystem notion; {self.locator} is a "
+                f"{self.backend.scheme}:// store — use the backend API"
+            )
+        return self.root / name
 
     # ------------------------------------------------------------------
     # Addressing
     # ------------------------------------------------------------------
-    def _paths(self, digest: str) -> tuple:
-        bucket = self.objects_dir / digest[:2]
-        return bucket / f"{digest}.json", bucket / f"{digest}.npz"
+    @staticmethod
+    def _object_keys(digest: str) -> Tuple[str, str]:
+        bucket = f"objects/{digest[:2]}"
+        return f"{bucket}/{digest}.json", f"{bucket}/{digest}.npz"
+
+    @staticmethod
+    def _pack_key(digest: str) -> str:
+        return f"objects/{digest[:2]}/{digest}.pack"
+
+    def _paths(self, digest: str) -> Tuple[pathlib.Path, pathlib.Path]:
+        """Local stores only: the on-disk (json, npz) paths of a digest —
+        the pre-backend private helper some tests (and maintenance
+        scripts) poke files through."""
+        json_key, npz_key = self._object_keys(digest)
+        backend = self.backend
+        if backend.scheme != "dir":
+            raise TypeError(
+                f"{self.locator} is not a filesystem store; "
+                f"address objects by backend key instead"
+            )
+        return backend._path(json_key), backend._path(npz_key)  # type: ignore[attr-defined]
+
+    def journal_keys(self) -> List[str]:
+        """Backend keys of every sweep journal in this store (sorted)."""
+        return [
+            key
+            for key in self.backend.list_prefix("journals/")
+            if key.endswith(".jsonl")
+        ]
 
     # ------------------------------------------------------------------
     # Write / read
@@ -134,12 +251,11 @@ class ArtifactStore:
 
         Overwriting an existing digest is allowed (and produces identical
         bytes, since the payload is a pure function of the key for every
-        producer in this repo).
+        producer in this repo).  On packing backends the write is one
+        conditional put — losing the race means the identical artifact is
+        already committed, so the loss *is* the success path.
         """
         digest = canonical_key_digest(key)
-        json_path, npz_path = self._paths(digest)
-        json_path.parent.mkdir(parents=True, exist_ok=True)
-
         arrays: Dict[str, np.ndarray] = {}
         structure = encode(payload, arrays)
         record = {
@@ -150,108 +266,118 @@ class ArtifactStore:
             "payload": structure,
             "arrays": sorted(arrays),
         }
+        record_bytes = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        npz_bytes = b""
         if arrays:
-            self._atomic_write(
-                npz_path, lambda fh: np.savez(fh, **arrays)
+            buf = io.BytesIO()
+            np.savez(buf, **arrays)
+            npz_bytes = buf.getvalue()
+
+        if self.backend.packs_artifacts:
+            self.backend.put_if_absent(
+                self._pack_key(digest), _pack(record_bytes, npz_bytes)
             )
-        self._atomic_write(
-            json_path,
-            lambda fh: fh.write(
-                json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
-                    "utf-8"
-                )
-            ),
-        )
+        else:
+            json_key, npz_key = self._object_keys(digest)
+            if arrays:
+                self.backend.put_atomic(npz_key, npz_bytes)
+            self.backend.put_atomic(json_key, record_bytes)
         return digest
 
     def get(self, key: dict, default: Any = None) -> Any:
         """Load the payload stored under ``key`` (``default`` if absent)."""
         digest = canonical_key_digest(key)
-        record = self._read_record(digest)
-        if record is None:
-            return default
-        try:
-            return self._decode_record(record, digest)
-        except FileNotFoundError:
-            # a delete raced us between the record read and the array load
-            # (delete removes .json first, but we may have read it earlier);
-            # the artifact is simply gone — report a miss, not a crash
-            return default
+        loaded = self._load(digest)
+        return default if loaded is None else loaded
 
     def get_by_digest(self, digest: str) -> Any:
         """Load a payload by its content digest (KeyError if absent)."""
-        record = self._read_record(digest)
-        if record is None:
-            raise KeyError(f"no artifact {digest!r} in {self.root}")
-        try:
-            return self._decode_record(record, digest)
-        except FileNotFoundError:
-            raise KeyError(f"no artifact {digest!r} in {self.root}") from None
+        loaded = self._load(digest)
+        if loaded is None:
+            raise KeyError(f"no artifact {digest!r} in {self.locator}")
+        return loaded
 
     def contains(self, key: dict) -> bool:
-        json_path, _ = self._paths(canonical_key_digest(key))
-        return json_path.is_file()
+        digest = canonical_key_digest(key)
+        if self.backend.packs_artifacts:
+            return self.backend.exists(self._pack_key(digest))
+        return self.backend.exists(self._object_keys(digest)[0])
 
     def __contains__(self, key: dict) -> bool:
         return self.contains(key)
 
-    def _read_record(self, digest: str) -> Optional[dict]:
-        json_path, _ = self._paths(digest)
-        try:
-            return json.loads(json_path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
+    def _load(self, digest: str):
+        """Decoded payload for ``digest``, or ``None`` when absent (which
+        includes losing a race against a concurrent delete — the artifact
+        is simply gone; a miss, not a crash)."""
+        raw = self._read_raw(digest)
+        if raw is None:
             return None
-
-    def _decode_record(self, record: dict, digest: str) -> Any:
+        record, npz_bytes = raw
         arrays: Dict[str, np.ndarray] = {}
         if record.get("arrays"):
-            _, npz_path = self._paths(digest)
-            with np.load(npz_path) as npz:
+            if npz_bytes is None:
+                return None  # arrays vanished under us (delete race)
+            with np.load(io.BytesIO(npz_bytes)) as npz:
                 arrays = {name: npz[name] for name in npz.files}
         return decode(record["payload"], arrays)
 
-    @staticmethod
-    def _atomic_write(path: pathlib.Path, writer) -> None:
-        """Write via a same-directory temp file + atomic rename."""
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                writer(fh)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+    def _read_raw(
+        self, digest: str
+    ) -> Optional[Tuple[dict, Optional[bytes]]]:
+        """``(record, npz bytes or None)`` for ``digest``, else ``None``."""
+        if self.backend.packs_artifacts:
+            blob = self.backend.get(self._pack_key(digest))
+            if blob is None:
+                return None
+            record_bytes, npz_bytes = _unpack(blob)
+            return json.loads(record_bytes.decode("utf-8")), npz_bytes or None
+        json_key, npz_key = self._object_keys(digest)
+        record_bytes = self.backend.get(json_key)
+        if record_bytes is None:
+            return None
+        record = json.loads(record_bytes.decode("utf-8"))
+        npz_bytes = self.backend.get(npz_key) if record.get("arrays") else None
+        return record, npz_bytes
 
     # ------------------------------------------------------------------
     # Introspection / maintenance (the `repro store` CLI surface)
     # ------------------------------------------------------------------
+    def _artifact_keys(self) -> Iterator[Tuple[str, str]]:
+        """``(digest, primary key)`` per committed artifact, digest-sorted."""
+        suffix = ".pack" if self.backend.packs_artifacts else ".json"
+        for key in self.backend.list_prefix("objects/"):
+            if key.endswith(suffix):
+                yield key.rsplit("/", 1)[-1][: -len(suffix)], key
+
     def entries(self) -> Iterator[ArtifactInfo]:
-        """All stored artifacts, sorted by digest (stable listings)."""
-        if not self.objects_dir.is_dir():
-            return
-        for json_path in sorted(self.objects_dir.glob("*/*.json")):
-            digest = json_path.stem
-            record = self._read_record(digest)
-            if record is None:  # raced with a delete
-                continue
-            _, npz_path = self._paths(digest)
-            try:
-                size = json_path.stat().st_size
-            except FileNotFoundError:  # raced with a delete after the read
-                continue
+        """All stored artifacts, sorted by digest (stable listings).
+
+        Listing reads records only — array payloads are *stat*'ed for
+        their size, never fetched, so ``repro store ls`` over gigabytes
+        of arrays stays metadata-cheap.  (Packing backends store record
+        and arrays as one object; there a read is the object, which is
+        the price of single-key artifacts.)"""
+        for digest, primary in self._artifact_keys():
+            if self.backend.packs_artifacts:
+                blob = self.backend.get(primary)
+                if blob is None:  # raced with a delete
+                    continue
+                record_bytes, _ = _unpack(blob)
+                size = len(blob)
+            else:
+                record_bytes = self.backend.get(primary)
+                if record_bytes is None:  # raced with a delete
+                    continue
+                size = len(record_bytes)
+            record = json.loads(record_bytes.decode("utf-8"))
             has_arrays = bool(record.get("arrays"))
-            if has_arrays:
-                try:
-                    size += npz_path.stat().st_size
-                except FileNotFoundError:
-                    pass
+            if has_arrays and not self.backend.packs_artifacts:
+                npz_stat = self.backend.stat(self._object_keys(digest)[1])
+                if npz_stat is not None:
+                    size += npz_stat.size
             yield ArtifactInfo(
                 digest=digest,
                 kind=str(record.get("kind", "?")),
@@ -263,20 +389,15 @@ class ArtifactStore:
             )
 
     def delete(self, digest: str) -> int:
-        """Remove one artifact; returns bytes freed (JSON record first,
-        so a concurrent reader sees either the full artifact or none)."""
-        json_path, npz_path = self._paths(digest)
-        freed = 0
-        for path in (json_path, npz_path):
-            try:
-                size = path.stat().st_size
-                path.unlink()
-                freed += size
-            except FileNotFoundError:
-                pass
-        return freed
+        """Remove one artifact; returns bytes freed (the commit marker
+        goes first, so a concurrent reader sees either the full artifact
+        or none)."""
+        if self.backend.packs_artifacts:
+            return self.backend.delete(self._pack_key(digest))
+        json_key, npz_key = self._object_keys(digest)
+        return self.backend.delete(json_key) + self.backend.delete(npz_key)
 
-    #: A ``.tmp`` file younger than this may belong to a live writer (a
+    #: Crash debris younger than this may belong to a live writer (a
     #: write takes milliseconds; an hour of margin makes gc safe to run
     #: beside an active sweep — the "benign race" promise above must hold
     #: for maintenance too, since gc cannot tell crashed from in-flight).
@@ -287,39 +408,66 @@ class ArtifactStore:
         older_than_days: Optional[float] = None,
         dry_run: bool = False,
     ) -> Dict[str, int]:
-        """Garbage-collect: drop abandoned temp files (crashed writers,
-        after a safety grace period) always, and — when ``older_than_days``
-        is given — every artifact whose record is older than that many days.
+        """Garbage-collect, on any backend:
+
+        * **crash debris** — half-written partials a killed writer left
+          (temp files on disk, uncommitted parts on object stores —
+          under ``objects/`` and ``journals/`` alike), after a safety
+          grace period;
+        * **orphaned payloads** — array objects whose commit marker never
+          landed (the writer died between the two puts), same grace;
+        * with ``older_than_days``: every artifact whose record is older
+          than that many days.
 
         ``dry_run=True`` reports the same counts and byte totals without
         touching the store, so the deletion policy can be audited first
         (``repro store gc --dry-run``).  The report of a dry run and the
-        following real run agree unless the store changed in between.
+        following real run agree unless the store changed in between —
+        pinned, per backend, in ``tests/test_store_gc.py``.
 
         Returns ``{"removed": count, "freed_bytes": total}``.
         """
         removed = 0
         freed = 0
-        if self.objects_dir.is_dir():
-            tmp_cutoff = time.time() - self.TMP_GRACE_SECONDS
-            for tmp in self.objects_dir.glob("*/.*.tmp"):
-                try:
-                    stat = tmp.stat()
-                    if stat.st_mtime >= tmp_cutoff:
-                        continue  # possibly a live writer's file
-                    if not dry_run:
-                        tmp.unlink()
-                except FileNotFoundError:
-                    continue  # the writer published or cleaned up first
-                freed += stat.st_size
+        now = time.time()
+        grace_cutoff = now - self.TMP_GRACE_SECONDS
+
+        # Debris anywhere in the store: artifact writes under objects/,
+        # but also journal-lease litter under journals/ (a writer killed
+        # inside a conditional put leaves its temp there too).
+        for key in self.backend.partial_keys(""):
+            stat = self.backend.stat(key)
+            if stat is None:
+                continue  # the writer published or cleaned up first
+            if stat.mtime >= grace_cutoff:
+                continue  # possibly a live writer's file
+            if not dry_run and self.backend.delete(key) == 0:
+                continue
+            freed += stat.size
+            removed += 1
+
+        if not self.backend.packs_artifacts:
+            for key in self.backend.list_prefix("objects/"):
+                if not key.endswith(".npz"):
+                    continue
+                marker = key[: -len(".npz")] + ".json"
+                if self.backend.exists(marker):
+                    continue
+                stat = self.backend.stat(key)
+                if stat is None or stat.mtime >= grace_cutoff:
+                    continue
+                if not dry_run and self.backend.delete(key) == 0:
+                    continue
+                freed += stat.size
                 removed += 1
-            if older_than_days is not None:
-                cutoff = time.time() - float(older_than_days) * 86400.0
-                for info in list(self.entries()):
-                    if info.created < cutoff:
-                        if dry_run:
-                            freed += info.size_bytes
-                        else:
-                            freed += self.delete(info.digest)
-                        removed += 1
+
+        if older_than_days is not None:
+            cutoff = now - float(older_than_days) * 86400.0
+            for info in list(self.entries()):
+                if info.created < cutoff:
+                    if dry_run:
+                        freed += info.size_bytes
+                    else:
+                        freed += self.delete(info.digest)
+                    removed += 1
         return {"removed": removed, "freed_bytes": freed}

@@ -1,0 +1,759 @@
+"""Store transport backends: the contract under every `ArtifactStore`.
+
+A :class:`StoreBackend` is a flat, key-addressed blob space with exactly
+the primitives the store layer needs — and nothing filesystem-shaped.
+Keys are ``/``-separated relative names (``objects/ab/<digest>.json``,
+``journals/<digest16>.jsonl``); values are bytes.  Three families of
+operations:
+
+**Blobs** — ``put_atomic`` (all-or-nothing publish: a reader can never
+observe a partial object), ``put_if_absent`` / ``delete_if_equals``
+(the conditional pair leases and commit markers are built from), ``get``
+/ ``exists`` / ``stat`` / ``list_prefix`` / ``delete``.
+
+**Journal streams** — ``append_line`` (durable append), ``read_from``
+(offset tail for :meth:`~repro.store.journal.SweepJournal.follow`),
+``truncate`` (torn-tail repair).
+
+**Crash debris** — ``partial_keys`` enumerates half-written litter a
+killed writer can leave behind (``spill_partial`` plants exactly that
+litter, so fault injection and gc agree about what a crash looks like).
+
+The behavioural contract — atomic-commit visibility, torn-append
+withholding, conditional-op semantics, gc-safe debris accounting,
+bit-exact round-trips — is pinned by the backend-agnostic suite in
+``tests/backend_conformance.py``; every backend (including wrapped-in-
+faults variants) must pass it unchanged.  A new transport (real S3,
+redis) is certified by passing the same suite, not by re-review of its
+callers.
+
+Backends:
+
+* :class:`LocalDirBackend` — today's on-disk semantics (same-directory
+  temp file + ``os.replace``, fsync before publish), extracted verbatim
+  from the pre-backend ``ArtifactStore``.  Layout on disk is unchanged:
+  existing store directories keep working.
+* :class:`MemoryBackend` — a named, process-local dict (``mem://name``);
+  all connections to one name share state, so tests and ephemeral sweeps
+  get store semantics without touching disk.
+* :class:`ObjectStoreBackend` — S3/GCS-shaped: every key is one object,
+  writes are whole-object puts (atomic by construction), conditional
+  puts implement leases and commit markers, listing is by prefix.  The
+  client is injectable (:class:`FakeObjectClient` for CI — no cloud, no
+  extra dependency); a real ``boto3``/GCS adapter only needs the six
+  client methods.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import os
+import pathlib
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.store.locator import StoreLocator, parse_store_locator
+
+__all__ = [
+    "ObjectStat",
+    "StoreBackend",
+    "LocalDirBackend",
+    "MemoryBackend",
+    "ObjectStoreBackend",
+    "FakeObjectClient",
+    "open_backend",
+    "set_default_object_client",
+    "reset_memory_spaces",
+]
+
+
+@dataclass(frozen=True)
+class ObjectStat:
+    """One stored object's metadata: byte size and modification time."""
+
+    size: int
+    mtime: float
+
+
+class StoreBackend(abc.ABC):
+    """Transport contract for one store (see module docs for semantics)."""
+
+    #: Locator scheme this backend answers to.
+    scheme: str = "?"
+    #: Does this backend pack an artifact's JSON record and array payload
+    #: into one object (single-key blobs, conditional-put commit marker)?
+    #: Object stores do; file-shaped backends keep the two-file layout.
+    packs_artifacts: bool = False
+    #: Can a *different process* open the same locator and see this
+    #: state?  Directories can; in-memory spaces and injected in-process
+    #: clients cannot — the engine keeps such stores in-process instead
+    #: of fanning out to a pool that would see an empty store.
+    cross_process: bool = True
+
+    # -- identity ------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def locator(self) -> str:
+        """Canonical locator string reopening this backend."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.locator!r})"
+
+    # -- blobs ---------------------------------------------------------
+    @abc.abstractmethod
+    def put_atomic(self, key: str, data: bytes) -> None:
+        """Publish ``data`` at ``key`` all-or-nothing: a concurrent or
+        later reader sees the previous value (or absence) or the new
+        value, never a prefix.  Overwrite is last-writer-wins."""
+
+    @abc.abstractmethod
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Atomically create ``key`` with ``data`` iff it does not exist.
+        ``True`` on creation, ``False`` (no write) when present."""
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[bytes]:
+        """The object's bytes, or ``None`` when absent."""
+
+    @abc.abstractmethod
+    def exists(self, key: str) -> bool: ...
+
+    @abc.abstractmethod
+    def stat(self, key: str) -> Optional[ObjectStat]: ...
+
+    @abc.abstractmethod
+    def list_prefix(self, prefix: str) -> List[str]:
+        """Sorted keys of *committed* objects matching the **raw string**
+        prefix — ``objects/a`` matches ``objects/ab/x.json``, exactly as
+        object stores list (crash debris is enumerated by
+        :meth:`partial_keys`, never here).  Identical answers on every
+        backend; pinned in the conformance suite."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> int:
+        """Remove ``key`` if present; bytes freed (0 when absent)."""
+
+    @abc.abstractmethod
+    def delete_if_equals(self, key: str, expect: bytes) -> bool:
+        """Atomically remove ``key`` iff its content equals ``expect``.
+        The lease-reclaim primitive: of N racers stealing one stale lock,
+        at most one succeeds."""
+
+    # -- journal streams ----------------------------------------------
+    @abc.abstractmethod
+    def append_line(self, key: str, data: bytes) -> None:
+        """Durably append ``data`` (caller includes the newline) to the
+        stream at ``key``, creating it if missing."""
+
+    @abc.abstractmethod
+    def read_from(
+        self, key: str, offset: int, limit: Optional[int] = None
+    ) -> Optional[Tuple[bytes, int]]:
+        """``(bytes from offset, total size)``, or ``None`` when absent.
+        An ``offset`` past the end returns ``(b"", size)`` — the caller
+        detects truncation from ``size < offset`` and re-reads.
+        ``limit`` caps the bytes returned (the *size* is still the whole
+        stream's), so header probes need not fetch megabyte journals on
+        backends that can serve a range."""
+
+    @abc.abstractmethod
+    def truncate(self, key: str, size: int) -> None:
+        """Shrink the stream at ``key`` to ``size`` bytes (torn-tail
+        repair; no-op when already shorter or absent)."""
+
+    # -- crash debris --------------------------------------------------
+    @abc.abstractmethod
+    def partial_keys(self, prefix: str) -> List[str]:
+        """Sorted keys of half-written debris under ``prefix`` — litter a
+        killed writer left behind.  ``prefix`` is a *directory* prefix
+        (``""`` or ``"objects/"``): debris keys are backend-mangled
+        spellings of their target key, so key-granular prefixes are not
+        meaningful here.  ``stat``/``delete`` accept these keys
+        (that is how gc ages and drops them); ``get``/``list_prefix``
+        never surface them."""
+
+    @abc.abstractmethod
+    def spill_partial(self, key: str, data: bytes) -> None:
+        """Leave exactly the debris a writer killed mid-``put_atomic`` of
+        ``key`` would leave.  Used by the fault injector so 'crashed'
+        stores look the way real crashed stores look — and so the
+        conformance suite can prove gc accounts for them."""
+
+
+# ----------------------------------------------------------------------
+# Local directory backend
+# ----------------------------------------------------------------------
+class LocalDirBackend(StoreBackend):
+    """A directory as a blob space — today's on-disk store, verbatim.
+
+    Keys map to paths under ``root``; publishes go through a
+    same-directory temp file, fsync, then ``os.replace`` (atomic on
+    POSIX).  Conditional creates use the write-private-then-``os.link``
+    trick so a visible object always carries its full content.
+    """
+
+    scheme = "dir"
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = pathlib.Path(root)
+
+    @property
+    def locator(self) -> str:
+        return str(StoreLocator("dir", str(self.root)))
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root.joinpath(*key.split("/"))
+
+    # -- blobs ---------------------------------------------------------
+    def put_atomic(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            try:
+                os.link(tmp_name, path)  # atomic, fails-if-exists
+                return True
+            except FileExistsError:
+                return False
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+
+    def get(self, key: str) -> Optional[bytes]:
+        try:
+            return self._path(key).read_bytes()
+        except (FileNotFoundError, IsADirectoryError):
+            return None
+
+    def exists(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        try:
+            st = self._path(key).stat()
+        except FileNotFoundError:
+            return None
+        return ObjectStat(size=st.st_size, mtime=st.st_mtime)
+
+    def _walk_base(self, prefix: str) -> pathlib.Path:
+        """The directory to scan for ``prefix`` — its deepest complete
+        segment.  Prefixes are *raw string* prefixes (``objects/a``
+        matches ``objects/ab/x.json``), matching the object-store
+        backends; the filesystem layout is an implementation detail the
+        contract must not leak."""
+        head, _, _ = prefix.rpartition("/")
+        return self._path(head) if head else self.root
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        base = self._walk_base(prefix)
+        if not base.is_dir():
+            return []
+        out = []
+        for path in base.rglob("*"):
+            if path.is_file() and not path.name.startswith("."):
+                key = "/".join(path.relative_to(self.root).parts)
+                if key.startswith(prefix):
+                    out.append(key)
+        return sorted(out)
+
+    def delete(self, key: str) -> int:
+        path = self._path(key)
+        try:
+            size = path.stat().st_size
+            path.unlink()
+            return size
+        except FileNotFoundError:
+            return 0
+
+    def delete_if_equals(self, key: str, expect: bytes) -> bool:
+        # Compare-and-unlink under a per-key flock mutex.  A
+        # rename-compare-restore dance would make the object *transiently
+        # vanish* (a racing put_if_absent could then create a second live
+        # lease) — the exact violation this primitive exists to prevent.
+        # The mutex only serialises the conditional ops against each
+        # other; put_if_absent stays os.link-atomic and needs no mutex
+        # (it can never remove or mutate an existing object, so the
+        # read-compare-unlink below is indivisible with respect to it).
+        # Mixing *unconditional* overwrite (put_atomic) with conditional
+        # delete on one key is outside the contract — leases never do.
+        import fcntl
+
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # The mutex file persists (unlinking it would let a late opener
+        # lock a fresh inode while an old holder still locks the orphan
+        # — two mutexes, no exclusion).  One tiny dotfile per lock key;
+        # invisible to list_prefix/partial_keys/gc.
+        mutex = path.with_name(f".{path.name}.mutex")
+        with open(mutex, "a+b") as mfh:
+            fcntl.flock(mfh.fileno(), fcntl.LOCK_EX)
+            try:
+                try:
+                    content = path.read_bytes()
+                except FileNotFoundError:
+                    return False
+                if content != expect:
+                    return False
+                path.unlink()
+                return True
+            finally:
+                fcntl.flock(mfh.fileno(), fcntl.LOCK_UN)
+
+    # -- journal streams ----------------------------------------------
+    def append_line(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "ab") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def read_from(
+        self, key: str, offset: int, limit: Optional[int] = None
+    ) -> Optional[Tuple[bytes, int]]:
+        try:
+            with open(self._path(key), "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                fh.seek(min(offset, size))
+                data = fh.read() if limit is None else fh.read(limit)
+                return data, size
+        except FileNotFoundError:
+            return None
+
+    def truncate(self, key: str, size: int) -> None:
+        try:
+            with open(self._path(key), "rb+") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > size:
+                    fh.truncate(size)
+        except FileNotFoundError:
+            pass
+
+    # -- crash debris --------------------------------------------------
+    def partial_keys(self, prefix: str) -> List[str]:
+        base = self._walk_base(prefix)
+        if not base.is_dir():
+            return []
+        out = []
+        for path in base.rglob(".*.tmp"):
+            if path.is_file():
+                key = "/".join(path.relative_to(self.root).parts)
+                # debris keys carry a dot-prefixed final segment; match
+                # the caller's prefix against the directory part
+                if key.rpartition("/")[0].startswith(prefix.rstrip("/")):
+                    out.append(key)
+        return sorted(out)
+
+    def spill_partial(self, key: str, data: bytes) -> None:
+        # Exactly what a kill mid-put_atomic leaves: the temp file, no
+        # rename, destination untouched.
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+
+
+# ----------------------------------------------------------------------
+# In-memory backend
+# ----------------------------------------------------------------------
+class _MemSpace:
+    """One named in-process blob space: ``{key: (bytes, mtime)}``."""
+
+    def __init__(self) -> None:
+        self.objects: Dict[str, Tuple[bytes, float]] = {}
+        self.lock = threading.RLock()
+
+
+_MEM_SPACES: Dict[str, _MemSpace] = {}
+_MEM_REGISTRY_LOCK = threading.Lock()
+
+#: Debris marker for non-filesystem backends: a partial write lands at
+#: ``<key>{_PART_SEP}<n>`` and is invisible to get/list_prefix.
+_PART_SEP = "#part-"
+
+
+def reset_memory_spaces(name: Optional[str] = None) -> None:
+    """Drop one named ``mem://`` space (or all of them).  Test isolation:
+    spaces are process-global by design, so suites clear them between
+    cases instead of leaking state across tests."""
+    with _MEM_REGISTRY_LOCK:
+        if name is None:
+            _MEM_SPACES.clear()
+        else:
+            _MEM_SPACES.pop(name, None)
+
+
+class MemoryBackend(StoreBackend):
+    """A named, process-local, thread-safe blob space (``mem://name``).
+
+    Every ``MemoryBackend("x")`` in one process shares the same space —
+    stores survive reopening by locator, which is what resume/warm-rerun
+    semantics require — but nothing crosses a process boundary, so the
+    engine keeps ``mem://`` sweeps in-process (see
+    :attr:`StoreBackend.cross_process`).
+    """
+
+    scheme = "mem"
+    cross_process = False
+
+    def __init__(self, name: str) -> None:
+        StoreLocator("mem", name)  # validate the name shape
+        self.name = name
+        with _MEM_REGISTRY_LOCK:
+            self._space = _MEM_SPACES.setdefault(name, _MemSpace())
+        self._parts = itertools.count()
+
+    @property
+    def locator(self) -> str:
+        return f"mem://{self.name}"
+
+    # -- blobs ---------------------------------------------------------
+    def put_atomic(self, key: str, data: bytes) -> None:
+        with self._space.lock:
+            self._space.objects[key] = (bytes(data), time.time())
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        with self._space.lock:
+            if key in self._space.objects:
+                return False
+            self._space.objects[key] = (bytes(data), time.time())
+            return True
+
+    def get(self, key: str) -> Optional[bytes]:
+        with self._space.lock:
+            entry = self._space.objects.get(key)
+            return None if entry is None else entry[0]
+
+    def exists(self, key: str) -> bool:
+        with self._space.lock:
+            return key in self._space.objects
+
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        with self._space.lock:
+            entry = self._space.objects.get(key)
+            if entry is None:
+                return None
+            return ObjectStat(size=len(entry[0]), mtime=entry[1])
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        with self._space.lock:
+            return sorted(
+                k for k in self._space.objects
+                if k.startswith(prefix) and _PART_SEP not in k
+            )
+
+    def delete(self, key: str) -> int:
+        with self._space.lock:
+            entry = self._space.objects.pop(key, None)
+            return 0 if entry is None else len(entry[0])
+
+    def delete_if_equals(self, key: str, expect: bytes) -> bool:
+        with self._space.lock:
+            entry = self._space.objects.get(key)
+            if entry is None or entry[0] != expect:
+                return False
+            del self._space.objects[key]
+            return True
+
+    # -- journal streams ----------------------------------------------
+    def append_line(self, key: str, data: bytes) -> None:
+        with self._space.lock:
+            old = self._space.objects.get(key, (b"", 0.0))[0]
+            self._space.objects[key] = (old + bytes(data), time.time())
+
+    def read_from(
+        self, key: str, offset: int, limit: Optional[int] = None
+    ) -> Optional[Tuple[bytes, int]]:
+        with self._space.lock:
+            entry = self._space.objects.get(key)
+            if entry is None:
+                return None
+            data = entry[0]
+            start = min(offset, len(data))
+            end = len(data) if limit is None else start + limit
+            return data[start:end], len(data)
+
+    def truncate(self, key: str, size: int) -> None:
+        with self._space.lock:
+            entry = self._space.objects.get(key)
+            if entry is not None and len(entry[0]) > size:
+                self._space.objects[key] = (entry[0][:size], time.time())
+
+    # -- crash debris --------------------------------------------------
+    def partial_keys(self, prefix: str) -> List[str]:
+        with self._space.lock:
+            return sorted(
+                k for k in self._space.objects
+                if k.startswith(prefix) and _PART_SEP in k
+            )
+
+    def spill_partial(self, key: str, data: bytes) -> None:
+        with self._space.lock:
+            part = f"{key}{_PART_SEP}{next(self._parts)}"
+            self._space.objects[part] = (bytes(data), time.time())
+
+
+# ----------------------------------------------------------------------
+# Object-store backend (S3/GCS-shaped, injectable client)
+# ----------------------------------------------------------------------
+class FakeObjectClient:
+    """In-process stand-in for an S3/GCS client — the injectable seam.
+
+    Implements the six calls :class:`ObjectStoreBackend` needs with the
+    semantics real object stores offer: whole-object puts, conditional
+    put (``If-None-Match: *``), conditional delete (ETag match — the
+    fake compares bodies, which is equivalent for full-body ETags),
+    prefix listing.  CI runs the whole conformance suite against this,
+    so a real client adapter only has to match this surface.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[str, Dict[str, Tuple[bytes, float]]] = {}
+        self._lock = threading.RLock()
+
+    def _bucket(self, bucket: str) -> Dict[str, Tuple[bytes, float]]:
+        return self._buckets.setdefault(bucket, {})
+
+    def put_object(
+        self, bucket: str, key: str, body: bytes, if_none_match: bool = False
+    ) -> bool:
+        with self._lock:
+            objs = self._bucket(bucket)
+            if if_none_match and key in objs:
+                return False
+            objs[key] = (bytes(body), time.time())
+            return True
+
+    def get_object(self, bucket: str, key: str) -> Optional[bytes]:
+        with self._lock:
+            entry = self._bucket(bucket).get(key)
+            return None if entry is None else entry[0]
+
+    def head_object(self, bucket: str, key: str) -> Optional[Tuple[int, float]]:
+        with self._lock:
+            entry = self._bucket(bucket).get(key)
+            return None if entry is None else (len(entry[0]), entry[1])
+
+    def list_objects(self, bucket: str, prefix: str) -> List[str]:
+        with self._lock:
+            return sorted(
+                k for k in self._bucket(bucket) if k.startswith(prefix)
+            )
+
+    def delete_object(self, bucket: str, key: str) -> int:
+        with self._lock:
+            entry = self._bucket(bucket).pop(key, None)
+            return 0 if entry is None else len(entry[0])
+
+    def delete_object_if_match(
+        self, bucket: str, key: str, body: bytes
+    ) -> bool:
+        with self._lock:
+            entry = self._bucket(bucket).get(key)
+            if entry is None or entry[0] != body:
+                return False
+            del self._bucket(bucket)[key]
+            return True
+
+
+#: Process-wide default client factory for ``s3://`` locators opened
+#: without an explicit ``client=`` (the CLI path).  ``None`` means
+#: opening ``s3://`` raises with instructions — this repo ships no cloud
+#: SDK, so there is no silent network default to misconfigure.
+_DEFAULT_OBJECT_CLIENT = None
+
+
+def set_default_object_client(client) -> None:
+    """Install (or, with ``None``, clear) the client ``s3://`` locators
+    resolve to when none is passed explicitly.  Tests and the CI smoke
+    job install a :class:`FakeObjectClient`; a deployment would install
+    its boto3/GCS adapter here once at start-up."""
+    global _DEFAULT_OBJECT_CLIENT
+    _DEFAULT_OBJECT_CLIENT = client
+
+
+class ObjectStoreBackend(StoreBackend):
+    """S3/GCS-style transport: every key is one whole object.
+
+    Writes are single-object puts — atomic by construction on real
+    object stores, so :meth:`put_atomic` needs no temp-and-rename dance.
+    :meth:`put_if_absent` is a conditional put (``If-None-Match``) and
+    :meth:`delete_if_equals` a conditional delete; together they carry
+    the journal lease and the artifact commit marker.  Appending is
+    read-modify-write (journal writers are serialised by the lease, so
+    this is single-writer by contract).  ``packs_artifacts`` is set: the
+    store layer writes one packed object per artifact instead of a
+    ``.json``/``.npz`` pair, so commit is one conditional put and gc is
+    one prefix listing.
+    """
+
+    scheme = "s3"
+    packs_artifacts = True
+    #: Clients are injected in-process (a fake in CI, an SDK adapter in a
+    #: deployment); a forked pool worker would not inherit one, so the
+    #: engine keeps object-store sweeps in-process.  A deployment whose
+    #: workers construct their own client can subclass and flip this.
+    cross_process = False
+
+    def __init__(
+        self, bucket: str, prefix: str = "", client=None
+    ) -> None:
+        if client is None:
+            client = _DEFAULT_OBJECT_CLIENT
+        if client is None:
+            raise ValueError(
+                f"s3://{bucket}: no object-store client configured; pass "
+                f"client= or repro.store.backends.set_default_object_client()"
+            )
+        self.bucket = bucket
+        self.prefix = prefix.strip("/")
+        self.client = client
+        self._parts = itertools.count()
+
+    @property
+    def locator(self) -> str:
+        path = f"{self.bucket}/{self.prefix}" if self.prefix else self.bucket
+        return f"s3://{path}"
+
+    def _k(self, key: str) -> str:
+        return f"{self.prefix}/{key}" if self.prefix else key
+
+    # -- blobs ---------------------------------------------------------
+    def put_atomic(self, key: str, data: bytes) -> None:
+        self.client.put_object(self.bucket, self._k(key), data)
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        return self.client.put_object(
+            self.bucket, self._k(key), data, if_none_match=True
+        )
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self.client.get_object(self.bucket, self._k(key))
+
+    def exists(self, key: str) -> bool:
+        return self.client.head_object(self.bucket, self._k(key)) is not None
+
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        head = self.client.head_object(self.bucket, self._k(key))
+        if head is None:
+            return None
+        return ObjectStat(size=head[0], mtime=head[1])
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        full = self._k(prefix)
+        strip = len(self._k(""))
+        return sorted(
+            k[strip:]
+            for k in self.client.list_objects(self.bucket, full)
+            if _PART_SEP not in k
+        )
+
+    def delete(self, key: str) -> int:
+        return self.client.delete_object(self.bucket, self._k(key))
+
+    def delete_if_equals(self, key: str, expect: bytes) -> bool:
+        return self.client.delete_object_if_match(
+            self.bucket, self._k(key), expect
+        )
+
+    # -- journal streams ----------------------------------------------
+    def append_line(self, key: str, data: bytes) -> None:
+        old = self.get(key) or b""
+        self.put_atomic(key, old + data)
+
+    def read_from(
+        self, key: str, offset: int, limit: Optional[int] = None
+    ) -> Optional[Tuple[bytes, int]]:
+        # one whole-object GET regardless — object stores have no cheap
+        # tail; the limit only trims what travels further up
+        data = self.get(key)
+        if data is None:
+            return None
+        start = min(offset, len(data))
+        end = len(data) if limit is None else start + limit
+        return data[start:end], len(data)
+
+    def truncate(self, key: str, size: int) -> None:
+        data = self.get(key)
+        if data is not None and len(data) > size:
+            self.put_atomic(key, data[:size])
+
+    # -- crash debris --------------------------------------------------
+    def partial_keys(self, prefix: str) -> List[str]:
+        full = self._k(prefix)
+        strip = len(self._k(""))
+        return sorted(
+            k[strip:]
+            for k in self.client.list_objects(self.bucket, full)
+            if _PART_SEP in k
+        )
+
+    def spill_partial(self, key: str, data: bytes) -> None:
+        # A killed multipart upload leaves an uncommitted part; model it
+        # as a marked sibling object so gc can age and drop it.
+        part = f"{key}{_PART_SEP}{next(self._parts)}"
+        self.client.put_object(self.bucket, self._k(part), data)
+
+
+# ----------------------------------------------------------------------
+# Locator -> backend
+# ----------------------------------------------------------------------
+def open_backend(
+    locator: Union[str, os.PathLike, StoreLocator, StoreBackend],
+    client=None,
+) -> StoreBackend:
+    """Resolve a locator (or pass a live backend through) to a backend.
+
+    ``client`` only applies to ``s3://`` locators; ``dir``/``mem``
+    locators reject it loudly rather than ignoring it.
+    """
+    if isinstance(locator, StoreBackend):
+        return locator
+    if not isinstance(locator, StoreLocator):
+        locator = parse_store_locator(locator)
+    if locator.scheme == "s3":
+        return ObjectStoreBackend(
+            locator.bucket, locator.prefix, client=client
+        )
+    if client is not None:
+        raise ValueError(
+            f"client= only applies to s3:// locators, not {locator}"
+        )
+    if locator.scheme == "mem":
+        return MemoryBackend(locator.path)
+    return LocalDirBackend(locator.path)

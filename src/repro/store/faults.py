@@ -1,0 +1,284 @@
+"""Fault injection for store backends: crashes, races and flaky links.
+
+:class:`FaultyBackend` wraps any :class:`~repro.store.backends.StoreBackend`
+and misbehaves on cue, so the store stack's crash-safety claims are
+*executed*, not narrated:
+
+* **partial** — a ``put_atomic``/``append_line`` writes only a prefix
+  (spilled as real crash debris through the inner backend's
+  ``spill_partial`` / torn-append path) and then raises
+  :class:`BackendCrash`, exactly like a writer killed mid-write.  The
+  contract under test: no reader ever observes the half-written object,
+  and a resumed sweep is bit-identical to an uninterrupted one.
+* **raise** — the op fails *before* touching the backend with a
+  :class:`TransientStoreError` (a flaky link); a retry succeeds.
+* **after** — the op completes, then the *acknowledgement* is lost
+  (raises after the write).  Retries must be idempotent — which
+  content-addressed puts and conditional ops are by construction.
+* **drop** — the op silently does nothing (a lost, acked write: the
+  nastiest storage lie).  Used to prove reads *detect* absence rather
+  than assume success.
+* **duplicate** — the op runs twice (an at-least-once delivery layer).
+* **latency** — the op sleeps first (slow-path scheduling tests).
+
+Faults trigger on the Nth call of a named op (deterministic scripts) or
+randomly at a seeded rate (``transient_rate`` — reproducible soak
+tests).  Counters are per-op and shared across a wrapper's lifetime, so
+a script reads like a crash log: "the 3rd put_atomic dies mid-write".
+
+The conformance suite (``tests/backend_conformance.py``) runs every
+backend wrapped in deterministic faults; ``tests/test_store_faults.py``
+pins the end-to-end stories (kill mid-put, resume bit-identity).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.store.backends import ObjectStat, StoreBackend
+
+__all__ = [
+    "TransientStoreError",
+    "BackendCrash",
+    "Fault",
+    "FaultyBackend",
+]
+
+
+class TransientStoreError(ConnectionError):
+    """A retryable transport failure (flaky link, 5xx, timeout)."""
+
+
+class BackendCrash(RuntimeError):
+    """The 'process died mid-write' signal: NOT retryable in-process —
+    the test harness uses it to stand in for a hard kill."""
+
+
+_KINDS = ("partial", "raise", "after", "drop", "duplicate", "latency")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted misbehaviour: on the ``nth`` call (1-based) of
+    ``op`` (an operation name, or ``"*"`` for any mutating op), do
+    ``kind``.  ``fraction`` controls how much of a partial write
+    survives; ``delay`` is the latency injected by ``latency``."""
+
+    op: str
+    nth: int
+    kind: str
+    fraction: float = 0.5
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.nth < 1:
+            raise ValueError("faults are 1-based: nth >= 1")
+
+
+#: Ops with write effects — eligible for "*" faults and drop/duplicate.
+_MUTATORS = frozenset(
+    {"put_atomic", "put_if_absent", "delete", "delete_if_equals",
+     "append_line", "truncate"}
+)
+
+
+class FaultyBackend(StoreBackend):
+    """A :class:`StoreBackend` that fails on schedule (see module docs).
+
+    ``faults`` is the deterministic script; ``transient_rate`` adds
+    seeded random :class:`TransientStoreError` *before* ops (safe to
+    retry), so soak tests stay reproducible: same seed, same storms.
+    """
+
+    def __init__(
+        self,
+        inner: StoreBackend,
+        faults: Tuple[Fault, ...] = (),
+        transient_rate: float = 0.0,
+        seed: Optional[int] = None,
+        latency: float = 0.0,
+    ) -> None:
+        self.inner = inner
+        self.faults = tuple(faults)
+        self.transient_rate = float(transient_rate)
+        self.latency = float(latency)
+        self._rng = random.Random(seed)
+        self._calls: Dict[str, int] = defaultdict(int)
+        self.log: List[str] = []
+
+    # identity passes through: a faulty store is still *that* store
+    scheme = property(lambda self: self.inner.scheme)  # type: ignore[assignment]
+    packs_artifacts = property(lambda self: self.inner.packs_artifacts)  # type: ignore[assignment]
+    cross_process = False  # the wrapper (and its script) is in-process
+
+    @property
+    def locator(self) -> str:
+        return self.inner.locator
+
+    def __getattr__(self, name: str):
+        # Transport-specific extras (LocalDirBackend.root/_path, a
+        # client handle, ...) pass through: a faulty store is still
+        # *that* store to every caller that duck-types on its family.
+        try:
+            inner = self.__dict__["inner"]
+        except KeyError:  # during __init__, before inner is bound
+            raise AttributeError(name) from None
+        return getattr(inner, name)
+
+    # ------------------------------------------------------------------
+    def _due(self, op: str) -> Optional[Fault]:
+        self._calls[op] += 1
+        n = self._calls[op]
+        for fault in self.faults:
+            if fault.op == op and fault.nth == n:
+                return fault
+            if (
+                fault.op == "*"
+                and op in _MUTATORS
+                and fault.nth == sum(self._calls[m] for m in _MUTATORS)
+            ):
+                return fault
+        return None
+
+    def _enter(
+        self, op: str, supported: frozenset = frozenset()
+    ) -> Optional[Fault]:
+        """Pre-op gate: latency, seeded transients, then the script.
+
+        ``supported`` names the op-specific kinds the caller implements
+        (``raise``/``latency`` are handled here for every op).  A
+        scripted kind the op cannot inject is a *harness bug* and raises
+        loudly — silently no-opping would let a crash test pass without
+        ever injecting the crash.
+        """
+        if self.latency:
+            time.sleep(self.latency)
+        fault = self._due(op)
+        if fault is not None and fault.kind == "latency":
+            time.sleep(fault.delay)
+            fault = None
+        if fault is None and self.transient_rate:
+            if self._rng.random() < self.transient_rate:
+                self.log.append(f"transient:{op}")
+                raise TransientStoreError(f"injected transient on {op}")
+        if fault is not None and fault.kind == "raise":
+            self.log.append(f"raise:{op}")
+            raise TransientStoreError(f"injected failure before {op}")
+        if fault is not None and fault.kind not in supported:
+            raise ValueError(
+                f"fault kind {fault.kind!r} is not implemented for "
+                f"{op} — the scripted crash would silently not happen"
+            )
+        return fault
+
+    # -- blobs ---------------------------------------------------------
+    def put_atomic(self, key: str, data: bytes) -> None:
+        fault = self._enter(
+            "put_atomic", frozenset({"partial", "drop", "duplicate", "after"})
+        )
+        if fault is not None:
+            if fault.kind == "partial":
+                cut = max(0, int(len(data) * fault.fraction))
+                self.inner.spill_partial(key, data[:cut])
+                self.log.append(f"partial:put_atomic:{key}")
+                raise BackendCrash(f"killed mid-put_atomic({key!r})")
+            if fault.kind == "drop":
+                self.log.append(f"drop:put_atomic:{key}")
+                return
+            if fault.kind == "duplicate":
+                self.inner.put_atomic(key, data)
+        self.inner.put_atomic(key, data)
+        if fault is not None and fault.kind == "after":
+            self.log.append(f"after:put_atomic:{key}")
+            raise TransientStoreError(f"ack lost after put_atomic({key!r})")
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        fault = self._enter("put_if_absent", frozenset({"drop", "after"}))
+        if fault is not None and fault.kind == "drop":
+            return True  # acked, never stored
+        result = self.inner.put_if_absent(key, data)
+        if fault is not None and fault.kind == "after":
+            raise TransientStoreError(f"ack lost after put_if_absent({key!r})")
+        return result
+
+    def get(self, key: str) -> Optional[bytes]:
+        self._enter("get")
+        return self.inner.get(key)
+
+    def exists(self, key: str) -> bool:
+        self._enter("exists")
+        return self.inner.exists(key)
+
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        self._enter("stat")
+        return self.inner.stat(key)
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        self._enter("list_prefix")
+        return self.inner.list_prefix(prefix)
+
+    def delete(self, key: str) -> int:
+        fault = self._enter("delete", frozenset({"drop", "after"}))
+        if fault is not None and fault.kind == "drop":
+            return 0
+        freed = self.inner.delete(key)
+        if fault is not None and fault.kind == "after":
+            raise TransientStoreError(f"ack lost after delete({key!r})")
+        return freed
+
+    def delete_if_equals(self, key: str, expect: bytes) -> bool:
+        fault = self._enter("delete_if_equals", frozenset({"drop"}))
+        if fault is not None and fault.kind == "drop":
+            return False
+        return self.inner.delete_if_equals(key, expect)
+
+    # -- journal streams ----------------------------------------------
+    def append_line(self, key: str, data: bytes) -> None:
+        fault = self._enter(
+            "append_line", frozenset({"partial", "drop", "duplicate", "after"})
+        )
+        if fault is not None:
+            if fault.kind == "partial":
+                # A torn append: a prefix of the line lands with no
+                # newline — exactly the fragment follow()/replay must
+                # withhold and the next writer must repair.
+                cut = max(0, int(len(data) * fault.fraction))
+                torn = data[:cut].rstrip(b"\n")
+                if torn:
+                    self.inner.append_line(key, torn)
+                self.log.append(f"partial:append_line:{key}")
+                raise BackendCrash(f"killed mid-append_line({key!r})")
+            if fault.kind == "drop":
+                return
+            if fault.kind == "duplicate":
+                self.inner.append_line(key, data)
+        self.inner.append_line(key, data)
+        if fault is not None and fault.kind == "after":
+            raise TransientStoreError(f"ack lost after append_line({key!r})")
+
+    def read_from(
+        self, key: str, offset: int, limit: Optional[int] = None
+    ) -> Optional[Tuple[bytes, int]]:
+        self._enter("read_from")
+        return self.inner.read_from(key, offset, limit)
+
+    def truncate(self, key: str, size: int) -> None:
+        fault = self._enter("truncate", frozenset({"drop"}))
+        if fault is not None and fault.kind == "drop":
+            return
+        self.inner.truncate(key, size)
+
+    # -- crash debris --------------------------------------------------
+    def partial_keys(self, prefix: str) -> List[str]:
+        return self.inner.partial_keys(prefix)
+
+    def spill_partial(self, key: str, data: bytes) -> None:
+        self.inner.spill_partial(key, data)

@@ -1,8 +1,8 @@
-"""Append-only, crash-safe sweep journals.
+"""Append-only, crash-safe sweep journals — on any store backend.
 
 A :class:`SweepJournal` records every completed sweep task (one
-:class:`~repro.pipeline.runner.TaskOutcome`) as one JSONL line, flushed and
-fsynced before the engine moves on.  Because the engine derives every
+:class:`~repro.pipeline.runner.TaskOutcome`) as one JSONL line, durably
+appended before the engine moves on.  Because the engine derives every
 stochastic stream from ``(spec seed, grid coordinates)`` — never from
 execution order — a journaled task's records are exactly what a fresh run
 of that task would produce, so ``run_sweep(spec, store=..., resume=True)``
@@ -10,8 +10,8 @@ can splice journaled outcomes into the canonical task order and the
 assembled :class:`~repro.pipeline.runner.SweepResult` is **bit-identical**
 to an uninterrupted run (pinned in ``tests/test_store_resume.py``).
 
-One journal file per (store, spec identity): the file lives at
-``<store>/journals/<digest16>.jsonl`` where the digest hashes the spec's
+One journal per (store, spec identity): the stream lives at backend key
+``journals/<digest16>.jsonl`` where the digest hashes the spec's
 *scientific* fields — like the engine's stream namespace, the
 ``reuse_calibration`` policy is excluded, because caching provably does not
 change results and a crashed cold run may be resumed warm (or vice versa).
@@ -21,6 +21,16 @@ Line 1 is a header carrying the full spec, so a journal is self-describing
 splicing a different experiment's records).  Crash artefacts are confined
 to the final line: a torn write is detected by JSON parse failure and
 dropped, losing at most the one task that was in flight.
+
+All I/O goes through :class:`~repro.store.backends.StoreBackend` stream
+primitives (``append_line`` / ``read_from`` / ``truncate``), so the same
+journal logic — including :meth:`SweepJournal.follow` tailing — runs
+unchanged over a directory, an in-memory space or an object store.  The
+advisory lock is a **backend-held lease**: an object at
+``journals/<digest16>.lock`` created with a conditional put (its content
+names the holder pid), reclaimed via conditional delete when the holder
+is provably dead.  On local stores this is byte-compatible with the
+pre-backend pid lock file.
 """
 
 from __future__ import annotations
@@ -29,9 +39,10 @@ import hashlib
 import json
 import os
 import pathlib
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro._version import __version__
+from repro.store.backends import LocalDirBackend, StoreBackend
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a pipeline cycle
     from repro.pipeline.runner import TaskOutcome
@@ -41,11 +52,17 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a pipeline cycle
 __all__ = [
     "SweepJournal",
     "journal_spec_digest",
+    "journal_key",
     "task_entry",
     "outcome_from_entry",
 ]
 
 MAGIC = "repro-sweep-journal/1"
+
+#: Header probe size: headers are one spec dict (~hundreds of bytes);
+#: 256 KiB of headroom means the bounded read virtually never falls back
+#: to fetching a whole multi-MB journal just to check line 1.
+_HEADER_PROBE_BYTES = 256 * 1024
 
 TaskCoord = Tuple[int, Tuple[int, ...]]
 
@@ -104,17 +121,63 @@ def journal_spec_digest(spec: "SweepSpec") -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
-class SweepJournal:
-    """One sweep's task-completion log, bound to a spec and a path."""
+def journal_key(spec: "SweepSpec") -> str:
+    """The backend key of ``spec``'s journal stream."""
+    return f"journals/{journal_spec_digest(spec)}.jsonl"
 
-    def __init__(self, path: os.PathLike, spec: "SweepSpec") -> None:
-        self.path = pathlib.Path(path)
+
+class SweepJournal:
+    """One sweep's task-completion log, bound to a spec and a backend key.
+
+    Constructed either from ``(backend, key)`` — the store-agnostic form
+    — or, backward-compatibly, from a filesystem path (which binds a
+    :class:`~repro.store.backends.LocalDirBackend` at the parent
+    directory; ``.path`` then points at the real file, as it always has).
+    """
+
+    def __init__(
+        self,
+        ref: Union[os.PathLike, str, Tuple[StoreBackend, str]],
+        spec: "SweepSpec",
+    ) -> None:
+        if isinstance(ref, tuple):
+            self._backend, self._key = ref
+        else:
+            path = pathlib.Path(ref)
+            self._backend = LocalDirBackend(path.parent)
+            self._key = path.name
         self.spec = spec
-        self._fh = None
+        self._locked = False
+        self._lease_payload: Optional[bytes] = None
+        self._appended = False
+        self._header: Optional[dict] = None
+
+    @property
+    def path(self) -> pathlib.Path:
+        """Local journals only: the on-disk file (tests poke it raw)."""
+        if not isinstance(self._backend, LocalDirBackend):
+            raise TypeError(
+                f"journal {self._key} lives on a "
+                f"{self._backend.scheme}:// backend; it has no file path"
+            )
+        return self._backend._path(self._key)
+
+    def describe(self) -> str:
+        """Human-facing name for error messages, any backend."""
+        if isinstance(self._backend, LocalDirBackend):
+            return str(self.path)
+        return f"{self._backend.locator}/{self._key}"
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    @classmethod
+    def for_spec(cls, store: "ArtifactStore", spec: "SweepSpec") -> "SweepJournal":
+        """The (unopened, unlocked) journal for ``spec`` inside ``store``
+        — read-only consumers (the planner's pre-scan, ``follow()``
+        watchers) bind here without touching the lease."""
+        return cls((store.backend, journal_key(spec)), spec)
+
     @classmethod
     def open(
         cls, store: "ArtifactStore", spec: "SweepSpec", resume: bool = False
@@ -127,22 +190,23 @@ class SweepJournal:
         :meth:`completed_outcomes` can replay them; a header whose spec
         does not match raises rather than mixing experiments.
 
-        An advisory lock (``<journal>.lock``, holder pid inside) guards the
-        file: two live processes journaling the same spec into one store
-        would interleave writes and the fresh-run truncation would destroy
-        the other's durable progress, so the second open raises instead.
-        Locks left by dead processes (hard kills) are reclaimed.
+        A backend-held lease (``journals/<digest16>.lock``, holder pid
+        inside) guards the stream: two live processes journaling the same
+        spec into one store would interleave writes and the fresh-run
+        truncation would destroy the other's durable progress, so the
+        second open raises instead.  Leases left by dead processes (hard
+        kills) are reclaimed with a conditional delete.
         """
-        path = store.journals_dir / f"{journal_spec_digest(spec)}.jsonl"
-        journal = cls(path, spec)
+        journal = cls.for_spec(store, spec)
         journal._acquire_lock()
         try:
-            if resume and path.is_file() and journal._read_header() is not None:
+            if resume and journal._read_header() is not None:
                 journal._verify_header()
             else:
-                # No file, or a crash during header creation left it empty /
-                # torn before any task could be journaled — nothing to
-                # protect, start fresh rather than demanding a manual delete.
+                # No stream, or a crash during header creation left it
+                # empty / torn before any task could be journaled —
+                # nothing to protect, start fresh rather than demanding a
+                # manual delete.
                 journal._write_header()
         except BaseException:
             journal._release_lock()
@@ -150,72 +214,48 @@ class SweepJournal:
         return journal
 
     # ------------------------------------------------------------------
-    # Advisory locking
+    # Advisory lease
     # ------------------------------------------------------------------
     @property
-    def _lock_path(self) -> pathlib.Path:
-        return self.path.with_suffix(".lock")
+    def _lock_key(self) -> str:
+        return self._key[: -len(".jsonl")] + ".lock" \
+            if self._key.endswith(".jsonl") else self._key + ".lock"
 
     def _acquire_lock(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        # The pid is written to a private temp file first and published with
-        # os.link (atomic, fails-if-exists), so a visible lock always
-        # carries its holder — no window where a racer reads an empty lock
+        # The holder pid is the lease content, published atomically by a
+        # conditional put — no window where a racer reads an empty lease
         # and "reclaims" a live one.
-        import tempfile
-
-        fd, tmp = tempfile.mkstemp(dir=self.path.parent, prefix=".lock.")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(str(os.getpid()))
-                fh.flush()
-                os.fsync(fh.fileno())
-            while True:
-                try:
-                    os.link(tmp, self._lock_path)
-                    self._locked = True
-                    return
-                except FileExistsError:
-                    pass
-                holder = self._lock_holder()
-                if holder is None:
-                    # published locks always hold a pid; an unreadable one
-                    # means external interference — or it vanished between
-                    # the failed link and the read, so just try again
-                    if self._lock_path.exists():
-                        raise ValueError(
-                            f"lock {self._lock_path} is unreadable; remove "
-                            f"it manually if no sweep is running"
-                        )
-                    continue
-                if self._pid_alive(holder):
-                    raise ValueError(
-                        f"journal {self.path} is in use by process {holder}; "
-                        f"two sweeps must not share one spec's journal "
-                        f"concurrently"
-                    )
-                # Stale lock from a hard-killed run.  Claim it by rename —
-                # atomic, so of N racers exactly one wins and the losers
-                # loop back to contend for the fresh lock; nobody can
-                # unlink a lock another racer just published.
-                claimed = f"{self._lock_path}.stale.{os.getpid()}"
-                try:
-                    os.rename(self._lock_path, claimed)
-                except FileNotFoundError:
-                    continue  # another racer claimed it first
-                os.unlink(claimed)
-        finally:
+        payload = str(os.getpid()).encode("utf-8")
+        while True:
+            if self._backend.put_if_absent(self._lock_key, payload):
+                self._locked = True
+                self._lease_payload = payload
+                return
+            current = self._backend.get(self._lock_key)
+            if current is None:
+                continue  # released between the failed put and the read
             try:
-                os.unlink(tmp)
-            except FileNotFoundError:
-                pass
-
-    def _lock_holder(self):
-        try:
-            text = self._lock_path.read_text().strip()
-            return int(text) if text else None
-        except (FileNotFoundError, ValueError):
-            return None
+                holder = int(current.decode("utf-8").strip())
+            except (UnicodeDecodeError, ValueError):
+                holder = None
+            if holder is None:
+                # published leases always hold a pid; an unreadable one
+                # means external interference
+                raise ValueError(
+                    f"lock {self._lock_key} in {self._backend.locator} is "
+                    f"unreadable; remove it manually if no sweep is running"
+                )
+            if self._pid_alive(holder):
+                raise ValueError(
+                    f"journal {self.describe()} is in use by process "
+                    f"{holder}; two sweeps must not share one spec's "
+                    f"journal concurrently"
+                )
+            # Stale lease from a hard-killed run.  Conditional delete: of
+            # N racers exactly one removes it and everyone loops back to
+            # contend for a fresh lease; nobody can delete a lease another
+            # racer just published (its content differs).
+            self._backend.delete_if_equals(self._lock_key, current)
 
     @staticmethod
     def _pid_alive(pid: int) -> bool:
@@ -233,29 +273,54 @@ class SweepJournal:
         return True
 
     def _release_lock(self) -> None:
-        if getattr(self, "_locked", False):
-            try:
-                os.unlink(self._lock_path)
-            except FileNotFoundError:
-                pass
+        if self._locked:
+            # Conditional: only our own lease may be removed.  Should a
+            # pathological race ever hand the slot to another holder,
+            # releasing must not evict them on top of it.
+            if self._lease_payload is not None:
+                self._backend.delete_if_equals(
+                    self._lock_key, self._lease_payload
+                )
             self._locked = False
+            self._lease_payload = None
 
-    def _read_header(self):
-        """Line 1 parsed, or ``None`` when missing/torn (no full scan)."""
-        try:
-            with open(self.path, "r", encoding="utf-8") as fh:
-                first = fh.readline()
-        except FileNotFoundError:
+    # ------------------------------------------------------------------
+    # Header
+    # ------------------------------------------------------------------
+    def _read_header(self) -> Optional[dict]:
+        """Line 1 parsed, or ``None`` when missing/torn.
+
+        A successful parse is cached on the instance: the header is
+        immutable for the life of an open journal (only
+        :meth:`_write_header` replaces it, and it refreshes the cache),
+        so ``open(resume=True)``'s read-then-verify sequence costs one
+        stream fetch, not two — which matters on object stores, where
+        any read is a whole-object transfer."""
+        if self._header is not None:
+            return self._header
+        res = self._backend.read_from(self._key, 0, limit=_HEADER_PROBE_BYTES)
+        if res is None:
             return None
+        data, size = res
+        if b"\n" not in data and len(data) < size:
+            # a header line longer than the probe (giant spec): take the
+            # full read rather than misjudging a torn header — which
+            # resume would answer by truncating real progress
+            res = self._backend.read_from(self._key, 0)
+            if res is None:
+                return None
+            data, _ = res
+        first = data.split(b"\n", 1)[0]
         if not first.strip():
             return None
         try:
-            return json.loads(first)
-        except json.JSONDecodeError:
+            header = json.loads(first.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
             return None
+        self._header = header
+        return header
 
     def _write_header(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         header = {
             "kind": "header",
             "magic": MAGIC,
@@ -263,24 +328,26 @@ class SweepJournal:
             "digest": journal_spec_digest(self.spec),
             "spec": self.spec.to_dict(),
         }
-        with open(self.path, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps(header, sort_keys=True) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        self._backend.put_atomic(
+            self._key, json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
+        )
+        self._header = header
 
     def _verify_header(self) -> None:
-        header = self._read_header()  # only line 1 — no full-file parse
+        header = self._read_header()  # only line 1 — no full scan
         if header is None:
-            raise ValueError(f"journal {self.path} is empty (no header)")
+            raise ValueError(f"journal {self.describe()} is empty (no header)")
         if header.get("kind") != "header" or header.get("magic") != MAGIC:
-            raise ValueError(f"{self.path} is not a repro sweep journal")
+            raise ValueError(
+                f"{self.describe()} is not a repro sweep journal"
+            )
         if header.get("version") != __version__:
             # The bit-identical promise only holds within one engine
             # version: releases have changed numbers under identical seeds
             # before (e.g. the trajectory-noise stream reorder), and a
             # half-replayed, half-recomputed grid would match neither run.
             raise ValueError(
-                f"journal {self.path} was written by repro "
+                f"journal {self.describe()} was written by repro "
                 f"{header.get('version')!r} but this is {__version__}; "
                 f"results are only bit-identical within one version — "
                 f"re-run without --resume to start fresh"
@@ -290,22 +357,26 @@ class SweepJournal:
         recorded = SweepSpec.from_dict(header["spec"])
         if _identity_fields(recorded) != _identity_fields(self.spec):
             raise ValueError(
-                f"journal {self.path} was written by a different spec; "
-                f"refusing to splice its tasks into this sweep"
+                f"journal {self.describe()} was written by a different "
+                f"spec; refusing to splice its tasks into this sweep"
             )
 
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
     def append_task(self, outcome: "TaskOutcome") -> None:
-        """Durably record one completed task (flush + fsync per entry)."""
+        """Durably record one completed task (backend-durable append)."""
         entry = task_entry(outcome)
-        if self._fh is None:
+        if not self._appended:
+            # Only the first append can land after a foreign crash's torn
+            # tail; our own appends always leave a newline-terminated
+            # stream, so one repair per open is enough (and keeps appends
+            # O(entry), not O(journal)).
             self._trim_torn_tail()
-            self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+            self._appended = True
+        self._backend.append_line(
+            self._key, json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
+        )
 
     def _trim_torn_tail(self) -> None:
         """Repair a newline-less final line before appending.
@@ -313,36 +384,41 @@ class SweepJournal:
         A hard kill can die mid-append; replay (`_raw_lines`) keeps the
         fragment if it parses as JSON and drops it otherwise.  Appending
         straight after it would fuse the fragment and the new entry into
-        one corrupt mid-file line, so the file is repaired to match what
+        one corrupt mid-file line, so the stream is repaired to match what
         replay saw: a *complete* entry that merely lost its newline gets
         the newline (it was replayed as done — truncating it would silently
         un-journal a finished task), a genuinely torn fragment is truncated
         away.
         """
+        st = self._backend.stat(self._key)
+        if st is None or st.size == 0:
+            return
+        # Probe the tail, not the stream: almost always it ends in a
+        # newline and one bounded read settles it.  Only a fragment that
+        # starts before the probe window forces the full read.
+        start = max(0, st.size - _HEADER_PROBE_BYTES)
+        res = self._backend.read_from(self._key, start)
+        if res is None:
+            return
+        data, size = res
+        if not data or data.endswith(b"\n"):
+            return
+        nl = data.rfind(b"\n")
+        if nl == -1 and start > 0:
+            res = self._backend.read_from(self._key, 0)
+            if res is None:
+                return
+            data, size = res
+            nl = data.rfind(b"\n")
+        fragment = data[nl + 1:]
         try:
-            with open(self.path, "rb+") as fh:
-                fh.seek(0, os.SEEK_END)
-                if fh.tell() == 0:
-                    return
-                fh.seek(-1, os.SEEK_END)
-                if fh.read(1) == b"\n":
-                    return
-                fh.seek(0)
-                data = fh.read()
-                fragment = data[data.rfind(b"\n") + 1:]
-                try:
-                    json.loads(fragment.decode("utf-8"))
-                except (json.JSONDecodeError, UnicodeDecodeError):
-                    fh.truncate(len(data) - len(fragment))
-                else:
-                    fh.write(b"\n")
-        except FileNotFoundError:
-            pass
+            json.loads(fragment.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._backend.truncate(self._key, size - len(fragment))
+        else:
+            self._backend.append_line(self._key, b"\n")
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
         self._release_lock()
 
     def __enter__(self) -> "SweepJournal":
@@ -357,21 +433,20 @@ class SweepJournal:
     def _raw_lines(self) -> List[dict]:
         """Parsed journal lines; a torn final line (crash) is dropped."""
         out: List[dict] = []
-        try:
-            with open(self.path, "r", encoding="utf-8") as fh:
-                lines = fh.read().splitlines()
-        except FileNotFoundError:
+        res = self._backend.read_from(self._key, 0)
+        if res is None:
             return out
+        lines = res[0].splitlines()
         for i, line in enumerate(lines):
             if not line.strip():
                 continue
             try:
-                out.append(json.loads(line))
-            except json.JSONDecodeError:
+                out.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError):
                 if i == len(lines) - 1:
                     break  # torn tail from a crash mid-append
                 raise ValueError(
-                    f"journal {self.path} is corrupt at line {i + 1}"
+                    f"journal {self.describe()} is corrupt at line {i + 1}"
                 ) from None
         return out
 
@@ -396,7 +471,7 @@ class SweepJournal:
 
         A watcher gets every completed row already in the journal (in
         journal order — the writer's completion order) and then blocks,
-        polling the file, until new rows are appended.  Only lines
+        polling the backend, until new rows are appended.  Only lines
         terminated by a newline are ever parsed, so a torn in-flight
         append is naturally withheld until the writer completes (or
         repairs) it — a follower can never see a fragment, and never sees
@@ -405,7 +480,7 @@ class SweepJournal:
         ``stop``: optional zero-argument callable; when it returns true
         the iterator drains whatever complete rows exist and returns.
         Without it, follow a live sweep from another thread/process and
-        break out of the ``for`` when done.  A journal file that does not
+        break out of the ``for`` when done.  A journal that does not
         exist yet (sweep still queued) is polled for, not an error.
         """
         import time as _time
@@ -432,20 +507,28 @@ class SweepJournal:
 
         The offset only ever advances past complete lines, so a torn tail
         is re-read on the next poll.  A fresh-run truncation (header
-        rewrite) shrinks the file below the offset; the follower resets to
-        the start rather than silently misparsing mid-line bytes.
+        rewrite) shrinks the stream below the offset; the follower resets
+        to the start rather than silently misparsing mid-line bytes.
         """
-        rows = []
-        try:
-            with open(self.path, "rb") as fh:
-                fh.seek(0, os.SEEK_END)
-                size = fh.tell()
-                if size < offset:
-                    offset = 0  # journal truncated/rewritten under us
-                fh.seek(offset)
-                data = fh.read()
-        except FileNotFoundError:
+        rows: List[dict] = []
+        # Stat first: an idle poll (no new bytes) costs one metadata
+        # check, not a read — on object stores every read is a
+        # whole-object GET, and follow() polls many times a second.
+        st = self._backend.stat(self._key)
+        if st is None:
             return rows, 0
+        if st.size == offset:
+            return rows, offset
+        res = self._backend.read_from(self._key, offset)
+        if res is None:
+            return rows, 0
+        data, size = res
+        if size < offset:  # journal truncated/rewritten under us
+            offset = 0
+            res = self._backend.read_from(self._key, 0)
+            if res is None:
+                return rows, 0
+            data, size = res
         consumed = data.rfind(b"\n") + 1
         if consumed == 0:
             return rows, offset

@@ -1,0 +1,126 @@
+"""URL-style store locators: one string names any store backend.
+
+A *locator* is how every store-aware surface — ``run_sweep(store=...)``,
+``repro sweep --store``, ``repro store ls|inspect|gc``, ``repro serve`` —
+addresses a store without knowing its transport:
+
+========================  ==============================================
+locator                   backend
+========================  ==============================================
+``/path`` or ``./path``   :class:`~repro.store.backends.LocalDirBackend`
+``dir:///path``           same, explicit scheme
+``mem://name``            :class:`~repro.store.backends.MemoryBackend`
+``s3://bucket/prefix``    :class:`~repro.store.backends.ObjectStoreBackend`
+========================  ==============================================
+
+A plain path (anything without ``://``) is a ``dir`` locator, so every
+pre-backend call site — and every existing store directory — keeps
+working unchanged.
+
+:func:`parse_store_locator` and :meth:`StoreLocator.__str__` are exact
+inverses for canonical locators (property-pinned in
+``tests/test_store_locator.py``): ``parse(str(loc)) == loc`` always, and
+``str(parse(text))`` is the canonical spelling of ``text``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["StoreLocator", "parse_store_locator", "is_store_locator"]
+
+#: Schemes with a registered backend (see repro.store.backends.open_backend).
+SCHEMES = ("dir", "mem", "s3")
+
+#: ``mem://`` space names: path-safe, non-empty, no separators — a name is
+#: an identity, not a path.
+_MEM_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: ``s3://`` bucket names (DNS-label-ish, the fake client is no stricter
+#: than real object stores are).
+_BUCKET = re.compile(r"^[a-z0-9][a-z0-9.-]*$")
+
+
+@dataclass(frozen=True)
+class StoreLocator:
+    """A parsed store address: ``scheme`` plus a scheme-shaped ``path``.
+
+    ``path`` is the directory path for ``dir``, the space name for
+    ``mem``, and ``bucket[/prefix]`` for ``s3``.  Construction validates;
+    an invalid combination never becomes a live locator.
+    """
+
+    scheme: str
+    path: str
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown store scheme {self.scheme!r}; "
+                f"expected one of {', '.join(SCHEMES)}"
+            )
+        if self.scheme == "dir":
+            if not self.path:
+                raise ValueError("dir:// locator needs a directory path")
+        elif self.scheme == "mem":
+            if not _MEM_NAME.match(self.path):
+                raise ValueError(
+                    f"mem:// space name {self.path!r} is invalid: use "
+                    f"letters, digits, '.', '_' or '-' (no slashes)"
+                )
+        else:  # s3
+            bucket, _, prefix = self.path.partition("/")
+            if not _BUCKET.match(bucket):
+                raise ValueError(f"s3:// bucket {bucket!r} is invalid")
+            if prefix != prefix.strip("/") or "//" in prefix:
+                raise ValueError(
+                    f"s3:// prefix {prefix!r} must not have empty segments"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def bucket(self) -> str:
+        """``s3`` only: the bucket component."""
+        return self.path.partition("/")[0]
+
+    @property
+    def prefix(self) -> str:
+        """``s3`` only: the key prefix under the bucket (may be empty)."""
+        return self.path.partition("/")[2]
+
+    def __str__(self) -> str:
+        return f"{self.scheme}://{self.path}"
+
+
+def is_store_locator(text: str) -> bool:
+    """Does ``text`` carry an explicit ``scheme://``?  (A plain path does
+    not, but still *parses* — as a ``dir`` locator.)"""
+    return bool(re.match(r"^[A-Za-z][A-Za-z0-9+.-]*://", text))
+
+
+def parse_store_locator(text: Union[str, os.PathLike]) -> StoreLocator:
+    """Parse a locator string (or plain path) into a :class:`StoreLocator`.
+
+    Exact inverse of ``str()`` on canonical locators.  A string without
+    ``://`` is a local directory path — the backward-compatible default
+    every pre-locator call site relies on.  Windows-style drive letters
+    (``C:\\store``) are paths, not schemes.
+    """
+    text = os.fspath(text)
+    if not text:
+        raise ValueError("empty store locator")
+    if not is_store_locator(text):
+        return StoreLocator("dir", text)
+    scheme, _, rest = text.partition("://")
+    scheme = scheme.lower()
+    if scheme not in SCHEMES:
+        raise ValueError(
+            f"unknown store scheme {scheme!r} in {text!r}; "
+            f"expected one of {', '.join(SCHEMES)}"
+        )
+    if scheme == "s3":
+        rest = rest.rstrip("/")
+    return StoreLocator(scheme, rest)

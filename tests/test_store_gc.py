@@ -1,0 +1,132 @@
+"""`store gc` accounting satellite (ISSUE 5): dry run == real run.
+
+On a store holding a *mix* of committed artifacts, orphaned array
+payloads (a writer died between the ``.npz`` put and its ``.json``
+commit marker) and aged crash debris, ``gc --dry-run`` must report
+exactly the counts and bytes the real gc then removes — on every
+backend, and through the CLI.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.store import (
+    ArtifactStore,
+    FakeObjectClient,
+    LocalDirBackend,
+    MemoryBackend,
+    ObjectStoreBackend,
+    reset_memory_spaces,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_mem_spaces():
+    reset_memory_spaces()
+    yield
+    reset_memory_spaces()
+
+
+def _backend(family, tmp_path):
+    if family == "dir":
+        return LocalDirBackend(tmp_path / "store")
+    if family == "mem":
+        return MemoryBackend("gcspace")
+    return ObjectStoreBackend("bucket", "gc", client=FakeObjectClient())
+
+
+def _age(backend, keys):
+    """Backdate ``keys`` past the gc grace period, per backend."""
+    old = time.time() - 10 * ArtifactStore.TMP_GRACE_SECONDS
+    for key in keys:
+        if isinstance(backend, LocalDirBackend):
+            path = backend._path(key)
+            os.utime(path, (old, old))
+        elif isinstance(backend, MemoryBackend):
+            with backend._space.lock:
+                data, _ = backend._space.objects[key]
+                backend._space.objects[key] = (data, old)
+        else:
+            with backend.client._lock:
+                bucket = backend.client._bucket(backend.bucket)
+                full = backend._k(key)
+                data, _ = bucket[full]
+                bucket[full] = (data, old)
+
+
+@pytest.mark.parametrize("family", ["dir", "mem", "s3"])
+class TestGcAccounting:
+    def test_dry_run_matches_real_gc_on_mixed_store(self, family, tmp_path):
+        backend = _backend(family, tmp_path)
+        store = ArtifactStore(backend)
+
+        # committed artifacts (must survive): one with arrays, one without
+        store.put({"kind": "keep", "i": 1}, {"m": np.arange(6.0)})
+        store.put({"kind": "keep", "i": 2}, {"v": (1, 2, 3)})
+        committed = {i.digest for i in store.entries()}
+        assert len(committed) == 2
+
+        # aged crash debris: two partial writes of different sizes
+        backend.spill_partial("objects/aa/gone.json", b"x" * 100)
+        backend.spill_partial("objects/bb/gone.json", b"y" * 37)
+        debris_bytes = 137
+        expected = {"removed": 2, "freed_bytes": debris_bytes}
+
+        if not backend.packs_artifacts:
+            # an orphaned payload: .npz landed, the .json marker did not
+            backend.put_atomic("objects/cc/" + "e" * 64 + ".npz", b"z" * 51)
+            expected = {"removed": 3, "freed_bytes": debris_bytes + 51}
+        _age(backend, backend.partial_keys("objects/"))
+        if not backend.packs_artifacts:
+            _age(backend, ["objects/cc/" + "e" * 64 + ".npz"])
+
+        # fresh debris (must survive): younger than the grace period
+        backend.spill_partial("objects/dd/live.json", b"w" * 999)
+
+        dry = store.gc(dry_run=True)
+        assert dry == expected
+        # the dry run touched nothing
+        assert {i.digest for i in store.entries()} == committed
+        assert len(backend.partial_keys("objects/")) == 3
+
+        real = store.gc()
+        assert real == dry  # counts AND bytes match the promise
+        assert {i.digest for i in store.entries()} == committed
+        # only the fresh debris remains
+        assert len(backend.partial_keys("objects/")) == 1
+
+    def test_older_than_days_accounts_artifact_bytes_exactly(
+        self, family, tmp_path
+    ):
+        backend = _backend(family, tmp_path)
+        store = ArtifactStore(backend)
+        store.put({"kind": "old"}, {"m": np.arange(8.0)})
+        store.put({"kind": "old2"}, {"v": "payload"})
+        total = sum(i.size_bytes for i in store.entries())
+
+        dry = store.gc(older_than_days=0.0, dry_run=True)
+        assert dry == {"removed": 2, "freed_bytes": total}
+        assert len(list(store.entries())) == 2  # untouched
+        assert store.gc(older_than_days=0.0) == dry
+        assert list(store.entries()) == []
+
+
+class TestGcCli:
+    def test_cli_dry_run_then_real_on_mem_locator(self, capsys):
+        store = ArtifactStore("mem://gccli")
+        store.put({"kind": "k"}, {"m": np.arange(4.0)})
+        sizes = sum(i.size_bytes for i in store.entries())
+        assert main(["store", "gc", "mem://gccli",
+                     "--older-than-days", "0", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert f"would remove 1 object(s), reclaiming {sizes} bytes" in out
+        assert len(list(store.entries())) == 1
+        assert main(["store", "gc", "mem://gccli",
+                     "--older-than-days", "0"]) == 0
+        out = capsys.readouterr().out
+        assert f"removed 1 object(s), freed {sizes} bytes" in out
+        assert list(store.entries()) == []
