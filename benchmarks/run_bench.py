@@ -37,6 +37,7 @@ PERF_BENCHES = [
     "test_bench_batched_trajectories.py",
     "test_bench_store.py",
     "test_bench_service.py",
+    "test_bench_fleet.py",
 ]
 
 

@@ -82,6 +82,7 @@ _COMMANDS = {
     "store": "inspect / garbage-collect a sweep artifact store",
     "serve": "host a store as a long-running, streaming sweep service",
     "submit": "send a sweep grid to a running `repro serve` instance",
+    "worker": "join a `repro serve` instance as a fleet task worker",
 }
 
 
@@ -276,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute tasks on a process pool (full CPU parallelism) "
         "instead of in-process threads",
     )
+    p.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="fleet lease lifetime: how long a silent worker may hold a "
+        "task before it is re-issued (default 30)",
+    )
 
     p = sub.add_parser("submit", help=_COMMANDS["submit"])
     _add_grid_args(p)
@@ -294,6 +300,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", dest="json_out", default=None, metavar="PATH",
         help="with --follow: also write the full results as JSON",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-task progress"
+    )
+
+    p = sub.add_parser("worker", help=_COMMANDS["worker"])
+    p.add_argument(
+        "--connect", default=f"127.0.0.1:{DEFAULT_SERVICE_PORT}",
+        metavar="HOST:PORT",
+        help="the `repro serve` instance to attach to "
+        f"(default 127.0.0.1:{DEFAULT_SERVICE_PORT})",
+    )
+    p.add_argument(
+        "--store", default=None, metavar="STORE",
+        help="optional local calibration store (directory or locator); "
+        "without it the worker uses the store root the server advertises "
+        "per task, or runs storeless — results are bit-identical either "
+        "way, a store only saves re-calibration work",
+    )
+    p.add_argument(
+        "--name", default="", help="label folded into the worker id (logs)"
+    )
+    p.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle sleep between lease requests when no work is pending",
+    )
+    p.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="detach after completing N tasks (default: run until Ctrl-C)",
     )
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-task progress"
@@ -618,6 +653,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             port=DEFAULT_PORT if args.port is None else args.port,
             workers=args.workers,
             use_processes=args.processes,
+            lease_ttl=args.lease_ttl,
         )
     except ValueError as exc:
         # bad locators, or --processes over a process-local store
@@ -719,6 +755,85 @@ def _row_outcome(row: dict):
     from repro.store.journal import outcome_from_entry
 
     return outcome_from_entry(row)
+
+
+def _cmd_worker(args: argparse.Namespace) -> str:
+    from repro.service.client import ServiceError
+    from repro.service.fleet import FleetWorker
+
+    connect = args.connect
+    host, sep, port_text = connect.rpartition(":")
+    if not sep or not host:
+        print(
+            f"repro worker: error: --connect needs HOST:PORT, got "
+            f"{connect!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"repro worker: error: --connect port must be an integer, got "
+            f"{port_text!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+    def on_result(task: dict, verdict: dict) -> None:
+        if args.quiet:
+            return
+        tag = "done" if verdict.get("accepted") else (
+            "duplicate" if verdict.get("duplicate") else "rejected"
+        )
+        print(
+            f"repro worker: {tag} sweep={task['sweep_id']} "
+            f"point={task['point']} trials={task['trials']}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        worker = FleetWorker(
+            host=host,
+            port=port,
+            name=args.name,
+            store=args.store,
+            poll=args.poll,
+            max_tasks=args.max_tasks,
+            on_result=on_result,
+        )
+    except ValueError as exc:  # bad --store locator
+        print(f"repro worker: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not args.quiet:
+        print(
+            f"repro worker: attaching to {host}:{port}"
+            + (f" (store {args.store})" if args.store else "")
+            + "; Ctrl-C stops",
+            file=sys.stderr,
+            flush=True,
+        )
+    try:
+        report = worker.run_sync()
+    except KeyboardInterrupt:
+        report = worker.report
+        print("repro worker: stopped", file=sys.stderr)
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"repro worker: error: cannot connect to {host}:{port} "
+            f"({exc}) — is `repro serve` running?",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    except ServiceError as exc:  # version mismatch / refused frames
+        print(f"repro worker: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    return (
+        f"worker {report.worker_id or '(never attached)'}: "
+        f"{report.completed} completed, {report.duplicates} duplicate, "
+        f"{report.rejected} rejected"
+    )
 
 
 def _cmd_store(args: argparse.Namespace) -> str:
@@ -843,6 +958,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "store": _cmd_store,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "worker": _cmd_worker,
     }
     out = handlers[args.command](args)
     if out:  # serve returns nothing — don't print a stray blank line

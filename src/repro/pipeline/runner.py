@@ -92,6 +92,8 @@ __all__ = [
     "run_sweep",
     "map_tasks",
     "execute_task",
+    "task_payload",
+    "execute_payload",
     "spec_digest",
 ]
 
@@ -504,6 +506,49 @@ def execute_task(
     return result
 
 
+def task_payload(
+    spec: SweepSpec, coord: TaskCoord, store_root: Optional[str] = None
+) -> dict:
+    """One task as a JSON-ready wire assignment.
+
+    This is how task execution decouples from the local pool: the fleet
+    coordinator ships this dict over the line-JSON protocol and a remote
+    worker rebuilds the exact :func:`execute_task` call with
+    :func:`execute_payload`.  Because a task is a pure function of
+    ``(spec, coordinates)``, *where* the payload executes — this process,
+    a pool worker, a machine across the network — cannot change a single
+    bit of its outcome.
+    """
+    point, trials = coord
+    return {
+        "spec": spec.to_dict(),
+        "point": int(point),
+        "trials": [int(t) for t in trials],
+        "store": store_root,
+    }
+
+
+def execute_payload(
+    payload: dict, cache: Optional[CalibrationCache] = None
+) -> TaskOutcome:
+    """Exact inverse of :func:`task_payload` feeding :func:`execute_task`.
+
+    ``cache`` overrides the payload's store-derived cache, exactly as in
+    :func:`execute_task` — an in-process fleet worker points it at its own
+    live store (process-local backends have no reopenable locator).
+    Raises ``ValueError`` on malformed payloads so wire consumers can
+    answer a structured error instead of dropping the connection.
+    """
+    try:
+        spec = SweepSpec.from_dict(payload["spec"])
+        point = int(payload["point"])
+        trials = tuple(int(t) for t in payload["trials"])
+        store_root = payload.get("store")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed task payload: {exc}") from None
+    return execute_task(spec, point, trials, store_root, cache=cache)
+
+
 # ----------------------------------------------------------------------
 # Sessions: opened sweep state shared by the sync and async drivers
 # ----------------------------------------------------------------------
@@ -572,10 +617,21 @@ class SweepSession:
         return PersistentCalibrationCache(self.store)
 
     def record(self, coord: TaskCoord, outcome: TaskOutcome) -> int:
-        """Journal + retain one completed task; returns the done count."""
-        self.outcomes[coord] = outcome
+        """Journal + retain one completed task; returns the done count.
+
+        Idempotent per coordinate: a duplicate delivery (a fleet task
+        re-issued after its worker's lease expired, whose original result
+        still arrives) is dropped — first write wins, and by the seeding
+        discipline both deliveries carry identical content anyway.  The
+        journal append happens *before* the outcome is retained so that a
+        transient store failure retried by the caller re-attempts the
+        append instead of skipping it as a duplicate.
+        """
+        if coord in self.outcomes:
+            return len(self.outcomes)
         if self.journal is not None:
             self.journal.append_task(outcome)
+        self.outcomes[coord] = outcome
         return len(self.outcomes)
 
     def replay_progress(self, progress: ProgressCallback) -> None:

@@ -23,7 +23,16 @@ around one shared :class:`~repro.store.artifacts.ArtifactStore`:
   line-delimited-JSON protocol (``submit`` / ``status`` / ``watch`` /
   ``cancel`` / ``results``) hosting a store over TCP, so ``repro serve``
   runs the service and ``repro submit --follow`` streams a grid's journal
-  rows live from another process or machine.
+  rows live from another process or machine;
+* :class:`~repro.service.queue.TaskQueue` /
+  :class:`~repro.service.fleet.FleetWorker` — the remote worker fleet:
+  workers ``attach`` over the same protocol and pull task coordinates
+  (``lease`` / ``complete`` / ``heartbeat``); each claim is a
+  backend-held lease in the shared store, so a worker that dies mid-task
+  is detected by lease expiry and its coordinate re-issued, with
+  exactly-once journaling and bit-identical results (``repro worker
+  --connect`` joins a fleet from another machine; certified by
+  ``tests/fleet_conformance.py``).
 
 Quick start::
 
@@ -53,7 +62,9 @@ Quick start::
 
 from repro.service.client import ServiceError, SweepClient, submit_and_follow
 from repro.service.coordinator import SweepCoordinator, SweepJob
+from repro.service.fleet import FleetWorker, WorkerReport
 from repro.service.planner import SweepPlanner, TaskPlan
+from repro.service.queue import TaskQueue
 from repro.service.server import SweepServer
 
 __all__ = [
@@ -65,4 +76,7 @@ __all__ = [
     "SweepClient",
     "ServiceError",
     "submit_and_follow",
+    "TaskQueue",
+    "FleetWorker",
+    "WorkerReport",
 ]

@@ -90,7 +90,7 @@ class SweepClient:
         return response
 
     # ------------------------------------------------------------------
-    # The five ops
+    # Client ops
     # ------------------------------------------------------------------
     async def submit(self, spec: SweepSpec, resume: bool = False) -> str:
         """Submit a sweep; returns its id."""
@@ -127,6 +127,44 @@ class SweepClient:
                 yield event
             elif not event.get("ok", True):
                 raise ServiceError(event.get("error", "watch refused"))
+
+    # ------------------------------------------------------------------
+    # Fleet-worker ops (what :class:`repro.service.fleet.FleetWorker`
+    # speaks; exposed here so tests and tools can drive the verbs raw)
+    # ------------------------------------------------------------------
+    async def attach(self, name: str = "", version: Optional[str] = None) -> dict:
+        """Register as a fleet worker; the grant (``worker_id``, lease
+        terms).  ``version`` defaults to this package's — the server
+        refuses a mismatch (bit-identity holds only within one version)."""
+        if version is None:
+            from repro._version import __version__ as version
+        return await self.request(op="attach", name=name, version=version)
+
+    async def lease(self, worker_id: str) -> Optional[dict]:
+        """Pull one task assignment, or ``None`` when nothing is pending."""
+        response = await self.request(op="lease", worker_id=worker_id)
+        return response.get("task")
+
+    async def complete(self, worker_id: str, sweep_id: str, entry: dict) -> dict:
+        """Report one finished task (its journal-entry dict); the server's
+        ``accepted``/``duplicate`` verdict."""
+        return await self.request(
+            op="complete", worker_id=worker_id, sweep_id=sweep_id, entry=entry
+        )
+
+    async def fail(self, worker_id: str, sweep_id: str, error: str) -> dict:
+        """Report a task that raised; fails the sweep server-side."""
+        return await self.request(
+            op="complete", worker_id=worker_id, sweep_id=sweep_id, error=error
+        )
+
+    async def heartbeat(self, worker_id: str) -> dict:
+        """Renew liveness + every held lease; the renewal tally."""
+        return await self.request(op="heartbeat", worker_id=worker_id)
+
+    async def detach(self, worker_id: str) -> dict:
+        """Clean goodbye: release leases and re-issue in-flight work now."""
+        return await self.request(op="detach", worker_id=worker_id)
 
 
 RowCallback = Callable[[dict], None]

@@ -28,7 +28,21 @@ What the event loop adds:
   (:func:`~repro.store.journal.task_entry`).  :meth:`watch` replays the
   rows a subscriber missed and then streams new ones; delivery is
   exactly-once per watcher by construction (a monotone cursor over an
-  append-only event list — pinned in ``tests/test_service.py``).
+  append-only event list — pinned in ``tests/test_service.py``);
+* **a worker fleet** — remote workers :meth:`attach` over the wire
+  protocol and pull task coordinates with :meth:`lease`; every pending
+  coordinate sits in one per-job :class:`_JobDispatch` pool that local
+  executor slots and fleet workers drain *together*.  A remote claim is
+  made crash-visible as a backend-held lease
+  (:class:`~repro.service.queue.TaskQueue`); :meth:`heartbeat` renews it,
+  and a reaper re-issues the coordinates of workers that died (connection
+  drop, heartbeat timeout) or stalled past their lease.  Exactly-once
+  journaling survives every re-issue: the session and the journal both
+  dedup by coordinate, so a late original delivery answers
+  ``duplicate: true`` instead of a second row — and because every task is
+  a pure function of ``(spec, coordinates)``, the fleet's assembled
+  result is bit-identical to a single-machine run (pinned in
+  ``tests/fleet_conformance.py``).
 """
 
 from __future__ import annotations
@@ -37,26 +51,60 @@ import asyncio
 import functools
 import itertools
 import threading
+import time
+from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import AsyncIterator, Dict, List, Optional
+from typing import AsyncIterator, Deque, Dict, List, Optional, Set, Tuple
 
+from repro._version import __version__
 from repro.pipeline.cache import CacheKey, CalibrationCache, CalibrationRecord
 from repro.pipeline.runner import (
     ParallelSweepRunner,
     StoreLike,
     SweepResult,
     execute_task,
+    task_payload,
 )
 from repro.pipeline.spec import SweepSpec
+from repro.service.queue import TaskQueue
 from repro.store.artifacts import ArtifactStore
 from repro.store.calcache import PersistentCalibrationCache
-from repro.store.journal import journal_spec_digest, task_entry
+from repro.store.faults import TransientStoreError
+from repro.store.journal import journal_spec_digest, outcome_from_entry, task_entry
 
 __all__ = ["SweepCoordinator", "SweepJob"]
 
 #: Job lifecycle. ``queued`` → ``running`` → one of the terminal three.
 ACTIVE_STATES = ("queued", "running")
 TERMINAL_STATES = ("done", "failed", "cancelled")
+
+TaskCoord = Tuple[int, Tuple[int, ...]]
+
+#: Bounded retries for transient store failures on the coordinator's own
+#: store touches (open, journal append, close) — the same client
+#: discipline TaskQueue applies internally, so a fleet over a flaky
+#: transport degrades to latency, not to failed jobs.
+_RETRIES = 50
+_RETRY_SLEEP = 0.002
+
+
+def _retrying(fn, *args):
+    for _ in range(_RETRIES - 1):
+        try:
+            return fn(*args)
+        except TransientStoreError:
+            time.sleep(_RETRY_SLEEP)
+    return fn(*args)  # last attempt propagates
+
+
+def _purge_quiet(queue: "TaskQueue") -> None:
+    """End-of-job lease cleanup; debris is harmless (claims on a finished
+    sweep's digest can never be leased again), so never let it mask the
+    job's real outcome."""
+    try:
+        queue.purge()
+    except Exception:
+        pass
 
 
 def _close_abandoned_session(future) -> None:
@@ -109,6 +157,117 @@ class _SharedCacheView(CalibrationCache):
             self._shared.store(key, state, shots_spent, circuits_executed)
 
 
+class _WorkerState:
+    """One attached fleet worker: identity, liveness, outstanding leases."""
+
+    def __init__(self, worker_id: str, name: str, now: float) -> None:
+        self.worker_id = worker_id
+        self.name = name
+        self.last_beat = now
+        #: ``(sweep_id, coord)`` pairs this worker currently holds.
+        self.leases: Set[Tuple[str, TaskCoord]] = set()
+
+
+class _JobDispatch:
+    """One running job's task pool, drained by locals and fleet alike.
+
+    Pure event-loop state (every mutation happens on the coordinator's
+    loop, under one condition): ``pending`` holds coordinates nobody is
+    executing, ``out`` maps in-flight coordinates to their owner (``""``
+    for a local executor slot, a worker id for a fleet claim).  A
+    coordinate leaves the pool for good when the session records its
+    outcome; a dead owner's coordinates :meth:`requeue` and wake every
+    waiter — re-issue is just another checkout.
+    """
+
+    def __init__(self, session, queue: Optional[TaskQueue]) -> None:
+        self.session = session
+        self.queue = queue
+        self.pending: Deque[TaskCoord] = deque(session.pending)
+        self.out: Dict[TaskCoord, str] = {}
+        self.out_since: Dict[TaskCoord, float] = {}
+        self.error: Optional[str] = None
+        self.closed = False
+        self.reissued = 0
+        self.cond = asyncio.Condition()
+        #: Serialises journal appends (locals + fleet completes share one
+        #: journal writer) and orders the dedup check with the append.
+        self.record_lock = asyncio.Lock()
+
+    @property
+    def finished(self) -> bool:
+        return (
+            self.error is not None
+            or self.closed
+            or len(self.session.outcomes) >= self.session.total
+        )
+
+    async def checkout(self, owner: str) -> Optional[TaskCoord]:
+        """Pop a pending coordinate for ``owner`` (non-blocking)."""
+        async with self.cond:
+            if self.finished or not self.pending:
+                return None
+            coord = self.pending.popleft()
+            self.out[coord] = owner
+            self.out_since[coord] = time.monotonic()
+            return coord
+
+    async def checkout_wait(self, owner: str) -> Optional[TaskCoord]:
+        """Like :meth:`checkout`, but block until work exists or the job
+        ends — the local puller loop's idle state."""
+        async with self.cond:
+            while not self.pending and not self.finished:
+                await self.cond.wait()
+            if self.finished or not self.pending:
+                return None
+            coord = self.pending.popleft()
+            self.out[coord] = owner
+            self.out_since[coord] = time.monotonic()
+            return coord
+
+    async def forget(self, coord: TaskCoord) -> None:
+        """Drop in-flight bookkeeping for a completed coordinate."""
+        async with self.cond:
+            self.out.pop(coord, None)
+            self.out_since.pop(coord, None)
+            self.cond.notify_all()
+
+    async def requeue(
+        self, coord: TaskCoord, owner: str, reissue: bool = True
+    ) -> bool:
+        """Return ``owner``'s in-flight coordinate to the pool (re-issue).
+
+        Only the recorded owner may requeue — a slow worker whose task was
+        already re-issued *and* completed by a successor must not push the
+        coordinate back a second time.  ``reissue=False`` skips the
+        re-issue counter (checkout backed out before work was assigned).
+        """
+        async with self.cond:
+            if self.out.get(coord) != owner:
+                return False
+            del self.out[coord]
+            self.out_since.pop(coord, None)
+            if coord not in self.session.outcomes:
+                self.pending.append(coord)
+                if reissue:
+                    self.reissued += 1
+            self.cond.notify_all()
+            return True
+
+    async def fail(self, message: str) -> None:
+        async with self.cond:
+            if self.error is None:
+                self.error = message
+            self.cond.notify_all()
+
+    async def wait_finished(self) -> None:
+        async with self.cond:
+            while not self.finished:
+                await self.cond.wait()
+        if self.error is not None:
+            raise RuntimeError(self.error)
+
+
 class SweepJob:
     """One submitted sweep's live state: events, status, result."""
 
@@ -124,12 +283,20 @@ class SweepJob:
         #: Journal-entry dicts in completion order (replayed rows first).
         #: Append-only — watcher cursors rely on it.
         self.events: List[dict] = []
+        #: Live task pool while running (fleet lease/complete target).
+        #: Kept after the job ends — the re-issue count outlives the run.
+        self.dispatch: Optional[_JobDispatch] = None
         self._cond = asyncio.Condition()
         self._task: Optional[asyncio.Task] = None
 
     @property
     def done(self) -> int:
         return len(self.events)
+
+    @property
+    def reissued(self) -> int:
+        """Coordinates re-issued after a worker death / lease expiry."""
+        return 0 if self.dispatch is None else self.dispatch.reissued
 
     def status(self) -> dict:
         """JSON-ready snapshot (what the wire protocol's ``status`` returns)."""
@@ -139,6 +306,7 @@ class SweepJob:
             "done": self.done,
             "total": self.total,
             "plan": self.plan_counts,
+            "reissued": self.reissued,
             "error": self.error,
         }
 
@@ -152,7 +320,16 @@ class SweepCoordinator:
         The shared :class:`~repro.store.artifacts.ArtifactStore` (or its
         root directory) every sweep journals into and calibrates from.
     workers:
-        Concurrent task executions across *all* live sweeps.
+        Concurrent *local* task executions across all live sweeps.  ``0``
+        runs no tasks in-process: the coordinator becomes a pure fleet
+        queue and every coordinate waits for an attached worker to lease
+        it.
+    lease_ttl:
+        Fleet lease lifetime (seconds): how long a silent worker may hold
+        a task before its claim expires and the coordinate is re-issued.
+    heartbeat_timeout:
+        How long an attached worker may go without any request before it
+        is evicted and its leases re-issued (default ``2 * lease_ttl``).
     use_processes:
         ``False`` (default) executes tasks on a thread pool inside this
         process — cheap start-up, one shared in-memory calibration tier.
@@ -173,11 +350,19 @@ class SweepCoordinator:
         workers: int = 1,
         use_processes: bool = False,
         max_finished_jobs: int = 64,
+        lease_ttl: float = 30.0,
+        heartbeat_timeout: Optional[float] = None,
     ) -> None:
         self.store = (
             store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         )
-        self.workers = max(1, int(workers))
+        self.workers = max(0, int(workers))
+        self.lease_ttl = float(lease_ttl)
+        self.heartbeat_timeout = (
+            2.0 * self.lease_ttl
+            if heartbeat_timeout is None
+            else float(heartbeat_timeout)
+        )
         self.use_processes = bool(use_processes)
         if self.use_processes and not self.store.backend.cross_process:
             # A pool worker reopening mem:// (or an injected-client s3://)
@@ -195,6 +380,9 @@ class SweepCoordinator:
         self._jobs: Dict[str, SweepJob] = {}
         self._digest_locks: Dict[str, asyncio.Lock] = {}
         self._ids = itertools.count(1)
+        self._fleet: Dict[str, _WorkerState] = {}
+        self._worker_ids = itertools.count(1)
+        self._reaper: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Submission / lifecycle
@@ -278,7 +466,16 @@ class SweepCoordinator:
                 return
 
     async def close(self) -> None:
-        """Cancel live jobs and release the executor."""
+        """Cancel live jobs, drop the fleet and release the executor."""
+        for worker_id in list(self._fleet):
+            await self.detach_worker(worker_id)
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
         for job in list(self._jobs.values()):
             if job.state in ACTIVE_STATES:
                 await self.cancel(job.sweep_id)
@@ -287,15 +484,270 @@ class SweepCoordinator:
             self._executor = None
 
     # ------------------------------------------------------------------
+    # Fleet: attach / lease / complete / heartbeat
+    # ------------------------------------------------------------------
+    def attach_worker(self, name: str = "", version: Optional[str] = None) -> dict:
+        """Register a fleet worker; returns its id and the lease terms.
+
+        The worker's engine version must match the server's exactly —
+        fleet outcomes splice into one journal, and the bit-identical
+        promise only holds within one engine version (same refusal the
+        journal itself makes on resume).
+        """
+        if version != __version__:
+            raise ValueError(
+                f"worker version {version!r} does not match server "
+                f"{__version__}; fleet results are only bit-identical "
+                f"within one engine version — upgrade the worker"
+            )
+        worker_id = f"w{next(self._worker_ids)}" + (f"-{name}" if name else "")
+        self._fleet[worker_id] = _WorkerState(worker_id, name, time.monotonic())
+        self._ensure_reaper()
+        return {
+            "worker_id": worker_id,
+            "lease_ttl": self.lease_ttl,
+            "heartbeat_timeout": self.heartbeat_timeout,
+        }
+
+    def _require_worker(self, worker_id) -> _WorkerState:
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ValueError("a 'worker_id' string is required; attach first")
+        worker = self._fleet.get(worker_id)
+        if worker is None:
+            raise ValueError(
+                f"unknown worker {worker_id!r} — attach first (a worker "
+                f"that misses heartbeats past the timeout is evicted and "
+                f"must re-attach)"
+            )
+        worker.last_beat = time.monotonic()
+        return worker
+
+    async def lease_task(self, worker_id: str) -> Optional[dict]:
+        """Claim one pending coordinate for ``worker_id``.
+
+        Scans running jobs in submission order; the claim is published as
+        a backend-held lease before the assignment leaves this method, so
+        a coordinator crash cannot strand an invisible claim.  Returns
+        the wire assignment (``task_payload`` + ``sweep_id``), or ``None``
+        when no work is pending anywhere.
+        """
+        worker = self._require_worker(worker_id)
+        loop = asyncio.get_running_loop()
+        for job in list(self._jobs.values()):
+            dispatch = job.dispatch
+            if dispatch is None or job.state != "running" or dispatch.closed:
+                continue
+            coord = await dispatch.checkout(worker_id)
+            if coord is None:
+                continue
+            if dispatch.queue is not None:
+                claimed = await loop.run_in_executor(
+                    None, dispatch.queue.claim, coord, worker_id
+                )
+                if not claimed:
+                    # a live foreign lease (zombie claim not yet expired):
+                    # put the coordinate back without counting a re-issue
+                    await dispatch.requeue(coord, worker_id, reissue=False)
+                    continue
+            worker.leases.add((job.sweep_id, coord))
+            store_root = (
+                dispatch.session.store_root
+                if self.store.backend.cross_process
+                else None
+            )
+            assignment = task_payload(job.spec, coord, store_root)
+            assignment["sweep_id"] = job.sweep_id
+            return assignment
+        return None
+
+    async def complete_task(
+        self, worker_id: str, sweep_id: str, entry: dict
+    ) -> dict:
+        """Accept one remote task outcome; exactly-once by coordinate.
+
+        The entry is the worker's :func:`~repro.store.journal.task_entry`
+        dict.  A duplicate delivery — the task was re-issued after this
+        worker's lease expired and the successor already landed — answers
+        ``{"accepted": false, "duplicate": true}`` and journals nothing.
+        Malformed entries raise ``ValueError`` (a structured wire error,
+        not a dropped connection).
+        """
+        worker = self._require_worker(worker_id)
+        if not isinstance(entry, dict):
+            raise ValueError(
+                "complete needs an 'entry' object (a journal task row)"
+            )
+        try:
+            outcome = outcome_from_entry(entry)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed task entry: {exc}") from None
+        coord = (outcome.backend_index, outcome.trials)
+        job = self._jobs.get(sweep_id)
+        if job is None:
+            raise ValueError(f"unknown sweep {sweep_id!r}")
+        worker.leases.discard((sweep_id, coord))
+        dispatch = job.dispatch
+        loop = asyncio.get_running_loop()
+        if dispatch is not None and dispatch.queue is not None:
+            await loop.run_in_executor(
+                None, dispatch.queue.release, coord, worker_id
+            )
+        if dispatch is None or job.state not in ACTIVE_STATES or dispatch.closed:
+            return {
+                "accepted": False,
+                "duplicate": False,
+                "reason": f"sweep {sweep_id} is {job.state}",
+            }
+        if coord not in dispatch.session.coords:
+            raise ValueError(
+                f"task ({coord[0]}, {list(coord[1])}) is not a coordinate "
+                f"of sweep {sweep_id}"
+            )
+        accepted = await self._deliver(job, dispatch, coord, outcome)
+        return {"accepted": accepted, "duplicate": not accepted}
+
+    async def fail_task(
+        self, worker_id: str, sweep_id: str, message: str
+    ) -> dict:
+        """A worker's task raised: fail the job (mirrors local behaviour,
+        where a task exception fails the sweep rather than retrying a
+        deterministic error forever)."""
+        worker = self._require_worker(worker_id)
+        job = self._jobs.get(sweep_id)
+        if job is None:
+            raise ValueError(f"unknown sweep {sweep_id!r}")
+        dispatch = job.dispatch
+        loop = asyncio.get_running_loop()
+        for sid, coord in list(worker.leases):
+            if sid != sweep_id:
+                continue
+            worker.leases.discard((sid, coord))
+            if dispatch is not None and dispatch.queue is not None:
+                await loop.run_in_executor(
+                    None, dispatch.queue.release, coord, worker_id
+                )
+        if (
+            dispatch is not None
+            and job.state in ACTIVE_STATES
+            and not dispatch.closed
+        ):
+            await dispatch.fail(f"fleet worker {worker_id}: {message}")
+        return {"accepted": False, "duplicate": False, "failed": True}
+
+    async def heartbeat_worker(self, worker_id: str) -> dict:
+        """Refresh a worker's liveness and renew its store-held leases.
+
+        A lease that fails to renew was reclaimed — its task is being
+        re-issued; the worker's eventual ``complete`` will be answered as
+        a duplicate, never double-journaled."""
+        worker = self._require_worker(worker_id)
+        loop = asyncio.get_running_loop()
+        renewed = 0
+        for sweep_id, coord in list(worker.leases):
+            job = self._jobs.get(sweep_id)
+            dispatch = job.dispatch if job is not None else None
+            if dispatch is None or dispatch.queue is None or dispatch.closed:
+                continue
+            ok = await loop.run_in_executor(
+                None, dispatch.queue.renew, coord, worker_id
+            )
+            if ok:
+                renewed += 1
+            else:
+                worker.leases.discard((sweep_id, coord))
+        return {"renewed": renewed, "leases": len(worker.leases)}
+
+    async def detach_worker(self, worker_id: str) -> None:
+        """Drop a worker (clean goodbye, connection drop, or eviction):
+        its leases are released and its in-flight coordinates re-issued."""
+        worker = self._fleet.pop(worker_id, None)
+        if worker is None:
+            return
+        loop = asyncio.get_running_loop()
+        for sweep_id, coord in list(worker.leases):
+            job = self._jobs.get(sweep_id)
+            dispatch = job.dispatch if job is not None else None
+            if dispatch is None:
+                continue
+            if dispatch.queue is not None:
+                await loop.run_in_executor(
+                    None, dispatch.queue.release, coord, worker_id
+                )
+            await dispatch.requeue(coord, worker_id)
+
+    def fleet(self) -> List[dict]:
+        """Attached workers (id, name, outstanding leases) — monitoring."""
+        return [
+            {
+                "worker_id": w.worker_id,
+                "name": w.name,
+                "leases": len(w.leases),
+            }
+            for w in self._fleet.values()
+        ]
+
+    def _ensure_reaper(self) -> None:
+        if self._reaper is None or self._reaper.done():
+            self._reaper = asyncio.create_task(self._reap_loop())
+
+    async def _reap_loop(self) -> None:
+        """Re-issue the work of dead or stalled workers.
+
+        Two failure signals, one consequence: a worker that stops
+        *talking* (heartbeat timeout — also covers abrupt connection
+        drops, since the server detaches those immediately) is evicted
+        wholesale; a worker that keeps talking but lets a task's
+        *store lease* expire (stalled execution, renewal lost to a
+        partition) has just that coordinate re-issued.  Either way the
+        original outcome may still arrive later — the coordinate dedup in
+        :meth:`_deliver` (and the journal's own) makes that a duplicate,
+        not a double append.
+        """
+        loop = asyncio.get_running_loop()
+        interval = max(
+            0.01, min(self.lease_ttl, self.heartbeat_timeout) / 4.0
+        )
+        while self._fleet:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for worker in list(self._fleet.values()):
+                if now - worker.last_beat > self.heartbeat_timeout:
+                    await self.detach_worker(worker.worker_id)
+            for job in list(self._jobs.values()):
+                dispatch = job.dispatch
+                if (
+                    dispatch is None
+                    or job.state != "running"
+                    or dispatch.closed
+                    or dispatch.queue is None
+                ):
+                    continue
+                for coord, owner in list(dispatch.out.items()):
+                    if not owner:
+                        continue  # local slots cannot die silently
+                    since = dispatch.out_since.get(coord, now)
+                    if now - since < self.lease_ttl:
+                        continue  # grace: the claim may still be in flight
+                    expired = await loop.run_in_executor(
+                        None, dispatch.queue.expired, coord
+                    )
+                    if expired:
+                        holder = self._fleet.get(owner)
+                        if holder is not None:
+                            holder.leases.discard((job.sweep_id, coord))
+                        await dispatch.requeue(coord, owner)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _get_executor(self) -> Executor:
         if self._executor is None:
+            width = max(1, self.workers)  # only reached when pullers exist
             if self.use_processes:
-                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                self._executor = ProcessPoolExecutor(max_workers=width)
             else:
                 self._executor = ThreadPoolExecutor(
-                    max_workers=self.workers,
+                    max_workers=width,
                     thread_name_prefix="repro-sweep",
                 )
         return self._executor
@@ -345,6 +797,62 @@ class SweepCoordinator:
             if digest not in live_digests and not lock.locked():
                 del self._digest_locks[digest]
 
+    async def _deliver(
+        self, job: SweepJob, dispatch: _JobDispatch, coord, outcome
+    ) -> bool:
+        """Record one outcome exactly once; ``False`` on a duplicate.
+
+        One choke point for locals and fleet completes alike: the dedup
+        check and the journal append happen under ``record_lock``, so two
+        deliveries of one coordinate (original + re-issue) can never both
+        append.  The journal's own coordinate dedup is the second belt —
+        it holds even against an append that landed out-of-band.
+        """
+        loop = asyncio.get_running_loop()
+        async with dispatch.record_lock:
+            if dispatch.closed or dispatch.error is not None:
+                return False
+            if coord in dispatch.session.outcomes:
+                await dispatch.forget(coord)
+                return False
+            # journal append (fsync) off the loop, with transient retry
+            await loop.run_in_executor(
+                None, _retrying, dispatch.session.record, coord, outcome
+            )
+            await self._publish(job, task_entry(outcome), replayed=False)
+        async with dispatch.cond:
+            dispatch.out.pop(coord, None)
+            dispatch.out_since.pop(coord, None)
+            try:
+                # a re-issued coordinate whose *original* delivery just
+                # landed may still sit in pending — retire it before a
+                # puller wastes a slot re-executing it
+                dispatch.pending.remove(coord)
+            except ValueError:
+                pass
+            dispatch.cond.notify_all()
+        return True
+
+    async def _local_puller(self, job: SweepJob, dispatch: _JobDispatch) -> None:
+        """One local executor slot draining the job's dispatch pool —
+        the in-process twin of a fleet worker's lease/complete loop."""
+        loop = asyncio.get_running_loop()
+        while True:
+            coord = await dispatch.checkout_wait("")
+            if coord is None:
+                return
+            try:
+                outcome = await loop.run_in_executor(
+                    self._get_executor(),
+                    self._task_callable(dispatch.session, coord),
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                await dispatch.fail(str(exc))
+                return
+            await self._deliver(job, dispatch, coord, outcome)
+
     async def _run_job(self, job: SweepJob, digest: str) -> None:
         loop = asyncio.get_running_loop()
         lock = self._digest_locks.setdefault(digest, asyncio.Lock())
@@ -361,25 +869,33 @@ class SweepCoordinator:
                 # journal's advisory lock (our own pid!) and block this
                 # spec until the server restarts.
                 opening = loop.run_in_executor(
-                    None, runner.open_session, job.spec
+                    None, _retrying, runner.open_session, job.spec
                 )
                 try:
                     session = await asyncio.shield(opening)
                 except asyncio.CancelledError:
                     opening.add_done_callback(_close_abandoned_session)
                     raise
+                dispatch: Optional[_JobDispatch] = None
                 try:
                     # tasks actually run on the coordinator's shared
                     # executor, not the runner's (unused) pool — report
                     # that width in the assembled result
                     session.workers = (
                         max(1, min(self.workers, len(session.pending)))
-                        if session.pending
+                        if session.pending and self.workers
                         else 1
                     )
                     job.plan_counts = (
                         session.plan.counts if session.plan else None
                     )
+                    dispatch = _JobDispatch(
+                        session,
+                        TaskQueue(
+                            self.store.backend, digest, ttl=self.lease_ttl
+                        ),
+                    )
+                    job.dispatch = dispatch  # visible before "running"
                     await self._set_state(job, "running")
                     # Journal-replayed outcomes reach watchers through the
                     # same event channel as live ones (canonical order,
@@ -392,35 +908,36 @@ class SweepCoordinator:
                                 task_entry(session.outcomes[coord]),
                                 replayed=True,
                             )
-                    pending = list(session.pending)
-
-                    async def run_one(coord):
-                        outcome = await loop.run_in_executor(
-                            self._get_executor(),
-                            self._task_callable(session, coord),
-                        )
-                        return coord, outcome
-
-                    tasks = [
-                        asyncio.create_task(run_one(coord)) for coord in pending
+                    n_local = (
+                        min(self.workers, len(session.pending))
+                        if session.pending
+                        else 0
+                    )
+                    pullers = [
+                        asyncio.create_task(self._local_puller(job, dispatch))
+                        for _ in range(n_local)
                     ]
+                    waiter = asyncio.create_task(dispatch.wait_finished())
                     try:
-                        for fut in asyncio.as_completed(tasks):
-                            coord, outcome = await fut
-                            # journal append (fsync) off the loop; appends
-                            # are serialised by this job task itself
-                            await loop.run_in_executor(
-                                None, session.record, coord, outcome
-                            )
-                            await self._publish(
-                                job, task_entry(outcome), replayed=False
-                            )
+                        await asyncio.gather(waiter, *pullers)
                     except BaseException:
-                        for t in tasks:
+                        waiter.cancel()
+                        for t in pullers:
                             t.cancel()
                         raise
                 finally:
-                    await loop.run_in_executor(None, session.close)
+                    if dispatch is not None:
+                        # refuse further fleet completes before the journal
+                        # closes (an append after close would be orphaned)
+                        async with dispatch.record_lock:
+                            dispatch.closed = True
+                        async with dispatch.cond:
+                            dispatch.cond.notify_all()
+                        if dispatch.queue is not None:
+                            await loop.run_in_executor(
+                                None, _purge_quiet, dispatch.queue
+                            )
+                    await loop.run_in_executor(None, _retrying, session.close)
                 job.result = session.assemble()
                 await self._set_state(job, "done")
         except asyncio.CancelledError:

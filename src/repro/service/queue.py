@@ -1,0 +1,243 @@
+"""Store-backed task leases: the fleet's claim/renew/release algebra.
+
+A :class:`TaskQueue` hands out **backend-held leases** over one sweep's
+task coordinates, built from exactly the conditional-op primitives the
+:class:`~repro.store.backends.StoreBackend` contract certifies
+(``put_if_absent`` to claim, ``delete_if_equals`` to release/reclaim —
+the same algebra the journal's advisory lock uses):
+
+* **claim** — publish ``queue/<digest>/<coord>.lease`` with a conditional
+  put; the payload names the holder and an absolute expiry deadline.  Of
+  N racers exactly one claim lands; an *expired* lease found in the way
+  is reclaimed with a conditional delete (nobody can reclaim a lease a
+  racer just refreshed — its bytes differ) and the claim retried.
+* **renew** — a heartbeat: swap the holder's own payload for one with a
+  later deadline (conditional delete of the exact current bytes, then a
+  conditional put).  Renewal of a lease that expired and was reclaimed
+  fails — the holder learns its task has been re-issued and must not
+  double-report it (the journal dedups anyway; the lease answer is the
+  early warning).
+* **release** — conditional delete of the holder's own lease only;
+  releasing can never evict a successor that reclaimed the slot.
+
+The queue never *assigns* work — the coordinator picks coordinates; the
+queue makes a worker's ownership crash-visible.  A worker that dies holds
+nothing forever: its lease's deadline passes and any observer may reclaim
+it (:meth:`TaskQueue.expired` + the coordinator's reaper), after which
+the coordinate is re-issued.  Exactly-once journaling is then the
+journal's and the session's job (both dedup by coordinate); the lease
+only bounds *how long* a dead worker can delay re-issue.
+
+All ops retry :class:`~repro.store.faults.TransientStoreError` internally
+(bounded) — the client discipline the backend contract asks for, and what
+lets the fleet conformance harness run every backend wrapped in a
+:class:`~repro.store.faults.FaultyBackend`.  Claims and conditional
+deletes are idempotent, so a retried sequence converges to the same
+state.
+
+``clock`` is injectable (defaults to ``time.time``) so expiry tests can
+script the calendar instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.store.backends import StoreBackend
+from repro.store.faults import TransientStoreError
+
+__all__ = ["TaskQueue"]
+
+TaskCoord = Tuple[int, Tuple[int, ...]]
+
+#: Bounded transient retries: matches the conformance suite's ``op()``
+#: discipline (a storm outlasting this is a harness/deployment bug).
+_RETRIES = 50
+_RETRY_SLEEP = 0.002
+
+
+def _retry(fn: Callable, *args):
+    for _ in range(_RETRIES - 1):
+        try:
+            return fn(*args)
+        except TransientStoreError:
+            time.sleep(_RETRY_SLEEP)
+    return fn(*args)  # last attempt propagates
+
+
+class TaskQueue:
+    """Lease registry for one sweep's coordinates on one backend.
+
+    Parameters
+    ----------
+    backend:
+        The store transport the leases live on — the *same* store the
+        sweep journals into, so a worker's claim and its journaled
+        outcome share one durability domain.
+    digest:
+        The sweep's journal digest (16 hex chars); namespaces the lease
+        keys so concurrent sweeps cannot contend.
+    ttl:
+        Lease lifetime in seconds.  A worker must renew (heartbeat)
+        within this window or its claims become reclaimable.
+    clock:
+        Injectable time source returning seconds (absolute); tests pass
+        a scripted clock to cross expiry deadlines without sleeping.
+    """
+
+    def __init__(
+        self,
+        backend: StoreBackend,
+        digest: str,
+        ttl: float = 30.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.backend = backend
+        self.digest = digest
+        self.ttl = float(ttl)
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    def _key(self, coord: TaskCoord) -> str:
+        point, trials = coord
+        label = f"p{int(point)}-t" + ".".join(str(int(t)) for t in trials)
+        return f"queue/{self.digest}/{label}.lease"
+
+    def _payload(self, coord: TaskCoord, owner: str) -> bytes:
+        point, trials = coord
+        return json.dumps(
+            {
+                "owner": owner,
+                "expires": self.clock() + self.ttl,
+                "point": int(point),
+                "trials": [int(t) for t in trials],
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    @staticmethod
+    def _decode(data: bytes) -> Optional[dict]:
+        try:
+            lease = json.loads(data.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(lease, dict) or "owner" not in lease:
+            return None
+        return lease
+
+    # ------------------------------------------------------------------
+    def claim(self, coord: TaskCoord, owner: str) -> bool:
+        """Try to lease ``coord`` for ``owner``; exactly-once among racers.
+
+        An expired lease in the slot is reclaimed (conditional delete of
+        its exact bytes) and the claim retried; a *live* foreign lease
+        refuses the claim.
+        """
+        key = self._key(coord)
+        payload = self._payload(coord, owner)
+        for _ in range(5):
+            if _retry(self.backend.put_if_absent, key, payload):
+                return True
+            current = _retry(self.backend.get, key)
+            if current is None:
+                continue  # released between the failed put and the read
+            lease = self._decode(current)
+            if lease is None or float(lease.get("expires", 0)) <= self.clock():
+                # stale or unreadable: reclaim and contend again
+                _retry(self.backend.delete_if_equals, key, current)
+                continue
+            return False
+        return False
+
+    def renew(self, coord: TaskCoord, owner: str) -> bool:
+        """Extend ``owner``'s lease by ``ttl``; ``False`` if it was lost.
+
+        A lost renewal (lease reclaimed, or held by a successor) is the
+        worker's signal that the task has been re-issued; the queue never
+        resurrects a reclaimed lease — that would hand two live workers
+        one claim.
+        """
+        key = self._key(coord)
+        current = _retry(self.backend.get, key)
+        if current is None:
+            return False
+        lease = self._decode(current)
+        if lease is None or lease.get("owner") != owner:
+            return False
+        if not _retry(self.backend.delete_if_equals, key, current):
+            return False  # raced with a reclaim
+        return bool(
+            _retry(self.backend.put_if_absent, key, self._payload(coord, owner))
+        )
+
+    def release(self, coord: TaskCoord, owner: str) -> bool:
+        """Drop ``owner``'s lease (task finished or abandoned cleanly)."""
+        key = self._key(coord)
+        current = _retry(self.backend.get, key)
+        if current is None:
+            return False
+        lease = self._decode(current)
+        if lease is None or lease.get("owner") != owner:
+            return False
+        return bool(_retry(self.backend.delete_if_equals, key, current))
+
+    # ------------------------------------------------------------------
+    def holder(self, coord: TaskCoord) -> Optional[dict]:
+        """The live lease payload on ``coord``, or ``None``."""
+        current = _retry(self.backend.get, self._key(coord))
+        return None if current is None else self._decode(current)
+
+    def expired(self, coord: TaskCoord) -> bool:
+        """Has ``coord``'s lease passed its deadline (or vanished)?"""
+        lease = self.holder(coord)
+        if lease is None:
+            return True
+        return float(lease.get("expires", 0)) <= self.clock()
+
+    def reclaim_expired(self) -> List[TaskCoord]:
+        """Sweep every lease of this sweep; reclaim the expired ones.
+
+        Returns the coordinates whose leases were actually removed by
+        *this* call (conditional delete: of N concurrent reapers, each
+        expired lease is reported by exactly one), so the caller can
+        re-issue exactly those tasks.
+        """
+        reclaimed: List[TaskCoord] = []
+        now = self.clock()
+        for key in _retry(self.backend.list_prefix, f"queue/{self.digest}/"):
+            current = _retry(self.backend.get, key)
+            if current is None:
+                continue
+            lease = self._decode(current)
+            if lease is None:
+                continue
+            if float(lease.get("expires", 0)) > now:
+                continue
+            if _retry(self.backend.delete_if_equals, key, current):
+                reclaimed.append(
+                    (int(lease["point"]), tuple(int(t) for t in lease["trials"]))
+                )
+        return reclaimed
+
+    def purge(self) -> int:
+        """Delete every lease of this sweep (job finished); count removed."""
+        removed = 0
+        for key in _retry(self.backend.list_prefix, f"queue/{self.digest}/"):
+            removed += 1 if _retry(self.backend.delete, key) else 0
+        return removed
+
+    def pending_claims(self) -> Dict[TaskCoord, dict]:
+        """Every live lease of this sweep, keyed by coordinate."""
+        out: Dict[TaskCoord, dict] = {}
+        for key in _retry(self.backend.list_prefix, f"queue/{self.digest}/"):
+            current = _retry(self.backend.get, key)
+            if current is None:
+                continue
+            lease = self._decode(current)
+            if lease is None:
+                continue
+            coord = (int(lease["point"]), tuple(int(t) for t in lease["trials"]))
+            out[coord] = lease
+        return out

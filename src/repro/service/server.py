@@ -5,7 +5,7 @@ directions.  A connection is a sequence of request→response exchanges;
 every response carries ``"ok"`` (or, mid-``watch``, ``"event"``).  No
 external dependencies — ``asyncio.start_server`` plus ``json``.
 
-Requests (the five ops the coordinator exposes)::
+Requests — client ops::
 
     {"op": "submit", "spec": {...SweepSpec.to_dict()...}, "resume": false}
         -> {"ok": true, "sweep_id": "...", "total": 4}
@@ -21,11 +21,30 @@ Requests (the five ops the coordinator exposes)::
     {"op": "cancel", "sweep_id": "..."}
         -> {"ok": true, "state": "cancelled", ...}
 
+and fleet-worker ops (:mod:`repro.service.fleet` is the reference
+client)::
+
+    {"op": "attach", "name": "gpu-box", "version": "1.4.0"}
+        -> {"ok": true, "worker_id": "w1-gpu-box", "lease_ttl": 30.0, ...}
+    {"op": "lease", "worker_id": "w1-gpu-box"}
+        -> {"ok": true, "task": null | {"sweep_id": ..., "spec": ...,
+                                        "point": 3, "trials": [0, 1],
+                                        "store": "/shared/store" | null}}
+    {"op": "complete", "worker_id": "...", "sweep_id": "...",
+     "entry": {...task_entry(outcome)...}}     # or "error": "..." instead
+        -> {"ok": true, "accepted": true, "duplicate": false}
+    {"op": "heartbeat", "worker_id": "..."}
+        -> {"ok": true, "renewed": 1, "leases": 1}
+
 Errors never tear the connection: a malformed line, unknown op, unknown
-sweep id or refused spec answers ``{"ok": false, "error": "..."}`` and the
-server reads the next request.  ``watch`` streams exactly the journal rows
-(the coordinator's exactly-once event log), so a client that renders them
-sees the same rows a journal replay would produce — live.
+sweep id, refused spec, malformed lease/complete frame or worker version
+mismatch answers ``{"ok": false, "error": "..."}`` and the server reads
+the next request.  ``watch`` streams exactly the journal rows (the
+coordinator's exactly-once event log), so a client that renders them sees
+the same rows a journal replay would produce — live.  A dropped *worker*
+connection is a death signal: every worker attached on it is detached
+immediately and its in-flight coordinates re-issued (heartbeat timeout
+catches workers whose TCP peer dies without a FIN).
 """
 
 from __future__ import annotations
@@ -58,11 +77,17 @@ class SweepServer:
         port: int = DEFAULT_PORT,
         workers: int = 1,
         use_processes: bool = False,
+        lease_ttl: float = 30.0,
+        heartbeat_timeout: Optional[float] = None,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.coordinator = SweepCoordinator(
-            store, workers=workers, use_processes=use_processes
+            store,
+            workers=workers,
+            use_processes=use_processes,
+            lease_ttl=lease_ttl,
+            heartbeat_timeout=heartbeat_timeout,
         )
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -99,6 +124,9 @@ class SweepServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        #: worker ids attached on *this* connection — a dropped socket is
+        #: the worker's death certificate; its leases re-issue immediately
+        attached: set = set()
         try:
             while True:
                 line = await reader.readline()
@@ -116,7 +144,7 @@ class SweepServer:
                     )
                     continue
                 try:
-                    await self._dispatch(request, writer)
+                    await self._dispatch(request, writer, attached)
                 except (ConnectionResetError, BrokenPipeError):
                     return
                 except Exception as exc:
@@ -131,13 +159,20 @@ class SweepServer:
             # callback log a spurious error at teardown
             pass
         finally:
+            for worker_id in attached:
+                try:
+                    await self.coordinator.detach_worker(worker_id)
+                except Exception:
+                    pass  # teardown: re-issue is best-effort; reaper covers
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
                 pass
 
-    async def _dispatch(self, request: dict, writer: asyncio.StreamWriter) -> None:
+    async def _dispatch(
+        self, request: dict, writer: asyncio.StreamWriter, attached: set
+    ) -> None:
         op = request.get("op")
         coord = self.coordinator
         if op == "submit":
@@ -177,6 +212,38 @@ class SweepServer:
         elif op == "cancel":
             status = await coord.cancel(self._sweep_id(request))
             await self._send(writer, {"ok": True, **status})
+        elif op == "attach":
+            name = request.get("name") or ""
+            if not isinstance(name, str):
+                raise ValueError("attach 'name' must be a string")
+            granted = coord.attach_worker(
+                name=name, version=request.get("version")
+            )
+            attached.add(granted["worker_id"])
+            await self._send(writer, {"ok": True, **granted})
+        elif op == "lease":
+            task = await coord.lease_task(self._worker_id(request))
+            await self._send(writer, {"ok": True, "task": task})
+        elif op == "complete":
+            worker_id = self._worker_id(request)
+            sweep_id = self._sweep_id(request)
+            if "error" in request:
+                outcome = await coord.fail_task(
+                    worker_id, sweep_id, str(request["error"])
+                )
+            else:
+                outcome = await coord.complete_task(
+                    worker_id, sweep_id, request.get("entry")
+                )
+            await self._send(writer, {"ok": True, **outcome})
+        elif op == "heartbeat":
+            beat = await coord.heartbeat_worker(self._worker_id(request))
+            await self._send(writer, {"ok": True, **beat})
+        elif op == "detach":
+            worker_id = self._worker_id(request)
+            await coord.detach_worker(worker_id)
+            attached.discard(worker_id)
+            await self._send(writer, {"ok": True})
         else:
             raise ValueError(f"unknown op {op!r}")
 
@@ -186,3 +253,10 @@ class SweepServer:
         if not isinstance(sweep_id, str) or not sweep_id:
             raise ValueError(f"{request.get('op')} needs a 'sweep_id'")
         return sweep_id
+
+    @staticmethod
+    def _worker_id(request: dict) -> str:
+        worker_id = request.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ValueError(f"{request.get('op')} needs a 'worker_id'")
+        return worker_id

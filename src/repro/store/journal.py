@@ -39,10 +39,12 @@ import hashlib
 import json
 import os
 import pathlib
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro._version import __version__
 from repro.store.backends import LocalDirBackend, StoreBackend
+from repro.store.faults import TransientStoreError
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a pipeline cycle
     from repro.pipeline.runner import TaskOutcome
@@ -151,6 +153,10 @@ class SweepJournal:
         self._lease_payload: Optional[bytes] = None
         self._appended = False
         self._header: Optional[dict] = None
+        #: Coordinates already durably journaled through *this* stream —
+        #: lazily seeded from a replay on the first append, so a re-issued
+        #: task whose original append already landed is never written twice.
+        self._journaled: Optional[set] = None
 
     @property
     def path(self) -> pathlib.Path:
@@ -276,11 +282,21 @@ class SweepJournal:
         if self._locked:
             # Conditional: only our own lease may be removed.  Should a
             # pathological race ever hand the slot to another holder,
-            # releasing must not evict them on top of it.
+            # releasing must not evict them on top of it.  Transients are
+            # retried *here* rather than left to the caller: a release
+            # lost to a flaky link would strand a lease naming our own
+            # (live) pid — which no later open can ever reclaim.
             if self._lease_payload is not None:
-                self._backend.delete_if_equals(
-                    self._lock_key, self._lease_payload
-                )
+                for attempt in range(50):
+                    try:
+                        self._backend.delete_if_equals(
+                            self._lock_key, self._lease_payload
+                        )
+                        break
+                    except TransientStoreError:
+                        if attempt == 48:
+                            raise
+                        time.sleep(0.002)
             self._locked = False
             self._lease_payload = None
 
@@ -364,8 +380,24 @@ class SweepJournal:
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
-    def append_task(self, outcome: "TaskOutcome") -> None:
-        """Durably record one completed task (backend-durable append)."""
+    def append_task(self, outcome: "TaskOutcome") -> bool:
+        """Durably record one completed task (backend-durable append).
+
+        Idempotent per task coordinate: appending an outcome whose
+        ``(point, trials)`` is already in the stream is a no-op returning
+        ``False``.  This closes the fleet's double-append window — a
+        re-issued task whose *original* worker's append landed after its
+        lease expired must not journal a second row (the content would be
+        identical by the seeding discipline, but "zero duplicate rows" is
+        the exactly-once contract the fleet harness pins).  The dedup set
+        is seeded from a one-time replay on the first append, so it also
+        covers rows written by a previous process under ``resume``.
+        """
+        coord = (outcome.backend_index, outcome.trials)
+        if self._journaled is None:
+            self._journaled = set(self.completed_outcomes())
+        if coord in self._journaled:
+            return False
         entry = task_entry(outcome)
         if not self._appended:
             # Only the first append can land after a foreign crash's torn
@@ -377,6 +409,8 @@ class SweepJournal:
         self._backend.append_line(
             self._key, json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
         )
+        self._journaled.add(coord)
+        return True
 
     def _trim_torn_tail(self) -> None:
         """Repair a newline-less final line before appending.

@@ -1,0 +1,631 @@
+"""Fleet conformance suite: the chaos contract of the remote worker fleet.
+
+This file certifies the headline claim of ``repro.service.fleet``: a
+sweep distributed over a fleet of unreliable workers produces a
+:class:`~repro.pipeline.runner.SweepResult` **bit-identical** to a
+single-machine run, with **zero duplicated journal rows**, no matter how
+workers die.  Every fleet test runs over every backend family — local
+directory, in-memory space, object store — *and* each of them wrapped in
+a :class:`~repro.store.faults.FaultyBackend` (deterministic pre-op
+transients + latency), so the lease/journal machinery is certified
+including an unreliable store link.
+
+The chaos repertoire (all in-process, over real TCP):
+
+* a healthy fleet draining a sweep with no local executor at all;
+* a worker **killed mid-task** (lease in hand, connection dropped) — its
+  coordinate re-issues immediately via the server's disconnect detach;
+* a worker **partitioned with the result in hand** (executed, died before
+  ``complete``) — the lease-TTL path re-issues it;
+* a **zombie** whose store lease expires while it still holds the (bit-
+  identical) outcome: the re-issued successor lands first, the late
+  original is answered ``duplicate: true`` and journals nothing — the
+  double-append window of the ISSUE, exercised end-to-end;
+* local executor slots and fleet workers draining one pool together.
+
+Also here, because they certify the same exactly-once story one layer
+down: the :class:`~repro.store.journal.SweepJournal` double-append
+regression (a re-issued task's original append landing *after* lease
+expiry, scripted with a ``FaultyBackend`` latency fault) and a
+hypothesis property test driving random kill/re-issue schedules over a
+random grid to the canonical serial record order.
+
+Run directly (``pytest tests/fleet_conformance.py``) or via the CI
+``fleet`` matrix job (``REPRO_CONFORMANCE_BACKEND=dir|mem|s3``).
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+from collections import deque
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.pipeline.runner import ParallelSweepRunner, execute_payload, execute_task
+from repro.service import FleetWorker, SweepServer, TaskQueue
+from repro.service.client import SweepClient, submit_and_follow
+from repro.store import (
+    ArtifactStore,
+    FakeObjectClient,
+    Fault,
+    FaultyBackend,
+    LocalDirBackend,
+    MemoryBackend,
+    ObjectStoreBackend,
+    SweepJournal,
+    TransientStoreError,
+    reset_memory_spaces,
+)
+from repro.store.journal import journal_key, journal_spec_digest
+
+# ----------------------------------------------------------------------
+# The backend matrix (same shape as tests/backend_conformance.py)
+# ----------------------------------------------------------------------
+_FAMILIES = ("dir", "mem", "s3")
+_ONLY = os.environ.get("REPRO_CONFORMANCE_BACKEND")
+
+_names = []
+for fam in _FAMILIES if _ONLY is None else (_ONLY,):
+    _names.extend([fam, f"{fam}+faults"])
+
+#: Short lease terms so chaos tests re-issue in tenths of a second.  The
+#: heartbeat timeout is deliberately generous: heartbeats share the GIL
+#: with executing tasks, and a starved beat must mean *re-attach churn*
+#: at worst, never a spurious test failure.
+LEASE_TTL = 0.4
+HEARTBEAT_TIMEOUT = 5.0
+
+
+def _make_backend(name, tmp_path, mem_counter=[0]):
+    fam, _, faulty = name.partition("+")
+    if fam == "dir":
+        inner = LocalDirBackend(tmp_path / "store")
+    elif fam == "mem":
+        mem_counter[0] += 1
+        space = f"fleet-conformance-{mem_counter[0]}"
+        reset_memory_spaces(space)
+        inner = MemoryBackend(space)
+    elif fam == "s3":
+        inner = ObjectStoreBackend("bucket", "tier", client=FakeObjectClient())
+    else:  # pragma: no cover - config error
+        raise ValueError(f"unknown backend family {fam!r}")
+    if faulty:
+        # A flaky-but-recoverable link: every op sleeps a little and the
+        # first call of each primitive raises a retryable transient
+        # *before* touching the store.  Every store touch the fleet path
+        # makes (journal open/append/close, lease claim/renew/release,
+        # planner probes) sits behind bounded retries, so these faults
+        # must degrade to latency — never to a failed job or a duplicate
+        # journal row.
+        return FaultyBackend(
+            inner,
+            faults=tuple(
+                Fault(op=op, nth=1, kind="raise")
+                for op in (
+                    "put_atomic", "put_if_absent", "get", "stat",
+                    "list_prefix", "delete", "delete_if_equals",
+                    "append_line", "read_from",
+                )
+            ),
+            latency=0.0002,
+        )
+    return inner
+
+
+@pytest.fixture(params=_names)
+def backend(request, tmp_path):
+    b = _make_backend(request.param, tmp_path)
+    yield b
+    inner = b.inner if isinstance(b, FaultyBackend) else b
+    if isinstance(inner, MemoryBackend):
+        reset_memory_spaces(inner.name)
+
+
+@pytest.fixture(params=_FAMILIES if _ONLY is None else (_ONLY,))
+def plain_backend(request, tmp_path):
+    """The un-faulted variants only (tests that also execute tasks
+    *locally* on the server: calibration writes do not sit behind the
+    fleet's retry discipline, and scripting faults into them tests the
+    store stack, not the fleet)."""
+    b = _make_backend(request.param, tmp_path)
+    yield b
+    if isinstance(b, MemoryBackend):
+        reset_memory_spaces(b.name)
+
+
+def op(fn, *args, **kwargs):
+    """Bounded-retry helper for *test-side* backend reads (the client
+    discipline the backend contract asks for)."""
+    for _ in range(50):
+        try:
+            return fn(*args, **kwargs)
+        except TransientStoreError:
+            continue
+    raise AssertionError("transient storm outlasted 50 retries")
+
+
+# ----------------------------------------------------------------------
+# Spec + assertion helpers
+# ----------------------------------------------------------------------
+def small_spec(**overrides):
+    defaults = dict(
+        backends=(
+            BackendSpec(kind="device", name="quito", gate_noise=False),
+            BackendSpec(kind="device", name="lima", gate_noise=False),
+        ),
+        circuits=(CircuitSpec(root=0),),
+        shots=(1000,),
+        methods=("Bare", "CMC"),
+        trials=2,
+        seed=17,
+        full_max_qubits=5,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+_reference_cache = {}
+
+
+def reference_records(spec):
+    """The single-machine (serial, storeless) run — the bits every fleet
+    permutation must reproduce exactly.  Cached per spec digest."""
+    digest = journal_spec_digest(spec)
+    if digest not in _reference_cache:
+        _reference_cache[digest] = run_sweep(spec).records
+    return _reference_cache[digest]
+
+
+def journal_task_rows(backend, spec):
+    """Raw journal task rows for ``spec`` read straight off the backend
+    (the ground truth the zero-duplicate assertion is made against)."""
+    data, _ = op(backend.read_from, journal_key(spec), 0)
+    rows = [json.loads(line) for line in data.decode("utf-8").splitlines() if line.strip()]
+    return [r for r in rows if "point" in r]
+
+
+def assert_exactly_once_journal(backend, spec):
+    rows = journal_task_rows(backend, spec)
+    coords = [(r["point"], tuple(r["trials"])) for r in rows]
+    assert len(coords) == len(set(coords)), (
+        f"duplicate journal rows: {sorted(c for c in coords if coords.count(c) > 1)}"
+    )
+    assert len(coords) == spec.num_tasks
+
+
+def run_fleet_sweep(
+    backend,
+    spec,
+    worker_kwargs,
+    server_workers=0,
+    lease_ttl=LEASE_TTL,
+    heartbeat_timeout=HEARTBEAT_TIMEOUT,
+):
+    """Serve ``backend``, attach one :class:`FleetWorker` per kwargs dict,
+    submit ``spec`` and follow it to completion.
+
+    Returns ``(records, workers, reissued)``.  Workers run in threads
+    (each with its own event loop and TCP connection — real wire framing,
+    real disconnects); the submitting client follows from a third thread,
+    exactly the production topology, just in one process.
+    """
+
+    async def body():
+        server = await SweepServer(
+            ArtifactStore(backend),
+            port=0,
+            workers=server_workers,
+            lease_ttl=lease_ttl,
+            heartbeat_timeout=heartbeat_timeout,
+        ).start()
+        stop = threading.Event()
+        workers = [
+            FleetWorker(port=server.port, poll=0.02, **kwargs)
+            for kwargs in worker_kwargs
+        ]
+        threads = [
+            threading.Thread(target=w.run_sync, args=(stop.is_set,), daemon=True)
+            for w in workers
+        ]
+        for t in threads:
+            t.start()
+        try:
+            result = await asyncio.to_thread(
+                submit_and_follow, spec, "127.0.0.1", server.port
+            )
+            reissued = max(j.reissued for j in server.coordinator.jobs())
+        finally:
+            stop.set()
+            # join via to_thread: a blocking join here would freeze the
+            # event loop hosting the server, so workers' final detach
+            # exchanges could never be answered (self-deadlock until the
+            # join timeout)
+            for t in threads:
+                await asyncio.to_thread(t.join, 30)
+            await server.close()
+        return result.records, workers, reissued
+
+    return asyncio.run(body())
+
+
+# ----------------------------------------------------------------------
+# The fleet chaos contract (backend x faults matrix)
+# ----------------------------------------------------------------------
+class TestFleetConformance:
+    def test_healthy_fleet_bit_identical(self, backend):
+        """Fleet-only execution (no local slots): three remote workers
+        drain the sweep; records match the serial run bit-for-bit and the
+        journal holds each coordinate exactly once."""
+        spec = small_spec()
+        records, workers, _ = run_fleet_sweep(
+            backend, spec, [dict(name=f"w{i}") for i in range(3)]
+        )
+        assert records == reference_records(spec)
+        assert_exactly_once_journal(backend, spec)
+        assert sum(w.report.completed for w in workers) == spec.num_tasks
+        assert all(not w.report.died for w in workers)
+
+    def test_kill_worker_mid_task(self, backend):
+        """A worker dies holding a lease, before doing any work.  The
+        dropped connection detaches it, its coordinate re-issues, and the
+        survivor finishes the sweep bit-identically."""
+        spec = small_spec()
+        records, workers, reissued = run_fleet_sweep(
+            backend,
+            spec,
+            [dict(name="killer", die_after_leases=1), dict(name="survivor")],
+        )
+        killer, survivor = workers
+        assert killer.report.died and killer.report.completed == 0
+        assert records == reference_records(spec)
+        assert_exactly_once_journal(backend, spec)
+        assert reissued >= 1
+        assert survivor.report.completed == spec.num_tasks
+
+    def test_partition_with_result_in_hand(self, backend):
+        """A worker executes its task fully, then dies *without*
+        reporting it — the exact window the lease TTL exists for.  The
+        coordinate re-executes elsewhere; bit-determinism makes the
+        re-execution indistinguishable."""
+        spec = small_spec()
+        records, workers, reissued = run_fleet_sweep(
+            backend,
+            spec,
+            [dict(name="ghost", die_before_complete=1), dict(name="survivor")],
+        )
+        ghost, survivor = workers
+        assert ghost.report.died and ghost.report.completed == 0
+        assert records == reference_records(spec)
+        assert_exactly_once_journal(backend, spec)
+        assert reissued >= 1
+        assert survivor.report.completed == spec.num_tasks
+
+    def test_late_original_complete_is_duplicate(self, backend):
+        """The double-append window, end-to-end: a zombie's store lease
+        expires, the coordinate re-issues and a successor's outcome lands
+        first; the zombie's late ``complete`` — same bits, second arrival
+        — must answer ``duplicate: true`` and journal **nothing**."""
+        spec = small_spec()
+
+        async def body():
+            server = await SweepServer(
+                ArtifactStore(backend),
+                port=0,
+                workers=0,
+                lease_ttl=0.25,
+                # keep the zombie *attached* while its lease dies: the
+                # store-lease-expiry reaper branch must fire, not eviction
+                heartbeat_timeout=30.0,
+            ).start()
+            try:
+                async with SweepClient(port=server.port) as zombie, \
+                        SweepClient(port=server.port) as healthy:
+                    z = (await zombie.attach(name="zombie"))["worker_id"]
+                    h = (await healthy.attach(name="healthy"))["worker_id"]
+                    sweep_id = await healthy.submit(spec)
+                    task = None
+                    while task is None:
+                        task = await zombie.lease(z)
+                        if task is None:
+                            await asyncio.sleep(0.02)
+                    entry = await asyncio.to_thread(execute_payload_entry, task)
+                    zombie_coord = (task["point"], tuple(task["trials"]))
+                    # go silent past the TTL: the reaper re-issues the coord
+                    await asyncio.sleep(0.6)
+                    # the healthy worker drains every lease it can get —
+                    # including the re-issued zombie coordinate — but holds
+                    # the completions until it has seen that coordinate, so
+                    # the job is still running when the zombie wakes up
+                    seen = {}
+                    deadline = time.monotonic() + 30
+                    while zombie_coord not in seen:
+                        assert time.monotonic() < deadline, "re-issue never happened"
+                        t = await healthy.lease(h)
+                        if t is None:
+                            await asyncio.sleep(0.02)
+                            continue
+                        seen[(t["point"], tuple(t["trials"]))] = t
+                    verdict = await healthy.complete(
+                        h, sweep_id, await asyncio.to_thread(
+                            execute_payload_entry, seen.pop(zombie_coord)
+                        )
+                    )
+                    assert verdict["accepted"] and not verdict["duplicate"]
+                    # now the late original arrives: deduplicated, not appended
+                    late = await zombie.complete(z, sweep_id, entry)
+                    assert late["duplicate"] is True
+                    assert late["accepted"] is False
+                    # drain the rest and finish the sweep
+                    for t in seen.values():
+                        await healthy.complete(
+                            h, sweep_id,
+                            await asyncio.to_thread(execute_payload_entry, t),
+                        )
+                    while True:
+                        t = await healthy.lease(h)
+                        if t is None:
+                            status = await healthy.status(sweep_id)
+                            if status["state"] not in ("queued", "running"):
+                                break
+                            await asyncio.sleep(0.02)
+                            continue
+                        await healthy.complete(
+                            h, sweep_id,
+                            await asyncio.to_thread(execute_payload_entry, t),
+                        )
+                    response = await healthy.request(op="results", sweep_id=sweep_id)
+                    reissued = server.coordinator.job(sweep_id).reissued
+                    return response["result"], reissued
+            finally:
+                await server.close()
+
+        result_dict, reissued = asyncio.run(body())
+        from repro.pipeline.runner import SweepResult
+
+        assert SweepResult.from_dict(result_dict).records == reference_records(spec)
+        assert_exactly_once_journal(backend, spec)
+        assert reissued >= 1
+
+
+def execute_payload_entry(task):
+    """Run one wire assignment storeless and return its journal entry —
+    what a :class:`FleetWorker`'s ``complete`` frame carries."""
+    from repro.store.journal import task_entry
+
+    payload = dict(task)
+    payload["store"] = None
+    return task_entry(execute_payload(payload))
+
+
+class TestMixedPool:
+    def test_local_and_fleet_drain_one_pool(self, plain_backend):
+        """A local executor slot and two remote workers share one
+        dispatch pool; the merged journal is still exactly-once and the
+        records bit-identical."""
+        spec = small_spec()
+        records, workers, _ = run_fleet_sweep(
+            plain_backend,
+            spec,
+            [dict(name="w0"), dict(name="w1")],
+            server_workers=1,
+        )
+        assert records == reference_records(spec)
+        assert_exactly_once_journal(plain_backend, spec)
+        fleet_done = sum(w.report.completed for w in workers)
+        assert 0 <= fleet_done <= spec.num_tasks
+
+    def test_fleet_then_warm_resubmit(self, plain_backend):
+        """A fleet-executed sweep journals exactly like a local one: a
+        resumed re-submit replays every row without re-executing."""
+        spec = small_spec()
+        records, _, _ = run_fleet_sweep(
+            plain_backend, spec, [dict(name="w0")]
+        )
+        assert records == reference_records(spec)
+
+        async def resubmit():
+            server = await SweepServer(
+                ArtifactStore(plain_backend), port=0, workers=1
+            ).start()
+            try:
+                result = await asyncio.to_thread(
+                    submit_and_follow,
+                    spec,
+                    "127.0.0.1",
+                    server.port,
+                    True,  # resume
+                )
+                job = server.coordinator.jobs()[0]
+                return result.records, job.plan_counts
+            finally:
+                await server.close()
+
+        replayed_records, plan = asyncio.run(resubmit())
+        assert replayed_records == reference_records(spec)
+        assert plan["journaled"] == spec.num_tasks
+        assert_exactly_once_journal(plain_backend, spec)
+
+
+# ----------------------------------------------------------------------
+# SweepJournal double-append regression (satellite: the journal layer)
+# ----------------------------------------------------------------------
+class TestJournalReissueDedup:
+    def _spec_store_queue(self, latency_fault=None):
+        reset_memory_spaces("fleet-journal-dedup")
+        inner = MemoryBackend("fleet-journal-dedup")
+        backend = (
+            FaultyBackend(inner, faults=(latency_fault,))
+            if latency_fault is not None
+            else inner
+        )
+        spec = small_spec()
+        return spec, ArtifactStore(backend), backend
+
+    def test_reissued_append_after_lease_expiry_dedups(self):
+        """The ISSUE's double-append window, at the journal layer: the
+        original worker's append is delayed (scripted latency fault) past
+        its lease expiry; the task re-issues, and the successor's append
+        of the same coordinate must be refused — one row, not two."""
+        # the first task append stalls past the TTL (the header is a
+        # put_atomic, so append_line call #1 IS the original's task row)
+        fault = Fault(op="append_line", nth=1, kind="latency", delay=0.3)
+        spec, store, backend = self._spec_store_queue(latency_fault=fault)
+        digest = journal_spec_digest(spec)
+        queue = TaskQueue(backend, digest, ttl=0.1)
+        journal = SweepJournal.open(store, spec)
+        try:
+            coord = spec.task_coordinates()[0]
+            assert queue.claim(coord, "w1")
+            point, trials = coord
+            outcome = execute_task(spec, point, trials, None)
+            # the append lands — late, after the lease has already expired
+            assert journal.append_task(outcome) is True
+            assert queue.expired(coord)
+            assert queue.reclaim_expired() == [coord]
+            # re-issue: the successor claims, re-executes (bit-identical)
+            # and reports the same coordinate — deduplicated, not appended
+            assert queue.claim(coord, "w2")
+            assert journal.append_task(outcome) is False
+            assert queue.release(coord, "w2")
+        finally:
+            journal.close()
+        rows = journal_task_rows(backend, spec)
+        assert len(rows) == 1
+        assert (rows[0]["point"], tuple(rows[0]["trials"])) == coord
+
+    def test_replay_dedups_out_of_band_duplicate_row(self):
+        """Belt three: even a duplicate row that somehow *landed* (e.g.
+        appended by a writer that lost its lease after the journal
+        closed) is collapsed on replay — resume neither re-executes nor
+        double-counts it."""
+        spec, store, backend = self._spec_store_queue()
+        clean = run_sweep(spec, store=store)
+        rows = journal_task_rows(backend, spec)
+        # replay a row verbatim onto the stream: the out-of-band append
+        duplicate = json.dumps(rows[0], sort_keys=True).encode("utf-8") + b"\n"
+        backend.append_line(journal_key(spec), duplicate)
+        resumed = run_sweep(spec, store=store, resume=True)
+        assert resumed.records == clean.records
+        assert resumed.records == reference_records(spec)
+
+    def test_session_record_is_idempotent(self):
+        """The session-level belt: delivering one coordinate's outcome
+        twice (original + re-issue) records and journals it once."""
+        spec, store, backend = self._spec_store_queue()
+        runner = ParallelSweepRunner(workers=1, store=store)
+        session = runner.open_session(spec)
+        try:
+            coord = session.pending[0]
+            args = session.task_args(coord)
+            outcome = execute_task(*args)
+            assert session.record(coord, outcome) == 1
+            assert session.record(coord, outcome) == 1  # idempotent
+            for other in list(session.pending):
+                if other == coord or other in session.outcomes:
+                    continue
+                session.record(other, execute_task(*session.task_args(other)))
+        finally:
+            session.close()
+        assert session.assemble().records == reference_records(spec)
+        assert_exactly_once_journal(backend, spec)
+
+
+# ----------------------------------------------------------------------
+# Property: random kill/re-issue schedules converge (satellite)
+# ----------------------------------------------------------------------
+_prop_counter = [0]
+
+
+def _prop_spec(seed, trials):
+    return SweepSpec(
+        backends=(
+            BackendSpec(kind="device", name="quito", gate_noise=False),
+            BackendSpec(kind="device", name="lima", gate_noise=False),
+        ),
+        circuits=(CircuitSpec(root=0),),
+        shots=(200,),
+        methods=("Bare",),
+        trials=trials,
+        seed=seed,
+        full_max_qubits=5,
+    )
+
+
+class TestReissueScheduleProperty:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        trials=st.integers(min_value=1, max_value=2),
+        data=st.data(),
+    )
+    def test_random_kill_reissue_schedules_converge(self, seed, trials, data):
+        """Any interleaving of lease / kill-and-re-issue / deliver /
+        deliver-twice events converges to the canonical serial record
+        order of ``run_sweep``: execution order, re-execution and
+        duplicate delivery are all invisible in the assembled bits."""
+        spec = _prop_spec(seed, trials)
+        serial = run_sweep(spec).records
+
+        _prop_counter[0] += 1
+        space = f"fleet-prop-{_prop_counter[0]}"
+        reset_memory_spaces(space)
+        backend = MemoryBackend(space)
+        store = ArtifactStore(backend)
+
+        session = ParallelSweepRunner(workers=1, store=store).open_session(spec)
+        try:
+            pending = deque(session.pending)
+            in_hand = {}  # coord -> executed outcome, not yet delivered
+            steps = 0
+            while len(session.outcomes) < session.total and steps < 40:
+                steps += 1
+                choices = []
+                if pending:
+                    choices.append("lease")
+                if in_hand:
+                    choices.extend(["deliver", "deliver_twice", "kill_reissue"])
+                action = data.draw(st.sampled_from(choices), label="action")
+                if action == "lease":
+                    index = data.draw(
+                        st.integers(0, len(pending) - 1), label="which"
+                    )
+                    coord = pending[index]
+                    del pending[index]
+                    # a re-executed re-issue is bit-identical by construction
+                    in_hand[coord] = execute_task(*session.task_args(coord))
+                elif action == "kill_reissue":
+                    coord = data.draw(
+                        st.sampled_from(sorted(in_hand)), label="victim"
+                    )
+                    pending.append(coord)  # re-issued; original still in hand
+                else:
+                    coord = data.draw(
+                        st.sampled_from(sorted(in_hand)), label="late"
+                    )
+                    outcome = in_hand.pop(coord)
+                    session.record(coord, outcome)
+                    if action == "deliver_twice":
+                        session.record(coord, outcome)
+            # drain deterministically: deliver everything still in hand,
+            # then execute whatever was never leased
+            for coord, outcome in list(in_hand.items()):
+                session.record(coord, outcome)
+            for coord in list(pending):
+                if coord not in session.outcomes:
+                    session.record(coord, execute_task(*session.task_args(coord)))
+        finally:
+            session.close()
+        assert session.assemble().records == serial
+        rows = journal_task_rows(backend, spec)
+        coords = [(r["point"], tuple(r["trials"])) for r in rows]
+        assert len(coords) == len(set(coords)) == spec.num_tasks
+        reset_memory_spaces(space)

@@ -6,7 +6,9 @@ actionable one-line message — never a traceback:
 * ``--resume`` without ``--store`` (flag error);
 * a journal whose spec digest does not match the requested spec;
 * malformed ``--spec`` JSON (and structurally invalid spec files);
-* an unknown ``repro store`` subcommand.
+* an unknown ``repro store`` subcommand;
+* ``repro worker`` pointed at nonsense (bad ``--connect`` syntax, a
+  dead server, an invalid ``--store`` locator) — ISSUE 6.
 
 Plus the read-only maintenance surface: ``repro store gc --dry-run``
 reports what would be deleted without touching the store, and store-backed
@@ -107,6 +109,43 @@ class TestStoreSubcommandErrors:
         assert exc.value.code == 2
         err = capsys.readouterr().err
         assert "repro submit: error:" in err
+        assert "Traceback" not in err
+
+
+class TestWorkerErrors:
+    def test_connect_without_port_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["worker", "--connect", "justahost", "--quiet"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro worker: error:" in err and "HOST:PORT" in err
+        assert "Traceback" not in err
+
+    def test_connect_with_non_integer_port_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["worker", "--connect", "localhost:http", "--quiet"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "port must be an integer" in err
+        assert "Traceback" not in err
+
+    def test_worker_without_server_is_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["worker", "--connect", "127.0.0.1:1", "--quiet"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro worker: error:" in err
+        assert "is `repro serve` running?" in err
+        assert "Traceback" not in err
+
+    def test_bad_store_locator_exits_2(self, capsys):
+        # validated before any connection is attempted
+        with pytest.raises(SystemExit) as exc:
+            main(["worker", "--connect", "127.0.0.1:1",
+                  "--store", "bogus://nope", "--quiet"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro worker: error:" in err
         assert "Traceback" not in err
 
 

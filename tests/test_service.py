@@ -23,7 +23,11 @@ from repro.pipeline import (
     SweepSpec,
     run_sweep,
 )
-from repro.pipeline.runner import ParallelSweepRunner
+from repro.pipeline.runner import (
+    ParallelSweepRunner,
+    execute_payload,
+    task_payload,
+)
 from repro.service import (
     ServiceError,
     SweepClient,
@@ -646,3 +650,131 @@ class TestServerProtocol:
         status, final = asyncio.run(body())
         assert status["state"] == "cancelled"
         assert final["state"] == "cancelled"
+
+
+# ----------------------------------------------------------------------
+# Fleet worker verbs: structured errors, never dropped connections
+# ----------------------------------------------------------------------
+class TestFleetWireErrors:
+    def test_malformed_worker_frames_answer_not_drop(self, tmp_path):
+        """Every bad lease/complete frame gets a structured ``{"ok":
+        false}`` answer and the connection keeps working afterwards."""
+
+        async def body():
+            server = await SweepServer(tmp_path / "store", port=0).start()
+            try:
+                async with SweepClient(port=server.port) as client:
+                    # lease without a worker_id
+                    with pytest.raises(ServiceError, match="worker_id"):
+                        await client.request(op="lease")
+                    # lease before attaching
+                    with pytest.raises(ServiceError, match="unknown worker"):
+                        await client.lease("w99")
+                    # attach with a non-string name
+                    with pytest.raises(ServiceError, match="name"):
+                        await client.request(op="attach", name=7)
+                    granted = await client.attach()
+                    wid = granted["worker_id"]
+                    # a worker's lease terms ride the grant
+                    assert granted["lease_ttl"] > 0
+                    assert granted["heartbeat_timeout"] > granted["lease_ttl"]
+                    # complete without an entry object
+                    with pytest.raises(ServiceError, match="'entry' object"):
+                        await client.complete(wid, "sweep-1", None)
+                    # complete with a nonsense entry
+                    with pytest.raises(
+                        ServiceError, match="malformed task entry"
+                    ):
+                        await client.complete(wid, "sweep-1", {"bogus": 1})
+                    # a well-formed entry against a sweep that isn't there
+                    spec = small_spec(trials=1)
+                    coord = spec.task_coordinates()[0]
+                    entry = task_entry(
+                        execute_payload(task_payload(spec, coord, None))
+                    )
+                    with pytest.raises(ServiceError, match="unknown sweep"):
+                        await client.complete(wid, "nope-1", entry)
+                    # ...and after all that abuse the same connection still
+                    # speaks every worker verb
+                    assert await client.lease(wid) is None
+                    beat = await client.heartbeat(wid)
+                    assert beat["leases"] == 0
+                    await client.detach(wid)
+            finally:
+                await server.close()
+
+        asyncio.run(body())
+
+    def test_attach_version_mismatch_is_structured_and_recoverable(
+        self, tmp_path
+    ):
+        """A worker from another engine version is refused with a message
+        naming both versions — the connection is not dropped, and a
+        correct attach on the same socket succeeds."""
+
+        async def body():
+            server = await SweepServer(tmp_path / "store", port=0).start()
+            try:
+                async with SweepClient(port=server.port) as client:
+                    with pytest.raises(
+                        ServiceError, match="does not match server"
+                    ):
+                        await client.attach(version="0.0.1")
+                    granted = await client.attach(name="current")
+                    return granted
+            finally:
+                await server.close()
+
+        granted = asyncio.run(body())
+        assert granted["worker_id"].endswith("-current")
+
+    def test_heartbeat_timeout_evicts_then_reattach_recovers(self, tmp_path):
+        """A silent worker is evicted after the heartbeat timeout: its
+        next lease is refused with the eviction explanation, and a fresh
+        attach (what :class:`FleetWorker` does on eviction) gets a new
+        identity."""
+
+        async def body():
+            server = await SweepServer(
+                tmp_path / "store",
+                port=0,
+                lease_ttl=0.05,
+                heartbeat_timeout=0.1,
+            ).start()
+            try:
+                async with SweepClient(port=server.port) as client:
+                    granted = await client.attach(name="sleepy")
+                    wid = granted["worker_id"]
+                    await asyncio.sleep(0.5)  # miss every heartbeat
+                    with pytest.raises(ServiceError, match="unknown worker"):
+                        await client.lease(wid)
+                    again = await client.attach(name="sleepy")
+                    assert again["worker_id"] != wid
+            finally:
+                await server.close()
+
+        asyncio.run(body())
+
+    def test_heartbeats_keep_a_worker_attached(self, tmp_path):
+        """The inverse of eviction: a worker that beats on time survives
+        many timeout windows."""
+
+        async def body():
+            server = await SweepServer(
+                tmp_path / "store",
+                port=0,
+                lease_ttl=0.05,
+                heartbeat_timeout=0.1,
+            ).start()
+            try:
+                async with SweepClient(port=server.port) as client:
+                    wid = (await client.attach())["worker_id"]
+                    for _ in range(10):
+                        await asyncio.sleep(0.04)
+                        await client.heartbeat(wid)
+                    assert await client.lease(wid) is None  # still known
+                    assert server.coordinator.fleet()[0]["worker_id"] == wid
+            finally:
+                await server.close()
+
+        asyncio.run(body())
