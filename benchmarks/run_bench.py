@@ -38,6 +38,7 @@ PERF_BENCHES = [
     "test_bench_store.py",
     "test_bench_service.py",
     "test_bench_fleet.py",
+    "test_bench_load.py",
 ]
 
 

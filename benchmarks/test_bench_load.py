@@ -1,0 +1,367 @@
+"""Service load proof (ISSUE 7): sustained load, fan-out, latency, admission.
+
+Four operational claims of the hardened multi-tenant service, measured
+against a live in-process :class:`~repro.service.server.SweepServer`
+(real TCP, real protocol frames):
+
+* **sustained submissions** — a burst of ~30 distinct sweeps admits at a
+  sustained rate and every one of them completes, with zero request
+  errors;
+* **watcher fan-out** — 120 concurrent watch subscriptions on one sweep
+  each receive every journal row exactly once (the bounded write-buffer
+  policy never silently drops a row from a healthy consumer);
+* **request latency** — p50/p99 over ~200 ``status`` round-trips stay
+  under the gate (the admission/backpressure machinery must not tax the
+  hot path);
+* **admission thresholds** — an over-quota tenant and a saturated
+  backlog are refused *structurally* (``kind`` + ``retry_after``), while
+  other tenants' submissions proceed on the same server.
+
+The CI load-smoke job gates on "no request errors and p99 under
+threshold"; the latency caps are strict only under ``run_bench.py``
+(``REPRO_BENCH_STRICT=1``) so noisy shared runners never gate merges.
+Machine-readable blobs route to ``BENCH_load.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec
+from repro.service import SweepServer, TenantQuota
+from repro.service.client import ServiceError, SweepClient
+from repro.store import ArtifactStore, MemoryBackend, reset_memory_spaces
+
+from .conftest import RESULTS_DIR, run_once
+
+SEED = 47
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+
+#: p99 status round-trip gate (seconds): the CI smoke's red line
+P99_CAP = 0.25 if STRICT else 5.0
+
+SUBMISSIONS = 30
+WATCHERS = 120
+STATUS_REQUESTS = 200
+
+
+def _tiny_spec(seed: int) -> SweepSpec:
+    """One-task sweep: submission/admission overhead dominates, which is
+    exactly what a load test of the *service* should measure."""
+    return SweepSpec(
+        backends=(BackendSpec(kind="device", name="quito", gate_noise=False),),
+        circuits=(CircuitSpec(root=0),),
+        shots=(200,),
+        methods=("Bare",),
+        trials=1,
+        seed=seed,
+        full_max_qubits=5,
+    )
+
+
+def _fanout_spec() -> SweepSpec:
+    return SweepSpec(
+        backends=(
+            BackendSpec(kind="device", name="quito", gate_noise=False),
+            BackendSpec(kind="device", name="lima", gate_noise=False),
+        ),
+        circuits=(CircuitSpec(root=0),),
+        shots=(200,),
+        methods=("Bare",),
+        trials=6,
+        seed=SEED,
+        full_max_qubits=5,
+    )
+
+
+def _store(space: str) -> ArtifactStore:
+    reset_memory_spaces(space)
+    return ArtifactStore(MemoryBackend(space))
+
+
+def _percentile(sorted_vals, q: float) -> float:
+    return sorted_vals[min(len(sorted_vals) - 1, int(q * (len(sorted_vals) - 1)))]
+
+
+def _blob(name: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {"name": name, "artifact": "BENCH_load.json", "strict": STRICT}
+    record.update(payload)
+    (RESULTS_DIR / f"{name}.bench.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+def test_bench_load_sustained_submissions(benchmark, emit):
+    """~30 distinct sweeps submitted back-to-back: sustained admission
+    rate, and every sweep runs to completion with zero request errors."""
+
+    def burst():
+        async def body():
+            server = await SweepServer(
+                _store("bench-load-submit"), port=0, workers=2
+            ).start()
+            errors = 0
+            try:
+                async with SweepClient(port=server.port, timeout=60.0) as c:
+                    t0 = time.perf_counter()
+                    ids = []
+                    for i in range(SUBMISSIONS):
+                        try:
+                            ids.append(await c.submit(_tiny_spec(1000 + i)))
+                        except (ServiceError, OSError):
+                            errors += 1
+                    submit_wall = time.perf_counter() - t0
+                    for sweep_id in ids:
+                        await c.results(sweep_id)
+                    drain_wall = time.perf_counter() - t0
+            finally:
+                await server.close()
+            return len(ids), errors, submit_wall, drain_wall
+
+        return asyncio.run(body())
+
+    admitted, errors, submit_wall, drain_wall = run_once(benchmark, burst)
+
+    assert errors == 0, f"{errors} submission(s) errored under load"
+    assert admitted == SUBMISSIONS
+    rate = admitted / submit_wall if submit_wall > 0 else float("inf")
+
+    _blob(
+        "load_sustained_submissions",
+        {
+            "workload": {"submissions": SUBMISSIONS, "tasks_per_sweep": 1},
+            "submissions_per_s": rate,
+            "submit_wall_s": submit_wall,
+            "drain_wall_s": drain_wall,
+            "request_errors": errors,
+        },
+    )
+    emit(
+        "load_sustained_submissions",
+        (
+            f"{admitted} sweeps admitted in {submit_wall:.2f}s "
+            f"({rate:.0f} submissions/s)\n"
+            f"all complete after {drain_wall:.2f}s; request errors: {errors}"
+        ),
+    )
+
+
+def test_bench_load_watch_fanout(benchmark, emit):
+    """120 concurrent watchers on one sweep: every watcher sees every
+    journal row exactly once, and nobody is silently dropped."""
+    spec = _fanout_spec()
+
+    def fanout():
+        async def body():
+            server = await SweepServer(
+                _store("bench-load-fanout"), port=0, workers=2
+            ).start()
+            errors = 0
+            try:
+                async with SweepClient(port=server.port, timeout=60.0) as ctl:
+                    sweep_id = await ctl.submit(spec)
+
+                    async def one_watcher():
+                        nonlocal errors
+                        rows = []
+                        try:
+                            async with SweepClient(
+                                port=server.port, timeout=60.0
+                            ) as c:
+                                async for row in c.watch(sweep_id):
+                                    rows.append(
+                                        (row["point"], tuple(row["trials"]))
+                                    )
+                        except (ServiceError, OSError):
+                            errors += 1
+                        return rows
+
+                    t0 = time.perf_counter()
+                    streams = await asyncio.gather(
+                        *(one_watcher() for _ in range(WATCHERS))
+                    )
+                    wall = time.perf_counter() - t0
+            finally:
+                await server.close()
+            return streams, errors, wall
+
+        return asyncio.run(body())
+
+    streams, errors, wall = run_once(benchmark, fanout)
+
+    assert errors == 0, f"{errors} watcher(s) errored under fan-out"
+    assert len(streams) == WATCHERS
+    for rows in streams:
+        assert len(rows) == spec.num_tasks, (
+            f"a watcher saw {len(rows)}/{spec.num_tasks} rows"
+        )
+        assert len(set(rows)) == spec.num_tasks  # exactly once, no dups
+    delivered = WATCHERS * spec.num_tasks
+
+    _blob(
+        "load_watch_fanout",
+        {
+            "workload": {"watchers": WATCHERS, "rows": spec.num_tasks},
+            "rows_delivered": delivered,
+            "rows_per_s": delivered / wall if wall > 0 else float("inf"),
+            "wall_s": wall,
+            "request_errors": errors,
+        },
+    )
+    emit(
+        "load_watch_fanout",
+        (
+            f"{WATCHERS} watchers x {spec.num_tasks} rows = {delivered} "
+            f"deliveries in {wall:.2f}s, each stream exactly-once\n"
+            f"request errors: {errors}"
+        ),
+    )
+
+
+def test_bench_load_status_latency(benchmark, emit):
+    """p50/p99 over ~200 status round-trips against a live server — the
+    CI smoke's latency gate."""
+    spec = _tiny_spec(SEED)
+
+    def probe():
+        async def body():
+            server = await SweepServer(
+                _store("bench-load-status"), port=0, workers=1
+            ).start()
+            latencies, errors = [], 0
+            try:
+                async with SweepClient(port=server.port, timeout=60.0) as c:
+                    sweep_id = await c.submit(spec)
+                    await c.results(sweep_id)  # a terminal job to query
+                    for _ in range(STATUS_REQUESTS):
+                        t0 = time.perf_counter()
+                        try:
+                            await c.status(sweep_id)
+                        except (ServiceError, OSError):
+                            errors += 1
+                        latencies.append(time.perf_counter() - t0)
+            finally:
+                await server.close()
+            return latencies, errors
+
+        return asyncio.run(body())
+
+    latencies, errors = run_once(benchmark, probe)
+    latencies.sort()
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+
+    # --- the CI gate: no request errors, p99 under threshold -----------
+    assert errors == 0, f"{errors} status request(s) errored"
+    assert p99 <= P99_CAP, (
+        f"status p99 {p99 * 1000:.1f}ms over the {P99_CAP * 1000:.0f}ms gate"
+    )
+
+    _blob(
+        "load_status_latency",
+        {
+            "workload": {"requests": STATUS_REQUESTS},
+            "p50_ms": p50 * 1000,
+            "p99_ms": p99 * 1000,
+            "p99_cap_ms": P99_CAP * 1000,
+            "request_errors": errors,
+        },
+    )
+    emit(
+        "load_status_latency",
+        (
+            f"{STATUS_REQUESTS} status round-trips: "
+            f"p50 {p50 * 1000:.2f}ms, p99 {p99 * 1000:.2f}ms "
+            f"(gate {P99_CAP * 1000:.0f}ms)\n"
+            f"request errors: {errors}"
+        ),
+    )
+
+
+def test_bench_load_admission_thresholds(benchmark, emit):
+    """Flood past the quota and the saturation cap: refusals must be
+    structured (kind + retry_after) and scoped — the other tenant's
+    submission proceeds on the same server."""
+
+    def flood():
+        async def body():
+            server = await SweepServer(
+                _store("bench-load-admission"),
+                port=0,
+                workers=0,  # a pure queue: backlog persists until cancel
+                max_pending_tasks=8,
+                tenant_quotas={"alice": TenantQuota(max_sweeps=2)},
+            ).start()
+            quota_refusals, saturated_refusals, hard_errors = [], [], 0
+            try:
+                async with SweepClient(port=server.port, timeout=60.0) as c:
+                    admitted = []
+                    # alice floods past her sweep quota
+                    for i in range(5):
+                        try:
+                            admitted.append(
+                                await c.submit(_tiny_spec(2000 + i), tenant="alice")
+                            )
+                        except ServiceError as exc:
+                            if exc.kind == "quota":
+                                quota_refusals.append(exc.retry_after)
+                            else:
+                                hard_errors += 1
+                    # bob is untouched by alice's refusals
+                    bob = await c.submit(_tiny_spec(2100), tenant="bob")
+                    admitted.append(bob)
+                    # the default tenant floods the global backlog cap
+                    for i in range(8):
+                        try:
+                            admitted.append(await c.submit(_tiny_spec(2200 + i)))
+                        except ServiceError as exc:
+                            if exc.kind == "saturated":
+                                saturated_refusals.append(exc.retry_after)
+                            else:
+                                hard_errors += 1
+                    for sweep_id in admitted:
+                        await c.cancel(sweep_id)
+            finally:
+                await server.close()
+            return len(admitted), quota_refusals, saturated_refusals, hard_errors
+
+        return asyncio.run(body())
+
+    admitted, quota_refusals, saturated_refusals, hard_errors = run_once(
+        benchmark, flood
+    )
+
+    assert hard_errors == 0, f"{hard_errors} refusal(s) were not structured"
+    assert len(quota_refusals) == 3  # alice: 2 of 5 admitted
+    assert all(ra is not None and ra > 0 for ra in quota_refusals)
+    assert saturated_refusals, "the backlog cap never engaged"
+    assert all(0.5 <= ra <= 60.0 for ra in saturated_refusals)
+
+    _blob(
+        "load_admission_thresholds",
+        {
+            "workload": {
+                "alice_quota_sweeps": 2,
+                "max_pending_tasks": 8,
+            },
+            "admitted": admitted,
+            "quota_refusals": len(quota_refusals),
+            "saturated_refusals": len(saturated_refusals),
+            "unstructured_errors": hard_errors,
+        },
+    )
+    emit(
+        "load_admission_thresholds",
+        (
+            f"admitted {admitted}; quota refusals {len(quota_refusals)} "
+            f"(retry_after set), saturated refusals "
+            f"{len(saturated_refusals)} (retry_after within [0.5s, 60s])\n"
+            f"unstructured errors: {hard_errors}; "
+            f"bob proceeded while alice was throttled"
+        ),
+    )

@@ -282,6 +282,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet lease lifetime: how long a silent worker may hold a "
         "task before it is re-issued (default 30)",
     )
+    p.add_argument(
+        "--server-id", default="default", metavar="ID",
+        help="stable identity for crash recovery: interrupted sweeps are "
+        "recorded in the store under this id and re-adopted by "
+        "`repro serve --recover` with the same id (default 'default')",
+    )
+    p.add_argument(
+        "--recover", action="store_true",
+        help="on startup, re-adopt this server id's interrupted sweeps "
+        "from the store and resume them bit-identically",
+    )
+    p.add_argument(
+        "--max-pending-tasks", type=int, default=None, metavar="N",
+        help="admission cap: refuse new sweeps (with a retry_after hint) "
+        "while more than N tasks are already backlogged",
+    )
+    p.add_argument(
+        "--rate-limit", type=float, default=None, metavar="REQ_PER_SEC",
+        help="per-connection request rate limit (heartbeats exempt); "
+        "default: unlimited",
+    )
+    p.add_argument(
+        "--tenant-quota", action="append", default=None,
+        metavar="TENANT=sweeps:N,tasks:N,shots:N",
+        help="per-tenant admission quota (repeatable; any subset of the "
+        "three keys), e.g. --tenant-quota alice=sweeps:2,shots:100000",
+    )
+    p.add_argument(
+        "--default-tenant-quota", default=None,
+        metavar="sweeps:N,tasks:N,shots:N",
+        help="quota applied to tenants without an explicit --tenant-quota "
+        "(default: unlimited)",
+    )
+    p.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="on SIGTERM: let in-flight tasks journal for up to this long "
+        "before cancelling the remainder resumably (default 10)",
+    )
 
     p = sub.add_parser("submit", help=_COMMANDS["submit"])
     _add_grid_args(p)
@@ -296,6 +334,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--resume", action="store_true",
         help="replay tasks already journaled on the server for this spec",
+    )
+    p.add_argument(
+        "--tenant", default=None, metavar="ID",
+        help="submit under this tenant: the sweep's journal and artifacts "
+        "live under tenants/ID/ in the server's store and count against "
+        "ID's quota (over-quota submissions are refused cleanly)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="wire deadline per request/stream read; a stalled server "
+        "exits with status 2 instead of hanging (default 60; 0 = none)",
     )
     p.add_argument(
         "--json", dest="json_out", default=None, metavar="PATH",
@@ -329,6 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-tasks", type=int, default=None, metavar="N",
         help="detach after completing N tasks (default: run until Ctrl-C)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="wire deadline per exchange with the server; a stalled "
+        "server triggers a clean re-attach (default 60; 0 = none)",
     )
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-task progress"
@@ -643,10 +697,25 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 
 def _cmd_serve(args: argparse.Namespace) -> str:
     import asyncio
+    import signal
 
     from repro.service.server import DEFAULT_PORT, SweepServer
+    from repro.service.tenancy import TenantQuota
 
     try:
+        tenant_quotas = {}
+        for item in args.tenant_quota or []:
+            name, sep, quota_text = item.partition("=")
+            if not sep or not name:
+                raise ValueError(
+                    f"--tenant-quota needs TENANT=sweeps:N,..., got {item!r}"
+                )
+            tenant_quotas[name] = TenantQuota.parse(quota_text)
+        default_quota = (
+            TenantQuota.parse(args.default_tenant_quota)
+            if args.default_tenant_quota is not None
+            else None
+        )
         server = SweepServer(
             args.store,
             host=args.host,
@@ -654,26 +723,60 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             workers=args.workers,
             use_processes=args.processes,
             lease_ttl=args.lease_ttl,
+            rate_limit=args.rate_limit,
+            server_id=args.server_id,
+            max_pending_tasks=args.max_pending_tasks,
+            tenant_quotas=tenant_quotas or None,
+            default_quota=default_quota,
         )
     except ValueError as exc:
-        # bad locators, or --processes over a process-local store
+        # bad locators, quotas, or --processes over a process-local store
         # (mem://, injected-client s3://) — actionable, not a traceback
         print(f"repro serve: error: {exc}", file=sys.stderr)
         raise SystemExit(2)
 
     async def _serve() -> None:
-        await server.start()
+        await server.start(recover=args.recover)
+        recovered = server.coordinator.recovered_count
         print(
             f"repro serve: store {args.store} listening on "
             f"{server.host}:{server.port} "
             f"({server.coordinator.workers} worker(s), "
-            f"{'processes' if args.processes else 'threads'}); Ctrl-C stops",
+            f"{'processes' if args.processes else 'threads'}, "
+            f"server-id {args.server_id}"
+            + (f", {recovered} sweep(s) recovered" if recovered else "")
+            + "); Ctrl-C stops, SIGTERM drains",
             file=sys.stderr,
             flush=True,
         )
+        stopping = asyncio.Event()
+        loop = asyncio.get_running_loop()
         try:
-            await server.serve_forever()
+            loop.add_signal_handler(signal.SIGTERM, stopping.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread or platform without signal support
+        serve_task = asyncio.create_task(server.serve_forever())
+        stop_task = asyncio.create_task(stopping.wait())
+        try:
+            await asyncio.wait(
+                {serve_task, stop_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if stopping.is_set():
+                print(
+                    "repro serve: SIGTERM — draining in-flight tasks "
+                    f"(grace {args.drain_grace:g}s)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                await server.shutdown(grace=args.drain_grace)
+                print("repro serve: drained; stopped", file=sys.stderr)
+            elif serve_task.done():
+                serve_task.result()  # surface a listener failure
         finally:
+            for task in (serve_task, stop_task):
+                task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
             await server.close()
 
     try:
@@ -696,6 +799,7 @@ def _cmd_submit(args: argparse.Namespace) -> str:
         print(f"repro submit: error: {exc}", file=sys.stderr)
         raise SystemExit(2)
     port = DEFAULT_PORT if args.port is None else args.port
+    timeout = None if args.timeout is not None and args.timeout <= 0 else args.timeout
     progress = None if args.quiet else _progress_printer(spec)
     total = spec.num_tasks
     done = 0
@@ -712,8 +816,10 @@ def _cmd_submit(args: argparse.Namespace) -> str:
             import asyncio
 
             async def _submit_only() -> str:
-                async with SweepClient(args.host, port) as client:
-                    return await client.submit(spec, resume=args.resume)
+                async with SweepClient(args.host, port, timeout=timeout) as client:
+                    return await client.submit(
+                        spec, resume=args.resume, tenant=args.tenant
+                    )
 
             sweep_id = asyncio.run(_submit_only())
             return (
@@ -721,7 +827,13 @@ def _cmd_submit(args: argparse.Namespace) -> str:
                 f"`repro submit ... --follow` or watch the server log"
             )
         result = submit_and_follow(
-            spec, host=args.host, port=port, resume=args.resume, on_row=on_row
+            spec,
+            host=args.host,
+            port=port,
+            resume=args.resume,
+            on_row=on_row,
+            tenant=args.tenant,
+            timeout=timeout,
         )
     except ConnectionError as exc:
         print(
@@ -729,6 +841,9 @@ def _cmd_submit(args: argparse.Namespace) -> str:
             f"{args.host}:{port} ({exc})",
             file=sys.stderr,
         )
+        raise SystemExit(2)
+    except TimeoutError as exc:
+        print(f"repro submit: error: {exc}", file=sys.stderr)
         raise SystemExit(2)
     except OSError as exc:
         print(
@@ -738,8 +853,12 @@ def _cmd_submit(args: argparse.Namespace) -> str:
         )
         raise SystemExit(2)
     except ServiceError as exc:
-        # server-side refusals (invalid spec, journal in use, failed run)
-        print(f"repro submit: error: {exc}", file=sys.stderr)
+        # server-side refusals: invalid specs, journal in use, failed
+        # runs, and structured admission errors (quota/saturated/...)
+        hint = ""
+        if getattr(exc, "retry_after", None):
+            hint = f" (retry in {exc.retry_after:g}s)"
+        print(f"repro submit: error: {exc}{hint}", file=sys.stderr)
         raise SystemExit(2)
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
@@ -802,6 +921,11 @@ def _cmd_worker(args: argparse.Namespace) -> str:
             poll=args.poll,
             max_tasks=args.max_tasks,
             on_result=on_result,
+            timeout=(
+                None
+                if args.timeout is not None and args.timeout <= 0
+                else args.timeout
+            ),
         )
     except ValueError as exc:  # bad --store locator
         print(f"repro worker: error: {exc}", file=sys.stderr)

@@ -796,9 +796,14 @@ class ParallelSweepRunner:
                 replayed = journal.completed_outcomes()
                 # Only coordinates this spec actually defines count: a
                 # journal can hold more (e.g. written by a later version)
-                # without poisoning the result.
+                # without poisoning the result.  Insertion order follows
+                # the *journal* (not the canonical grid): live recording
+                # also appends in journal order, so ``outcomes`` is the
+                # row sequence — the service's watch cursors equate event
+                # index with journal index on the strength of this.
+                defined = set(coords)
                 session.outcomes = {
-                    c: replayed[c] for c in coords if c in replayed
+                    c: o for c, o in replayed.items() if c in defined
                 }
             order = coords if plan is None else list(plan.execution_order)
             session.pending = [c for c in order if c not in session.outcomes]

@@ -66,6 +66,12 @@ from repro.service.fleet import FleetWorker, WorkerReport
 from repro.service.planner import SweepPlanner, TaskPlan
 from repro.service.queue import TaskQueue
 from repro.service.server import SweepServer
+from repro.service.tenancy import (
+    AdmissionError,
+    TenantLedger,
+    TenantQuota,
+    tenant_backend,
+)
 
 __all__ = [
     "SweepPlanner",
@@ -79,4 +85,8 @@ __all__ = [
     "TaskQueue",
     "FleetWorker",
     "WorkerReport",
+    "AdmissionError",
+    "TenantQuota",
+    "TenantLedger",
+    "tenant_backend",
 ]

@@ -3,9 +3,27 @@
 :class:`SweepClient` speaks the line-delimited-JSON protocol documented in
 :mod:`repro.service.server` over one TCP connection.  It is a thin asyncio
 wrapper — connect, send an op, read the response (or, for ``watch``, the
-event stream).  :func:`submit_and_follow` is the synchronous one-call used
-by ``repro submit``: submit a spec, stream every journal row through a
-callback as tasks land, and return the fully assembled, bit-exact
+event stream) — hardened for production use:
+
+* **timeouts everywhere** — every connect, write and read is bounded by
+  ``timeout``; a stalled or half-closed server surfaces as
+  ``TimeoutError`` (an :class:`OSError`, so CLI error handling catches
+  it) instead of hanging the caller forever.  The server's ``tick``
+  keepalives mean a quiet-but-alive watch never times out spuriously.
+* **bounded exponential-backoff reconnect** — :meth:`connect` retries
+  refused connections; :meth:`watch` additionally survives *drops*:
+  it tracks a journal-row cursor and, on a lost connection, a
+  ``server_shutdown`` frame (graceful drain) or an ``overflow`` frame
+  (the server cut us as a slow consumer), reconnects and re-subscribes
+  from that cursor.  Event index equals journal row index server-side,
+  so the resumed stream is exactly-once even across a server restart.
+* **structured refusals** — quota/saturation/rate-limit errors arrive as
+  error *objects*; :class:`ServiceError` exposes ``kind`` and
+  ``retry_after`` so callers can branch without string matching.
+
+:func:`submit_and_follow` is the synchronous one-call used by ``repro
+submit``: submit a spec, stream every journal row through a callback as
+tasks land, and return the fully assembled, bit-exact
 :class:`~repro.pipeline.runner.SweepResult`.
 """
 
@@ -13,7 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import AsyncIterator, Callable, Optional
+from typing import AsyncIterator, Callable, Optional, Union
 
 from repro.pipeline.runner import SweepResult
 from repro.pipeline.spec import SweepSpec
@@ -22,7 +40,25 @@ __all__ = ["ServiceError", "SweepClient", "submit_and_follow"]
 
 
 class ServiceError(RuntimeError):
-    """The server answered ``{"ok": false}`` — its message, verbatim."""
+    """The server answered ``{"ok": false}``.
+
+    ``error`` is the wire payload: a plain string for protocol errors, a
+    structured object for admission refusals — then :attr:`kind` (e.g.
+    ``"quota"``, ``"saturated"``, ``"rate_limited"``, ``"shutdown"``) and
+    :attr:`retry_after` (seconds, or ``None``) are populated and ``str()``
+    is the human message alone.
+    """
+
+    def __init__(self, error: Union[str, dict, None]) -> None:
+        if isinstance(error, dict):
+            self.kind: Optional[str] = error.get("kind")
+            self.retry_after: Optional[float] = error.get("retry_after")
+            message = str(error.get("message", error))
+        else:
+            self.kind = None
+            self.retry_after = None
+            message = str(error or "unknown server error")
+        super().__init__(message)
 
 
 class SweepClient:
@@ -35,27 +71,71 @@ class SweepClient:
             async for row in client.watch(sweep_id):
                 ...
             result = await client.results(sweep_id)
+
+    Parameters
+    ----------
+    timeout:
+        Deadline (seconds) on every connect, write and read.  ``None``
+        disables deadlines (the pre-hardening behaviour — tests that
+        deliberately stall use it).
+    connect_retries / reconnects / backoff:
+        Bounded exponential backoff: ``connect_retries`` extra attempts
+        per :meth:`connect` and up to ``reconnects`` stream re-joins per
+        :meth:`watch`, sleeping ``backoff * 2**(attempt-1)`` (capped at
+        5 s) between attempts.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7341) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7341,
+        timeout: Optional[float] = 60.0,
+        connect_retries: int = 3,
+        reconnects: int = 5,
+        backoff: float = 0.2,
+    ) -> None:
         self.host = host
         self.port = int(port)
+        self.timeout = None if timeout is None else float(timeout)
+        self.connect_retries = max(0, int(connect_retries))
+        self.reconnects = max(0, int(reconnects))
+        self.backoff = max(0.0, float(backoff))
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
     # ------------------------------------------------------------------
+    async def _deadline(self, awaitable, what: str):
+        if self.timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, self.timeout)
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"{what} to {self.host}:{self.port} timed out "
+                f"after {self.timeout:g}s"
+            ) from None
+
     async def connect(self) -> "SweepClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
-        return self
+        delay = self.backoff or 0.05
+        for attempt in range(self.connect_retries + 1):
+            try:
+                self._reader, self._writer = await self._deadline(
+                    asyncio.open_connection(self.host, self.port), "connect"
+                )
+                return self
+            except (ConnectionError, OSError):
+                if attempt == self.connect_retries:
+                    raise
+                await asyncio.sleep(delay)
+                delay = min(delay * 2.0, 5.0)
+        raise ConnectionError(f"cannot connect to {self.host}:{self.port}")
 
     async def close(self) -> None:
         if self._writer is not None:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
             self._writer = None
             self._reader = None
@@ -70,11 +150,11 @@ class SweepClient:
     async def _send(self, request: dict) -> None:
         assert self._writer is not None, "client is not connected"
         self._writer.write(json.dumps(request).encode("utf-8") + b"\n")
-        await self._writer.drain()
+        await self._deadline(self._writer.drain(), "write")
 
     async def _read(self) -> dict:
         assert self._reader is not None, "client is not connected"
-        line = await self._reader.readline()
+        line = await self._deadline(self._reader.readline(), "read")
         if not line:
             raise ConnectionError(
                 f"server at {self.host}:{self.port} closed the connection"
@@ -92,11 +172,28 @@ class SweepClient:
     # ------------------------------------------------------------------
     # Client ops
     # ------------------------------------------------------------------
-    async def submit(self, spec: SweepSpec, resume: bool = False) -> str:
-        """Submit a sweep; returns its id."""
-        response = await self.request(
-            op="submit", spec=spec.to_dict(), resume=bool(resume)
-        )
+    async def submit(
+        self,
+        spec: SweepSpec,
+        resume: bool = False,
+        tenant: Optional[str] = None,
+    ) -> str:
+        """Submit a sweep; returns its id.
+
+        ``tenant`` namespaces the sweep's journal and artifacts under
+        ``tenants/<id>/`` server-side and charges that tenant's quota; an
+        over-quota submission raises a :class:`ServiceError` whose
+        ``kind`` is ``"quota"``.  Never auto-retried: resubmitting a
+        non-resume sweep is not idempotent (it would restart the journal).
+        """
+        request: dict = {
+            "op": "submit",
+            "spec": spec.to_dict(),
+            "resume": bool(resume),
+        }
+        if tenant is not None:
+            request["tenant"] = tenant
+        response = await self.request(**request)
         return response["sweep_id"]
 
     async def status(self, sweep_id: str) -> dict:
@@ -110,23 +207,64 @@ class SweepClient:
         response = await self.request(op="results", sweep_id=sweep_id)
         return SweepResult.from_dict(response["result"])
 
-    async def watch(self, sweep_id: str) -> AsyncIterator[dict]:
-        """Stream the sweep's journal rows (each exactly once), ending
-        when the server sends the terminal ``end`` event.  Raises
-        :class:`ServiceError` if the sweep failed."""
-        await self.request(op="watch", sweep_id=sweep_id)  # subscription ack
+    async def watch(
+        self, sweep_id: str, cursor: int = 0
+    ) -> AsyncIterator[dict]:
+        """Stream the sweep's journal rows from ``cursor``, each exactly
+        once, ending on the server's terminal ``end`` event.
+
+        Survives dropped connections, slow-consumer disconnects
+        (``overflow``) and graceful server restarts (``server_shutdown``):
+        the client re-joins with bounded exponential backoff and
+        re-subscribes from the last row's cursor, so the merged stream
+        never loses or repeats a row.  Raises :class:`ServiceError` if
+        the sweep failed, ``ConnectionError``/``TimeoutError`` when the
+        server stays unreachable past the retry budget.
+        """
+        cursor = max(0, int(cursor))
+        attempt = 0
         while True:
-            event = await self._read()
-            if event.get("event") == "end":
-                if event.get("state") == "failed":
-                    raise ServiceError(
-                        event.get("error") or "sweep failed on the server"
-                    )
+            rejoin = False
+            try:
+                await self.request(op="watch", sweep_id=sweep_id, cursor=cursor)
+                while True:
+                    event = await self._read()
+                    kind = event.get("event")
+                    if kind == "task":
+                        cursor = int(event.get("cursor", cursor + 1))
+                        attempt = 0  # progress resets the retry budget
+                        yield event
+                    elif kind == "end":
+                        if event.get("state") == "failed":
+                            raise ServiceError(
+                                event.get("error")
+                                or "sweep failed on the server"
+                            )
+                        return
+                    elif kind in ("server_shutdown", "overflow"):
+                        # the server is telling us to come back: a drain
+                        # keeps our sweep resumable, an overflow cut us
+                        # as a slow consumer — either way the cursor
+                        # makes the re-join exactly-once
+                        rejoin = True
+                        break
+                    elif kind == "tick":
+                        continue  # keepalive: resets the read deadline
+                    elif not event.get("ok", True):
+                        raise ServiceError(event.get("error", "watch refused"))
+            except (ConnectionError, TimeoutError, OSError):
+                rejoin = True
+                attempt += 1
+                if attempt > self.reconnects:
+                    raise
+            if not rejoin:
                 return
-            if event.get("event") == "task":
-                yield event
-            elif not event.get("ok", True):
-                raise ServiceError(event.get("error", "watch refused"))
+            attempt = max(attempt, 1)
+            await self.close()
+            await asyncio.sleep(
+                min((self.backoff or 0.05) * (2.0 ** (attempt - 1)), 5.0)
+            )
+            await self.connect()
 
     # ------------------------------------------------------------------
     # Fleet-worker ops (what :class:`repro.service.fleet.FleetWorker`
@@ -176,6 +314,8 @@ def submit_and_follow(
     port: int = 7341,
     resume: bool = False,
     on_row: Optional[RowCallback] = None,
+    tenant: Optional[str] = None,
+    timeout: Optional[float] = 60.0,
 ) -> SweepResult:
     """Synchronous one-call for ``repro submit --follow``.
 
@@ -186,8 +326,8 @@ def submit_and_follow(
     """
 
     async def _run() -> SweepResult:
-        async with SweepClient(host, port) as client:
-            sweep_id = await client.submit(spec, resume=resume)
+        async with SweepClient(host, port, timeout=timeout) as client:
+            sweep_id = await client.submit(spec, resume=resume, tenant=tenant)
             async for row in client.watch(sweep_id):
                 if on_row is not None:
                     on_row(row)

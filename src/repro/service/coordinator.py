@@ -50,6 +50,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import itertools
+import json
 import threading
 import time
 from collections import deque
@@ -67,6 +68,13 @@ from repro.pipeline.runner import (
 )
 from repro.pipeline.spec import SweepSpec
 from repro.service.queue import TaskQueue
+from repro.service.tenancy import (
+    AdmissionError,
+    TenantLedger,
+    TenantQuota,
+    tenant_backend,
+    validate_tenant,
+)
 from repro.store.artifacts import ArtifactStore
 from repro.store.calcache import PersistentCalibrationCache
 from repro.store.faults import TransientStoreError
@@ -188,6 +196,9 @@ class _JobDispatch:
         self.out_since: Dict[TaskCoord, float] = {}
         self.error: Optional[str] = None
         self.closed = False
+        #: Graceful-shutdown latch: no *new* checkouts (local slots or
+        #: fleet leases), but in-flight tasks still deliver and journal.
+        self.draining = False
         self.reissued = 0
         self.cond = asyncio.Condition()
         #: Serialises journal appends (locals + fleet completes share one
@@ -205,7 +216,7 @@ class _JobDispatch:
     async def checkout(self, owner: str) -> Optional[TaskCoord]:
         """Pop a pending coordinate for ``owner`` (non-blocking)."""
         async with self.cond:
-            if self.finished or not self.pending:
+            if self.finished or self.draining or not self.pending:
                 return None
             coord = self.pending.popleft()
             self.out[coord] = owner
@@ -216,9 +227,9 @@ class _JobDispatch:
         """Like :meth:`checkout`, but block until work exists or the job
         ends — the local puller loop's idle state."""
         async with self.cond:
-            while not self.pending and not self.finished:
+            while not self.pending and not self.finished and not self.draining:
                 await self.cond.wait()
-            if self.finished or not self.pending:
+            if self.finished or self.draining or not self.pending:
                 return None
             coord = self.pending.popleft()
             self.out[coord] = owner
@@ -271,10 +282,25 @@ class _JobDispatch:
 class SweepJob:
     """One submitted sweep's live state: events, status, result."""
 
-    def __init__(self, sweep_id: str, spec: SweepSpec, resume: bool) -> None:
+    def __init__(
+        self,
+        sweep_id: str,
+        spec: SweepSpec,
+        resume: bool,
+        tenant: Optional[str] = None,
+        recovered: bool = False,
+    ) -> None:
         self.sweep_id = sweep_id
         self.spec = spec
         self.resume = resume
+        self.tenant = tenant
+        #: True when this job was re-adopted from a crashed server's
+        #: intent record rather than submitted by a client.
+        self.recovered = recovered
+        #: ``<tenant>:<digest>`` — the coordinator's journal-writer
+        #: serialisation key (two tenants share a digest without sharing
+        #: a journal, so the digest alone under-keys the lock).
+        self.lock_key = ""
         self.state = "queued"
         self.total = spec.num_tasks
         self.plan_counts: Optional[Dict[str, int]] = None
@@ -288,6 +314,7 @@ class SweepJob:
         self.dispatch: Optional[_JobDispatch] = None
         self._cond = asyncio.Condition()
         self._task: Optional[asyncio.Task] = None
+        self._ledger_released = False
 
     @property
     def done(self) -> int:
@@ -307,6 +334,8 @@ class SweepJob:
             "total": self.total,
             "plan": self.plan_counts,
             "reissued": self.reissued,
+            "tenant": self.tenant,
+            "recovered": self.recovered,
             "error": self.error,
         }
 
@@ -342,6 +371,23 @@ class SweepCoordinator:
         watchers of an evicted job finish unharmed (they hold the job
         object), but ``status``/``results`` for its id then report
         unknown — re-submit the spec instead (warm, so nearly free).
+    server_id:
+        This coordinator's durable identity in the store.  Accepted
+        sweeps are recorded as intent objects under
+        ``server/<server_id>/sweeps/`` until they complete;
+        :meth:`recover` re-adopts whatever a crashed instance with the
+        same id left behind.
+    max_pending_tasks:
+        Admission threshold: a submission that would push the *backlog*
+        (unfinished tasks across all active sweeps) past this cap is
+        refused with a structured ``saturated`` error carrying a
+        ``retry_after`` hint, instead of queued.  An idle coordinator
+        always admits (a single over-sized spec must remain runnable).
+        ``None`` disables the cap.
+    tenant_quotas / default_quota:
+        Per-tenant :class:`~repro.service.tenancy.TenantQuota` limits
+        (and the fallback for tenants without an entry).  Enforced at
+        admission by a :class:`~repro.service.tenancy.TenantLedger`.
     """
 
     def __init__(
@@ -352,6 +398,10 @@ class SweepCoordinator:
         max_finished_jobs: int = 64,
         lease_ttl: float = 30.0,
         heartbeat_timeout: Optional[float] = None,
+        server_id: str = "default",
+        max_pending_tasks: Optional[int] = None,
+        tenant_quotas: Optional[Dict[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
     ) -> None:
         self.store = (
             store if isinstance(store, ArtifactStore) else ArtifactStore(store)
@@ -374,27 +424,228 @@ class SweepCoordinator:
                 f"use threads (use_processes=False) to serve it"
             )
         self.max_finished_jobs = max(1, int(max_finished_jobs))
+        self.server_id = validate_tenant(server_id)  # same key grammar
+        self.max_pending_tasks = (
+            None if max_pending_tasks is None else max(1, int(max_pending_tasks))
+        )
+        self._ledger = TenantLedger(tenant_quotas, default_quota)
         self._executor: Optional[Executor] = None
         self._shared_cache = PersistentCalibrationCache(self.store)
         self._cache_lock = threading.Lock()
+        #: Per-tenant (ArtifactStore, PersistentCalibrationCache) over the
+        #: tenant's ``tenants/<id>/`` prefix view; ``None`` → root store.
+        self._tenant_stores: Dict[
+            Optional[str], Tuple[ArtifactStore, PersistentCalibrationCache]
+        ] = {None: (self.store, self._shared_cache)}
         self._jobs: Dict[str, SweepJob] = {}
         self._digest_locks: Dict[str, asyncio.Lock] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self._fleet: Dict[str, _WorkerState] = {}
         self._worker_ids = itertools.count(1)
         self._reaper: Optional[asyncio.Task] = None
+        self._draining = False
+        self.recovered_count = 0
+        #: EWMA seconds-per-journaled-row, feeding ``retry_after`` hints.
+        self._rate_ema: Optional[float] = None
+        self._last_publish: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Submission / lifecycle
     # ------------------------------------------------------------------
-    async def submit(self, spec: SweepSpec, resume: bool = False) -> SweepJob:
-        """Schedule a sweep; returns its job immediately (state ``queued``)."""
+    async def submit(
+        self,
+        spec: SweepSpec,
+        resume: bool = False,
+        tenant: Optional[str] = None,
+        _sweep_id: Optional[str] = None,
+        _recovered: bool = False,
+    ) -> SweepJob:
+        """Schedule a sweep; returns its job immediately (state ``queued``).
+
+        ``tenant`` namespaces the sweep's journal, artifacts and queue
+        leases under ``tenants/<id>/`` in the shared store and charges
+        the tenant's quota ledger.  Over-quota or past-saturation
+        submissions raise :class:`~repro.service.tenancy.AdmissionError`
+        *before* anything is queued or written.
+        """
+        if tenant is not None:
+            tenant = validate_tenant(tenant)
+        if self._draining:
+            raise AdmissionError(
+                "shutdown", "server is draining and accepts no new sweeps"
+            )
+        self._admit(spec, tenant, force=_recovered)
         digest = journal_spec_digest(spec)
-        sweep_id = f"{digest}-{next(self._ids)}"
-        job = SweepJob(sweep_id, spec, resume)
+        if _sweep_id is None:
+            sweep_id = f"{digest}-{self._next_id}"
+            self._next_id += 1
+        else:
+            # recovery re-adopts under the *original* id so clients can
+            # resume status()/watch(cursor) across the restart; keep the
+            # id counter ahead of every adopted suffix
+            sweep_id = _sweep_id
+            try:
+                suffix = int(sweep_id.rsplit("-", 1)[1])
+            except (IndexError, ValueError):
+                suffix = 0
+            self._next_id = max(self._next_id, suffix + 1)
+        job = SweepJob(sweep_id, spec, resume, tenant=tenant, recovered=_recovered)
+        job.lock_key = f"{tenant or ''}:{digest}"
+        loop = asyncio.get_running_loop()
+        try:
+            # durable intent *before* the job is visible: a crash from
+            # here on leaves either nothing or a recoverable sweep
+            await loop.run_in_executor(None, _retrying, self._write_intent, job)
+        except Exception:
+            self._ledger.release(tenant, spec.num_tasks)
+            raise
         self._jobs[sweep_id] = job
         job._task = asyncio.create_task(self._run_job(job, digest))
         return job
+
+    def _admit(
+        self, spec: SweepSpec, tenant: Optional[str], force: bool = False
+    ) -> None:
+        """Admission gate: refuse (structured) rather than queue."""
+        tasks = spec.num_tasks
+        if not force and self.max_pending_tasks is not None:
+            backlog = sum(
+                max(0, j.total - j.done)
+                for j in self._jobs.values()
+                if j.state in ACTIVE_STATES
+            )
+            if backlog > 0 and backlog + tasks > self.max_pending_tasks:
+                excess = backlog + tasks - self.max_pending_tasks
+                raise AdmissionError(
+                    "saturated",
+                    f"executor backlog {backlog} + {tasks} new tasks "
+                    f"exceeds the admission cap {self.max_pending_tasks}",
+                    retry_after=self._retry_after(excess),
+                )
+        self._ledger.admit(tenant, tasks, force=force)
+
+    def _retry_after(self, excess_tasks: int) -> float:
+        """Hint (seconds) until ``excess_tasks`` of backlog likely drains,
+        from the observed per-row delivery rate."""
+        per_task = self._rate_ema if self._rate_ema is not None else 1.0
+        return min(60.0, max(0.5, excess_tasks * per_task))
+
+    # -- durable intents + crash recovery ------------------------------
+    def _intent_key(self, sweep_id: str) -> str:
+        return f"server/{self.server_id}/sweeps/{sweep_id}.json"
+
+    def _write_intent(self, job: SweepJob) -> None:
+        payload = json.dumps(
+            {
+                "sweep_id": job.sweep_id,
+                "tenant": job.tenant,
+                "resume": job.resume,
+                "spec": job.spec.to_dict(),
+                "version": __version__,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        self.store.backend.put_atomic(self._intent_key(job.sweep_id), payload)
+
+    def _drop_intent(self, job: SweepJob) -> None:
+        """Remove the recovery record; failure is survivable (a later
+        :meth:`recover` would re-adopt via resume — pure replay, no
+        re-execution, same bits)."""
+        try:
+            _retrying(self.store.backend.delete, self._intent_key(job.sweep_id))
+        except Exception:
+            pass
+
+    async def recover(self) -> List[SweepJob]:
+        """Re-adopt the sweeps a crashed instance of *this* server left
+        interrupted.
+
+        Scans ``server/<server_id>/sweeps/`` for intent records, then
+        resubmits each through the journal resume path under its original
+        sweep id: rows already journaled replay (bit-identical, zero
+        duplicates — the journal's coordinate dedup plus the resume
+        contract), only the remainder executes.  Stale journal advisory
+        locks (the dead process's pid) are reclaimed by the journal layer
+        on open; expired fleet leases are reclaimed per job as it starts.
+        Call once, after :class:`SweepServer` binds but before serving.
+        """
+        loop = asyncio.get_running_loop()
+        prefix = f"server/{self.server_id}/sweeps/"
+        keys = await loop.run_in_executor(
+            None, _retrying, self.store.backend.list_prefix, prefix
+        )
+        adopted: List[SweepJob] = []
+        for key in sorted(keys):
+            data = await loop.run_in_executor(
+                None, _retrying, self.store.backend.get, key
+            )
+            if data is None:
+                continue
+            try:
+                intent = json.loads(data.decode("utf-8"))
+                sweep_id = str(intent["sweep_id"])
+                spec = SweepSpec.from_dict(intent["spec"])
+                tenant = intent.get("tenant")
+            except Exception:
+                # poison intent: unrecoverable by construction — drop it
+                # rather than wedge every future restart
+                await loop.run_in_executor(
+                    None, _retrying, self.store.backend.delete, key
+                )
+                continue
+            if sweep_id in self._jobs:
+                continue
+            job = await self.submit(
+                spec,
+                resume=True,
+                tenant=tenant,
+                _sweep_id=sweep_id,
+                _recovered=True,
+            )
+            adopted.append(job)
+        self.recovered_count += len(adopted)
+        return adopted
+
+    async def drain(self, grace: float = 10.0) -> None:
+        """Graceful shutdown: stop admitting, let in-flight tasks journal,
+        then stop.
+
+        New submissions and fleet leases are refused immediately;
+        coordinates already executing get up to ``grace`` seconds to
+        deliver (each landing in the journal as usual).  Jobs still
+        unfinished are then cancelled — their intent records *survive*,
+        so the next :meth:`recover` resumes them exactly where the drain
+        stopped.  Finishes by closing the fleet and the executor.
+        """
+        self._draining = True
+        active = [j for j in self._jobs.values() if j.state in ACTIVE_STATES]
+        for job in active:
+            dispatch = job.dispatch
+            if dispatch is not None:
+                async with dispatch.cond:
+                    dispatch.draining = True
+                    dispatch.cond.notify_all()
+        deadline = time.monotonic() + max(0.0, grace)
+        for job in active:
+            dispatch = job.dispatch
+            while (
+                job.state in ACTIVE_STATES
+                and dispatch is not None
+                and dispatch.out
+                and not dispatch.finished
+                and time.monotonic() < deadline
+            ):
+                await asyncio.sleep(0.02)
+        for job in active:
+            if job.state in ACTIVE_STATES and job._task is not None:
+                job._task.cancel()
+                try:
+                    await job._task
+                except asyncio.CancelledError:
+                    pass
+                if job.state in ACTIVE_STATES:
+                    await self._set_state(job, "cancelled")
+        await self.close()
 
     def job(self, sweep_id: str) -> SweepJob:
         try:
@@ -425,6 +676,11 @@ class SweepCoordinator:
                 # cancellation handler never fired, so settle the state
                 # here (watchers and result() waiters must not hang)
                 await self._set_state(job, "cancelled")
+        # an explicit cancel is a client decision: a restart must *not*
+        # resurrect the sweep (unlike drain/crash, which keep the intent)
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._drop_intent, job
+        )
         return job.status()
 
     async def result(self, sweep_id: str) -> SweepResult:
@@ -442,17 +698,32 @@ class SweepCoordinator:
             + (f": {job.error}" if job.error else "")
         )
 
-    async def watch(self, sweep_id: str) -> AsyncIterator[dict]:
+    def watch(self, sweep_id: str, cursor: int = 0) -> AsyncIterator[dict]:
         """Stream a sweep's task events: replay missed rows, then live.
 
+        Resolves the job *eagerly* — an unknown sweep raises here, and
+        the returned iterator holds the job object itself, so retention
+        eviction (``max_finished_jobs``) between subscription and first
+        iteration cannot lose a row (regression pinned in
+        ``tests/service_resilience.py``).  ``cursor`` skips events
+        already seen: event index == journal row index, so a reconnecting
+        client passes the count of rows it holds and receives exactly the
+        remainder.
+        """
+        return self.watch_job(self.job(sweep_id), cursor)
+
+    async def watch_job(
+        self, job: SweepJob, cursor: int = 0
+    ) -> AsyncIterator[dict]:
+        """Stream ``job``'s events from ``cursor``; see :meth:`watch`.
+
         Every watcher — whenever it subscribes — receives every journal
-        row of the sweep exactly once, in the journal's (completion)
+        row past its cursor exactly once, in the journal's (completion)
         order: the event list is append-only and each watcher holds a
         monotone cursor into it.  Ends when the job reaches a terminal
         state and the cursor has drained.
         """
-        job = self.job(sweep_id)
-        cursor = 0
+        cursor = max(0, int(cursor))
         while True:
             async with job._cond:
                 while cursor >= len(job.events) and job.state in ACTIVE_STATES:
@@ -532,6 +803,8 @@ class SweepCoordinator:
         when no work is pending anywhere.
         """
         worker = self._require_worker(worker_id)
+        if self._draining:
+            return None
         loop = asyncio.get_running_loop()
         for job in list(self._jobs.values()):
             dispatch = job.dispatch
@@ -552,7 +825,8 @@ class SweepCoordinator:
             worker.leases.add((job.sweep_id, coord))
             store_root = (
                 dispatch.session.store_root
-                if self.store.backend.cross_process
+                if dispatch.session.store is not None
+                and dispatch.session.store.backend.cross_process
                 else None
             )
             assignment = task_payload(job.spec, coord, store_root)
@@ -752,14 +1026,30 @@ class SweepCoordinator:
                 )
         return self._executor
 
-    def _task_callable(self, session, coord):
+    def _tenant_ctx(
+        self, tenant: Optional[str]
+    ) -> Tuple[ArtifactStore, PersistentCalibrationCache]:
+        """The store view + shared calibration tier a tenant runs against.
+
+        One pair per tenant for the server's lifetime: calibrations are
+        shared across a tenant's sweeps but never across tenants (their
+        artifact namespaces are disjoint by construction).
+        """
+        ctx = self._tenant_stores.get(tenant)
+        if ctx is None:
+            store = ArtifactStore(tenant_backend(self.store.backend, tenant))
+            ctx = (store, PersistentCalibrationCache(store))
+            self._tenant_stores[tenant] = ctx
+        return ctx
+
+    def _task_callable(self, job: SweepJob, session, coord):
         """The zero-arg callable executing one coordinate — the same
         dispatch tuple the sync runner uses, plus the shared-cache view
         when tasks run in-process."""
         spec, point, trials, store_root = session.task_args(coord)
         if self.use_processes or not spec.reuse_calibration:
             return functools.partial(execute_task, spec, point, trials, store_root)
-        view = _SharedCacheView(self._shared_cache, self._cache_lock)
+        view = _SharedCacheView(self._tenant_ctx(job.tenant)[1], self._cache_lock)
         return functools.partial(
             execute_task, spec, point, trials, store_root, cache=view
         )
@@ -770,18 +1060,39 @@ class SweepCoordinator:
         async with job._cond:
             job.events.append(event)
             job._cond.notify_all()
+        self._ledger.task_done(job.tenant)
+        now = time.monotonic()
+        if self._last_publish is not None:
+            delta = now - self._last_publish
+            self._rate_ema = (
+                delta
+                if self._rate_ema is None
+                else 0.8 * self._rate_ema + 0.2 * delta
+            )
+        self._last_publish = now
 
     async def _set_state(self, job: SweepJob, state: str) -> None:
         async with job._cond:
             job.state = state
             job._cond.notify_all()
         if state in TERMINAL_STATES:
+            if not job._ledger_released:
+                job._ledger_released = True
+                self._ledger.release(job.tenant, max(0, job.total - job.done))
+            # prune before the first await below: a waiter woken by the
+            # state flip must already see the post-eviction job table
             self._prune_finished(keep=job.sweep_id)
+            if state in ("done", "failed"):
+                # the sweep reached a verdict: retire the recovery intent
+                # (cancellation keeps it — a drain or crash must resume)
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._drop_intent, job
+                )
 
     def _prune_finished(self, keep: str) -> None:
         """Evict the oldest terminal jobs beyond the retention cap (the
         just-finished ``keep`` job always survives this round), then drop
-        digest locks that no longer guard any registered job."""
+        writer locks that no longer guard any registered job."""
         finished = [
             j for j in self._jobs.values()
             if j.state in TERMINAL_STATES and j.sweep_id != keep
@@ -789,13 +1100,11 @@ class SweepCoordinator:
         excess = len(finished) + 1 - self.max_finished_jobs
         for job in finished[:max(0, excess)]:  # insertion order = oldest first
             del self._jobs[job.sweep_id]
-        live_digests = {
-            job.sweep_id.rsplit("-", 1)[0] for job in self._jobs.values()
-        }
-        for digest in list(self._digest_locks):
-            lock = self._digest_locks[digest]
-            if digest not in live_digests and not lock.locked():
-                del self._digest_locks[digest]
+        live_keys = {job.lock_key for job in self._jobs.values()}
+        for lock_key in list(self._digest_locks):
+            lock = self._digest_locks[lock_key]
+            if lock_key not in live_keys and not lock.locked():
+                del self._digest_locks[lock_key]
 
     async def _deliver(
         self, job: SweepJob, dispatch: _JobDispatch, coord, outcome
@@ -820,6 +1129,12 @@ class SweepCoordinator:
                 None, _retrying, dispatch.session.record, coord, outcome
             )
             await self._publish(job, task_entry(outcome), replayed=False)
+            # charge the tenant's shot allowance for the device work this
+            # row represents (replayed rows were paid for pre-crash)
+            self._ledger.charge_shots(
+                job.tenant,
+                sum(rec.shots_spent for rec in outcome.records),
+            )
         async with dispatch.cond:
             dispatch.out.pop(coord, None)
             dispatch.out_since.pop(coord, None)
@@ -844,7 +1159,7 @@ class SweepCoordinator:
             try:
                 outcome = await loop.run_in_executor(
                     self._get_executor(),
-                    self._task_callable(dispatch.session, coord),
+                    self._task_callable(job, dispatch.session, coord),
                 )
             except asyncio.CancelledError:
                 raise
@@ -855,11 +1170,12 @@ class SweepCoordinator:
 
     async def _run_job(self, job: SweepJob, digest: str) -> None:
         loop = asyncio.get_running_loop()
-        lock = self._digest_locks.setdefault(digest, asyncio.Lock())
+        lock = self._digest_locks.setdefault(job.lock_key, asyncio.Lock())
+        store, _ = self._tenant_ctx(job.tenant)
         try:
             async with lock:  # one live writer per journal (queue, don't fail)
                 runner = ParallelSweepRunner(
-                    workers=1, store=self.store, resume=job.resume
+                    workers=1, store=store, resume=job.resume
                 )
                 # open_session does file I/O (plan probes, journal fsync):
                 # off the loop, like every other blocking step below.  The
@@ -892,22 +1208,28 @@ class SweepCoordinator:
                     dispatch = _JobDispatch(
                         session,
                         TaskQueue(
-                            self.store.backend, digest, ttl=self.lease_ttl
+                            store.backend, digest, ttl=self.lease_ttl
                         ),
                     )
                     job.dispatch = dispatch  # visible before "running"
+                    if job.recovered and dispatch.queue is not None:
+                        # reconcile the dead instance's fleet leases: the
+                        # expired ones are reclaimed now, live-looking
+                        # ones (their holders died with the server) age
+                        # out by TTL and block nothing but the queue
+                        await loop.run_in_executor(
+                            None, _retrying, dispatch.queue.reclaim_expired
+                        )
                     await self._set_state(job, "running")
                     # Journal-replayed outcomes reach watchers through the
-                    # same event channel as live ones (canonical order,
-                    # flagged replayed) — a watch on a resumed sweep still
-                    # sees every row exactly once.
-                    for coord in session.coords:
-                        if coord in session.outcomes:
-                            await self._publish(
-                                job,
-                                task_entry(session.outcomes[coord]),
-                                replayed=True,
-                            )
+                    # same event channel as live ones, in *journal row
+                    # order* (session.outcomes preserves it) — so event
+                    # index == journal index, and a watch cursor from
+                    # before a crash resumes exactly-once after recovery.
+                    for outcome in list(session.outcomes.values()):
+                        await self._publish(
+                            job, task_entry(outcome), replayed=True
+                        )
                     n_local = (
                         min(self.workers, len(session.pending))
                         if session.pending

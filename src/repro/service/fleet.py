@@ -102,6 +102,11 @@ class FleetWorker:
     die_before_complete:
         Chaos hook: execute the Nth leased task fully, then die *without*
         reporting it (the partition window the lease TTL exists for).
+    timeout:
+        Per-exchange wire deadline (seconds) handed to the underlying
+        :class:`~repro.service.client.SweepClient`; a stalled server
+        surfaces as a dropped connection and the worker re-attaches
+        instead of hanging mid-lease.  ``None`` disables deadlines.
     """
 
     def __init__(
@@ -116,10 +121,12 @@ class FleetWorker:
         die_after_leases: Optional[int] = None,
         die_before_complete: Optional[int] = None,
         on_result: Optional[Callable[[dict, dict], None]] = None,
+        timeout: Optional[float] = 60.0,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.name = name
+        self.timeout = timeout
         if store is None or isinstance(store, ArtifactStore):
             self._store = store
         else:
@@ -162,7 +169,14 @@ class FleetWorker:
             if not first:
                 await asyncio.sleep(self.poll)
             try:
-                client = await SweepClient(self.host, self.port).connect()
+                # run() owns the retry loop, so the client gets no
+                # connect retries of its own (they would just stack)
+                client = await SweepClient(
+                    self.host,
+                    self.port,
+                    timeout=self.timeout,
+                    connect_retries=0,
+                ).connect()
             except (ConnectionError, OSError):
                 if first:
                     raise

@@ -39,28 +39,79 @@ client)::
 Errors never tear the connection: a malformed line, unknown op, unknown
 sweep id, refused spec, malformed lease/complete frame or worker version
 mismatch answers ``{"ok": false, "error": "..."}`` and the server reads
-the next request.  ``watch`` streams exactly the journal rows (the
-coordinator's exactly-once event log), so a client that renders them sees
-the same rows a journal replay would produce — live.  A dropped *worker*
-connection is a death signal: every worker attached on it is detached
-immediately and its in-flight coordinates re-issued (heartbeat timeout
-catches workers whose TCP peer dies without a FIN).
+the next request.  *Expected* refusals a client should branch on —
+over-quota, saturation, rate limiting, shutdown — answer a **structured**
+error instead: ``{"ok": false, "error": {"kind": "quota" | "saturated" |
+"rate_limited" | "shutdown", "message": "...", "retry_after": 1.5}}``
+(``retry_after`` optional).  Protocol errors stay plain strings.
+
+``watch`` streams exactly the journal rows (the coordinator's
+exactly-once event log), so a client that renders them sees the same rows
+a journal replay would produce — live.  Watch hardening:
+
+* every ``task`` frame carries ``"cursor"`` — the journal row index
+  *after* this row; a reconnecting client passes ``{"op": "watch",
+  "cursor": n}`` and receives exactly the remainder (exactly-once across
+  drops and even server restarts, since event order == journal order);
+* idle streams emit ``{"event": "tick"}`` keepalives so a client read
+  timeout distinguishes a long-running task from a dead server (old
+  clients ignore unknown non-terminal frames);
+* a **slow consumer** is disconnected, never silently dropped: the watch
+  path bounds the connection's write buffer (``watch_buffer_bytes``) and
+  a ``drain()`` stalled past ``watch_stall_timeout`` gets a best-effort
+  ``{"event": "overflow", "cursor": n}`` frame and the socket closed —
+  the client's cursor resumes it without losing or repeating a row;
+* a graceful shutdown ends live watches with a terminal ``{"event":
+  "server_shutdown", "cursor": n}`` frame (see :meth:`SweepServer.shutdown`).
+
+A dropped *worker* connection is a death signal: every worker attached on
+it is detached immediately and its in-flight coordinates re-issued
+(heartbeat timeout catches workers whose TCP peer dies without a FIN).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 from repro.pipeline.runner import StoreLike
 from repro.pipeline.spec import SweepSpec
 from repro.service.coordinator import SweepCoordinator
+from repro.service.tenancy import AdmissionError
 
 __all__ = ["SweepServer", "DEFAULT_PORT"]
 
 #: Default TCP port for ``repro serve`` / ``repro submit``.
 DEFAULT_PORT = 7341
+
+
+class _WatchStalled(Exception):
+    """A watch consumer stalled past the drain deadline (control flow)."""
+
+
+class _TokenBucket:
+    """Per-connection request-rate limiter (tokens/second, burst cap)."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self.stamp = time.monotonic()
+
+    def take(self) -> Optional[float]:
+        """``None`` when the request is admitted; else seconds until the
+        next token frees up (the ``retry_after`` hint)."""
+        now = time.monotonic()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.stamp) * self.rate
+        )
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        return (1.0 - self.tokens) / self.rate
 
 
 class SweepServer:
@@ -79,21 +130,48 @@ class SweepServer:
         use_processes: bool = False,
         lease_ttl: float = 30.0,
         heartbeat_timeout: Optional[float] = None,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
+        watch_buffer_bytes: int = 256 * 1024,
+        watch_stall_timeout: float = 10.0,
+        watch_tick_interval: float = 5.0,
+        **coordinator_kwargs,
     ) -> None:
         self.host = host
         self.port = int(port)
+        #: requests/second one connection may issue (``None`` = off);
+        #: heartbeats are exempt — throttling a fleet worker's liveness
+        #: signal would cascade into spurious lease re-issues.
+        self.rate_limit = None if rate_limit is None else float(rate_limit)
+        self.rate_burst = (
+            max(1.0, 2.0 * self.rate_limit)
+            if rate_burst is None and self.rate_limit is not None
+            else (None if rate_burst is None else float(rate_burst))
+        )
+        self.watch_buffer_bytes = max(1024, int(watch_buffer_bytes))
+        self.watch_stall_timeout = float(watch_stall_timeout)
+        self.watch_tick_interval = float(watch_tick_interval)
         self.coordinator = SweepCoordinator(
             store,
             workers=workers,
             use_processes=use_processes,
             lease_ttl=lease_ttl,
             heartbeat_timeout=heartbeat_timeout,
+            **coordinator_kwargs,
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._shutting_down = False
 
     # ------------------------------------------------------------------
-    async def start(self) -> "SweepServer":
-        """Bind and start accepting connections (non-blocking)."""
+    async def start(self, recover: bool = False) -> "SweepServer":
+        """Bind and start accepting connections (non-blocking).
+
+        ``recover=True`` first re-adopts the interrupted sweeps a crashed
+        instance with the same ``server_id`` recorded in the store — see
+        :meth:`SweepCoordinator.recover`.
+        """
+        if recover:
+            await self.coordinator.recover()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -115,6 +193,28 @@ class SweepServer:
             self._server = None
         await self.coordinator.close()
 
+    async def shutdown(self, grace: float = 10.0) -> None:
+        """Graceful termination (the SIGTERM path of ``repro serve``).
+
+        Stops accepting connections, refuses new submissions, lets
+        in-flight tasks journal (up to ``grace`` seconds), then cancels
+        the remainder *keeping their recovery intents* — a restart with
+        ``recover=True`` resumes them bit-identically.  Journal advisory
+        locks and fleet queue leases are released by the drain (each
+        job's session close / queue purge), and live watchers receive a
+        terminal ``{"event": "server_shutdown", "cursor": n}`` frame so
+        resilient clients reconnect-and-resume instead of timing out.
+        """
+        self._shutting_down = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.coordinator.drain(grace)
+        # give per-connection watch loops a beat to flush their terminal
+        # frames before the process (typically) exits
+        await asyncio.sleep(0.05)
+
     # ------------------------------------------------------------------
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
@@ -127,6 +227,11 @@ class SweepServer:
         #: worker ids attached on *this* connection — a dropped socket is
         #: the worker's death certificate; its leases re-issue immediately
         attached: set = set()
+        bucket = (
+            _TokenBucket(self.rate_limit, self.rate_burst or 1.0)
+            if self.rate_limit is not None
+            else None
+        )
         try:
             while True:
                 line = await reader.readline()
@@ -143,10 +248,39 @@ class SweepServer:
                         writer, {"ok": False, "error": f"malformed request: {exc}"}
                     )
                     continue
+                if bucket is not None and request.get("op") != "heartbeat":
+                    wait = bucket.take()
+                    if wait is not None:
+                        await self._send(
+                            writer,
+                            {
+                                "ok": False,
+                                "error": {
+                                    "kind": "rate_limited",
+                                    "message": (
+                                        "connection request rate exceeds "
+                                        f"{self.rate_limit:g}/s"
+                                    ),
+                                    "retry_after": round(wait, 3),
+                                },
+                            },
+                        )
+                        continue
                 try:
                     await self._dispatch(request, writer, attached)
                 except (ConnectionResetError, BrokenPipeError):
                     return
+                except _WatchStalled:
+                    # slow consumer: the watch already wrote its
+                    # best-effort overflow frame; drop the connection
+                    # (the client's cursor makes the resume exactly-once)
+                    return
+                except AdmissionError as exc:
+                    # expected refusals answer structured, so clients can
+                    # branch on kind / honour retry_after without parsing
+                    await self._send(
+                        writer, {"ok": False, "error": exc.to_wire()}
+                    )
                 except Exception as exc:
                     # a refused spec / unknown sweep / failed run answers
                     # the request; the connection stays usable
@@ -166,9 +300,18 @@ class SweepServer:
                     pass  # teardown: re-issue is best-effort; reaper covers
             writer.close()
             try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
-                pass
+                # a peer that stopped reading can wedge the flush forever
+                # (its receive window is full); bound the goodbye and cut
+                await asyncio.wait_for(writer.wait_closed(), 5.0)
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+                asyncio.TimeoutError,
+            ):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
 
     async def _dispatch(
         self, request: dict, writer: asyncio.StreamWriter, attached: set
@@ -182,7 +325,12 @@ class SweepServer:
                 spec = SweepSpec.from_dict(request["spec"])
             except (KeyError, TypeError, ValueError) as exc:
                 raise ValueError(f"invalid spec: {exc}") from None
-            job = await coord.submit(spec, resume=bool(request.get("resume")))
+            tenant = request.get("tenant")
+            if tenant is not None and not isinstance(tenant, str):
+                raise ValueError("submit 'tenant' must be a string")
+            job = await coord.submit(
+                spec, resume=bool(request.get("resume")), tenant=tenant
+            )
             await self._send(
                 writer,
                 {"ok": True, "sweep_id": job.sweep_id, "total": job.total},
@@ -193,19 +341,17 @@ class SweepServer:
             )
         elif op == "watch":
             sweep_id = self._sweep_id(request)
-            coord.job(sweep_id)  # raise before acking the subscription
-            await self._send(writer, {"ok": True, "sweep_id": sweep_id})
-            async for event in coord.watch(sweep_id):
-                await self._send(writer, {"event": "task", **event})
-            status = coord.status(sweep_id)
+            cursor = request.get("cursor", 0)
+            if not isinstance(cursor, int) or cursor < 0:
+                raise ValueError("watch 'cursor' must be a non-negative integer")
+            # resolves the job *now*: unknown ids refuse before the ack,
+            # and retention eviction mid-stream cannot lose a row (this
+            # handler holds the job object itself)
+            job = coord.job(sweep_id)
             await self._send(
-                writer,
-                {
-                    "event": "end",
-                    "state": status["state"],
-                    "error": status["error"],
-                },
+                writer, {"ok": True, "sweep_id": sweep_id, "cursor": cursor}
             )
+            await self._stream_watch(writer, job, cursor)
         elif op == "results":
             result = await coord.result(self._sweep_id(request))
             await self._send(writer, {"ok": True, "result": result.to_dict()})
@@ -246,6 +392,95 @@ class SweepServer:
             await self._send(writer, {"ok": True})
         else:
             raise ValueError(f"unknown op {op!r}")
+
+    async def _stream_watch(
+        self, writer: asyncio.StreamWriter, job, cursor: int
+    ) -> None:
+        """Stream one watch subscription with the hardening policy.
+
+        Bounded write buffer + stall deadline (slow consumers are
+        disconnected with a cursor, never silently dropped), ``tick``
+        keepalives while the sweep is quiet, and a terminal frame that is
+        ``end`` normally or ``server_shutdown`` during a graceful drain.
+        """
+        sent = cursor
+        transport = writer.transport
+        if transport is not None:
+            # drain() now exerts backpressure at the policy's buffer
+            # size instead of asyncio's default high watermark
+            transport.set_write_buffer_limits(high=self.watch_buffer_bytes)
+
+        async def guarded_send(frame: dict) -> None:
+            try:
+                await asyncio.wait_for(
+                    self._send(writer, frame), self.watch_stall_timeout
+                )
+            except asyncio.TimeoutError:
+                # best-effort goodbye: no drain — the buffer is what
+                # stalled.  The client's cursor protocol makes the cut
+                # lossless either way.
+                writer.write(
+                    json.dumps(
+                        {
+                            "event": "overflow",
+                            "cursor": sent,
+                            "error": (
+                                "watch consumer stalled past "
+                                f"{self.watch_stall_timeout:g}s; reconnect "
+                                "with your cursor to resume"
+                            ),
+                        }
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+                raise _WatchStalled() from None
+
+        ticker = asyncio.create_task(self._tick_loop(writer, lambda: sent))
+        try:
+            async for event in self.coordinator.watch_job(job, cursor):
+                sent += 1
+                await guarded_send({"event": "task", "cursor": sent, **event})
+            status = job.status()
+            if self._shutting_down and status["state"] in ("cancelled", "queued", "running"):
+                await guarded_send(
+                    {
+                        "event": "server_shutdown",
+                        "cursor": sent,
+                        "state": status["state"],
+                    }
+                )
+            else:
+                await guarded_send(
+                    {
+                        "event": "end",
+                        "cursor": sent,
+                        "state": status["state"],
+                        "error": status["error"],
+                    }
+                )
+        finally:
+            ticker.cancel()
+            if transport is not None and not writer.is_closing():
+                transport.set_write_buffer_limits()  # back to the default
+
+    async def _tick_loop(
+        self, writer: asyncio.StreamWriter, cursor: Callable[[], int]
+    ) -> None:
+        """Keepalive frames while a watch is idle (long task, cold grid):
+        a resilient client's read timeout then measures server liveness,
+        not task duration.  Plain writes, no drain — a tick must never
+        compete with the event path's stall accounting."""
+        try:
+            while not writer.is_closing():
+                await asyncio.sleep(self.watch_tick_interval)
+                writer.write(
+                    json.dumps(
+                        {"event": "tick", "cursor": cursor()}
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
 
     @staticmethod
     def _sweep_id(request: dict) -> str:

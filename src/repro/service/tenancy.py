@@ -1,0 +1,282 @@
+"""Tenancy plane for the sweep service.
+
+The service is key-addressed end to end (journals, artifacts, queue
+leases all live under store keys), so multi-tenancy reduces to two
+small mechanisms layered *around* the existing machinery rather than
+threaded through it:
+
+* **Namespacing** — every tenant's state lives under ``tenants/<id>/``
+  in the shared store, via :func:`tenant_backend` (a
+  :class:`~repro.store.backends.PrefixBackend` view).  The journal,
+  queue, and artifact layers never learn tenancy exists.
+* **Accounting** — :class:`TenantLedger` tracks, per tenant, the number
+  of live sweeps, the number of planned-but-unfinished tasks, and a
+  device-shot allowance backed by the paper's
+  :class:`~repro.backends.budget.ShotBudget` ledger.  Over-quota
+  submissions are *refused* at admission with a structured
+  :class:`AdmissionError` — never queued — so one tenant's backlog can
+  only ever displace its own work.
+
+Quota checks happen at submit time; shot charging happens as results
+are delivered (replayed rows are free — they re-use shots already paid
+for).  The ledger is in-memory per server lifetime: allowances reset on
+restart, which is the documented semantic (quotas bound *load*, they
+are not billing).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from threading import Lock
+from typing import Dict, Optional
+
+from ..backends.budget import ShotBudget
+from ..store.backends import PrefixBackend, StoreBackend
+
+__all__ = [
+    "AdmissionError",
+    "TenantQuota",
+    "TenantLedger",
+    "tenant_backend",
+    "validate_tenant",
+    "TENANT_PREFIX",
+]
+
+# Tenant ids become path components under ``tenants/<id>/`` in every
+# backend, so the grammar is the intersection of what dir/s3/mem keys
+# tolerate: no separators, no dot-leading names, bounded length.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+TENANT_PREFIX = "tenants/"
+
+
+class AdmissionError(RuntimeError):
+    """A request was refused at the door (quota, saturation, rate).
+
+    Unlike protocol errors (malformed frames, unknown ops) these are
+    *expected* outcomes a well-behaved client should branch on, so the
+    server renders them as structured ``{"kind", "message",
+    "retry_after"}`` error objects instead of plain strings.
+    ``retry_after`` is a hint in seconds, or ``None`` when retrying
+    will not help (e.g. an exhausted shot allowance).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.retry_after = retry_after
+
+    def to_wire(self) -> dict:
+        err: dict = {"kind": self.kind, "message": str(self)}
+        if self.retry_after is not None:
+            err["retry_after"] = round(self.retry_after, 3)
+        return err
+
+
+def validate_tenant(tenant: str) -> str:
+    """Validate a wire-supplied tenant id; returns it unchanged."""
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise ValueError(
+            "tenant must match [A-Za-z0-9][A-Za-z0-9._-]{0,63}: "
+            f"{tenant!r}"
+        )
+    return tenant
+
+
+def tenant_backend(backend: StoreBackend, tenant: Optional[str]) -> StoreBackend:
+    """The store view a tenant's sweeps run against.
+
+    ``None`` (no tenant on the wire) keeps the root namespace, so
+    single-tenant deployments and pre-tenancy journals are untouched.
+    """
+    if tenant is None:
+        return backend
+    return PrefixBackend(backend, TENANT_PREFIX + validate_tenant(tenant) + "/")
+
+
+# ----------------------------------------------------------------------
+# Quotas
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits; ``None`` fields are unlimited."""
+
+    max_sweeps: Optional[int] = None
+    max_tasks: Optional[int] = None
+    max_shots: Optional[int] = None
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantQuota":
+        """Parse ``sweeps:2,tasks:64,shots:100000`` (any subset)."""
+        fields: Dict[str, int] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition(":")
+            if not sep:
+                raise ValueError(f"quota term needs key:value, got {part!r}")
+            key = key.strip()
+            if key not in ("sweeps", "tasks", "shots"):
+                raise ValueError(
+                    f"unknown quota key {key!r} (want sweeps/tasks/shots)"
+                )
+            try:
+                limit = int(value)
+            except ValueError:
+                raise ValueError(f"quota {key} must be an integer: {value!r}")
+            if limit < 0:
+                raise ValueError(f"quota {key} must be non-negative: {limit}")
+            fields[key] = limit
+        return cls(
+            max_sweeps=fields.get("sweeps"),
+            max_tasks=fields.get("tasks"),
+            max_shots=fields.get("shots"),
+        )
+
+    def describe(self) -> dict:
+        return {
+            "max_sweeps": self.max_sweeps,
+            "max_tasks": self.max_tasks,
+            "max_shots": self.max_shots,
+        }
+
+
+class _TenantState:
+    __slots__ = ("sweeps", "tasks", "budget")
+
+    def __init__(self, quota: TenantQuota) -> None:
+        self.sweeps = 0
+        self.tasks = 0
+        self.budget = ShotBudget(quota.max_shots)
+
+
+class TenantLedger:
+    """In-memory admission ledger over all tenants of one server.
+
+    Thread-safe: the coordinator calls it from the event loop while
+    executor callbacks charge shots from worker threads.
+    """
+
+    def __init__(
+        self,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        default: Optional[TenantQuota] = None,
+    ) -> None:
+        self._quotas = dict(quotas or {})
+        self._default = default or TenantQuota()
+        self._states: Dict[Optional[str], _TenantState] = {}
+        self._lock = Lock()
+
+    def quota_for(self, tenant: Optional[str]) -> TenantQuota:
+        if tenant is not None and tenant in self._quotas:
+            return self._quotas[tenant]
+        return self._default
+
+    def _state(self, tenant: Optional[str]) -> _TenantState:
+        state = self._states.get(tenant)
+        if state is None:
+            state = self._states[tenant] = _TenantState(self.quota_for(tenant))
+        return state
+
+    # -- admission -----------------------------------------------------
+    def admit(self, tenant: Optional[str], tasks: int, force: bool = False) -> None:
+        """Reserve one sweep of ``tasks`` tasks, or refuse with
+        :class:`AdmissionError` (kind ``quota``) leaving the ledger
+        untouched.  ``force=True`` reserves without checking — crash
+        recovery re-adopts sweeps that were already admitted once and
+        must not lose them to a quota tightened since."""
+        quota = self.quota_for(tenant)
+        label = tenant if tenant is not None else "<default>"
+        with self._lock:
+            state = self._state(tenant)
+            if force:
+                state.sweeps += 1
+                state.tasks += tasks
+                return
+            if (
+                quota.max_sweeps is not None
+                and state.sweeps >= quota.max_sweeps
+            ):
+                raise AdmissionError(
+                    "quota",
+                    f"tenant {label} at max concurrent sweeps "
+                    f"({quota.max_sweeps}); finish or cancel one first",
+                    retry_after=1.0,
+                )
+            if (
+                quota.max_tasks is not None
+                and state.tasks + tasks > quota.max_tasks
+            ):
+                raise AdmissionError(
+                    "quota",
+                    f"tenant {label} task quota exceeded: {state.tasks} "
+                    f"queued + {tasks} requested > {quota.max_tasks}",
+                    retry_after=1.0,
+                )
+            if (
+                quota.max_shots is not None
+                and state.budget.remaining is not None
+                and state.budget.remaining <= 0
+            ):
+                raise AdmissionError(
+                    "quota",
+                    f"tenant {label} shot allowance exhausted "
+                    f"({state.budget.spent}/{quota.max_shots} shots spent)",
+                    retry_after=None,
+                )
+            state.sweeps += 1
+            state.tasks += tasks
+
+    def release(self, tenant: Optional[str], tasks: int) -> None:
+        """Return a finished/refused sweep's reservation to the pool."""
+        with self._lock:
+            state = self._state(tenant)
+            state.sweeps = max(0, state.sweeps - 1)
+            state.tasks = max(0, state.tasks - tasks)
+
+    def task_done(self, tenant: Optional[str]) -> None:
+        """One planned task reached the journal; shrink the reservation."""
+        with self._lock:
+            state = self._state(tenant)
+            state.tasks = max(0, state.tasks - 1)
+
+    # -- shots ---------------------------------------------------------
+    def charge_shots(self, tenant: Optional[str], shots: int) -> None:
+        """Charge delivered device shots, clamping at the allowance.
+
+        Admission already refused the sweep if the allowance was spent;
+        a sweep admitted with budget remaining is never aborted
+        mid-flight, so the final sweep may overshoot by at most one
+        sweep's worth — the documented soft-cap semantic.
+        """
+        if shots <= 0:
+            return
+        with self._lock:
+            budget = self._state(tenant).budget
+            remaining = budget.remaining
+            if remaining is not None:
+                shots = min(shots, max(remaining, 0))
+            if shots:
+                budget.charge(shots, tag="service")
+
+    # -- introspection -------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-tenant usage for ``status()`` / debugging."""
+        with self._lock:
+            out: Dict[str, dict] = {}
+            for tenant, state in self._states.items():
+                quota = self.quota_for(tenant)
+                out[tenant if tenant is not None else "<default>"] = {
+                    "sweeps": state.sweeps,
+                    "tasks": state.tasks,
+                    "shots_spent": state.budget.spent,
+                    "quota": quota.describe(),
+                }
+            return out

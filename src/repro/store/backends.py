@@ -65,6 +65,7 @@ __all__ = [
     "MemoryBackend",
     "ObjectStoreBackend",
     "FakeObjectClient",
+    "PrefixBackend",
     "open_backend",
     "set_default_object_client",
     "reset_memory_spaces",
@@ -728,6 +729,99 @@ class ObjectStoreBackend(StoreBackend):
         # as a marked sibling object so gc can age and drop it.
         part = f"{key}{_PART_SEP}{next(self._parts)}"
         self.client.put_object(self.bucket, self._k(part), data)
+
+
+# ----------------------------------------------------------------------
+# Key-prefix view (tenancy namespacing)
+# ----------------------------------------------------------------------
+class PrefixBackend(StoreBackend):
+    """A view of another backend with every key under a fixed prefix.
+
+    The whole store stack is key-addressed (artifacts, journals, leases),
+    so a prefix view *is* an isolated store: the sweep service uses it to
+    namespace each tenant under ``tenants/<id>/`` on any transport
+    without the journal/queue/artifact layers knowing tenancy exists.
+
+    The view's :attr:`locator` extends the inner path for ``dir`` and
+    ``s3`` backends (a pool or fleet worker can reopen the namespaced
+    subtree by locator); ``mem://`` spaces have no path hierarchy, so a
+    prefixed memory view keeps the inner locator and — like the inner
+    space itself — stays process-local (``cross_process`` is False).
+    """
+
+    def __init__(self, inner: StoreBackend, prefix: str) -> None:
+        if not prefix or not prefix.endswith("/"):
+            raise ValueError(f"prefix must end with '/': {prefix!r}")
+        if prefix.startswith("/") or ".." in prefix.split("/"):
+            raise ValueError(f"unsafe key prefix: {prefix!r}")
+        self.inner = inner
+        self.prefix = prefix
+
+    scheme = property(lambda self: self.inner.scheme)  # type: ignore[assignment]
+    packs_artifacts = property(lambda self: self.inner.packs_artifacts)  # type: ignore[assignment]
+
+    @property
+    def cross_process(self) -> bool:  # type: ignore[override]
+        # reopenable-by-locator requires a path scheme to extend
+        return self.inner.cross_process and self.inner.scheme in ("dir", "s3")
+
+    @property
+    def locator(self) -> str:
+        inner = self.inner.locator
+        if self.inner.scheme in ("dir", "s3"):
+            return inner.rstrip("/") + "/" + self.prefix.rstrip("/")
+        return inner  # mem://: no path hierarchy to extend
+
+    def _k(self, key: str) -> str:
+        return self.prefix + key
+
+    def _strip(self, keys: List[str]) -> List[str]:
+        n = len(self.prefix)
+        return [k[n:] for k in keys]
+
+    # -- blobs ---------------------------------------------------------
+    def put_atomic(self, key: str, data: bytes) -> None:
+        self.inner.put_atomic(self._k(key), data)
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        return self.inner.put_if_absent(self._k(key), data)
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self.inner.get(self._k(key))
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(self._k(key))
+
+    def stat(self, key: str) -> Optional[ObjectStat]:
+        return self.inner.stat(self._k(key))
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        return self._strip(self.inner.list_prefix(self._k(prefix)))
+
+    def delete(self, key: str) -> int:
+        return self.inner.delete(self._k(key))
+
+    def delete_if_equals(self, key: str, expect: bytes) -> bool:
+        return self.inner.delete_if_equals(self._k(key), expect)
+
+    # -- journal streams ----------------------------------------------
+    def append_line(self, key: str, data: bytes) -> None:
+        self.inner.append_line(self._k(key), data)
+
+    def read_from(
+        self, key: str, offset: int, limit: Optional[int] = None
+    ) -> Optional[Tuple[bytes, int]]:
+        return self.inner.read_from(self._k(key), offset, limit)
+
+    def truncate(self, key: str, size: int) -> None:
+        self.inner.truncate(self._k(key), size)
+
+    # -- crash debris --------------------------------------------------
+    def partial_keys(self, prefix: str) -> List[str]:
+        return self._strip(self.inner.partial_keys(self._k(prefix)))
+
+    def spill_partial(self, key: str, data: bytes) -> None:
+        self.inner.spill_partial(self._k(key), data)
 
 
 # ----------------------------------------------------------------------

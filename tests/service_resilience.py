@@ -1,0 +1,1060 @@
+"""Service resilience suite: admission, backpressure, crash recovery.
+
+This file certifies the multi-tenant hardening contract of
+``repro.service``:
+
+* **crash recovery** — a server killed ``-9`` mid-sweep leaves a durable
+  intent record, a stale journal advisory lock (dead pid) and possibly
+  stale fleet leases; a restart with ``recover=True`` re-adopts the
+  sweep under its original id, replays the journaled rows, reclaims the
+  leases and converges **bit-identically with zero duplicate journal
+  rows**.  Simulated in-process over every backend family (dir / mem /
+  s3, each also wrapped in a fault-injecting
+  :class:`~repro.store.faults.FaultyBackend`), and for real — actual
+  ``kill -9`` of a ``repro serve`` subprocess, threads and
+  ``--processes`` — over the directory backend;
+* **watch hardening** — every ``task`` frame carries a journal-row
+  cursor; a resilient client resumes exactly-once across connection
+  drops, slow-consumer ``overflow`` disconnects and graceful
+  ``server_shutdown`` restarts.  Slow consumers are cut with a cursor,
+  never silently dropped;
+* **admission control** — per-tenant quotas (sweeps / tasks / shots)
+  refuse over-quota submissions with structured errors while other
+  tenants proceed; a saturated backlog refuses with ``retry_after``;
+  per-connection rate limits throttle request floods (heartbeats
+  exempt); tenant state is namespaced under ``tenants/<id>/``;
+* **graceful shutdown** — SIGTERM-path drain journals in-flight tasks,
+  releases journal locks and fleet leases, keeps recovery intents, and
+  ends live watches with a terminal ``server_shutdown`` frame;
+* **client resilience** — request timeouts on stalled or half-closed
+  sockets (a ``TimeoutError`` is an ``OSError``: the CLI's exit-2
+  contract), bounded reconnect budgets, and the retention-eviction
+  watcher regression.
+
+Run directly (``pytest tests/service_resilience.py``) or via the CI
+backend matrix (``REPRO_CONFORMANCE_BACKEND=dir|mem|s3``).
+"""
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro._version import __version__
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.pipeline.runner import ParallelSweepRunner, execute_task
+from repro.service import (
+    AdmissionError,
+    FleetWorker,
+    SweepCoordinator,
+    SweepServer,
+    TaskQueue,
+    TenantQuota,
+)
+from repro.service.client import ServiceError, SweepClient
+from repro.service.server import _WatchStalled
+from repro.store import (
+    ArtifactStore,
+    FakeObjectClient,
+    Fault,
+    FaultyBackend,
+    LocalDirBackend,
+    MemoryBackend,
+    ObjectStoreBackend,
+    TransientStoreError,
+    reset_memory_spaces,
+)
+from repro.store.journal import journal_key, journal_spec_digest
+
+# ----------------------------------------------------------------------
+# The backend matrix (same shape as tests/fleet_conformance.py)
+# ----------------------------------------------------------------------
+_FAMILIES = ("dir", "mem", "s3")
+_ONLY = os.environ.get("REPRO_CONFORMANCE_BACKEND")
+
+_names = []
+for fam in _FAMILIES if _ONLY is None else (_ONLY,):
+    _names.extend([fam, f"{fam}+faults"])
+
+SERVER_ID = "chaos"
+
+
+def _make_backend(name, tmp_path, mem_counter=[0]):
+    fam, _, faulty = name.partition("+")
+    if fam == "dir":
+        inner = LocalDirBackend(tmp_path / "store")
+    elif fam == "mem":
+        mem_counter[0] += 1
+        space = f"service-resilience-{mem_counter[0]}"
+        reset_memory_spaces(space)
+        inner = MemoryBackend(space)
+    elif fam == "s3":
+        inner = ObjectStoreBackend("bucket", "tier", client=FakeObjectClient())
+    else:  # pragma: no cover - config error
+        raise ValueError(f"unknown backend family {fam!r}")
+    if faulty:
+        return FaultyBackend(
+            inner,
+            faults=tuple(
+                Fault(op=op, nth=1, kind="raise")
+                for op in (
+                    "put_atomic", "put_if_absent", "get", "stat",
+                    "list_prefix", "delete", "delete_if_equals",
+                    "append_line", "read_from",
+                )
+            ),
+            latency=0.0002,
+        )
+    return inner
+
+
+def _cleanup(backend):
+    inner = backend.inner if isinstance(backend, FaultyBackend) else backend
+    if isinstance(inner, MemoryBackend):
+        reset_memory_spaces(inner.name)
+
+
+@pytest.fixture(params=_names)
+def backend(request, tmp_path):
+    b = _make_backend(request.param, tmp_path)
+    yield b
+    _cleanup(b)
+
+
+@pytest.fixture(params=_FAMILIES if _ONLY is None else (_ONLY,))
+def plain_backend(request, tmp_path):
+    """Un-faulted variants, for tests whose server executes tasks in its
+    own slots (local calibration writes don't sit behind the fleet's
+    retry discipline — scripting faults into them tests the store stack,
+    not the service)."""
+    b = _make_backend(request.param, tmp_path)
+    yield b
+    _cleanup(b)
+
+
+@pytest.fixture
+def mem_backend():
+    """One throwaway memory backend, for tests where the store family is
+    irrelevant (protocol/admission behaviour)."""
+    b = _make_backend("mem", None)
+    yield b
+    _cleanup(b)
+
+
+def op(fn, *args, **kwargs):
+    """Bounded-retry helper for *test-side* backend calls (the client
+    discipline the backend contract asks for)."""
+    for _ in range(50):
+        try:
+            return fn(*args, **kwargs)
+        except TransientStoreError:
+            continue
+    raise AssertionError("transient storm outlasted 50 retries")
+
+
+# ----------------------------------------------------------------------
+# Spec + assertion helpers
+# ----------------------------------------------------------------------
+def cheap_spec(trials=2, seed=23, **overrides):
+    """A tiny grid (milliseconds per task) — chaos tests orchestrate the
+    *schedule* deterministically, they don't need expensive tasks."""
+    defaults = dict(
+        backends=(
+            BackendSpec(kind="device", name="quito", gate_noise=False),
+            BackendSpec(kind="device", name="lima", gate_noise=False),
+        ),
+        circuits=(CircuitSpec(root=0),),
+        shots=(200,),
+        methods=("Bare",),
+        trials=trials,
+        seed=seed,
+        full_max_qubits=5,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+_reference_cache = {}
+
+
+def reference_records(spec):
+    """The single-machine serial run — the bits every resilience
+    permutation must reproduce exactly."""
+    digest = journal_spec_digest(spec)
+    if digest not in _reference_cache:
+        _reference_cache[digest] = run_sweep(spec).records
+    return _reference_cache[digest]
+
+
+def journal_task_rows(backend, spec, prefix=""):
+    data, _ = op(backend.read_from, prefix + journal_key(spec), 0)
+    rows = [
+        json.loads(line)
+        for line in data.decode("utf-8").splitlines()
+        if line.strip()
+    ]
+    return [r for r in rows if "point" in r]
+
+
+def assert_exactly_once_journal(backend, spec, prefix=""):
+    rows = journal_task_rows(backend, spec, prefix=prefix)
+    coords = [(r["point"], tuple(r["trials"])) for r in rows]
+    assert len(coords) == len(set(coords)), (
+        f"duplicate journal rows: "
+        f"{sorted(c for c in coords if coords.count(c) > 1)}"
+    )
+    assert len(coords) == spec.num_tasks
+
+
+def lock_key_for(spec):
+    key = journal_key(spec)
+    return key[: -len(".jsonl")] + ".lock"
+
+
+def intent_key_for(sweep_id, server_id=SERVER_ID):
+    return f"server/{server_id}/sweeps/{sweep_id}.json"
+
+
+def dead_pid():
+    """A pid guaranteed to belong to no live process."""
+    proc = subprocess.Popen(["sleep", "0"])
+    proc.wait()
+    return proc.pid
+
+
+# ----------------------------------------------------------------------
+# Crash recovery: the kill -9 contract (backend x faults matrix)
+# ----------------------------------------------------------------------
+class TestCrashRecovery:
+    def test_kill_minus_nine_converges_bit_identically(self, backend):
+        """The tentpole invariant, over every backend family and a flaky
+        store link: a server hard-killed mid-sweep leaves half a journal,
+        a dead-pid advisory lock, a stale fleet lease and its intent
+        record; a recovering server re-adopts the sweep under its
+        original id, replays what was journaled and finishes the rest —
+        bit-identical records, zero duplicate rows, intent retired."""
+        spec = cheap_spec(trials=4)  # 8 tasks
+        inner = backend.inner if isinstance(backend, FaultyBackend) else backend
+        digest = journal_spec_digest(spec)
+        sweep_id = f"{digest}-1"
+
+        # -- phase 1: the crashed server's footprint, written raw over
+        # the un-faulted inner view (how the store *looks* after kill -9
+        # is fixed; the faults belong to the recovery phase under test)
+        session = ParallelSweepRunner(
+            workers=1, store=ArtifactStore(inner)
+        ).open_session(spec)
+        coords = list(session.pending)
+        journaled = coords[: len(coords) // 2]
+        try:
+            for coord in journaled:
+                point, trials = coord
+                # storeless execution: bit-identical, and locator-free
+                # (an injected-client s3 store cannot be reopened)
+                session.record(coord, execute_task(spec, point, trials, None))
+        finally:
+            session.close()
+        # kill -9 deletes nothing: the advisory lock stays, holder dead
+        assert inner.put_if_absent(
+            lock_key_for(spec), str(dead_pid()).encode("utf-8")
+        )
+        # the durable intent the coordinator wrote at admission
+        inner.put_atomic(
+            intent_key_for(sweep_id),
+            json.dumps(
+                {
+                    "sweep_id": sweep_id,
+                    "tenant": None,
+                    "resume": False,
+                    "spec": spec.to_dict(),
+                    "version": __version__,
+                },
+                sort_keys=True,
+            ).encode("utf-8"),
+        )
+        # a worker that died task-in-hand: its store lease outlives it
+        stale_coord = next(c for c in coords if c not in set(journaled))
+        assert TaskQueue(inner, digest, ttl=0.01).claim(stale_coord, "w-dead")
+        time.sleep(0.05)  # past the stale lease's deadline
+
+        # -- phase 2: recovery over the (possibly faulted) backend; the
+        # remainder executes via a fleet worker, like a production pool
+        async def body():
+            server = await SweepServer(
+                ArtifactStore(backend),
+                port=0,
+                workers=0,
+                lease_ttl=0.4,
+                heartbeat_timeout=5.0,
+                server_id=SERVER_ID,
+            ).start(recover=True)
+            stop = threading.Event()
+            worker = FleetWorker(port=server.port, poll=0.02)
+            thread = threading.Thread(
+                target=worker.run_sync, args=(stop.is_set,), daemon=True
+            )
+            thread.start()
+            try:
+                assert server.coordinator.recovered_count == 1
+                async with SweepClient(port=server.port, timeout=60.0) as client:
+                    status = await client.status(sweep_id)
+                    assert status["recovered"] is True
+                    result = await client.results(sweep_id)
+                return result, server.coordinator.status(sweep_id)
+            finally:
+                stop.set()
+                await asyncio.to_thread(thread.join, 30)
+                await server.close()
+
+        result, status = asyncio.run(body())
+        assert result.records == reference_records(spec)
+        assert_exactly_once_journal(inner, spec)
+        assert status["state"] == "done"
+        assert status["recovered"] is True
+        assert status["plan"]["journaled"] == len(journaled)
+        # done -> the recovery intent is retired; a second restart
+        # would adopt nothing
+        assert not op(backend.exists, intent_key_for(sweep_id))
+
+    def test_poison_intent_is_dropped_not_wedged(self, plain_backend):
+        """An unparseable intent record must not wedge every future
+        restart: recover() deletes it and adopts nothing."""
+        key = intent_key_for("junk")
+        plain_backend.put_atomic(key, b"{this is not json")
+
+        async def body():
+            coord = SweepCoordinator(
+                ArtifactStore(plain_backend), workers=0, server_id=SERVER_ID
+            )
+            try:
+                return await coord.recover()
+            finally:
+                await coord.close()
+
+        adopted = asyncio.run(body())
+        assert adopted == []
+        assert not plain_backend.exists(key)
+
+
+# ----------------------------------------------------------------------
+# Crash recovery, for real: kill -9 a `repro serve` subprocess
+# ----------------------------------------------------------------------
+def _popen_serve(store_dir, port, log_path, recover=False, processes=False):
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--store", str(store_dir), "--port", str(port),
+        "--workers", "1", "--server-id", "kill9",
+    ]
+    if recover:
+        cmd.append("--recover")
+    if processes:
+        cmd.append("--processes")
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    # own process group: kill -9 of the *server* pid leaves `--processes`
+    # pool children orphaned (exactly like production); the test reaps
+    # the whole group at cleanup so they cannot outlive the run
+    return subprocess.Popen(
+        cmd, stderr=open(log_path, "wb"), stdout=subprocess.DEVNULL,
+        env=env, start_new_session=True,
+    )
+
+
+def _await_banner(log_path, pattern, deadline=30.0):
+    """Wait for the serve banner; returns the regex match."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if log_path.exists():
+            match = re.search(pattern, log_path.read_text(errors="replace"))
+            if match:
+                return match
+        time.sleep(0.05)
+    raise AssertionError(
+        f"server banner {pattern!r} never appeared in "
+        f"{log_path.read_text(errors='replace') if log_path.exists() else '<no log>'}"
+    )
+
+
+class TestRealKillNine:
+    @pytest.mark.parametrize("mode", ["threads", "processes"])
+    def test_subprocess_kill9_restart_recovers(self, tmp_path, mode):
+        """An actual ``kill -9`` of ``repro serve`` mid-sweep, then a
+        restart with ``--recover`` on the same store: the interrupted
+        sweep converges bit-identically, exactly-once, and its status
+        reports ``recovered``.  Runs the coordinator's thread pool and
+        ``--processes`` pool."""
+        if _ONLY not in (None, "dir"):
+            pytest.skip("subprocess kill -9 runs in the dir family only")
+        # full default methods: slow enough tasks (~0.1s) that the kill
+        # lands mid-sweep under any scheduler hiccup
+        spec = cheap_spec(
+            trials=6, methods=("Bare", "Full", "Linear", "CMC"), shots=(1000,)
+        )
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        store_dir = tmp_path / "store"
+        log1 = tmp_path / "serve1.log"
+
+        proc1 = _popen_serve(
+            store_dir, 0, log1, processes=(mode == "processes")
+        )
+        proc2 = None
+        try:
+            port = int(
+                _await_banner(log1, r"listening on 127\.0\.0\.1:(\d+)").group(1)
+            )
+            submit = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "submit",
+                    "--spec", str(spec_path), "--port", str(port),
+                ],
+                capture_output=True,
+                text=True,
+                timeout=60,
+                env={
+                    **os.environ,
+                    "PYTHONPATH": str(
+                        Path(__file__).resolve().parents[1] / "src"
+                    ),
+                },
+            )
+            assert submit.returncode == 0, submit.stderr
+            sweep_id = re.search(r"submitted (\S+)", submit.stdout).group(1)
+
+            # wait until at least one task row is journaled, then murder
+            journal_path = store_dir / journal_key(spec)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if journal_path.exists():
+                    rows = [
+                        line
+                        for line in journal_path.read_text().splitlines()
+                        if '"point"' in line
+                    ]
+                    if rows:
+                        break
+                time.sleep(0.01)
+            else:
+                raise AssertionError("no task row ever journaled")
+            os.kill(proc1.pid, signal.SIGKILL)
+            proc1.wait(timeout=30)
+
+            # kill -9 left the intent and the (dead-pid) journal lock
+            intent_path = store_dir / intent_key_for(sweep_id, "kill9")
+            assert intent_path.exists()
+
+            log2 = tmp_path / "serve2.log"
+            # a fresh ephemeral port: orphaned pool children of the
+            # killed server still hold the inherited listener fd, so the
+            # old port may be unbindable — sweep identity lives in the
+            # store, not the address
+            proc2 = _popen_serve(
+                store_dir, 0, log2, recover=True,
+                processes=(mode == "processes"),
+            )
+            banner = _await_banner(log2, r"listening on .*").group(0)
+            assert "1 sweep(s) recovered" in banner
+            port2 = int(
+                re.search(r"listening on 127\.0\.0\.1:(\d+)", banner).group(1)
+            )
+
+            async def follow():
+                async with SweepClient(port=port2, timeout=120.0) as client:
+                    status = await client.status(sweep_id)
+                    result = await client.results(sweep_id)
+                    return status, result
+
+            status, result = asyncio.run(follow())
+            assert status["recovered"] is True
+            assert result.records == reference_records(spec)
+            proc2.send_signal(signal.SIGTERM)
+            assert proc2.wait(timeout=30) == 0
+            proc2 = None
+        finally:
+            for proc in (proc1, proc2):
+                if proc is None:
+                    continue
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+                try:  # reap orphaned --processes pool children
+                    os.killpg(proc.pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+        assert_exactly_once_journal(LocalDirBackend(store_dir), spec)
+
+
+# ----------------------------------------------------------------------
+# Watch hardening: cursors, overflow, restarts, eviction
+# ----------------------------------------------------------------------
+class TestWatchResilience:
+    def test_cursor_exactly_once_across_server_restart(self, plain_backend):
+        """A resilient watch survives a graceful restart: rows streamed
+        before the shutdown and after the recovery merge into exactly one
+        sighting of every journal row.  The pre-restart progress is
+        driven manually over fleet verbs, so exactly 3 rows exist at the
+        cut — no timing races."""
+        spec = cheap_spec(trials=5)  # 10 tasks
+        store = ArtifactStore(plain_backend)
+
+        async def body():
+            server1 = await SweepServer(
+                store, port=0, workers=0, server_id="restart",
+                lease_ttl=30.0, heartbeat_timeout=30.0,
+            ).start()
+            port = server1.port
+            rows = []
+            async with SweepClient(port=port, timeout=30.0) as ctl:
+                sweep_id = await ctl.submit(spec)
+                worker_id = (await ctl.attach(name="hand"))["worker_id"]
+                watcher_client = SweepClient(
+                    port=port, timeout=30.0, backoff=0.05,
+                    reconnects=20, connect_retries=10,
+                )
+                await watcher_client.connect()
+                three_seen = asyncio.Event()
+
+                async def consume():
+                    async for row in watcher_client.watch(sweep_id):
+                        rows.append(row)
+                        if len(rows) >= 3:
+                            three_seen.set()
+
+                watch_task = asyncio.create_task(consume())
+                from fleet_conformance import execute_payload_entry
+
+                for _ in range(3):
+                    task = None
+                    while task is None:
+                        task = await ctl.lease(worker_id)
+                        if task is None:
+                            await asyncio.sleep(0.01)
+                    await ctl.complete(
+                        worker_id, sweep_id,
+                        await asyncio.to_thread(execute_payload_entry, task),
+                    )
+                await asyncio.wait_for(three_seen.wait(), 30)
+            await server1.shutdown(grace=0.5)
+
+            # restart on the same port; this server drains the rest itself
+            server2 = await SweepServer(
+                store, port=port, workers=1, server_id="restart"
+            ).start(recover=True)
+            try:
+                assert server2.coordinator.recovered_count == 1
+                await asyncio.wait_for(watch_task, 60)
+                async with SweepClient(port=port, timeout=60.0) as ctl:
+                    status = await ctl.status(sweep_id)
+                    result = await ctl.results(sweep_id)
+            finally:
+                await watcher_client.close()
+                await server2.close()
+            return rows, status, result
+
+        rows, status, result = asyncio.run(body())
+        coords = [(r["point"], tuple(r["trials"])) for r in rows]
+        assert len(coords) == spec.num_tasks
+        assert len(set(coords)) == spec.num_tasks  # exactly once, no gaps
+        assert status["recovered"] is True
+        assert result.records == reference_records(spec)
+        assert_exactly_once_journal(plain_backend, spec)
+
+    def test_slow_consumer_gets_overflow_then_disconnect(self, mem_backend):
+        """The slow-consumer policy, against the real stream path: a
+        consumer whose transport never drains is cut after the stall
+        deadline with a best-effort ``overflow`` frame carrying the
+        cursor — never silently dropped."""
+        spec = cheap_spec(trials=2)
+
+        class StalledWriter:
+            """A transport whose peer stopped reading: writes buffer
+            forever, drain never completes."""
+
+            def __init__(self):
+                self.chunks = []
+                self.transport = None
+
+            def write(self, data):
+                self.chunks.append(data)
+
+            async def drain(self):
+                await asyncio.Future()  # never resolves
+
+            def is_closing(self):
+                return False
+
+        async def body():
+            server = SweepServer(
+                ArtifactStore(mem_backend),
+                workers=1,
+                watch_stall_timeout=0.2,
+                watch_tick_interval=60.0,
+            )
+            try:
+                job = await server.coordinator.submit(spec)
+                await server.coordinator.result(job.sweep_id)
+                writer = StalledWriter()
+                with pytest.raises(_WatchStalled):
+                    await server._stream_watch(writer, job, 0)
+                return writer.chunks
+            finally:
+                await server.coordinator.close()
+
+        chunks = asyncio.run(body())
+        frames = [json.loads(line) for line in b"".join(chunks).splitlines()]
+        assert frames[-1]["event"] == "overflow"
+        assert isinstance(frames[-1]["cursor"], int)
+        assert "reconnect" in frames[-1]["error"]
+
+    def test_client_resumes_exactly_once_from_overflow_and_shutdown(self):
+        """The client half of the cursor protocol, against a scripted
+        server: an ``overflow`` cut, then a ``server_shutdown`` restart
+        — each re-subscription must carry the last *received* row's
+        cursor, and the merged stream yields every row exactly once
+        (ticks ignored, read deadline refreshed)."""
+
+        async def body():
+            subscriptions = []
+
+            async def handle(reader, writer):
+                request = json.loads(await reader.readline())
+                assert request["op"] == "watch"
+                subscriptions.append(request.get("cursor", 0))
+
+                def send(obj):
+                    writer.write(json.dumps(obj).encode("utf-8") + b"\n")
+
+                send({"ok": True, "sweep_id": request["sweep_id"],
+                      "cursor": request.get("cursor", 0)})
+                n = len(subscriptions)
+                if n == 1:
+                    send({"event": "task", "cursor": 1, "point": 0})
+                    send({"event": "task", "cursor": 2, "point": 1})
+                    send({"event": "overflow", "cursor": 2})
+                elif n == 2:
+                    send({"event": "tick", "cursor": 2})
+                    send({"event": "task", "cursor": 3, "point": 2})
+                    send({"event": "server_shutdown", "cursor": 3,
+                          "state": "running"})
+                else:
+                    send({"event": "task", "cursor": 4, "point": 3})
+                    send({"event": "end", "cursor": 4, "state": "done",
+                          "error": ""})
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = SweepClient(port=port, timeout=5.0, backoff=0.02)
+            await client.connect()
+            rows = [row async for row in client.watch("s-1")]
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return subscriptions, rows
+
+        subscriptions, rows = asyncio.run(body())
+        # re-joined exactly at the last received row, both times
+        assert subscriptions == [0, 2, 3]
+        assert [row["point"] for row in rows] == [0, 1, 2, 3]
+
+    def test_watch_reconnect_budget_is_bounded(self):
+        """A server that dies and stays dead exhausts the reconnect
+        budget and raises — the client never spins forever."""
+
+        async def body():
+            async def handle(reader, writer):
+                await reader.readline()
+                writer.write(
+                    json.dumps({"ok": True, "cursor": 0}).encode() + b"\n"
+                )
+                writer.write(
+                    json.dumps(
+                        {"event": "task", "cursor": 1, "point": 0}
+                    ).encode() + b"\n"
+                )
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = SweepClient(
+                port=port, timeout=2.0, connect_retries=0,
+                reconnects=2, backoff=0.02,
+            )
+            await client.connect()
+            rows = []
+            # the fake server drops every stream after one row; once it
+            # stops listening entirely, the budget must bound the retries
+            exhausted = None
+            try:
+                async for row in client.watch("s-1"):
+                    rows.append(row)
+                    if len(rows) == 2:
+                        server.close()
+                        await server.wait_closed()
+            except (ConnectionError, OSError) as exc:
+                exhausted = exc
+            await client.close()
+            return rows, exhausted
+
+        rows, exhausted = asyncio.run(body())
+        assert len(rows) >= 2
+        assert exhausted is not None
+
+    def test_retention_eviction_cannot_starve_live_watcher(self, mem_backend):
+        """Regression: ``max_finished_jobs`` eviction racing a live
+        watcher.  A watch opened while the job exists pins the job
+        object; eviction mid-stream loses no rows.  A watch opened
+        *after* eviction refuses eagerly (KeyError), not mid-stream."""
+        spec_a = cheap_spec(trials=2, seed=1)
+        spec_b = cheap_spec(trials=2, seed=2)
+
+        async def body():
+            coord = SweepCoordinator(
+                ArtifactStore(mem_backend), workers=1, max_finished_jobs=1
+            )
+            try:
+                job_a = await coord.submit(spec_a)
+                await coord.result(job_a.sweep_id)
+                watcher = coord.watch(job_a.sweep_id)  # pins the job object
+                job_b = await coord.submit(spec_b)
+                await coord.result(job_b.sweep_id)
+                with pytest.raises(KeyError):
+                    coord.job(job_a.sweep_id)  # evicted by retention
+                rows = [event async for event in watcher]
+                with pytest.raises(KeyError):
+                    coord.watch(job_a.sweep_id)  # late watch refuses eagerly
+                return rows
+            finally:
+                await coord.close()
+
+        rows = asyncio.run(body())
+        assert len(rows) == spec_a.num_tasks
+
+
+# ----------------------------------------------------------------------
+# Admission control: quotas, saturation, rate limits
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_quota_refusal_is_structured_and_tenant_isolated(
+        self, plain_backend
+    ):
+        """Over-quota submissions answer a structured ``quota`` error —
+        and only throttle their own tenant: bob and the default tenant
+        proceed, alice's slot frees on cancel.  Tenant state lives under
+        ``tenants/<id>/`` in the shared store."""
+        store = ArtifactStore(plain_backend)
+        spec_a = cheap_spec(trials=2, seed=1)
+
+        async def body():
+            server = await SweepServer(
+                store, port=0, workers=0,
+                tenant_quotas={"alice": TenantQuota(max_sweeps=1)},
+            ).start()
+            try:
+                async with SweepClient(port=server.port, timeout=30.0) as c:
+                    a1 = await c.submit(spec_a, tenant="alice")
+                    with pytest.raises(ServiceError) as exc_info:
+                        await c.submit(
+                            cheap_spec(trials=2, seed=2), tenant="alice"
+                        )
+                    refusal = exc_info.value
+                    assert refusal.kind == "quota"
+                    assert refusal.retry_after is not None
+                    assert "alice" in str(refusal)
+
+                    # the raw wire shape: error is an object, not a string
+                    await c._send({
+                        "op": "submit",
+                        "spec": cheap_spec(trials=2, seed=3).to_dict(),
+                        "tenant": "alice",
+                    })
+                    response = await c._read()
+                    assert response["ok"] is False
+                    assert isinstance(response["error"], dict)
+                    assert response["error"]["kind"] == "quota"
+                    assert "message" in response["error"]
+
+                    # other tenants sail through the same server
+                    b1 = await c.submit(cheap_spec(trials=2, seed=2), tenant="bob")
+                    d1 = await c.submit(cheap_spec(trials=2, seed=3))
+                    # wait for a1's journal before cancelling: the
+                    # namespacing assertion below needs it on disk
+                    alice_journal = "tenants/alice/" + journal_key(spec_a)
+                    for _ in range(500):
+                        if plain_backend.exists(alice_journal):
+                            break
+                        await asyncio.sleep(0.01)
+                    # a finished/cancelled sweep frees the quota slot
+                    await c.cancel(a1)
+                    a2 = await c.submit(cheap_spec(trials=2, seed=4), tenant="alice")
+                    for sweep_id in (a2, b1, d1):
+                        await c.cancel(sweep_id)
+            finally:
+                await server.close()
+
+        asyncio.run(body())
+        # alice's journal lives under her namespace, not the root
+        assert plain_backend.exists("tenants/alice/" + journal_key(spec_a))
+        assert not plain_backend.exists(journal_key(spec_a))
+
+    def test_shot_budget_exhaustion_refuses_new_sweeps(self, mem_backend):
+        """The shot allowance is a soft cap: an admitted sweep always
+        completes (bit-identity is never sacrificed mid-flight), but once
+        the allowance is spent the next submission is refused — with no
+        ``retry_after`` (waiting will not help)."""
+        spec = cheap_spec(trials=2, seed=5)
+
+        async def body():
+            coord = SweepCoordinator(
+                ArtifactStore(mem_backend),
+                workers=1,
+                tenant_quotas={"alice": TenantQuota(max_shots=1)},
+            )
+            try:
+                job = await coord.submit(spec, tenant="alice")
+                result = await coord.result(job.sweep_id)
+                with pytest.raises(AdmissionError) as exc_info:
+                    await coord.submit(cheap_spec(trials=2, seed=6), tenant="alice")
+                refusal = exc_info.value
+                # bob's allowance is untouched by alice's exhaustion
+                bob = await coord.submit(cheap_spec(trials=2, seed=6), tenant="bob")
+                await coord.result(bob.sweep_id)
+                return result, refusal
+            finally:
+                await coord.close()
+
+        result, refusal = asyncio.run(body())
+        assert result.records == reference_records(spec)
+        assert refusal.kind == "quota"
+        assert refusal.retry_after is None
+        assert "shot" in str(refusal)
+
+    def test_saturated_backlog_refuses_with_retry_after(self, mem_backend):
+        """Past ``max_pending_tasks`` the coordinator refuses instead of
+        queueing — with a throughput-derived ``retry_after`` hint — but
+        an *idle* coordinator always admits (one oversized spec must
+        remain runnable), and a drained backlog admits again."""
+
+        async def body():
+            coord = SweepCoordinator(
+                ArtifactStore(mem_backend), workers=0, max_pending_tasks=4
+            )
+            try:
+                big = cheap_spec(trials=4, seed=1)  # 8 tasks > cap, idle: ok
+                job = await coord.submit(big)
+                with pytest.raises(AdmissionError) as exc_info:
+                    await coord.submit(cheap_spec(trials=1, seed=2))
+                refusal = exc_info.value
+                assert refusal.kind == "saturated"
+                assert 0.5 <= refusal.retry_after <= 60.0
+                wire = refusal.to_wire()
+                assert set(wire) == {"kind", "message", "retry_after"}
+                # draining the backlog re-opens the door
+                await coord.cancel(job.sweep_id)
+                await coord.submit(cheap_spec(trials=1, seed=2))
+            finally:
+                await coord.close()
+
+        asyncio.run(body())
+
+    def test_rate_limit_throttles_but_exempts_heartbeats(self, mem_backend):
+        """A flooding connection gets structured ``rate_limited``
+        refusals with ``retry_after`` — and stays usable.  Heartbeats
+        are exempt: throttling a fleet worker's liveness signal would
+        cascade into spurious lease re-issues."""
+
+        async def body():
+            server = await SweepServer(
+                ArtifactStore(mem_backend),
+                port=0, workers=0, rate_limit=5.0, rate_burst=2.0,
+            ).start()
+            try:
+                async with SweepClient(port=server.port, timeout=10.0) as c:
+                    kinds = []
+                    for _ in range(6):
+                        try:
+                            await c.status("no-such-sweep")
+                        except ServiceError as exc:
+                            kinds.append((exc.kind, exc.retry_after))
+                    throttled = [k for k in kinds if k[0] == "rate_limited"]
+                    assert throttled, kinds
+                    assert all(ra > 0 for _, ra in throttled)
+                    # unknown-sweep refusals stay plain protocol errors
+                    assert kinds[0][0] is None
+
+                    # heartbeats never rate-limit, even with the bucket dry
+                    for _ in range(6):
+                        with pytest.raises(ServiceError) as exc_info:
+                            await c.heartbeat("no-such-worker")
+                        assert exc_info.value.kind is None
+                        assert "unknown worker" in str(exc_info.value)
+
+                    # the bucket refills: the connection was never torn
+                    await asyncio.sleep(0.5)
+                    with pytest.raises(ServiceError) as exc_info:
+                        await c.status("no-such-sweep")
+                    assert exc_info.value.kind is None
+            finally:
+                await server.close()
+
+        asyncio.run(body())
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown (the SIGTERM path, in-process)
+# ----------------------------------------------------------------------
+class TestGracefulShutdown:
+    def test_drain_flushes_releases_and_announces(self, plain_backend):
+        """``shutdown()`` lets in-flight tasks journal, releases the
+        journal advisory lock and every fleet lease, keeps the recovery
+        intent, sends live watchers a terminal ``server_shutdown`` frame
+        with their cursor, and refuses new submissions as ``shutdown``."""
+        spec = cheap_spec(trials=4, seed=11)
+        digest = journal_spec_digest(spec)
+        store = ArtifactStore(plain_backend)
+
+        async def body():
+            server = await SweepServer(
+                store, port=0, workers=0, server_id="drainer",
+                lease_ttl=30.0, heartbeat_timeout=30.0,
+            ).start()
+            ctl = await SweepClient(port=server.port, timeout=30.0).connect()
+            watcher = await SweepClient(port=server.port, timeout=30.0).connect()
+            try:
+                sweep_id = await ctl.submit(spec)
+                worker_id = (await ctl.attach(name="hand"))["worker_id"]
+
+                frames = []
+
+                async def pump():
+                    await watcher.request(op="watch", sweep_id=sweep_id)
+                    while True:
+                        frame = await watcher._read()
+                        frames.append(frame)
+                        if frame.get("event") in ("end", "server_shutdown"):
+                            return
+
+                pump_task = asyncio.create_task(pump())
+                from fleet_conformance import execute_payload_entry
+
+                # one task journals; a second is leased and never returns
+                # (the drain must not wait for it forever)
+                first = None
+                while first is None:
+                    first = await ctl.lease(worker_id)
+                    if first is None:
+                        await asyncio.sleep(0.01)
+                await ctl.complete(
+                    worker_id, sweep_id,
+                    await asyncio.to_thread(execute_payload_entry, first),
+                )
+                abandoned = None
+                while abandoned is None:
+                    abandoned = await ctl.lease(worker_id)
+                    if abandoned is None:
+                        await asyncio.sleep(0.01)
+
+                await server.shutdown(grace=0.5)
+                await asyncio.wait_for(pump_task, 15)
+
+                with pytest.raises(AdmissionError) as exc_info:
+                    await server.coordinator.submit(cheap_spec(trials=1, seed=12))
+                assert exc_info.value.kind == "shutdown"
+                return frames, sweep_id
+            finally:
+                await ctl.close()
+                await watcher.close()
+                await server.close()
+
+        frames, sweep_id = asyncio.run(body())
+        tasks_seen = sum(1 for f in frames if f.get("event") == "task")
+        assert tasks_seen == 1
+        terminal = frames[-1]
+        assert terminal["event"] == "server_shutdown"
+        assert terminal["cursor"] == tasks_seen
+        # flushed: exactly the completed row is durable
+        assert len(journal_task_rows(plain_backend, spec)) == 1
+        # released: no journal lock, no fleet leases left behind
+        assert not plain_backend.exists(lock_key_for(spec))
+        assert op(plain_backend.list_prefix, f"queue/{digest}/") == []
+        # kept: the intent — a restart with recover=True resumes this sweep
+        assert plain_backend.exists(intent_key_for(sweep_id, "drainer"))
+
+
+# ----------------------------------------------------------------------
+# Client resilience: timeouts on stalled / half-closed sockets
+# ----------------------------------------------------------------------
+class TestClientTimeouts:
+    def test_request_times_out_on_stalled_server(self):
+        """A server that accepts and never answers must surface as a
+        bounded ``TimeoutError`` — which is an ``OSError``, the CLI's
+        exit-2 contract — not a hang."""
+
+        async def body():
+            async def stall(reader, writer):
+                await asyncio.sleep(3600)
+
+            server = await asyncio.start_server(stall, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = SweepClient(port=port, timeout=0.3, connect_retries=0)
+            await client.connect()
+            started = time.monotonic()
+            with pytest.raises(TimeoutError) as exc_info:
+                await client.request(op="status", sweep_id="x")
+            elapsed = time.monotonic() - started
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return exc_info.value, elapsed
+
+        exc, elapsed = asyncio.run(body())
+        assert elapsed < 5.0
+        assert isinstance(exc, OSError)
+        assert "timed out" in str(exc)
+
+    def test_half_closed_socket_raises_connection_error(self):
+        """A peer that reads the request then closes without answering
+        raises ``ConnectionError`` promptly (no timeout wait)."""
+
+        async def body():
+            async def eof(reader, writer):
+                await reader.readline()
+                writer.close()
+
+            server = await asyncio.start_server(eof, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = SweepClient(port=port, timeout=5.0, connect_retries=0)
+            await client.connect()
+            with pytest.raises(ConnectionError):
+                await client.request(op="status", sweep_id="x")
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(body())
+
+    def test_structured_errors_parse_into_service_error(self):
+        """The client exposes ``kind``/``retry_after`` from structured
+        refusals while ``str(exc)`` stays the bare human message (fleet
+        eviction detection string-matches on it)."""
+        structured = ServiceError(
+            {"kind": "saturated", "message": "backlog full", "retry_after": 2.5}
+        )
+        assert structured.kind == "saturated"
+        assert structured.retry_after == 2.5
+        assert str(structured) == "backlog full"
+        plain = ServiceError("unknown worker w9")
+        assert plain.kind is None
+        assert plain.retry_after is None
+        assert "unknown worker" in str(plain)
