@@ -39,6 +39,7 @@ PERF_BENCHES = [
     "test_bench_service.py",
     "test_bench_fleet.py",
     "test_bench_load.py",
+    "test_bench_calgraph.py",
 ]
 
 

@@ -1,0 +1,178 @@
+"""Node-granular calibration persistence: the `CalibrationGraphCache`.
+
+Where :class:`~repro.store.calcache.PersistentCalibrationCache` stores one
+monolithic blob per ``(device, method)`` calibration event, this adapter
+stores **one artifact per DAG node**, keyed by
+
+``(device, method, node, qubits, shots, seed, local-noise-fingerprint,
+upstream-digests, params)``
+
+so a drifted model invalidates exactly the nodes whose local fingerprint
+changed — everything else remains addressable and restores as a warm hit.
+Upstream digests chain: a derived node's key embeds the content digests of
+its dependencies' keys, so re-measuring any upstream node automatically
+re-keys (and therefore re-derives) everything downstream, without any
+explicit invalidation pass.
+
+Both layers share the same two-tier shape (memory dict over the artifact
+store) and the same version-refusal policy — node states are bit-identity
+claims, which only hold within one engine version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro._version import __version__
+from repro.calgraph.state import CalNodeState
+from repro.pipeline.cache import CacheStats, CalibrationRecord
+from repro.store.artifacts import ArtifactStore, canonical_key_digest
+
+__all__ = ["CalibrationGraphCache", "node_key", "node_digest"]
+
+#: Artifact namespace for calibration DAG node states.
+KIND = "calgraph-node"
+
+
+def node_key(
+    *,
+    device: str,
+    method: str,
+    node: str,
+    qubits: Tuple[int, ...],
+    shots: int,
+    seed: int,
+    fingerprint: str,
+    deps: Mapping[str, str],
+    params: Mapping[str, object] = (),
+) -> dict:
+    """The canonical artifact key of one calibration node's state.
+
+    ``deps`` maps dependency node names to *their* key digests — the
+    chaining that cascades invalidation downstream.  Everything in the key
+    is a JSON primitive, so it digests through the store's canonical
+    scheme.
+    """
+    return {
+        "kind": KIND,
+        "version": __version__,
+        "key": {
+            "device": str(device),
+            "method": str(method),
+            "node": str(node),
+            "qubits": tuple(int(q) for q in qubits),
+            "shots": int(shots),
+            "seed": int(seed),
+            "noise": str(fingerprint),
+            "deps": {str(k): str(v) for k, v in sorted(dict(deps).items())},
+            "params": {str(k): v for k, v in sorted(dict(params).items())},
+        },
+    }
+
+
+def node_digest(key: dict) -> str:
+    """Content digest of a node key — the token dependents embed."""
+    return canonical_key_digest(key)
+
+
+class CalibrationGraphCache:
+    """Two-tier (memory, artifact store) cache of per-node calibration state.
+
+    The memory tier is keyed by the node key's digest string; the store
+    tier holds ``{"state": CalNodeState, "shots_spent": .., "circuits_executed": ..}``
+    payloads under the full key, reusing the sweep cache's
+    :class:`~repro.pipeline.cache.CalibrationRecord` /
+    :class:`~repro.pipeline.cache.CacheStats` accounting so scheduler
+    reports read the same way as engine cache reports.
+    """
+
+    def __init__(self, store: ArtifactStore) -> None:
+        self._store = store
+        self._entries: Dict[str, CalibrationRecord] = {}
+        self._stats = CacheStats()
+
+    @property
+    def artifact_store(self) -> ArtifactStore:
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Tiered reads
+    # ------------------------------------------------------------------
+    def _fetch_from_disk(self, key: dict, digest: str) -> Optional[CalibrationRecord]:
+        payload = self._store.get(key)
+        if payload is None:
+            return None
+        record = CalibrationRecord(
+            state=payload["state"],
+            shots_spent=int(payload["shots_spent"]),
+            circuits_executed=int(payload["circuits_executed"]),
+        )
+        self._entries[digest] = record
+        return record
+
+    def peek(self, key: dict) -> Optional[CalibrationRecord]:
+        """Stat-free probe through both tiers (memory, then disk)."""
+        digest = node_digest(key)
+        record = self._entries.get(digest)
+        if record is not None:
+            return record
+        return self._fetch_from_disk(key, digest)
+
+    def lookup(self, key: dict) -> Optional[CalibrationRecord]:
+        """Probe both tiers, counting a hit (and its saved work) when found."""
+        digest = node_digest(key)
+        record = self._entries.get(digest)
+        if record is None:
+            record = self._fetch_from_disk(key, digest)
+        if record is None:
+            return None
+        self._stats.hits += 1
+        self._stats.saved_shots += record.shots_spent
+        self._stats.saved_circuits += record.circuits_executed
+        return record
+
+    def contains(self, key: dict) -> bool:
+        """Key-presence probe that never deserializes the payload."""
+        if node_digest(key) in self._entries:
+            return True
+        return self._store.contains(key)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        key: dict,
+        state: CalNodeState,
+        shots_spent: int,
+        circuits_executed: int,
+    ) -> str:
+        """Write-through to both tiers; returns the node key's digest."""
+        digest = node_digest(key)
+        self._stats.misses += 1
+        record = CalibrationRecord(
+            state=state,
+            shots_spent=int(shots_spent),
+            circuits_executed=int(circuits_executed),
+        )
+        self._entries[digest] = record
+        self._store.put(
+            key,
+            {
+                "state": state,
+                "shots_spent": int(shots_spent),
+                "circuits_executed": int(circuits_executed),
+            },
+        )
+        return digest
+
+    def stats(self) -> CacheStats:
+        """Counters so far (live object; copy if you need a snapshot)."""
+        return self._stats
+
+    def clear(self) -> None:
+        """Drop the memory tier (the store tier is durable by design)."""
+        self._entries.clear()

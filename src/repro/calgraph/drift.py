@@ -1,0 +1,106 @@
+"""Drift detection: which calibration nodes does a new noise model dirty?
+
+The §VII-A observation is that drift is *local* — a few qubits or edges
+move between calibration cycles while the rest of the device holds.  The
+scheduler turns that locality into savings by keying every measurement
+node on a **local noise fingerprint**: a digest of exactly the noise-model
+content that can reach the node's measured outcome distribution.
+
+That content is provably small.  A node's calibration circuits apply X
+gates to the node's own qubits and read out *only* those qubits, and the
+backend samples from the marginal distribution over the measured register
+(:meth:`MeasurementErrorChannel.apply_marginal` applies a factor only when
+all of its qubits are measured — unmeasured qubits fire no measurement
+pulses).  So the node's distribution is a pure function of
+
+* the gate-error rates (``error_1q``/``error_2q`` — the node's X gates),
+* the channel factors whose qubit sets lie **inside** the node's qubits
+  (order included: factors compose in sequence), and
+* the register size.
+
+Everything else — other qubits' readout errors, crosstalk on other edges —
+cannot reach it.  A drifted model therefore dirties exactly the nodes
+whose fingerprint changed; clean nodes' stored states are bit-identical to
+what re-measuring them under the new model would produce, which is what
+makes incremental recalibration *exactly* equal to a from-scratch run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.calgraph.graph import CalibrationDAG
+from repro.noise.models import NoiseModel
+
+__all__ = ["array_digest", "node_fingerprint", "dirty_nodes", "dirty_closure"]
+
+
+def array_digest(array: np.ndarray) -> str:
+    """SHA-256 of an array's exact bytes (dtype and shape included)."""
+    arr = np.ascontiguousarray(array)
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(repr(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def node_fingerprint(model: NoiseModel, qubits: Sequence[int]) -> str:
+    """Digest of the noise-model content local to ``qubits``.
+
+    Bit-exact: two models agree on a node's fingerprint iff the node's
+    calibration circuits would produce identical pre-sampling
+    distributions under both (see module docstring for the argument).
+    """
+    qs = frozenset(int(q) for q in qubits)
+    h = hashlib.sha256()
+    h.update(
+        repr(
+            (
+                model.num_qubits,
+                float(model.error_1q),
+                float(model.error_2q),
+                tuple(sorted(qs)),
+            )
+        ).encode()
+    )
+    for factor in model.measurement_channel.factors:
+        if set(factor.qubits) <= qs:
+            h.update(repr(factor.qubits).encode())
+            h.update(array_digest(factor.matrix).encode())
+    return h.hexdigest()[:16]
+
+
+def dirty_nodes(
+    graph: CalibrationDAG, old: NoiseModel, new: NoiseModel
+) -> List[str]:
+    """Measurement nodes whose local fingerprint differs between models."""
+    out = []
+    for name in graph.measure_nodes():
+        node = graph.node(name)
+        if node_fingerprint(old, node.qubits) != node_fingerprint(new, node.qubits):
+            out.append(name)
+    return sorted(out)
+
+
+def dirty_closure(
+    graph: CalibrationDAG, dirty: Iterable[str]
+) -> Tuple[List[str], List[str]]:
+    """``(frontier, descendants)``: the dirty nodes plus everything
+    downstream of them (derived nodes whose upstream digests change must
+    re-derive, though they spend no shots)."""
+    frontier = sorted(set(dirty))
+    return frontier, graph.descendants(frontier)
+
+
+def fingerprint_table(
+    graph: CalibrationDAG, model: NoiseModel
+) -> Dict[str, str]:
+    """Fingerprint of every measurement node under ``model``."""
+    return {
+        name: node_fingerprint(model, graph.node(name).qubits)
+        for name in graph.measure_nodes()
+    }

@@ -1,0 +1,201 @@
+"""The calibration DAG: nodes, dependencies, topological order, DOT dump.
+
+Mirrors the ``CalibrationGraph`` idiom of lblQubic/chipcalibration — a
+networkx ``DiGraph`` whose nodes are calibration steps and whose edges are
+prerequisite relations, executed in topological order with failed
+predecessors poisoning their descendants — but keeps the graph *pure
+structure*: execution, budgets and persistence live in
+:mod:`repro.calgraph.scheduler`, so the same graph object can be planned
+against a store, diffed against a drifted noise model, or rendered to DOT
+without touching a backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "CalGraphError",
+    "CyclicGraphError",
+    "UnknownNodeError",
+    "CalNode",
+    "CalibrationDAG",
+]
+
+
+class CalGraphError(Exception):
+    """Base class for calibration-graph structural errors."""
+
+
+class CyclicGraphError(CalGraphError):
+    """The dependency relation contains a cycle — refusal, not recovery."""
+
+
+class UnknownNodeError(CalGraphError):
+    """A referenced node name does not exist in the graph."""
+
+
+#: Executor signature: ``run(backend, shots, budget) -> (payload, shots, circuits)``
+#: for measurement nodes, ``run(dep_payloads) -> payload`` for derived nodes.
+NodeRunner = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class CalNode:
+    """One calibration step.
+
+    ``qubits`` is the set of device qubits the step reads out — the
+    locality footprint drift detection fingerprints (empty for derived
+    nodes, whose identity is entirely their upstream digests).  ``params``
+    carries extra identity tokens (protocol variants) into the node's
+    store key.
+    """
+
+    name: str
+    kind: str  # "measure" | "derive" | "opaque" (structure-only, CLI specs)
+    qubits: Tuple[int, ...] = ()
+    run: Optional[NodeRunner] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", dict(self.params))
+        if self.kind not in ("measure", "derive", "opaque"):
+            raise ValueError(f"unknown node kind {self.kind!r}")
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+
+
+class CalibrationDAG:
+    """Calibration steps plus prerequisite edges, kept acyclic by construction.
+
+    ``add_node`` requires every dependency to already exist (the natural
+    build order for calibration plans, and it makes cycles impossible);
+    :meth:`from_spec` accepts arbitrary name/deps listings — the CLI's
+    ``--graph-json`` surface — and *refuses* cyclic or dangling specs with
+    typed errors instead of hanging the topological sort.
+    """
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: CalNode, deps: Iterable[str] = ()) -> "CalibrationDAG":
+        if node.name in self._g:
+            raise CalGraphError(f"duplicate node {node.name!r}")
+        dep_names = list(deps)
+        for dep in dep_names:
+            if dep not in self._g:
+                raise UnknownNodeError(
+                    f"node {node.name!r} depends on unknown node {dep!r}"
+                )
+        self._g.add_node(node.name, node=node)
+        for dep in dep_names:
+            self._g.add_edge(dep, node.name)
+        return self
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "CalibrationDAG":
+        """Build a structure-only graph from ``{"nodes": [{name, deps}]}``.
+
+        Nodes are ``opaque`` (no executors); the graph is still plannable
+        and rendarable.  Unknown dependency names raise
+        :class:`UnknownNodeError`; cycles raise :class:`CyclicGraphError`.
+        """
+        entries = spec.get("nodes")
+        if not isinstance(entries, list) or not entries:
+            raise CalGraphError("graph spec needs a non-empty 'nodes' list")
+        dag = cls()
+        names = []
+        for entry in entries:
+            name = entry.get("name") if isinstance(entry, Mapping) else None
+            if not isinstance(name, str) or not name:
+                raise CalGraphError("every graph node needs a string 'name'")
+            if name in dag._g:
+                raise CalGraphError(f"duplicate node {name!r}")
+            qubits = tuple(entry.get("qubits", ()))
+            dag._g.add_node(name, node=CalNode(name, "opaque", qubits))
+            names.append(name)
+        known = set(names)
+        for entry in entries:
+            for dep in entry.get("deps", ()):
+                if dep not in known:
+                    raise UnknownNodeError(
+                        f"node {entry['name']!r} depends on unknown node {dep!r}"
+                    )
+                dag._g.add_edge(dep, entry["name"])
+        if not nx.is_directed_acyclic_graph(dag._g):
+            cycle = nx.find_cycle(dag._g)
+            path = " -> ".join(a for a, _ in cycle) + f" -> {cycle[0][0]}"
+            raise CyclicGraphError(f"calibration graph is cyclic: {path}")
+        return dag
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._g
+
+    def names(self) -> List[str]:
+        return list(self._g.nodes)
+
+    def node(self, name: str) -> CalNode:
+        try:
+            return self._g.nodes[name]["node"]
+        except KeyError:
+            raise UnknownNodeError(f"unknown node {name!r}") from None
+
+    def deps(self, name: str) -> Tuple[str, ...]:
+        """Direct prerequisites of ``name`` (sorted for stable keys)."""
+        self.node(name)
+        return tuple(sorted(self._g.predecessors(name)))
+
+    def topological(self) -> List[str]:
+        """Execution order; sorted within ties so runs are reproducible."""
+        try:
+            return list(nx.lexicographical_topological_sort(self._g))
+        except nx.NetworkXUnfeasible:
+            raise CyclicGraphError("calibration graph is cyclic") from None
+
+    def descendants(self, names: Iterable[str]) -> List[str]:
+        """Every node downstream of any of ``names`` (excluding them)."""
+        out: set = set()
+        for name in names:
+            self.node(name)
+            out.update(nx.descendants(self._g, name))
+        return sorted(out)
+
+    def measure_nodes(self) -> List[str]:
+        return [n for n in self._g.nodes if self.node(n).kind == "measure"]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_dot(self, title: str = "calibration") -> str:
+        """Graphviz DOT dump (deterministic ordering, shell-safe names)."""
+        lines = [f'digraph "{title}" {{', "  rankdir=LR;"]
+        for name in self.topological():
+            node = self.node(name)
+            label = name
+            if node.qubits:
+                label += f"\\nq={list(node.qubits)}"
+            shape = {"measure": "box", "derive": "ellipse"}.get(node.kind, "diamond")
+            lines.append(f'  "{name}" [label="{label}", shape={shape}];')
+        for a, b in sorted(self._g.edges):
+            lines.append(f'  "{a}" -> "{b}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return (
+            f"CalibrationDAG(nodes={self._g.number_of_nodes()}, "
+            f"edges={self._g.number_of_edges()})"
+        )

@@ -1,0 +1,283 @@
+"""Per-method calibration graphs, and the state ⇔ node-states bijection.
+
+Two jobs:
+
+* :func:`build_calibration_graph` — the executable DAG for a mitigation
+  method on a device: per-qubit readout nodes (Linear, CMC's patchless
+  qubits), per-edge patch nodes (CMC), per-pair profiling nodes feeding a
+  derived error-map node (CMC-ERR), or the single whole-register node
+  (Full).  Measurement nodes prepare local basis states and read out
+  **only their own qubits**, which is what makes each node a pure function
+  of its local noise fingerprint (see :mod:`repro.calgraph.drift`).
+
+* :func:`decompose_calibration_state` / :func:`assemble_calibration_state`
+  — the lossless bijection between a mitigator's monolithic
+  ``calibration_state()`` and per-node payloads.  ``assemble(decompose(s))``
+  is bit-identical to ``s`` for every mitigator (pinned in
+  ``tests/test_calgraph.py``); it is how graph-measured states load into
+  the unchanged mitigators, and how ``Mitigator.calibration_plan()`` is
+  implemented.
+
+Note the documented protocol difference: the *graph* measures each patch
+with dedicated subset-readout circuits (local, independently seeded),
+while monolithic ``prepare()`` shares whole-register rounds across
+patches.  Both are valid calibrations of the same channel; they are
+deliberately **not** sample-identical — the bit-identity claims are
+decompose/assemble round trips and incremental-vs-full graph runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.calgraph.graph import CalGraphError, CalibrationDAG, CalNode, UnknownNodeError
+from repro.circuits.circuit import Circuit
+from repro.core.calibration import CalibrationMatrix
+from repro.core.err import (
+    CMCERRMitigator,
+    build_error_coupling_map,
+    edge_correlation_weights,
+)
+from repro.topology.coupling_map import CouplingMap
+
+__all__ = [
+    "GRAPH_METHODS",
+    "build_calibration_graph",
+    "decompose_calibration_state",
+    "assemble_calibration_state",
+]
+
+#: Methods with a node-decomposable persistent calibration state.
+GRAPH_METHODS = ("Full", "Linear", "CMC", "CMC-ERR")
+
+
+# ----------------------------------------------------------------------
+# Node names
+# ----------------------------------------------------------------------
+def _qubit_name(q: int) -> str:
+    return f"qubit:{q}"
+
+def _edge_name(patch: Sequence[int], prefix: str = "edge") -> str:
+    return f"{prefix}:" + "-".join(str(q) for q in patch)
+
+
+def _parse_qubits(name: str) -> Tuple[int, ...]:
+    return tuple(int(tok) for tok in name.split(":", 1)[1].split("-"))
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+def _measure_basis(qubits: Tuple[int, ...], payload_key: str = "cal"):
+    """Executor: prepare every basis state on ``qubits``, read out only
+    ``qubits``, fold into one calibration matrix."""
+
+    def run(backend, shots, budget):
+        n = backend.num_qubits
+        dim = 1 << len(qubits)
+        circuits = []
+        for prepared in range(dim):
+            c = Circuit(n, name=f"calnode-{'-'.join(map(str, qubits))}-p{prepared}")
+            for k, q in enumerate(qubits):
+                if (prepared >> k) & 1:
+                    c.x(q)
+            c.measure(qubits)
+            circuits.append(c)
+        results = backend.run_batch(circuits, shots, budget=budget, tag="calibration")
+        cal = CalibrationMatrix.from_counts(qubits, dict(enumerate(results)))
+        return {payload_key: cal}, shots * dim, dim
+
+    return run
+
+
+def _derive_errmap(num_qubits: int, max_edges: Optional[int]):
+    """Executor: Algorithm 2 over the upstream pair calibrations."""
+
+    def run(dep_payloads: Mapping[str, Any]):
+        pair_cals = {}
+        for payload in dep_payloads.values():
+            cal = payload["cal"]
+            pair_cals[tuple(cal.qubits)] = cal
+        singles = CMCERRMitigator._marginal_singles(pair_cals)
+        weights = edge_correlation_weights(singles, pair_cals)
+        error_map = build_error_coupling_map(
+            num_qubits, weights, max_edges=max_edges
+        )
+        return {"error_map": error_map, "weights": weights}
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Graph builders
+# ----------------------------------------------------------------------
+def build_calibration_graph(
+    method: str,
+    coupling_map: CouplingMap,
+    *,
+    cmc_k: int = 1,
+    edges: Optional[Sequence[Sequence[int]]] = None,
+    err_locality: int = 3,
+    err_max_edges: Optional[int] = None,
+    full_max_qubits: int = 12,
+) -> CalibrationDAG:
+    """The calibration DAG for ``method`` on ``coupling_map``."""
+    n = coupling_map.num_qubits
+    dag = CalibrationDAG()
+
+    if method == "Full":
+        if n > full_max_qubits:
+            raise CalGraphError(
+                f"Full calibration graph over {n} qubits exceeds the "
+                f"{full_max_qubits}-qubit cap (2^n circuits)"
+            )
+        qubits = tuple(range(n))
+        dag.add_node(
+            CalNode("full", "measure", qubits, _measure_basis(qubits, "calibration"))
+        )
+        return dag
+
+    if method == "Linear":
+        for q in range(n):
+            dag.add_node(CalNode(_qubit_name(q), "measure", (q,), _measure_basis((q,))))
+        return dag
+
+    if method == "CMC":
+        patches = tuple(
+            coupling_map.edges
+            if edges is None
+            else sorted({tuple(sorted(int(q) for q in p)) for p in edges})
+        )
+        covered = {q for p in patches for q in p}
+        for patch in patches:
+            dag.add_node(
+                CalNode(_edge_name(patch), "measure", patch, _measure_basis(patch))
+            )
+        for q in range(n):
+            if q not in covered:
+                dag.add_node(
+                    CalNode(_qubit_name(q), "measure", (q,), _measure_basis((q,)))
+                )
+        return dag
+
+    if method == "CMC-ERR":
+        candidates = coupling_map.pairs_within(err_locality) or list(
+            coupling_map.edges
+        )
+        pair_names = []
+        for pair in candidates:
+            name = _edge_name(pair, "pair")
+            dag.add_node(CalNode(name, "measure", tuple(pair), _measure_basis(tuple(pair))))
+            pair_names.append(name)
+        dag.add_node(
+            CalNode(
+                "errmap",
+                "derive",
+                (),
+                _derive_errmap(n, err_max_edges),
+                params={"max_edges": err_max_edges},
+            ),
+            deps=sorted(pair_names),
+        )
+        return dag
+
+    raise CalGraphError(
+        f"no calibration graph for method {method!r}; graph-capable methods: "
+        f"{', '.join(GRAPH_METHODS)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# State decomposition / assembly
+# ----------------------------------------------------------------------
+def decompose_calibration_state(method: str, state: Mapping[str, Any]) -> Dict[str, Any]:
+    """Split a monolithic ``calibration_state()`` into per-node payloads."""
+    if method == "Full":
+        return {"full": {"calibration": state["calibration"]}}
+    if method == "Linear":
+        return {
+            _qubit_name(q): {"cal": cal} for q, cal in state["factors"].items()
+        }
+    if method == "CMC":
+        out: Dict[str, Any] = {
+            _edge_name(patch): {"cal": cal}
+            for patch, cal in state["patch_calibrations"].items()
+        }
+        for q, cal in state["isolated"].items():
+            out[_qubit_name(q)] = {"cal": cal}
+        return out
+    if method == "CMC-ERR":
+        out = {
+            "errmap": {
+                "error_map": state["error_map"],
+                "weights": state["weights"],
+            }
+        }
+        inner = state["inner"]
+        for patch, cal in inner["patch_calibrations"].items():
+            out[_edge_name(patch, "pair")] = {"cal": cal}
+        for q, cal in inner["isolated"].items():
+            out[_qubit_name(q)] = {"cal": cal}
+        return out
+    raise CalGraphError(f"no state decomposition for method {method!r}")
+
+
+def assemble_calibration_state(
+    method: str, node_states: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Inverse of :func:`decompose_calibration_state`.
+
+    Accepts a superset of the needed nodes (a CMC-ERR graph run measures
+    *every* candidate pair; assembly selects the error map's edges), and
+    raises :class:`UnknownNodeError` when a required node is absent.
+    """
+    def _payload(name: str) -> Any:
+        try:
+            return node_states[name]
+        except KeyError:
+            raise UnknownNodeError(
+                f"assembly needs node {name!r}, which is not present"
+            ) from None
+
+    if method == "Full":
+        return {"calibration": _payload("full")["calibration"]}
+    if method == "Linear":
+        return {
+            "factors": {
+                _parse_qubits(name)[0]: payload["cal"]
+                for name, payload in node_states.items()
+                if name.startswith("qubit:")
+            }
+        }
+    if method == "CMC":
+        return {
+            "patch_calibrations": {
+                _parse_qubits(name): payload["cal"]
+                for name, payload in node_states.items()
+                if name.startswith("edge:")
+            },
+            "isolated": {
+                _parse_qubits(name)[0]: payload["cal"]
+                for name, payload in node_states.items()
+                if name.startswith("qubit:")
+            },
+        }
+    if method == "CMC-ERR":
+        errmap = _payload("errmap")
+        error_map: CouplingMap = errmap["error_map"]
+        return {
+            "error_map": error_map,
+            "weights": errmap["weights"],
+            "inner": {
+                "patch_calibrations": {
+                    edge: _payload(_edge_name(edge, "pair"))["cal"]
+                    for edge in error_map.edges
+                },
+                "isolated": {
+                    _parse_qubits(name)[0]: payload["cal"]
+                    for name, payload in node_states.items()
+                    if name.startswith("qubit:")
+                },
+            },
+        }
+    raise CalGraphError(f"no state assembly for method {method!r}")

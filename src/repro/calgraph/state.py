@@ -1,0 +1,39 @@
+"""The persisted unit of the calibration DAG: one node's state.
+
+Lives in its own leaf module so that :mod:`repro.store.codecs` can encode
+node states without importing the rest of the calgraph package (which
+imports the store right back — the same cycle-avoidance reason
+:mod:`repro._version` is a leaf).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = ["CalNodeState"]
+
+
+@dataclass(frozen=True)
+class CalNodeState:
+    """One calibration node's measured (or derived) state.
+
+    ``payload`` is whatever the node's executor produced — a
+    ``{"cal": CalibrationMatrix}`` for per-qubit/per-edge measurement
+    nodes, ``{"error_map": ..., "weights": ...}`` for the ERR derivation
+    node — restricted to shapes the store codec round-trips bit-exactly.
+    ``fingerprint`` records the local-noise digest the state was measured
+    under (empty for derived nodes, whose identity lives in their
+    upstream digests).
+    """
+
+    name: str
+    kind: str  # "measure" | "derive"
+    qubits: Tuple[int, ...]
+    payload: Any
+    fingerprint: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        if self.kind not in ("measure", "derive"):
+            raise ValueError(f"unknown node state kind {self.kind!r}")

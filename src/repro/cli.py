@@ -17,6 +17,10 @@
     python -m repro sweep --spec grid.json --store mem://scratch
     python -m repro store ls ./artifacts
     python -m repro store ls s3://sweeps/warm-tier
+    python -m repro calib plan --device quito --method CMC --store ./artifacts
+    python -m repro calib run --device quito --method CMC --store ./artifacts
+    python -m repro calib run --device quito --drift-qubits 0 --store ./artifacts
+    python -m repro calib status --store ./artifacts
     python -m repro serve --store ./artifacts --port 7341
     python -m repro submit --devices quito --trials 3 --follow
     python -m repro --version
@@ -80,6 +84,7 @@ _COMMANDS = {
     "shots": "error vs shot budget per method (§V-A)",
     "sweep": "run any declarative sweep grid on the parallel engine",
     "store": "inspect / garbage-collect a sweep artifact store",
+    "calib": "plan / run / inspect incremental calibration DAGs (§VII-A)",
     "serve": "host a store as a long-running, streaming sweep service",
     "submit": "send a sweep grid to a running `repro serve` instance",
     "worker": "join a `repro serve` instance as a fleet task worker",
@@ -257,6 +262,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="gc: report what would be removed (and bytes reclaimed) "
         "without deleting anything",
+    )
+
+    p = sub.add_parser("calib", help=_COMMANDS["calib"])
+    p.add_argument(
+        "action", choices=["plan", "run", "status"],
+        help="plan: dirty-frontier report against the store; run: execute "
+        "the dirty frontier (clean nodes restore); status: summarise the "
+        "store's calibration-node artifacts",
+    )
+    p.add_argument(
+        "--store", required=True, metavar="STORE",
+        help="store locator holding the node-granular calibration tier "
+        "(a directory path, dir:///path, mem://name or s3://bucket/prefix)",
+    )
+    target = p.add_mutually_exclusive_group()
+    target.add_argument(
+        "--device", default=None,
+        help="IBM-like device profile to calibrate (quito, lima, ...)",
+    )
+    target.add_argument(
+        "--architecture", default=None,
+        choices=["grid", "hexagonal", "heavy_hex", "octagonal",
+                 "fully_connected"],
+        help="architecture family (with --qubits) to calibrate instead",
+    )
+    p.add_argument(
+        "--qubits", type=int, default=None,
+        help="device size (with --architecture; default: 6)",
+    )
+    p.add_argument(
+        "--method", default="CMC",
+        choices=["Full", "Linear", "CMC", "CMC-ERR"],
+        help="mitigation method whose calibration graph to build",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="calibration seed (part of every node's store key)")
+    p.add_argument("--shots-per-node", type=int, default=256,
+                   help="shots per calibration circuit within each node")
+    p.add_argument(
+        "--drift-qubits", type=int, nargs="+", default=None, metavar="Q",
+        help="apply localised drift to these qubits' readout errors "
+        "before planning/running (the incremental-recalibration scenario)",
+    )
+    p.add_argument(
+        "--drift-edges", nargs="+", default=None, metavar="A-B",
+        help="apply localised drift to these edges' correlated channels "
+        "(e.g. 0-1 3-4)",
+    )
+    p.add_argument("--drift-scale", type=float, default=0.15,
+                   help="log-scale of the localised jitter (default 0.15)")
+    p.add_argument(
+        "--graph-json", default=None, metavar="PATH",
+        help="plan an explicit {\"nodes\": [{name, deps}]} graph spec "
+        "instead of a method graph (structure-only: plan/--dot, not run)",
+    )
+    p.add_argument(
+        "--only", nargs="+", default=None, metavar="NODE",
+        help="restrict the plan report to these nodes (unknown names are "
+        "an error)",
+    )
+    p.add_argument(
+        "--dot", default=None, metavar="PATH",
+        help="write the graph as graphviz DOT to PATH ('-' for stdout)",
+    )
+    p.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="also write the full plan/run report as JSON to PATH",
     )
 
     p = sub.add_parser("serve", help=_COMMANDS["serve"])
@@ -1045,6 +1117,242 @@ def _cmd_store(args: argparse.Namespace) -> str:
     )
 
 
+def _calib_error(message) -> "SystemExit":
+    print(f"repro calib: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _calib_backend(args):
+    """Deterministic backend for the calib target: same flags, same noise
+    draw — node keys must be stable across invocations or nothing would
+    ever be warm on the second run."""
+    from repro.backends.profiles import architecture_backend, device_profile_backend
+    from repro.utils.rng import stable_rng
+
+    if args.device is not None:
+        rng = stable_rng("calib-device", args.device, args.seed)
+        return args.device, device_profile_backend(
+            args.device, rng=rng, gate_noise=False
+        )
+    if args.architecture is not None:
+        n = args.qubits if args.qubits is not None else 6
+        rng = stable_rng("calib-arch", args.architecture, n, args.seed)
+        backend = architecture_backend(
+            args.architecture, n,
+            error_1q=0.0, error_2q=0.0,
+            correlation_placement="coupling",
+            rng=rng,
+        )
+        return f"{args.architecture}-{n}q", backend
+    raise ValueError(
+        "calib needs a target: --device NAME, --architecture FAMILY "
+        "--qubits N, or --graph-json PATH"
+    )
+
+
+def _parse_drift_edges(tokens):
+    edges = []
+    for token in tokens:
+        parts = token.split("-")
+        if len(parts) < 2 or not all(p.strip().isdigit() for p in parts):
+            raise ValueError(
+                f"bad --drift-edges token {token!r}; expected A-B (e.g. 0-1)"
+            )
+        edges.append(tuple(int(p) for p in parts))
+    return edges
+
+
+def _cmd_calib(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.backends.backend import SimulatedBackend
+    from repro.calgraph import (
+        CalGraphError,
+        CalibrationDAG,
+        CalibrationGraphCache,
+        CalibrationScheduler,
+        build_calibration_graph,
+        dirty_nodes,
+    )
+    from repro.noise.drift import drift_noise_model
+    from repro.store import ArtifactStore
+    from repro.utils.rng import stable_rng
+
+    try:
+        store = ArtifactStore(args.store)
+    except ValueError as exc:
+        raise _calib_error(exc)
+
+    if args.action == "status":
+        return _calib_status(store)
+
+    # ---- structure-only graphs from an explicit JSON spec ----
+    if args.graph_json is not None:
+        try:
+            with open(args.graph_json, "r", encoding="utf-8") as fh:
+                spec = _json.load(fh)
+            graph = CalibrationDAG.from_spec(spec)
+            if args.action != "plan":
+                raise ValueError(
+                    "--graph-json graphs carry structure only; use `plan` "
+                    "(or --dot) with them"
+                )
+            if args.only:
+                for name in args.only:
+                    graph.node(name)  # unknown names refuse here
+        except (CalGraphError, ValueError, OSError, KeyError) as exc:
+            raise _calib_error(exc)
+        out = []
+        if args.dot:
+            out.append(_write_dot(graph, args.dot))
+        order = graph.topological()
+        shown = [n for n in order if not args.only or n in set(args.only)]
+        rows = {
+            name: {
+                "kind": graph.node(name).kind,
+                "deps": ",".join(graph.deps(name)) or "-",
+            }
+            for name in shown
+        }
+        out.append(format_table(rows, ["kind", "deps"], row_header="node"))
+        out.append(f"\n{len(order)} node(s), topological order shown")
+        return "\n".join(out)
+
+    # ---- method graphs against a live noise model ----
+    try:
+        label, backend = _calib_backend(args)
+        base_model = backend.noise_model
+        model = base_model
+        if args.drift_qubits is not None or args.drift_edges is not None:
+            edges = (
+                _parse_drift_edges(args.drift_edges)
+                if args.drift_edges is not None
+                else None
+            )
+            model = drift_noise_model(
+                base_model,
+                scale=args.drift_scale,
+                qubits=args.drift_qubits,
+                edges=edges,
+                rng=stable_rng("calib-drift", label, args.seed),
+            )
+            backend = SimulatedBackend(
+                backend.coupling_map, model,
+                rng=stable_rng("calib-run", label, args.seed),
+            )
+        graph = build_calibration_graph(
+            args.method, backend.coupling_map, full_max_qubits=12
+        )
+        if args.only:
+            for name in args.only:
+                graph.node(name)  # unknown names refuse here
+        scheduler = CalibrationScheduler(
+            graph,
+            CalibrationGraphCache(store),
+            device=label,
+            method=args.method,
+            shots_per_node=args.shots_per_node,
+            seed=args.seed,
+        )
+    except (CalGraphError, ValueError, KeyError) as exc:
+        raise _calib_error(exc)
+
+    out = []
+    if args.dot:
+        out.append(_write_dot(graph, args.dot))
+
+    if args.action == "plan":
+        plans = scheduler.plan(model)
+        shown = [p for p in plans if not args.only or p.name in set(args.only)]
+        rows = {
+            p.name: {
+                "kind": p.kind,
+                "qubits": ",".join(map(str, p.qubits)) or "-",
+                "state": "warm" if p.cached else "dirty",
+                "digest": p.digest[:12],
+            }
+            for p in shown
+        }
+        out.append(format_table(
+            rows, ["kind", "qubits", "state", "digest"], row_header="node"
+        ))
+        dirty = [p.name for p in plans if not p.cached]
+        out.append(
+            f"\nplan: {label} / {args.method} — {len(plans) - len(dirty)} "
+            f"warm, {len(dirty)} dirty"
+        )
+        if dirty:
+            out.append("dirty frontier: " + " ".join(sorted(dirty)))
+        if model is not base_model:
+            drifted = dirty_nodes(graph, base_model, model)
+            out.append("drifted vs base model: " + (" ".join(drifted) or "-"))
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                _json.dump([p.to_dict() for p in plans], fh, indent=2)
+            out.append(f"plan written to {args.json_out}")
+        return "\n".join(out)
+
+    # run
+    report = scheduler.run(backend, model=model)
+    summary = report.to_dict()
+    out.append(
+        f"ran {label} / {args.method}: "
+        f"{len(report.executed)} executed, {len(report.restored)} restored, "
+        f"{len(report.skipped)} skipped, {len(report.failed)} failed"
+    )
+    out.append(
+        f"shots: {report.fresh_shots} fresh, {report.replayed_shots} replayed"
+    )
+    if report.executed:
+        out.append("executed: " + " ".join(report.executed))
+    if report.failed:
+        out.append("failed: " + " ".join(report.failed))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            _json.dump(summary, fh, indent=2)
+        out.append(f"report written to {args.json_out}")
+    return "\n".join(out)
+
+
+def _write_dot(graph, path: str) -> str:
+    dot = graph.to_dot()
+    if path == "-":
+        return dot
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dot)
+    return f"DOT written to {path}"
+
+
+def _calib_status(store) -> str:
+    """Summarise the store's calgraph-node artifacts per (device, method)."""
+    groups = {}
+    for info in store.entries():
+        if info.kind != "calgraph-node":
+            continue
+        key = info.key.get("key", {}) if isinstance(info.key, dict) else {}
+        group = (str(key.get("device", "?")), str(key.get("method", "?")))
+        stats = groups.setdefault(
+            group, {"nodes": 0, "bytes": 0, "versions": set()}
+        )
+        stats["nodes"] += 1
+        stats["bytes"] += info.size_bytes
+        stats["versions"].add(info.version)
+    if not groups:
+        return "(no calibration-node artifacts in this store)"
+    rows = {
+        f"{device}/{method}": {
+            "nodes": str(stats["nodes"]),
+            "size": f"{stats['bytes'] / 1024:.1f}K",
+            "version": ",".join(sorted(stats["versions"])),
+        }
+        for (device, method), stats in sorted(groups.items())
+    }
+    body = format_table(
+        rows, ["nodes", "size", "version"], row_header="device/method"
+    )
+    return body + f"\n\n{len(groups)} calibration group(s)"
+
+
 def _store_name(store) -> str:
     """The store's display name: the plain path for local stores (what
     the user typed, pre-locator), the locator for every other backend."""
@@ -1080,6 +1388,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "shots": _cmd_shots,
         "sweep": _cmd_sweep,
         "store": _cmd_store,
+        "calib": _cmd_calib,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "worker": _cmd_worker,

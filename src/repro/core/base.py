@@ -71,6 +71,27 @@ class Mitigator(abc.ABC):
             f"{type(self).__name__} has no reusable calibration state"
         )
 
+    def calibration_plan(self) -> Optional[dict]:
+        """:meth:`calibration_state` decomposed into calibration-DAG node
+        states (``{node name: payload}``) — the granularity the
+        incremental scheduler persists (:mod:`repro.calgraph`).
+
+        The decomposition is a lossless bijection:
+        ``assemble_calibration_state(self.name, self.calibration_plan())``
+        is bit-identical to :meth:`calibration_state` (pinned per
+        mitigator in ``tests/test_calgraph.py``).  Methods without a
+        node-decomposable state return ``None``.
+        """
+        state = self.calibration_state()
+        if state is None:
+            return None
+        # Lazy: calgraph imports backends/budget machinery right back.
+        from repro.calgraph.plans import GRAPH_METHODS, decompose_calibration_state
+
+        if self.name not in GRAPH_METHODS:
+            return None
+        return decompose_calibration_state(self.name, state)
+
     @abc.abstractmethod
     def execute(
         self,

@@ -10,11 +10,19 @@ drift: error magnitudes jitter between calibration cycles while the
 every error rate, with the correlated-edge set and channel shapes kept fixed.
 The ERR-stability experiment builds week-indexed snapshots of a base model
 and checks that the error coupling maps recovered from each snapshot agree.
+
+Drift is also *local* — between significant recalibrations only a few
+qubits or edges move.  Passing ``qubits=`` / ``edges=`` restricts the
+jitter to exactly that subset: the selected per-qubit readout errors and
+per-edge correlated factors re-draw, every other factor is carried over
+as the *same object* (bit-identical matrices), and the global gate-error
+rates hold still.  That is the constructible locality the calibration DAG
+scheduler's drift detection keys on (:mod:`repro.calgraph.drift`).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -63,6 +71,8 @@ def drift_noise_model(
     scale: float = 0.15,
     week: int = 0,
     rng: RandomState = None,
+    qubits: Optional[Iterable[int]] = None,
+    edges: Optional[Iterable[Sequence[int]]] = None,
 ) -> NoiseModel:
     """A drifted snapshot of ``model``.
 
@@ -74,11 +84,22 @@ def drift_noise_model(
     week:
         Convenience label mixed into the jitter stream so that snapshots for
         different weeks differ deterministically under the same seed.
+    qubits / edges:
+        When given, jitter is *localised*: only the selected qubits'
+        readout errors and the selected edges' correlated channel factors
+        drift; everything else (including the global gate-error rates) is
+        carried over bit-identically.  Selections that touch nothing raise
+        ``ValueError`` — a "drift" that drifts nothing is a test bug, not
+        a stable device.
     """
     gen = ensure_rng(rng)
     if week:
         # Deterministically decorrelate snapshots taken for different weeks.
         gen = np.random.default_rng(gen.integers(0, 2**63 - 1) + week)
+    if qubits is not None or edges is not None:
+        return _drift_localised(
+            model, scale=scale, week=week, gen=gen, qubits=qubits, edges=edges
+        )
     new_readout = tuple(
         ReadoutError(_jitter(e.p01, scale, gen), _jitter(e.p10, scale, gen))
         for e in model.readout_errors
@@ -102,5 +123,84 @@ def drift_noise_model(
         measurement_channel=channel,
         correlated_edges=model.correlated_edges,
         readout_errors=new_readout,
+        name=f"{model.name}-week{week}",
+    )
+
+
+def _drift_localised(
+    model: NoiseModel,
+    *,
+    scale: float,
+    week: int,
+    gen: np.random.Generator,
+    qubits: Optional[Iterable[int]],
+    edges: Optional[Iterable[Sequence[int]]],
+) -> NoiseModel:
+    """Jitter only the selected qubits' readout and edges' correlations."""
+    sel_qubits = sorted({int(q) for q in (qubits or ())})
+    for q in sel_qubits:
+        if not 0 <= q < model.num_qubits:
+            raise ValueError(
+                f"drift qubit {q} out of range for a "
+                f"{model.num_qubits}-qubit model"
+            )
+    sel_edges = {tuple(sorted(int(q) for q in e)) for e in (edges or ())}
+    for e in sel_edges:
+        if len(e) < 2 or not all(0 <= q < model.num_qubits for q in e):
+            raise ValueError(f"drift edge {e} out of range or degenerate")
+
+    # Re-draw the selected per-qubit readout errors (in qubit order, so the
+    # jitter stream is deterministic regardless of selection spelling).
+    new_readout = list(model.readout_errors)
+    for q in sel_qubits:
+        if q < len(new_readout):
+            err = new_readout[q]
+            new_readout[q] = ReadoutError(
+                _jitter(err.p01, scale, gen), _jitter(err.p10, scale, gen)
+            )
+
+    touched_qubits: set = set()
+    touched_edges: set = set()
+    channel = MeasurementErrorChannel(model.num_qubits)
+    for factor in model.measurement_channel.factors:
+        footprint = tuple(sorted(factor.qubits))
+        if factor.num_qubits == 1 and footprint[0] in sel_qubits:
+            q = footprint[0]
+            touched_qubits.add(q)
+            if q < len(new_readout):
+                channel.add_readout(q, new_readout[q])
+            else:
+                channel.add(
+                    LocalChannel(
+                        factor.qubits,
+                        jitter_channel_matrix(factor.matrix, scale, gen),
+                    )
+                )
+        elif factor.num_qubits > 1 and footprint in sel_edges:
+            touched_edges.add(footprint)
+            channel.add(
+                LocalChannel(
+                    factor.qubits, jitter_channel_matrix(factor.matrix, scale, gen)
+                )
+            )
+        else:
+            # Untouched factors carry over as the same objects: bit-exact.
+            channel.add(factor)
+
+    missed_qubits = [q for q in sel_qubits if q not in touched_qubits]
+    missed_edges = sorted(sel_edges - touched_edges)
+    if missed_qubits or missed_edges:
+        raise ValueError(
+            "localised drift selected noise that does not exist: "
+            f"qubits {missed_qubits} / edges {missed_edges} match no "
+            "channel factor in this model"
+        )
+    return NoiseModel(
+        num_qubits=model.num_qubits,
+        error_1q=model.error_1q,
+        error_2q=model.error_2q,
+        measurement_channel=channel,
+        correlated_edges=model.correlated_edges,
+        readout_errors=tuple(new_readout),
         name=f"{model.name}-week{week}",
     )

@@ -44,6 +44,19 @@ class PersistentCalibrationCache(CalibrationCache):
     def artifact_store(self) -> ArtifactStore:
         return self._store
 
+    def graph_cache(self):
+        """Node-granular sibling over the same artifact store.
+
+        Monolithic calibration events and calibration-DAG node states are
+        different artifact namespaces (``"calibration"`` vs
+        ``"calgraph-node"``) sharing one store, so a sweep's warm tier and
+        the incremental scheduler's partial-reuse tier co-exist in any
+        backend the store supports.
+        """
+        from repro.calgraph.cache import CalibrationGraphCache
+
+        return CalibrationGraphCache(self._store)
+
     @staticmethod
     def _artifact_key(key: CacheKey) -> dict:
         # The library version is part of the identity, mirroring the sweep

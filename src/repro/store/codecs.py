@@ -27,6 +27,7 @@ numpy scalar           canonicalised to the Python scalar
 numpy ndarray          ``{"__repro__": "ndarray", "ref": name}``
 CalibrationMatrix      qubit tuple + matrix array ref
 CouplingMap            num_qubits + edge list + name
+CalNodeState           name/kind/qubits/fingerprint + encoded payload
 =====================  ===============================================
 
 Tuple-vs-list and int-vs-string-key distinctions are preserved because the
@@ -90,6 +91,19 @@ def encode(obj: Any, arrays: Dict[str, np.ndarray]) -> Any:
                 [encode(k, arrays), encode(v, arrays)] for k, v in obj.items()
             ],
         }
+    # Lazy: calgraph imports the store (artifact keys), so the store can
+    # only see calgraph's leaf state module at call time, never at import.
+    from repro.calgraph.state import CalNodeState
+
+    if isinstance(obj, CalNodeState):
+        return {
+            TAG: "calgraph_node_state",
+            "name": obj.name,
+            "node_kind": obj.kind,
+            "qubits": list(obj.qubits),
+            "fingerprint": obj.fingerprint,
+            "payload": encode(obj.payload, arrays),
+        }
     raise TypeError(
         f"store codec cannot encode {type(obj).__name__!r}; teach "
         f"repro.store.codecs about it before persisting it"
@@ -125,6 +139,16 @@ def decode(obj: Any, arrays: Mapping[str, np.ndarray]) -> Any:
                 _hashable(decode(k, arrays)): decode(v, arrays)
                 for k, v in obj["items"]
             }
+        if kind == "calgraph_node_state":
+            from repro.calgraph.state import CalNodeState
+
+            return CalNodeState(
+                name=obj["name"],
+                kind=obj["node_kind"],
+                qubits=tuple(obj["qubits"]),
+                payload=decode(obj["payload"], arrays),
+                fingerprint=obj["fingerprint"],
+            )
         raise ValueError(f"unknown store codec tag {kind!r}")
     raise TypeError(f"malformed encoded node of type {type(obj).__name__!r}")
 
@@ -153,6 +177,16 @@ def deep_equal(a: Any, b: Any) -> bool:
         return a.qubits == b.qubits and deep_equal(a.matrix, b.matrix)
     if isinstance(a, CouplingMap):
         return a == b and a.name == b.name
+    from repro.calgraph.state import CalNodeState
+
+    if isinstance(a, CalNodeState):
+        return (
+            a.name == b.name
+            and a.kind == b.kind
+            and a.qubits == b.qubits
+            and a.fingerprint == b.fingerprint
+            and deep_equal(a.payload, b.payload)
+        )
     if isinstance(a, dict):
         if set(a) != set(b):
             return False

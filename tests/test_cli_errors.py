@@ -220,3 +220,73 @@ class TestPlanSplitLine:
                      "--shots", "500", "--trials", "1"]) == 0
         err = capsys.readouterr().err
         assert "plan:" not in err and "resume:" not in err
+
+
+class TestCalibErrors:
+    """`repro calib` mistakes exit 2 with a one-line prefixed message
+    (ISSUE 8 satellite): bad store locators, unknown node names, cyclic
+    --graph-json specs, runs requested against structure-only graphs."""
+
+    def test_bad_store_locator_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["calib", "plan", "--device", "quito",
+                  "--store", "mem://bad/name"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro calib: error:" in err
+        assert "Traceback" not in err
+
+    def test_unknown_node_via_only_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["calib", "plan", "--device", "quito", "--method", "CMC",
+                  "--only", "edge:9-9", "--store", str(tmp_path / "s")])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro calib: error:" in err and "unknown node" in err
+        assert "Traceback" not in err
+
+    def test_cyclic_graph_json_refused(self, capsys, tmp_path):
+        spec = tmp_path / "cyclic.json"
+        spec.write_text(json.dumps({"nodes": [
+            {"name": "a", "deps": ["b"]},
+            {"name": "b", "deps": ["a"]},
+        ]}))
+        with pytest.raises(SystemExit) as exc:
+            main(["calib", "plan", "--graph-json", str(spec),
+                  "--store", str(tmp_path / "s")])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro calib: error:" in err and "cyclic" in err
+        assert "a -> b -> a" in err or "b -> a -> b" in err
+        assert "Traceback" not in err
+
+    def test_dangling_graph_json_dep_refused(self, capsys, tmp_path):
+        spec = tmp_path / "dangling.json"
+        spec.write_text(json.dumps({"nodes": [{"name": "a", "deps": ["x"]}]}))
+        with pytest.raises(SystemExit) as exc:
+            main(["calib", "plan", "--graph-json", str(spec),
+                  "--store", str(tmp_path / "s")])
+        assert exc.value.code == 2
+        assert "unknown node" in capsys.readouterr().err
+
+    def test_graph_json_run_refused_as_structure_only(self, capsys, tmp_path):
+        spec = tmp_path / "ok.json"
+        spec.write_text(json.dumps({"nodes": [{"name": "a"}]}))
+        with pytest.raises(SystemExit) as exc:
+            main(["calib", "run", "--graph-json", str(spec),
+                  "--store", str(tmp_path / "s")])
+        assert exc.value.code == 2
+        assert "structure only" in capsys.readouterr().err
+
+    def test_missing_target_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["calib", "plan", "--store", str(tmp_path / "s")])
+        assert exc.value.code == 2
+        assert "needs a target" in capsys.readouterr().err
+
+    def test_bad_drift_edge_token_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["calib", "plan", "--device", "quito",
+                  "--drift-edges", "zero-one", "--store", str(tmp_path / "s")])
+        assert exc.value.code == 2
+        assert "bad --drift-edges token" in capsys.readouterr().err

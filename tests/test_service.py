@@ -98,7 +98,7 @@ class TestPlanner:
     def test_empty_store_plans_all_cold(self, tmp_path):
         spec = small_spec()
         plan = SweepPlanner(tmp_path / "store").plan(spec)
-        assert plan.counts == {"journaled": 0, "warm": 0, "cold": 4}
+        assert plan.counts == {"journaled": 0, "warm": 0, "partial": 0, "cold": 4}
         assert list(plan.execution_order) == spec.task_coordinates()
 
     def test_completed_run_plans_warm_fresh_and_journaled_resumed(self, tmp_path):
@@ -107,10 +107,10 @@ class TestPlanner:
         run_sweep(spec, store=store)
 
         fresh = SweepPlanner(store).plan(spec, resume=False)
-        assert fresh.counts == {"journaled": 0, "warm": 4, "cold": 0}
+        assert fresh.counts == {"journaled": 0, "warm": 4, "partial": 0, "cold": 0}
 
         resumed = SweepPlanner(store).plan(spec, resume=True)
-        assert resumed.counts == {"journaled": 4, "warm": 0, "cold": 0}
+        assert resumed.counts == {"journaled": 4, "warm": 0, "partial": 0, "cold": 0}
         assert resumed.execution_order == ()  # nothing left to execute
 
     def test_partial_store_splits_warm_cold(self, tmp_path):
@@ -120,7 +120,7 @@ class TestPlanner:
         assert delete_point_calibrations(store, 0) > 0
 
         plan = SweepPlanner(store).plan(spec, resume=False)
-        assert plan.counts == {"journaled": 0, "warm": 2, "cold": 2}
+        assert plan.counts == {"journaled": 0, "warm": 2, "partial": 0, "cold": 2}
         # warm-first: every lima (point 1) task precedes every quito task
         assert [c[0] for c in plan.execution_order] == [1, 1, 0, 0]
 
@@ -132,11 +132,11 @@ class TestPlanner:
         plan = SweepPlanner(store).plan(spec, resume=True)
         # 2 tasks journaled; their calibrations are also on disk but
         # journaled wins (replay beats re-execution); the rest is cold
-        assert plan.counts == {"journaled": 2, "warm": 0, "cold": 2}
+        assert plan.counts == {"journaled": 2, "warm": 0, "partial": 0, "cold": 2}
         # a fresh (non-resume) run would truncate the journal: the same
         # two tasks now count as warm instead
         fresh = SweepPlanner(store).plan(spec, resume=False)
-        assert fresh.counts == {"journaled": 0, "warm": 2, "cold": 2}
+        assert fresh.counts == {"journaled": 0, "warm": 2, "partial": 0, "cold": 2}
 
     def test_recommended_workers_sized_to_cold_remainder(self, tmp_path):
         spec = small_spec()
@@ -316,7 +316,7 @@ class TestCoordinator:
             spec.task_coordinates()
         )
         assert [e["replayed"] for e in rows] == [True, True, False, False]
-        assert status["plan"] == {"journaled": 2, "warm": 0, "cold": 2}
+        assert status["plan"] == {"journaled": 2, "warm": 0, "partial": 0, "cold": 2}
         assert status["state"] == "done"
 
     def test_concurrent_sweeps_share_one_store(self, tmp_path):
@@ -580,7 +580,7 @@ class TestServerProtocol:
 
         rows, status, cold, rows2, warm = asyncio.run(body())
         assert status["state"] == "done"
-        assert status["plan"] == {"journaled": 0, "warm": 0, "cold": 4}
+        assert status["plan"] == {"journaled": 0, "warm": 0, "partial": 0, "cold": 4}
         # the result reports the service's actual parallelism, not the
         # runner's unused internal pool
         assert cold.workers == 2

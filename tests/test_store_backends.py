@@ -124,15 +124,15 @@ class TestPlannerOverBackends:
         spec = small_spec()
         store = ArtifactStore("mem://plan")
         plan = SweepPlanner(store).plan(spec)
-        assert plan.counts == {"journaled": 0, "warm": 0,
+        assert plan.counts == {"journaled": 0, "warm": 0, "partial": 0,
                                "cold": spec.num_tasks}
         run_sweep(spec, store=store)
         plan = SweepPlanner(store).plan(spec)
         assert plan.counts == {"journaled": 0, "warm": spec.num_tasks,
-                               "cold": 0}
+                               "partial": 0, "cold": 0}
         plan = SweepPlanner(store).plan(spec, resume=True)
         assert plan.counts == {"journaled": spec.num_tasks, "warm": 0,
-                               "cold": 0}
+                               "partial": 0, "cold": 0}
 
     def test_plan_line_printed_for_mem_store(self, capsys):
         # CMC persists calibration state, so the second run can be warm
