@@ -40,7 +40,23 @@ PERF_BENCHES = [
     "test_bench_fleet.py",
     "test_bench_load.py",
     "test_bench_calgraph.py",
+    "test_bench_obs.py",
 ]
+
+# The BENCH_*.json artefact each registered bench must emit into.  A bench
+# whose records never arrive (wrong blob name, forgotten write, silently
+# skipped test) fails the run instead of silently thinning the artefact
+# set — the exact failure mode that once shipped a PERF_BENCHES entry with
+# no committed BENCH_calgraph.json.
+EXPECTED_ARTIFACTS = {
+    "test_bench_batched_trajectories.py": "BENCH_trajectories.json",
+    "test_bench_store.py": "BENCH_store.json",
+    "test_bench_service.py": "BENCH_service.json",
+    "test_bench_fleet.py": "BENCH_fleet.json",
+    "test_bench_load.py": "BENCH_load.json",
+    "test_bench_calgraph.py": "BENCH_calgraph.json",
+    "test_bench_obs.py": "BENCH_obs.json",
+}
 
 
 def run_pytest(selection: list[str]) -> tuple[int, float]:
@@ -126,6 +142,23 @@ def main(argv: list[str] | None = None) -> int:
         path = args.output if name == default_name else args.output.parent / name
         path.write_text(json.dumps(artefact, indent=2) + "\n")
         print(f"wrote {path} ({len(records)} benchmark record(s))")
+
+    # Registry completeness: every bench this invocation ran must have
+    # emitted records into its artefact (blobs routed to the default
+    # artefact land under whatever --output named it).
+    if not args.skip_run:
+        ran = set(PERF_BENCHES) | (set(EXPECTED_ARTIFACTS) if args.all else set())
+        missing = []
+        for bench, artifact in sorted(EXPECTED_ARTIFACTS.items()):
+            if bench not in ran:
+                continue
+            key = default_name if artifact == DEFAULT_OUTPUT.name else artifact
+            if not grouped.get(key):
+                missing.append(f"{bench} -> {artifact}")
+        if missing:
+            for item in missing:
+                print(f"ERROR: registered benchmark emitted no records: {item}")
+            return code or 1
     return code
 
 

@@ -1,0 +1,153 @@
+"""Telemetry overhead gate (ISSUE 9): observation must be nearly free.
+
+Runs the same cold sweep workload with telemetry disabled and enabled,
+interleaved best-of-N on each side, and gates the enabled/disabled
+wall-time ratio: **< 5 %** overhead under ``REPRO_BENCH_STRICT=1`` (the
+``run_bench.py`` entry point), a catastrophic-regression ceiling
+otherwise (the tier-1 suite runs on noisy shared machines).
+
+The records from every run — on or off — must be identical: the
+overhead gate is only meaningful if telemetry observed the *same*
+computation (the full byte-identity matrix is
+``tests/test_obs_determinism.py``).
+
+A machine-readable blob goes to
+``benchmarks/results/obs_overhead.bench.json``; ``run_bench.py`` folds
+it into ``BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import statistics
+import time
+
+from repro import obs
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.store import ArtifactStore, MemoryBackend, reset_memory_spaces
+
+from .conftest import RESULTS_DIR, run_once
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+MAX_OVERHEAD = 0.05  # the ISSUE 9 gate: < 5% with every instrument live
+RELAXED_OVERHEAD = 1.0  # catastrophic floor: never 2x the uninstrumented run
+ROUNDS = 9
+
+SPEC = SweepSpec(
+    backends=(
+        BackendSpec(kind="device", name="quito", gate_noise=False),
+        BackendSpec(kind="device", name="lima", gate_noise=False),
+    ),
+    circuits=(CircuitSpec(root=0),),
+    shots=(16000,),
+    methods=("Bare", "CMC"),
+    trials=10,
+    seed=5,
+    full_max_qubits=5,
+)
+
+
+def _cold_run(space: str):
+    """One fully-cold sweep over a fresh in-memory store (journal writes,
+    calibration measurement + persistence, cache misses — every
+    instrumented hot path fires)."""
+    reset_memory_spaces(space)
+    try:
+        return run_sweep(SPEC, store=ArtifactStore(MemoryBackend(space)))
+    finally:
+        reset_memory_spaces(space)
+
+
+def _record_dicts(result):
+    return [rec.to_dict() for rec in result.records]
+
+
+def test_bench_obs_overhead(benchmark, emit):
+    obs.disable()
+    reference = run_once(benchmark, lambda: _cold_run("obs-bench-ref"))
+    ref_records = _record_dicts(reference)
+
+    # The true overhead here is sub-millisecond (a few hundred guarded
+    # events per run) while shared-runner wall-clock jitter is +-10% and
+    # one-sided — noise only ever adds time.  Two estimators, both
+    # one-sided-noise-robust, gated on whichever is smaller: the median
+    # of *paired* interleaved ratios (drift hits both sides of a pair
+    # equally) and the ratio of minimum envelopes (each side's best
+    # approach to its true runtime).  A real regression — say a per-shot
+    # counter — inflates every enabled sample and therefore both.
+    t_off = t_on = float("inf")
+    ratios = []
+    events = 0
+    gc.disable()
+    try:
+        for i in range(ROUNDS):
+            obs.disable()
+            t0 = time.perf_counter()
+            off = _cold_run(f"obs-bench-off{i}")
+            dt_off = time.perf_counter() - t0
+            t_off = min(t_off, dt_off)
+            assert _record_dicts(off) == ref_records
+
+            telemetry = obs.enable(obs.Telemetry())
+            t0 = time.perf_counter()
+            on = _cold_run(f"obs-bench-on{i}")
+            dt_on = time.perf_counter() - t0
+            t_on = min(t_on, dt_on)
+            assert _record_dicts(on) == ref_records
+            ratios.append(dt_on / dt_off)
+
+            snap = telemetry.snapshot()
+            # the instrumentation actually fired, on every tier
+            assert snap["repro_journal_appends_total"]["series"][0]["value"] > 0
+            assert snap["repro_backend_ops_total"]["series"]
+            assert snap["repro_calcache_lookups_total"]["series"]
+            events = int(
+                sum(
+                    s.get("value", s.get("count", 0))
+                    for fam in snap.values()
+                    for s in fam["series"]
+                )
+            )
+    finally:
+        gc.enable()
+        obs.disable()
+
+    overhead = min(statistics.median(ratios), t_on / t_off) - 1.0
+    ceiling = MAX_OVERHEAD if STRICT else RELAXED_OVERHEAD
+    assert overhead < ceiling, (
+        f"telemetry overhead {overhead * 100:.1f}% exceeds "
+        f"{ceiling * 100:.0f}% (off {t_off:.3f}s, on {t_on:.3f}s)"
+    )
+
+    blob = {
+        "name": "obs_overhead",
+        "artifact": "BENCH_obs.json",
+        "workload": {
+            "tasks": SPEC.num_tasks,
+            "records": len(ref_records),
+            "shots": SPEC.shots[0],
+            "rounds": ROUNDS,
+        },
+        "wall_time_s": {"disabled": t_off, "enabled": t_on},
+        "paired_ratios": ratios,
+        "overhead_fraction": overhead,
+        "observed_samples": events,
+        "records_bit_identical": True,
+        "strict": STRICT,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs_overhead.bench.json").write_text(
+        json.dumps(blob, indent=2) + "\n"
+    )
+    emit(
+        "obs_overhead",
+        (
+            f"telemetry disabled: {t_off:.3f}s   enabled: {t_on:.3f}s   "
+            f"overhead: {overhead * 100:+.1f}% (gate < {ceiling * 100:.0f}%)\n"
+            f"{events} samples across "
+            f"{len(SPEC.backends)}x{len(SPEC.methods)}x{SPEC.trials} tasks; "
+            f"records identical on vs off"
+        ),
+    )

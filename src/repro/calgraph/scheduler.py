@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.calgraph.cache import CalibrationGraphCache, node_digest, node_key
 from repro.calgraph.drift import node_fingerprint
 from repro.calgraph.graph import CalGraphError, CalibrationDAG
@@ -42,6 +43,30 @@ EXECUTED = "executed"
 RESTORED = "restored"
 SKIPPED = "skipped"
 FAILED = "failed"
+
+
+def _count_node(outcome: str) -> None:
+    """Calgraph-tier cache accounting: restored nodes are hits, executed
+    nodes are misses (same semantics as the monolithic tier: a miss means
+    a cold calibration actually ran), and skipped/failed nodes land in a
+    separate outcome counter so DAG health is scrapeable."""
+    telemetry = obs.active()
+    if telemetry is None:
+        return
+    if outcome == RESTORED or outcome == EXECUTED:
+        telemetry.counter(
+            "repro_calcache_lookups_total",
+            "Calibration cache lookups by tier and result",
+            ("tier", "result"),
+        ).labels(
+            tier="calgraph",
+            result="hit" if outcome == RESTORED else "miss",
+        ).inc()
+    telemetry.counter(
+        "repro_calgraph_nodes_total",
+        "Calibration DAG node outcomes",
+        ("outcome",),
+    ).labels(outcome=outcome).inc()
 
 
 @dataclass(frozen=True)
@@ -253,6 +278,7 @@ class CalibrationScheduler:
 
             if any(dep in poisoned for dep in self._graph.deps(name)):
                 report.outcomes[name] = SKIPPED
+                _count_node(SKIPPED)
                 poisoned.add(name)
                 continue
 
@@ -261,6 +287,7 @@ class CalibrationScheduler:
                 if budget is not None:
                     budget.replay(record.shots_spent, record.circuits_executed)
                 report.outcomes[name] = RESTORED
+                _count_node(RESTORED)
                 report.states[name] = record.state
                 report.replayed_shots += record.shots_spent
                 report.replayed_circuits += record.circuits_executed
@@ -293,6 +320,7 @@ class CalibrationScheduler:
                 if self._on_failure == "abort":
                     raise
                 report.outcomes[name] = FAILED
+                _count_node(FAILED)
                 report.errors[name] = f"{type(exc).__name__}: {exc}"
                 poisoned.add(name)
                 continue
@@ -306,6 +334,7 @@ class CalibrationScheduler:
             )
             self._cache.store(key, state, shots_spent, circuits)
             report.outcomes[name] = EXECUTED
+            _count_node(EXECUTED)
             report.states[name] = state
             report.fresh_shots += shots_spent
             report.fresh_circuits += circuits

@@ -88,6 +88,8 @@ _COMMANDS = {
     "serve": "host a store as a long-running, streaming sweep service",
     "submit": "send a sweep grid to a running `repro serve` instance",
     "worker": "join a `repro serve` instance as a fleet task worker",
+    "metrics": "scrape a running `repro serve` instance's telemetry",
+    "trace": "show a sweep's span chain (live server or journal stitch)",
 }
 
 
@@ -392,6 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM: let in-flight tasks journal for up to this long "
         "before cancelling the remainder resumably (default 10)",
     )
+    p.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="enable telemetry and expose a Prometheus/JSON scrape plane "
+        "on this HTTP port (GET /metrics, /metrics/json; 0 = ephemeral)",
+    )
+    p.add_argument(
+        "--obs-sink", action="store_true",
+        help="enable telemetry and append every trace span to "
+        "obs/events.jsonl in the served store (a durable event log)",
+    )
 
     p = sub.add_parser("submit", help=_COMMANDS["submit"])
     _add_grid_args(p)
@@ -458,6 +470,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-task progress"
+    )
+
+    p = sub.add_parser("metrics", help=_COMMANDS["metrics"])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help=f"server TCP port (default {DEFAULT_SERVICE_PORT})")
+    p.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="exposition format (default prometheus text 0.0.4)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="wire deadline for the exchange (default 10; 0 = none)",
+    )
+
+    p = sub.add_parser("trace", help=_COMMANDS["trace"])
+    p.add_argument("sweep_id", metavar="SWEEP_ID",
+                   help="the sweep to trace ({digest16}-{n}, as printed by "
+                   "submit), or a bare 16-hex trace digest")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help=f"server TCP port (default {DEFAULT_SERVICE_PORT})")
+    p.add_argument(
+        "--store", default=None, metavar="STORE",
+        help="stitch the trace offline from this store's journal instead "
+        "of asking a live server (works after the server is gone)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="wire deadline for the exchange (default 10; 0 = none)",
+    )
+    p.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="print the span list as JSON instead of a table",
     )
 
     return parser
@@ -800,6 +846,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             max_pending_tasks=args.max_pending_tasks,
             tenant_quotas=tenant_quotas or None,
             default_quota=default_quota,
+            metrics_port=args.metrics_port,
+            obs_sink=args.obs_sink,
         )
     except ValueError as exc:
         # bad locators, quotas, or --processes over a process-local store
@@ -817,6 +865,12 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             f"{'processes' if args.processes else 'threads'}, "
             f"server-id {args.server_id}"
             + (f", {recovered} sweep(s) recovered" if recovered else "")
+            + (
+                f", metrics on http://{server.host}:{server.metrics_port}"
+                "/metrics"
+                if server.metrics_port is not None
+                else ""
+            )
             + "); Ctrl-C stops, SIGTERM drains",
             file=sys.stderr,
             flush=True,
@@ -1030,6 +1084,140 @@ def _cmd_worker(args: argparse.Namespace) -> str:
         f"{report.completed} completed, {report.duplicates} duplicate, "
         f"{report.rejected} rejected"
     )
+
+
+def _cmd_metrics(args: argparse.Namespace) -> str:
+    import asyncio
+    import json
+
+    from repro.service.client import ServiceError, SweepClient
+    from repro.service.server import DEFAULT_PORT
+
+    port = DEFAULT_PORT if args.port is None else args.port
+    timeout = None if args.timeout is not None and args.timeout <= 0 else args.timeout
+
+    async def _fetch() -> dict:
+        async with SweepClient(args.host, port, timeout=timeout) as client:
+            return await client.metrics(format=args.format)
+
+    try:
+        response = asyncio.run(_fetch())
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(
+            f"repro metrics: error: cannot reach repro serve at "
+            f"{args.host}:{port} ({exc})",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    except ServiceError as exc:
+        print(f"repro metrics: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not response.get("enabled"):
+        return (
+            "(telemetry disabled on this server — start it with "
+            "--metrics-port or --obs-sink)"
+        )
+    if args.format == "prometheus":
+        return response.get("prometheus", "").rstrip("\n")
+    return json.dumps(response.get("metrics", {}), indent=2, sort_keys=True)
+
+
+def _trace_table(spans: list) -> str:
+    if not spans:
+        return "(no spans)"
+    rows = {}
+    for i, event in enumerate(spans):
+        extras = {
+            k: v
+            for k, v in event.items()
+            if k not in ("trace", "span", "ts", "dur", "task")
+        }
+        rows[str(i)] = {
+            "span": event.get("span", "?"),
+            "task": str(event.get("task", event.get("trace", "")))[:40],
+            "dur": (
+                f"{float(event['dur']):.4f}s" if "dur" in event else ""
+            ),
+            "attrs": ", ".join(
+                f"{k}={v}" for k, v in sorted(extras.items())
+            )[:60],
+        }
+    return format_table(rows, ["span", "task", "dur", "attrs"], row_header="#")
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    import json
+
+    from repro import obs
+
+    if args.store is not None:
+        # offline stitch: the journal — not the span buffer — is the
+        # durable record, so a finished fleet sweep traces from any
+        # backend with no server running
+        from repro.store import ArtifactStore
+
+        try:
+            store = ArtifactStore(args.store)
+        except ValueError as exc:
+            print(f"repro trace: error: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        digest = args.sweep_id.split("-", 1)[0].split(".", 1)[0]
+        key = f"journals/{digest}.jsonl"
+        raw = store.backend.read_from(key, 0)
+        if raw is None:
+            print(
+                f"repro trace: error: no journal for {args.sweep_id!r} "
+                f"({key} not found in {args.store})",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        data = raw[0] if isinstance(raw, tuple) else raw
+        rows = []
+        for line in data.decode("utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except ValueError:
+                continue  # torn tail line: the journal reader skips it too
+        spans = obs.sort_spans(
+            obs.spans_from_journal_rows(
+                [r for r in rows if r.get("kind") == "task"], trace=digest
+            )
+        )
+    else:
+        import asyncio
+
+        from repro.service.client import ServiceError, SweepClient
+        from repro.service.server import DEFAULT_PORT
+
+        port = DEFAULT_PORT if args.port is None else args.port
+        timeout = (
+            None if args.timeout is not None and args.timeout <= 0 else args.timeout
+        )
+
+        async def _fetch() -> list:
+            async with SweepClient(args.host, port, timeout=timeout) as client:
+                return await client.trace(args.sweep_id)
+
+        try:
+            spans = asyncio.run(_fetch())
+        except (ConnectionError, OSError, TimeoutError) as exc:
+            print(
+                f"repro trace: error: cannot reach repro serve at "
+                f"{args.host}:{port} ({exc}); use --store to stitch the "
+                f"trace from a journal offline",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        except ServiceError as exc:
+            print(f"repro trace: error: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+    if args.json_out:
+        return json.dumps(spans, indent=2, sort_keys=True)
+    header = f"trace {args.sweep_id}: {len(spans)} span(s)"
+    return header + "\n\n" + _trace_table(spans)
 
 
 def _cmd_store(args: argparse.Namespace) -> str:
@@ -1392,6 +1580,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "worker": _cmd_worker,
+        "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
     }
     out = handlers[args.command](args)
     if out:  # serve returns nothing — don't print a stray blank line

@@ -1,0 +1,167 @@
+"""``repro.obs`` — zero-dependency telemetry: metrics, traces, exposition.
+
+Design contract (pinned by ``tests/test_obs_determinism.py`` and the
+``BENCH_obs.json`` overhead gate):
+
+* **Pure observer.**  Telemetry never feeds back into an instrumented
+  code path: no RNG draws, no reordering, no branching on telemetry
+  state beyond "is it enabled".  A sweep's records, journal bytes and
+  artifacts are bit-identical with telemetry on vs off.
+* **Pay only when on.**  Instrumented modules guard with
+  :func:`active`, which returns ``None`` while telemetry is disabled —
+  the disabled cost is one module-global read and a ``None`` check.
+  There is no no-op instrument tree to walk.
+* **Process-local.**  The registry lives in the process that observes
+  the event.  Service-side hot paths (journal appends, leases,
+  admission, watch fan-out) are observed in the server process; task
+  internals (cache lookups, simulator chunks) are observed wherever the
+  task runs — in-process for thread executors and fleet workers, in the
+  child for process pools (whose counts, by design, don't merge back).
+
+Usage::
+
+    from repro import obs
+
+    telemetry = obs.enable()            # idempotent; returns the handle
+    ...
+    t = obs.active()
+    if t is not None:
+        t.counter("repro_journal_appends_total",
+                  "Journal rows appended").inc()
+
+Exposition: :func:`render_prometheus` (text format 0.0.4), the service's
+``metrics``/``trace`` wire verbs, ``repro serve --metrics-port`` and the
+``repro metrics`` / ``repro trace`` CLI commands.  The environment
+variable ``REPRO_OBS=1`` enables telemetry at import time for processes
+with no flag surface of their own (fleet workers, bare sweeps).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional, Sequence
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from repro.obs.sink import OBS_EVENTS_KEY, JsonlEventSink
+from repro.obs.trace import (
+    SPAN_ORDER,
+    SpanBuffer,
+    sort_spans,
+    spans_from_journal_rows,
+    sweep_trace_id,
+    task_trace_id,
+)
+
+__all__ = [
+    "Telemetry",
+    "enable",
+    "disable",
+    "active",
+    "enabled",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SpanBuffer",
+    "JsonlEventSink",
+    "render_prometheus",
+    "sweep_trace_id",
+    "task_trace_id",
+    "spans_from_journal_rows",
+    "sort_spans",
+    "SPAN_ORDER",
+    "OBS_EVENTS_KEY",
+    "DEFAULT_BUCKETS",
+]
+
+
+class Telemetry:
+    """One enabled telemetry scope: a metrics registry + a span buffer.
+
+    The instrument helpers proxy to the registry so instrumented modules
+    write ``t.counter(...)`` instead of ``t.metrics.counter(...)`` — the
+    hot-path idiom stays one call deep.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanBuffer] = None,
+    ) -> None:
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanBuffer()
+
+    # -- metrics proxies ----------------------------------------------
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        return self.metrics.counter(name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        return self.metrics.gauge(name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        return self.metrics.histogram(name, help, labelnames, buckets)
+
+    # -- spans ---------------------------------------------------------
+    def span(self, trace: str, span: str, **attrs) -> dict:
+        return self.spans.record(trace, span, **attrs)
+
+    # -- exposition ----------------------------------------------------
+    def prometheus(self) -> str:
+        return render_prometheus(self.metrics)
+
+    def snapshot(self) -> dict:
+        return self.metrics.snapshot()
+
+
+_lock = threading.Lock()
+_active: Optional[Telemetry] = None
+
+
+def enable(telemetry: Optional[Telemetry] = None) -> Telemetry:
+    """Turn telemetry on (idempotent) and return the active handle.
+
+    Passing an explicit :class:`Telemetry` replaces the active scope —
+    how tests isolate registries and how a server wires its span sink
+    before instrumented paths run.
+    """
+    global _active
+    with _lock:
+        if telemetry is not None:
+            _active = telemetry
+        elif _active is None:
+            _active = Telemetry()
+        return _active
+
+
+def disable() -> None:
+    """Turn telemetry off; instrumented paths return to the no-op guard."""
+    global _active
+    with _lock:
+        _active = None
+
+
+def active() -> Optional[Telemetry]:
+    """The hot-path guard: the active scope, or ``None`` when disabled."""
+    return _active
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+if os.environ.get("REPRO_OBS") == "1":  # pragma: no cover - env wiring
+    enable()

@@ -1,0 +1,354 @@
+"""Zero-dependency metrics: counters, gauges, histograms, Prometheus text.
+
+The registry is deliberately tiny — three instrument kinds, label
+children, and a text renderer — because the repo's telemetry has one hard
+requirement no client library guarantees: **pure observation**.  Nothing
+here may influence an instrumented code path.  Instruments never raise
+into callers (label mistakes surface at registration time, not record
+time), never allocate per-observation beyond a dict probe, and are
+thread-safe under the executor threads the service runs journal appends
+on.
+
+Hot paths pay for telemetry only when it is enabled: the instrumented
+modules go through :func:`repro.obs.active`, which returns ``None`` when
+telemetry is off, so the disabled cost is one global read and a ``None``
+check (pinned by the overhead benchmark, ``BENCH_obs.json``).
+
+Exposition is Prometheus text format 0.0.4 (`# HELP` / `# TYPE` plus
+``name{labels} value`` samples), rendered deterministically: metrics
+sort by name, children by label values, so two scrapes of identical
+state are byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+    "DEFAULT_BUCKETS",
+]
+
+#: Latency buckets (seconds) shared by every histogram unless overridden:
+#: sub-millisecond store ops through multi-second sweep tasks.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_suffix(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + inner + "}"
+
+
+class _Child:
+    """One labelled time series of a parent instrument."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _CounterChild(_Child):
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+
+class _GaugeChild(_Child):
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._buckets = buckets
+        self._counts = [0] * (len(buckets) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self._buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+
+class _Instrument:
+    """Parent of an instrument family: owns the label children.
+
+    The unlabelled case is a family with a single child keyed ``()`` —
+    callers use the instrument itself as the child (``inc``/``set``/
+    ``observe`` proxy through), so simple metrics read naturally.
+    """
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: str):
+        values = tuple(
+            str(labelvalues.get(name, "")) for name in self.labelnames
+        )
+        child = self._children.get(values)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(values, self._new_child())
+        return child
+
+    def _default_child(self):
+        return self.labels()
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        return sorted(self._children.items())
+
+
+class Counter(_Instrument):
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return sum(child.value for _, child in self.children())
+
+
+class Gauge(_Instrument):
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return sum(child.value for _, child in self.children())
+
+
+class Histogram(_Instrument):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    @property
+    def count(self) -> int:
+        return sum(child.count for _, child in self.children())
+
+    @property
+    def sum(self) -> float:
+        return sum(child.sum for _, child in self.children())
+
+
+class MetricsRegistry:
+    """A process-local instrument namespace.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call registers (name, help, labels), later calls return the existing
+    family — so instrumented modules never need import-time registration
+    and the registry only holds instruments the process actually touched.
+    Re-registering a name as a different kind raises: that is a coding
+    error, and it surfaces at the registration site, not at scrape time.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            if not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} is a {instrument.kind}, not a "
+                    f"{cls.kind}"
+                )
+            return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, help, labelnames, **kwargs)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} is a {instrument.kind}, not a "
+                    f"{cls.kind}"
+                )
+        return instrument
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def instruments(self) -> List[_Instrument]:
+        return sorted(self._instruments.values(), key=lambda i: i.name)
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready view of every sample — the `metrics` wire verb's
+        payload, mirroring exactly what the Prometheus text exposes."""
+        out: Dict[str, dict] = {}
+        for inst in self.instruments():
+            series = []
+            for values, child in inst.children():
+                labels = dict(zip(inst.labelnames, values))
+                if isinstance(child, _HistogramChild):
+                    series.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out[inst.name] = {
+                "kind": inst.kind,
+                "help": inst.help,
+                "series": series,
+            }
+        return out
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format 0.0.4."""
+    lines: List[str] = []
+    for inst in registry.instruments():
+        lines.append(f"# HELP {inst.name} {inst.help}")
+        lines.append(f"# TYPE {inst.name} {inst.kind}")
+        for values, child in inst.children():
+            if isinstance(child, _HistogramChild):
+                cumulative = 0
+                for bound, bucket_count in zip(
+                    inst.buckets + (float("inf"),), child._counts
+                ):
+                    cumulative += bucket_count
+                    le = _label_suffix(
+                        inst.labelnames + ("le",),
+                        values + (_format_value(bound),),
+                    )
+                    lines.append(f"{inst.name}_bucket{le} {cumulative}")
+                suffix = _label_suffix(inst.labelnames, values)
+                lines.append(
+                    f"{inst.name}_sum{suffix} {_format_value(child.sum)}"
+                )
+                lines.append(f"{inst.name}_count{suffix} {child.count}")
+            else:
+                suffix = _label_suffix(inst.labelnames, values)
+                lines.append(
+                    f"{inst.name}{suffix} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,64 @@
+"""Optional JSONL event sink: span events persisted next to the journal.
+
+When attached (``repro serve --obs-sink``, or programmatically via
+:func:`repro.obs.enable`), every span event the collector records is
+also appended — one canonical-JSON line per event — to an append-only
+stream in the sweep store, under ``obs/events.jsonl``.  It rides the
+same :meth:`~repro.store.backends.StoreBackend.append_line` primitive
+as the sweep journal, so it works identically over ``dir://``,
+``mem://`` and ``s3://`` and inherits each backend's durability story.
+
+The sink is telemetry, not record: failures are swallowed by the span
+buffer (a broken sink must never fail a sweep), the stream is never
+read back by the engine, and `repro store gc` ignores it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+__all__ = ["JsonlEventSink", "OBS_EVENTS_KEY"]
+
+#: Backend key of the event stream — a reserved prefix, like
+#: ``journals/`` and ``server/``, never interpreted as an artifact.
+OBS_EVENTS_KEY = "obs/events.jsonl"
+
+
+class JsonlEventSink:
+    """Append span events to a backend-held JSONL stream."""
+
+    def __init__(self, backend, key: str = OBS_EVENTS_KEY) -> None:
+        self._backend = backend
+        self._key = key
+        self._lock = threading.Lock()
+
+    @property
+    def key(self) -> str:
+        return self._key
+
+    def __call__(self, event: dict) -> None:
+        line = (
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        # One lock around the append keeps interleaved executor threads
+        # from racing the backend's stream primitive; transient store
+        # errors propagate to the span buffer, which swallows them.
+        with self._lock:
+            self._backend.append_line(self._key, line)
+
+    def read_events(self):
+        """Every event currently in the stream (for tests/tools)."""
+        found = self._backend.read_from(self._key, 0)
+        if found is None:
+            return []
+        data, _ = found
+        events = []
+        for line in data.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn tail mid-append; telemetry tolerates it
+        return events

@@ -1,0 +1,191 @@
+"""Trace spans: a sweep's lifecycle as correlated, ordered events.
+
+A sweep's **correlation id** is minted at ``submit`` and propagated
+through the wire protocol (submit → plan → lease → worker execute →
+complete → journal row → watch frame).  It is *deterministic*: the same
+16-hex digest the journal is keyed by (:func:`sweep_trace_id` ==
+``journal_spec_digest``), suffixed per task with the task's grid
+coordinate (:func:`task_trace_id`).  Determinism is what lets the id
+live inside journal rows without breaking the repo's bit-identity
+discipline — the field is a pure function of (spec, coordinate), so a
+row is byte-identical whether telemetry was enabled or not, whether the
+task ran locally or on a fleet worker (pinned in
+``tests/test_obs_determinism.py``).
+
+Spans themselves are telemetry: they exist only while a collector is
+active, they carry wall-clock timestamps and durations, and they are
+held in a bounded ring buffer (old sweeps age out; the journal — not
+the span buffer — is the durable record, and ``repro trace --store``
+can stitch a sweep's task spans back out of journal rows alone).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SpanBuffer",
+    "sweep_trace_id",
+    "task_trace_id",
+    "spans_from_journal_rows",
+    "sort_spans",
+    "SPAN_ORDER",
+]
+
+#: Canonical lifecycle order, used to sort a trace's spans for display
+#: (events within one kind stay in recording order).
+SPAN_ORDER: Tuple[str, ...] = (
+    "submit",
+    "plan",
+    "lease",
+    "execute",
+    "complete",
+    "journal_row",
+    "watch",
+)
+
+
+def sweep_trace_id(spec) -> str:
+    """The sweep-level correlation id for ``spec``.
+
+    Identical to :func:`repro.store.journal.journal_spec_digest` — the
+    journal key digest IS the trace id, so a sweep id
+    (``{digest16}-{n}``), its journal key and its trace correlate by
+    construction, with no id-mapping table to lose.
+    """
+    from repro.store.journal import journal_spec_digest
+
+    return journal_spec_digest(spec)
+
+
+def task_trace_id(sweep_trace: str, point: int, trials: Sequence[int]) -> str:
+    """One task's span id under a sweep trace: deterministic in the grid
+    coordinate, so every machine that touches the task derives the same
+    id independently."""
+    t = "_".join(str(int(x)) for x in trials)
+    return f"{sweep_trace}.p{int(point)}.t{t}"
+
+
+class SpanBuffer:
+    """Bounded, thread-safe ring of span events.
+
+    An event is a plain dict: ``{"trace", "span", "ts", ...attrs}`` plus
+    an optional ``"dur"`` (seconds).  ``trace`` is the sweep-level
+    correlation id; task-scoped events also carry ``"task"`` (the
+    :func:`task_trace_id`).  Plain dicts because every consumer — the
+    `trace` wire verb, the JSONL sink, the CLI — wants JSON anyway.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._events: deque = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self._sinks: List = []
+
+    def add_sink(self, sink) -> None:
+        """Attach a callable receiving every event (the JSONL sink)."""
+        self._sinks.append(sink)
+
+    def record(
+        self,
+        trace: str,
+        span: str,
+        *,
+        dur: Optional[float] = None,
+        **attrs,
+    ) -> dict:
+        event: Dict = {"trace": str(trace), "span": str(span), "ts": time.time()}
+        if dur is not None:
+            event["dur"] = float(dur)
+        event.update(attrs)
+        with self._lock:
+            self._events.append(event)
+        for sink in self._sinks:
+            try:
+                sink(event)
+            except Exception:
+                # A failing sink must never take an instrumented code
+                # path down with it — telemetry is a pure observer.
+                pass
+        return event
+
+    def events(self, trace: Optional[str] = None) -> List[dict]:
+        with self._lock:
+            snapshot = list(self._events)
+        if trace is None:
+            return snapshot
+        return [e for e in snapshot if e.get("trace") == trace]
+
+    def sweep_events(self, sweep_id: str) -> List[dict]:
+        """Events for a sweep id (``{digest16}-{n}``) or bare trace id —
+        matched on the digest prefix, plus any event that recorded the
+        exact sweep id (two submissions of one spec share a trace; the
+        sweep_id attr distinguishes them when present)."""
+        trace = sweep_id.split("-", 1)[0]
+        with self._lock:
+            snapshot = list(self._events)
+        return [
+            e
+            for e in snapshot
+            # task-level ids are "{digest}.p{point}.t{trials}" — match the
+            # digest itself and any task id derived from it
+            if str(e.get("trace", "")).split(".", 1)[0] == trace
+            or e.get("sweep_id") == sweep_id
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+
+def sort_spans(events: List[dict]) -> List[dict]:
+    """Lifecycle order (submit → ... → watch), stable within a kind."""
+    rank = {name: i for i, name in enumerate(SPAN_ORDER)}
+    ordered = sorted(
+        enumerate(events),
+        key=lambda pair: (rank.get(pair[1].get("span"), len(rank)), pair[0]),
+    )
+    return [event for _, event in ordered]
+
+
+def spans_from_journal_rows(
+    rows: Sequence[dict], trace: Optional[str] = None
+) -> List[dict]:
+    """Reconstruct task spans from journal rows alone.
+
+    This is the fleet-stitching path: every ``task`` row carries its
+    deterministic ``trace`` field (``{digest}.p{point}.t{trials}``), so a
+    journal read back from any backend yields one ``journal_row`` span
+    per completed task — plus a synthesized ``execute`` span from the
+    row's recorded duration — with no server or span buffer required.
+    Rows from journals written before the trace field existed synthesize
+    their id from the coordinate (``trace=...`` supplies the sweep
+    digest; without it they group under ``"-"``).
+    """
+    spans: List[dict] = []
+    for index, row in enumerate(rows):
+        if row.get("kind") != "task":
+            continue
+        task = row.get("trace") or task_trace_id(
+            trace or "-", int(row.get("point", 0)), row.get("trials", ())
+        )
+        sweep = task.split(".", 1)[0]
+        common = {
+            "trace": sweep,
+            "task": task,
+            "point": int(row.get("point", 0)),
+            "trials": [int(t) for t in row.get("trials", ())],
+        }
+        spans.append(
+            dict(
+                common,
+                span="execute",
+                dur=float(row.get("duration", 0.0)),
+                cache_hits=int(row.get("cache_hits", 0)),
+                cache_misses=int(row.get("cache_misses", 0)),
+            )
+        )
+        spans.append(dict(common, span="journal_row", row=index))
+    return spans

@@ -36,6 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro import obs
+
 __all__ = ["CalibrationRecord", "CalibrationCache"]
 
 CacheKey = Tuple
@@ -99,6 +101,17 @@ class CalibrationCache:
         self._stats.hits += 1
         self._stats.saved_shots += record.shots_spent
         self._stats.saved_circuits += record.circuits_executed
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_calcache_lookups_total",
+                "Calibration cache lookups by tier and result",
+                ("tier", "result"),
+            ).labels(tier="monolithic", result="hit").inc()
+            telemetry.counter(
+                "repro_cache_saved_shots_total",
+                "Device shots avoided by calibration cache hits",
+            ).inc(record.shots_spent)
         return record
 
     def store(
@@ -110,6 +123,13 @@ class CalibrationCache:
     ) -> None:
         """Record a cold calibration's state and ledger spend."""
         self._stats.misses += 1
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_calcache_lookups_total",
+                "Calibration cache lookups by tier and result",
+                ("tier", "result"),
+            ).labels(tier="monolithic", result="miss").inc()
         self._entries[key] = CalibrationRecord(
             state=state,
             shots_spent=int(shots_spent),

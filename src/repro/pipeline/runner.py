@@ -68,6 +68,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro._version import __version__
 from repro.analysis.stats import QuantileSummary, summarize_quantiles
 from repro.pipeline.cache import CalibrationCache
@@ -189,6 +190,12 @@ class TaskOutcome:
     saved_shots: int = 0
     saved_circuits: int = 0
     duration: float = 0.0
+    #: Correlation id for tracing (``{spec digest16}.p{point}.t{trials}``).
+    #: Deterministic in (spec, coordinate) — never in telemetry state or
+    #: execution venue — so it can live in journal rows and wire frames
+    #: without perturbing bit-identity.  Empty on outcomes replayed from
+    #: pre-1.7 journals.
+    trace: str = ""
 
 
 @dataclass
@@ -496,6 +503,7 @@ def execute_task(
         trials=tuple(trials),
         records=records,
         duration=time.perf_counter() - start,
+        trace=obs.task_trace_id(obs.sweep_trace_id(spec), point, trials),
     )
     if cache is not None:
         s = cache.stats()

@@ -207,6 +207,20 @@ class SweepClient:
         response = await self.request(op="results", sweep_id=sweep_id)
         return SweepResult.from_dict(response["result"])
 
+    async def metrics(self, format: str = "json") -> dict:
+        """The server's telemetry registry: ``{"enabled": bool, ...}``
+        with ``"metrics"`` (JSON snapshot) or ``"prometheus"`` (text
+        format 0.0.4) according to ``format``."""
+        return await self.request(op="metrics", format=format)
+
+    async def trace(self, sweep_id: str) -> list:
+        """The sweep's span chain from the server's live span buffer, in
+        causal order (submit → plan → lease → execute → complete →
+        journal_row → watch).  Empty when server telemetry is off — the
+        ``repro trace --store`` journal-stitching path covers that case."""
+        response = await self.request(op="trace", sweep_id=sweep_id)
+        return response.get("spans", [])
+
     async def watch(
         self, sweep_id: str, cursor: int = 0
     ) -> AsyncIterator[dict]:

@@ -57,6 +57,7 @@ from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import AsyncIterator, Deque, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro._version import __version__
 from repro.pipeline.cache import CacheKey, CalibrationCache, CalibrationRecord
 from repro.pipeline.runner import (
@@ -101,8 +102,22 @@ def _retrying(fn, *args):
         try:
             return fn(*args)
         except TransientStoreError:
+            _count("repro_coordinator_op_retries_total",
+                   "Coordinator store ops retried after a transient fault")
             time.sleep(_RETRY_SLEEP)
     return fn(*args)  # last attempt propagates
+
+
+def _count(name: str, help_text: str, value: float = 1) -> None:
+    telemetry = obs.active()
+    if telemetry is not None:
+        telemetry.counter(name, help_text).inc(value)
+
+
+def _span(trace: str, span: str, **attrs) -> None:
+    telemetry = obs.active()
+    if telemetry is not None:
+        telemetry.span(trace, span, **attrs)
 
 
 def _purge_quiet(queue: "TaskQueue") -> None:
@@ -500,6 +515,16 @@ class SweepCoordinator:
             self._ledger.release(tenant, spec.num_tasks)
             raise
         self._jobs[sweep_id] = job
+        _count("repro_sweeps_submitted_total", "Sweeps accepted for execution")
+        _span(
+            digest,
+            "submit",
+            sweep_id=sweep_id,
+            tenant=tenant or "",
+            tasks=job.total,
+            resume=bool(resume),
+            recovered=bool(_recovered),
+        )
         job._task = asyncio.create_task(self._run_job(job, digest))
         return job
 
@@ -528,7 +553,14 @@ class SweepCoordinator:
         """Hint (seconds) until ``excess_tasks`` of backlog likely drains,
         from the observed per-row delivery rate."""
         per_task = self._rate_ema if self._rate_ema is not None else 1.0
-        return min(60.0, max(0.5, excess_tasks * per_task))
+        hint = min(60.0, max(0.5, excess_tasks * per_task))
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.gauge(
+                "repro_retry_after_seconds",
+                "Latest backpressure retry_after hint handed to a client",
+            ).set(hint)
+        return hint
 
     # -- durable intents + crash recovery ------------------------------
     def _intent_key(self, sweep_id: str) -> str:
@@ -659,6 +691,18 @@ class SweepCoordinator:
     def jobs(self) -> List[SweepJob]:
         """All jobs this coordinator has seen, submission order."""
         return list(self._jobs.values())
+
+    def trace_spans(self, sweep_id: str) -> List[dict]:
+        """The live span chain for one sweep, in causal order.
+
+        Served by the wire protocol's ``trace`` verb.  Returns ``[]``
+        when telemetry is disabled — the journal-stitching fallback
+        (:func:`repro.obs.spans_from_journal_rows`) still works offline.
+        """
+        telemetry = obs.active()
+        if telemetry is None:
+            return []
+        return obs.sort_spans(telemetry.spans.sweep_events(sweep_id))
 
     async def cancel(self, sweep_id: str) -> dict:
         """Stop a sweep.  Completed tasks stay journaled, so a later
@@ -831,6 +875,18 @@ class SweepCoordinator:
             )
             assignment = task_payload(job.spec, coord, store_root)
             assignment["sweep_id"] = job.sweep_id
+            # The task's deterministic trace id rides the assignment so
+            # the worker's spans and the coordinator's stitch together.
+            trace = obs.task_trace_id(
+                job.sweep_id.rsplit("-", 1)[0], coord[0], coord[1]
+            )
+            assignment["trace"] = trace
+            _span(
+                trace,
+                "lease",
+                sweep_id=job.sweep_id,
+                worker=worker_id,
+            )
             return assignment
         return None
 
@@ -878,6 +934,16 @@ class SweepCoordinator:
                 f"of sweep {sweep_id}"
             )
         accepted = await self._deliver(job, dispatch, coord, outcome)
+        _span(
+            outcome.trace
+            or obs.task_trace_id(
+                job.sweep_id.rsplit("-", 1)[0], coord[0], coord[1]
+            ),
+            "complete",
+            sweep_id=sweep_id,
+            worker=worker_id,
+            accepted=accepted,
+        )
         return {"accepted": accepted, "duplicate": not accepted}
 
     async def fail_task(
@@ -1070,6 +1136,18 @@ class SweepCoordinator:
                 else 0.8 * self._rate_ema + 0.2 * delta
             )
         self._last_publish = now
+        telemetry = obs.active()
+        if telemetry is not None:
+            if self._rate_ema is not None:
+                telemetry.gauge(
+                    "repro_delivery_rate_seconds_per_row",
+                    "EWMA seconds per journaled row (retry_after's source)",
+                ).set(self._rate_ema)
+            telemetry.counter(
+                "repro_task_events_published_total",
+                "Task events fanned out to watch subscribers, by origin",
+                ("origin",),
+            ).labels(origin="replayed" if replayed else "live").inc()
 
     async def _set_state(self, job: SweepJob, state: str) -> None:
         async with job._cond:
@@ -1129,6 +1207,25 @@ class SweepCoordinator:
                 None, _retrying, dispatch.session.record, coord, outcome
             )
             await self._publish(job, task_entry(outcome), replayed=False)
+            _count("repro_tasks_completed_total",
+                   "Task outcomes recorded (exactly once per coordinate)")
+            trace = outcome.trace or obs.task_trace_id(
+                job.sweep_id.rsplit("-", 1)[0], coord[0], coord[1]
+            )
+            _span(
+                trace,
+                "execute",
+                sweep_id=job.sweep_id,
+                dur=outcome.duration,
+                cache_hits=outcome.cache_hits,
+                cache_misses=outcome.cache_misses,
+            )
+            _span(
+                trace,
+                "journal_row",
+                sweep_id=job.sweep_id,
+                row=len(job.events) - 1,
+            )
             # charge the tenant's shot allowance for the device work this
             # row represents (replayed rows were paid for pre-crash)
             self._ledger.charge_shots(
@@ -1156,6 +1253,14 @@ class SweepCoordinator:
             coord = await dispatch.checkout_wait("")
             if coord is None:
                 return
+            _span(
+                obs.task_trace_id(
+                    job.sweep_id.rsplit("-", 1)[0], coord[0], coord[1]
+                ),
+                "lease",
+                sweep_id=job.sweep_id,
+                worker="local",
+            )
             try:
                 outcome = await loop.run_in_executor(
                     self._get_executor(),
@@ -1204,6 +1309,14 @@ class SweepCoordinator:
                     )
                     job.plan_counts = (
                         session.plan.counts if session.plan else None
+                    )
+                    _span(
+                        digest,
+                        "plan",
+                        sweep_id=job.sweep_id,
+                        counts=job.plan_counts,
+                        pending=len(session.pending),
+                        replayed=len(session.outcomes),
                     )
                     dispatch = _JobDispatch(
                         session,

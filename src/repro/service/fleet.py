@@ -34,6 +34,7 @@ from __future__ import annotations
 import asyncio
 from typing import Callable, Optional, Union
 
+from repro import obs
 from repro.pipeline.runner import execute_payload
 from repro.service.client import ServiceError, SweepClient
 from repro.service.server import DEFAULT_PORT
@@ -153,6 +154,21 @@ class FleetWorker:
             payload["store"] = None
             cache = PersistentCalibrationCache(self._store)
         outcome = execute_payload(payload, cache=cache)
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_worker_tasks_executed_total",
+                "Assignments this worker process executed to completion",
+            ).inc()
+            telemetry.span(
+                outcome.trace or str(task.get("trace", "")),
+                "execute",
+                sweep_id=str(task.get("sweep_id", "")),
+                worker=self.name or "fleet",
+                dur=outcome.duration,
+                cache_hits=outcome.cache_hits,
+                cache_misses=outcome.cache_misses,
+            )
         return task_entry(outcome)
 
     async def run(self, stop: Optional[Callable[[], bool]] = None) -> WorkerReport:

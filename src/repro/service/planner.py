@@ -48,6 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Tuple, Union
 
+from repro import obs
 from repro.pipeline.runner import (
     StoreLike,
     TaskCoord,
@@ -193,7 +194,7 @@ class SweepPlanner:
                 partial.append(coord)
             else:
                 cold.append(coord)
-        return TaskPlan(
+        plan = TaskPlan(
             digest=journal_spec_digest(spec),
             journaled=tuple(journaled_order),
             warm=tuple(warm),
@@ -201,6 +202,17 @@ class SweepPlanner:
             cold=tuple(cold),
             warmth=warmth,
         )
+        telemetry = obs.active()
+        if telemetry is not None:
+            counter = telemetry.counter(
+                "repro_planner_tier_tasks_total",
+                "Task coordinates partitioned by the planner, per tier",
+                ("tier",),
+            )
+            for tier, count in plan.counts.items():
+                if count:
+                    counter.labels(tier=tier).inc(count)
+        return plan
 
     # ------------------------------------------------------------------
     def expected_keys(self, spec: SweepSpec, coord: TaskCoord) -> Tuple[Tuple, ...]:

@@ -45,6 +45,7 @@ import json
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.store.backends import StoreBackend
 from repro.store.faults import TransientStoreError
 
@@ -63,8 +64,16 @@ def _retry(fn: Callable, *args):
         try:
             return fn(*args)
         except TransientStoreError:
+            _count("repro_lease_op_retries_total",
+                   "Lease-algebra store ops retried after a transient fault")
             time.sleep(_RETRY_SLEEP)
     return fn(*args)  # last attempt propagates
+
+
+def _count(name: str, help_text: str) -> None:
+    telemetry = obs.active()
+    if telemetry is not None:
+        telemetry.counter(name, help_text).inc()
 
 
 class TaskQueue:
@@ -139,6 +148,8 @@ class TaskQueue:
         payload = self._payload(coord, owner)
         for _ in range(5):
             if _retry(self.backend.put_if_absent, key, payload):
+                _count("repro_lease_claims_total",
+                       "Task leases successfully claimed")
                 return True
             current = _retry(self.backend.get, key)
             if current is None:
@@ -146,7 +157,10 @@ class TaskQueue:
             lease = self._decode(current)
             if lease is None or float(lease.get("expires", 0)) <= self.clock():
                 # stale or unreadable: reclaim and contend again
-                _retry(self.backend.delete_if_equals, key, current)
+                if _retry(self.backend.delete_if_equals, key, current):
+                    _count("repro_lease_reclaims_total",
+                           "Expired leases reclaimed so tasks could be "
+                           "re-issued")
                 continue
             return False
         return False
@@ -162,15 +176,25 @@ class TaskQueue:
         key = self._key(coord)
         current = _retry(self.backend.get, key)
         if current is None:
+            _count("repro_lease_renew_losses_total",
+                   "Renewals that found the lease lost (expired/reclaimed)")
             return False
         lease = self._decode(current)
         if lease is None or lease.get("owner") != owner:
+            _count("repro_lease_renew_losses_total",
+                   "Renewals that found the lease lost (expired/reclaimed)")
             return False
         if not _retry(self.backend.delete_if_equals, key, current):
+            _count("repro_lease_renew_losses_total",
+                   "Renewals that found the lease lost (expired/reclaimed)")
             return False  # raced with a reclaim
-        return bool(
+        renewed = bool(
             _retry(self.backend.put_if_absent, key, self._payload(coord, owner))
         )
+        if renewed:
+            _count("repro_lease_renews_total",
+                   "Task-lease heartbeats that extended a lease")
+        return renewed
 
     def release(self, coord: TaskCoord, owner: str) -> bool:
         """Drop ``owner``'s lease (task finished or abandoned cleanly)."""
@@ -216,6 +240,8 @@ class TaskQueue:
             if float(lease.get("expires", 0)) > now:
                 continue
             if _retry(self.backend.delete_if_equals, key, current):
+                _count("repro_lease_reclaims_total",
+                       "Expired leases reclaimed so tasks could be re-issued")
                 reclaimed.append(
                     (int(lease["point"]), tuple(int(t) for t in lease["trials"]))
                 )

@@ -76,6 +76,7 @@ import json
 import time
 from typing import Callable, Optional
 
+from repro import obs
 from repro.pipeline.runner import StoreLike
 from repro.pipeline.spec import SweepSpec
 from repro.service.coordinator import SweepCoordinator
@@ -135,10 +136,17 @@ class SweepServer:
         watch_buffer_bytes: int = 256 * 1024,
         watch_stall_timeout: float = 10.0,
         watch_tick_interval: float = 5.0,
+        metrics_port: Optional[int] = None,
+        obs_sink: bool = False,
         **coordinator_kwargs,
     ) -> None:
         self.host = host
         self.port = int(port)
+        #: Prometheus exposition port (``None`` = no HTTP plane).  ``0``
+        #: binds ephemeral; holds the bound value after :meth:`start`.
+        self.metrics_port = None if metrics_port is None else int(metrics_port)
+        #: Mirror trace spans into ``obs/events.jsonl`` on the store.
+        self.obs_sink = bool(obs_sink)
         #: requests/second one connection may issue (``None`` = off);
         #: heartbeats are exempt — throttling a fleet worker's liveness
         #: signal would cascade into spurious lease re-issues.
@@ -160,6 +168,7 @@ class SweepServer:
             **coordinator_kwargs,
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._shutting_down = False
 
     # ------------------------------------------------------------------
@@ -170,12 +179,26 @@ class SweepServer:
         instance with the same ``server_id`` recorded in the store — see
         :meth:`SweepCoordinator.recover`.
         """
+        if self.metrics_port is not None or self.obs_sink:
+            # exposition implies telemetry; idempotent if already on
+            telemetry = obs.enable()
+            if self.obs_sink:
+                telemetry.spans.add_sink(
+                    obs.JsonlEventSink(self.coordinator.store.backend)
+                )
         if recover:
             await self.coordinator.recover()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, self.host, self.metrics_port
+            )
+            self.metrics_port = (
+                self._metrics_server.sockets[0].getsockname()[1]
+            )
         return self
 
     async def serve_forever(self) -> None:
@@ -187,6 +210,10 @@ class SweepServer:
             await self._server.serve_forever()
 
     async def close(self) -> None:
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -390,6 +417,40 @@ class SweepServer:
             await coord.detach_worker(worker_id)
             attached.discard(worker_id)
             await self._send(writer, {"ok": True})
+        elif op == "metrics":
+            telemetry = obs.active()
+            fmt = request.get("format", "json")
+            if fmt not in ("json", "prometheus"):
+                raise ValueError("metrics 'format' must be json|prometheus")
+            if telemetry is None:
+                payload = {"ok": True, "enabled": False}
+                payload["prometheus" if fmt == "prometheus" else "metrics"] = (
+                    "" if fmt == "prometheus" else {}
+                )
+            elif fmt == "prometheus":
+                payload = {
+                    "ok": True,
+                    "enabled": True,
+                    "prometheus": telemetry.prometheus(),
+                }
+            else:
+                payload = {
+                    "ok": True,
+                    "enabled": True,
+                    "metrics": telemetry.snapshot(),
+                }
+            await self._send(writer, payload)
+        elif op == "trace":
+            sweep_id = self._sweep_id(request)
+            await self._send(
+                writer,
+                {
+                    "ok": True,
+                    "sweep_id": sweep_id,
+                    "enabled": obs.enabled(),
+                    "spans": coord.trace_spans(sweep_id),
+                },
+            )
         else:
             raise ValueError(f"unknown op {op!r}")
 
@@ -416,6 +477,13 @@ class SweepServer:
                     self._send(writer, frame), self.watch_stall_timeout
                 )
             except asyncio.TimeoutError:
+                telemetry = obs.active()
+                if telemetry is not None:
+                    telemetry.counter(
+                        "repro_watch_overflow_disconnects_total",
+                        "Watch subscribers dropped for stalling past the "
+                        "drain deadline",
+                    ).inc()
                 # best-effort goodbye: no drain — the buffer is what
                 # stalled.  The client's cursor protocol makes the cut
                 # lossless either way.
@@ -440,6 +508,26 @@ class SweepServer:
             async for event in self.coordinator.watch_job(job, cursor):
                 sent += 1
                 await guarded_send({"event": "task", "cursor": sent, **event})
+                telemetry = obs.active()
+                if telemetry is not None:
+                    telemetry.counter(
+                        "repro_watch_frames_total",
+                        "Task frames streamed to watch subscribers",
+                    ).inc()
+                    if transport is not None:
+                        telemetry.gauge(
+                            "repro_watch_buffer_depth_bytes",
+                            "Write-buffer depth of the most recent watch "
+                            "frame's connection",
+                        ).set(transport.get_write_buffer_size())
+                    trace = event.get("trace")
+                    if trace:
+                        telemetry.span(
+                            trace,
+                            "watch",
+                            sweep_id=job.sweep_id,
+                            cursor=sent,
+                        )
             status = job.status()
             if self._shutting_down and status["state"] in ("cancelled", "queued", "running"):
                 await guarded_send(
@@ -481,6 +569,51 @@ class SweepServer:
                 )
         except (ConnectionResetError, BrokenPipeError):
             pass
+
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.0 responder for the Prometheus scrape plane.
+
+        ``GET /metrics`` answers text format 0.0.4; ``GET /metrics/json``
+        answers the registry snapshot.  One request per connection —
+        exactly what a scraper (or ``curl``) needs, with no HTTP stack.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.split()
+            path = parts[1] if len(parts) > 1 else b"/metrics"
+            telemetry = obs.active()
+            if path.startswith(b"/metrics/json"):
+                content_type = b"application/json"
+                body = json.dumps(
+                    telemetry.snapshot() if telemetry is not None else {},
+                    sort_keys=True,
+                ).encode("utf-8")
+            else:
+                content_type = b"text/plain; version=0.0.4; charset=utf-8"
+                body = (
+                    telemetry.prometheus() if telemetry is not None else ""
+                ).encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: " + content_type + b"\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii")
+                + b"\r\n\r\n" + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
 
     @staticmethod
     def _sweep_id(request: dict) -> str:

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from threading import Lock
 from typing import Dict, Optional
 
+from repro import obs
+
 from ..backends.budget import ShotBudget
 from ..store.backends import PrefixBackend, StoreBackend
 
@@ -71,6 +73,16 @@ class AdmissionError(RuntimeError):
         super().__init__(message)
         self.kind = kind
         self.retry_after = retry_after
+        # An AdmissionError is only ever constructed to be raised, so
+        # counting refusals here covers every door (quota, saturation,
+        # shutdown) without per-site instrumentation.
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_admission_refusals_total",
+                "Requests refused at admission, by refusal kind",
+                ("kind",),
+            ).labels(kind=kind).inc()
 
     def to_wire(self) -> dict:
         err: dict = {"kind": self.kind, "message": str(self)}
@@ -265,6 +277,15 @@ class TenantLedger:
                 shots = min(shots, max(remaining, 0))
             if shots:
                 budget.charge(shots, tag="service")
+                telemetry = obs.active()
+                if telemetry is not None:
+                    telemetry.counter(
+                        "repro_shots_consumed_total",
+                        "Device shots charged to tenant allowances",
+                        ("tenant",),
+                    ).labels(
+                        tenant=tenant if tenant is not None else "<default>"
+                    ).inc(shots)
 
     # -- introspection -------------------------------------------------
     def snapshot(self) -> Dict[str, dict]:

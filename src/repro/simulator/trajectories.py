@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate, gate_matrix
 from repro.simulator.batched import (
@@ -299,6 +300,12 @@ class TrajectorySimulator:
         clean = StatevectorSimulator(circuit.num_qubits)
         for lo in range(0, n_traj, chunk):
             hi = min(lo + chunk, n_traj)
+            telemetry = obs.active()
+            if telemetry is not None:
+                telemetry.counter(
+                    "repro_sim_batch_chunks_total",
+                    "Trajectory batch chunks evolved under the memory budget",
+                ).inc()
             sim = BatchedStatevectorSimulator(circuit.num_qubits, hi - lo)
             clean.reset()
             active = 0

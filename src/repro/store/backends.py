@@ -47,6 +47,7 @@ Backends:
 from __future__ import annotations
 
 import abc
+import functools
 import itertools
 import os
 import pathlib
@@ -56,6 +57,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.store.locator import StoreLocator, parse_store_locator
 
 __all__ = [
@@ -80,6 +82,75 @@ class ObjectStat:
     mtime: float
 
 
+#: The transport ops observed by the class-creation hook below: every
+#: public primitive with a latency worth a histogram.  ``partial_keys``
+#: and ``spill_partial`` are crash-debris bookkeeping, not hot paths.
+_OBSERVED_OPS = (
+    "put_atomic",
+    "put_if_absent",
+    "get",
+    "exists",
+    "stat",
+    "list_prefix",
+    "delete",
+    "delete_if_equals",
+    "append_line",
+    "read_from",
+    "truncate",
+)
+
+
+def _observed(scheme: str, op: str, fn):
+    """Wrap one transport op with latency/count/fault instrumentation.
+
+    Pure observer: same call, same return, same raise — the wrapper adds
+    a counter bump and a histogram sample when telemetry is enabled, and
+    a single ``None`` check when it is not.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        telemetry = obs.active()
+        if telemetry is None:
+            return fn(self, *args, **kwargs)
+        start = time.perf_counter()
+        try:
+            return fn(self, *args, **kwargs)
+        except Exception as exc:
+            telemetry.counter(
+                "repro_backend_faults_total",
+                "Store ops that raised, by backend, op and exception kind",
+                ("backend", "op", "kind"),
+            ).labels(backend=scheme, op=op, kind=type(exc).__name__).inc()
+            raise
+        finally:
+            telemetry.counter(
+                "repro_backend_ops_total",
+                "Store transport operations",
+                ("backend", "op"),
+            ).labels(backend=scheme, op=op).inc()
+            telemetry.histogram(
+                "repro_backend_op_seconds",
+                "Store transport op latency (seconds)",
+                ("backend", "op"),
+            ).labels(backend=scheme, op=op).observe(
+                time.perf_counter() - start
+            )
+
+    wrapper._observed_op = True
+    return wrapper
+
+
+def _count_fsync() -> None:
+    """One durable-flush bump (LocalDirBackend calls this per os.fsync)."""
+    telemetry = obs.active()
+    if telemetry is not None:
+        telemetry.counter(
+            "repro_journal_fsyncs_total",
+            "fsync calls made for durable writes and journal appends",
+        ).inc()
+
+
 class StoreBackend(abc.ABC):
     """Transport contract for one store (see module docs for semantics)."""
 
@@ -94,6 +165,27 @@ class StoreBackend(abc.ABC):
     #: clients cannot — the engine keeps such stores in-process instead
     #: of fanning out to a pool that would see an empty store.
     cross_process: bool = True
+    #: Subclasses set this ``False`` to opt out of op instrumentation —
+    #: delegating views (:class:`PrefixBackend`) and test wrappers
+    #: (:class:`~repro.store.faults.FaultyBackend`) forward to an inner
+    #: backend whose own ops are already observed; wrapping both would
+    #: double-count every operation.
+    observe_ops: bool = True
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Instrument every concrete transport's ops at class-creation
+        time: latency histogram + op counter + fault counter, labelled by
+        ``(backend scheme, op)``.  One hook here instead of N edits per
+        transport — a future backend is observed by existing.  With
+        telemetry disabled the wrapper costs one global read and a
+        ``None`` check (the `BENCH_obs.json` overhead gate covers it)."""
+        super().__init_subclass__(**kwargs)
+        if not cls.__dict__.get("observe_ops", getattr(cls, "observe_ops", True)):
+            return
+        for op in _OBSERVED_OPS:
+            fn = cls.__dict__.get(op)
+            if fn is not None and not getattr(fn, "_observed_op", False):
+                setattr(cls, op, _observed(cls.scheme, op, fn))
 
     # -- identity ------------------------------------------------------
     @property
@@ -221,6 +313,7 @@ class LocalDirBackend(StoreBackend):
                 fh.write(data)
                 fh.flush()
                 os.fsync(fh.fileno())
+            _count_fsync()
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -240,6 +333,7 @@ class LocalDirBackend(StoreBackend):
                 fh.write(data)
                 fh.flush()
                 os.fsync(fh.fileno())
+            _count_fsync()
             try:
                 os.link(tmp_name, path)  # atomic, fails-if-exists
                 return True
@@ -339,6 +433,7 @@ class LocalDirBackend(StoreBackend):
             fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
+            _count_fsync()
 
     def read_from(
         self, key: str, offset: int, limit: Optional[int] = None
@@ -748,6 +843,8 @@ class PrefixBackend(StoreBackend):
     prefixed memory view keeps the inner locator and — like the inner
     space itself — stays process-local (``cross_process`` is False).
     """
+
+    observe_ops = False  # pure delegation; the inner backend is observed
 
     def __init__(self, inner: StoreBackend, prefix: str) -> None:
         if not prefix or not prefix.endswith("/"):

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro._version import __version__
 from repro.pipeline.cache import CacheKey, CalibrationCache, CalibrationRecord
 from repro.store.artifacts import ArtifactStore
@@ -87,6 +88,12 @@ class PersistentCalibrationCache(CalibrationCache):
             circuits_executed=int(payload["circuits_executed"]),
         )
         self._entries[key] = record
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_calcache_store_restores_total",
+                "Calibration records restored from the artifact tier",
+            ).inc()
         return record
 
     def peek(self, key: CacheKey) -> Optional[CalibrationRecord]:
@@ -119,6 +126,12 @@ class PersistentCalibrationCache(CalibrationCache):
     ) -> None:
         """Write-through: memory tier plus a durable artifact."""
         super().store(key, state, shots_spent, circuits_executed)
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_calcache_store_writes_total",
+                "Calibration records written through to the artifact tier",
+            ).inc()
         self._store.put(
             self._artifact_key(key),
             {

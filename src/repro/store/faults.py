@@ -39,6 +39,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.store.backends import ObjectStat, StoreBackend
 
 __all__ = [
@@ -97,6 +98,12 @@ class FaultyBackend(StoreBackend):
     seeded random :class:`TransientStoreError` *before* ops (safe to
     retry), so soak tests stay reproducible: same seed, same storms.
     """
+
+    #: Delegating wrapper: the inner backend's ops are already observed
+    #: (wrapping both would double-count), and ``scheme`` is a property
+    #: here, which the class-creation hook could not label with anyway.
+    #: Injected faults are counted at their raise sites instead.
+    observe_ops = False
 
     def __init__(
         self,
@@ -168,9 +175,11 @@ class FaultyBackend(StoreBackend):
         if fault is None and self.transient_rate:
             if self._rng.random() < self.transient_rate:
                 self.log.append(f"transient:{op}")
+                self._count_injected(op)
                 raise TransientStoreError(f"injected transient on {op}")
         if fault is not None and fault.kind == "raise":
             self.log.append(f"raise:{op}")
+            self._count_injected(op)
             raise TransientStoreError(f"injected failure before {op}")
         if fault is not None and fault.kind not in supported:
             raise ValueError(
@@ -178,6 +187,17 @@ class FaultyBackend(StoreBackend):
                 f"{op} — the scripted crash would silently not happen"
             )
         return fault
+
+    def _count_injected(self, op: str) -> None:
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_backend_faults_total",
+                "Store ops that raised, by backend, op and exception kind",
+                ("backend", "op", "kind"),
+            ).labels(
+                backend=self.inner.scheme, op=op, kind="TransientStoreError"
+            ).inc()
 
     # -- blobs ---------------------------------------------------------
     def put_atomic(self, key: str, data: bytes) -> None:

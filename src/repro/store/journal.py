@@ -42,6 +42,7 @@ import pathlib
 import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro._version import __version__
 from repro.store.backends import LocalDirBackend, StoreBackend
 from repro.store.faults import TransientStoreError
@@ -88,6 +89,11 @@ def task_entry(outcome: "TaskOutcome") -> dict:
         "saved_shots": outcome.saved_shots,
         "saved_circuits": outcome.saved_circuits,
         "duration": outcome.duration,
+        # The task's correlation id (`repro trace` stitches fleet sweeps
+        # from journal rows alone).  Deterministic in (spec, coordinate)
+        # — NOT telemetry state — so rows stay byte-identical with
+        # telemetry on or off, local or fleet-executed.
+        "trace": outcome.trace,
     }
 
 
@@ -106,6 +112,8 @@ def outcome_from_entry(entry: dict) -> "TaskOutcome":
         saved_shots=int(entry["saved_shots"]),
         saved_circuits=int(entry["saved_circuits"]),
         duration=float(entry["duration"]),
+        # pre-1.7 journals have no trace field; they still replay
+        trace=str(entry.get("trace", "")),
     )
 
 
@@ -410,6 +418,12 @@ class SweepJournal:
             self._key, json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
         )
         self._journaled.add(coord)
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_journal_appends_total",
+                "Task rows durably appended to sweep journals",
+            ).inc()
         return True
 
     def _trim_torn_tail(self) -> None:

@@ -1,0 +1,72 @@
+"""The benchmark registry is closed (ISSUE 9 satellite): every bench in
+``benchmarks/run_bench.py``'s PERF_BENCHES exists, maps to an artefact,
+and that artefact is committed and well-formed.
+
+This pins the failure mode where a PERF_BENCHES entry ships without its
+``BENCH_*.json`` ever being regenerated and committed (as happened with
+``BENCH_calgraph.json``): the registry said the bench ran, but the perf
+trajectory had a hole nobody noticed.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "repro_run_bench", BENCH_DIR / "run_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("repro_run_bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchRegistry:
+    def test_every_registered_bench_file_exists(self):
+        rb = _run_bench()
+        for name in rb.PERF_BENCHES:
+            assert (BENCH_DIR / name).is_file(), f"missing bench file {name}"
+
+    def test_every_registered_bench_has_an_expected_artifact(self):
+        rb = _run_bench()
+        assert set(rb.PERF_BENCHES) <= set(rb.EXPECTED_ARTIFACTS), (
+            "PERF_BENCHES entries without an EXPECTED_ARTIFACTS mapping: "
+            f"{sorted(set(rb.PERF_BENCHES) - set(rb.EXPECTED_ARTIFACTS))}"
+        )
+
+    def test_every_expected_artifact_is_committed_and_well_formed(self):
+        rb = _run_bench()
+        for bench, artifact in sorted(rb.EXPECTED_ARTIFACTS.items()):
+            path = BENCH_DIR / artifact
+            assert path.is_file(), (
+                f"{bench} is registered but {artifact} is not committed — "
+                "run `PYTHONPATH=src python benchmarks/run_bench.py` and "
+                "commit the refreshed artefacts"
+            )
+            payload = json.loads(path.read_text())
+            assert payload["benchmarks"], f"{artifact} holds no records"
+            for record in payload["benchmarks"]:
+                assert "error" not in record, (
+                    f"{artifact} contains a failed record: {record}"
+                )
+
+    def test_artifact_records_route_back_to_their_file(self):
+        # a record's "artifact" field must point at the file it lives in
+        # (the router in run_bench.py trusts it blindly)
+        rb = _run_bench()
+        for artifact in set(rb.EXPECTED_ARTIFACTS.values()):
+            path = BENCH_DIR / artifact
+            if not path.is_file():  # covered by the committed-ness test
+                continue
+            payload = json.loads(path.read_text())
+            for record in payload["benchmarks"]:
+                routed = record.get("artifact", rb.DEFAULT_OUTPUT.name)
+                assert routed == artifact, (
+                    f"record {record.get('name')!r} in {artifact} routes "
+                    f"to {routed}"
+                )

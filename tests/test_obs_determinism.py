@@ -1,0 +1,236 @@
+"""Telemetry is a pure observer (ISSUE 9 acceptance): the science is
+bit-identical with telemetry on vs off.
+
+Each test runs the same spec twice over twin backends — once with
+telemetry disabled, once enabled (with every instrument live) — and
+compares the full persisted state:
+
+* **records** — every ``SweepRecord`` dict, field for field;
+* **journal** — every row, field for field, after masking the one
+  wall-clock field (``duration``), which differs between *any* two runs
+  and is orthogonal to telemetry (a telemetry-off pair differs in it
+  too — asserted below so the mask can never hide a regression);
+* **artifacts** — the content-addressed digest set (digest equality is
+  payload equality).
+
+The matrix mirrors ``tests/backend_conformance.py``: local directory,
+in-memory space, object store (fake client), each alone and wrapped in a
+:class:`~repro.store.faults.FaultyBackend` — the wrapper is part of the
+contract because the backend op instrumentation must see through (and
+stay out of) delegating wrappers.  ``REPRO_CONFORMANCE_BACKEND`` narrows
+the matrix the same way the CI matrix job does.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.store import (
+    ArtifactStore,
+    FakeObjectClient,
+    FaultyBackend,
+    LocalDirBackend,
+    MemoryBackend,
+    ObjectStoreBackend,
+    reset_memory_spaces,
+)
+from repro.store.journal import journal_key, journal_spec_digest
+
+_FAMILIES = ("dir", "mem", "s3")
+_ONLY = os.environ.get("REPRO_CONFORMANCE_BACKEND")
+
+_names = []
+for fam in _FAMILIES if _ONLY is None else (_ONLY,):
+    _names.extend([fam, f"{fam}+faults"])
+
+_mem_counter = [0]
+
+
+def _make_backend(name, tmp_path, suffix):
+    fam, _, faulty = name.partition("+")
+    if fam == "dir":
+        inner = LocalDirBackend(tmp_path / f"store-{suffix}")
+    elif fam == "mem":
+        _mem_counter[0] += 1
+        space = f"obs-det-{_mem_counter[0]}-{suffix}"
+        reset_memory_spaces(space)
+        inner = MemoryBackend(space)
+    elif fam == "s3":
+        inner = ObjectStoreBackend("bucket", "tier", client=FakeObjectClient())
+    else:  # pragma: no cover - config error
+        raise ValueError(f"unknown backend family {fam!r}")
+    if faulty:
+        # no fault script: the run must complete — what is under test is
+        # that the delegating wrapper neither double-counts nor perturbs
+        return FaultyBackend(inner, latency=0.0)
+    return inner
+
+
+@pytest.fixture(params=_names)
+def backend_pair(request, tmp_path):
+    off = _make_backend(request.param, tmp_path, "off")
+    on = _make_backend(request.param, tmp_path, "on")
+    yield off, on
+    for b in (off, on):
+        if isinstance(b, FaultyBackend):
+            b = b.inner
+        if isinstance(b, MemoryBackend):
+            reset_memory_spaces(b.name)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _spec(**overrides):
+    defaults = dict(
+        backends=(
+            BackendSpec(kind="device", name="quito", gate_noise=False),
+            BackendSpec(kind="device", name="lima", gate_noise=False),
+        ),
+        circuits=(CircuitSpec(root=0),),
+        shots=(400,),
+        methods=("Bare", "CMC"),
+        trials=2,
+        seed=31,
+        full_max_qubits=5,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def _journal_rows(backend, spec, mask_duration=True):
+    raw = backend.read_from(journal_key(spec), 0)
+    assert raw is not None
+    data = raw[0] if isinstance(raw, tuple) else raw
+    rows = [json.loads(line) for line in data.decode("utf-8").splitlines()]
+    if mask_duration:
+        for row in rows:
+            row.pop("duration", None)
+    return rows
+
+
+def _artifact_set(backend):
+    # digest + kind, not size: the persisted envelope stamps a wall-clock
+    # write time whose serialized length varies between any two runs;
+    # the digest covers the payload, which is what must be identical
+    return sorted(
+        (info.digest, info.kind) for info in ArtifactStore(backend).entries()
+    )
+
+
+def _record_dicts(result):
+    return [rec.to_dict() for rec in result.records]
+
+
+class TestTelemetryIsAPureObserver:
+    def test_records_journal_artifacts_identical_on_vs_off(self, backend_pair):
+        off_backend, on_backend = backend_pair
+        spec = _spec()
+
+        obs.disable()
+        off = run_sweep(spec, store=ArtifactStore(off_backend))
+
+        telemetry = obs.enable(obs.Telemetry())
+        try:
+            on = run_sweep(spec, store=ArtifactStore(on_backend))
+        finally:
+            obs.disable()
+
+        # telemetry actually fired — the comparison is not vacuous
+        snap = telemetry.snapshot()
+        assert snap["repro_backend_ops_total"]["series"]
+        assert snap["repro_journal_appends_total"]["series"][0]["value"] > 0
+
+        assert _record_dicts(on) == _record_dicts(off)
+        assert _journal_rows(on_backend, spec) == _journal_rows(
+            off_backend, spec
+        )
+        assert _artifact_set(on_backend) == _artifact_set(off_backend)
+
+    def test_duration_mask_is_the_only_difference(self, backend_pair):
+        # guard on the guard: raw journal bytes on-vs-off may differ ONLY
+        # in the wall-clock duration field — every other byte is pinned
+        off_backend, on_backend = backend_pair
+        spec = _spec(trials=1, methods=("Bare",))
+
+        obs.disable()
+        run_sweep(spec, store=ArtifactStore(off_backend))
+        obs.enable(obs.Telemetry())
+        try:
+            run_sweep(spec, store=ArtifactStore(on_backend))
+        finally:
+            obs.disable()
+
+        off_rows = _journal_rows(off_backend, spec, mask_duration=False)
+        on_rows = _journal_rows(on_backend, spec, mask_duration=False)
+        assert len(off_rows) == len(on_rows)
+        for off_row, on_row in zip(off_rows, on_rows):
+            off_row.pop("duration", None)
+            on_row.pop("duration", None)
+            assert set(off_row) == set(on_row)  # no field added/removed
+            assert off_row == on_row
+
+    def test_trace_field_is_spec_coordinate_function_not_telemetry(
+        self, backend_pair
+    ):
+        # the journal's trace ids exist (and are identical) whether or
+        # not telemetry ever ran — they are derived, not recorded
+        off_backend, on_backend = backend_pair
+        spec = _spec(trials=1)
+        digest = journal_spec_digest(spec)
+
+        obs.disable()
+        run_sweep(spec, store=ArtifactStore(off_backend))
+        obs.enable(obs.Telemetry())
+        try:
+            run_sweep(spec, store=ArtifactStore(on_backend))
+        finally:
+            obs.disable()
+
+        for backend in (off_backend, on_backend):
+            tasks = [
+                row
+                for row in _journal_rows(backend, spec)
+                if row.get("kind") == "task"
+            ]
+            assert tasks
+            for row in tasks:
+                expected = obs.task_trace_id(
+                    digest, row["point"], row["trials"]
+                )
+                assert row["trace"] == expected
+
+    def test_jsonl_sink_writes_only_under_obs_prefix(self, backend_pair):
+        # attaching the durable event sink must not leak anything into
+        # the journal or artifact namespaces
+        off_backend, on_backend = backend_pair
+        spec = _spec(trials=1, methods=("Bare",))
+
+        obs.disable()
+        run_sweep(spec, store=ArtifactStore(off_backend))
+
+        telemetry = obs.Telemetry()
+        telemetry.spans.add_sink(obs.JsonlEventSink(on_backend))
+        obs.enable(telemetry)
+        try:
+            # sinks only see spans; drive one through for the run
+            telemetry.span(journal_spec_digest(spec), "submit")
+            run_sweep(spec, store=ArtifactStore(on_backend))
+        finally:
+            obs.disable()
+
+        assert _journal_rows(on_backend, spec) == _journal_rows(
+            off_backend, spec
+        )
+        assert _artifact_set(on_backend) == _artifact_set(off_backend)
+        extras = set(on_backend.list_prefix("")) - set(
+            off_backend.list_prefix("")
+        )
+        assert extras == {obs.OBS_EVENTS_KEY}
