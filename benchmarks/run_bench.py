@@ -41,6 +41,7 @@ PERF_BENCHES = [
     "test_bench_load.py",
     "test_bench_calgraph.py",
     "test_bench_obs.py",
+    "test_bench_payload.py",
 ]
 
 # The BENCH_*.json artefact each registered bench must emit into.  A bench
@@ -56,6 +57,7 @@ EXPECTED_ARTIFACTS = {
     "test_bench_load.py": "BENCH_load.json",
     "test_bench_calgraph.py": "BENCH_calgraph.json",
     "test_bench_obs.py": "BENCH_obs.json",
+    "test_bench_payload.py": "BENCH_payload.json",
 }
 
 

@@ -1,0 +1,199 @@
+"""Payload-encoding benchmark: sparse/compressed artifacts (ISSUE 10).
+
+The codec-2 claim, measured on the issue's reference workload — a
+fully-connected 16-qubit device calibrated for CMC-ERR (120 pair
+matrices plus the marginal singles):
+
+* **bytes at rest, per backend** — the same sweep persisted through a
+  dense (pre-1.8) store and a compact one, on the loose-file ``dir``
+  backend and the packed ``s3`` backend.  The packed artifact must come
+  out ≥ :data:`REQUIRED_SHRINK`× smaller (strict under ``run_bench.py``;
+  a catastrophic-regression floor in the tier-1 suite).  The ``dir`` win
+  is structurally smaller — loose ``.json`` records stay uncompressed so
+  pre-1.8 tooling can still open them — and is reported, not gated.
+* **warm-sweep transfer volume** — bytes served by the fake object
+  client while a *fresh process* re-runs the sweep warm.  Compact
+  encoding must move fewer bytes for the identical zero-miss restore.
+* **bit-identity** — cold and warm records are identical between the two
+  encodings, cell for cell; the encoding may only change bytes at rest.
+
+The machine-readable blob goes to
+``benchmarks/results/payload_encoding.bench.json``; ``run_bench.py``
+folds it into ``BENCH_payload.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.store import ArtifactStore, FakeObjectClient
+
+from .conftest import RESULTS_DIR, run_once
+
+SHOTS = 2000
+SEED = 7
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+REQUIRED_SHRINK = 5.0  # packed fc16 CMC-ERR artifact, dense/compact
+RELAXED_SHRINK = 3.0  # catastrophic-regression floor for tier-1 runs
+
+
+def _fc16_spec() -> SweepSpec:
+    # The issue's reference payload: all 120 qubit pairs of a
+    # fully-connected 16-qubit device carry a CMC-ERR patch calibration.
+    return SweepSpec(
+        backends=(
+            BackendSpec(
+                kind="architecture",
+                name="fully_connected",
+                qubits=16,
+                gate_noise=False,
+            ),
+        ),
+        circuits=(CircuitSpec(root=0),),
+        shots=(SHOTS,),
+        methods=("CMC-ERR",),
+        trials=1,
+        seed=SEED,
+        err_locality=2,
+    )
+
+
+class _MeteredClient(FakeObjectClient):
+    """Fake object client that counts every byte it serves."""
+
+    def __init__(self):
+        super().__init__()
+        self.bytes_served = 0
+
+    def get_object(self, bucket, key):
+        data = super().get_object(bucket, key)
+        if data is not None:
+            self.bytes_served += len(data)
+        return data
+
+    def get_object_range(self, bucket, key, start, length):
+        data = super().get_object_range(bucket, key, start, length)
+        if data is not None:
+            self.bytes_served += len(data)
+        return data
+
+
+def record_keys(result):
+    return [
+        (r.backend_label, r.trial, r.shots, r.circuit_label, r.method,
+         r.error, r.shots_spent, r.circuits_executed)
+        for r in result.records
+    ]
+
+
+def _stored_bytes(store: ArtifactStore):
+    infos = list(store.entries())
+    return sum(i.size_bytes for i in infos), sum(i.logical_bytes for i in infos)
+
+
+def test_bench_payload_encoding(benchmark, emit, tmp_path):
+    spec = _fc16_spec()
+
+    # --- bytes at rest: dense vs compact, per backend -------------------
+    sizes = {}
+    reference = None
+    for scheme in ("dir", "s3"):
+        sizes[scheme] = {}
+        for mode, compact in (("dense", False), ("compact", True)):
+            if scheme == "dir":
+                store = ArtifactStore(tmp_path / f"{scheme}-{mode}", compact=compact)
+            else:
+                store = ArtifactStore(
+                    "s3://bench/payload", client=_MeteredClient(), compact=compact
+                )
+            cold = run_sweep(spec, store=store)
+            keys = record_keys(cold)
+            if reference is None:
+                reference = keys
+            # the encoding may only change bytes at rest, never a record
+            assert keys == reference, (scheme, mode)
+            encoded, logical = _stored_bytes(store)
+            sizes[scheme][mode] = {
+                "encoded_bytes": encoded,
+                "logical_bytes": logical,
+                "store": store,
+            }
+
+    pack_shrink = (
+        sizes["s3"]["dense"]["encoded_bytes"]
+        / sizes["s3"]["compact"]["encoded_bytes"]
+    )
+    dir_shrink = (
+        sizes["dir"]["dense"]["encoded_bytes"]
+        / sizes["dir"]["compact"]["encoded_bytes"]
+    )
+    floor = REQUIRED_SHRINK if STRICT else RELAXED_SHRINK
+    assert pack_shrink >= floor, (
+        f"packed fc16 CMC-ERR artifact only {pack_shrink:.2f}x smaller "
+        f"compact vs dense (floor {floor}x)"
+    )
+
+    # --- warm transfer volume over the object client --------------------
+    transfer = {}
+    warm_keys = {}
+    for mode in ("dense", "compact"):
+        store = sizes["s3"][mode]["store"]
+        client = store.backend.client
+        client.bytes_served = 0
+        if mode == "compact":
+            warm = run_once(benchmark, lambda: run_sweep(spec, store=store))
+        else:
+            warm = run_sweep(spec, store=store)
+        assert warm.cache_misses == 0, f"warm {mode} rerun must restore from disk"
+        transfer[mode] = client.bytes_served
+        warm_keys[mode] = record_keys(warm)
+    assert warm_keys["dense"] == warm_keys["compact"] == reference
+    assert 0 < transfer["compact"] < transfer["dense"]
+    transfer_shrink = transfer["dense"] / transfer["compact"]
+
+    # --- report ---------------------------------------------------------
+    blob = {
+        "name": "payload_encoding",
+        "artifact": "BENCH_payload.json",
+        "workload": {
+            "architecture": "fully_connected",
+            "qubits": 16,
+            "method": "CMC-ERR",
+            "err_locality": 2,
+            "shots": SHOTS,
+            "pair_calibrations": 120,
+        },
+        "bytes_at_rest": {
+            scheme: {
+                mode: {
+                    "encoded_bytes": entry["encoded_bytes"],
+                    "logical_bytes": entry["logical_bytes"],
+                }
+                for mode, entry in modes.items()
+            }
+            for scheme, modes in sizes.items()
+        },
+        "shrink": {"packed": pack_shrink, "dir": dir_shrink},
+        "warm_transfer_bytes": transfer,
+        "warm_transfer_shrink": transfer_shrink,
+        "records_bit_identical": True,
+        "strict": STRICT,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "payload_encoding.bench.json").write_text(
+        json.dumps(blob, indent=2) + "\n"
+    )
+    emit(
+        "payload_encoding",
+        (
+            f"fc16 CMC-ERR bytes at rest (dense -> compact):\n"
+            f"  s3 packed:  {sizes['s3']['dense']['encoded_bytes']:6d} -> "
+            f"{sizes['s3']['compact']['encoded_bytes']:6d}  ({pack_shrink:.2f}x)\n"
+            f"  dir loose:  {sizes['dir']['dense']['encoded_bytes']:6d} -> "
+            f"{sizes['dir']['compact']['encoded_bytes']:6d}  ({dir_shrink:.2f}x)\n"
+            f"warm-sweep transfer: {transfer['dense']} -> {transfer['compact']} "
+            f"bytes ({transfer_shrink:.2f}x); records bit-identical either way"
+        ),
+    )

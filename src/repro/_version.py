@@ -6,4 +6,4 @@ artifact with the version that wrote it — can import it without pulling in
 the whole package (or creating an import cycle during ``repro`` init).
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"

@@ -84,6 +84,11 @@ class CalibrationGraphCache:
     :class:`~repro.pipeline.cache.CalibrationRecord` /
     :class:`~repro.pipeline.cache.CacheStats` accounting so scheduler
     reports read the same way as engine cache reports.
+
+    Like the sweep-level cache, node states inherit the store's payload
+    encoding (sparse/compressed under compact mode, pre-1.8 dense bytes
+    otherwise); node-key digests never depend on the encoding, so a
+    repacked store keeps every node warm.
     """
 
     def __init__(self, store: ArtifactStore) -> None:

@@ -242,10 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("store", help=_COMMANDS["store"])
     p.add_argument(
-        "action", choices=["ls", "inspect", "gc"],
+        "action", choices=["ls", "inspect", "gc", "repack"],
         help="ls: list artifacts; inspect: show one artifact's key/metadata; "
         "gc: drop crashed-writer debris (and, with --older-than-days, "
-        "stale artifacts)",
+        "stale artifacts); repack: re-encode artifacts in place (sparse/"
+        "compressed by default, --dense for the pre-1.8 form)",
     )
     p.add_argument(
         "root", metavar="STORE",
@@ -262,8 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--dry-run", action="store_true",
-        help="gc: report what would be removed (and bytes reclaimed) "
-        "without deleting anything",
+        help="gc/repack: report what would change (bytes reclaimed or "
+        "re-encoded) without touching the store",
+    )
+    p.add_argument(
+        "--dense", action="store_true",
+        help="repack: migrate back to the pre-1.8 dense encoding "
+        "instead of the compact one",
     )
 
     p = sub.add_parser("calib", help=_COMMANDS["calib"])
@@ -1244,6 +1250,7 @@ def _cmd_store(args: argparse.Namespace) -> str:
             info.digest[:16]: {
                 "kind": info.kind,
                 "size": f"{info.size_bytes / 1024:.1f}K",
+                "logical": f"{info.logical_bytes / 1024:.1f}K",
                 "written": time.strftime(
                     "%Y-%m-%d %H:%M", time.localtime(info.created)
                 ),
@@ -1252,10 +1259,16 @@ def _cmd_store(args: argparse.Namespace) -> str:
             for info in infos
         }
         body = format_table(
-            rows, ["kind", "size", "written", "version"], row_header="digest"
+            rows,
+            ["kind", "size", "logical", "written", "version"],
+            row_header="digest",
         )
+        encoded = sum(info.size_bytes for info in infos)
+        logical = sum(info.logical_bytes for info in infos)
+        ratio = logical / encoded if encoded else 1.0
         footer = (
             f"\n\n{len(infos)} artifact(s), {len(journals)} sweep journal(s)"
+            f"; {encoded} bytes stored / {logical} logical ({ratio:.1f}x)"
         )
         return body + footer
     if args.action == "inspect":
@@ -1284,10 +1297,26 @@ def _cmd_store(args: argparse.Namespace) -> str:
                     "%Y-%m-%d %H:%M:%S", time.localtime(info.created)
                 ),
                 "size_bytes": info.size_bytes,
+                "logical_bytes": info.logical_bytes,
+                "codec": info.codec,
                 "has_arrays": info.has_arrays,
                 "key": _jsonable(info.key),
             },
             indent=2,
+        )
+    if args.action == "repack":
+        report = store.repack(
+            compact=not args.dense, dry_run=args.dry_run
+        )
+        target = "dense" if args.dense else "compact"
+        verb = "would re-encode" if args.dry_run else "re-encoded"
+        before, after = report["bytes_before"], report["bytes_after"]
+        shrink = f"{before / after:.1f}x" if after else "n/a"
+        return (
+            f"{verb} {report['repacked']} of {report['examined']} "
+            f"artifact(s) to the {target} encoding "
+            f"({report['skipped']} already there): "
+            f"{before} -> {after} bytes ({shrink})"
         )
     # gc
     report = store.gc(

@@ -401,6 +401,7 @@ def execute_task(
     trials: Tuple[int, ...],
     store_root: Optional[str] = None,
     cache: Optional[CalibrationCache] = None,
+    store_options=None,
 ) -> TaskOutcome:
     """Run every (trial, budget, circuit, method) cell of one task.
 
@@ -413,7 +414,11 @@ def execute_task(
     upgrades the task's calibration cache to the persistent two-tier one:
     in-memory hits behave exactly as before, and calibrations measured by
     any earlier process running the same logical sweep are restored from
-    disk instead of re-executed.
+    disk instead of re-executed.  ``store_options`` (an
+    :class:`~repro.store.codecs.EncodeOptions`, also picklable) carries
+    the originating store's payload encoding into the reopen, so a
+    sweep against a dense-mode store writes dense artifacts from pool
+    workers too; ``None`` keeps the reopened store's own default.
 
     ``cache`` overrides cache construction entirely (in-process callers
     only — caches do not pickle into pool workers).  The service
@@ -439,7 +444,9 @@ def execute_task(
             from repro.store.artifacts import ArtifactStore
             from repro.store.calcache import PersistentCalibrationCache
 
-            cache = PersistentCalibrationCache(ArtifactStore(store_root))
+            cache = PersistentCalibrationCache(
+                ArtifactStore(store_root, options=store_options)
+            )
         else:
             cache = CalibrationCache()
     if not spec.reuse_calibration:
@@ -515,7 +522,10 @@ def execute_task(
 
 
 def task_payload(
-    spec: SweepSpec, coord: TaskCoord, store_root: Optional[str] = None
+    spec: SweepSpec,
+    coord: TaskCoord,
+    store_root: Optional[str] = None,
+    store_options=None,
 ) -> dict:
     """One task as a JSON-ready wire assignment.
 
@@ -525,15 +535,26 @@ def task_payload(
     :func:`execute_payload`.  Because a task is a pure function of
     ``(spec, coordinates)``, *where* the payload executes — this process,
     a pool worker, a machine across the network — cannot change a single
-    bit of its outcome.
+    bit of its outcome.  ``store_options`` rides along under
+    ``"encoding"`` (omitted when ``None``, so pre-1.8 consumers see the
+    exact payload shape they always did) purely so remote writes land in
+    the same payload encoding the submitting store uses — encodings never
+    affect digests or decoded values, only bytes at rest.
     """
     point, trials = coord
-    return {
+    payload = {
         "spec": spec.to_dict(),
         "point": int(point),
         "trials": [int(t) for t in trials],
         "store": store_root,
     }
+    if store_options is not None:
+        payload["encoding"] = {
+            "compact": bool(store_options.compact),
+            "density_threshold": float(store_options.density_threshold),
+            "compress": bool(store_options.compress),
+        }
+    return payload
 
 
 def execute_payload(
@@ -552,9 +573,21 @@ def execute_payload(
         point = int(payload["point"])
         trials = tuple(int(t) for t in payload["trials"])
         store_root = payload.get("store")
+        encoding = payload.get("encoding")
+        store_options = None
+        if encoding is not None:
+            from repro.store.codecs import EncodeOptions
+
+            store_options = EncodeOptions(
+                compact=bool(encoding["compact"]),
+                density_threshold=float(encoding["density_threshold"]),
+                compress=bool(encoding["compress"]),
+            )
     except (KeyError, TypeError, ValueError) as exc:
         raise ValueError(f"malformed task payload: {exc}") from None
-    return execute_task(spec, point, trials, store_root, cache=cache)
+    return execute_task(
+        spec, point, trials, store_root, cache=cache, store_options=store_options
+    )
 
 
 # ----------------------------------------------------------------------
@@ -593,6 +626,17 @@ class SweepSession:
     #: hands to tasks when the backend cannot be reopened by locator in
     #: another context (``mem://`` spaces, injected-client ``s3://``).
     store: Optional["ArtifactStore"] = None
+
+    @property
+    def store_options(self):
+        """The live store's payload-encoding options, for reopen paths.
+
+        A task that reopens ``store_root`` by locator (pool workers, and
+        in-process dispatch of cross-process backends) would otherwise
+        fall back to the environment's default encoding — correct bytes
+        either way, but not the encoding the caller asked this store
+        for."""
+        return None if self.store is None else self.store.options
 
     @property
     def total(self) -> int:
@@ -831,7 +875,9 @@ class ParallelSweepRunner:
             if session.workers == 1:
                 for coord in list(session.pending):
                     outcome = execute_task(
-                        *session.task_args(coord), cache=session.task_cache()
+                        *session.task_args(coord),
+                        cache=session.task_cache(),
+                        store_options=session.store_options,
                     )
                     done = session.record(coord, outcome)
                     if self.progress is not None:
@@ -839,7 +885,11 @@ class ParallelSweepRunner:
             elif session.pending:
                 with ProcessPoolExecutor(max_workers=session.workers) as pool:
                     futures = {
-                        pool.submit(execute_task, *session.task_args(coord)): coord
+                        pool.submit(
+                            execute_task,
+                            *session.task_args(coord),
+                            store_options=session.store_options,
+                        ): coord
                         for coord in session.pending
                     }
                     from concurrent.futures import as_completed

@@ -873,7 +873,14 @@ class SweepCoordinator:
                 and dispatch.session.store.backend.cross_process
                 else None
             )
-            assignment = task_payload(job.spec, coord, store_root)
+            assignment = task_payload(
+                job.spec,
+                coord,
+                store_root,
+                store_options=(
+                    dispatch.session.store_options if store_root is not None else None
+                ),
+            )
             assignment["sweep_id"] = job.sweep_id
             # The task's deterministic trace id rides the assignment so
             # the worker's spans and the coordinator's stitch together.
@@ -1103,7 +1110,10 @@ class SweepCoordinator:
         """
         ctx = self._tenant_stores.get(tenant)
         if ctx is None:
-            store = ArtifactStore(tenant_backend(self.store.backend, tenant))
+            store = ArtifactStore(
+                tenant_backend(self.store.backend, tenant),
+                options=self.store.options,
+            )
             ctx = (store, PersistentCalibrationCache(store))
             self._tenant_stores[tenant] = ctx
         return ctx
@@ -1114,7 +1124,14 @@ class SweepCoordinator:
         when tasks run in-process."""
         spec, point, trials, store_root = session.task_args(coord)
         if self.use_processes or not spec.reuse_calibration:
-            return functools.partial(execute_task, spec, point, trials, store_root)
+            return functools.partial(
+                execute_task,
+                spec,
+                point,
+                trials,
+                store_root,
+                store_options=session.store_options,
+            )
         view = _SharedCacheView(self._tenant_ctx(job.tenant)[1], self._cache_lock)
         return functools.partial(
             execute_task, spec, point, trials, store_root, cache=view

@@ -66,7 +66,15 @@ from repro.store.backends import (
     set_default_object_client,
 )
 from repro.store.calcache import PersistentCalibrationCache
-from repro.store.codecs import decode, deep_equal, encode
+from repro.store.codecs import (
+    EncodeOptions,
+    NonFiniteValueError,
+    UnknownCodecTagError,
+    decode,
+    deep_equal,
+    encode,
+    strict_dumps,
+)
 from repro.store.faults import BackendCrash, Fault, FaultyBackend, TransientStoreError
 from repro.store.journal import SweepJournal, journal_spec_digest
 from repro.store.locator import StoreLocator, parse_store_locator
@@ -97,4 +105,8 @@ __all__ = [
     "encode",
     "decode",
     "deep_equal",
+    "strict_dumps",
+    "EncodeOptions",
+    "NonFiniteValueError",
+    "UnknownCodecTagError",
 ]

@@ -37,6 +37,18 @@ Concurrent writers of the same key race benignly either way.  Values are
 encoded through :mod:`repro.store.codecs`, so calibration matrices,
 mitigator states, coupling maps and nested tuple-keyed dicts all
 round-trip bit-identically (array payloads are lossless binary).
+
+**Payload encodings** — since 1.8 a store writes *compact* payloads by
+default (:class:`~repro.store.codecs.EncodeOptions`): near-identity
+calibration matrices become sparse deviation-cell lists, npz members are
+zlib-compressed, and packed objects use the v2 container (``RPK2``) with
+a compressed record block.  ``compact=False`` (or
+``REPRO_STORE_COMPACT=0``) reproduces the pre-1.8 bytes exactly.  Keys —
+and therefore digests — always hash the dense canonical form, so the
+same logical artifact has the same address under either encoding;
+records carry their dense-equivalent ``logical_bytes`` so listings can
+show encoded-vs-logical sizes, and :meth:`ArtifactStore.repack`
+migrates a store between encodings in place.
 """
 
 from __future__ import annotations
@@ -48,14 +60,22 @@ import os
 import pathlib
 import struct
 import time
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro._version import __version__
 from repro.store.backends import StoreBackend, open_backend
-from repro.store.codecs import decode, encode
+from repro.store.codecs import (
+    DENSE_OPTIONS,
+    EncodeOptions,
+    decode,
+    encode,
+    strict_dumps,
+)
 from repro.store.locator import parse_store_locator
 
 __all__ = [
@@ -71,6 +91,19 @@ PathLike = Union[str, os.PathLike]
 #: Packed-artifact magic + header: b"RPAK" | u32 record length | record
 #: JSON | npz bytes.  Version bumps get a new magic, not a silent skew.
 _PACK_MAGIC = b"RPAK"
+
+#: The v2 (compact) container: b"RPK2" | u8 flags | u32 record length |
+#: record block | npz bytes.  Flags mark zlib-compressed blocks; npz
+#: members are already deflated by ``np.savez_compressed``, so only the
+#: record block is normally compressed here.  Pre-1.8 readers refuse
+#: this magic with their "not a packed repro artifact" error instead of
+#: parsing garbage.
+_PACK_MAGIC_V2 = b"RPK2"
+_FLAG_RECORD_ZLIB = 0x01
+_FLAG_NPZ_ZLIB = 0x02
+
+#: Environment switch for the default encoding of newly opened stores.
+_COMPACT_ENV = "REPRO_STORE_COMPACT"
 
 
 def store_locator(store: Union["ArtifactStore", StoreBackend, PathLike]) -> str:
@@ -113,7 +146,7 @@ def canonical_key_digest(key: Any) -> str:
     encoded = encode(key, arrays)
     if arrays:
         raise TypeError("artifact keys must not contain arrays")
-    text = json.dumps(
+    text = strict_dumps(
         _sorted_kdicts(encoded), sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -139,7 +172,12 @@ def _sorted_kdicts(node: Any) -> Any:
 
 @dataclass(frozen=True)
 class ArtifactInfo:
-    """One stored artifact's metadata (as listed by :meth:`ArtifactStore.entries`)."""
+    """One stored artifact's metadata (as listed by :meth:`ArtifactStore.entries`).
+
+    ``size_bytes`` is what the artifact occupies *as stored* (encoded);
+    ``logical_bytes`` is its dense-equivalent size — for pre-1.8 dense
+    artifacts the two are equal.  ``codec`` is the payload-encoding
+    generation that wrote the record (1 dense, 2 compact)."""
 
     digest: str
     kind: str
@@ -148,6 +186,8 @@ class ArtifactInfo:
     size_bytes: int
     has_arrays: bool
     key: dict
+    logical_bytes: int = 0
+    codec: int = 1
 
 
 def _pack(record_bytes: bytes, npz_bytes: bytes) -> bytes:
@@ -159,18 +199,69 @@ def _pack(record_bytes: bytes, npz_bytes: bytes) -> bytes:
     )
 
 
+def _pack_v2(
+    record_bytes: bytes, npz_bytes: bytes, compress: bool = True
+) -> bytes:
+    flags = 0
+    rec = record_bytes
+    if compress:
+        squeezed = zlib.compress(record_bytes, 6)
+        if len(squeezed) < len(record_bytes):
+            rec, flags = squeezed, flags | _FLAG_RECORD_ZLIB
+    return (
+        _PACK_MAGIC_V2
+        + bytes([flags])
+        + struct.pack(">I", len(rec))
+        + rec
+        + npz_bytes
+    )
+
+
 def _unpack(blob: bytes) -> Tuple[bytes, bytes]:
-    if blob[:4] != _PACK_MAGIC or len(blob) < 8:
-        raise ValueError("not a packed repro artifact")
-    (rec_len,) = struct.unpack(">I", blob[4:8])
-    return blob[8:8 + rec_len], blob[8 + rec_len:]
+    if blob[:4] == _PACK_MAGIC and len(blob) >= 8:
+        (rec_len,) = struct.unpack(">I", blob[4:8])
+        return blob[8:8 + rec_len], blob[8 + rec_len:]
+    if blob[:4] == _PACK_MAGIC_V2 and len(blob) >= 9:
+        flags = blob[4]
+        (rec_len,) = struct.unpack(">I", blob[5:9])
+        rec = blob[9:9 + rec_len]
+        npz = blob[9 + rec_len:]
+        if flags & _FLAG_RECORD_ZLIB:
+            rec = zlib.decompress(rec)
+        if flags & _FLAG_NPZ_ZLIB:
+            npz = zlib.decompress(npz)
+        return rec, npz
+    raise ValueError("not a packed repro artifact")
 
 
 class ArtifactStore:
-    """Content-addressed store over a backend (resolved from a locator)."""
+    """Content-addressed store over a backend (resolved from a locator).
 
-    def __init__(self, root: Union[PathLike, StoreBackend], client=None) -> None:
+    ``compact`` picks the payload encoding for *writes* (reads always
+    accept both): ``True`` for sparse/compressed codec-2 payloads,
+    ``False`` for the pre-1.8 dense bytes, ``None`` (default) to follow
+    ``REPRO_STORE_COMPACT`` (on unless set to ``0``/``false``/``off``).
+    ``options`` injects a full :class:`EncodeOptions` instead and wins
+    over ``compact``.
+    """
+
+    def __init__(
+        self,
+        root: Union[PathLike, StoreBackend],
+        client=None,
+        compact: Optional[bool] = None,
+        options: Optional[EncodeOptions] = None,
+    ) -> None:
         self.backend = open_backend(root, client=client)
+        if options is None:
+            if compact is None:
+                compact = os.environ.get(_COMPACT_ENV, "1").strip().lower() \
+                    not in ("0", "false", "off")
+            options = EncodeOptions() if compact else DENSE_OPTIONS
+        self.options = options
+        # cumulative write accounting behind the compression-ratio gauge
+        self._encoded_written = 0
+        self._logical_written = 0
 
     def __repr__(self) -> str:
         return f"ArtifactStore({self.locator!r})"
@@ -256,35 +347,132 @@ class ArtifactStore:
         already committed, so the loss *is* the success path.
         """
         digest = canonical_key_digest(key)
+        record_bytes, npz_bytes, logical = self._encode_record(
+            key, payload, self.options
+        )
+        encoded = self._write(digest, record_bytes, npz_bytes, self.options)
+        self._observe_payload(
+            key.get("kind", "?") if isinstance(key, dict) else "?",
+            encoded,
+            logical if logical is not None else encoded,
+        )
+        return digest
+
+    def _encode_record(
+        self,
+        key: dict,
+        payload: Any,
+        options: EncodeOptions,
+        created: Optional[float] = None,
+    ) -> Tuple[bytes, bytes, Optional[int]]:
+        """``(record bytes, npz bytes, logical size)`` for one artifact.
+
+        ``logical size`` is the dense-equivalent byte count (record plus
+        uncompressed npz); ``None`` for dense writes, whose logical size
+        *is* their encoded size.  ``created`` is preserved on repack so
+        migration never rejuvenates artifacts under gc's age policy.
+        """
         arrays: Dict[str, np.ndarray] = {}
-        structure = encode(payload, arrays)
+        structure = encode(
+            payload, arrays, options if options.compact else None
+        )
         record = {
             "key": encode(key, {}),
             "kind": key.get("kind", "?") if isinstance(key, dict) else "?",
             "version": __version__,
-            "created": time.time(),
+            "created": time.time() if created is None else created,
             "payload": structure,
             "arrays": sorted(arrays),
         }
-        record_bytes = json.dumps(
+        logical: Optional[int] = None
+        if options.compact:
+            logical = self._dense_size(record, payload)
+            record["codec"] = 2
+            record["logical_bytes"] = logical
+        record_bytes = strict_dumps(
             record, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
         npz_bytes = b""
         if arrays:
             buf = io.BytesIO()
-            np.savez(buf, **arrays)
+            savez = np.savez_compressed if options.compress else np.savez
+            savez(buf, **arrays)
             npz_bytes = buf.getvalue()
+        return record_bytes, npz_bytes, logical
 
+    @staticmethod
+    def _dense_size(record: dict, payload: Any) -> int:
+        """What this artifact would occupy in the pre-1.8 dense encoding
+        — the ``logical_bytes`` listings report next to encoded sizes."""
+        arrays: Dict[str, np.ndarray] = {}
+        dense = dict(record)
+        dense["payload"] = encode(payload, arrays)
+        dense["arrays"] = sorted(arrays)
+        size = len(
+            strict_dumps(
+                dense, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        )
+        if arrays:
+            buf = io.BytesIO()
+            np.savez(buf, **arrays)
+            size += len(buf.getvalue())
+        return size
+
+    def _write(
+        self,
+        digest: str,
+        record_bytes: bytes,
+        npz_bytes: bytes,
+        options: EncodeOptions,
+        overwrite: bool = False,
+    ) -> int:
+        """Publish one encoded artifact; returns its stored byte count.
+
+        ``overwrite`` is the repack path: packing backends must replace
+        the existing single object (a conditional put would no-op), file
+        backends overwrite anyway.  Either way arrays land before the
+        record — the record is the commit marker.
+        """
         if self.backend.packs_artifacts:
-            self.backend.put_if_absent(
-                self._pack_key(digest), _pack(record_bytes, npz_bytes)
-            )
-        else:
-            json_key, npz_key = self._object_keys(digest)
-            if arrays:
-                self.backend.put_atomic(npz_key, npz_bytes)
-            self.backend.put_atomic(json_key, record_bytes)
-        return digest
+            if options.compact:
+                blob = _pack_v2(
+                    record_bytes, npz_bytes, compress=options.compress
+                )
+            else:
+                blob = _pack(record_bytes, npz_bytes)
+            if overwrite:
+                self.backend.put_atomic(self._pack_key(digest), blob)
+            else:
+                self.backend.put_if_absent(self._pack_key(digest), blob)
+            return len(blob)
+        json_key, npz_key = self._object_keys(digest)
+        if npz_bytes:
+            self.backend.put_atomic(npz_key, npz_bytes)
+        self.backend.put_atomic(json_key, record_bytes)
+        return len(record_bytes) + len(npz_bytes)
+
+    def _observe_payload(self, kind: str, encoded: int, logical: int) -> None:
+        self._encoded_written += encoded
+        self._logical_written += logical
+        telemetry = obs.active()
+        if telemetry is None:
+            return
+        telemetry.counter(
+            "repro_payload_encoded_bytes_total",
+            "Artifact payload bytes as written (post-encoding)",
+            ("kind",),
+        ).labels(kind=kind).inc(encoded)
+        telemetry.counter(
+            "repro_payload_logical_bytes_total",
+            "Dense-equivalent bytes of artifact payloads written",
+            ("kind",),
+        ).labels(kind=kind).inc(logical)
+        if self._encoded_written:
+            telemetry.gauge(
+                "repro_payload_compression_ratio",
+                "Cumulative logical/encoded byte ratio of artifact writes",
+            ).set(self._logical_written / self._encoded_written)
 
     def get(self, key: dict, default: Any = None) -> Any:
         """Load the payload stored under ``key`` (``default`` if absent)."""
@@ -352,27 +540,57 @@ class ArtifactStore:
             if key.endswith(suffix):
                 yield key.rsplit("/", 1)[-1][: -len(suffix)], key
 
+    #: First probe of a packed object: both magics' headers fit in 9
+    #: bytes (v1: magic + u32; v2: magic + flags + u32).
+    _PACK_PROBE_BYTES = 9
+
+    def _read_pack_record(self, primary: str) -> Optional[dict]:
+        """The record of a packed artifact via *ranged* reads — header
+        probe plus the record block, never the array payload.  ``None``
+        when the object vanished (delete race); malformed packs raise
+        the same ``ValueError`` a full unpack would."""
+        head = self.backend.get_range(primary, 0, self._PACK_PROBE_BYTES)
+        if head is None:
+            return None
+        if head[:4] == _PACK_MAGIC and len(head) >= 8:
+            (rec_len,) = struct.unpack(">I", head[4:8])
+            offset, compressed = 8, False
+        elif head[:4] == _PACK_MAGIC_V2 and len(head) >= 9:
+            (rec_len,) = struct.unpack(">I", head[5:9])
+            offset, compressed = 9, bool(head[4] & _FLAG_RECORD_ZLIB)
+        else:
+            raise ValueError("not a packed repro artifact")
+        record_bytes = self.backend.get_range(primary, offset, rec_len)
+        if record_bytes is None or len(record_bytes) < rec_len:
+            return None  # deleted (or replaced shorter) between probes
+        if compressed:
+            record_bytes = zlib.decompress(record_bytes)
+        return json.loads(record_bytes.decode("utf-8"))
+
     def entries(self) -> Iterator[ArtifactInfo]:
         """All stored artifacts, sorted by digest (stable listings).
 
         Listing reads records only — array payloads are *stat*'ed for
         their size, never fetched, so ``repro store ls`` over gigabytes
-        of arrays stays metadata-cheap.  (Packing backends store record
-        and arrays as one object; there a read is the object, which is
-        the price of single-key artifacts.)"""
+        of arrays stays metadata-cheap.  Packing backends store record
+        and arrays as one object; the size comes from ``stat`` and the
+        record from a bounded ranged read of the object's head, so the
+        contract holds there too."""
         for digest, primary in self._artifact_keys():
             if self.backend.packs_artifacts:
-                blob = self.backend.get(primary)
-                if blob is None:  # raced with a delete
+                stat = self.backend.stat(primary)
+                if stat is None:  # raced with a delete
                     continue
-                record_bytes, _ = _unpack(blob)
-                size = len(blob)
+                record = self._read_pack_record(primary)
+                if record is None:
+                    continue
+                size = stat.size
             else:
                 record_bytes = self.backend.get(primary)
                 if record_bytes is None:  # raced with a delete
                     continue
                 size = len(record_bytes)
-            record = json.loads(record_bytes.decode("utf-8"))
+                record = json.loads(record_bytes.decode("utf-8"))
             has_arrays = bool(record.get("arrays"))
             if has_arrays and not self.backend.packs_artifacts:
                 npz_stat = self.backend.stat(self._object_keys(digest)[1])
@@ -386,6 +604,8 @@ class ArtifactStore:
                 size_bytes=size,
                 has_arrays=has_arrays,
                 key=decode(record.get("key", {}), {}),
+                logical_bytes=int(record.get("logical_bytes") or size),
+                codec=int(record.get("codec", 1)),
             )
 
     def delete(self, digest: str) -> int:
@@ -396,6 +616,86 @@ class ArtifactStore:
             return self.backend.delete(self._pack_key(digest))
         json_key, npz_key = self._object_keys(digest)
         return self.backend.delete(json_key) + self.backend.delete(npz_key)
+
+    def repack(
+        self, compact: bool = True, dry_run: bool = False
+    ) -> Dict[str, int]:
+        """Re-encode every artifact in place to the target encoding
+        (``compact=True`` for sparse/compressed codec 2, ``False`` back
+        to pre-1.8 dense) — ``repro store repack``.
+
+        Digests are unchanged (addresses hash the dense canonical key),
+        ``created`` stamps are preserved (migration never rejuvenates
+        artifacts under gc's age policy), artifacts already in the
+        target encoding are skipped, and a file-backed artifact whose
+        arrays all became inline sparse cells gets its now-unreferenced
+        ``.npz`` deleted after the new record commits — no debris for
+        gc to misread.  ``dry_run=True`` computes the same report
+        without touching the store.
+
+        Returns ``{"examined", "repacked", "skipped", "bytes_before",
+        "bytes_after"}`` (byte totals cover repacked artifacts only).
+        """
+        options = replace(
+            self.options, compact=compact, compress=compact
+        )
+        target_codec = 2 if compact else 1
+        report = {
+            "examined": 0,
+            "repacked": 0,
+            "skipped": 0,
+            "bytes_before": 0,
+            "bytes_after": 0,
+        }
+        for digest, primary in list(self._artifact_keys()):
+            if self.backend.packs_artifacts:
+                blob = self.backend.get(primary)
+                if blob is None:
+                    continue
+                before = len(blob)
+                old_record_bytes, old_npz = _unpack(blob)
+            else:
+                old_record_bytes = self.backend.get(primary)
+                if old_record_bytes is None:
+                    continue
+                npz_key = self._object_keys(digest)[1]
+                old_npz = self.backend.get(npz_key) or b""
+                before = len(old_record_bytes) + len(old_npz)
+            record = json.loads(old_record_bytes.decode("utf-8"))
+            report["examined"] += 1
+            if int(record.get("codec", 1)) == target_codec:
+                report["skipped"] += 1
+                continue
+            arrays: Dict[str, np.ndarray] = {}
+            if record.get("arrays"):
+                with np.load(io.BytesIO(old_npz)) as npz:
+                    arrays = {name: npz[name] for name in npz.files}
+            payload = decode(record["payload"], arrays)
+            key = decode(record.get("key", {}), {})
+            record_bytes, npz_bytes, _ = self._encode_record(
+                key, payload, options, created=record.get("created")
+            )
+            if self.backend.packs_artifacts:
+                if options.compact:
+                    after = len(
+                        _pack_v2(
+                            record_bytes, npz_bytes, compress=options.compress
+                        )
+                    )
+                else:
+                    after = len(_pack(record_bytes, npz_bytes))
+            else:
+                after = len(record_bytes) + len(npz_bytes)
+            if not dry_run:
+                self._write(
+                    digest, record_bytes, npz_bytes, options, overwrite=True
+                )
+                if not self.backend.packs_artifacts and not npz_bytes:
+                    self.backend.delete(self._object_keys(digest)[1])
+            report["repacked"] += 1
+            report["bytes_before"] += before
+            report["bytes_after"] += after
+        return report
 
     #: Crash debris younger than this may belong to a live writer (a
     #: write takes milliseconds; an hour of margin makes gc safe to run
@@ -451,8 +751,22 @@ class ArtifactStore:
                 if not key.endswith(".npz"):
                     continue
                 marker = key[: -len(".npz")] + ".json"
-                if self.backend.exists(marker):
-                    continue
+                marker_bytes = self.backend.get(marker)
+                if marker_bytes is not None:
+                    # A committed record references its arrays — unless a
+                    # repack inlined them all and died before deleting
+                    # the stale .npz; that leftover is unreferenced and
+                    # collectable under the same grace period.
+                    try:
+                        referenced = bool(
+                            json.loads(marker_bytes.decode("utf-8")).get(
+                                "arrays"
+                            )
+                        )
+                    except (ValueError, UnicodeDecodeError):
+                        referenced = True  # unreadable record: keep data
+                    if referenced:
+                        continue
                 stat = self.backend.stat(key)
                 if stat is None or stat.mtime >= grace_cutoff:
                     continue

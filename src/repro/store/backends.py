@@ -89,6 +89,7 @@ _OBSERVED_OPS = (
     "put_atomic",
     "put_if_absent",
     "get",
+    "get_range",
     "exists",
     "stat",
     "list_prefix",
@@ -211,6 +212,21 @@ class StoreBackend(abc.ABC):
     @abc.abstractmethod
     def get(self, key: str) -> Optional[bytes]:
         """The object's bytes, or ``None`` when absent."""
+
+    def get_range(
+        self, key: str, start: int, length: int
+    ) -> Optional[bytes]:
+        """Bytes ``[start, start+length)`` of the object at ``key``, or
+        ``None`` when absent.  A range past the end returns the short
+        (possibly empty) tail — callers detect truncation from the
+        returned length, mirroring HTTP range-request semantics.  The
+        default fetches the whole object and slices; backends with a
+        cheap ranged read (seek, ``Range:`` header) override it so
+        header probes never download gigabyte payloads."""
+        data = self.get(key)
+        if data is None:
+            return None
+        return data[start:start + length]
 
     @abc.abstractmethod
     def exists(self, key: str) -> bool: ...
@@ -348,6 +364,16 @@ class LocalDirBackend(StoreBackend):
     def get(self, key: str) -> Optional[bytes]:
         try:
             return self._path(key).read_bytes()
+        except (FileNotFoundError, IsADirectoryError):
+            return None
+
+    def get_range(
+        self, key: str, start: int, length: int
+    ) -> Optional[bytes]:
+        try:
+            with open(self._path(key), "rb") as fh:
+                fh.seek(start)
+                return fh.read(length)
         except (FileNotFoundError, IsADirectoryError):
             return None
 
@@ -634,8 +660,12 @@ class FakeObjectClient:
     semantics real object stores offer: whole-object puts, conditional
     put (``If-None-Match: *``), conditional delete (ETag match — the
     fake compares bodies, which is equivalent for full-body ETags),
-    prefix listing.  CI runs the whole conformance suite against this,
-    so a real client adapter only has to match this surface.
+    prefix listing — plus the *optional* ranged GET
+    (:meth:`get_object_range`, a ``Range:`` header in real clients)
+    that lets metadata listings skip whole-payload downloads; adapters
+    without it still conform, at whole-object cost.  CI runs the whole
+    conformance suite against this, so a real client adapter only has
+    to match this surface.
     """
 
     def __init__(self) -> None:
@@ -659,6 +689,17 @@ class FakeObjectClient:
         with self._lock:
             entry = self._bucket(bucket).get(key)
             return None if entry is None else entry[0]
+
+    def get_object_range(
+        self, bucket: str, key: str, start: int, length: int
+    ) -> Optional[bytes]:
+        """A ranged GET (``Range: bytes=start-``); past-the-end ranges
+        return the short tail, as object stores do."""
+        with self._lock:
+            entry = self._bucket(bucket).get(key)
+            if entry is None:
+                return None
+            return entry[0][start:start + length]
 
     def head_object(self, bucket: str, key: str) -> Optional[Tuple[int, float]]:
         with self._lock:
@@ -760,6 +801,19 @@ class ObjectStoreBackend(StoreBackend):
 
     def get(self, key: str) -> Optional[bytes]:
         return self.client.get_object(self.bucket, self._k(key))
+
+    def get_range(
+        self, key: str, start: int, length: int
+    ) -> Optional[bytes]:
+        # Ranged GET where the client offers one; a minimal adapter
+        # without it falls back to the whole-object read.
+        ranged = getattr(self.client, "get_object_range", None)
+        if ranged is not None:
+            return ranged(self.bucket, self._k(key), start, length)
+        data = self.get(key)
+        if data is None:
+            return None
+        return data[start:start + length]
 
     def exists(self, key: str) -> bool:
         return self.client.head_object(self.bucket, self._k(key)) is not None
@@ -885,6 +939,11 @@ class PrefixBackend(StoreBackend):
 
     def get(self, key: str) -> Optional[bytes]:
         return self.inner.get(self._k(key))
+
+    def get_range(
+        self, key: str, start: int, length: int
+    ) -> Optional[bytes]:
+        return self.inner.get_range(self._k(key), start, length)
 
     def exists(self, key: str) -> bool:
         return self.inner.exists(self._k(key))

@@ -35,7 +35,14 @@ __all__ = ["PersistentCalibrationCache"]
 
 
 class PersistentCalibrationCache(CalibrationCache):
-    """A :class:`CalibrationCache` backed by an on-disk second tier."""
+    """A :class:`CalibrationCache` backed by an on-disk second tier.
+
+    Payload encoding follows the store it wraps: a compact-mode
+    :class:`ArtifactStore` persists calibration states sparsely (see
+    :mod:`repro.store.codecs`), a dense one writes the pre-1.8 bytes —
+    either way restores are bit-exact and digests are identical, so
+    warm tiers written under one encoding stay warm under the other.
+    """
 
     def __init__(self, store: ArtifactStore) -> None:
         super().__init__()

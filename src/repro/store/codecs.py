@@ -34,29 +34,144 @@ Tuple-vs-list and int-vs-string-key distinctions are preserved because the
 calibration states key on qubit tuples and integer qubit indices —
 "mostly JSON" encodings that collapse those would load states that *look*
 right but miss every dictionary lookup.
+
+Compact payloads (codec 2)
+--------------------------
+Calibration matrices are overwhelmingly identity: on an N-qubit device the
+CMC-ERR machinery stores O(N^2) pair matrices whose cells mostly equal the
+identity exactly (unobserved flip combinations stay at their initial 0/1).
+With :class:`EncodeOptions` (``compact=True``) a :class:`CalibrationMatrix`
+whose deviation *density* is at or below ``density_threshold`` — or whose
+sparse form is simply smaller by the byte-cost model — is encoded as
+
+    ``{"__repro__": "calibration_matrix_sparse", "qubits": [...],``
+    ``  "cells": [[row, col, value], ...]}``
+
+listing **verbatim** values at exactly the coordinates where the matrix
+differs from the identity.  Decode rebuilds ``np.eye`` and assigns the
+cells back: no arithmetic anywhere, so the round trip is bit-exact by
+construction (JSON serialises floats via ``repr``, which ``float()``
+inverts exactly).  Matrices that are too dense, not float64, or contain
+non-finite values fall back to the dense array-ref form unchanged.
+Readers older than 1.8 refuse the new tag with the codec's typed
+unknown-tag error (:class:`UnknownCodecTagError` here) instead of
+decoding garbage; every pre-1.8 dense artifact decodes unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
 from repro.core.calibration import CalibrationMatrix
 from repro.topology.coupling_map import CouplingMap
 
-__all__ = ["encode", "decode", "deep_equal"]
+__all__ = [
+    "encode",
+    "decode",
+    "deep_equal",
+    "EncodeOptions",
+    "DENSE_OPTIONS",
+    "COMPACT_OPTIONS",
+    "NonFiniteValueError",
+    "UnknownCodecTagError",
+    "strict_dumps",
+]
 
 #: The tag key; a plain dict that happens to contain it is escaped as kdict.
 TAG = "__repro__"
+
+
+class UnknownCodecTagError(ValueError):
+    """An encoded node carries a tag this reader does not understand —
+    written by a newer codec.  Raised instead of returning garbage; the
+    fix is upgrading the reader (or ``repro store repack`` back to the
+    dense form with a new writer)."""
+
+
+class NonFiniteValueError(ValueError):
+    """A NaN/Infinity reached a canonical or record JSON dump.  Python's
+    ``json`` would emit non-standard ``NaN``/``Infinity`` tokens that
+    strict parsers reject — and ``NaN != NaN`` silently breaks every
+    equality pin downstream — so the store refuses instead.  The message
+    names the offending path."""
+
+
+@dataclass(frozen=True)
+class EncodeOptions:
+    """Per-store payload-encoding knobs (codec 2 when ``compact``).
+
+    ``density_threshold`` is the deviation-cell fraction at or below
+    which a calibration matrix takes the sparse form; above it, the
+    byte-cost model still picks sparse when it is estimated smaller
+    (small matrices with a deviating diagonal would otherwise never
+    qualify).  ``compress`` additionally zlib-compresses npz members
+    (``np.savez_compressed``) and packed-object records.
+    """
+
+    compact: bool = True
+    density_threshold: float = 0.5
+    compress: bool = True
+
+
+#: Legacy (pre-1.8, codec 1) behaviour: dense refs, uncompressed members.
+DENSE_OPTIONS = EncodeOptions(compact=False, compress=False)
+#: Default compact behaviour for new writes.
+COMPACT_OPTIONS = EncodeOptions()
+
+#: Byte-cost model for the sparse-vs-dense choice: one JSON cell
+#: ``[i, j, 0.0123456789012345]`` runs ~26 bytes, a sparse node ~40 bytes
+#: of framing; a dense ref costs 8 bytes/cell of float64 payload plus
+#: ~360 bytes of npz member overhead (header + zip directory entry).
+_SPARSE_CELL_COST = 26
+_SPARSE_NODE_COST = 40
+_DENSE_CELL_COST = 8
+_DENSE_MEMBER_COST = 360
 
 
 def _new_ref(arrays: Dict[str, np.ndarray]) -> str:
     return f"a{len(arrays)}"
 
 
-def encode(obj: Any, arrays: Dict[str, np.ndarray]) -> Any:
-    """Encode ``obj`` into a JSON-able structure, filling ``arrays``."""
+def _sparse_matrix_node(
+    cal: CalibrationMatrix, options: EncodeOptions
+) -> Optional[Dict[str, Any]]:
+    """The sparse node for ``cal``, or ``None`` when dense is the right
+    form (too dense, unusual dtype, or non-finite cells — the latter are
+    refused here so sparse payloads are strict-JSON-safe by construction
+    and the npz path keeps carrying them verbatim)."""
+    m = cal.matrix
+    if m.dtype != np.float64 or not np.isfinite(m).all():
+        return None
+    rows, cols = np.nonzero(m != np.eye(m.shape[0]))
+    count = int(rows.size)
+    sparse_cost = _SPARSE_CELL_COST * count + _SPARSE_NODE_COST
+    dense_cost = _DENSE_CELL_COST * m.size + _DENSE_MEMBER_COST
+    if count > options.density_threshold * m.size and sparse_cost > dense_cost:
+        return None
+    return {
+        TAG: "calibration_matrix_sparse",
+        "qubits": list(cal.qubits),
+        "cells": [
+            [int(i), int(j), float(m[i, j])] for i, j in zip(rows, cols)
+        ],
+    }
+
+
+def encode(
+    obj: Any,
+    arrays: Dict[str, np.ndarray],
+    options: Optional[EncodeOptions] = None,
+) -> Any:
+    """Encode ``obj`` into a JSON-able structure, filling ``arrays``.
+
+    ``options=None`` (and ``compact=False``) reproduces the pre-1.8
+    dense encoding byte-for-byte — canonical *keys* always hash the
+    dense form, so digests never depend on the payload encoding."""
     if obj is None or isinstance(obj, (bool, str)):
         return obj
     if isinstance(obj, (int, np.integer)):
@@ -64,14 +179,20 @@ def encode(obj: Any, arrays: Dict[str, np.ndarray]) -> Any:
     if isinstance(obj, (float, np.floating)):
         return float(obj)
     if isinstance(obj, tuple):
-        return {TAG: "tuple", "items": [encode(v, arrays) for v in obj]}
+        return {
+            TAG: "tuple", "items": [encode(v, arrays, options) for v in obj]
+        }
     if isinstance(obj, list):
-        return [encode(v, arrays) for v in obj]
+        return [encode(v, arrays, options) for v in obj]
     if isinstance(obj, np.ndarray):
         ref = _new_ref(arrays)
         arrays[ref] = obj
         return {TAG: "ndarray", "ref": ref}
     if isinstance(obj, CalibrationMatrix):
+        if options is not None and options.compact:
+            node = _sparse_matrix_node(obj, options)
+            if node is not None:
+                return node
         ref = _new_ref(arrays)
         arrays[ref] = obj.matrix
         return {TAG: "calibration_matrix", "qubits": list(obj.qubits), "ref": ref}
@@ -84,11 +205,12 @@ def encode(obj: Any, arrays: Dict[str, np.ndarray]) -> Any:
         }
     if isinstance(obj, dict):
         if all(isinstance(k, str) for k in obj) and TAG not in obj:
-            return {k: encode(v, arrays) for k, v in obj.items()}
+            return {k: encode(v, arrays, options) for k, v in obj.items()}
         return {
             TAG: "kdict",
             "items": [
-                [encode(k, arrays), encode(v, arrays)] for k, v in obj.items()
+                [encode(k, arrays, options), encode(v, arrays, options)]
+                for k, v in obj.items()
             ],
         }
     # Lazy: calgraph imports the store (artifact keys), so the store can
@@ -102,7 +224,7 @@ def encode(obj: Any, arrays: Dict[str, np.ndarray]) -> Any:
             "node_kind": obj.kind,
             "qubits": list(obj.qubits),
             "fingerprint": obj.fingerprint,
-            "payload": encode(obj.payload, arrays),
+            "payload": encode(obj.payload, arrays, options),
         }
     raise TypeError(
         f"store codec cannot encode {type(obj).__name__!r}; teach "
@@ -128,6 +250,12 @@ def decode(obj: Any, arrays: Mapping[str, np.ndarray]) -> Any:
             return CalibrationMatrix(
                 tuple(obj["qubits"]), np.asarray(arrays[obj["ref"]])
             )
+        if kind == "calibration_matrix_sparse":
+            qubits = tuple(obj["qubits"])
+            m = np.eye(2 ** len(qubits))
+            for i, j, value in obj["cells"]:
+                m[i, j] = value
+            return CalibrationMatrix(qubits, m)
         if kind == "coupling_map":
             return CouplingMap(
                 obj["num_qubits"],
@@ -149,8 +277,50 @@ def decode(obj: Any, arrays: Mapping[str, np.ndarray]) -> Any:
                 payload=decode(obj["payload"], arrays),
                 fingerprint=obj["fingerprint"],
             )
-        raise ValueError(f"unknown store codec tag {kind!r}")
+        raise UnknownCodecTagError(
+            f"unknown store codec tag {kind!r}; this artifact was written "
+            f"by a newer codec — upgrade the reader or repack the store"
+        )
     raise TypeError(f"malformed encoded node of type {type(obj).__name__!r}")
+
+
+def _non_finite_path(node: Any, path: str = "$") -> Optional[str]:
+    """The JSON-path of the first non-finite float under ``node``."""
+    if isinstance(node, float) and not math.isfinite(node):
+        return path
+    if isinstance(node, dict):
+        for k, v in node.items():
+            if isinstance(k, float) and not math.isfinite(k):
+                return f"{path}.<key {k!r}>"
+            found = _non_finite_path(v, f"{path}.{k}")
+            if found is not None:
+                return found
+    elif isinstance(node, (list, tuple)):
+        for idx, v in enumerate(node):
+            found = _non_finite_path(v, f"{path}[{idx}]")
+            if found is not None:
+                return found
+    return None
+
+
+def strict_dumps(node: Any, **kwargs: Any) -> str:
+    """``json.dumps`` with ``allow_nan=False``, refusing non-finite
+    floats with a :class:`NonFiniteValueError` that names the offending
+    path.  Every canonical-key and record dump goes through here; call
+    sites keep their own ``sort_keys``/``separators`` so byte formats
+    (journal lines, canonical digests) are untouched."""
+    kwargs.setdefault("allow_nan", False)
+    try:
+        return json.dumps(node, **kwargs)
+    except ValueError as exc:
+        path = _non_finite_path(node)
+        if path is None:
+            raise
+        raise NonFiniteValueError(
+            f"non-finite float at {path} cannot be serialised to "
+            f"canonical JSON; drop or sanitise the value before "
+            f"persisting it"
+        ) from exc
 
 
 def _hashable(key: Any) -> Any:

@@ -233,6 +233,10 @@ class FaultyBackend(StoreBackend):
         self._enter("get")
         return self.inner.get(key)
 
+    def get_range(self, key: str, start: int, length: int) -> Optional[bytes]:
+        self._enter("get_range")
+        return self.inner.get_range(key, start, length)
+
     def exists(self, key: str) -> bool:
         self._enter("exists")
         return self.inner.exists(key)

@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 from repro import obs
 from repro._version import __version__
 from repro.store.backends import LocalDirBackend, StoreBackend
+from repro.store.codecs import strict_dumps
 from repro.store.faults import TransientStoreError
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a pipeline cycle
@@ -125,7 +126,7 @@ def _identity_fields(spec: "SweepSpec") -> dict:
 
 def journal_spec_digest(spec: "SweepSpec") -> str:
     """Stable hex digest of a spec's scientific identity (16 chars)."""
-    text = json.dumps(
+    text = strict_dumps(
         _identity_fields(spec), sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
@@ -353,7 +354,8 @@ class SweepJournal:
             "spec": self.spec.to_dict(),
         }
         self._backend.put_atomic(
-            self._key, json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
+            self._key,
+            strict_dumps(header, sort_keys=True).encode("utf-8") + b"\n",
         )
         self._header = header
 
@@ -415,7 +417,8 @@ class SweepJournal:
             self._trim_torn_tail()
             self._appended = True
         self._backend.append_line(
-            self._key, json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
+            self._key,
+            strict_dumps(entry, sort_keys=True).encode("utf-8") + b"\n",
         )
         self._journaled.add(coord)
         telemetry = obs.active()

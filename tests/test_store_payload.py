@@ -1,0 +1,456 @@
+"""Tests for the sparse/compressed payload encodings (store codec 2).
+
+Three guarantees under test:
+
+* **Bit-exactness** — sparse encodings store verbatim deviation cells
+  (no arithmetic), so compact round trips are `deep_equal` to dense
+  ones over adversarial matrices: exact identity, fully dense, a single
+  off-diagonal deviation, densities straddling the threshold, and
+  non-finite cells (which must *refuse* the sparse form).
+* **Compatibility** — every pre-1.8 dense artifact decodes unchanged;
+  artifacts written by a newer codec are refused with typed errors
+  (unknown tag, unknown pack magic), never decoded as garbage; digests
+  never depend on the encoding, so warm tiers survive repacking.
+* **Cheap metadata** — `entries()` on packing backends reads sizes via
+  `stat` and records via bounded ranged gets, never whole payloads.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline import BackendSpec, CircuitSpec, SweepSpec, run_sweep
+from repro.core import CalibrationMatrix
+from repro.store import (
+    ArtifactStore,
+    EncodeOptions,
+    FakeObjectClient,
+    NonFiniteValueError,
+    UnknownCodecTagError,
+    canonical_key_digest,
+    decode,
+    deep_equal,
+    encode,
+    reset_memory_spaces,
+)
+from repro.store.artifacts import _PACK_MAGIC_V2, _pack_v2, _unpack
+from repro.utils.linalg import column_normalize
+
+COMPACT = EncodeOptions()
+
+
+# ----------------------------------------------------------------------
+# Matrix constructors (adversarial shapes)
+# ----------------------------------------------------------------------
+def near_identity(seed: int, num_qubits: int, deviated_cols: int) -> CalibrationMatrix:
+    """Identity with ``deviated_cols`` columns leaking weight off-diagonal."""
+    rng = np.random.default_rng(seed)
+    dim = 1 << num_qubits
+    m = np.eye(dim)
+    for j in rng.permutation(dim)[:deviated_cols]:
+        eps = float(rng.uniform(0.01, 0.2))
+        i = int((j + 1 + rng.integers(dim - 1)) % dim)
+        m[j, j] = 1.0 - eps
+        m[i, j] = eps
+    return CalibrationMatrix(tuple(range(num_qubits)), m)
+
+
+def dense_random(seed: int, num_qubits: int) -> CalibrationMatrix:
+    rng = np.random.default_rng(seed)
+    dim = 1 << num_qubits
+    raw = rng.uniform(0.0, 1.0, size=(dim, dim)) + np.eye(dim)
+    return CalibrationMatrix(tuple(range(num_qubits)), column_normalize(raw))
+
+
+def uniform_columns(num_qubits: int, k: int) -> CalibrationMatrix:
+    """Exactly ``k * dim`` deviation cells: ``k`` columns made uniform."""
+    dim = 1 << num_qubits
+    m = np.eye(dim)
+    for j in range(k):
+        m[:, j] = 1.0 / dim
+    return CalibrationMatrix(tuple(range(num_qubits)), m)
+
+
+def roundtrip(cal: CalibrationMatrix, options=COMPACT):
+    """encode -> JSON wire trip -> decode, exactly like a store write."""
+    arrays = {}
+    node = json.loads(json.dumps(encode(cal, arrays, options)))
+    return node, decode(node, arrays)
+
+
+# ----------------------------------------------------------------------
+# Sparse round trips
+# ----------------------------------------------------------------------
+class TestSparseRoundTrip:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_near_identity_bit_exact(self, seed, num_qubits, deviated):
+        cal = near_identity(seed, num_qubits, min(deviated, 1 << num_qubits))
+        node, back = roundtrip(cal)
+        assert deep_equal(cal, back)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fully_dense_bit_exact_either_form(self, seed, num_qubits):
+        cal = dense_random(seed, num_qubits)
+        node, back = roundtrip(cal)
+        assert deep_equal(cal, back)
+
+    def test_exact_identity_is_zero_cells(self):
+        cal = CalibrationMatrix.identity((3, 5))
+        node, back = roundtrip(cal)
+        assert node["__repro__"] == "calibration_matrix_sparse"
+        assert node["cells"] == []
+        assert deep_equal(cal, back)
+
+    def test_single_off_diagonal_deviation(self):
+        m = np.eye(4)
+        m[0, 0], m[2, 0] = 0.9375, 0.0625
+        cal = CalibrationMatrix((1, 4), m)
+        node, back = roundtrip(cal)
+        assert node["__repro__"] == "calibration_matrix_sparse"
+        assert sorted(tuple(c[:2]) for c in node["cells"]) == [(0, 0), (2, 0)]
+        assert deep_equal(cal, back)
+
+    def test_threshold_boundary_density(self):
+        # dim 16: 8 uniform columns = exactly half the cells deviate ->
+        # sparse; 9 columns tips past the threshold AND the byte-cost
+        # model -> dense fallback.  Both decode bit-exactly.
+        at_threshold = uniform_columns(4, 8)
+        node, back = roundtrip(at_threshold)
+        assert node["__repro__"] == "calibration_matrix_sparse"
+        assert len(node["cells"]) == 8 * 16
+        assert deep_equal(at_threshold, back)
+
+        past_threshold = uniform_columns(4, 9)
+        arrays = {}
+        node = encode(past_threshold, arrays, COMPACT)
+        assert node["__repro__"] == "calibration_matrix"
+        assert deep_equal(past_threshold, decode(node, arrays))
+
+    def test_tiny_dense_matrix_still_goes_sparse_by_cost(self):
+        # A 2x2 from real counts deviates everywhere (density 1.0), but
+        # 4 inline cells are far cheaper than an npz member — the cost
+        # model must choose sparse or small devices would never shrink.
+        m = np.array([[0.953125, 0.0625], [0.046875, 0.9375]])
+        cal = CalibrationMatrix((0,), m)
+        node, back = roundtrip(cal)
+        assert node["__repro__"] == "calibration_matrix_sparse"
+        assert deep_equal(cal, back)
+
+    def test_non_finite_matrix_refuses_the_sparse_form(self):
+        cal = CalibrationMatrix.identity((0, 1))
+        poisoned = cal.matrix.copy()
+        poisoned[1, 1] = np.nan
+        cal.matrix = poisoned  # bypasses ctor validation on purpose
+        arrays = {}
+        node = encode(cal, arrays, COMPACT)
+        # never inline NaN into JSON: the dense npz path carries it
+        assert node["__repro__"] == "calibration_matrix"
+        assert len(arrays) == 1
+
+    def test_non_float64_refuses_the_sparse_form(self):
+        cal = CalibrationMatrix.identity((0,))
+        cal.matrix = cal.matrix.astype(np.float32)
+        node = encode(cal, {}, COMPACT)
+        assert node["__repro__"] == "calibration_matrix"
+
+    def test_dense_options_never_emit_sparse(self):
+        cal = near_identity(1, 2, 2)
+        arrays = {}
+        node = encode(cal, arrays, None)
+        assert node["__repro__"] == "calibration_matrix"
+        assert len(arrays) == 1
+
+
+# ----------------------------------------------------------------------
+# Canonical-JSON refusal (the allow_nan bugfix)
+# ----------------------------------------------------------------------
+class TestNonFiniteRefusal:
+    def test_digest_refuses_nan_with_path(self):
+        with pytest.raises(NonFiniteValueError) as err:
+            canonical_key_digest({"kind": "x", "val": float("nan")})
+        assert "val" in str(err.value)
+
+    def test_put_refuses_infinity_in_payload(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(NonFiniteValueError) as err:
+            store.put(
+                {"kind": "x", "key": ("k",)},
+                {"metrics": {"error": float("inf")}},
+            )
+        assert "metrics" in str(err.value)
+
+    def test_finite_digests_unchanged(self):
+        # the strict dump must not perturb canonical bytes
+        key = {"kind": "calibration", "key": (0, 1), "v": 0.25}
+        assert canonical_key_digest(key) == canonical_key_digest(dict(key))
+
+
+# ----------------------------------------------------------------------
+# Backward / forward compatibility
+# ----------------------------------------------------------------------
+class TestCompatibility:
+    def payload(self):
+        return {
+            "state": {
+                "patch_calibrations": {(0, 1): near_identity(3, 2, 2)},
+                "isolated": {2: near_identity(4, 1, 1)},
+            },
+            "shots_spent": 128,
+        }
+
+    def test_pre_18_dense_artifacts_decode_bit_exactly(self, tmp_path):
+        key = {"kind": "calibration", "key": ("compat",)}
+        dense = ArtifactStore(tmp_path / "s", compact=False)
+        digest = dense.put(key, self.payload())
+        info = next(iter(dense.entries()))
+        assert info.codec == 1
+        # a default (compact) reader over the same files
+        reader = ArtifactStore(tmp_path / "s")
+        assert deep_equal(reader.get(key), self.payload())
+        assert reader.contains(key) and digest == canonical_key_digest(key)
+
+    def test_digest_is_encoding_independent(self, tmp_path):
+        key = {"kind": "calibration", "key": ("digests",)}
+        a = ArtifactStore(tmp_path / "a", compact=True).put(key, self.payload())
+        b = ArtifactStore(tmp_path / "b", compact=False).put(key, self.payload())
+        assert a == b
+
+    def test_old_reader_refuses_new_tag_typed(self):
+        node = {"__repro__": "calibration_matrix_sparse2", "cells": []}
+        with pytest.raises(UnknownCodecTagError):
+            decode(node, {})
+        # ...and the typed error is still the ValueError old readers raise
+        with pytest.raises(ValueError):
+            decode(node, {})
+
+    def test_unknown_pack_magic_is_refused(self):
+        with pytest.raises(ValueError, match="not a packed repro artifact"):
+            _unpack(b"RPK9\x00\x00\x00\x00junk")
+
+    def test_pack_v2_round_trip_and_magic(self):
+        rec = json.dumps({"k": "v" * 100}).encode()
+        blob = _pack_v2(rec, b"NPZDATA", compress=True)
+        assert blob[:4] == _PACK_MAGIC_V2
+        assert len(blob) < len(rec) + 7 + 9  # record actually compressed
+        out_rec, out_npz = _unpack(blob)
+        assert out_rec == rec and out_npz == b"NPZDATA"
+
+
+# ----------------------------------------------------------------------
+# Repack migration
+# ----------------------------------------------------------------------
+class TestRepack:
+    def fat_payload(self):
+        return {
+            "state": {
+                "patch_calibrations": {
+                    (a, b): near_identity(a * 31 + b, 2, 3)
+                    for a in range(4)
+                    for b in range(a + 1, 4)
+                },
+                "isolated": {q: near_identity(q, 1, 1) for q in range(4)},
+            }
+        }
+
+    @pytest.mark.parametrize("locator", ["dir", "s3"])
+    def test_repack_shrinks_and_stays_bit_exact(self, tmp_path, locator):
+        kwargs = (
+            {"client": FakeObjectClient()} if locator == "s3" else {}
+        )
+        root = "s3://bucket/repack" if locator == "s3" else tmp_path / "s"
+        store = ArtifactStore(root, compact=False, **kwargs)
+        key = {"kind": "calibration", "key": ("repack",)}
+        store.put(key, self.fat_payload())
+        before = next(iter(store.entries()))
+
+        dry = store.repack(compact=True, dry_run=True)
+        # dry run touched nothing
+        unchanged = next(iter(store.entries()))
+        assert unchanged.size_bytes == before.size_bytes
+        assert unchanged.codec == 1
+
+        report = store.repack(compact=True)
+        assert report["repacked"] == 1
+        assert (dry["bytes_before"], dry["bytes_after"]) == (
+            report["bytes_before"],
+            report["bytes_after"],
+        )
+        after = next(iter(store.entries()))
+        assert after.codec == 2
+        assert after.size_bytes < before.size_bytes
+        assert after.created == before.created  # gc age policy preserved
+        assert after.logical_bytes >= after.size_bytes
+        assert deep_equal(store.get(key), self.fat_payload())
+
+        # idempotent; and the reverse migration restores dense decoding
+        again = store.repack(compact=True)
+        assert again["repacked"] == 0 and again["skipped"] == again["examined"]
+        store.repack(compact=False)
+        assert next(iter(store.entries())).codec == 1
+        assert deep_equal(store.get(key), self.fat_payload())
+
+    def test_repack_drops_stale_npz_when_arrays_inline(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", compact=False)
+        key = {"kind": "calibration", "key": ("np",)}
+        digest = store.put(key, {"cal": near_identity(9, 2, 2)})
+        json_path, npz_path = store._paths(digest)
+        assert npz_path.exists()  # dense: matrix lives in the npz
+        store.repack(compact=True)
+        assert not npz_path.exists()  # sparse: fully inline, npz dropped
+        assert deep_equal(store.get(key), {"cal": near_identity(9, 2, 2)})
+
+
+# ----------------------------------------------------------------------
+# Metadata-cheap listings on packing backends
+# ----------------------------------------------------------------------
+class _CountingClient(FakeObjectClient):
+    def __init__(self):
+        super().__init__()
+        self.whole_gets = []
+        self.ranged_bytes = 0
+
+    def get_object(self, bucket, key):
+        self.whole_gets.append(key)
+        return super().get_object(bucket, key)
+
+    def get_object_range(self, bucket, key, start, length):
+        data = super().get_object_range(bucket, key, start, length)
+        if data is not None:
+            self.ranged_bytes += len(data)
+        return data
+
+
+class TestMetadataCheapListing:
+    def test_entries_never_downloads_pack_payloads(self):
+        client = _CountingClient()
+        store = ArtifactStore("s3://bucket/ls", client=client)
+        total = 0
+        for i in range(3):
+            # big plain arrays stay npz-backed even under compact mode
+            store.put(
+                {"kind": "blob", "key": (i,)},
+                {"data": np.arange(40_000.0) + i},
+            )
+        total = sum(info.size_bytes for info in store.entries())
+        client.whole_gets.clear()
+        client.ranged_bytes = 0
+
+        infos = list(store.entries())
+        assert len(infos) == 3 and total > 3 * 40_000
+        packs = [k for k in client.whole_gets if k.endswith(".pack")]
+        assert packs == []  # sizes via stat, records via ranged reads
+        assert 0 < client.ranged_bytes < total / 50
+
+    def test_ranged_reader_falls_back_without_client_support(self):
+        client = FakeObjectClient()
+        ranged = FakeObjectClient.get_object_range
+        del FakeObjectClient.get_object_range
+        try:
+            store = ArtifactStore("s3://bucket/fb", client=client)
+            key = {"kind": "blob", "key": ("x",)}
+            store.put(key, {"v": 1})
+            infos = list(store.entries())
+            assert len(infos) == 1 and infos[0].kind == "blob"
+        finally:
+            FakeObjectClient.get_object_range = ranged
+
+
+# ----------------------------------------------------------------------
+# Warm-sweep bit-identity matrix: backends x encodings
+# ----------------------------------------------------------------------
+def small_spec(**overrides):
+    defaults = dict(
+        backends=(BackendSpec(kind="device", name="quito", gate_noise=False),),
+        circuits=(CircuitSpec(root=0),),
+        shots=(1000,),
+        methods=("Bare", "CMC"),
+        trials=1,
+        seed=23,
+        full_max_qubits=5,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def record_keys(result):
+    return [
+        (r.backend_label, r.trial, r.shots, r.circuit_label, r.method,
+         r.error, r.shots_spent, r.circuits_executed, r.not_applicable)
+        for r in result.records
+    ]
+
+
+class TestWarmSweepBitIdentity:
+    def test_matrix_backends_by_encoding(self, tmp_path):
+        """dir/mem/s3 x compact-on/off: identical records cold and warm,
+        and the persisted calibration payloads are deep_equal across
+        encodings artifact by artifact."""
+        spec = small_spec()
+        reference = None
+        payload_reference = None
+        for compact in (True, False):
+            for scheme in ("dir", "mem", "s3"):
+                if scheme == "dir":
+                    store = ArtifactStore(
+                        tmp_path / f"d{compact}", compact=compact
+                    )
+                elif scheme == "mem":
+                    reset_memory_spaces(f"payload-{compact}")
+                    store = ArtifactStore(
+                        f"mem://payload-{compact}", compact=compact
+                    )
+                else:
+                    store = ArtifactStore(
+                        "s3://payload/x",
+                        client=FakeObjectClient(),
+                        compact=compact,
+                    )
+                cold = run_sweep(spec, store=store)
+                warm = run_sweep(spec, store=store)
+                assert warm.cache_misses == 0
+                keys = record_keys(cold)
+                assert keys == record_keys(warm)
+                if reference is None:
+                    reference = keys
+                assert keys == reference, (scheme, compact)
+
+                payloads = {
+                    info.digest: store.get_by_digest(info.digest)
+                    for info in store.entries()
+                    if info.kind == "calibration"
+                }
+                assert payloads
+                if payload_reference is None:
+                    payload_reference = payloads
+                else:
+                    assert set(payloads) == set(payload_reference)
+                    for digest, payload in payloads.items():
+                        assert deep_equal(
+                            payload, payload_reference[digest]
+                        ), (scheme, compact, digest)
+
+    def test_warm_across_encodings_one_store(self, tmp_path):
+        """A tier written compactly stays warm for a dense-mode opener
+        of the same files, and vice versa after a repack."""
+        spec = small_spec(seed=29)
+        root = tmp_path / "mixed"
+        cold = run_sweep(spec, store=ArtifactStore(root, compact=True))
+        warm_dense = run_sweep(spec, store=ArtifactStore(root, compact=False))
+        assert warm_dense.cache_misses == 0
+        assert record_keys(cold) == record_keys(warm_dense)
+
+        ArtifactStore(root).repack(compact=False)
+        warm_after = run_sweep(spec, store=ArtifactStore(root))
+        assert warm_after.cache_misses == 0
+        assert record_keys(cold) == record_keys(warm_after)
